@@ -1,0 +1,239 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md and
+//! the Section 7 extensions:
+//!
+//! * `nre_flatten_vs_lowering` — the two exact NRE translations on the
+//!   same flattenable instance (flattening multiplies atoms/variables;
+//!   lowering adds Horn rules instead);
+//! * `completion_cost` — the finmod-cycle reversal (Lemma D.7) as the
+//!   number of functional cycles in the schema grows — the price of
+//!   finite (vs unrestricted) semantics;
+//! * `witness_repair_vs_sampling` — counterexample extraction: repairing
+//!   the engine core vs blind sampling of conforming graphs;
+//! * `literal_safety_scaling` — the literal-safety analysis per rule.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gts_containment::{
+    complete, contains, contains_nre, finite_counterexample, sample_counterexample,
+    CompletionConfig, ContainmentOptions, WitnessConfig,
+};
+use gts_core::{check_literal_safety, Transformation};
+use gts_graph::{LabelSet, Vocab};
+use gts_query::{Atom, C2rpq, Nre, NreAtom, NreC2rpq, NreUc2rpq, Regex, Uc2rpq, Var};
+use gts_sat::Budget;
+use gts_schema::{Mult, Schema};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Social vocabulary with `likes` forced, so the nested containment holds.
+fn social(v: &mut Vocab) -> Schema {
+    let person = v.node_label("Person");
+    let post = v.node_label("Post");
+    let follows = v.edge_label("follows");
+    let likes = v.edge_label("likes");
+    let mut s = Schema::new();
+    s.set_edge(person, follows, person, Mult::Star, Mult::Star);
+    s.set_edge(person, likes, post, Mult::One, Mult::Star);
+    s
+}
+
+fn bench_nre_flatten_vs_lowering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_nre");
+    // P = follows(x,y) ∧ likes(y,z); Q = (follows·⟨likes⟩)(x,y) — the
+    // nest is NOT under a star, so both translations apply.
+    let build = |v: &mut Vocab| {
+        let follows = v.edge_label("follows");
+        let likes = v.edge_label("likes");
+        let p = NreUc2rpq::single(NreC2rpq::new(
+            3,
+            vec![],
+            vec![
+                NreAtom { x: Var(0), y: Var(1), nre: Nre::edge(follows) },
+                NreAtom { x: Var(1), y: Var(2), nre: Nre::edge(likes) },
+            ],
+        ));
+        let q = NreUc2rpq::single(NreC2rpq::new(
+            2,
+            vec![],
+            vec![NreAtom {
+                x: Var(0),
+                y: Var(1),
+                nre: Nre::edge(follows).then(Nre::nest(Nre::edge(likes))),
+            }],
+        ));
+        (p, q)
+    };
+    group.bench_function("lowering", |b| {
+        b.iter(|| {
+            let mut v = Vocab::new();
+            let s = social(&mut v);
+            let (p, q) = build(&mut v);
+            let ans = contains_nre(&p, &q, &s, &mut v, &ContainmentOptions::default()).unwrap();
+            assert!(ans.holds);
+        })
+    });
+    group.bench_function("flattening", |b| {
+        b.iter(|| {
+            let mut v = Vocab::new();
+            let s = social(&mut v);
+            let (p, q) = build(&mut v);
+            let pf = p.flatten().unwrap();
+            let qf = q.flatten().unwrap();
+            let ans = contains(&pf, &qf, &s, &mut v, &ContainmentOptions::default()).unwrap();
+            assert!(ans.holds);
+        })
+    });
+    group.finish();
+}
+
+/// A schema whose TBox has `n` disjoint functional s-cycles (each one a
+/// finmod cycle to reverse).
+fn cycle_schema(n: usize, v: &mut Vocab) -> Schema {
+    let mut s = Schema::new();
+    for i in 0..n {
+        let a = v.node_label(&format!("A{i}"));
+        let b = v.node_label(&format!("B{i}"));
+        let e = v.edge_label(&format!("s{i}"));
+        // A −s→ B functional both ways: a 2-step finmod cycle.
+        s.set_edge(a, e, b, Mult::One, Mult::Opt);
+        s.set_edge(b, e, a, Mult::One, Mult::Opt);
+    }
+    s
+}
+
+fn bench_completion_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_completion");
+    for n in [1usize, 2, 3] {
+        group.bench_with_input(BenchmarkId::new("cycles", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut v = Vocab::new();
+                let s = cycle_schema(n, &mut v);
+                let tbox = s.hat_tbox();
+                let fresh = (v.fresh_node_label("B"), v.fresh_node_label("B"));
+                let done = complete(
+                    &tbox,
+                    &s.node_label_set(),
+                    fresh,
+                    &Budget::default(),
+                    &CompletionConfig::default(),
+                );
+                assert!(done.complete);
+                done.added
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_witness_repair_vs_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_witness");
+    group.sample_size(20);
+    let build = |v: &mut Vocab| {
+        let vaccine = v.node_label("Vaccine");
+        let antigen = v.node_label("Antigen");
+        let dt = v.edge_label("designTarget");
+        let cr = v.edge_label("crossReacting");
+        let mut s = Schema::new();
+        s.set_edge(vaccine, dt, antigen, Mult::One, Mult::Star);
+        s.set_edge(antigen, cr, antigen, Mult::Star, Mult::Star);
+        let targets = Uc2rpq::single(C2rpq::new(
+            2,
+            vec![Var(0), Var(1)],
+            vec![Atom {
+                x: Var(0),
+                y: Var(1),
+                regex: Regex::edge(dt).then(Regex::edge(cr).star()),
+            }],
+        ));
+        let direct = Uc2rpq::single(C2rpq::new(
+            2,
+            vec![Var(0), Var(1)],
+            vec![Atom { x: Var(0), y: Var(1), regex: Regex::edge(dt) }],
+        ));
+        (s, targets, direct)
+    };
+    group.bench_function("repair_guided", |b| {
+        b.iter(|| {
+            let mut v = Vocab::new();
+            let (s, p, q) = build(&mut v);
+            let mut rng = StdRng::seed_from_u64(7);
+            finite_counterexample(
+                &p,
+                &q,
+                &s,
+                &mut v,
+                &ContainmentOptions::default(),
+                &WitnessConfig::default(),
+                &mut rng,
+            )
+            .unwrap()
+            .expect("counterexample")
+        })
+    });
+    group.bench_function("sampling_only", |b| {
+        b.iter(|| {
+            let mut v = Vocab::new();
+            let (s, p, q) = build(&mut v);
+            let mut rng = StdRng::seed_from_u64(7);
+            sample_counterexample(&p, &q, &s, &WitnessConfig::default(), &mut rng)
+                .expect("counterexample")
+        })
+    });
+    group.finish();
+}
+
+fn bench_literal_safety(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_literal_safety");
+    for rules in [2usize, 6, 12] {
+        group.bench_with_input(BenchmarkId::new("rules", rules), &rules, |b, &rules| {
+            b.iter(|| {
+                let mut v = Vocab::new();
+                let product = v.node_label("Product");
+                let price = v.node_label("Price");
+                let has_price = v.edge_label("hasPrice");
+                let mut s = Schema::new();
+                s.set_edge(product, has_price, price, Mult::One, Mult::Star);
+                let literals = LabelSet::singleton(price.0);
+                let mut t = Transformation::new();
+                for i in 0..rules {
+                    // Construct the price from the *target* of a hasPrice
+                    // edge: safety needs schema reasoning (targets are
+                    // Prices), not a syntactic match. Vary the body length
+                    // so the rules are not deduplicated.
+                    let mut re = Regex::edge(has_price);
+                    for _ in 0..(i % 3) {
+                        re = Regex::edge(has_price)
+                            .then(Regex::sym(gts_graph::EdgeSym::bwd(has_price)))
+                            .then(re);
+                    }
+                    t.add_node_rule(
+                        price,
+                        C2rpq::new(
+                            2,
+                            vec![Var(1)],
+                            vec![Atom { x: Var(0), y: Var(1), regex: re }],
+                        ),
+                    );
+                }
+                let report = check_literal_safety(
+                    &t,
+                    &s,
+                    &literals,
+                    &mut v,
+                    &ContainmentOptions::default(),
+                )
+                .unwrap();
+                assert!(report.violations.is_empty());
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    ablation,
+    bench_nre_flatten_vs_lowering,
+    bench_completion_cost,
+    bench_witness_repair_vs_sampling,
+    bench_literal_safety
+);
+criterion_main!(ablation);

@@ -1,0 +1,146 @@
+//! Criterion benchmarks, one group per figure/example of the paper.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gts_bench::{fig2, medical};
+use gts_core::prelude::*;
+use std::hint::black_box;
+
+fn bench_fig1_medical(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1_medical");
+    g.sample_size(10);
+    // Transformation application on a sampled conforming graph.
+    let m = medical();
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(1);
+    let graph = random_conforming_graph(&m.s0, 30, 5, &mut rng).unwrap();
+    g.bench_function("apply_t0", |b| b.iter(|| black_box(m.t0.apply(&graph))));
+    g.bench_function("type_check_t0_s1", |b| {
+        b.iter(|| {
+            let mut m = medical();
+            black_box(
+                gts_core::type_check(&m.t0, &m.s0, &m.s1, &mut m.vocab, &Default::default())
+                    .unwrap(),
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_ex45_containment(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ex45_containment");
+    g.sample_size(10);
+    g.bench_function("vaccine_targets_entailment", |b| {
+        b.iter(|| {
+            let mut m = medical();
+            let vaccine = m.vocab.find_node_label("Vaccine").unwrap();
+            let dt = m.vocab.find_edge_label("designTarget").unwrap();
+            let cr = m.vocab.find_edge_label("crossReacting").unwrap();
+            let qv = Uc2rpq::single(C2rpq::new(
+                1,
+                vec![Var(0)],
+                vec![Atom { x: Var(0), y: Var(0), regex: Regex::node(vaccine) }],
+            ));
+            let qt = Uc2rpq::single(C2rpq::new(
+                2,
+                vec![Var(0)],
+                vec![Atom {
+                    x: Var(0),
+                    y: Var(1),
+                    regex: Regex::edge(dt).then(Regex::edge(cr).star()),
+                }],
+            ));
+            black_box(contains(&qv, &qt, &m.s0, &mut m.vocab, &Default::default()).unwrap())
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig2_finite_vs_unrestricted(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2_finite_vs_unrestricted");
+    g.sample_size(10);
+    g.bench_function("with_functionality_holds", |b| {
+        b.iter(|| {
+            let mut f = fig2();
+            black_box(contains(&f.p, &f.q, &f.schema, &mut f.vocab, &Default::default()).unwrap())
+        })
+    });
+    g.bench_function("without_functionality_fails", |b| {
+        b.iter(|| {
+            let mut f = fig2();
+            black_box(contains(&f.p, &f.q, &f.loose, &mut f.vocab, &Default::default()).unwrap())
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig5_rollup(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_rollup");
+    g.bench_function("rollup_example_c1", |b| {
+        b.iter(|| {
+            let mut vocab = Vocab::new();
+            let a_e = vocab.edge_label("a");
+            let b_e = vocab.edge_label("b");
+            let c_e = vocab.edge_label("c");
+            let la = vocab.node_label("A");
+            let q0 = Uc2rpq::single(C2rpq::new(
+                4,
+                vec![],
+                vec![
+                    Atom {
+                        x: Var(2),
+                        y: Var(1),
+                        regex: Regex::edge(a_e).then(Regex::edge(b_e).star()).then(Regex::edge(c_e)),
+                    },
+                    Atom { x: Var(1), y: Var(1), regex: Regex::node(la) },
+                    Atom { x: Var(3), y: Var(1), regex: Regex::Epsilon },
+                    Atom { x: Var(1), y: Var(0), regex: Regex::sym(EdgeSym::bwd(a_e)) },
+                ],
+            ));
+            black_box(gts_containment::rollup_negation(&q0, &mut vocab).unwrap())
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig8_reduction(c: &mut Criterion) {
+    use gts_hardness::{machines, reduce};
+    let mut g = c.benchmark_group("fig8_reduction");
+    for space in [4usize, 6, 8] {
+        g.bench_function(format!("reduce_space_{space}"), |b| {
+            let m = machines::universal_both_checks();
+            b.iter(|| {
+                let mut vocab = Vocab::new();
+                black_box(reduce(&m, &[machines::BIT1], space, &mut vocab))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_thm42_elicitation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("thm42_analyses");
+    g.sample_size(10);
+    g.bench_function("elicit_medical", |b| {
+        b.iter(|| {
+            let mut m = medical();
+            black_box(gts_core::elicit_schema(&m.t0, &m.s0, &mut m.vocab, &Default::default()))
+        })
+    });
+    g.bench_function("equivalence_medical_reflexive", |b| {
+        b.iter(|| {
+            let mut m = medical();
+            black_box(gts_core::equivalence(&m.t0, &m.t0, &m.s0, &mut m.vocab, &Default::default()))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_fig1_medical,
+    bench_ex45_containment,
+    bench_fig2_finite_vs_unrestricted,
+    bench_fig5_rollup,
+    bench_fig8_reduction,
+    bench_thm42_elicitation,
+);
+criterion_main!(figures);

@@ -1,0 +1,97 @@
+//! Scaling studies: how the decision procedures behave as schemas,
+//! queries, and graphs grow (the paper's EXPTIME bounds are worst-case;
+//! these benches show practical behavior on structured instances).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gts_bench::{chain_instance, chain_schema};
+use gts_core::prelude::*;
+use std::hint::black_box;
+
+fn bench_containment_vs_schema_size(c: &mut Criterion) {
+    let mut g = c.benchmark_group("containment_vs_schema_size");
+    g.sample_size(10);
+    for n in [3usize, 4, 5, 6] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut vocab = Vocab::new();
+                let (schema, p, q) = chain_instance(n, 1, &mut vocab);
+                black_box(contains(&p, &q, &schema, &mut vocab, &Default::default()).unwrap())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_evaluation_vs_graph_size(c: &mut Criterion) {
+    let mut g = c.benchmark_group("evaluation_vs_graph_size");
+    for size in [10usize, 50, 200] {
+        let mut vocab = Vocab::new();
+        let schema = chain_schema(4, &mut vocab);
+        let l0 = vocab.node_label("L0");
+        let next = vocab.edge_label("next");
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(7);
+        let graph = random_conforming_graph(&schema, size, 5, &mut rng).unwrap();
+        let q = C2rpq::new(
+            2,
+            vec![Var(0), Var(1)],
+            vec![Atom {
+                x: Var(0),
+                y: Var(1),
+                regex: Regex::node(l0).then(Regex::edge(next).star()),
+            }],
+        );
+        g.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            b.iter(|| black_box(q.eval(&graph)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_apply_vs_graph_size(c: &mut Criterion) {
+    let mut g = c.benchmark_group("apply_vs_graph_size");
+    let m = gts_bench::medical();
+    for size in [10usize, 100, 500] {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(3);
+        let graph = random_conforming_graph(&m.s0, size, 5, &mut rng).unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            b.iter(|| black_box(m.t0.apply(&graph)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_sat_engine_vs_regex_size(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sat_vs_regex_size");
+    g.sample_size(10);
+    for k in [2usize, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                let mut vocab = Vocab::new();
+                let a = vocab.node_label("A");
+                let r = vocab.edge_label("r");
+                let mut schema = Schema::new();
+                schema.set_edge(a, r, a, Mult::Star, Mult::Star);
+                let q = Uc2rpq::single(C2rpq::new(
+                    2,
+                    vec![Var(0), Var(1)],
+                    vec![Atom {
+                        x: Var(0),
+                        y: Var(1),
+                        regex: Regex::concat_all((0..k).map(|_| Regex::edge(r))),
+                    }],
+                ));
+                black_box(contains(&q, &q.clone(), &schema, &mut vocab, &Default::default()))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    scaling,
+    bench_containment_vs_schema_size,
+    bench_evaluation_vs_graph_size,
+    bench_apply_vs_graph_size,
+    bench_sat_engine_vs_regex_size,
+);
+criterion_main!(scaling);

@@ -1,0 +1,166 @@
+//! # gts-bench
+//!
+//! Shared fixtures for the benchmark harness: the paper's figures and
+//! examples as reusable workloads, plus scaling-workload generators. The
+//! `paper_figures` binary regenerates every figure/example experiment (see
+//! EXPERIMENTS.md); the Criterion benches measure them.
+
+#![warn(missing_docs)]
+
+use gts_core::prelude::*;
+
+/// The medical fixture of Figure 1: vocabulary, schemas `S0`/`S1`, and the
+/// transformation `T0` of Example 4.1.
+pub struct MedicalFixture {
+    /// Vocabulary holding all labels.
+    pub vocab: Vocab,
+    /// Source schema.
+    pub s0: Schema,
+    /// Evolved target schema.
+    pub s1: Schema,
+    /// The migration transformation.
+    pub t0: Transformation,
+}
+
+/// Builds the medical fixture.
+pub fn medical() -> MedicalFixture {
+    let mut vocab = Vocab::new();
+    let t0 = medical_transformation(&mut vocab);
+    let vaccine = vocab.node_label("Vaccine");
+    let antigen = vocab.node_label("Antigen");
+    let pathogen = vocab.node_label("Pathogen");
+    let dt = vocab.edge_label("designTarget");
+    let cr = vocab.edge_label("crossReacting");
+    let ex = vocab.edge_label("exhibits");
+    let targets = vocab.edge_label("targets");
+    let mut s0 = Schema::new();
+    s0.set_edge(vaccine, dt, antigen, Mult::One, Mult::Star);
+    s0.set_edge(antigen, cr, antigen, Mult::Star, Mult::Star);
+    s0.set_edge(pathogen, ex, antigen, Mult::Plus, Mult::Star);
+    let mut s1 = Schema::new();
+    s1.set_edge(vaccine, dt, antigen, Mult::One, Mult::Star);
+    s1.set_edge(vaccine, targets, antigen, Mult::Plus, Mult::Star);
+    s1.set_edge(pathogen, ex, antigen, Mult::Plus, Mult::Star);
+    MedicalFixture { vocab, s0, s1, t0 }
+}
+
+/// The Figure 2 fixture: schema `S`, queries `P` and `Q` of Example 5.2,
+/// plus the loosened schema where containment fails.
+pub struct Fig2Fixture {
+    /// Vocabulary.
+    pub vocab: Vocab,
+    /// The schema with the incoming-`s` functionality.
+    pub schema: Schema,
+    /// The loosened schema (functionality dropped).
+    pub loose: Schema,
+    /// `P = ∃x. r(x,x)`.
+    pub p: Uc2rpq,
+    /// `Q = ∃x,y. (r·s⁺·r)(x,y)`.
+    pub q: Uc2rpq,
+}
+
+/// Builds the Figure 2 fixture.
+pub fn fig2() -> Fig2Fixture {
+    let mut vocab = Vocab::new();
+    let a = vocab.node_label("A");
+    let s_edge = vocab.edge_label("s");
+    let r_edge = vocab.edge_label("r");
+    let mut schema = Schema::new();
+    schema.set_edge(a, s_edge, a, Mult::Plus, Mult::Opt);
+    schema.set_edge(a, r_edge, a, Mult::Star, Mult::Star);
+    let mut loose = Schema::new();
+    loose.set_edge(a, s_edge, a, Mult::Plus, Mult::Star);
+    loose.set_edge(a, r_edge, a, Mult::Star, Mult::Star);
+    let p = Uc2rpq::single(C2rpq::new(
+        1,
+        vec![],
+        vec![Atom { x: Var(0), y: Var(0), regex: Regex::edge(r_edge) }],
+    ));
+    let splus = Regex::edge(s_edge).then(Regex::edge(s_edge).star());
+    let q = Uc2rpq::single(C2rpq::new(
+        2,
+        vec![],
+        vec![Atom {
+            x: Var(0),
+            y: Var(1),
+            regex: Regex::edge(r_edge).then(splus).then(Regex::edge(r_edge)),
+        }],
+    ));
+    Fig2Fixture { vocab, schema, loose, p, q }
+}
+
+/// A scalable chain schema with `n` labels `L0 → L1 → … → L(n-1)` (one
+/// mandatory edge each) used for scaling studies of the decision
+/// procedures.
+pub fn chain_schema(n: usize, vocab: &mut Vocab) -> Schema {
+    let labels: Vec<NodeLabel> = (0..n).map(|i| vocab.node_label(&format!("L{i}"))).collect();
+    let next = vocab.edge_label("next");
+    let mut s = Schema::new();
+    for i in 0..n.saturating_sub(1) {
+        s.set_edge(labels[i], next, labels[i + 1], Mult::One, Mult::Star);
+    }
+    if let Some(&last) = labels.last() {
+        s.add_node_label(last);
+    }
+    s
+}
+
+/// A containment instance over [`chain_schema`]: does a `k`-step `next`
+/// path from `L0` end in a node with an outgoing `next` edge? (Holds iff
+/// `k + 1 < n`.)
+pub fn chain_instance(n: usize, k: usize, vocab: &mut Vocab) -> (Schema, Uc2rpq, Uc2rpq) {
+    let schema = chain_schema(n, vocab);
+    let l0 = vocab.node_label("L0");
+    let next = vocab.edge_label("next");
+    let steps = Regex::concat_all((0..k).map(|_| Regex::edge(next)));
+    let p = Uc2rpq::single(C2rpq::new(
+        2,
+        vec![Var(0)],
+        vec![Atom {
+            x: Var(0),
+            y: Var(1),
+            regex: Regex::node(l0).then(steps),
+        }],
+    ));
+    let q = Uc2rpq::single(C2rpq::new(
+        3,
+        vec![Var(0)],
+        vec![Atom {
+            x: Var(0),
+            y: Var(1),
+            regex: Regex::node(l0).then(Regex::concat_all((0..k + 1).map(|_| Regex::edge(next)))),
+        }],
+    ));
+    (schema, p, q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_well_formed() {
+        let m = medical();
+        assert!(m.t0.validate().is_ok());
+        let f = fig2();
+        assert!(f.q.is_acyclic());
+        let mut v = Vocab::new();
+        let (s, p, q) = chain_instance(4, 1, &mut v);
+        assert!(!s.node_labels().is_empty());
+        assert!(p.is_acyclic() && q.is_acyclic());
+    }
+
+    #[test]
+    fn chain_instance_containment_semantics() {
+        // k+1 < n → every k-step endpoint still has an outgoing edge.
+        let opts = ContainmentOptions::default();
+        let mut v = Vocab::new();
+        let (s, p, q) = chain_instance(4, 1, &mut v);
+        let ans = contains(&p, &q, &s, &mut v, &opts).unwrap();
+        assert!(ans.holds && ans.certified);
+        let mut v2 = Vocab::new();
+        let (s2, p2, q2) = chain_instance(4, 3, &mut v2);
+        let ans2 = contains(&p2, &q2, &s2, &mut v2, &opts).unwrap();
+        assert!(!ans2.holds);
+    }
+}

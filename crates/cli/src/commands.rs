@@ -1,0 +1,286 @@
+//! Command driver shared by the `gts` binary and the integration tests.
+//!
+//! ```text
+//! gts show      FILE                                  parse + pretty-print
+//! gts check     FILE --transform T --source S --target S'
+//! gts equiv     FILE --t1 T1 --t2 T2 --source S
+//! gts elicit    FILE --transform T --source S
+//! gts apply     FILE --transform T --graph G [--dot]
+//! gts conform   FILE --graph G --schema S
+//! gts contains  FILE --p Q1 --q Q2 --schema S
+//! ```
+//!
+//! Exit codes: `0` = success / property holds, `1` = property fails /
+//! conformance violation, `2` = usage or analysis error.
+
+use crate::parse::GtsFile;
+use crate::print;
+use gts_core::containment::{contains_nre, ContainmentOptions};
+use gts_core::{elicit_schema, equivalence, type_check};
+use std::collections::HashMap;
+
+/// Outcome of one command: exit code plus the text to print.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Outcome {
+    /// Process exit code (see module docs).
+    pub code: i32,
+    /// Human-readable report.
+    pub output: String,
+}
+
+fn usage() -> String {
+    "usage: gts <command> <file.gts> [options]\n\
+     commands:\n\
+     \x20 show      FILE                                   parse and pretty-print\n\
+     \x20 check     FILE --transform T --source S --target S'   type checking (Lemma B.2)\n\
+     \x20 equiv     FILE --t1 T1 --t2 T2 --source S        equivalence (Lemma B.8)\n\
+     \x20 elicit    FILE --transform T --source S          schema elicitation (Lemma B.5)\n\
+     \x20 apply     FILE --transform T --graph G [--dot]   run the transformation\n\
+     \x20 conform   FILE --graph G --schema S              conformance check\n\
+     \x20 contains  FILE --p Q1 --q Q2 --schema S          query containment (Thm 5.1)\n\
+     \x20 safety    FILE --transform T --source S --literals L1,L2   literal safety (§7)\n"
+        .into()
+}
+
+fn parse_flags(args: &[String]) -> Result<(HashMap<String, String>, Vec<String>), String> {
+    let mut flags = HashMap::new();
+    let mut positional = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if let Some(name) = a.strip_prefix("--") {
+            if name == "dot" {
+                flags.insert("dot".to_owned(), "true".to_owned());
+                i += 1;
+            } else {
+                let val = args
+                    .get(i + 1)
+                    .ok_or_else(|| format!("flag --{name} needs a value"))?;
+                flags.insert(name.to_owned(), val.clone());
+                i += 2;
+            }
+        } else {
+            positional.push(a.clone());
+            i += 1;
+        }
+    }
+    Ok((flags, positional))
+}
+
+fn need<'a>(flags: &'a HashMap<String, String>, name: &str) -> Result<&'a str, String> {
+    flags
+        .get(name)
+        .map(|s| s.as_str())
+        .ok_or_else(|| format!("missing required flag --{name}"))
+}
+
+/// Runs a command line (without the leading program name) against `read`,
+/// a file-content provider (the binary passes `std::fs::read_to_string`;
+/// tests pass in-memory sources).
+pub fn run(args: &[String], read: &dyn Fn(&str) -> Result<String, String>) -> Outcome {
+    match run_inner(args, read) {
+        Ok(o) => o,
+        Err(msg) => Outcome { code: 2, output: format!("error: {msg}\n\n{}", usage()) },
+    }
+}
+
+fn run_inner(
+    args: &[String],
+    read: &dyn Fn(&str) -> Result<String, String>,
+) -> Result<Outcome, String> {
+    let (flags, positional) = parse_flags(args)?;
+    let (cmd, path) = match positional.as_slice() {
+        [c, p] => (c.as_str(), p.as_str()),
+        _ => return Err("expected `gts <command> <file.gts>`".into()),
+    };
+    let src = read(path)?;
+    let mut file = GtsFile::parse(&src).map_err(|e| format!("{path}:{e}"))?;
+    let opts = ContainmentOptions::default();
+
+    let lookup_schema = |file: &GtsFile, name: &str| -> Result<gts_core::schema::Schema, String> {
+        file.schema(name)
+            .cloned()
+            .ok_or_else(|| format!("no schema named `{name}` in {path}"))
+    };
+    let lookup_transform =
+        |file: &GtsFile, name: &str| -> Result<gts_core::Transformation, String> {
+            file.transform(name)
+                .cloned()
+                .ok_or_else(|| format!("no transform named `{name}` in {path}"))
+        };
+
+    match cmd {
+        "show" => Ok(Outcome { code: 0, output: print::render_file(&file) }),
+        "check" => {
+            let t = lookup_transform(&file, need(&flags, "transform")?)?;
+            let s = lookup_schema(&file, need(&flags, "source")?)?;
+            let s2 = lookup_schema(&file, need(&flags, "target")?)?;
+            let d = type_check(&t, &s, &s2, &mut file.vocab, &opts)
+                .map_err(|e| format!("type checking failed: {e:?}"))?;
+            let mut o = verdict_outcome("type check", d.holds, d.certified);
+            if !d.holds {
+                let mut rng = seeded_rng();
+                if let Some(cex) =
+                    gts_core::type_check_counterexample(&t, &s, &s2, 100, 2, &mut rng)
+                {
+                    o.output.push_str("# a conforming input whose image violates the target:\n");
+                    o.output.push_str(&print::raw_graph_block(
+                        "Counterexample_input",
+                        &cex.input,
+                        &file.vocab,
+                    ));
+                }
+            }
+            Ok(o)
+        }
+        "equiv" => {
+            let t1 = lookup_transform(&file, need(&flags, "t1")?)?;
+            let t2 = lookup_transform(&file, need(&flags, "t2")?)?;
+            let s = lookup_schema(&file, need(&flags, "source")?)?;
+            let d = equivalence(&t1, &t2, &s, &mut file.vocab, &opts)
+                .map_err(|e| format!("equivalence check failed: {e:?}"))?;
+            let mut o = verdict_outcome("equivalence", d.holds, d.certified);
+            if !d.holds {
+                let mut rng = seeded_rng();
+                if let Some(cex) =
+                    gts_core::equivalence_counterexample(&t1, &t2, &s, 200, 2, &mut rng)
+                {
+                    o.output.push_str("# an input on which the transformations differ:\n");
+                    o.output.push_str(&print::raw_graph_block(
+                        "Counterexample_input",
+                        &cex.input,
+                        &file.vocab,
+                    ));
+                }
+            }
+            Ok(o)
+        }
+        "elicit" => {
+            let t = lookup_transform(&file, need(&flags, "transform")?)?;
+            let s = lookup_schema(&file, need(&flags, "source")?)?;
+            let e = elicit_schema(&t, &s, &mut file.vocab, &opts)
+                .map_err(|e| format!("elicitation failed: {e:?}"))?;
+            let mut out = print::schema_block("Elicited", &e.schema, &file.vocab);
+            if !e.certified {
+                out.push_str("# warning: some entailment tests were uncertified\n");
+            }
+            Ok(Outcome { code: 0, output: out })
+        }
+        "apply" => {
+            let t = lookup_transform(&file, need(&flags, "transform")?)?;
+            let g = file
+                .graph(need(&flags, "graph")?)
+                .ok_or_else(|| format!("no graph named `{}` in {path}", flags["graph"]))?;
+            let out_graph = t.apply(&g.graph);
+            let rendered = if flags.contains_key("dot") {
+                out_graph.to_dot(&file.vocab)
+            } else {
+                print::raw_graph_block("Output", &out_graph, &file.vocab)
+            };
+            Ok(Outcome { code: 0, output: rendered })
+        }
+        "conform" => {
+            let s = lookup_schema(&file, need(&flags, "schema")?)?;
+            let g = file
+                .graph(need(&flags, "graph")?)
+                .ok_or_else(|| format!("no graph named `{}` in {path}", flags["graph"]))?;
+            match s.conforms(&g.graph) {
+                Ok(()) => Ok(Outcome { code: 0, output: "conforms\n".into() }),
+                Err(v) => Ok(Outcome { code: 1, output: format!("violation: {v:?}\n") }),
+            }
+        }
+        "contains" => {
+            let p = file
+                .query(need(&flags, "p")?)
+                .cloned()
+                .ok_or_else(|| format!("no query named `{}` in {path}", flags["p"]))?;
+            let q = file
+                .query(need(&flags, "q")?)
+                .cloned()
+                .ok_or_else(|| format!("no query named `{}` in {path}", flags["q"]))?;
+            let s = lookup_schema(&file, need(&flags, "schema")?)?;
+            let ans = contains_nre(&p, &q, &s, &mut file.vocab, &opts)
+                .map_err(|e| format!("containment failed: {e:?}"))?;
+            let mut o = verdict_outcome("containment", ans.holds, ans.certified);
+            if !ans.holds {
+                // Prefer a verified finite counterexample; fall back to the
+                // engine's (unverified) model core.
+                let mut rng = seeded_rng();
+                match gts_core::containment::finite_counterexample_nre(
+                    &p,
+                    &q,
+                    &s,
+                    &mut file.vocab,
+                    &opts,
+                    &Default::default(),
+                    &mut rng,
+                ) {
+                    Ok(Some(cex)) => {
+                        o.output.push_str(
+                            "# a conforming graph where P answers and Q does not:\n",
+                        );
+                        o.output.push_str(&print::raw_graph_block(
+                            "Counterexample",
+                            &cex.graph,
+                            &file.vocab,
+                        ));
+                        if !cex.tuple.is_empty() {
+                            let t: Vec<String> =
+                                cex.tuple.iter().map(|n| format!("n{}", n.0)).collect();
+                            o.output
+                                .push_str(&format!("# witness tuple: ({})\n", t.join(", ")));
+                        }
+                    }
+                    _ => {
+                        if let Some(w) = ans.witness {
+                            o.output.push_str(&print::raw_graph_block(
+                                "Counterexample_core",
+                                &w,
+                                &file.vocab,
+                            ));
+                        }
+                    }
+                }
+            }
+            Ok(o)
+        }
+        "safety" => {
+            let t = lookup_transform(&file, need(&flags, "transform")?)?;
+            let s = lookup_schema(&file, need(&flags, "source")?)?;
+            let mut literals = gts_core::graph::LabelSet::new();
+            for name in need(&flags, "literals")?.split(',') {
+                let l = file
+                    .vocab
+                    .find_node_label(name.trim())
+                    .ok_or_else(|| format!("unknown node label `{name}`"))?;
+                literals.insert(l.0);
+            }
+            let report =
+                gts_core::check_literal_safety(&t, &s, &literals, &mut file.vocab, &opts)
+                    .map_err(|e| format!("literal safety check failed: {e:?}"))?;
+            let d = report.decision();
+            let mut o = verdict_outcome("literal safety", d.holds, d.certified);
+            for v in &report.violations {
+                o.output.push_str(&format!("  violation: {v:?}\n"));
+            }
+            Ok(o)
+        }
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+/// Deterministic RNG so CLI runs are reproducible.
+fn seeded_rng() -> rand::rngs::StdRng {
+    use rand::SeedableRng;
+    rand::rngs::StdRng::seed_from_u64(0x6774735f636c69)
+}
+
+fn verdict_outcome(what: &str, holds: bool, certified: bool) -> Outcome {
+    let verdict = if holds { "HOLDS" } else { "FAILS" };
+    let cert = if certified { "certified" } else { "uncertified — raise budgets" };
+    Outcome {
+        code: i32::from(!holds),
+        output: format!("{what}: {verdict} ({cert})\n"),
+    }
+}
+

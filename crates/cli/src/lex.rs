@@ -1,0 +1,374 @@
+//! Lexer for the `.gts` text format.
+//!
+//! Comments run from `#` or `//` to the end of the line. Identifiers are
+//! ASCII `[A-Za-z_][A-Za-z0-9_]*`. The two-character tokens `->`, `<-`,
+//! and `^-` are lexed greedily; `⁻` (superscript minus) is accepted as a
+//! synonym for `^-`.
+
+use std::fmt;
+
+/// A token with its source position (1-based line and column).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// The token kind/payload.
+    pub kind: Tok,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+/// Token kinds of the `.gts` format.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// A small nonnegative integer (multiplicities `0`/`1`).
+    Number(u32),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `<` (opens a nesting test in regexes)
+    LAngle,
+    /// `>`
+    RAngle,
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// `.` (regex concatenation)
+    Dot,
+    /// `|` (regex alternation)
+    Pipe,
+    /// `*`
+    Star,
+    /// `+`
+    Plus,
+    /// `?`
+    Question,
+    /// `->`
+    Arrow,
+    /// `<-`
+    LArrow,
+    /// `-`
+    Minus,
+    /// `^-` or `⁻` (inverse)
+    Inv,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "identifier `{s}`"),
+            Tok::Number(n) => write!(f, "number `{n}`"),
+            Tok::LBrace => write!(f, "`{{`"),
+            Tok::RBrace => write!(f, "`}}`"),
+            Tok::LParen => write!(f, "`(`"),
+            Tok::RParen => write!(f, "`)`"),
+            Tok::LBracket => write!(f, "`[`"),
+            Tok::RBracket => write!(f, "`]`"),
+            Tok::LAngle => write!(f, "`<`"),
+            Tok::RAngle => write!(f, "`>`"),
+            Tok::Comma => write!(f, "`,`"),
+            Tok::Colon => write!(f, "`:`"),
+            Tok::Dot => write!(f, "`.`"),
+            Tok::Pipe => write!(f, "`|`"),
+            Tok::Star => write!(f, "`*`"),
+            Tok::Plus => write!(f, "`+`"),
+            Tok::Question => write!(f, "`?`"),
+            Tok::Arrow => write!(f, "`->`"),
+            Tok::LArrow => write!(f, "`<-`"),
+            Tok::Minus => write!(f, "`-`"),
+            Tok::Inv => write!(f, "`^-`"),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A lexing or parsing error with a source position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line of the offending token.
+    pub line: u32,
+    /// 1-based column of the offending token.
+    pub col: u32,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Lexes `src` into tokens (with a trailing [`Tok::Eof`]).
+pub fn lex(src: &str) -> Result<Vec<Token>, ParseError> {
+    let mut toks = Vec::new();
+    let mut line: u32 = 1;
+    let mut col: u32 = 1;
+    let mut chars = src.chars().peekable();
+
+    macro_rules! push {
+        ($kind:expr, $len:expr) => {{
+            toks.push(Token { kind: $kind, line, col });
+            col += $len;
+        }};
+    }
+
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                chars.next();
+                line += 1;
+                col = 1;
+            }
+            ' ' | '\t' | '\r' => {
+                chars.next();
+                col += 1;
+            }
+            '#' => {
+                while let Some(&c) = chars.peek() {
+                    if c == '\n' {
+                        break;
+                    }
+                    chars.next();
+                }
+            }
+            '/' => {
+                chars.next();
+                if chars.peek() == Some(&'/') {
+                    while let Some(&c) = chars.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        chars.next();
+                    }
+                } else {
+                    return Err(ParseError {
+                        line,
+                        col,
+                        msg: "unexpected `/` (comments are `//` or `#`)".into(),
+                    });
+                }
+            }
+            '{' => {
+                chars.next();
+                push!(Tok::LBrace, 1);
+            }
+            '}' => {
+                chars.next();
+                push!(Tok::RBrace, 1);
+            }
+            '(' => {
+                chars.next();
+                push!(Tok::LParen, 1);
+            }
+            ')' => {
+                chars.next();
+                push!(Tok::RParen, 1);
+            }
+            '[' => {
+                chars.next();
+                push!(Tok::LBracket, 1);
+            }
+            ']' => {
+                chars.next();
+                push!(Tok::RBracket, 1);
+            }
+            ',' => {
+                chars.next();
+                push!(Tok::Comma, 1);
+            }
+            ':' => {
+                chars.next();
+                push!(Tok::Colon, 1);
+            }
+            '.' => {
+                chars.next();
+                push!(Tok::Dot, 1);
+            }
+            '|' => {
+                chars.next();
+                push!(Tok::Pipe, 1);
+            }
+            '*' => {
+                chars.next();
+                push!(Tok::Star, 1);
+            }
+            '+' => {
+                chars.next();
+                push!(Tok::Plus, 1);
+            }
+            '?' => {
+                chars.next();
+                push!(Tok::Question, 1);
+            }
+            '⁻' => {
+                chars.next();
+                push!(Tok::Inv, 1);
+            }
+            '^' => {
+                chars.next();
+                if chars.peek() == Some(&'-') {
+                    chars.next();
+                    push!(Tok::Inv, 2);
+                } else {
+                    return Err(ParseError { line, col, msg: "expected `^-`".into() });
+                }
+            }
+            '-' => {
+                chars.next();
+                if chars.peek() == Some(&'>') {
+                    chars.next();
+                    push!(Tok::Arrow, 2);
+                } else {
+                    push!(Tok::Minus, 1);
+                }
+            }
+            '<' => {
+                chars.next();
+                if chars.peek() == Some(&'-') {
+                    chars.next();
+                    push!(Tok::LArrow, 2);
+                } else {
+                    push!(Tok::LAngle, 1);
+                }
+            }
+            '>' => {
+                chars.next();
+                push!(Tok::RAngle, 1);
+            }
+            c if c.is_ascii_digit() => {
+                let mut n: u32 = 0;
+                let mut len = 0u32;
+                while let Some(&d) = chars.peek() {
+                    if let Some(v) = d.to_digit(10) {
+                        n = n.saturating_mul(10).saturating_add(v);
+                        chars.next();
+                        len += 1;
+                    } else {
+                        break;
+                    }
+                }
+                push!(Tok::Number(n), len);
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_alphanumeric() || d == '_' {
+                        s.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let len = s.len() as u32;
+                push!(Tok::Ident(s), len);
+            }
+            other => {
+                return Err(ParseError {
+                    line,
+                    col,
+                    msg: format!("unexpected character `{other}`"),
+                });
+            }
+        }
+    }
+    toks.push(Token { kind: Tok::Eof, line, col });
+    Ok(toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_edge_declaration() {
+        assert_eq!(
+            kinds("edge A -r-> B [1, *]"),
+            vec![
+                Tok::Ident("edge".into()),
+                Tok::Ident("A".into()),
+                Tok::Minus,
+                Tok::Ident("r".into()),
+                Tok::Arrow,
+                Tok::Ident("B".into()),
+                Tok::LBracket,
+                Tok::Number(1),
+                Tok::Comma,
+                Tok::Star,
+                Tok::RBracket,
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_rule_arrow_and_nest() {
+        assert_eq!(
+            kinds("A(f(x)) <- (<r>)(x)"),
+            vec![
+                Tok::Ident("A".into()),
+                Tok::LParen,
+                Tok::Ident("f".into()),
+                Tok::LParen,
+                Tok::Ident("x".into()),
+                Tok::RParen,
+                Tok::RParen,
+                Tok::LArrow,
+                Tok::LParen,
+                Tok::LAngle,
+                Tok::Ident("r".into()),
+                Tok::RAngle,
+                Tok::RParen,
+                Tok::LParen,
+                Tok::Ident("x".into()),
+                Tok::RParen,
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_inverse_forms() {
+        assert_eq!(kinds("r^- s⁻"), vec![
+            Tok::Ident("r".into()),
+            Tok::Inv,
+            Tok::Ident("s".into()),
+            Tok::Inv,
+            Tok::Eof,
+        ]);
+    }
+
+    #[test]
+    fn comments_and_positions() {
+        let toks = lex("# header\nnode A // trailing\nnode B").unwrap();
+        assert_eq!(toks[0].line, 2);
+        assert_eq!(toks[2].line, 3);
+        assert_eq!(toks[2].col, 1);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(lex("schema $").is_err());
+        assert!(lex("a ^ b").is_err());
+    }
+}

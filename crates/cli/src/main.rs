@@ -1,0 +1,11 @@
+//! The `gts` command-line interface. See `gts --help` / the crate docs.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let read = |path: &str| -> Result<String, String> {
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+    };
+    let outcome = gts_cli::run(&args, &read);
+    print!("{}", outcome.output);
+    std::process::exit(outcome.code);
+}

@@ -1,0 +1,255 @@
+//! Canonical pretty-printer for the `.gts` format: everything printed here
+//! re-parses to the same structures (the round-trip property is tested in
+//! the crate tests).
+
+use gts_core::graph::{EdgeSym, Graph, Vocab};
+use gts_core::query::{AtomSym, C2rpq, Nre, NreC2rpq, Var};
+use gts_core::schema::{Mult, Schema};
+use gts_core::{Rule, Transformation};
+
+use crate::parse::{GtsFile, NamedGraph};
+
+/// Renders a multiplicity in source syntax.
+pub fn mult_str(m: Mult) -> &'static str {
+    match m {
+        Mult::Zero => "0",
+        Mult::One => "1",
+        Mult::Opt => "?",
+        Mult::Plus => "+",
+        Mult::Star => "*",
+    }
+}
+
+fn sym_str(s: EdgeSym, vocab: &Vocab) -> String {
+    let base = vocab.edge_name(s.label);
+    if s.inverse {
+        format!("{base}^-")
+    } else {
+        base.to_owned()
+    }
+}
+
+/// Precedence levels: alternation 1 < concatenation 2 < postfix 3.
+fn nre_prec(re: &Nre) -> u8 {
+    match re {
+        Nre::Alt(..) => 1,
+        Nre::Concat(..) => 2,
+        _ => 3,
+    }
+}
+
+fn nre_str_prec(re: &Nre, vocab: &Vocab, min: u8) -> String {
+    let prec = nre_prec(re);
+    let body = match re {
+        Nre::Empty => "empty".to_owned(),
+        Nre::Epsilon => "eps".to_owned(),
+        Nre::Sym(AtomSym::Node(a)) => vocab.node_name(*a).to_owned(),
+        Nre::Sym(AtomSym::Edge(s)) => sym_str(*s, vocab),
+        Nre::Nest(inner) => format!("<{}>", nre_str_prec(inner, vocab, 1)),
+        Nre::Concat(a, b) => {
+            format!("{} . {}", nre_str_prec(a, vocab, 2), nre_str_prec(b, vocab, 2))
+        }
+        Nre::Alt(a, b) => {
+            format!("{} | {}", nre_str_prec(a, vocab, 1), nre_str_prec(b, vocab, 1))
+        }
+        Nre::Star(a) => format!("{}*", nre_str_prec(a, vocab, 3)),
+    };
+    if prec < min {
+        format!("({body})")
+    } else {
+        body
+    }
+}
+
+/// Renders an NRE in source syntax (minimal parentheses).
+pub fn nre_str(re: &Nre, vocab: &Vocab) -> String {
+    nre_str_prec(re, vocab, 1)
+}
+
+fn var_str(v: Var) -> String {
+    format!("x{}", v.0)
+}
+
+fn atoms_str<'a, I>(atoms: I, vocab: &Vocab) -> String
+where
+    I: IntoIterator<Item = (&'a Nre, Var, Var)>,
+    I::IntoIter: 'a,
+{
+    atoms
+        .into_iter()
+        .map(|(re, x, y)| {
+            if x == y {
+                format!("({})({})", nre_str(re, vocab), var_str(x))
+            } else {
+                format!("({})({}, {})", nre_str(re, vocab), var_str(x), var_str(y))
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Renders a plain C2RPQ body in source syntax.
+pub fn c2rpq_body_str(q: &C2rpq, vocab: &Vocab) -> String {
+    let nres: Vec<(Nre, Var, Var)> =
+        q.atoms.iter().map(|a| ((&a.regex).into(), a.x, a.y)).collect();
+    atoms_str(nres.iter().map(|(n, x, y)| (n, *x, *y)), vocab)
+}
+
+/// Renders an NRE query body in source syntax.
+pub fn nre_body_str(q: &NreC2rpq, vocab: &Vocab) -> String {
+    atoms_str(q.atoms.iter().map(|a| (&a.nre, a.x, a.y)), vocab)
+}
+
+/// Renders a schema block.
+pub fn schema_block(name: &str, s: &Schema, vocab: &Vocab) -> String {
+    let mut out = format!("schema {name} {{\n");
+    for &l in s.node_labels() {
+        out.push_str(&format!("  node {}\n", vocab.node_name(l)));
+    }
+    for &a in s.node_labels() {
+        for &r in s.edge_labels() {
+            for &b in s.node_labels() {
+                let fwd = s.mult(a, EdgeSym::fwd(r), b);
+                let bwd = s.mult(b, EdgeSym::bwd(r), a);
+                if fwd != Mult::Zero || bwd != Mult::Zero {
+                    out.push_str(&format!(
+                        "  edge {} -{}-> {} [{}, {}]\n",
+                        vocab.node_name(a),
+                        vocab.edge_name(r),
+                        vocab.node_name(b),
+                        mult_str(fwd),
+                        mult_str(bwd)
+                    ));
+                }
+            }
+        }
+    }
+    // Edge labels with no allowed placement still belong to Σ_S.
+    for &r in s.edge_labels() {
+        let used = s.node_labels().iter().any(|&a| {
+            s.node_labels().iter().any(|&b| {
+                s.mult(a, EdgeSym::fwd(r), b) != Mult::Zero
+                    || s.mult(b, EdgeSym::bwd(r), a) != Mult::Zero
+            })
+        });
+        if !used {
+            out.push_str(&format!("  edge {}\n", vocab.edge_name(r)));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders a transformation block.
+pub fn transform_block(name: &str, t: &Transformation, vocab: &Vocab) -> String {
+    let mut out = format!("transform {name} {{\n");
+    for rule in &t.rules {
+        match rule {
+            Rule::Node(r) => {
+                let args: Vec<String> = r.body.free.iter().map(|v| var_str(*v)).collect();
+                out.push_str(&format!(
+                    "  {}(f({})) <- {}\n",
+                    vocab.node_name(r.label),
+                    args.join(", "),
+                    c2rpq_body_str(&r.body, vocab)
+                ));
+            }
+            Rule::Edge(r) => {
+                let (xs, ys) = r.body.free.split_at(r.src_arity);
+                let xs: Vec<String> = xs.iter().map(|v| var_str(*v)).collect();
+                let ys: Vec<String> = ys.iter().map(|v| var_str(*v)).collect();
+                out.push_str(&format!(
+                    "  {}({}({}), {}({})) <- {}\n",
+                    vocab.edge_name(r.edge),
+                    vocab.node_name(r.src_label),
+                    xs.join(", "),
+                    vocab.node_name(r.tgt_label),
+                    ys.join(", "),
+                    c2rpq_body_str(&r.body, vocab)
+                ));
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders a graph block using the stored node names.
+pub fn graph_block(name: &str, g: &NamedGraph, vocab: &Vocab) -> String {
+    let mut out = format!("graph {name} {{\n");
+    let name_of = |id| {
+        g.names
+            .iter()
+            .find(|(_, n)| *n == id)
+            .map(|(s, _)| s.clone())
+            .unwrap_or_else(|| format!("n{}", idx(id)))
+    };
+    fn idx(id: gts_core::graph::NodeId) -> u32 {
+        id.0
+    }
+    for &(ref n, id) in &g.names {
+        let labels: Vec<String> = g
+            .graph
+            .labels(id)
+            .iter()
+            .map(|l| vocab.node_name(gts_core::graph::NodeLabel(l)).to_owned())
+            .collect();
+        if labels.is_empty() {
+            out.push_str(&format!("  {n} : _\n"));
+        } else {
+            out.push_str(&format!("  {n} : {}\n", labels.join(" : ")));
+        }
+    }
+    for (src, label, tgt) in g.graph.edges() {
+        out.push_str(&format!(
+            "  {} -{}-> {}\n",
+            name_of(src),
+            vocab.edge_name(label),
+            name_of(tgt)
+        ));
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders a graph without a name table (auto node names `nI`), e.g. for
+/// transformation outputs.
+pub fn raw_graph_block(name: &str, g: &Graph, vocab: &Vocab) -> String {
+    let named = NamedGraph {
+        graph: g.clone(),
+        names: g.nodes().map(|id| (format!("n{}", id.0), id)).collect(),
+    };
+    graph_block(name, &named, vocab)
+}
+
+/// Renders the whole file canonically.
+pub fn render_file(f: &GtsFile) -> String {
+    let mut out = String::new();
+    for (name, s) in &f.schemas {
+        out.push_str(&schema_block(name, s, &f.vocab));
+        out.push('\n');
+    }
+    for (name, t) in &f.transforms {
+        out.push_str(&transform_block(name, t, &f.vocab));
+        out.push('\n');
+    }
+    for (name, g) in &f.graphs {
+        out.push_str(&graph_block(name, g, &f.vocab));
+        out.push('\n');
+    }
+    for (name, u) in &f.queries {
+        for d in &u.disjuncts {
+            let free: Vec<String> = d.free.iter().map(|v| var_str(*v)).collect();
+            out.push_str(&format!(
+                "query {name}({}) {{\n  {}\n}}\n\n",
+                free.join(", "),
+                nre_body_str(d, &f.vocab)
+            ));
+        }
+    }
+    while out.ends_with('\n') {
+        out.pop();
+    }
+    out.push('\n');
+    out
+}

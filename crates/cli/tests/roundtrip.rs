@@ -1,0 +1,197 @@
+//! Property tests of the `.gts` format: canonical rendering is a parse
+//! fixpoint for randomly generated schemas, transformations, graphs, and
+//! (nested) queries.
+
+use gts_cli::{render_file, GtsFile};
+use gts_core::graph::{EdgeLabel, NodeLabel, Vocab};
+use gts_core::query::{Nre, NreAtom, NreC2rpq, NreUc2rpq, Var};
+use gts_core::schema::{random_conforming_graph, random_schema, SchemaGenConfig};
+use gts_core::{random_transformation, TransformGenConfig};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Renders components into a file text through the canonical printer.
+fn render_parts(
+    vocab: &Vocab,
+    schema: Option<&gts_core::schema::Schema>,
+    transform: Option<&gts_core::Transformation>,
+    graph: Option<&gts_core::graph::Graph>,
+) -> String {
+    let mut out = String::new();
+    if let Some(s) = schema {
+        out.push_str(&gts_cli::schema_block("S", s, vocab));
+    }
+    if let Some(t) = transform {
+        out.push_str(&gts_cli::transform_block("T", t, vocab));
+    }
+    if let Some(g) = graph {
+        out.push_str(&gts_cli::raw_graph_block("G", g, vocab));
+    }
+    out
+}
+
+/// `render ∘ parse` is idempotent on its own output.
+fn assert_fixpoint(src: &str) {
+    let f1 = GtsFile::parse(src).unwrap_or_else(|e| panic!("parse failed: {e}\n---\n{src}"));
+    let once = render_file(&f1);
+    let f2 = GtsFile::parse(&once)
+        .unwrap_or_else(|e| panic!("re-parse failed: {e}\n---\n{once}"));
+    let twice = render_file(&f2);
+    assert_eq!(once, twice, "rendering is not a fixpoint\n---\n{src}");
+}
+
+#[test]
+fn random_schemas_round_trip() {
+    for seed in 0..40u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut vocab = Vocab::new();
+        let cfg = SchemaGenConfig {
+            num_node_labels: 1 + (seed as usize % 4),
+            num_edge_labels: 1 + (seed as usize % 3),
+            edge_density: 0.5,
+            allow_lower_bounds: true,
+        };
+        let s = random_schema(&cfg, &mut vocab, &mut rng);
+        assert_fixpoint(&render_parts(&vocab, Some(&s), None, None));
+    }
+}
+
+#[test]
+fn random_transformations_round_trip() {
+    for seed in 0..25u64 {
+        let mut rng = StdRng::seed_from_u64(1000 + seed);
+        let mut vocab = Vocab::new();
+        let cfg = SchemaGenConfig {
+            num_node_labels: 2,
+            num_edge_labels: 2,
+            edge_density: 0.7,
+            allow_lower_bounds: false,
+        };
+        let s = random_schema(&cfg, &mut vocab, &mut rng);
+        let t = random_transformation(&s, &TransformGenConfig::default(), &mut vocab, &mut rng);
+        // The schema must come first so all labels are declared.
+        assert_fixpoint(&render_parts(&vocab, Some(&s), Some(&t), None));
+    }
+}
+
+#[test]
+fn random_graphs_round_trip() {
+    for seed in 0..25u64 {
+        let mut rng = StdRng::seed_from_u64(2000 + seed);
+        let mut vocab = Vocab::new();
+        let cfg = SchemaGenConfig {
+            num_node_labels: 2,
+            num_edge_labels: 2,
+            edge_density: 0.6,
+            allow_lower_bounds: true,
+        };
+        let s = random_schema(&cfg, &mut vocab, &mut rng);
+        if let Some(g) = random_conforming_graph(&s, 3, 3, &mut rng) {
+            let src = render_parts(&vocab, Some(&s), None, Some(&g));
+            assert_fixpoint(&src);
+            // Conformance survives the round trip.
+            let parsed = GtsFile::parse(&src).unwrap();
+            let s2 = parsed.schema("S").unwrap();
+            let g2 = parsed.graph("G").unwrap();
+            assert!(s2.conforms(&g2.graph).is_ok(), "conformance lost in round trip");
+        }
+    }
+}
+
+/// NRE strategy over the fixed vocabulary A/B, r/s.
+fn nre_strategy() -> impl Strategy<Value = Nre> {
+    let leaf = prop_oneof![
+        Just(Nre::Epsilon),
+        Just(Nre::Empty),
+        Just(Nre::node(NodeLabel(0))),
+        Just(Nre::node(NodeLabel(1))),
+        Just(Nre::edge(EdgeLabel(0))),
+        Just(Nre::edge(EdgeLabel(1))),
+        Just(Nre::sym(gts_core::graph::EdgeSym::bwd(EdgeLabel(1)))),
+    ];
+    leaf.prop_recursive(4, 32, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Nre::Concat(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Nre::Alt(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|a| Nre::Star(Box::new(a))),
+            inner.prop_map(|a| Nre::Nest(Box::new(a))),
+        ]
+    })
+}
+
+/// Rebuilds an NRE through the smart constructors in left-associated
+/// form — the normal form both the printer and the parser produce.
+/// Children are normalized first; the rebuilt node is then re-associated
+/// (child normalization can collapse a factor into a new `Alt`/`Concat`,
+/// so flattening must happen on the *rebuilt* tree).
+fn normalize(nre: &Nre) -> Nre {
+    let rebuilt = match nre {
+        Nre::Empty | Nre::Epsilon | Nre::Sym(_) => return nre.clone(),
+        Nre::Nest(a) => return Nre::nest(normalize(a)),
+        Nre::Concat(a, b) => normalize(a).then(normalize(b)),
+        Nre::Alt(a, b) => normalize(a).or(normalize(b)),
+        Nre::Star(a) => return normalize(a).star(),
+    };
+    fn flat_concat(n: &Nre, out: &mut Vec<Nre>) {
+        if let Nre::Concat(a, b) = n {
+            flat_concat(a, out);
+            flat_concat(b, out);
+        } else {
+            out.push(n.clone());
+        }
+    }
+    fn flat_alt(n: &Nre, out: &mut Vec<Nre>) {
+        if let Nre::Alt(a, b) = n {
+            flat_alt(a, out);
+            flat_alt(b, out);
+        } else {
+            out.push(n.clone());
+        }
+    }
+    match &rebuilt {
+        Nre::Concat(..) => {
+            let mut fs = Vec::new();
+            flat_concat(&rebuilt, &mut fs);
+            fs.into_iter().fold(Nre::Epsilon, |acc, f| acc.then(f))
+        }
+        Nre::Alt(..) => {
+            let mut alts = Vec::new();
+            flat_alt(&rebuilt, &mut alts);
+            alts.into_iter().fold(Nre::Empty, |acc, a| acc.or(a))
+        }
+        _ => rebuilt,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Rendered queries (including nests, stars, inverses) re-parse to the
+    /// same NRE structure.
+    #[test]
+    fn nre_queries_round_trip(raw in nre_strategy()) {
+        let nre = normalize(&raw);
+        let mut vocab = Vocab::new();
+        vocab.node_label("A");
+        vocab.node_label("B");
+        vocab.edge_label("r");
+        vocab.edge_label("s");
+        let q = NreUc2rpq::single(NreC2rpq::new(2, vec![Var(0), Var(1)], vec![NreAtom {
+            x: Var(0), y: Var(1), nre: nre.clone(),
+        }]));
+        let src = format!(
+            "node A\nnode B\nedge r\nedge s\nquery Q(x0, x1) {{\n  {}\n}}\n",
+            gts_cli::nre_body_str(&q.disjuncts[0], &vocab)
+        );
+        let parsed = GtsFile::parse(&src)
+            .unwrap_or_else(|e| panic!("parse failed: {e}\n---\n{src}"));
+        let back = parsed.query("Q").unwrap();
+        // Structural equality up to smart-constructor normalization: the
+        // printer emits the already-normalized tree, so it must re-parse
+        // exactly (parsing applies the same smart constructors).
+        prop_assert_eq!(&back.disjuncts[0].atoms[0].nre, &nre);
+    }
+}

@@ -1,0 +1,355 @@
+//! Completion of a Horn TBox by exhaustive finmod-cycle reversal
+//! (Theorem 5.4 [Ibáñez-García et al. 2014], Lemmas D.6/D.7, Lemma 5.7).
+//!
+//! A *finmod cycle* is a sequence `K1, R1, …, K(n-1), R(n-1), Kn = K1`
+//! with `T ⊨ Ki ⊑ ∃Ri.K(i+1)` and `T ⊨ K(i+1) ⊑ ∃≤1 Ri⁻.Ki`; in finite
+//! models such a cycle of successors must close up, so the reversed
+//! inclusions `K(i+1) ⊑ ∃Ri⁻.Ki` and `Ki ⊑ ∃≤1 Ri.K(i+1)` hold in every
+//! finite model. The completion `T*` adds them exhaustively, after which
+//! finite satisfiability modulo `T` coincides with unrestricted
+//! satisfiability modulo `T*` — the bridge that lets the engine reason
+//! over (possibly infinite) sparse models.
+//!
+//! Lemma D.7 ranges over *all* conjunctions of concept names; we instead
+//! maintain a forward-closed universe of *reachable* types (seeded with the
+//! schema labels, closed under requirement children and edge enrichment),
+//! which is where the finmod cycles of the S-driven TBoxes of this
+//! pipeline live (Lemma D.6). The `complete` flag of the result reports
+//! whether any cap was hit; callers must downgrade certification when it
+//! is false.
+
+use crate::entail::EntailCtx;
+use gts_dl::{HornCi, HornTbox};
+use gts_graph::{EdgeSym, FxHashMap, FxHashSet, LabelSet, NodeLabel};
+use gts_sat::Budget;
+
+/// Configuration caps for the completion computation.
+#[derive(Clone, Debug)]
+pub struct CompletionConfig {
+    /// Maximum number of node types in the cycle-search graph.
+    pub max_nodes: usize,
+    /// Maximum number of reversal rounds.
+    pub max_rounds: usize,
+}
+
+impl Default for CompletionConfig {
+    fn default() -> Self {
+        CompletionConfig { max_nodes: 512, max_rounds: 256 }
+    }
+}
+
+/// Result of [`complete`].
+#[derive(Clone, Debug)]
+pub struct Completion {
+    /// The completed TBox `T*` (⊇ the input TBox).
+    pub tbox: HornTbox,
+    /// Number of concept inclusions added by reversals.
+    pub added: usize,
+    /// `false` if a cap or an engine budget was hit — `T*` may then be
+    /// missing reversals and answers derived from it are uncertified.
+    pub complete: bool,
+}
+
+/// Computes the completion `T*` of `tbox`. `schema_labels` seeds the type
+/// universe (Γ_S of the S-driven pipeline); `fresh` are two concept names
+/// unused in the TBox (for the entailment encodings of Corollary E.7).
+pub fn complete(
+    tbox: &HornTbox,
+    schema_labels: &LabelSet,
+    fresh: (NodeLabel, NodeLabel),
+    budget: &Budget,
+    cfg: &CompletionConfig,
+) -> Completion {
+    let mut t = tbox.clone();
+    let mut added = 0usize;
+    let mut complete = true;
+
+    for _round in 0..cfg.max_rounds {
+        let (nodes, universe_complete) = type_universe(&t, schema_labels, cfg.max_nodes);
+        complete &= universe_complete;
+
+        // Edge relation of the cycle-search graph H_T.
+        let ctx = EntailCtx::new(&t, fresh, budget.clone());
+        let roles = t.used_roles();
+        let mut edges: Vec<(usize, EdgeSym, usize)> = Vec::new();
+        for (i, k) in nodes.iter().enumerate() {
+            for &role in &roles {
+                for (j, kp) in nodes.iter().enumerate() {
+                    let fwd = match ctx.entails_exists(k, role, kp) {
+                        Ok(b) => b,
+                        Err(_) => {
+                            complete = false;
+                            false
+                        }
+                    };
+                    if !fwd {
+                        continue;
+                    }
+                    let bwd = match ctx.entails_at_most_one(kp, role.inv(), k) {
+                        Ok(b) => b,
+                        Err(_) => {
+                            complete = false;
+                            false
+                        }
+                    };
+                    if bwd {
+                        edges.push((i, role, j));
+                    }
+                }
+            }
+        }
+
+        // Find a finmod cycle missing its reversal.
+        let edge_set: FxHashSet<(usize, EdgeSym, usize)> = edges.iter().copied().collect();
+        let mut new_cis: Vec<HornCi> = Vec::new();
+        'scan: for &(i, role, j) in &edges {
+            if edge_set.contains(&(j, role.inv(), i)) {
+                continue; // already reversible
+            }
+            // Path j ⇝ i through H_T (empty path allowed when i == j).
+            if let Some(path) = find_path(&edges, nodes.len(), j, i) {
+                let mut cycle: Vec<(usize, EdgeSym, usize)> = vec![(i, role, j)];
+                cycle.extend(path);
+                for (a, r, b) in cycle {
+                    let rev = HornCi::Exists {
+                        lhs: nodes[b].clone(),
+                        role: r.inv(),
+                        rhs: nodes[a].clone(),
+                    };
+                    let cap = HornCi::AtMostOne {
+                        lhs: nodes[a].clone(),
+                        role: r,
+                        rhs: nodes[b].clone(),
+                    };
+                    for ci in [rev, cap] {
+                        if !t.cis.contains(&ci) {
+                            new_cis.push(ci);
+                        }
+                    }
+                }
+                if !new_cis.is_empty() {
+                    break 'scan;
+                }
+            }
+        }
+
+        if new_cis.is_empty() {
+            return Completion { tbox: t, added, complete };
+        }
+        for ci in new_cis {
+            if t.push(ci) {
+                added += 1;
+            }
+        }
+    }
+    Completion { tbox: t, added, complete: false }
+}
+
+/// The forward-closed type universe: closures of schema-label singletons,
+/// closed under requirement children and edge enrichment.
+fn type_universe(t: &HornTbox, schema_labels: &LabelSet, cap: usize) -> (Vec<LabelSet>, bool) {
+    let mut seen: FxHashMap<LabelSet, ()> = FxHashMap::default();
+    let mut nodes: Vec<LabelSet> = Vec::new();
+    let push = |set: Option<LabelSet>, nodes: &mut Vec<LabelSet>, seen: &mut FxHashMap<LabelSet, ()>| {
+        if let Some(s) = set {
+            if !seen.contains_key(&s) {
+                seen.insert(s.clone(), ());
+                nodes.push(s);
+            }
+        }
+    };
+    push(t.closure(&LabelSet::new()), &mut nodes, &mut seen);
+    for l in schema_labels.iter() {
+        push(t.closure(&LabelSet::singleton(l)), &mut nodes, &mut seen);
+    }
+    // Also seed with lhs/rhs of existential and at-most CIs.
+    for ci in &t.cis {
+        if let HornCi::Exists { lhs, rhs, .. } | HornCi::AtMostOne { lhs, rhs, .. } = ci {
+            push(t.closure(lhs), &mut nodes, &mut seen);
+            push(t.closure(rhs), &mut nodes, &mut seen);
+        }
+    }
+    let roles = t.used_roles();
+    let mut idx = 0;
+    let mut complete = true;
+    while idx < nodes.len() {
+        if nodes.len() > cap {
+            complete = false;
+            break;
+        }
+        let tau = nodes[idx].clone();
+        idx += 1;
+        // Requirement children.
+        for (role, kp) in t.requirements(&tau) {
+            let mut seed = t.propagate(&tau, role);
+            seed.union_with(&kp);
+            push(t.closure(&seed), &mut nodes, &mut seen);
+        }
+        // Edge enrichment: a τ-node pointing at a τ'-node pushes labels.
+        for &role in &roles {
+            let pushset = t.propagate(&tau, role);
+            if pushset.is_empty() {
+                continue;
+            }
+            let snapshot: Vec<LabelSet> = nodes.clone();
+            for tp in snapshot {
+                if !t.edge_forbidden(&tau, role, &tp) {
+                    push(t.closure(&tp.union(&pushset)), &mut nodes, &mut seen);
+                }
+            }
+        }
+    }
+    (nodes, complete)
+}
+
+/// BFS path from `from` to `to` through the edge list; returns the edge
+/// sequence (empty when `from == to`).
+fn find_path(
+    edges: &[(usize, EdgeSym, usize)],
+    num_nodes: usize,
+    from: usize,
+    to: usize,
+) -> Option<Vec<(usize, EdgeSym, usize)>> {
+    if from == to {
+        return Some(Vec::new());
+    }
+    let mut prev: Vec<Option<(usize, EdgeSym, usize)>> = vec![None; num_nodes];
+    let mut visited = vec![false; num_nodes];
+    visited[from] = true;
+    let mut queue = std::collections::VecDeque::from([from]);
+    while let Some(cur) = queue.pop_front() {
+        for &(a, r, b) in edges {
+            if a == cur && !visited[b] {
+                visited[b] = true;
+                prev[b] = Some((a, r, b));
+                if b == to {
+                    let mut path = Vec::new();
+                    let mut node = to;
+                    while node != from {
+                        let step = prev[node].expect("path reconstruction");
+                        path.push(step);
+                        node = step.0;
+                    }
+                    path.reverse();
+                    return Some(path);
+                }
+                queue.push_back(b);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gts_graph::{EdgeLabel, Vocab};
+
+    fn set(labels: &[u32]) -> LabelSet {
+        LabelSet::from_iter(labels.iter().copied())
+    }
+    fn sym(i: u32) -> EdgeSym {
+        EdgeSym::fwd(EdgeLabel(i))
+    }
+    fn fresh(v: &mut Vocab) -> (NodeLabel, NodeLabel) {
+        (v.fresh_node_label("B"), v.fresh_node_label("B"))
+    }
+
+    /// Example 5.3/5.5: T_S = {⊤⊑A, A⊑∃s.A, A⊑∃≤1 s⁻.A} has the finmod
+    /// cycle A,s,A; completion adds A⊑∃s⁻.A and A⊑∃≤1 s.A.
+    #[test]
+    fn example_5_3_self_cycle_reversal() {
+        let mut v = Vocab::new();
+        let a = v.node_label("A");
+        let _s = v.edge_label("s");
+        let mut t = HornTbox::new();
+        t.push(HornCi::SubAtom { lhs: LabelSet::new(), rhs: a });
+        t.push(HornCi::Exists { lhs: set(&[0]), role: sym(0), rhs: set(&[0]) });
+        t.push(HornCi::AtMostOne { lhs: set(&[0]), role: sym(0).inv(), rhs: set(&[0]) });
+        let result = complete(&t, &set(&[0]), fresh(&mut v), &Budget::default(), &CompletionConfig::default());
+        assert!(result.complete);
+        assert!(result.added >= 2);
+        assert!(result.tbox.cis.contains(&HornCi::Exists {
+            lhs: set(&[0]),
+            role: sym(0).inv(),
+            rhs: set(&[0]),
+        }));
+        assert!(result.tbox.cis.contains(&HornCi::AtMostOne {
+            lhs: set(&[0]),
+            role: sym(0),
+            rhs: set(&[0]),
+        }));
+    }
+
+    /// A two-step cycle A →r B →s A (with the matching inverse-functionality
+    /// constraints) reverses both steps.
+    #[test]
+    fn two_step_cycle_reversal() {
+        let mut v = Vocab::new();
+        let _a = v.node_label("A");
+        let _b = v.node_label("B");
+        let mut t = HornTbox::new();
+        t.push(HornCi::Exists { lhs: set(&[0]), role: sym(0), rhs: set(&[1]) });
+        t.push(HornCi::AtMostOne { lhs: set(&[1]), role: sym(0).inv(), rhs: set(&[0]) });
+        t.push(HornCi::Exists { lhs: set(&[1]), role: sym(1), rhs: set(&[0]) });
+        t.push(HornCi::AtMostOne { lhs: set(&[0]), role: sym(1).inv(), rhs: set(&[1]) });
+        let result = complete(&t, &set(&[0, 1]), fresh(&mut v), &Budget::default(), &CompletionConfig::default());
+        assert!(result.complete);
+        assert!(result.tbox.cis.contains(&HornCi::Exists {
+            lhs: set(&[1]),
+            role: sym(0).inv(),
+            rhs: set(&[0]),
+        }));
+        assert!(result.tbox.cis.contains(&HornCi::Exists {
+            lhs: set(&[0]),
+            role: sym(1).inv(),
+            rhs: set(&[1]),
+        }));
+    }
+
+    /// Without the at-most constraint there is no finmod cycle and nothing
+    /// is added.
+    #[test]
+    fn no_cycle_without_functionality() {
+        let mut v = Vocab::new();
+        let _a = v.node_label("A");
+        let mut t = HornTbox::new();
+        t.push(HornCi::Exists { lhs: set(&[0]), role: sym(0), rhs: set(&[0]) });
+        let result = complete(&t, &set(&[0]), fresh(&mut v), &Budget::default(), &CompletionConfig::default());
+        assert!(result.complete);
+        assert_eq!(result.added, 0);
+        assert_eq!(result.tbox, t);
+    }
+
+    /// The completion is idempotent: completing T* adds nothing.
+    #[test]
+    fn completion_is_idempotent() {
+        let mut v = Vocab::new();
+        let _a = v.node_label("A");
+        let mut t = HornTbox::new();
+        t.push(HornCi::SubAtom { lhs: LabelSet::new(), rhs: NodeLabel(0) });
+        t.push(HornCi::Exists { lhs: set(&[0]), role: sym(0), rhs: set(&[0]) });
+        t.push(HornCi::AtMostOne { lhs: set(&[0]), role: sym(0).inv(), rhs: set(&[0]) });
+        let once = complete(&t, &set(&[0]), fresh(&mut v), &Budget::default(), &CompletionConfig::default());
+        let twice = complete(
+            &once.tbox,
+            &set(&[0]),
+            fresh(&mut v),
+            &Budget::default(),
+            &CompletionConfig::default(),
+        );
+        assert_eq!(twice.added, 0);
+        assert_eq!(once.tbox, twice.tbox);
+    }
+
+    #[test]
+    fn type_universe_discovers_propagated_types() {
+        // ⊤⊑∀r.B: the type {B} is reachable by edge enrichment.
+        let mut t = HornTbox::new();
+        t.push(HornCi::AllValues { lhs: LabelSet::new(), role: sym(0), rhs: set(&[1]) });
+        t.push(HornCi::Exists { lhs: set(&[0]), role: sym(0), rhs: LabelSet::new() });
+        let (nodes, complete_flag) = type_universe(&t, &set(&[0]), 64);
+        assert!(complete_flag);
+        assert!(nodes.contains(&set(&[1])));
+    }
+}

@@ -1,0 +1,262 @@
+//! Unrestricted entailment of Horn-ALCIF concept inclusions via query
+//! unsatisfiability (Corollary E.7).
+//!
+//! `T ⊨ K ⊑ ∃R.K'` iff `∃x.(K·B)(x,x)` is unsatisfiable modulo
+//! `T ∪ {K' ⊑ ∀R⁻.B', B⊓B' ⊑ ⊥}`; similarly for at-most constraints. The
+//! encodings only use node tests and single edge steps, so their regular
+//! languages are finite and the satisfiability engine's verdicts are
+//! certified — which is what makes the completion computation reliable.
+//!
+//! A sound syntactic fast path answers most positive instances without an
+//! engine call.
+
+use gts_dl::{HornCi, HornTbox};
+use gts_graph::{EdgeSym, LabelSet, NodeLabel};
+use gts_query::{Atom, C2rpq, Regex, Var};
+use gts_sat::{decide, Budget, UnknownReason, Verdict};
+
+/// Entailment oracle over a fixed TBox. The two `fresh` labels must not
+/// occur in the TBox (mint them from the vocabulary once).
+pub struct EntailCtx<'t> {
+    tbox: &'t HornTbox,
+    fresh_b: NodeLabel,
+    fresh_b2: NodeLabel,
+    budget: Budget,
+}
+
+impl<'t> EntailCtx<'t> {
+    /// Creates the oracle; `fresh` are two concept names unused in `tbox`.
+    pub fn new(tbox: &'t HornTbox, fresh: (NodeLabel, NodeLabel), budget: Budget) -> Self {
+        EntailCtx { tbox, fresh_b: fresh.0, fresh_b2: fresh.1, budget }
+    }
+
+    fn node_tests(set: &LabelSet) -> Regex {
+        Regex::concat_all(set.iter().map(|l| Regex::node(NodeLabel(l))))
+    }
+
+    /// `T ⊨ K ⊑ ∃R.K'` (unrestricted models).
+    pub fn entails_exists(
+        &self,
+        k: &LabelSet,
+        role: EdgeSym,
+        kp: &LabelSet,
+    ) -> Result<bool, UnknownReason> {
+        // Syntactic fast path: some ∃-CI fires on clo(K) and its target,
+        // enriched by ∀-propagation, covers K'.
+        if let Some(clo_k) = self.tbox.closure(k) {
+            let push = self.tbox.propagate(&clo_k, role);
+            for ci in &self.tbox.cis {
+                if let HornCi::Exists { lhs, role: r, rhs } = ci {
+                    if *r == role && lhs.is_subset(&clo_k) {
+                        if let Some(target) = self.tbox.closure(&rhs.union(&push)) {
+                            if kp.is_subset(&target) {
+                                return Ok(true);
+                            }
+                        } else {
+                            // The forced successor is inconsistent: K is
+                            // unsatisfiable, so the CI holds vacuously.
+                            return Ok(true);
+                        }
+                    }
+                }
+            }
+        } else {
+            return Ok(true); // K ⊑ ⊥, entails everything
+        }
+        // Fast false: without any ∃-CI on this role, a tree model of clo(K)
+        // omitting the successor exists; if clo(K) is only *semantically*
+        // unsatisfiable the resulting missed H_T edge is harmless (every
+        // finmod cycle through an unsatisfiable type reverses vacuously —
+        // see the completion module docs).
+        if !self
+            .tbox
+            .cis
+            .iter()
+            .any(|ci| matches!(ci, HornCi::Exists { role: r, .. } if *r == role))
+        {
+            return Ok(false);
+        }
+        // Exact check via Corollary E.7.
+        let mut t = self.tbox.clone();
+        t.push(HornCi::AllValues {
+            lhs: kp.clone(),
+            role: role.inv(),
+            rhs: LabelSet::singleton(self.fresh_b2.0),
+        });
+        t.push(HornCi::Bottom {
+            lhs: LabelSet::from_iter([self.fresh_b.0, self.fresh_b2.0]),
+        });
+        let mut tests = k.clone();
+        tests.insert(self.fresh_b.0);
+        let q = C2rpq::new(
+            1,
+            vec![],
+            vec![Atom { x: Var(0), y: Var(0), regex: Self::node_tests(&tests) }],
+        );
+        match decide(&t, &q, &self.budget) {
+            Verdict::Unsat => Ok(true),
+            Verdict::Sat(_) => Ok(false),
+            Verdict::Unknown(r) => Err(r),
+        }
+    }
+
+    /// `T ⊨ K ⊑ ∃≤1 R.K'` (unrestricted models).
+    pub fn entails_at_most_one(
+        &self,
+        k: &LabelSet,
+        role: EdgeSym,
+        kp: &LabelSet,
+    ) -> Result<bool, UnknownReason> {
+        // Syntactic fast path: an at-most CI firing on clo(K) whose counted
+        // set is covered by the (propagation-enriched) successor type.
+        if let Some(clo_k) = self.tbox.closure(k) {
+            let push = self.tbox.propagate(&clo_k, role);
+            let enriched = match self.tbox.closure(&kp.union(&push)) {
+                Some(e) => e,
+                None => return Ok(true), // no K'-successor can even exist
+            };
+            for ci in &self.tbox.cis {
+                if let HornCi::AtMostOne { lhs, role: r, rhs } = ci {
+                    if *r == role && lhs.is_subset(&clo_k) && rhs.is_subset(&enriched) {
+                        return Ok(true);
+                    }
+                }
+            }
+        } else {
+            return Ok(true);
+        }
+        // Fast false: with no at-most constraint on this role and no
+        // ∄-constraint touching it (in either direction), a model with two
+        // distinct K'-successors exists whenever one does (duplicate the
+        // witness subtree); the semantically-unsatisfiable case is harmless
+        // as above.
+        let touches = |ci: &HornCi| match ci {
+            HornCi::AtMostOne { role: r, .. } => *r == role,
+            HornCi::NotExists { role: r, .. } => *r == role || *r == role.inv(),
+            _ => false,
+        };
+        if !self.tbox.cis.iter().any(touches) {
+            return Ok(false);
+        }
+        // Exact check via Corollary E.7: two R-steps into K'-nodes marked
+        // B and B' respectively, with B⊓B' ⊑ ⊥.
+        let mut t = self.tbox.clone();
+        t.push(HornCi::Bottom {
+            lhs: LabelSet::from_iter([self.fresh_b.0, self.fresh_b2.0]),
+        });
+        let step = |marker: NodeLabel| {
+            let mut tgt = kp.clone();
+            tgt.insert(marker.0);
+            Regex::sym(role).then(Self::node_tests(&tgt))
+        };
+        let q = C2rpq::new(
+            3,
+            vec![],
+            vec![
+                Atom { x: Var(0), y: Var(0), regex: Self::node_tests(k) },
+                Atom { x: Var(0), y: Var(1), regex: step(self.fresh_b) },
+                Atom { x: Var(0), y: Var(2), regex: step(self.fresh_b2) },
+            ],
+        );
+        match decide(&t, &q, &self.budget) {
+            Verdict::Unsat => Ok(true),
+            Verdict::Sat(_) => Ok(false),
+            Verdict::Unknown(r) => Err(r),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gts_graph::{EdgeLabel, Vocab};
+
+    fn fresh(v: &mut Vocab) -> (NodeLabel, NodeLabel) {
+        (v.fresh_node_label("B"), v.fresh_node_label("B"))
+    }
+    fn set(labels: &[u32]) -> LabelSet {
+        LabelSet::from_iter(labels.iter().copied())
+    }
+    fn sym(i: u32) -> EdgeSym {
+        EdgeSym::fwd(EdgeLabel(i))
+    }
+
+    #[test]
+    fn direct_ci_is_entailed() {
+        let mut v = Vocab::new();
+        let _ = v.node_label("A");
+        let _ = v.node_label("B");
+        let mut t = HornTbox::new();
+        t.push(HornCi::Exists { lhs: set(&[0]), role: sym(0), rhs: set(&[1]) });
+        let ctx = EntailCtx::new(&t, fresh(&mut v), Budget::default());
+        assert!(ctx.entails_exists(&set(&[0]), sym(0), &set(&[1])).unwrap());
+        // Weakening the target keeps entailment.
+        assert!(ctx.entails_exists(&set(&[0]), sym(0), &LabelSet::new()).unwrap());
+        // Strengthening the premise keeps entailment.
+        assert!(ctx.entails_exists(&set(&[0, 1]), sym(0), &set(&[1])).unwrap());
+        // A stronger target is not entailed.
+        assert!(!ctx.entails_exists(&set(&[0]), sym(0), &set(&[0, 1])).unwrap());
+        // Nothing about other roles.
+        assert!(!ctx.entails_exists(&set(&[0]), sym(1), &set(&[1])).unwrap());
+    }
+
+    #[test]
+    fn entailment_through_propagation() {
+        // A ⊑ ∃r.B and A ⊑ ∀r.C entail A ⊑ ∃r.(B⊓C).
+        let mut v = Vocab::new();
+        for n in ["A", "B", "C"] {
+            v.node_label(n);
+        }
+        let mut t = HornTbox::new();
+        t.push(HornCi::Exists { lhs: set(&[0]), role: sym(0), rhs: set(&[1]) });
+        t.push(HornCi::AllValues { lhs: set(&[0]), role: sym(0), rhs: set(&[2]) });
+        let ctx = EntailCtx::new(&t, fresh(&mut v), Budget::default());
+        assert!(ctx.entails_exists(&set(&[0]), sym(0), &set(&[1, 2])).unwrap());
+    }
+
+    #[test]
+    fn unsatisfiable_premise_entails_vacuously() {
+        let mut v = Vocab::new();
+        let _ = v.node_label("A");
+        let mut t = HornTbox::new();
+        t.push(HornCi::Bottom { lhs: set(&[0]) });
+        let ctx = EntailCtx::new(&t, fresh(&mut v), Budget::default());
+        assert!(ctx.entails_exists(&set(&[0]), sym(0), &set(&[5])).unwrap());
+        assert!(ctx.entails_at_most_one(&set(&[0]), sym(0), &set(&[5])).unwrap());
+    }
+
+    #[test]
+    fn at_most_direct_and_weakened() {
+        let mut v = Vocab::new();
+        for n in ["A", "B"] {
+            v.node_label(n);
+        }
+        let mut t = HornTbox::new();
+        t.push(HornCi::AtMostOne { lhs: set(&[0]), role: sym(0), rhs: set(&[1]) });
+        let ctx = EntailCtx::new(&t, fresh(&mut v), Budget::default());
+        assert!(ctx.entails_at_most_one(&set(&[0]), sym(0), &set(&[1])).unwrap());
+        // Counting a *larger* conjunction (fewer successors) stays ≤ 1.
+        assert!(ctx
+            .entails_at_most_one(&set(&[0]), sym(0), &set(&[1, 0]))
+            .unwrap());
+        // Counting a smaller conjunction (more successors) is not entailed.
+        assert!(!ctx
+            .entails_at_most_one(&set(&[0]), sym(0), &LabelSet::new())
+            .unwrap());
+        // Unconstrained premise is not entailed.
+        assert!(!ctx
+            .entails_at_most_one(&set(&[1]), sym(0), &set(&[1]))
+            .unwrap());
+    }
+
+    #[test]
+    fn semantic_entailment_beyond_fast_path() {
+        // ∄r.⊤ entails ∃≤1 r.K' for any K' — only the engine sees this.
+        let mut v = Vocab::new();
+        let _ = v.node_label("A");
+        let mut t = HornTbox::new();
+        t.push(HornCi::NotExists { lhs: set(&[0]), role: sym(0), rhs: LabelSet::new() });
+        let ctx = EntailCtx::new(&t, fresh(&mut v), Budget::default());
+        assert!(ctx.entails_at_most_one(&set(&[0]), sym(0), &LabelSet::new()).unwrap());
+    }
+}

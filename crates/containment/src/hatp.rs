@@ -1,0 +1,145 @@
+//! The relativization `P → P̂` of Theorem 5.6.
+//!
+//! The Horn TBox `T̂_S` can force *at most* one schema label per node but
+//! not *at least* one (that inclusion `⊤ ⊑ ⊔Γ_S` is not Horn). The paper
+//! compensates on the query side: every edge symbol of `P` is wrapped as
+//! `(A1+…+An) · R · (A1+…+An)`, so that witnessing paths only traverse
+//! properly labeled nodes, and every label outside `Γ_S ∪ Σ±_S` is replaced
+//! by `∅`.
+
+use gts_graph::NodeLabel;
+use gts_query::{Atom, AtomSym, C2rpq, Regex, Uc2rpq};
+use gts_schema::Schema;
+
+/// Relativizes one regular expression to the schema's labels.
+pub fn hat_regex(re: &Regex, schema: &Schema) -> Regex {
+    let gamma: Vec<NodeLabel> = schema.node_labels().to_vec();
+    re.map_syms(&|sym| match sym {
+        AtomSym::Node(a) => {
+            if schema.has_node_label(a) {
+                Regex::node(a)
+            } else {
+                Regex::Empty
+            }
+        }
+        AtomSym::Edge(r) => {
+            if !schema.has_edge_label(r.label) {
+                return Regex::Empty;
+            }
+            // Only label pairs the schema allows can guard the step: a pair
+            // with δ(A,R,B) = 0 is forbidden by T̂_S anyway (∄-CIs), so
+            // dropping it is semantics-preserving modulo the schema and
+            // frequently collapses starred sub-expressions to finite
+            // languages (e.g. crossReacting* under a schema without
+            // crossReacting).
+            Regex::alt_all(gamma.iter().flat_map(|&a| {
+                gamma.iter().filter_map(move |&b| {
+                    use gts_schema::Mult;
+                    if schema.mult(a, r, b) != Mult::Zero
+                        && schema.mult(b, r.inv(), a) != Mult::Zero
+                    {
+                        Some(Regex::node(a).then(Regex::sym(r)).then(Regex::node(b)))
+                    } else {
+                        None
+                    }
+                })
+            }))
+        }
+    })
+}
+
+/// Relativizes a Boolean C2RPQ (every atom's regex).
+pub fn hat_query(q: &C2rpq, schema: &Schema) -> C2rpq {
+    C2rpq::new(
+        q.num_vars,
+        q.free.clone(),
+        q.atoms
+            .iter()
+            .map(|a| Atom { x: a.x, y: a.y, regex: hat_regex(&a.regex, schema) })
+            .collect(),
+    )
+}
+
+/// Relativizes every disjunct of a Boolean UC2RPQ.
+pub fn hat_union(u: &Uc2rpq, schema: &Schema) -> Uc2rpq {
+    Uc2rpq { disjuncts: u.disjuncts.iter().map(|d| hat_query(d, schema)).collect() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gts_graph::{Graph, Vocab};
+    use gts_query::Var;
+    use gts_schema::Mult;
+
+    #[test]
+    fn edges_get_label_guards() {
+        let mut v = Vocab::new();
+        let a = v.node_label("A");
+        let b = v.node_label("B");
+        let r = v.edge_label("r");
+        let mut s = Schema::new();
+        s.set_edge(a, r, b, Mult::Star, Mult::Star);
+        let re = Regex::edge(r);
+        let hat = hat_regex(&re, &s);
+        // The guarded expression requires labeled endpoints.
+        let word_ok = vec![
+            AtomSym::Node(a),
+            AtomSym::Edge(gts_graph::EdgeSym::fwd(r)),
+            AtomSym::Node(b),
+        ];
+        assert!(hat.matches(&word_ok));
+        assert!(!hat.matches(&[AtomSym::Edge(gts_graph::EdgeSym::fwd(r))]));
+    }
+
+    #[test]
+    fn foreign_labels_become_empty() {
+        let mut v = Vocab::new();
+        let a = v.node_label("A");
+        let r = v.edge_label("r");
+        let foreign = v.edge_label("foreign");
+        let mut s = Schema::new();
+        s.set_edge(a, r, a, Mult::Star, Mult::Star);
+        let re = Regex::edge(foreign).or(Regex::edge(r));
+        let hat = hat_regex(&re, &s);
+        // The `foreign` branch is dead; only the guarded `r` survives.
+        let word = vec![
+            AtomSym::Node(a),
+            AtomSym::Edge(gts_graph::EdgeSym::fwd(r)),
+            AtomSym::Node(a),
+        ];
+        assert!(hat.matches(&word));
+        assert!(!hat.matches(&[AtomSym::Edge(gts_graph::EdgeSym::fwd(foreign))]));
+    }
+
+    #[test]
+    fn hat_preserves_semantics_on_conforming_graphs() {
+        // On a graph where every node carries exactly one schema label,
+        // P and P̂ agree (Lemma D.3's easy direction).
+        let mut v = Vocab::new();
+        let a = v.node_label("A");
+        let b = v.node_label("B");
+        let r = v.edge_label("r");
+        let mut s = Schema::new();
+        s.set_edge(a, r, b, Mult::Star, Mult::Star);
+        let q = C2rpq::new(
+            2,
+            vec![],
+            vec![Atom { x: Var(0), y: Var(1), regex: Regex::edge(r) }],
+        );
+        let hat = hat_query(&q, &s);
+        let mut g = Graph::new();
+        let n0 = g.add_labeled_node([a]);
+        let n1 = g.add_labeled_node([b]);
+        g.add_edge(n0, r, n1);
+        assert!(q.holds(&g));
+        assert!(hat.holds(&g));
+        // On a graph with an unlabeled endpoint, P̂ fails while P holds.
+        let mut g2 = Graph::new();
+        let m0 = g2.add_labeled_node([a]);
+        let m1 = g2.add_node();
+        g2.add_edge(m0, r, m1);
+        assert!(q.holds(&g2));
+        assert!(!hat.holds(&g2));
+    }
+}

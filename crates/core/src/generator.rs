@@ -1,0 +1,124 @@
+//! Random transformation generator — workloads for property tests and
+//! scaling benchmarks.
+//!
+//! Generated transformations are *copy-style with regular-path rewiring*:
+//! one node rule per schema label (copying the nodes) plus edge rules whose
+//! bodies follow short schema-realizable paths, mirroring the data-
+//! migration transformations the paper motivates (Example 1.1, FHIR
+//! migrations).
+
+use crate::transform::Transformation;
+use gts_graph::{NodeLabel, Vocab};
+use gts_query::{Atom, C2rpq, Regex, Var};
+use gts_schema::{Mult, Schema};
+use rand::prelude::*;
+
+/// Configuration for [`random_transformation`].
+#[derive(Clone, Debug)]
+pub struct TransformGenConfig {
+    /// Number of edge rules to generate.
+    pub num_edge_rules: usize,
+    /// Maximum regex path length in a rule body.
+    pub max_path_len: usize,
+    /// Probability of wrapping a path segment in a Kleene star.
+    pub star_prob: f64,
+}
+
+impl Default for TransformGenConfig {
+    fn default() -> Self {
+        TransformGenConfig { num_edge_rules: 3, max_path_len: 3, star_prob: 0.3 }
+    }
+}
+
+/// Generates a random transformation over the labels of `schema`: a copy
+/// rule per node label plus `num_edge_rules` path-following edge rules.
+/// Output edge labels are fresh (`out0, out1, …`).
+pub fn random_transformation<R: Rng>(
+    schema: &Schema,
+    cfg: &TransformGenConfig,
+    vocab: &mut Vocab,
+    rng: &mut R,
+) -> Transformation {
+    let labels: Vec<NodeLabel> = schema.node_labels().to_vec();
+    let mut t = Transformation::new();
+    let unary = |l: NodeLabel| {
+        C2rpq::new(1, vec![Var(0)], vec![Atom { x: Var(0), y: Var(0), regex: Regex::node(l) }])
+    };
+    for &l in &labels {
+        t.add_node_rule(l, unary(l));
+    }
+    if labels.is_empty() {
+        return t;
+    }
+    for i in 0..cfg.num_edge_rules {
+        // Walk the schema from a random label along non-zero constraints.
+        let mut cur = *labels.choose(rng).unwrap();
+        let src = cur;
+        let mut regex = Regex::node(src);
+        let steps = rng.gen_range(1..=cfg.max_path_len);
+        for _ in 0..steps {
+            let options: Vec<_> = schema
+                .syms()
+                .flat_map(|sym| {
+                    schema
+                        .node_labels()
+                        .iter()
+                        .filter(move |&&b| schema.mult(cur, sym, b) != Mult::Zero)
+                        .map(move |&b| (sym, b))
+                })
+                .collect();
+            let Some(&(sym, next)) = options.choose(rng) else { break };
+            let step = Regex::sym(sym);
+            let step = if rng.gen_bool(cfg.star_prob) { step.star() } else { step };
+            regex = regex.then(step);
+            cur = next;
+        }
+        regex = regex.then(Regex::node(cur));
+        let out_edge = vocab.edge_label(&format!("out{i}"));
+        let body = C2rpq::new(
+            2,
+            vec![Var(0), Var(1)],
+            vec![Atom { x: Var(0), y: Var(1), regex }],
+        );
+        t.add_edge_rule(out_edge, (src, 1), (cur, 1), body);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gts_schema::{random_conforming_graph, random_schema, SchemaGenConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generated_transformations_are_well_formed() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for seed in 0..10 {
+            let mut v = Vocab::new();
+            let s = random_schema(&SchemaGenConfig::default(), &mut v, &mut rng);
+            let t = random_transformation(
+                &s,
+                &TransformGenConfig::default(),
+                &mut v,
+                &mut StdRng::seed_from_u64(seed),
+            );
+            t.validate().expect("generated transformation must be well-formed");
+            assert!(t.rules.len() >= s.node_labels().len());
+        }
+    }
+
+    #[test]
+    fn generated_transformations_apply_to_conforming_graphs() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut v = Vocab::new();
+        let s = random_schema(&SchemaGenConfig::default(), &mut v, &mut rng);
+        let t = random_transformation(&s, &TransformGenConfig::default(), &mut v, &mut rng);
+        if let Some(g) = random_conforming_graph(&s, 4, 5, &mut rng) {
+            let out = t.apply(&g);
+            // Copy rules preserve the node count.
+            assert!(out.num_nodes() >= g.num_nodes());
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! # gts-core
+//!
+//! The primary contribution of *Static Analysis of Graph Database
+//! Transformations* (Boneva, Groz, Hidders, Murlak, Staworko; PODS 2023),
+//! implemented as a production-quality Rust library:
+//!
+//! * **executable graph transformations** — Datalog-like rules with
+//!   acyclic C2RPQ bodies and injective node constructors ([`Transformation`]);
+//! * **type checking** — does `T(G)` conform to the target schema for
+//!   every source-conforming `G`? ([`type_check`], Lemma B.2);
+//! * **equivalence** — do two transformations agree on every conforming
+//!   input? ([`equivalence`], Lemma B.8);
+//! * **schema elicitation** — the containment-minimal target schema
+//!   ([`elicit_schema`], Lemma B.5).
+//!
+//! All three analyses reduce to containment of UC2RPQs in acyclic UC2RPQs
+//! modulo schema (`gts-containment`), which in turn reduces — via rolling
+//! up and finmod-cycle reversal — to unrestricted satisfiability of C2RPQs
+//! modulo Horn-ALCIF (`gts-sat`). This crate re-exports the substrate
+//! crates so applications need a single dependency.
+//!
+//! ```
+//! use gts_core::prelude::*;
+//!
+//! // Figure 1 / Example 4.1: migrate the medical knowledge graph.
+//! let mut vocab = Vocab::new();
+//! let t0 = medical_transformation(&mut vocab);
+//! t0.validate().unwrap();
+//! ```
+
+#![warn(missing_docs)]
+
+mod analysis;
+mod generator;
+mod transform;
+mod values;
+
+pub use analysis::{
+    elicit_schema, equivalence, equivalence_counterexample, label_coverage, trim, type_check,
+    type_check_counterexample, AnalysisCounterexample, AnalysisError, Decision, Elicited,
+};
+pub use generator::{random_transformation, TransformGenConfig};
+pub use transform::{
+    medical_transformation, EdgeRule, NodeRule, Rule, Transformation, TransformError,
+};
+pub use values::{
+    apply_with_values, check_literal_safety, LiteralSafetyReport, LiteralViolation, Value,
+    ValueError, ValueGraph,
+};
+
+// Re-export the substrate crates.
+pub use gts_containment as containment;
+pub use gts_dl as dl;
+pub use gts_graph as graph;
+pub use gts_query as query;
+pub use gts_sat as sat;
+pub use gts_schema as schema;
+
+/// One-stop imports for applications and examples.
+pub mod prelude {
+    pub use crate::{
+        elicit_schema, equivalence, label_coverage, medical_transformation, trim, type_check,
+        AnalysisError, Decision, Elicited, Rule, TransformError, Transformation,
+    };
+    pub use gts_containment::{
+        contains, satisfiable_modulo_schema, ContainmentAnswer, ContainmentOptions,
+    };
+    pub use gts_dl::{Concept, HornCi, HornTbox, L0Kind, L0Statement, L0Tbox};
+    pub use gts_graph::{EdgeLabel, EdgeSym, Graph, LabelSet, NodeId, NodeLabel, Vocab};
+    pub use gts_query::{Atom, AtomSym, C2rpq, Nfa, Regex, Uc2rpq, Var};
+    pub use gts_sat::{decide, Budget, Verdict};
+    pub use gts_schema::{
+        random_conforming_graph, random_schema, ConformanceError, Mult, Schema, SchemaGenConfig,
+    };
+}

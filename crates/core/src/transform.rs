@@ -1,0 +1,667 @@
+//! Executable graph transformations (Section 4).
+//!
+//! A transformation is a finite set of Datalog-like rules with acyclic
+//! C2RPQ bodies and node-constructor heads:
+//!
+//! * node rules `A(f_A(x̄)) ← q(x̄)` create (and label) nodes;
+//! * edge rules `r(f_A(x̄), f_B(ȳ)) ← q(x̄, ȳ)` create edges between
+//!   constructed nodes.
+//!
+//! Node constructors are injective with pairwise disjoint ranges and one
+//! dedicated constructor per node label (the paper's standing assumption);
+//! we realize them as interned `(label, argument-tuple)` keys.
+
+use gts_graph::{EdgeLabel, EdgeSym, FxHashMap, Graph, NodeId, NodeLabel, Vocab};
+use gts_query::{C2rpq, FlattenError, NreC2rpq, Uc2rpq, Var};
+
+/// A node rule `A(f_A(x̄)) ← q(x̄)`; the body's free variables are the
+/// constructor arguments, in order.
+#[derive(Clone, Debug)]
+pub struct NodeRule {
+    /// The created node's label `A` (also selects the constructor `f_A`).
+    pub label: NodeLabel,
+    /// The body `q(x̄)`.
+    pub body: C2rpq,
+}
+
+/// An edge rule `r(f_A(x̄), f_B(ȳ)) ← q(x̄, ȳ)`; the body's free variables
+/// are `x̄` followed by `ȳ`.
+#[derive(Clone, Debug)]
+pub struct EdgeRule {
+    /// The created edge's label `r`.
+    pub edge: EdgeLabel,
+    /// Label selecting the source constructor `f_A`.
+    pub src_label: NodeLabel,
+    /// Arity of `x̄`.
+    pub src_arity: usize,
+    /// Label selecting the target constructor `f_B`.
+    pub tgt_label: NodeLabel,
+    /// Arity of `ȳ`.
+    pub tgt_arity: usize,
+    /// The body `q(x̄, ȳ)`.
+    pub body: C2rpq,
+}
+
+/// A transformation rule.
+#[derive(Clone, Debug)]
+pub enum Rule {
+    /// A node-creating rule.
+    Node(NodeRule),
+    /// An edge-creating rule.
+    Edge(EdgeRule),
+}
+
+/// Why a transformation is ill-formed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TransformError {
+    /// A rule body's free variables do not match the head's arguments.
+    ArityMismatch {
+        /// Index of the offending rule.
+        rule: usize,
+    },
+    /// Two rules use the constructor of one label with different arities
+    /// (each label has a single dedicated constructor).
+    InconsistentConstructor {
+        /// The label with conflicting constructor arities.
+        label: NodeLabel,
+    },
+    /// A rule body is not an acyclic C2RPQ.
+    CyclicBody {
+        /// Index of the offending rule.
+        rule: usize,
+    },
+}
+
+/// An executable graph transformation: a finite set of rules.
+#[derive(Clone, Debug, Default)]
+pub struct Transformation {
+    /// The rules.
+    pub rules: Vec<Rule>,
+}
+
+impl Transformation {
+    /// An empty transformation (produces the empty graph).
+    pub fn new() -> Self {
+        Transformation::default()
+    }
+
+    /// Adds a node rule `label(f_label(x̄)) ← body(x̄)`.
+    pub fn add_node_rule(&mut self, label: NodeLabel, body: C2rpq) -> &mut Self {
+        self.rules.push(Rule::Node(NodeRule { label, body }));
+        self
+    }
+
+    /// Adds an edge rule `edge(f_src(x̄), f_tgt(ȳ)) ← body(x̄, ȳ)`.
+    pub fn add_edge_rule(
+        &mut self,
+        edge: EdgeLabel,
+        src: (NodeLabel, usize),
+        tgt: (NodeLabel, usize),
+        body: C2rpq,
+    ) -> &mut Self {
+        self.rules.push(Rule::Edge(EdgeRule {
+            edge,
+            src_label: src.0,
+            src_arity: src.1,
+            tgt_label: tgt.0,
+            tgt_arity: tgt.1,
+            body,
+        }));
+        self
+    }
+
+    /// Adds a node rule with a *nested*-regular-expression body (Section 7,
+    /// "Extending queries"). The body is flattened exactly into plain
+    /// C2RPQs — one rule per flattened conjunct, all with the same head —
+    /// so every downstream analysis works unchanged. Nests under `*`/`+`
+    /// cannot be flattened and are rejected.
+    pub fn add_node_rule_nre(
+        &mut self,
+        label: NodeLabel,
+        body: NreC2rpq,
+    ) -> Result<&mut Self, FlattenError> {
+        for conj in body.flatten()? {
+            self.add_node_rule(label, conj);
+        }
+        Ok(self)
+    }
+
+    /// Adds an edge rule with a nested-regular-expression body; see
+    /// [`Transformation::add_node_rule_nre`].
+    pub fn add_edge_rule_nre(
+        &mut self,
+        edge: EdgeLabel,
+        src: (NodeLabel, usize),
+        tgt: (NodeLabel, usize),
+        body: NreC2rpq,
+    ) -> Result<&mut Self, FlattenError> {
+        for conj in body.flatten()? {
+            self.add_edge_rule(edge, src, tgt, conj);
+        }
+        Ok(self)
+    }
+
+    /// Validates well-formedness: head/body arities agree, constructor
+    /// arities are consistent per label, and bodies are acyclic.
+    pub fn validate(&self) -> Result<(), TransformError> {
+        let mut ctor_arity: FxHashMap<NodeLabel, usize> = FxHashMap::default();
+        let mut check = |label: NodeLabel, arity: usize| -> Result<(), TransformError> {
+            match ctor_arity.get(&label) {
+                Some(&a) if a != arity => {
+                    Err(TransformError::InconsistentConstructor { label })
+                }
+                _ => {
+                    ctor_arity.insert(label, arity);
+                    Ok(())
+                }
+            }
+        };
+        for (i, rule) in self.rules.iter().enumerate() {
+            match rule {
+                Rule::Node(r) => {
+                    check(r.label, r.body.free.len())?;
+                    if !r.body.is_acyclic() {
+                        return Err(TransformError::CyclicBody { rule: i });
+                    }
+                }
+                Rule::Edge(r) => {
+                    if r.body.free.len() != r.src_arity + r.tgt_arity {
+                        return Err(TransformError::ArityMismatch { rule: i });
+                    }
+                    check(r.src_label, r.src_arity)?;
+                    check(r.tgt_label, r.tgt_arity)?;
+                    if !r.body.is_acyclic() {
+                        return Err(TransformError::CyclicBody { rule: i });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The node labels `Γ_T` used in rule heads (sorted).
+    pub fn node_labels(&self) -> Vec<NodeLabel> {
+        let mut out: Vec<NodeLabel> = Vec::new();
+        for rule in &self.rules {
+            match rule {
+                Rule::Node(r) => out.push(r.label),
+                Rule::Edge(r) => {
+                    out.push(r.src_label);
+                    out.push(r.tgt_label);
+                }
+            }
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// The edge labels `Σ_T` used in rule heads (sorted).
+    pub fn edge_labels(&self) -> Vec<EdgeLabel> {
+        let mut out: Vec<EdgeLabel> = Vec::new();
+        for rule in &self.rules {
+            if let Rule::Edge(r) = rule {
+                out.push(r.edge);
+            }
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Constructor arity of a label, if any rule mentions it.
+    pub fn ctor_arity(&self, label: NodeLabel) -> Option<usize> {
+        for rule in &self.rules {
+            match rule {
+                Rule::Node(r) if r.label == label => return Some(r.body.free.len()),
+                Rule::Edge(r) if r.src_label == label => return Some(r.src_arity),
+                Rule::Edge(r) if r.tgt_label == label => return Some(r.tgt_arity),
+                _ => {}
+            }
+        }
+        None
+    }
+
+    /// Applies the transformation to a finite graph (Section 4):
+    /// constructed nodes are identified by `(label, argument tuple)` —
+    /// injective constructors with disjoint ranges.
+    pub fn apply(&self, g: &Graph) -> Graph {
+        let mut out = Graph::new();
+        let mut ctor: FxHashMap<(NodeLabel, Vec<NodeId>), NodeId> = FxHashMap::default();
+        let mut construct = |out: &mut Graph, label: NodeLabel, args: Vec<NodeId>| -> NodeId {
+            *ctor.entry((label, args)).or_insert_with(|| out.add_node())
+        };
+        for rule in &self.rules {
+            match rule {
+                Rule::Node(r) => {
+                    for tuple in r.body.eval(g) {
+                        let node = construct(&mut out, r.label, tuple);
+                        out.add_label(node, r.label);
+                    }
+                }
+                Rule::Edge(r) => {
+                    for tuple in r.body.eval(g) {
+                        let (x, y) = tuple.split_at(r.src_arity);
+                        let src = construct(&mut out, r.src_label, x.to_vec());
+                        let tgt = construct(&mut out, r.tgt_label, y.to_vec());
+                        out.add_edge(src, r.edge, tgt);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The output of the transformation as canonical *facts* over
+    /// constructor keys: node facts `A(f_A(t̄))` and edge facts
+    /// `r(f(t̄), f'(t̄'))`. Since constructors are injective with disjoint
+    /// ranges, `T1(G) = T2(G)` iff the two fact sets coincide — the basis
+    /// for counterexample verification in equivalence checking.
+    #[allow(clippy::type_complexity)]
+    pub fn output_facts(
+        &self,
+        g: &Graph,
+    ) -> (
+        std::collections::BTreeSet<(NodeLabel, Vec<NodeId>)>,
+        std::collections::BTreeSet<(
+            (NodeLabel, Vec<NodeId>),
+            EdgeLabel,
+            (NodeLabel, Vec<NodeId>),
+        )>,
+    ) {
+        let mut nodes = std::collections::BTreeSet::new();
+        let mut edges = std::collections::BTreeSet::new();
+        for rule in &self.rules {
+            match rule {
+                Rule::Node(r) => {
+                    for tuple in r.body.eval(g) {
+                        nodes.insert((r.label, tuple));
+                    }
+                }
+                Rule::Edge(r) => {
+                    for tuple in r.body.eval(g) {
+                        let (x, y) = tuple.split_at(r.src_arity);
+                        edges.insert((
+                            (r.src_label, x.to_vec()),
+                            r.edge,
+                            (r.tgt_label, y.to_vec()),
+                        ));
+                    }
+                }
+            }
+        }
+        (nodes, edges)
+    }
+
+    /// The grouped query `Q_A(x̄)`: union of the bodies of `A`-node rules
+    /// (Section 4).
+    pub fn q_node(&self, label: NodeLabel) -> Uc2rpq {
+        Uc2rpq {
+            disjuncts: self
+                .rules
+                .iter()
+                .filter_map(|rule| match rule {
+                    Rule::Node(r) if r.label == label => Some(r.body.clone()),
+                    _ => None,
+                })
+                .collect(),
+        }
+    }
+
+    /// The grouped query `Q_{A,R,B}(x̄, ȳ)`: tuples yielding `R`-edges from
+    /// `f_A`-nodes to `f_B`-nodes. For an inverse symbol `R = r⁻` the rule
+    /// bodies' answer variables are reordered (Section 4).
+    pub fn q_edge(&self, a: NodeLabel, r: EdgeSym, b: NodeLabel) -> Uc2rpq {
+        let mut disjuncts = Vec::new();
+        for rule in &self.rules {
+            if let Rule::Edge(e) = rule {
+                if e.edge != r.label {
+                    continue;
+                }
+                if !r.inverse && e.src_label == a && e.tgt_label == b {
+                    disjuncts.push(e.body.clone());
+                } else if r.inverse && e.tgt_label == a && e.src_label == b {
+                    // Q_{A,r⁻,B}(x̄, ȳ) := q(ȳ, x̄): swap the answer blocks.
+                    let mut q = e.body.clone();
+                    let (src, tgt) = q.free.split_at(e.src_arity);
+                    q.free = tgt.iter().chain(src.iter()).copied().collect();
+                    disjuncts.push(q);
+                }
+            }
+        }
+        Uc2rpq { disjuncts }
+    }
+
+    /// Renders the rules using `vocab`.
+    pub fn render(&self, vocab: &Vocab) -> String {
+        let vars = |vs: &[Var]| {
+            vs.iter().map(|v| format!("x{}", v.0)).collect::<Vec<_>>().join(",")
+        };
+        self.rules
+            .iter()
+            .map(|rule| match rule {
+                Rule::Node(r) => format!(
+                    "{a}(f_{a}({args})) ← {body}",
+                    a = vocab.node_name(r.label),
+                    args = vars(&r.body.free),
+                    body = r.body.render(vocab)
+                ),
+                Rule::Edge(r) => {
+                    let (x, y) = r.body.free.split_at(r.src_arity);
+                    format!(
+                        "{e}(f_{a}({xs}), f_{b}({ys})) ← {body}",
+                        e = vocab.edge_name(r.edge),
+                        a = vocab.node_name(r.src_label),
+                        b = vocab.node_name(r.tgt_label),
+                        xs = vars(x),
+                        ys = vars(y),
+                        body = r.body.render(vocab)
+                    )
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+/// The medical-knowledge-graph transformation `T0` of Example 4.1, over
+/// the vocabulary of Figure 1. Exposed for examples, tests, and benches.
+pub fn medical_transformation(vocab: &mut Vocab) -> Transformation {
+    use gts_query::{Atom, Regex};
+    let vaccine = vocab.node_label("Vaccine");
+    let antigen = vocab.node_label("Antigen");
+    let pathogen = vocab.node_label("Pathogen");
+    let dt = vocab.edge_label("designTarget");
+    let cr = vocab.edge_label("crossReacting");
+    let ex = vocab.edge_label("exhibits");
+    let targets = vocab.edge_label("targets");
+
+    let unary = |label: NodeLabel| {
+        C2rpq::new(
+            1,
+            vec![Var(0)],
+            vec![Atom { x: Var(0), y: Var(0), regex: Regex::node(label) }],
+        )
+    };
+    let binary = |re: Regex| {
+        C2rpq::new(2, vec![Var(0), Var(1)], vec![Atom { x: Var(0), y: Var(1), regex: re }])
+    };
+
+    let mut t = Transformation::new();
+    t.add_node_rule(vaccine, unary(vaccine))
+        .add_node_rule(antigen, unary(antigen))
+        .add_edge_rule(dt, (vaccine, 1), (antigen, 1), binary(Regex::edge(dt)))
+        .add_edge_rule(
+            targets,
+            (vaccine, 1),
+            (antigen, 1),
+            binary(Regex::edge(dt).then(Regex::edge(cr).star())),
+        )
+        .add_node_rule(pathogen, unary(pathogen))
+        .add_edge_rule(ex, (pathogen, 1), (antigen, 1), binary(Regex::edge(ex)));
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gts_query::{Atom, Regex};
+
+    fn medical_graph(v: &mut Vocab) -> Graph {
+        let vaccine = v.node_label("Vaccine");
+        let antigen = v.node_label("Antigen");
+        let pathogen = v.node_label("Pathogen");
+        let dt = v.edge_label("designTarget");
+        let cr = v.edge_label("crossReacting");
+        let ex = v.edge_label("exhibits");
+        let mut g = Graph::new();
+        let vac = g.add_labeled_node([vaccine]);
+        let a1 = g.add_labeled_node([antigen]);
+        let a2 = g.add_labeled_node([antigen]);
+        let a3 = g.add_labeled_node([antigen]);
+        let p = g.add_labeled_node([pathogen]);
+        g.add_edge(vac, dt, a1);
+        g.add_edge(a1, cr, a2);
+        g.add_edge(a2, cr, a3);
+        g.add_edge(p, ex, a1);
+        g.add_edge(p, ex, a2);
+        g.add_edge(p, ex, a3);
+        g
+    }
+
+    #[test]
+    fn example_4_1_application() {
+        let mut v = Vocab::new();
+        let t = medical_transformation(&mut v);
+        t.validate().unwrap();
+        let g = medical_graph(&mut v);
+        let out = t.apply(&g);
+        // 1 vaccine + 3 antigens + 1 pathogen nodes.
+        assert_eq!(out.num_nodes(), 5);
+        let targets = v.find_edge_label("targets").unwrap();
+        let dt = v.find_edge_label("designTarget").unwrap();
+        let ex = v.find_edge_label("exhibits").unwrap();
+        // targets: vac → a1, a2, a3 (via crossReacting closure).
+        let n_targets = out.edges().filter(|(_, l, _)| *l == targets).count();
+        assert_eq!(n_targets, 3);
+        assert_eq!(out.edges().filter(|(_, l, _)| *l == dt).count(), 1);
+        assert_eq!(out.edges().filter(|(_, l, _)| *l == ex).count(), 3);
+        // crossReacting edges are gone.
+        let cr = v.find_edge_label("crossReacting").unwrap();
+        assert_eq!(out.edges().filter(|(_, l, _)| *l == cr).count(), 0);
+    }
+
+    #[test]
+    fn constructors_are_injective_and_disjoint() {
+        // Two rules constructing A-nodes from the same input node yield the
+        // same output node; different labels yield different nodes.
+        let mut v = Vocab::new();
+        let a = v.node_label("A");
+        let b = v.node_label("B");
+        let unary = |l: NodeLabel| {
+            C2rpq::new(1, vec![Var(0)], vec![Atom { x: Var(0), y: Var(0), regex: Regex::node(l) }])
+        };
+        let mut t = Transformation::new();
+        t.add_node_rule(a, unary(a));
+        t.add_node_rule(b, unary(a)); // B-copy of every A-node
+        let mut g = Graph::new();
+        g.add_labeled_node([a]);
+        let out = t.apply(&g);
+        assert_eq!(out.num_nodes(), 2, "f_A(u) ≠ f_B(u)");
+    }
+
+    #[test]
+    fn edge_rules_can_leave_nodes_unlabeled() {
+        let mut v = Vocab::new();
+        let a = v.node_label("A");
+        let r = v.edge_label("r");
+        let body = C2rpq::new(
+            2,
+            vec![Var(0), Var(1)],
+            vec![Atom { x: Var(0), y: Var(1), regex: Regex::edge(r) }],
+        );
+        let mut t = Transformation::new();
+        t.add_edge_rule(r, (a, 1), (a, 1), body);
+        let mut g = Graph::new();
+        let n0 = g.add_labeled_node([a]);
+        let n1 = g.add_labeled_node([a]);
+        g.add_edge(n0, r, n1);
+        let out = t.apply(&g);
+        assert_eq!(out.num_nodes(), 2);
+        assert_eq!(out.num_edges(), 1);
+        // No node rules ran: the outputs are unlabeled (the situation the
+        // label-coverage check of Lemma B.6 detects).
+        assert!(out.nodes().all(|n| out.labels(n).is_empty()));
+    }
+
+    #[test]
+    fn validation_catches_arity_conflicts() {
+        let mut v = Vocab::new();
+        let a = v.node_label("A");
+        let r = v.edge_label("r");
+        let unary = C2rpq::new(
+            1,
+            vec![Var(0)],
+            vec![Atom { x: Var(0), y: Var(0), regex: Regex::node(a) }],
+        );
+        let binary = C2rpq::new(
+            2,
+            vec![Var(0), Var(1)],
+            vec![Atom { x: Var(0), y: Var(1), regex: Regex::edge(r) }],
+        );
+        let mut t = Transformation::new();
+        t.add_node_rule(a, unary);
+        // A's constructor is unary; using it with arity 2 is inconsistent.
+        t.add_edge_rule(r, (a, 2), (a, 0), binary);
+        assert_eq!(
+            t.validate().unwrap_err(),
+            TransformError::InconsistentConstructor { label: a }
+        );
+    }
+
+    #[test]
+    fn validation_catches_cyclic_bodies() {
+        let mut v = Vocab::new();
+        let a = v.node_label("A");
+        let r = v.edge_label("r");
+        let cyclic = C2rpq::new(
+            1,
+            vec![Var(0)],
+            vec![Atom { x: Var(0), y: Var(0), regex: Regex::edge(r) }],
+        );
+        let mut t = Transformation::new();
+        t.add_node_rule(a, cyclic);
+        assert_eq!(t.validate().unwrap_err(), TransformError::CyclicBody { rule: 0 });
+    }
+
+    #[test]
+    fn grouped_queries_example_4_3() {
+        let mut v = Vocab::new();
+        let t = medical_transformation(&mut v);
+        let vaccine = v.find_node_label("Vaccine").unwrap();
+        let antigen = v.find_node_label("Antigen").unwrap();
+        let targets = v.find_edge_label("targets").unwrap();
+        let dt = v.find_edge_label("designTarget").unwrap();
+        // Q_Vaccine has one disjunct: (Vaccine)(x).
+        assert_eq!(t.q_node(vaccine).disjuncts.len(), 1);
+        // Q_{Vaccine,targets,Antigen} = designTarget·crossReacting*.
+        let q = t.q_edge(vaccine, EdgeSym::fwd(targets), antigen);
+        assert_eq!(q.disjuncts.len(), 1);
+        // Q_{Vaccine,designTarget,Antigen} = designTarget.
+        let q2 = t.q_edge(vaccine, EdgeSym::fwd(dt), antigen);
+        assert_eq!(q2.disjuncts.len(), 1);
+        // The inverse grouping swaps answer blocks.
+        let q3 = t.q_edge(antigen, EdgeSym::bwd(dt), vaccine);
+        assert_eq!(q3.disjuncts.len(), 1);
+        assert_eq!(q3.disjuncts[0].free, vec![Var(1), Var(0)]);
+        // No rules create exhibits edges out of vaccines.
+        let ex = v.find_edge_label("exhibits").unwrap();
+        assert!(t.q_edge(vaccine, EdgeSym::fwd(ex), antigen).disjuncts.is_empty());
+    }
+
+    #[test]
+    fn gamma_sigma_of_transformation() {
+        let mut v = Vocab::new();
+        let t = medical_transformation(&mut v);
+        assert_eq!(t.node_labels().len(), 3);
+        assert_eq!(t.edge_labels().len(), 3); // designTarget, targets, exhibits
+        let vaccine = v.find_node_label("Vaccine").unwrap();
+        assert_eq!(t.ctor_arity(vaccine), Some(1));
+    }
+
+    #[test]
+    fn apply_is_idempotent_on_node_copies() {
+        // T0 applied twice: the second application sees the new graph
+        // (which has no crossReacting edges), so targets = designTarget.
+        let mut v = Vocab::new();
+        let t = medical_transformation(&mut v);
+        let g = medical_graph(&mut v);
+        let once = t.apply(&g);
+        let twice = t.apply(&once);
+        let targets = v.find_edge_label("targets").unwrap();
+        assert_eq!(twice.edges().filter(|(_, l, _)| *l == targets).count(), 1);
+    }
+
+    #[test]
+    fn render_is_readable() {
+        let mut v = Vocab::new();
+        let t = medical_transformation(&mut v);
+        let r = t.render(&v);
+        assert!(r.contains("targets(f_Vaccine(x0), f_Antigen(x1))"));
+        assert!(r.contains("Vaccine(f_Vaccine(x0))"));
+    }
+
+    #[test]
+    fn nre_node_rule_flattens_and_applies() {
+        use gts_query::{Nre, NreAtom, NreC2rpq};
+        // Covered(f(x)) ← Antigen(x) ∧ ⟨exhibits⁻⟩(x): antigens exhibited
+        // by some pathogen get a Covered copy.
+        let mut v = Vocab::new();
+        let antigen = v.node_label("Antigen");
+        let covered = v.node_label("Covered");
+        let ex = v.edge_label("exhibits");
+        let body = NreC2rpq::new(
+            1,
+            vec![Var(0)],
+            vec![
+                NreAtom { x: Var(0), y: Var(0), nre: Nre::node(antigen) },
+                NreAtom {
+                    x: Var(0),
+                    y: Var(0),
+                    nre: Nre::nest(Nre::sym(EdgeSym::bwd(ex))),
+                },
+            ],
+        );
+        let mut t = Transformation::new();
+        t.add_node_rule_nre(covered, body).unwrap();
+        t.validate().unwrap();
+
+        let g = medical_graph(&mut v);
+        // medical_graph: all three antigens are exhibited by the pathogen.
+        let out = t.apply(&g);
+        assert_eq!(out.num_nodes(), 3);
+        // Remove one exhibits edge: only two antigens remain covered.
+        let mut g2 = Graph::new();
+        let a1 = g2.add_labeled_node([antigen]);
+        let _a2 = g2.add_labeled_node([antigen]);
+        let p = g2.add_node();
+        g2.add_edge(p, ex, a1);
+        assert_eq!(t.apply(&g2).num_nodes(), 1);
+    }
+
+    #[test]
+    fn nre_alternation_distributes_into_rules() {
+        use gts_query::{FlattenError, Nre, NreAtom, NreC2rpq};
+        let mut v = Vocab::new();
+        let a = v.node_label("A");
+        let r = v.edge_label("r");
+        let s = v.edge_label("s");
+        // A(f(x)) ← ⟨r⟩+⟨s⟩ at x: two flattened rules.
+        let body = NreC2rpq::new(
+            1,
+            vec![Var(0)],
+            vec![NreAtom {
+                x: Var(0),
+                y: Var(0),
+                nre: Nre::nest(Nre::edge(r)).or(Nre::nest(Nre::edge(s))),
+            }],
+        );
+        let mut t = Transformation::new();
+        t.add_node_rule_nre(a, body).unwrap();
+        assert_eq!(t.rules.len(), 2);
+        t.validate().unwrap();
+
+        // A star-nested body is rejected with the flattening error.
+        let starred = NreC2rpq::new(
+            2,
+            vec![Var(0)],
+            vec![NreAtom {
+                x: Var(0),
+                y: Var(1),
+                nre: Nre::edge(r).then(Nre::nest(Nre::edge(s))).star(),
+            }],
+        );
+        let err = Transformation::new().add_node_rule_nre(a, starred).map(|_| ()).unwrap_err();
+        assert_eq!(err, FlattenError::NestUnderStar);
+    }
+}

@@ -1,0 +1,495 @@
+//! Data values via *literal nodes* — the data-model extension sketched in
+//! Section 7 ("Extending the data model"): dedicated node labels designate
+//! literal nodes whose identity **is** their data value, and a static
+//! *literal-safety* analysis (a cousin of type checking) verifies that a
+//! transformation never attempts to construct literal nodes from
+//! non-literal ones.
+//!
+//! * [`Value`] / [`ValueGraph`] — graphs whose literal-labeled nodes carry
+//!   values, with value-interning (`"42"` is the same node wherever it
+//!   appears, mirroring the paper's "identifiers are their data values");
+//! * [`check_literal_safety`] — for every rule constructing a node with a
+//!   literal label: the constructor must be unary (the value is copied,
+//!   not computed) and the rule body must force its argument to be a
+//!   literal of the same label, checked as a containment modulo the
+//!   source schema (Lemma B.7 style);
+//! * [`apply_with_values`] — executes a transformation and transports the
+//!   values onto the constructed literal copies (total exactly when
+//!   literal safety holds on well-formed inputs).
+
+use crate::analysis::{AnalysisError, Decision};
+use crate::transform::{Rule, Transformation};
+use gts_containment::{contains, ContainmentOptions};
+use gts_graph::{
+    EdgeLabel, FxHashMap, Graph, LabelSet, NodeId, NodeLabel, Vocab,
+};
+use gts_query::{Atom, C2rpq, Regex, Uc2rpq, Var};
+use gts_schema::Schema;
+
+/// A data value attached to a literal node.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// An integer literal.
+    Int(i64),
+    /// A string literal.
+    Str(String),
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+/// A graph with values on its literal nodes. Literal nodes are interned by
+/// `(label, value)`: creating the same literal twice yields the same node,
+/// which realizes the paper's "identifiers are their data values".
+#[derive(Clone, Debug, Default)]
+pub struct ValueGraph {
+    /// The underlying labeled graph.
+    pub graph: Graph,
+    /// Values of the literal nodes.
+    pub values: FxHashMap<NodeId, Value>,
+    interned: FxHashMap<(NodeLabel, Value), NodeId>,
+}
+
+/// Why a [`ValueGraph`] is ill-formed with respect to a literal
+/// designation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ValueError {
+    /// A node carries a literal label but no value.
+    MissingValue(NodeId),
+    /// A node carries a value but no literal label.
+    ValueOnNonLiteral(NodeId),
+}
+
+impl ValueGraph {
+    /// An empty value graph.
+    pub fn new() -> Self {
+        ValueGraph::default()
+    }
+
+    /// Adds a non-literal node with the given label.
+    pub fn add_entity(&mut self, label: NodeLabel) -> NodeId {
+        self.graph.add_labeled_node([label])
+    }
+
+    /// Interns a literal node: same `(label, value)` ⇒ same node.
+    pub fn add_literal(&mut self, label: NodeLabel, value: Value) -> NodeId {
+        if let Some(&id) = self.interned.get(&(label, value.clone())) {
+            return id;
+        }
+        let id = self.graph.add_labeled_node([label]);
+        self.values.insert(id, value.clone());
+        self.interned.insert((label, value), id);
+        id
+    }
+
+    /// Adds an edge.
+    pub fn add_edge(&mut self, src: NodeId, label: EdgeLabel, tgt: NodeId) -> bool {
+        self.graph.add_edge(src, label, tgt)
+    }
+
+    /// Checks well-formedness with respect to a set of literal labels:
+    /// literal-labeled nodes carry values, others do not.
+    pub fn well_formed(&self, literals: &LabelSet) -> Result<(), ValueError> {
+        for u in self.graph.nodes() {
+            let is_literal = !self.graph.labels(u).is_disjoint(literals);
+            match (is_literal, self.values.contains_key(&u)) {
+                (true, false) => return Err(ValueError::MissingValue(u)),
+                (false, true) => return Err(ValueError::ValueOnNonLiteral(u)),
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One literal-safety violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LiteralViolation {
+    /// A rule constructs a literal-labeled node with a non-unary
+    /// constructor (values cannot be invented from tuples).
+    NonUnaryConstructor {
+        /// Index of the offending rule.
+        rule: usize,
+        /// The literal label.
+        label: NodeLabel,
+    },
+    /// A rule's body does not force the constructor argument to be a
+    /// literal of the same label in the source.
+    SourceNotLiteral {
+        /// Index of the offending rule.
+        rule: usize,
+        /// The literal label being constructed.
+        label: NodeLabel,
+    },
+}
+
+/// The report of [`check_literal_safety`].
+#[derive(Clone, Debug)]
+pub struct LiteralSafetyReport {
+    /// All violations found (empty iff the transformation is well-behaved).
+    pub violations: Vec<LiteralViolation>,
+    /// `true` iff every containment test was certified.
+    pub certified: bool,
+}
+
+impl LiteralSafetyReport {
+    /// The report as a [`Decision`].
+    pub fn decision(&self) -> Decision {
+        Decision { holds: self.violations.is_empty(), certified: self.certified }
+    }
+}
+
+/// Checks that `t` never constructs literal nodes from non-literal ones
+/// (Section 7): every rule head touching a literal label `L ∈ literals`
+/// must use a unary constructor whose argument the body proves to be an
+/// `L`-literal of the source, i.e. `∃rest. body(x, rest) ⊆_S L(x)`.
+///
+/// ```
+/// use gts_core::prelude::*;
+/// use gts_core::query::{Atom, C2rpq, Regex, Var};
+/// use gts_core::schema::Mult;
+/// use gts_core::graph::LabelSet;
+/// use gts_core::{check_literal_safety, Transformation};
+///
+/// let mut v = Vocab::new();
+/// let product = v.node_label("Product");
+/// let price = v.node_label("Price");
+/// let has_price = v.edge_label("hasPrice");
+/// let mut s = Schema::new();
+/// s.set_edge(product, has_price, price, Mult::One, Mult::Star);
+/// let literals = LabelSet::singleton(price.0);
+///
+/// // Ill-behaved: mint a Price literal per Product.
+/// let mut t = Transformation::new();
+/// t.add_node_rule(price, C2rpq::new(1, vec![Var(0)], vec![Atom {
+///     x: Var(0), y: Var(0), regex: Regex::node(product),
+/// }]));
+/// let report =
+///     check_literal_safety(&t, &s, &literals, &mut v, &Default::default()).unwrap();
+/// assert!(!report.decision().holds);
+/// ```
+pub fn check_literal_safety(
+    t: &Transformation,
+    s: &Schema,
+    literals: &LabelSet,
+    vocab: &mut Vocab,
+    opts: &ContainmentOptions,
+) -> Result<LiteralSafetyReport, AnalysisError> {
+    t.validate().map_err(AnalysisError::Transform)?;
+    let mut violations = Vec::new();
+    let mut certified = true;
+
+    // Collect (rule index, literal label, body, positions of the
+    // constructor arguments within the body's free variables).
+    let mut obligations: Vec<(usize, NodeLabel, &C2rpq, std::ops::Range<usize>)> = Vec::new();
+    for (i, rule) in t.rules.iter().enumerate() {
+        match rule {
+            Rule::Node(r) if literals.contains(r.label.0) => {
+                obligations.push((i, r.label, &r.body, 0..r.body.free.len()));
+            }
+            Rule::Edge(r) => {
+                if literals.contains(r.src_label.0) {
+                    obligations.push((i, r.src_label, &r.body, 0..r.src_arity));
+                }
+                if literals.contains(r.tgt_label.0) {
+                    obligations.push((
+                        i,
+                        r.tgt_label,
+                        &r.body,
+                        r.src_arity..r.src_arity + r.tgt_arity,
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    for (rule, label, body, args) in obligations {
+        if args.len() != 1 {
+            violations.push(LiteralViolation::NonUnaryConstructor { rule, label });
+            continue;
+        }
+        // Project the body on the single constructor argument and test
+        // containment in L(x) modulo S.
+        let arg = body.free[args.start];
+        let projected = C2rpq::new(body.num_vars, vec![arg], body.atoms.clone());
+        let lhs = Uc2rpq::single(projected);
+        let rhs = Uc2rpq::single(C2rpq::new(
+            1,
+            vec![Var(0)],
+            vec![Atom { x: Var(0), y: Var(0), regex: Regex::node(label) }],
+        ));
+        let ans = contains(&lhs, &rhs, s, vocab, opts)?;
+        certified &= ans.certified;
+        if !ans.holds {
+            violations.push(LiteralViolation::SourceNotLiteral { rule, label });
+        }
+    }
+    Ok(LiteralSafetyReport { violations, certified })
+}
+
+/// Applies `t` to a value graph, transporting values onto constructed
+/// literal copies. A constructed node gets a value when its label is
+/// literal, its constructor is unary, and the source node carries a value;
+/// when literal safety holds and the input is well-formed this covers
+/// every literal output node (asserted in the tests, not at runtime —
+/// partial inputs still transform).
+pub fn apply_with_values(
+    t: &Transformation,
+    input: &ValueGraph,
+    literals: &LabelSet,
+) -> ValueGraph {
+    // Rebuild the output graph with the same constructor-interning
+    // semantics as `Transformation::apply`, transporting values along the
+    // way (self-contained on purpose: no reliance on node-id alignment
+    // between two applications).
+    let mut out = ValueGraph::new();
+    let mut ctor: FxHashMap<(NodeLabel, Vec<NodeId>), NodeId> = FxHashMap::default();
+    fn construct(
+        out: &mut ValueGraph,
+        ctor: &mut FxHashMap<(NodeLabel, Vec<NodeId>), NodeId>,
+        key: (NodeLabel, Vec<NodeId>),
+    ) -> NodeId {
+        if let Some(&id) = ctor.get(&key) {
+            return id;
+        }
+        let id = out.graph.add_node();
+        ctor.insert(key, id);
+        id
+    }
+    for rule in &t.rules {
+        match rule {
+            Rule::Node(r) => {
+                for tuple in r.body.eval(&input.graph) {
+                    let id = construct(&mut out, &mut ctor, (r.label, tuple.clone()));
+                    out.graph.add_label(id, r.label);
+                    transport(&mut out, input, literals, r.label, &tuple, id);
+                }
+            }
+            Rule::Edge(r) => {
+                for tuple in r.body.eval(&input.graph) {
+                    let (x, y) = tuple.split_at(r.src_arity);
+                    let src = construct(&mut out, &mut ctor, (r.src_label, x.to_vec()));
+                    let tgt = construct(&mut out, &mut ctor, (r.tgt_label, y.to_vec()));
+                    out.graph.add_edge(src, r.edge, tgt);
+                    transport(&mut out, input, literals, r.src_label, x, src);
+                    transport(&mut out, input, literals, r.tgt_label, y, tgt);
+                }
+            }
+        }
+    }
+    out
+}
+
+fn transport(
+    out: &mut ValueGraph,
+    input: &ValueGraph,
+    literals: &LabelSet,
+    label: NodeLabel,
+    args: &[NodeId],
+    id: NodeId,
+) {
+    if !literals.contains(label.0) {
+        return;
+    }
+    if let [src] = args {
+        if let Some(v) = input.values.get(src) {
+            out.values.entry(id).or_insert_with(|| v.clone());
+            out.interned.entry((label, v.clone())).or_insert(id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    
+    use gts_schema::Mult;
+
+    /// Product catalog: Product −priceOf⁻− Price(literal).
+    fn catalog(v: &mut Vocab) -> (Schema, NodeLabel, NodeLabel, EdgeLabel, LabelSet) {
+        let product = v.node_label("Product");
+        let price = v.node_label("Price");
+        let has_price = v.edge_label("hasPrice");
+        let mut s = Schema::new();
+        s.set_edge(product, has_price, price, Mult::One, Mult::Star);
+        let literals = LabelSet::singleton(price.0);
+        (s, product, price, has_price, literals)
+    }
+
+    fn unary(l: NodeLabel) -> C2rpq {
+        C2rpq::new(1, vec![Var(0)], vec![Atom { x: Var(0), y: Var(0), regex: Regex::node(l) }])
+    }
+
+    #[test]
+    fn literal_interning_dedupes() {
+        let mut v = Vocab::new();
+        let (_, product, price, has_price, literals) = catalog(&mut v);
+        let mut g = ValueGraph::new();
+        let p1 = g.add_entity(product);
+        let p2 = g.add_entity(product);
+        let nine = g.add_literal(price, Value::Int(9));
+        let nine_again = g.add_literal(price, Value::Int(9));
+        assert_eq!(nine, nine_again, "same value, same node");
+        let ten = g.add_literal(price, Value::Int(10));
+        assert_ne!(nine, ten);
+        g.add_edge(p1, has_price, nine);
+        g.add_edge(p2, has_price, nine);
+        assert!(g.well_formed(&literals).is_ok());
+        assert_eq!(g.graph.num_nodes(), 4);
+    }
+
+    #[test]
+    fn well_formedness_violations() {
+        let mut v = Vocab::new();
+        let (_, product, price, _, literals) = catalog(&mut v);
+        let mut g = ValueGraph::new();
+        // Literal label without value (bypassing add_literal).
+        let bad = g.graph.add_labeled_node([price]);
+        assert_eq!(g.well_formed(&literals), Err(ValueError::MissingValue(bad)));
+        // Value on a non-literal.
+        let mut g2 = ValueGraph::new();
+        let e = g2.add_entity(product);
+        g2.values.insert(e, Value::Int(1));
+        assert_eq!(g2.well_formed(&literals), Err(ValueError::ValueOnNonLiteral(e)));
+    }
+
+    #[test]
+    fn safe_copy_transformation_passes_and_transports_values() {
+        let mut v = Vocab::new();
+        let (s, product, price, has_price, literals) = catalog(&mut v);
+        // Identity-style migration: copy products, prices, and the edges.
+        let mut t = Transformation::new();
+        t.add_node_rule(product, unary(product))
+            .add_node_rule(price, unary(price))
+            .add_edge_rule(
+                has_price,
+                (product, 1),
+                (price, 1),
+                C2rpq::new(2, vec![Var(0), Var(1)], vec![Atom {
+                    x: Var(0),
+                    y: Var(1),
+                    regex: Regex::edge(has_price),
+                }]),
+            );
+        let report =
+            check_literal_safety(&t, &s, &literals, &mut v, &Default::default()).unwrap();
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        assert!(report.certified);
+
+        let mut g = ValueGraph::new();
+        let p = g.add_entity(product);
+        let nine = g.add_literal(price, Value::Int(9));
+        g.add_edge(p, has_price, nine);
+        let out = apply_with_values(&t, &g, &literals);
+        assert!(out.well_formed(&literals).is_ok());
+        assert_eq!(out.values.len(), 1);
+        assert_eq!(out.values.values().next(), Some(&Value::Int(9)));
+        assert_eq!(out.graph.num_edges(), 1);
+    }
+
+    #[test]
+    fn constructing_literals_from_entities_is_flagged() {
+        let mut v = Vocab::new();
+        let (s, product, price, _, literals) = catalog(&mut v);
+        // Ill-behaved: mint a Price literal per *Product*.
+        let mut t = Transformation::new();
+        t.add_node_rule(price, unary(product));
+        let report =
+            check_literal_safety(&t, &s, &literals, &mut v, &Default::default()).unwrap();
+        assert_eq!(
+            report.violations,
+            vec![LiteralViolation::SourceNotLiteral { rule: 0, label: price }]
+        );
+        assert!(report.certified);
+        assert!(!report.decision().holds);
+    }
+
+    #[test]
+    fn non_unary_literal_constructors_are_flagged() {
+        let mut v = Vocab::new();
+        let (s, product, price, has_price, literals) = catalog(&mut v);
+        // A binary constructor for a literal label: no way to pick a value.
+        let mut t = Transformation::new();
+        t.add_node_rule(
+            price,
+            C2rpq::new(2, vec![Var(0), Var(1)], vec![Atom {
+                x: Var(0),
+                y: Var(1),
+                regex: Regex::edge(has_price),
+            }]),
+        );
+        let report =
+            check_literal_safety(&t, &s, &literals, &mut v, &Default::default()).unwrap();
+        assert_eq!(
+            report.violations,
+            vec![LiteralViolation::NonUnaryConstructor { rule: 0, label: price }]
+        );
+        let _ = product;
+    }
+
+    #[test]
+    fn edge_rules_into_literals_are_checked_too() {
+        let mut v = Vocab::new();
+        let (s, product, price, has_price, literals) = catalog(&mut v);
+        // Edge rule whose target constructor takes the *product* variable:
+        // it would mint a literal node keyed by an entity.
+        let mut t = Transformation::new();
+        t.add_node_rule(product, unary(product))
+            .add_node_rule(price, unary(price))
+            .add_edge_rule(
+                has_price,
+                (product, 1),
+                (price, 1),
+                C2rpq::new(2, vec![Var(0), Var(0)], vec![Atom {
+                    x: Var(0),
+                    y: Var(1),
+                    regex: Regex::edge(has_price),
+                }]),
+            );
+        let report =
+            check_literal_safety(&t, &s, &literals, &mut v, &Default::default()).unwrap();
+        assert!(report
+            .violations
+            .contains(&LiteralViolation::SourceNotLiteral { rule: 2, label: price }));
+    }
+
+    #[test]
+    fn nine_is_shared_across_products_after_migration() {
+        // Two products with the same price: the output has ONE price node
+        // (constructors are injective per source node, but the source
+        // already interned the value).
+        let mut v = Vocab::new();
+        let (_s, product, price, has_price, literals) = catalog(&mut v);
+        let mut t = Transformation::new();
+        t.add_node_rule(product, unary(product))
+            .add_node_rule(price, unary(price))
+            .add_edge_rule(
+                has_price,
+                (product, 1),
+                (price, 1),
+                C2rpq::new(2, vec![Var(0), Var(1)], vec![Atom {
+                    x: Var(0),
+                    y: Var(1),
+                    regex: Regex::edge(has_price),
+                }]),
+            );
+        let mut g = ValueGraph::new();
+        let p1 = g.add_entity(product);
+        let p2 = g.add_entity(product);
+        let nine = g.add_literal(price, Value::Int(9));
+        g.add_edge(p1, has_price, nine);
+        g.add_edge(p2, has_price, nine);
+        let out = apply_with_values(&t, &g, &literals);
+        let price_nodes = out.graph.nodes().filter(|&u| out.graph.has_label(u, price)).count();
+        assert_eq!(price_nodes, 1);
+        assert_eq!(out.graph.num_edges(), 2);
+        assert!(out.well_formed(&literals).is_ok());
+    }
+}

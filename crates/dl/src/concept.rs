@@ -1,0 +1,200 @@
+//! Full ALCIF concept language (Section 3 of the paper).
+//!
+//! The grammar is
+//! `C ::= ⊥ | A | C ⊓ C | ¬C | ∃R.C | ∃≤1 R.C` with `A ∈ Γ`, `R ∈ Σ±`,
+//! and the usual sugar `⊤, ⊔, ∀R.C, ∄R.C`. This module provides the syntax
+//! tree and a direct (exponential-time, finite-model) evaluator used as a
+//! semantic oracle in tests; the decision procedures work on the Horn
+//! normal forms in [`crate::horn`] instead.
+
+use gts_graph::{EdgeSym, Graph, NodeId, NodeLabel, Vocab};
+
+/// An ALCIF concept.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Concept {
+    /// `⊥` — the empty concept.
+    Bottom,
+    /// A concept name `A ∈ Γ`.
+    Atom(NodeLabel),
+    /// Conjunction `C ⊓ D`.
+    And(Box<Concept>, Box<Concept>),
+    /// Negation `¬C`.
+    Not(Box<Concept>),
+    /// Existential restriction `∃R.C`.
+    Exists(EdgeSym, Box<Concept>),
+    /// At-most-one restriction `∃≤1 R.C`.
+    AtMostOne(EdgeSym, Box<Concept>),
+}
+
+impl Concept {
+    /// `⊤ := ¬⊥`.
+    pub fn top() -> Concept {
+        Concept::Not(Box::new(Concept::Bottom))
+    }
+
+    /// Disjunction `C ⊔ D := ¬(¬C ⊓ ¬D)`.
+    pub fn or(c: Concept, d: Concept) -> Concept {
+        Concept::Not(Box::new(Concept::And(
+            Box::new(Concept::Not(Box::new(c))),
+            Box::new(Concept::Not(Box::new(d))),
+        )))
+    }
+
+    /// Value restriction `∀R.C := ¬∃R.¬C`.
+    pub fn all(r: EdgeSym, c: Concept) -> Concept {
+        Concept::Not(Box::new(Concept::Exists(
+            r,
+            Box::new(Concept::Not(Box::new(c))),
+        )))
+    }
+
+    /// Negated existential `∄R.C := ¬∃R.C`.
+    pub fn not_exists(r: EdgeSym, c: Concept) -> Concept {
+        Concept::Not(Box::new(Concept::Exists(r, Box::new(c))))
+    }
+
+    /// Conjunction of concept names (`⊓` over a set; empty set is `⊤`).
+    pub fn names<I: IntoIterator<Item = NodeLabel>>(labels: I) -> Concept {
+        let mut it = labels.into_iter();
+        match it.next() {
+            None => Concept::top(),
+            Some(first) => it.fold(Concept::Atom(first), |acc, l| {
+                Concept::And(Box::new(acc), Box::new(Concept::Atom(l)))
+            }),
+        }
+    }
+
+    /// Evaluates the concept on a node of a finite graph (the standard
+    /// interpretation `·^G`).
+    pub fn holds_at(&self, g: &Graph, node: NodeId) -> bool {
+        match self {
+            Concept::Bottom => false,
+            Concept::Atom(a) => g.has_label(node, *a),
+            Concept::And(c, d) => c.holds_at(g, node) && d.holds_at(g, node),
+            Concept::Not(c) => !c.holds_at(g, node),
+            Concept::Exists(r, c) => g.successors(node, *r).any(|n| c.holds_at(g, n)),
+            Concept::AtMostOne(r, c) => {
+                g.successors(node, *r).filter(|&n| c.holds_at(g, n)).count() <= 1
+            }
+        }
+    }
+
+    /// Renders the concept using `vocab`.
+    pub fn render(&self, vocab: &Vocab) -> String {
+        match self {
+            Concept::Bottom => "⊥".into(),
+            Concept::Atom(a) => vocab.node_name(*a).into(),
+            Concept::And(c, d) => format!("({} ⊓ {})", c.render(vocab), d.render(vocab)),
+            Concept::Not(c) => format!("¬{}", c.render(vocab)),
+            Concept::Exists(r, c) => format!("∃{}.{}", vocab.sym_name(*r), c.render(vocab)),
+            Concept::AtMostOne(r, c) => {
+                format!("∃≤1{}.{}", vocab.sym_name(*r), c.render(vocab))
+            }
+        }
+    }
+}
+
+/// A general concept inclusion `C ⊑ D`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConceptInclusion {
+    /// Left-hand side.
+    pub lhs: Concept,
+    /// Right-hand side.
+    pub rhs: Concept,
+}
+
+impl ConceptInclusion {
+    /// `G ⊨ C ⊑ D` iff `C^G ⊆ D^G`.
+    pub fn satisfied_by(&self, g: &Graph) -> bool {
+        g.nodes()
+            .all(|n| !self.lhs.holds_at(g, n) || self.rhs.holds_at(g, n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gts_graph::Vocab;
+
+    fn tiny() -> (Vocab, Graph, NodeId, NodeId) {
+        let mut v = Vocab::new();
+        let a = v.node_label("A");
+        let b = v.node_label("B");
+        let r = v.edge_label("r");
+        let mut g = Graph::new();
+        let n0 = g.add_labeled_node([a]);
+        let n1 = g.add_labeled_node([b]);
+        g.add_edge(n0, r, n1);
+        (v, g, n0, n1)
+    }
+
+    #[test]
+    fn atoms_and_boolean_ops() {
+        let (v, g, n0, n1) = tiny();
+        let a = Concept::Atom(v.find_node_label("A").unwrap());
+        let b = Concept::Atom(v.find_node_label("B").unwrap());
+        assert!(a.holds_at(&g, n0));
+        assert!(!a.holds_at(&g, n1));
+        assert!(Concept::or(a.clone(), b.clone()).holds_at(&g, n0));
+        assert!(Concept::or(a.clone(), b.clone()).holds_at(&g, n1));
+        assert!(Concept::top().holds_at(&g, n0));
+        assert!(!Concept::Bottom.holds_at(&g, n0));
+        assert!(!Concept::And(Box::new(a), Box::new(b)).holds_at(&g, n0));
+    }
+
+    #[test]
+    fn exists_and_inverse() {
+        let (v, g, n0, n1) = tiny();
+        let b = Concept::Atom(v.find_node_label("B").unwrap());
+        let a = Concept::Atom(v.find_node_label("A").unwrap());
+        let r = v.find_edge_label("r").unwrap();
+        assert!(Concept::Exists(EdgeSym::fwd(r), Box::new(b)).holds_at(&g, n0));
+        assert!(Concept::Exists(EdgeSym::bwd(r), Box::new(a.clone())).holds_at(&g, n1));
+        assert!(!Concept::Exists(EdgeSym::fwd(r), Box::new(a)).holds_at(&g, n0));
+    }
+
+    #[test]
+    fn at_most_one_counts() {
+        let (mut v, mut g, n0, _) = tiny();
+        let b = v.node_label("B");
+        let r = v.find_edge_label("r").unwrap();
+        let c = Concept::AtMostOne(EdgeSym::fwd(r), Box::new(Concept::Atom(b)));
+        assert!(c.holds_at(&g, n0));
+        let n2 = g.add_labeled_node([b]);
+        g.add_edge(n0, r, n2);
+        assert!(!c.holds_at(&g, n0));
+    }
+
+    #[test]
+    fn all_values_sugar() {
+        let (v, g, n0, _) = tiny();
+        let b = Concept::Atom(v.find_node_label("B").unwrap());
+        let a = Concept::Atom(v.find_node_label("A").unwrap());
+        let r = v.find_edge_label("r").unwrap();
+        assert!(Concept::all(EdgeSym::fwd(r), b).holds_at(&g, n0));
+        assert!(!Concept::all(EdgeSym::fwd(r), a.clone()).holds_at(&g, n0));
+        // Vacuous ∀ on a node without successors.
+        assert!(Concept::all(EdgeSym::fwd(r), a).holds_at(&g, NodeId(1)));
+    }
+
+    #[test]
+    fn inclusion_satisfaction() {
+        let (v, g, _, _) = tiny();
+        let a = Concept::Atom(v.find_node_label("A").unwrap());
+        let b = Concept::Atom(v.find_node_label("B").unwrap());
+        let r = v.find_edge_label("r").unwrap();
+        let ci = ConceptInclusion { lhs: a.clone(), rhs: Concept::Exists(EdgeSym::fwd(r), Box::new(b)) };
+        assert!(ci.satisfied_by(&g));
+        let bad = ConceptInclusion { lhs: Concept::top(), rhs: a };
+        assert!(!bad.satisfied_by(&g));
+    }
+
+    #[test]
+    fn rendering_is_readable() {
+        let (v, _, _, _) = tiny();
+        let a = Concept::Atom(v.find_node_label("A").unwrap());
+        let r = v.find_edge_label("r").unwrap();
+        let c = Concept::Exists(EdgeSym::bwd(r), Box::new(a));
+        assert_eq!(c.render(&v), "∃r⁻.A");
+    }
+}

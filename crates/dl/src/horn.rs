@@ -1,0 +1,571 @@
+//! Horn-ALCIF TBoxes in the six normal forms of Section 3:
+//!
+//! `K ⊑ A`, `K ⊑ ⊥`, `K ⊑ ∀R.K'`, `K ⊑ ∃R.K'`, `K ⊑ ∄R.K'`, `K ⊑ ∃≤1 R.K'`,
+//!
+//! where `K, K'` are conjunctions of concept names (represented as
+//! [`LabelSet`]s; the empty set is `⊤`) and `R ∈ Σ±`. This is the fragment
+//! the whole pipeline runs on: schema TBoxes (Appendix B), rolled-up query
+//! TBoxes (Appendix C), and their completions (Section 5) are all Horn.
+
+use crate::concept::{Concept, ConceptInclusion};
+use gts_graph::{EdgeSym, Graph, LabelSet, NodeId, NodeLabel, Vocab};
+
+/// A Horn-ALCIF concept inclusion in normal form.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum HornCi {
+    /// `K ⊑ A`.
+    SubAtom {
+        /// Conjunction on the left.
+        lhs: LabelSet,
+        /// Concept name implied.
+        rhs: NodeLabel,
+    },
+    /// `K ⊑ ⊥`.
+    Bottom {
+        /// Conjunction that must be unsatisfied everywhere.
+        lhs: LabelSet,
+    },
+    /// `K ⊑ ∀R.K'`.
+    AllValues {
+        /// Conjunction on the left.
+        lhs: LabelSet,
+        /// Role (possibly inverse).
+        role: EdgeSym,
+        /// Conjunction forced on every `R`-successor.
+        rhs: LabelSet,
+    },
+    /// `K ⊑ ∃R.K'`.
+    Exists {
+        /// Conjunction on the left.
+        lhs: LabelSet,
+        /// Role (possibly inverse).
+        role: EdgeSym,
+        /// Conjunction some `R`-successor must satisfy.
+        rhs: LabelSet,
+    },
+    /// `K ⊑ ∄R.K'` (no `R`-successor satisfies `K'`).
+    NotExists {
+        /// Conjunction on the left.
+        lhs: LabelSet,
+        /// Role (possibly inverse).
+        role: EdgeSym,
+        /// Forbidden successor conjunction.
+        rhs: LabelSet,
+    },
+    /// `K ⊑ ∃≤1 R.K'` (at most one `R`-successor satisfies `K'`).
+    AtMostOne {
+        /// Conjunction on the left.
+        lhs: LabelSet,
+        /// Role (possibly inverse).
+        role: EdgeSym,
+        /// Counted successor conjunction.
+        rhs: LabelSet,
+    },
+}
+
+impl HornCi {
+    /// The left-hand conjunction of any normal form.
+    pub fn lhs(&self) -> &LabelSet {
+        match self {
+            HornCi::SubAtom { lhs, .. }
+            | HornCi::Bottom { lhs }
+            | HornCi::AllValues { lhs, .. }
+            | HornCi::Exists { lhs, .. }
+            | HornCi::NotExists { lhs, .. }
+            | HornCi::AtMostOne { lhs, .. } => lhs,
+        }
+    }
+
+    /// Translates to a general [`ConceptInclusion`] (for the semantic
+    /// oracle in tests).
+    pub fn to_general(&self) -> ConceptInclusion {
+        let names = |s: &LabelSet| Concept::names(s.iter().map(NodeLabel));
+        match self {
+            HornCi::SubAtom { lhs, rhs } => ConceptInclusion {
+                lhs: names(lhs),
+                rhs: Concept::Atom(*rhs),
+            },
+            HornCi::Bottom { lhs } => ConceptInclusion {
+                lhs: names(lhs),
+                rhs: Concept::Bottom,
+            },
+            HornCi::AllValues { lhs, role, rhs } => ConceptInclusion {
+                lhs: names(lhs),
+                rhs: Concept::all(*role, names(rhs)),
+            },
+            HornCi::Exists { lhs, role, rhs } => ConceptInclusion {
+                lhs: names(lhs),
+                rhs: Concept::Exists(*role, Box::new(names(rhs))),
+            },
+            HornCi::NotExists { lhs, role, rhs } => ConceptInclusion {
+                lhs: names(lhs),
+                rhs: Concept::not_exists(*role, names(rhs)),
+            },
+            HornCi::AtMostOne { lhs, role, rhs } => ConceptInclusion {
+                lhs: names(lhs),
+                rhs: Concept::AtMostOne(*role, Box::new(names(rhs))),
+            },
+        }
+    }
+
+    /// Renders the inclusion using `vocab`.
+    pub fn render(&self, vocab: &Vocab) -> String {
+        let k = |s: &LabelSet| {
+            if s.is_empty() {
+                "⊤".to_owned()
+            } else {
+                s.iter()
+                    .map(|l| vocab.node_name(NodeLabel(l)).to_owned())
+                    .collect::<Vec<_>>()
+                    .join("⊓")
+            }
+        };
+        match self {
+            HornCi::SubAtom { lhs, rhs } => {
+                format!("{} ⊑ {}", k(lhs), vocab.node_name(*rhs))
+            }
+            HornCi::Bottom { lhs } => format!("{} ⊑ ⊥", k(lhs)),
+            HornCi::AllValues { lhs, role, rhs } => {
+                format!("{} ⊑ ∀{}.{}", k(lhs), vocab.sym_name(*role), k(rhs))
+            }
+            HornCi::Exists { lhs, role, rhs } => {
+                format!("{} ⊑ ∃{}.{}", k(lhs), vocab.sym_name(*role), k(rhs))
+            }
+            HornCi::NotExists { lhs, role, rhs } => {
+                format!("{} ⊑ ∄{}.{}", k(lhs), vocab.sym_name(*role), k(rhs))
+            }
+            HornCi::AtMostOne { lhs, role, rhs } => {
+                format!("{} ⊑ ∃≤1{}.{}", k(lhs), vocab.sym_name(*role), k(rhs))
+            }
+        }
+    }
+}
+
+/// A violation of a Horn TBox by a finite graph, for diagnostics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// Index of the violated CI in the TBox.
+    pub ci_index: usize,
+    /// A node witnessing the violation.
+    pub node: NodeId,
+}
+
+/// A Horn-ALCIF TBox: a set of normal-form concept inclusions.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HornTbox {
+    /// The concept inclusions.
+    pub cis: Vec<HornCi>,
+}
+
+impl HornTbox {
+    /// An empty TBox.
+    pub fn new() -> Self {
+        HornTbox::default()
+    }
+
+    /// Adds a CI if not already present (keeps the TBox set-like).
+    pub fn push(&mut self, ci: HornCi) -> bool {
+        if self.cis.contains(&ci) {
+            false
+        } else {
+            self.cis.push(ci);
+            true
+        }
+    }
+
+    /// Union of several TBoxes.
+    pub fn merged<'a, I: IntoIterator<Item = &'a HornTbox>>(parts: I) -> HornTbox {
+        let mut t = HornTbox::new();
+        for p in parts {
+            for ci in &p.cis {
+                t.push(ci.clone());
+            }
+        }
+        t
+    }
+
+    /// Number of CIs.
+    pub fn len(&self) -> usize {
+        self.cis.len()
+    }
+
+    /// `true` iff the TBox has no CIs.
+    pub fn is_empty(&self) -> bool {
+        self.cis.is_empty()
+    }
+
+    /// Number of at-most constraints (the parameter `ℓ` of Theorem 6.1).
+    pub fn num_at_most(&self) -> usize {
+        self.cis
+            .iter()
+            .filter(|ci| matches!(ci, HornCi::AtMostOne { .. }))
+            .count()
+    }
+
+    /// All concept names mentioned anywhere in the TBox.
+    pub fn used_labels(&self) -> LabelSet {
+        let mut s = LabelSet::new();
+        for ci in &self.cis {
+            s.union_with(ci.lhs());
+            match ci {
+                HornCi::SubAtom { rhs, .. } => {
+                    s.insert(rhs.0);
+                }
+                HornCi::AllValues { rhs, .. }
+                | HornCi::Exists { rhs, .. }
+                | HornCi::NotExists { rhs, .. }
+                | HornCi::AtMostOne { rhs, .. } => s.union_with(rhs),
+                HornCi::Bottom { .. } => {}
+            }
+        }
+        s
+    }
+
+    /// All Σ± symbols mentioned in the TBox.
+    pub fn used_roles(&self) -> Vec<EdgeSym> {
+        let mut roles: Vec<EdgeSym> = Vec::new();
+        for ci in &self.cis {
+            if let HornCi::AllValues { role, .. }
+            | HornCi::Exists { role, .. }
+            | HornCi::NotExists { role, .. }
+            | HornCi::AtMostOne { role, .. } = ci
+            {
+                if !roles.contains(role) {
+                    roles.push(*role);
+                }
+            }
+        }
+        roles
+    }
+
+    /// Saturates `set` under the `K ⊑ A` rules; returns `None` if a
+    /// `K ⊑ ⊥` rule fires (the conjunction is inconsistent).
+    pub fn closure(&self, set: &LabelSet) -> Option<LabelSet> {
+        let mut cur = set.clone();
+        loop {
+            let mut changed = false;
+            for ci in &self.cis {
+                match ci {
+                    HornCi::SubAtom { lhs, rhs }
+                        if lhs.is_subset(&cur) && cur.insert(rhs.0) => {
+                            changed = true;
+                        }
+                    HornCi::Bottom { lhs }
+                        if lhs.is_subset(&cur) => {
+                            return None;
+                        }
+                    _ => {}
+                }
+            }
+            if !changed {
+                return Some(cur);
+            }
+        }
+    }
+
+    /// Labels forced by `∀`-rules on every `role`-successor of a node whose
+    /// label set is `src`.
+    pub fn propagate(&self, src: &LabelSet, role: EdgeSym) -> LabelSet {
+        let mut out = LabelSet::new();
+        for ci in &self.cis {
+            if let HornCi::AllValues { lhs, role: r, rhs } = ci {
+                if *r == role && lhs.is_subset(src) {
+                    out.union_with(rhs);
+                }
+            }
+        }
+        out
+    }
+
+    /// `true` iff an edge between a node of type `src` and a `role`-successor
+    /// of type `tgt` violates a `∄`-rule (checked in both directions).
+    pub fn edge_forbidden(&self, src: &LabelSet, role: EdgeSym, tgt: &LabelSet) -> bool {
+        self.cis.iter().any(|ci| {
+            if let HornCi::NotExists { lhs, role: r, rhs } = ci {
+                (*r == role && lhs.is_subset(src) && rhs.is_subset(tgt))
+                    || (*r == role.inv() && lhs.is_subset(tgt) && rhs.is_subset(src))
+            } else {
+                false
+            }
+        })
+    }
+
+    /// `true` iff the edge `(src) --role--> (tgt)` is locally consistent:
+    /// `∀`-propagation in both directions is absorbed and no `∄`-rule fires.
+    pub fn edge_ok(&self, src: &LabelSet, role: EdgeSym, tgt: &LabelSet) -> bool {
+        self.propagate(src, role).is_subset(tgt)
+            && self.propagate(tgt, role.inv()).is_subset(src)
+            && !self.edge_forbidden(src, role, tgt)
+    }
+
+    /// The `∃`-requirements applicable to a node of type `set`: deduplicated
+    /// `(role, K')` pairs from `K ⊑ ∃R.K'` rules with `K ⊆ set`.
+    pub fn requirements(&self, set: &LabelSet) -> Vec<(EdgeSym, LabelSet)> {
+        let mut reqs: Vec<(EdgeSym, LabelSet)> = Vec::new();
+        for ci in &self.cis {
+            if let HornCi::Exists { lhs, role, rhs } = ci {
+                if lhs.is_subset(set) && !reqs.iter().any(|(r, k)| r == role && k == rhs) {
+                    reqs.push((*role, rhs.clone()));
+                }
+            }
+        }
+        reqs
+    }
+
+    /// The at-most constraints applicable to a node of type `set`.
+    pub fn at_most(&self, set: &LabelSet) -> Vec<(EdgeSym, LabelSet)> {
+        let mut out: Vec<(EdgeSym, LabelSet)> = Vec::new();
+        for ci in &self.cis {
+            if let HornCi::AtMostOne { lhs, role, rhs } = ci {
+                if lhs.is_subset(set) && !out.iter().any(|(r, k)| r == role && k == rhs) {
+                    out.push((*role, rhs.clone()));
+                }
+            }
+        }
+        out
+    }
+
+    /// Checks every CI on every node of a finite graph; returns the first
+    /// violation found, if any.
+    pub fn check_graph(&self, g: &Graph) -> Result<(), Violation> {
+        for (ci_index, ci) in self.cis.iter().enumerate() {
+            for node in g.nodes() {
+                if !ci.lhs().is_subset(g.labels(node)) {
+                    continue;
+                }
+                let ok = match ci {
+                    HornCi::SubAtom { rhs, .. } => g.has_label(node, *rhs),
+                    HornCi::Bottom { .. } => false,
+                    HornCi::AllValues { role, rhs, .. } => g
+                        .successors(node, *role)
+                        .all(|n| rhs.is_subset(g.labels(n))),
+                    HornCi::Exists { role, rhs, .. } => g
+                        .successors(node, *role)
+                        .any(|n| rhs.is_subset(g.labels(n))),
+                    HornCi::NotExists { role, rhs, .. } => !g
+                        .successors(node, *role)
+                        .any(|n| rhs.is_subset(g.labels(n))),
+                    HornCi::AtMostOne { role, rhs, .. } => {
+                        g.successors(node, *role)
+                            .filter(|&n| rhs.is_subset(g.labels(n)))
+                            .count()
+                            <= 1
+                    }
+                };
+                if !ok {
+                    return Err(Violation { ci_index, node });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Renders all CIs, one per line.
+    pub fn render(&self, vocab: &Vocab) -> String {
+        self.cis
+            .iter()
+            .map(|ci| ci.render(vocab))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+/// Checks whether a finite graph satisfies a *Datalog-fragment* Horn TBox
+/// under the least valuation of the `mutable` concept names (Lemma C.2's
+/// notion of satisfaction for rolled-up TBoxes).
+///
+/// The TBox may only use `SubAtom`, `AllValues`, and `Bottom` CIs whenever a
+/// mutable label is involved; returns `None` if it falls outside that
+/// fragment. Otherwise computes the least fixpoint of the positive rules
+/// starting from `g`'s labels and reports whether all `Bottom` denials hold.
+pub fn datalog_satisfies(tbox: &HornTbox, g: &Graph, mutable: &LabelSet) -> Option<bool> {
+    // Validate the fragment: Exists/NotExists/AtMostOne may not mention
+    // mutable labels (they could not be handled by a least-fixpoint
+    // argument), and SubAtom/AllValues may only *derive* mutable labels.
+    for ci in &tbox.cis {
+        match ci {
+            HornCi::SubAtom { rhs, .. } => {
+                if !mutable.contains(rhs.0) {
+                    return None;
+                }
+            }
+            HornCi::AllValues { rhs, .. } => {
+                if !rhs.is_subset(mutable) {
+                    return None;
+                }
+            }
+            HornCi::Bottom { .. } => {}
+            _ => return None,
+        }
+    }
+    let mut labels: Vec<LabelSet> = g.nodes().map(|n| g.labels(n).clone()).collect();
+    loop {
+        let mut changed = false;
+        for ci in &tbox.cis {
+            match ci {
+                HornCi::SubAtom { lhs, rhs } => {
+                    for n in g.nodes() {
+                        if lhs.is_subset(&labels[n.0 as usize])
+                            && labels[n.0 as usize].insert(rhs.0)
+                        {
+                            changed = true;
+                        }
+                    }
+                }
+                HornCi::AllValues { lhs, role, rhs } => {
+                    for n in g.nodes() {
+                        if lhs.is_subset(&labels[n.0 as usize]) {
+                            for m in g.successors(n, *role) {
+                                let before = labels[m.0 as usize].len();
+                                labels[m.0 as usize].union_with(rhs);
+                                if labels[m.0 as usize].len() != before {
+                                    changed = true;
+                                }
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    Some(tbox.cis.iter().all(|ci| match ci {
+        HornCi::Bottom { lhs } => g.nodes().all(|n| !lhs.is_subset(&labels[n.0 as usize])),
+        _ => true,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gts_graph::Vocab;
+
+    struct Fix {
+        v: Vocab,
+        a: NodeLabel,
+        b: NodeLabel,
+        r: EdgeSym,
+    }
+
+    fn fix() -> Fix {
+        let mut v = Vocab::new();
+        let a = v.node_label("A");
+        let b = v.node_label("B");
+        let r = EdgeSym::fwd(v.edge_label("r"));
+        Fix { v, a, b, r }
+    }
+
+    fn set(labels: &[NodeLabel]) -> LabelSet {
+        LabelSet::from_iter(labels.iter().map(|l| l.0))
+    }
+
+    #[test]
+    fn closure_saturates_and_detects_bottom() {
+        let f = fix();
+        let mut t = HornTbox::new();
+        t.push(HornCi::SubAtom { lhs: set(&[f.a]), rhs: f.b });
+        let c = t.closure(&set(&[f.a])).unwrap();
+        assert!(c.contains(f.b.0));
+        t.push(HornCi::Bottom { lhs: set(&[f.a, f.b]) });
+        assert!(t.closure(&set(&[f.a])).is_none());
+        assert!(t.closure(&set(&[f.b])).is_some());
+    }
+
+    #[test]
+    fn propagate_pushes_all_values() {
+        let f = fix();
+        let mut t = HornTbox::new();
+        t.push(HornCi::AllValues { lhs: set(&[f.a]), role: f.r, rhs: set(&[f.b]) });
+        assert_eq!(t.propagate(&set(&[f.a]), f.r), set(&[f.b]));
+        assert!(t.propagate(&set(&[f.b]), f.r).is_empty());
+        assert!(t.propagate(&set(&[f.a]), f.r.inv()).is_empty());
+    }
+
+    #[test]
+    fn edge_ok_respects_propagation_and_denials() {
+        let f = fix();
+        let mut t = HornTbox::new();
+        t.push(HornCi::AllValues { lhs: set(&[f.a]), role: f.r, rhs: set(&[f.b]) });
+        assert!(t.edge_ok(&set(&[f.a]), f.r, &set(&[f.b])));
+        assert!(!t.edge_ok(&set(&[f.a]), f.r, &LabelSet::new()));
+        t.push(HornCi::NotExists { lhs: set(&[f.b]), role: f.r.inv(), rhs: set(&[f.a]) });
+        assert!(!t.edge_ok(&set(&[f.a]), f.r, &set(&[f.b])));
+    }
+
+    #[test]
+    fn requirements_and_at_most_filter_by_lhs() {
+        let f = fix();
+        let mut t = HornTbox::new();
+        t.push(HornCi::Exists { lhs: set(&[f.a]), role: f.r, rhs: set(&[f.b]) });
+        t.push(HornCi::AtMostOne { lhs: set(&[f.a]), role: f.r, rhs: set(&[f.b]) });
+        assert_eq!(t.requirements(&set(&[f.a])).len(), 1);
+        assert_eq!(t.requirements(&set(&[f.b])).len(), 0);
+        assert_eq!(t.at_most(&set(&[f.a])).len(), 1);
+        assert_eq!(t.num_at_most(), 1);
+    }
+
+    #[test]
+    fn check_graph_agrees_with_general_semantics() {
+        let f = fix();
+        let mut t = HornTbox::new();
+        t.push(HornCi::Exists { lhs: set(&[f.a]), role: f.r, rhs: set(&[f.b]) });
+        t.push(HornCi::AtMostOne { lhs: set(&[f.a]), role: f.r, rhs: set(&[f.b]) });
+
+        let mut g = Graph::new();
+        let n0 = g.add_labeled_node([f.a]);
+        let n1 = g.add_labeled_node([f.b]);
+        g.add_edge(n0, f.r.label, n1);
+
+        assert!(t.check_graph(&g).is_ok());
+        for ci in &t.cis {
+            assert!(ci.to_general().satisfied_by(&g));
+        }
+
+        let n2 = g.add_labeled_node([f.b]);
+        g.add_edge(n0, f.r.label, n2);
+        let viol = t.check_graph(&g).unwrap_err();
+        assert_eq!(viol.node, n0);
+        assert!(!t.cis[viol.ci_index].to_general().satisfied_by(&g));
+    }
+
+    #[test]
+    fn push_deduplicates() {
+        let f = fix();
+        let mut t = HornTbox::new();
+        assert!(t.push(HornCi::Bottom { lhs: set(&[f.a]) }));
+        assert!(!t.push(HornCi::Bottom { lhs: set(&[f.a]) }));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn datalog_least_model() {
+        // ⊤⊑q0, q0⊑∀r.q1, q1⊓B⊑q2, q2⊑⊥ : violated iff some r-successor has B.
+        let f = fix();
+        let mut v = f.v.clone();
+        let q0 = v.fresh_node_label("q");
+        let q1 = v.fresh_node_label("q");
+        let q2 = v.fresh_node_label("q");
+        let mutable = set(&[q0, q1, q2]);
+        let mut t = HornTbox::new();
+        t.push(HornCi::SubAtom { lhs: LabelSet::new(), rhs: q0 });
+        t.push(HornCi::AllValues { lhs: set(&[q0]), role: f.r, rhs: set(&[q1]) });
+        t.push(HornCi::SubAtom { lhs: set(&[q1, f.b]), rhs: q2 });
+        t.push(HornCi::Bottom { lhs: set(&[q2]) });
+
+        let mut g = Graph::new();
+        let n0 = g.add_labeled_node([f.a]);
+        let n1 = g.add_labeled_node([f.a]);
+        g.add_edge(n0, f.r.label, n1);
+        assert_eq!(datalog_satisfies(&t, &g, &mutable), Some(true));
+
+        g.add_label(n1, f.b);
+        assert_eq!(datalog_satisfies(&t, &g, &mutable), Some(false));
+
+        // Outside the fragment: an Exists CI.
+        t.push(HornCi::Exists { lhs: set(&[f.a]), role: f.r, rhs: set(&[f.b]) });
+        assert_eq!(datalog_satisfies(&t, &g, &mutable), None);
+    }
+}

@@ -1,0 +1,265 @@
+//! Dense bitsets over small `u32` universes.
+//!
+//! [`LabelSet`] is the workhorse of every decision procedure in this
+//! workspace: node-label sets of graph nodes, conjunctions `K` of concept
+//! names in Horn-ALCIF concept inclusions, and the "types" manipulated by
+//! the satisfiability engine are all label sets. Subset tests and unions are
+//! the hot operations, so the representation is a normalized `Vec<u64>`
+//! (no trailing zero blocks), which makes `Eq`/`Hash` structural.
+
+use std::fmt;
+
+/// A set of `u32` indices, stored as a dense bitset.
+///
+/// Invariant: the internal block vector never ends with a zero block, so two
+/// equal sets always have identical representations (required for `Eq` and
+/// `Hash`).
+#[derive(Clone, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct LabelSet {
+    blocks: Vec<u64>,
+}
+
+impl LabelSet {
+    /// The empty set.
+    #[inline]
+    pub fn new() -> Self {
+        LabelSet { blocks: Vec::new() }
+    }
+
+    /// Singleton set `{idx}`.
+    pub fn singleton(idx: u32) -> Self {
+        let mut s = LabelSet::new();
+        s.insert(idx);
+        s
+    }
+
+    /// Builds a set from an iterator of indices.
+    #[allow(clippy::should_implement_trait)]
+    pub fn from_iter<I: IntoIterator<Item = u32>>(iter: I) -> Self {
+        let mut s = LabelSet::new();
+        for i in iter {
+            s.insert(i);
+        }
+        s
+    }
+
+    fn normalize(&mut self) {
+        while self.blocks.last() == Some(&0) {
+            self.blocks.pop();
+        }
+    }
+
+    /// Inserts `idx`; returns `true` if it was not already present.
+    pub fn insert(&mut self, idx: u32) -> bool {
+        let (b, m) = (idx as usize / 64, 1u64 << (idx % 64));
+        if b >= self.blocks.len() {
+            self.blocks.resize(b + 1, 0);
+        }
+        let fresh = self.blocks[b] & m == 0;
+        self.blocks[b] |= m;
+        fresh
+    }
+
+    /// Removes `idx`; returns `true` if it was present.
+    pub fn remove(&mut self, idx: u32) -> bool {
+        let (b, m) = (idx as usize / 64, 1u64 << (idx % 64));
+        if b >= self.blocks.len() {
+            return false;
+        }
+        let present = self.blocks[b] & m != 0;
+        self.blocks[b] &= !m;
+        self.normalize();
+        present
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, idx: u32) -> bool {
+        let b = idx as usize / 64;
+        b < self.blocks.len() && self.blocks[b] & (1 << (idx % 64)) != 0
+    }
+
+    /// `true` iff the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.blocks.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// `true` iff `self ⊆ other`.
+    pub fn is_subset(&self, other: &LabelSet) -> bool {
+        if self.blocks.len() > other.blocks.len() {
+            return false;
+        }
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// `true` iff the sets share no element.
+    pub fn is_disjoint(&self, other: &LabelSet) -> bool {
+        self.blocks.iter().zip(&other.blocks).all(|(a, b)| a & b == 0)
+    }
+
+    /// In-place union.
+    pub fn union_with(&mut self, other: &LabelSet) {
+        if other.blocks.len() > self.blocks.len() {
+            self.blocks.resize(other.blocks.len(), 0);
+        }
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a |= b;
+        }
+    }
+
+    /// Union returning a new set.
+    pub fn union(&self, other: &LabelSet) -> LabelSet {
+        let mut s = self.clone();
+        s.union_with(other);
+        s
+    }
+
+    /// In-place intersection.
+    pub fn intersect_with(&mut self, other: &LabelSet) {
+        let n = self.blocks.len().min(other.blocks.len());
+        self.blocks.truncate(n);
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a &= b;
+        }
+        self.normalize();
+    }
+
+    /// Intersection returning a new set.
+    pub fn intersection(&self, other: &LabelSet) -> LabelSet {
+        let mut s = self.clone();
+        s.intersect_with(other);
+        s
+    }
+
+    /// Set difference `self \ other`, returning a new set.
+    pub fn difference(&self, other: &LabelSet) -> LabelSet {
+        let mut s = self.clone();
+        for (a, b) in s.blocks.iter_mut().zip(&other.blocks) {
+            *a &= !b;
+        }
+        s.normalize();
+        s
+    }
+
+    /// Iterates over the elements in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.blocks.iter().enumerate().flat_map(|(bi, &block)| {
+            let mut b = block;
+            std::iter::from_fn(move || {
+                if b == 0 {
+                    None
+                } else {
+                    let t = b.trailing_zeros();
+                    b &= b - 1;
+                    Some(bi as u32 * 64 + t)
+                }
+            })
+        })
+    }
+
+    /// The least element, if any.
+    pub fn first(&self) -> Option<u32> {
+        self.iter().next()
+    }
+}
+
+impl fmt::Debug for LabelSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl std::iter::FromIterator<u32> for LabelSet {
+    fn from_iter<I: IntoIterator<Item = u32>>(iter: I) -> Self {
+        LabelSet::from_iter(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = LabelSet::new();
+        assert!(s.insert(3));
+        assert!(!s.insert(3));
+        assert!(s.insert(130));
+        assert!(s.contains(3));
+        assert!(s.contains(130));
+        assert!(!s.contains(4));
+        assert_eq!(s.len(), 2);
+        assert!(s.remove(130));
+        assert!(!s.remove(130));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn normalization_makes_eq_structural() {
+        let mut a = LabelSet::new();
+        a.insert(200);
+        a.remove(200);
+        assert_eq!(a, LabelSet::new());
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut h1 = DefaultHasher::new();
+        let mut h2 = DefaultHasher::new();
+        a.hash(&mut h1);
+        LabelSet::new().hash(&mut h2);
+        assert_eq!(h1.finish(), h2.finish());
+    }
+
+    #[test]
+    fn subset_union_intersection() {
+        let a = LabelSet::from_iter([1, 2, 3]);
+        let b = LabelSet::from_iter([2, 3]);
+        assert!(b.is_subset(&a));
+        assert!(!a.is_subset(&b));
+        assert!(a.is_subset(&a));
+        assert_eq!(a.union(&b), a);
+        assert_eq!(a.intersection(&b), b);
+        assert_eq!(a.difference(&b), LabelSet::singleton(1));
+    }
+
+    #[test]
+    fn subset_across_block_boundaries() {
+        let a = LabelSet::from_iter([1, 100]);
+        let b = LabelSet::singleton(1);
+        assert!(b.is_subset(&a));
+        assert!(!a.is_subset(&b));
+    }
+
+    #[test]
+    fn disjointness() {
+        let a = LabelSet::from_iter([1, 65]);
+        let b = LabelSet::from_iter([2, 66]);
+        assert!(a.is_disjoint(&b));
+        assert!(!a.is_disjoint(&LabelSet::singleton(65)));
+    }
+
+    #[test]
+    fn iter_in_order() {
+        let s = LabelSet::from_iter([70, 1, 64, 0]);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 1, 64, 70]);
+        assert_eq!(s.first(), Some(0));
+        assert_eq!(LabelSet::new().first(), None);
+    }
+
+    #[test]
+    fn empty_set_properties() {
+        let e = LabelSet::new();
+        assert!(e.is_empty());
+        assert!(e.is_subset(&e));
+        assert!(e.is_disjoint(&e));
+        assert_eq!(e.len(), 0);
+    }
+}

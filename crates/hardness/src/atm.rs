@@ -1,0 +1,418 @@
+//! Alternating Turing machines with polynomially bounded space — the
+//! special variant of Appendix F:
+//!
+//! * a single initial state that is never re-entered;
+//! * final states `q_yes`, `q_no` with no outgoing transitions;
+//! * exactly two transition tables `δ1`, `δ2`, total on non-final states;
+//! * reserved symbols `□` (blank), `⊲` (left boundary), `⊳` (right
+//!   boundary), with boundary-preserving transitions.
+//!
+//! The direct interpreter decides acceptance by a least fixpoint over the
+//! reachable configuration graph (an accepting *run* is a finite tree), and
+//! can reconstruct an accepting run tree — which the reduction tests use to
+//! build the counterexample graph of Theorem F.1.
+
+use gts_graph::{FxHashMap, FxHashSet};
+
+/// A tape symbol (index into the machine's alphabet).
+pub type Sym = usize;
+/// A machine state (index).
+pub type State = usize;
+
+/// Head movement.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Dir {
+    /// Move left.
+    L,
+    /// Move right.
+    R,
+}
+
+/// One transition: rewrite, move, switch state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Trans {
+    /// New state.
+    pub state: State,
+    /// Symbol written.
+    pub write: Sym,
+    /// Head movement.
+    pub dir: Dir,
+}
+
+/// An alternating Turing machine (Appendix F variant).
+#[derive(Clone, Debug)]
+pub struct Atm {
+    /// Number of states.
+    pub num_states: usize,
+    /// Number of alphabet symbols (including the reserved three).
+    pub num_syms: usize,
+    /// The initial state (never re-entered).
+    pub initial: State,
+    /// The accepting final state.
+    pub q_yes: State,
+    /// The rejecting final state.
+    pub q_no: State,
+    /// `universal[q]` iff `q ∈ K∀` (final states are neither).
+    pub universal: Vec<bool>,
+    /// Blank symbol `□`.
+    pub blank: Sym,
+    /// Left boundary `⊲`.
+    pub lmark: Sym,
+    /// Right boundary `⊳`.
+    pub rmark: Sym,
+    /// The two transition tables, keyed by `(state, read symbol)`.
+    pub delta: [FxHashMap<(State, Sym), Trans>; 2],
+}
+
+/// A machine configuration: state, head position (0-based cell index), and
+/// tape contents.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Config {
+    /// Current state.
+    pub state: State,
+    /// Head position.
+    pub head: usize,
+    /// Tape contents (fixed length = the space bound).
+    pub tape: Vec<Sym>,
+}
+
+/// A node of an accepting run tree.
+#[derive(Clone, Debug)]
+pub struct RunNode {
+    /// The configuration at this node.
+    pub config: Config,
+    /// Children: `(branch index ∈ {0,1}, subtree)`. Universal nodes have
+    /// both branches, existential nodes exactly one, final nodes none.
+    pub children: Vec<(usize, RunNode)>,
+}
+
+impl Atm {
+    /// Is `q` final?
+    pub fn is_final(&self, q: State) -> bool {
+        q == self.q_yes || q == self.q_no
+    }
+
+    /// The initial configuration for `input` padded to `space` cells:
+    /// `⊲ · input · □ … □ · ⊳` with the head on the first input cell.
+    pub fn initial_config(&self, input: &[Sym], space: usize) -> Config {
+        assert!(space >= input.len() + 2, "space bound too small for the input");
+        let mut tape = vec![self.blank; space];
+        tape[0] = self.lmark;
+        tape[space - 1] = self.rmark;
+        tape[1..1 + input.len()].copy_from_slice(input);
+        Config { state: self.initial, head: 1.min(space - 1), tape }
+    }
+
+    /// Applies transition table `branch` to `c`; `None` if the state is
+    /// final or the move would leave the tape.
+    pub fn step(&self, c: &Config, branch: usize) -> Option<Config> {
+        if self.is_final(c.state) {
+            return None;
+        }
+        let t = self.delta[branch].get(&(c.state, c.tape[c.head]))?;
+        let mut tape = c.tape.clone();
+        tape[c.head] = t.write;
+        let head = match t.dir {
+            Dir::L => c.head.checked_sub(1)?,
+            Dir::R => {
+                if c.head + 1 >= tape.len() {
+                    return None;
+                }
+                c.head + 1
+            }
+        };
+        Some(Config { state: t.state, head, tape })
+    }
+
+    /// Decides acceptance of `input` within `space` cells: least fixpoint
+    /// of "accepting" over the reachable configuration graph.
+    pub fn accepts(&self, input: &[Sym], space: usize) -> bool {
+        let init = self.initial_config(input, space);
+        // Forward reachability.
+        let mut reach: FxHashSet<Config> = FxHashSet::default();
+        let mut stack = vec![init.clone()];
+        reach.insert(init.clone());
+        while let Some(c) = stack.pop() {
+            for branch in 0..2 {
+                if let Some(n) = self.step(&c, branch) {
+                    if reach.insert(n.clone()) {
+                        stack.push(n);
+                    }
+                }
+            }
+        }
+        // Least fixpoint of acceptance.
+        let mut accepting: FxHashSet<Config> = reach
+            .iter()
+            .filter(|c| c.state == self.q_yes)
+            .cloned()
+            .collect();
+        loop {
+            let mut changed = false;
+            for c in &reach {
+                if accepting.contains(c) || self.is_final(c.state) {
+                    continue;
+                }
+                let succ: Vec<bool> = (0..2)
+                    .map(|b| self.step(c, b).is_some_and(|n| accepting.contains(&n)))
+                    .collect();
+                let acc = if self.universal[c.state] {
+                    succ[0] && succ[1] && self.step(c, 0).is_some() && self.step(c, 1).is_some()
+                } else {
+                    succ[0] || succ[1]
+                };
+                if acc {
+                    accepting.insert(c.clone());
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        accepting.contains(&init)
+    }
+
+    /// Reconstructs an accepting run tree, if the machine accepts.
+    pub fn accepting_run(&self, input: &[Sym], space: usize) -> Option<RunNode> {
+        if !self.accepts(input, space) {
+            return None;
+        }
+        // Re-derive the accepting set (small inputs only; clarity over
+        // speed) and build the tree greedily, preferring shallow subtrees.
+        let init = self.initial_config(input, space);
+        let mut depth: FxHashMap<Config, usize> = FxHashMap::default();
+        // Iterative deepening of the acceptance fixpoint to get ranks.
+        let mut frontier: Vec<Config> = Vec::new();
+        let mut reach: FxHashSet<Config> = FxHashSet::default();
+        let mut stack = vec![init.clone()];
+        reach.insert(init.clone());
+        while let Some(c) = stack.pop() {
+            for branch in 0..2 {
+                if let Some(n) = self.step(&c, branch) {
+                    if reach.insert(n.clone()) {
+                        stack.push(n);
+                    }
+                }
+            }
+        }
+        for c in &reach {
+            if c.state == self.q_yes {
+                depth.insert(c.clone(), 0);
+                frontier.push(c.clone());
+            }
+        }
+        let mut rank = 0usize;
+        while !depth.contains_key(&init) && rank <= reach.len() {
+            rank += 1;
+            for c in &reach {
+                if depth.contains_key(c) || self.is_final(c.state) {
+                    continue;
+                }
+                let d = |b: usize| {
+                    self.step(c, b).and_then(|n| depth.get(&n).copied())
+                };
+                let acc = if self.universal[c.state] {
+                    matches!((d(0), d(1)), (Some(a), Some(b)) if a.max(b) < rank)
+                } else {
+                    matches!(d(0), Some(a) if a < rank) || matches!(d(1), Some(b) if b < rank)
+                };
+                if acc {
+                    depth.insert(c.clone(), rank);
+                }
+            }
+        }
+        fn build(atm: &Atm, c: &Config, depth: &FxHashMap<Config, usize>) -> RunNode {
+            let mut children = Vec::new();
+            if !atm.is_final(c.state) {
+                let my_depth = depth[c];
+                if atm.universal[c.state] {
+                    for b in 0..2 {
+                        let n = atm.step(c, b).expect("universal accepting node has both");
+                        children.push((b, build(atm, &n, depth)));
+                    }
+                } else {
+                    // Pick one accepting branch of smaller depth.
+                    for b in 0..2 {
+                        if let Some(n) = atm.step(c, b) {
+                            if depth.get(&n).is_some_and(|&d| d < my_depth) {
+                                children.push((b, build(atm, &n, depth)));
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+            RunNode { config: c.clone(), children }
+        }
+        Some(build(self, &init, &depth))
+    }
+}
+
+/// Builders for small test machines.
+pub mod machines {
+    use super::*;
+
+    /// Alphabet: 0 = bit0, 1 = bit1, 2 = □, 3 = ⊲, 4 = ⊳.
+    pub const BIT0: Sym = 0;
+    /// Bit 1.
+    pub const BIT1: Sym = 1;
+
+    fn skeleton(num_states: usize, universal: Vec<bool>) -> Atm {
+        Atm {
+            num_states,
+            num_syms: 5,
+            initial: 0,
+            q_yes: num_states - 2,
+            q_no: num_states - 1,
+            universal,
+            blank: 2,
+            lmark: 3,
+            rmark: 4,
+            delta: [FxHashMap::default(), FxHashMap::default()],
+        }
+    }
+
+    /// Accepts everything: both branches of `q0` go straight to `q_yes`.
+    pub fn always_accept() -> Atm {
+        let mut m = skeleton(3, vec![false, false, false]);
+        for s in 0..5 {
+            for b in 0..2 {
+                m.delta[b].insert((0, s), Trans { state: 1, write: s, dir: Dir::R });
+            }
+        }
+        m
+    }
+
+    /// Rejects everything.
+    pub fn always_reject() -> Atm {
+        let mut m = skeleton(3, vec![false, false, false]);
+        for s in 0..5 {
+            for b in 0..2 {
+                m.delta[b].insert((0, s), Trans { state: 2, write: s, dir: Dir::R });
+            }
+        }
+        m
+    }
+
+    /// Accepts iff the first input bit is 1 (existential choice is
+    /// irrelevant; both branches agree).
+    pub fn first_bit_one() -> Atm {
+        let mut m = skeleton(3, vec![false, false, false]);
+        for b in 0..2 {
+            m.delta[b].insert((0, BIT1), Trans { state: 1, write: BIT1, dir: Dir::R });
+            m.delta[b].insert((0, BIT0), Trans { state: 2, write: BIT0, dir: Dir::R });
+            m.delta[b].insert((0, m.blank), Trans { state: 2, write: 2, dir: Dir::R });
+            m.delta[b].insert((0, m.rmark), Trans { state: 2, write: 4, dir: Dir::L });
+            m.delta[b].insert((0, m.lmark), Trans { state: 2, write: 3, dir: Dir::R });
+        }
+        m
+    }
+
+    /// A universal root over two (identical) branches followed by a
+    /// right-then-left shuffle and a verdict on the first bit — exercising
+    /// a depth-3 run tree whose root has two children.
+    pub fn universal_both_checks() -> Atm {
+        // States: 0 = init (universal), 1 = right (exist.),
+        // 2 = verdict (exist.), 3 = q_yes, 4 = q_no.
+        let mut m = Atm {
+            num_states: 5,
+            num_syms: 5,
+            initial: 0,
+            q_yes: 3,
+            q_no: 4,
+            universal: vec![true, false, false, false, false],
+            blank: 2,
+            lmark: 3,
+            rmark: 4,
+            delta: [FxHashMap::default(), FxHashMap::default()],
+        };
+        for s in 0..5usize {
+            let verdict = if s == BIT1 { 3 } else { 4 };
+            for b in 0..2 {
+                // Universal root: both branches step right into state 1.
+                m.delta[b].insert((0, s), Trans { state: 1, write: s, dir: Dir::R });
+                // Come back left onto the bit.
+                m.delta[b].insert((1, s), Trans { state: 2, write: s, dir: Dir::L });
+                // Verdict on the bit under the head.
+                m.delta[b].insert((2, s), Trans { state: verdict, write: s, dir: Dir::R });
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::machines::*;
+    use super::*;
+
+    #[test]
+    fn always_accept_and_reject() {
+        assert!(machines::always_accept().accepts(&[BIT0], 4));
+        assert!(!machines::always_reject().accepts(&[BIT0], 4));
+        assert!(machines::always_accept().accepts(&[BIT1, BIT0], 5));
+    }
+
+    #[test]
+    fn first_bit_machine() {
+        let m = first_bit_one();
+        assert!(m.accepts(&[BIT1], 4));
+        assert!(!m.accepts(&[BIT0], 4));
+        assert!(m.accepts(&[BIT1, BIT0], 5));
+        assert!(!m.accepts(&[BIT0, BIT1], 5));
+    }
+
+    #[test]
+    fn universal_machine_requires_both_branches() {
+        let m = universal_both_checks();
+        // The head starts on bit 1: branch "check-here" reads the cell
+        // right of the bit and moves back; both verdicts look at the cell
+        // under the head after one R one L = the original bit.
+        assert!(m.accepts(&[BIT1], 4));
+        assert!(!m.accepts(&[BIT0], 4));
+    }
+
+    #[test]
+    fn accepting_run_is_well_formed() {
+        let m = universal_both_checks();
+        let run = m.accepting_run(&[BIT1], 4).expect("accepts");
+        // Root is universal: two children.
+        assert_eq!(run.children.len(), 2);
+        // Every leaf is q_yes.
+        fn leaves_ok(m: &Atm, n: &RunNode) -> bool {
+            if n.children.is_empty() {
+                n.config.state == m.q_yes
+            } else {
+                n.children.iter().all(|(_, c)| leaves_ok(m, c))
+            }
+        }
+        assert!(leaves_ok(&m, &run));
+        // Children are consistent with the step function.
+        for (b, c) in &run.children {
+            assert_eq!(m.step(&run.config, *b).unwrap(), c.config);
+        }
+        assert!(m.accepting_run(&[BIT0], 4).is_none());
+    }
+
+    #[test]
+    fn initial_config_layout() {
+        let m = first_bit_one();
+        let c = m.initial_config(&[BIT1, BIT0], 6);
+        assert_eq!(c.tape, vec![3, BIT1, BIT0, 2, 2, 4]);
+        assert_eq!(c.head, 1);
+        assert_eq!(c.state, 0);
+    }
+
+    #[test]
+    fn boundary_moves_fail_safely() {
+        let m = first_bit_one();
+        let mut c = m.initial_config(&[BIT0], 4);
+        c.head = 0;
+        // Moving left off the tape yields None rather than a panic.
+        let t = Trans { state: 1, write: 3, dir: Dir::L };
+        let mut m2 = m.clone();
+        m2.delta[0].insert((0, 3), t);
+        assert!(m2.step(&c, 0).is_none());
+    }
+}

@@ -1,0 +1,32 @@
+//! # gts-hardness
+//!
+//! The EXPTIME lower bound of *Static Analysis of Graph Database
+//! Transformations* (PODS 2023, Theorem F.1 / Appendix F): a polynomial
+//! reduction from acceptance of alternating Turing machines with
+//! polynomially bounded space (ASPACE = EXPTIME) to non-containment of
+//! Boolean 2RPQs modulo schema.
+//!
+//! The crate ships the ATM variant of Appendix F with a direct
+//! interpreter ([`Atm::accepts`]) and run-tree reconstruction, the
+//! reduction generator ([`reduce`]), and the run-encoding
+//! ([`encode_run`]) used to validate the reduction semantically on small
+//! machines.
+//!
+//! ```
+//! use gts_graph::Vocab;
+//! use gts_hardness::{machines, reduce};
+//!
+//! let m = machines::first_bit_one();
+//! assert!(m.accepts(&[machines::BIT1], 4));
+//! let mut vocab = Vocab::new();
+//! let reduction = reduce(&m, &[machines::BIT1], 4, &mut vocab);
+//! assert!(reduction.positive.size() > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+mod atm;
+mod reduction;
+
+pub use atm::{machines, Atm, Config, Dir, RunNode, State, Sym, Trans};
+pub use reduction::{encode_run, reduce, Reduction, ReductionLabels};

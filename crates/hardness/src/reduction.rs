@@ -1,0 +1,519 @@
+//! The EXPTIME-hardness reduction of Theorem F.1 (Appendix F): from
+//! acceptance of a polynomially-space-bounded ATM to (non-)containment of
+//! Boolean 2RPQs modulo schema.
+//!
+//! `M(w) = yes  iff  p_{M,w} ⊄_S q_M`: a counterexample graph — one that
+//! satisfies the *positive* query `p` and avoids the *negative* query `q` —
+//! is exactly (the encoding of) an accepting run of `M` on `w`. The
+//! construction uses the nesting macro `p[q] = p·q·q⁻` throughout, and the
+//! positive query performs an Euler traversal of the run tree (Figure 8).
+//!
+//! The generator is faithful and polynomial; correctness is exercised in
+//! tests by *encoding actual runs* of small machines and evaluating both
+//! queries on them (running the EXPTIME decision procedure itself on
+//! reduction outputs is out of reach by design — that is the point of the
+//! lower bound).
+
+use crate::atm::{Atm, Dir, RunNode, State, Sym};
+use gts_graph::{EdgeLabel, EdgeSym, Graph, NodeId, NodeLabel, Vocab};
+use gts_query::{Atom, C2rpq, Regex, Var};
+use gts_schema::{Mult, Schema};
+
+/// Label handles of a reduction instance.
+#[derive(Clone, Debug)]
+pub struct ReductionLabels {
+    /// Node label of configuration nodes.
+    pub config: NodeLabel,
+    /// Node label of tape-cell nodes.
+    pub pos: NodeLabel,
+    /// Node label of symbol nodes.
+    pub symb: NodeLabel,
+    /// Node label of state nodes.
+    pub st: NodeLabel,
+    /// Transition edge labels `[∃1, ∃2, ∀1, ∀2]`.
+    pub trans: [EdgeLabel; 4],
+    /// `pos_i` edge labels (index = 0-based cell).
+    pub pos_edges: Vec<EdgeLabel>,
+    /// `a` edge labels per alphabet symbol.
+    pub sym_edges: Vec<EdgeLabel>,
+    /// `q` edge labels per machine state.
+    pub state_edges: Vec<EdgeLabel>,
+}
+
+/// A generated reduction instance.
+#[derive(Clone, Debug)]
+pub struct Reduction {
+    /// The schema `S` of Figure 7.
+    pub schema: Schema,
+    /// The positive Boolean 2RPQ `p_{M,w}`.
+    pub positive: C2rpq,
+    /// The negative Boolean 2RPQ `q_M`.
+    pub negative: C2rpq,
+    /// Label handles (for encoding runs).
+    pub labels: ReductionLabels,
+    /// The space bound `m`.
+    pub space: usize,
+}
+
+const EX1: usize = 0;
+const EX2: usize = 1;
+const ALL1: usize = 2;
+const ALL2: usize = 3;
+
+/// Builds the reduction for machine `atm` on `input` with space bound
+/// `space` (Theorem F.1). The output sizes are polynomial in
+/// `space · |A| · |K|`.
+pub fn reduce(atm: &Atm, input: &[Sym], space: usize, vocab: &mut Vocab) -> Reduction {
+    let labels = make_labels(atm, space, vocab);
+    let schema = make_schema(atm, &labels);
+    let positive = positive_query(atm, input, space, &labels);
+    let negative = negative_query(atm, space, &labels);
+    Reduction { schema, positive, negative, labels, space }
+}
+
+fn make_labels(atm: &Atm, space: usize, vocab: &mut Vocab) -> ReductionLabels {
+    ReductionLabels {
+        config: vocab.node_label("Config"),
+        pos: vocab.node_label("Pos"),
+        symb: vocab.node_label("Symb"),
+        st: vocab.node_label("St"),
+        trans: [
+            vocab.edge_label("ex1"),
+            vocab.edge_label("ex2"),
+            vocab.edge_label("all1"),
+            vocab.edge_label("all2"),
+        ],
+        pos_edges: (0..space).map(|i| vocab.edge_label(&format!("pos{}", i + 1))).collect(),
+        sym_edges: (0..atm.num_syms).map(|a| vocab.edge_label(&format!("sym{a}"))).collect(),
+        state_edges: (0..atm.num_states).map(|q| vocab.edge_label(&format!("st{q}"))).collect(),
+    }
+}
+
+fn make_schema(atm: &Atm, l: &ReductionLabels) -> Schema {
+    let mut s = Schema::new();
+    for t in l.trans {
+        s.set_edge(l.config, t, l.config, Mult::Opt, Mult::Opt);
+    }
+    for &p in &l.pos_edges {
+        s.set_edge(l.config, p, l.pos, Mult::Opt, Mult::Opt);
+    }
+    for a in 0..atm.num_syms {
+        s.set_edge(l.pos, l.sym_edges[a], l.symb, Mult::Opt, Mult::Opt);
+    }
+    for q in 0..atm.num_states {
+        s.set_edge(l.pos, l.state_edges[q], l.st, Mult::Opt, Mult::Opt);
+    }
+    s
+}
+
+/// `p[q] = p·q·q⁻` with `p = ε`: the loop `q·q⁻`.
+fn looped(q: Regex) -> Regex {
+    Regex::Epsilon.nest(q)
+}
+
+impl ReductionLabels {
+    /// `Symbol_{i,a} = Config[pos_i · a]` — a loop asserting that the tape
+    /// cell `i` of this configuration holds symbol `a`.
+    fn symbol(&self, i: usize, a: Sym) -> Regex {
+        Regex::node(self.config)
+            .nest(Regex::edge(self.pos_edges[i]).then(Regex::edge(self.sym_edges[a])))
+    }
+
+    /// `State_{i,q} = Config[pos_i · q]`.
+    fn state_at(&self, i: usize, q: State) -> Regex {
+        Regex::node(self.config)
+            .nest(Regex::edge(self.pos_edges[i]).then(Regex::edge(self.state_edges[q])))
+    }
+
+    /// `State_q = Config[+_i pos_i · q]`.
+    fn state_any(&self, q: State) -> Regex {
+        Regex::node(self.config).nest(Regex::alt_all(self.pos_edges.iter().map(|&p| {
+            Regex::edge(p).then(Regex::edge(self.state_edges[q]))
+        })))
+    }
+
+    /// `Head_i = Config[+_q pos_i · q]`.
+    fn head_at(&self, i: usize, num_states: usize) -> Regex {
+        Regex::node(self.config).nest(Regex::alt_all((0..num_states).map(|q| {
+            Regex::edge(self.pos_edges[i]).then(Regex::edge(self.state_edges[q]))
+        })))
+    }
+
+    /// Any transition edge `∃1+∃2+∀1+∀2`.
+    fn any_trans(&self) -> Regex {
+        Regex::alt_all(self.trans.iter().map(|&t| Regex::edge(t)))
+    }
+
+    /// Any inverse transition edge.
+    fn any_trans_inv(&self) -> Regex {
+        Regex::alt_all(self.trans.iter().map(|&t| Regex::sym(EdgeSym::bwd(t))))
+    }
+}
+
+/// The negative query `q_M`: a union (alternation) of bad-structure
+/// detectors; a graph avoiding all of them encodes a well-formed run.
+fn negative_query(atm: &Atm, space: usize, l: &ReductionLabels) -> C2rpq {
+    let mut branches: Vec<Regex> = Vec::new();
+
+    // TwoSymbols: some cell holds two different symbols.
+    for i in 0..space {
+        for a in 0..atm.num_syms {
+            for b in (a + 1)..atm.num_syms {
+                branches.push(l.symbol(i, a).then(l.symbol(i, b)));
+            }
+        }
+    }
+    // TwoHeads: two different (position, state) head markers.
+    let heads: Vec<(usize, State)> = (0..space)
+        .flat_map(|i| (0..atm.num_states).map(move |q| (i, q)))
+        .collect();
+    for (x, &(i, q)) in heads.iter().enumerate() {
+        for &(j, p) in &heads[x + 1..] {
+            branches.push(l.state_at(i, q).then(l.state_at(j, p)));
+        }
+    }
+    // BadTransitionEdges: outgoing transition edges that do not fit the
+    // state kind.
+    for q in 0..atm.num_states {
+        if atm.is_final(q) {
+            branches.push(l.state_any(q).nest(l.any_trans()));
+        } else if atm.universal[q] {
+            branches.push(l.state_any(q).nest(
+                Regex::edge(l.trans[EX1]).or(Regex::edge(l.trans[EX2])),
+            ));
+        } else {
+            branches.push(l.state_any(q).nest(
+                Regex::edge(l.trans[ALL1]).or(Regex::edge(l.trans[ALL2])),
+            ));
+        }
+    }
+    // TwoExistentialEdges.
+    for q in 0..atm.num_states {
+        if !atm.is_final(q) && !atm.universal[q] {
+            branches.push(
+                l.state_any(q)
+                    .nest(Regex::edge(l.trans[EX1]))
+                    .nest(Regex::edge(l.trans[EX2])),
+            );
+        }
+    }
+    // BadTreeRoot: the initial configuration has an incoming transition.
+    branches.push(l.state_any(atm.initial).nest(l.any_trans_inv()));
+    // BadTreeNode: two incoming transition edges with different labels.
+    for t1 in 0..4 {
+        for t2 in (t1 + 1)..4 {
+            branches.push(
+                Regex::node(l.config)
+                    .nest(Regex::sym(EdgeSym::bwd(l.trans[t1])))
+                    .nest(Regex::sym(EdgeSym::bwd(l.trans[t2]))),
+            );
+        }
+    }
+    // BadTape: a Pos/St/Symb node shared between configurations.
+    for i in 0..space {
+        for j in (i + 1)..space {
+            branches.push(
+                Regex::node(l.pos)
+                    .nest(Regex::sym(EdgeSym::bwd(l.pos_edges[i])))
+                    .nest(Regex::sym(EdgeSym::bwd(l.pos_edges[j]))),
+            );
+        }
+    }
+    for p in 0..atm.num_states {
+        for q in (p + 1)..atm.num_states {
+            branches.push(
+                Regex::node(l.st)
+                    .nest(Regex::sym(EdgeSym::bwd(l.state_edges[p])))
+                    .nest(Regex::sym(EdgeSym::bwd(l.state_edges[q]))),
+            );
+        }
+    }
+    for a in 0..atm.num_syms {
+        for b in (a + 1)..atm.num_syms {
+            branches.push(
+                Regex::node(l.symb)
+                    .nest(Regex::sym(EdgeSym::bwd(l.sym_edges[a])))
+                    .nest(Regex::sym(EdgeSym::bwd(l.sym_edges[b]))),
+            );
+        }
+    }
+
+    C2rpq::new(
+        2,
+        vec![],
+        vec![Atom { x: Var(0), y: Var(1), regex: Regex::alt_all(branches) }],
+    )
+}
+
+/// `Move_{i,q,a}`: the configuration (head at `i`, state `q`, symbol `a`)
+/// has correctly executed children.
+fn move_macro(atm: &Atm, i: usize, q: State, a: Sym, space: usize, l: &ReductionLabels) -> Regex {
+    if atm.is_final(q) {
+        return l.state_any(q).then(l.symbol(i, a));
+    }
+    let branch = |b: usize| -> Option<Regex> {
+        let t = atm.delta[b].get(&(q, a))?;
+        let ni = match t.dir {
+            Dir::L => i.checked_sub(1)?,
+            Dir::R => {
+                if i + 1 >= space {
+                    return None;
+                }
+                i + 1
+            }
+        };
+        let edge = if atm.universal[q] {
+            l.trans[if b == 0 { ALL1 } else { ALL2 }]
+        } else {
+            l.trans[if b == 0 { EX1 } else { EX2 }]
+        };
+        Some(looped(
+            l.state_at(i, q)
+                .then(l.symbol(i, a))
+                .then(Regex::edge(edge))
+                .then(l.state_at(ni, t.state))
+                .then(l.symbol(i, t.write)),
+        ))
+    };
+    if atm.universal[q] {
+        match (branch(0), branch(1)) {
+            (Some(b1), Some(b2)) => b1.then(b2),
+            _ => Regex::Empty, // a required branch is impossible here
+        }
+    } else {
+        branch(0).unwrap_or(Regex::Empty).or(branch(1).unwrap_or(Regex::Empty))
+    }
+}
+
+/// The positive query `p_{M,w}` (Figure 8): an Euler traversal of the run
+/// tree that verifies every configuration locally.
+fn positive_query(atm: &Atm, input: &[Sym], space: usize, l: &ReductionLabels) -> C2rpq {
+    // pHead: the configuration has a head somewhere.
+    let p_head = Regex::node(l.config).nest(Regex::alt_all((0..space).flat_map(|i| {
+        (0..atm.num_states)
+            .map(move |q| Regex::edge(l.pos_edges[i]).then(Regex::edge(l.state_edges[q])))
+    })));
+    // pTape: every cell holds some symbol.
+    let p_tape = Regex::concat_all((0..space).map(|i| {
+        Regex::node(l.config).nest(Regex::alt_all(
+            (0..atm.num_syms).map(|a| Regex::edge(l.pos_edges[i]).then(Regex::edge(l.sym_edges[a]))),
+        ))
+    }));
+    // pTransition: outgoing transition edges fit the state kind.
+    let p_transition = Regex::alt_all((0..atm.num_states).map(|q| {
+        if atm.is_final(q) {
+            l.state_any(q)
+        } else if atm.universal[q] {
+            l.state_any(q)
+                .nest(Regex::edge(l.trans[ALL1]))
+                .nest(Regex::edge(l.trans[ALL2]))
+        } else {
+            l.state_any(q)
+                .nest(Regex::edge(l.trans[EX1]).or(Regex::edge(l.trans[EX2])))
+        }
+    }));
+    // pExecution: some Move macro applies.
+    let p_execution = Regex::alt_all((0..space).flat_map(|i| {
+        (0..atm.num_states).flat_map(move |q| {
+            (0..atm.num_syms).map(move |a| move_macro(atm, i, q, a, space, l))
+        })
+    }));
+    // pTapeCopy: initial tape, or faithful copy from the parent.
+    let init = atm.initial_config(input, space);
+    let init_tape = Regex::concat_all((0..space).map(|i| l.symbol(i, init.tape[i])));
+    let p_init = l.state_at(init.head, atm.initial).then(init_tape);
+    let pos_copy = |j: usize| {
+        looped(Regex::alt_all((0..atm.num_syms).map(|a| {
+            l.symbol(j, a).then(l.any_trans_inv()).then(l.symbol(j, a))
+        })))
+    };
+    let tape_copy = Regex::alt_all((0..space).map(|i| {
+        let up_head = looped(l.any_trans_inv().then(l.head_at(i, atm.num_states)));
+        let copies = Regex::concat_all((0..space).filter(|&j| j != i).map(pos_copy));
+        up_head.then(copies)
+    }));
+    let p_tape_copy = p_init.or(tape_copy);
+
+    let p_config = p_head
+        .then(p_tape)
+        .then(p_transition)
+        .then(p_execution)
+        .then(p_tape_copy);
+    let p_accept = p_config.clone().then(l.state_any(atm.q_yes));
+    let p_start = p_config.clone().then(l.state_any(atm.initial));
+
+    // The Euler traversal (Figure 8).
+    let down = p_config.then(
+        Regex::edge(l.trans[ALL1])
+            .or(Regex::edge(l.trans[EX1]))
+            .or(Regex::edge(l.trans[EX2])),
+    );
+    let up = Regex::alt_all(
+        [EX1, EX2, ALL2]
+            .iter()
+            .map(|&t| Regex::sym(EdgeSym::bwd(l.trans[t]))),
+    );
+    let descend_to_leaf = down.star().then(p_accept).then(up.star());
+    let switch = Regex::sym(EdgeSym::bwd(l.trans[ALL1])).then(Regex::edge(l.trans[ALL2]));
+    let traversal = p_start
+        .clone()
+        .then(descend_to_leaf.clone().then(switch).star())
+        .then(descend_to_leaf)
+        .then(p_start);
+
+    C2rpq::new(2, vec![], vec![Atom { x: Var(0), y: Var(1), regex: traversal }])
+}
+
+/// Encodes a run tree as a graph per the proof of Theorem F.1: one
+/// `Config` node per run-tree node, with private `Pos`/`Symb`/`St` nodes.
+pub fn encode_run(atm: &Atm, run: &RunNode, l: &ReductionLabels) -> Graph {
+    let mut g = Graph::new();
+    encode_node(atm, run, l, &mut g);
+    g
+}
+
+fn encode_node(atm: &Atm, node: &RunNode, l: &ReductionLabels, g: &mut Graph) -> NodeId {
+    let c = g.add_labeled_node([l.config]);
+    let st = g.add_labeled_node([l.st]);
+    for (i, &sym) in node.config.tape.iter().enumerate() {
+        let pos = g.add_labeled_node([l.pos]);
+        g.add_edge(c, l.pos_edges[i], pos);
+        let symb = g.add_labeled_node([l.symb]);
+        g.add_edge(pos, l.sym_edges[sym], symb);
+        if i == node.config.head {
+            g.add_edge(pos, l.state_edges[node.config.state], st);
+        }
+    }
+    for (b, child) in &node.children {
+        let child_id = encode_node(atm, child, l, g);
+        let t = if atm.universal[node.config.state] {
+            l.trans[if *b == 0 { ALL1 } else { ALL2 }]
+        } else {
+            l.trans[if *b == 0 { EX1 } else { EX2 }]
+        };
+        g.add_edge(c, t, child_id);
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atm::machines;
+    use crate::atm::machines::{BIT0, BIT1};
+
+    #[test]
+    fn reduction_sizes_are_polynomial() {
+        let m = machines::universal_both_checks();
+        let mut sizes = Vec::new();
+        for space in 3..7 {
+            let mut vocab = Vocab::new();
+            let r = reduce(&m, &[BIT1], space, &mut vocab);
+            sizes.push(r.positive.size() + r.negative.size());
+        }
+        // Quartic-ish growth at most: size(m+1)/size(m) bounded.
+        for w in sizes.windows(2) {
+            assert!(w[1] > w[0]);
+            assert!((w[1] as f64) < (w[0] as f64) * 3.0, "sizes: {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn accepting_run_encodes_to_counterexample() {
+        // The heart of Theorem F.1, checked semantically: the encoded
+        // accepting run satisfies p, avoids q, and conforms to S.
+        let m = machines::universal_both_checks();
+        let space = 4;
+        let mut vocab = Vocab::new();
+        let red = reduce(&m, &[BIT1], space, &mut vocab);
+        let run = m.accepting_run(&[BIT1], space).expect("machine accepts");
+        let g = encode_run(&m, &run, &red.labels);
+        assert_eq!(red.schema.conforms(&g), Ok(()), "run encoding conforms to S");
+        assert!(!red.negative.holds(&g), "well-formed run avoids q_M");
+        assert!(red.positive.holds(&g), "accepting run satisfies p_{{M,w}}");
+    }
+
+    #[test]
+    fn existential_machine_counterexample() {
+        let m = machines::first_bit_one();
+        let space = 4;
+        let mut vocab = Vocab::new();
+        let red = reduce(&m, &[BIT1], space, &mut vocab);
+        let run = m.accepting_run(&[BIT1], space).expect("accepts 1");
+        let g = encode_run(&m, &run, &red.labels);
+        assert_eq!(red.schema.conforms(&g), Ok(()));
+        assert!(!red.negative.holds(&g));
+        assert!(red.positive.holds(&g));
+    }
+
+    #[test]
+    fn rejecting_input_has_no_valid_encoding() {
+        // first_bit_one rejects [0]; there is no accepting run to encode,
+        // and a forged "run" that flips the verdict violates p (the leaf is
+        // not accepting) — the Euler traversal cannot complete.
+        let m = machines::first_bit_one();
+        let space = 4;
+        assert!(m.accepting_run(&[BIT0], space).is_none());
+        // Encode the accepting run on input [1] but corrupt the leaf state.
+        let mut vocab = Vocab::new();
+        let red = reduce(&m, &[BIT0], space, &mut vocab);
+        let run = m.accepting_run(&[BIT1], space).expect("accepts 1");
+        let g = encode_run(&m, &run, &red.labels);
+        // The tape of the root does not match input [0]: pStart's InitTape
+        // fails, so the positive query does not hold.
+        assert!(!red.positive.holds(&g));
+    }
+
+    #[test]
+    fn corrupted_runs_trip_the_negative_query() {
+        let m = machines::universal_both_checks();
+        let space = 4;
+        let mut vocab = Vocab::new();
+        let red = reduce(&m, &[BIT1], space, &mut vocab);
+        let run = m.accepting_run(&[BIT1], space).expect("accepts");
+        let base = encode_run(&m, &run, &red.labels);
+
+        // Corruption 1: a second symbol on the root's first cell.
+        let mut g1 = base.clone();
+        let pos0 = g1
+            .successors(NodeId(0), EdgeSym::fwd(red.labels.pos_edges[0]))
+            .next()
+            .unwrap();
+        let stray = g1.add_labeled_node([red.labels.symb]);
+        g1.add_edge(pos0, red.labels.sym_edges[BIT0], stray);
+        assert!(red.negative.holds(&g1), "TwoSymbols must fire");
+
+        // Corruption 2: a second head marker.
+        let mut g2 = base.clone();
+        let pos1 = g2
+            .successors(NodeId(0), EdgeSym::fwd(red.labels.pos_edges[2]))
+            .next()
+            .unwrap();
+        let st2 = g2.add_labeled_node([red.labels.st]);
+        g2.add_edge(pos1, red.labels.state_edges[m.q_yes], st2);
+        assert!(red.negative.holds(&g2), "TwoHeads must fire");
+
+        // Corruption 3: an incoming transition to the root.
+        let mut g3 = base.clone();
+        let other_config = g3
+            .successors(NodeId(0), EdgeSym::fwd(red.labels.trans[ALL1]))
+            .next()
+            .unwrap();
+        g3.add_edge(other_config, red.labels.trans[EX1], NodeId(0));
+        assert!(red.negative.holds(&g3), "BadTreeRoot/BadTreeNode must fire");
+    }
+
+    #[test]
+    fn schema_shape_matches_figure_7() {
+        let m = machines::first_bit_one();
+        let mut vocab = Vocab::new();
+        let red = reduce(&m, &[BIT1], 4, &mut vocab);
+        assert_eq!(red.schema.node_labels().len(), 4);
+        // 4 transition + m pos + |A| sym + |K| state edge labels.
+        assert_eq!(red.schema.edge_labels().len(), 4 + 4 + 5 + 3);
+        assert_eq!(
+            red.schema.mult(red.labels.config, EdgeSym::fwd(red.labels.trans[0]), red.labels.config),
+            Mult::Opt
+        );
+    }
+}

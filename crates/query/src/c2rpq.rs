@@ -1,0 +1,530 @@
+//! Conjunctive two-way regular path queries (C2RPQs) and their unions
+//! (Section 3 / Appendix A).
+//!
+//! A C2RPQ is `q(x̄) = ∃ȳ. φ1(z1, z1') ∧ … ∧ φk(zk, zk')` with two-way
+//! regular expressions `φi`. The *query multigraph* has the variables as
+//! nodes and an edge per non-trivial atom; the paper's transformations
+//! require the multigraph to be acyclic (a forest without parallel edges or
+//! self-loops), which is strictly stronger than Gaifman-graph acyclicity.
+
+use crate::nfa::Nfa;
+use crate::regex::{AtomSym, Regex};
+use gts_graph::{FxHashMap, FxHashSet, Graph, NodeId, Vocab};
+
+/// Per-atom relation views used by the join: `(by_x, by_y, pairs)`.
+type RelRefs<'a> = (
+    &'a FxHashMap<NodeId, Vec<NodeId>>,
+    &'a FxHashMap<NodeId, Vec<NodeId>>,
+    &'a FxHashSet<(NodeId, NodeId)>,
+);
+
+/// A query variable (an index local to its query).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Var(pub u32);
+
+/// An atom `φ(x, y)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Atom {
+    /// Source variable.
+    pub x: Var,
+    /// Target variable.
+    pub y: Var,
+    /// The two-way regular expression.
+    pub regex: Regex,
+}
+
+impl Atom {
+    /// Trivial atoms are `∅(x,x)`, `ε(x,x)`, `A(x,x)` — they do not
+    /// contribute edges to the query multigraph (Appendix A).
+    pub fn is_trivial(&self) -> bool {
+        self.x == self.y
+            && matches!(
+                self.regex,
+                Regex::Empty | Regex::Epsilon | Regex::Sym(AtomSym::Node(_))
+            )
+    }
+}
+
+/// A conjunctive two-way regular path query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct C2rpq {
+    /// Total number of variables (ids `0..num_vars`).
+    pub num_vars: u32,
+    /// Free (answer) variables `x̄`, in answer-tuple order; the rest are
+    /// existential.
+    pub free: Vec<Var>,
+    /// The atoms.
+    pub atoms: Vec<Atom>,
+}
+
+impl C2rpq {
+    /// Creates a query, validating variable indices.
+    pub fn new(num_vars: u32, free: Vec<Var>, atoms: Vec<Atom>) -> C2rpq {
+        for v in free.iter().chain(atoms.iter().flat_map(|a| [&a.x, &a.y])) {
+            assert!(v.0 < num_vars, "variable {v:?} out of range (num_vars={num_vars})");
+        }
+        C2rpq { num_vars, free, atoms }
+    }
+
+    /// `true` iff the query is Boolean (no free variables).
+    pub fn is_boolean(&self) -> bool {
+        self.free.is_empty()
+    }
+
+    /// Drops all free variables (existential closure).
+    pub fn boolean_closure(&self) -> C2rpq {
+        C2rpq { num_vars: self.num_vars, free: Vec::new(), atoms: self.atoms.clone() }
+    }
+
+    /// Size measure: total regex size plus variable count.
+    pub fn size(&self) -> usize {
+        self.num_vars as usize + self.atoms.iter().map(|a| a.regex.size()).sum::<usize>()
+    }
+
+    /// Acyclicity of the query multigraph: no self-loop atoms, no parallel
+    /// atoms, and the underlying undirected multigraph is a forest.
+    pub fn is_acyclic(&self) -> bool {
+        let mut parent: Vec<u32> = (0..self.num_vars).collect();
+        fn find(parent: &mut [u32], mut v: u32) -> u32 {
+            while parent[v as usize] != v {
+                parent[v as usize] = parent[parent[v as usize] as usize];
+                v = parent[v as usize];
+            }
+            v
+        }
+        for atom in self.atoms.iter().filter(|a| !a.is_trivial()) {
+            if atom.x == atom.y {
+                return false;
+            }
+            let (rx, ry) = (find(&mut parent, atom.x.0), find(&mut parent, atom.y.0));
+            if rx == ry {
+                return false; // parallel edge or larger cycle
+            }
+            parent[rx as usize] = ry;
+        }
+        true
+    }
+
+    /// Connected components of the query multigraph (*all* atoms connect
+    /// their endpoints here, trivial or not, since `A(x,x)` still constrains
+    /// `x`). Isolated variables form their own components. Returns, per
+    /// component, the sorted variable list and the atom indices.
+    pub fn connected_components(&self) -> Vec<(Vec<Var>, Vec<usize>)> {
+        let mut parent: Vec<u32> = (0..self.num_vars).collect();
+        fn find(parent: &mut [u32], mut v: u32) -> u32 {
+            while parent[v as usize] != v {
+                parent[v as usize] = parent[parent[v as usize] as usize];
+                v = parent[v as usize];
+            }
+            v
+        }
+        for atom in &self.atoms {
+            let (rx, ry) = (find(&mut parent, atom.x.0), find(&mut parent, atom.y.0));
+            if rx != ry {
+                parent[rx as usize] = ry;
+            }
+        }
+        let mut by_root: FxHashMap<u32, (Vec<Var>, Vec<usize>)> = FxHashMap::default();
+        for v in 0..self.num_vars {
+            let r = find(&mut parent, v);
+            by_root.entry(r).or_default().0.push(Var(v));
+        }
+        for (i, atom) in self.atoms.iter().enumerate() {
+            let r = find(&mut parent, atom.x.0);
+            by_root.entry(r).or_default().1.push(i);
+        }
+        let mut comps: Vec<_> = by_root.into_values().collect();
+        comps.sort_by_key(|(vars, _)| vars[0]);
+        comps
+    }
+
+    /// `true` iff the query multigraph is connected (at most one component).
+    pub fn is_connected(&self) -> bool {
+        self.connected_components().len() <= 1
+    }
+
+    /// Evaluates the query over a finite graph, returning the set of answer
+    /// tuples (aligned with [`C2rpq::free`]). Uses NFA-product evaluation
+    /// per atom followed by a backtracking join, and therefore supports
+    /// cyclic queries too (needed by the brute-force containment oracle).
+    pub fn eval(&self, g: &Graph) -> FxHashSet<Vec<NodeId>> {
+        let mut answers = FxHashSet::default();
+        self.eval_inner(g, &mut |asg| {
+            answers.insert(self.free.iter().map(|v| asg[v.0 as usize].unwrap()).collect());
+            false // keep enumerating
+        });
+        answers
+    }
+
+    /// Boolean satisfaction `G ⊨ q` (early exit on the first match).
+    pub fn holds(&self, g: &Graph) -> bool {
+        let mut found = false;
+        self.eval_inner(g, &mut |_| {
+            found = true;
+            true // stop
+        });
+        found
+    }
+
+    /// Core join: calls `on_match` for every total assignment satisfying
+    /// all atoms; stops early when it returns `true`.
+    fn eval_inner(&self, g: &Graph, on_match: &mut dyn FnMut(&[Option<NodeId>]) -> bool) {
+        // Per-atom relations with indexes on both columns.
+        struct Rel {
+            by_x: FxHashMap<NodeId, Vec<NodeId>>,
+            by_y: FxHashMap<NodeId, Vec<NodeId>>,
+            pairs: FxHashSet<(NodeId, NodeId)>,
+        }
+        let rels: Vec<Rel> = self
+            .atoms
+            .iter()
+            .map(|a| {
+                let pairs = Nfa::from_regex(&a.regex).pairs(g);
+                let mut by_x: FxHashMap<NodeId, Vec<NodeId>> = FxHashMap::default();
+                let mut by_y: FxHashMap<NodeId, Vec<NodeId>> = FxHashMap::default();
+                for &(u, v) in &pairs {
+                    by_x.entry(u).or_default().push(v);
+                    by_y.entry(v).or_default().push(u);
+                }
+                Rel { by_x, by_y, pairs }
+            })
+            .collect();
+        // Early exit: an atom with an empty relation has no matches.
+        if self.atoms.iter().zip(&rels).any(|(_, r)| r.pairs.is_empty()) && !self.atoms.is_empty()
+        {
+            return;
+        }
+
+        // Variable order: as given; candidates derived from adjacent
+        // already-assigned atoms when possible.
+        let mut asg: Vec<Option<NodeId>> = vec![None; self.num_vars as usize];
+        self.backtrack(g, &rels_adapter(&rels), 0, &mut asg, on_match);
+
+        fn rels_adapter(rels: &[Rel]) -> Vec<RelRefs<'_>> {
+            rels.iter().map(|r| (&r.by_x, &r.by_y, &r.pairs)).collect()
+        }
+    }
+
+    fn backtrack(
+        &self,
+        g: &Graph,
+        rels: &[RelRefs<'_>],
+        var: u32,
+        asg: &mut Vec<Option<NodeId>>,
+        on_match: &mut dyn FnMut(&[Option<NodeId>]) -> bool,
+    ) -> bool {
+        if var == self.num_vars {
+            return on_match(asg);
+        }
+        // Candidate narrowing: if some atom connects `var` to an assigned
+        // variable, use the indexed relation; otherwise the whole domain.
+        let v = Var(var);
+        let mut candidates: Option<Vec<NodeId>> = None;
+        for (i, a) in self.atoms.iter().enumerate() {
+            if a.x == v && a.y.0 < var {
+                let fixed = asg[a.y.0 as usize].unwrap();
+                let c = rels[i].1.get(&fixed).cloned().unwrap_or_default();
+                candidates = Some(restrict(candidates, c));
+            } else if a.y == v && a.x.0 < var {
+                let fixed = asg[a.x.0 as usize].unwrap();
+                let c = rels[i].0.get(&fixed).cloned().unwrap_or_default();
+                candidates = Some(restrict(candidates, c));
+            }
+        }
+        let domain: Vec<NodeId> = match candidates {
+            Some(c) => c,
+            None => g.nodes().collect(),
+        };
+        'outer: for node in domain {
+            asg[var as usize] = Some(node);
+            // Check all atoms fully assigned at this point.
+            for (i, a) in self.atoms.iter().enumerate() {
+                if a.x.0 <= var && a.y.0 <= var {
+                    let (ux, uy) = (asg[a.x.0 as usize].unwrap(), asg[a.y.0 as usize].unwrap());
+                    if !rels[i].2.contains(&(ux, uy)) {
+                        asg[var as usize] = None;
+                        continue 'outer;
+                    }
+                }
+            }
+            if self.backtrack(g, rels, var + 1, asg, on_match) {
+                return true;
+            }
+            asg[var as usize] = None;
+        }
+        false
+    }
+
+    /// Renders the query using `vocab`, e.g.
+    /// `q(x0) = ∃x1. (designTarget·crossReacting*)(x0, x1)`.
+    pub fn render(&self, vocab: &Vocab) -> String {
+        let head: Vec<String> = self.free.iter().map(|v| format!("x{}", v.0)).collect();
+        let exist: Vec<String> = (0..self.num_vars)
+            .map(Var)
+            .filter(|v| !self.free.contains(v))
+            .map(|v| format!("x{}", v.0))
+            .collect();
+        let body: Vec<String> = self
+            .atoms
+            .iter()
+            .map(|a| format!("{}(x{}, x{})", a.regex.render(vocab), a.x.0, a.y.0))
+            .collect();
+        let prefix = if exist.is_empty() {
+            String::new()
+        } else {
+            format!("∃{}. ", exist.join(","))
+        };
+        format!(
+            "q({}) = {}{}",
+            head.join(","),
+            prefix,
+            if body.is_empty() { "⊤".into() } else { body.join(" ∧ ") }
+        )
+    }
+}
+
+fn restrict(current: Option<Vec<NodeId>>, new: Vec<NodeId>) -> Vec<NodeId> {
+    match current {
+        None => new,
+        Some(cur) => {
+            let set: FxHashSet<NodeId> = new.into_iter().collect();
+            cur.into_iter().filter(|n| set.contains(n)).collect()
+        }
+    }
+}
+
+/// A union of C2RPQs (UC2RPQ), represented as a set of disjuncts of equal
+/// arity. The empty union is the unsatisfiable query.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct Uc2rpq {
+    /// The disjuncts.
+    pub disjuncts: Vec<C2rpq>,
+}
+
+impl Uc2rpq {
+    /// The empty union (no answers on any graph).
+    pub fn empty() -> Uc2rpq {
+        Uc2rpq::default()
+    }
+
+    /// Union of one query.
+    pub fn single(q: C2rpq) -> Uc2rpq {
+        Uc2rpq { disjuncts: vec![q] }
+    }
+
+    /// Arity (number of free variables); `None` for the empty union.
+    pub fn arity(&self) -> Option<usize> {
+        self.disjuncts.first().map(|q| q.free.len())
+    }
+
+    /// `true` iff every disjunct is Boolean.
+    pub fn is_boolean(&self) -> bool {
+        self.disjuncts.iter().all(|q| q.is_boolean())
+    }
+
+    /// `true` iff every disjunct is acyclic (Appendix A).
+    pub fn is_acyclic(&self) -> bool {
+        self.disjuncts.iter().all(|q| q.is_acyclic())
+    }
+
+    /// Union evaluation.
+    pub fn eval(&self, g: &Graph) -> FxHashSet<Vec<NodeId>> {
+        let mut out = FxHashSet::default();
+        for q in &self.disjuncts {
+            out.extend(q.eval(g));
+        }
+        out
+    }
+
+    /// Boolean satisfaction.
+    pub fn holds(&self, g: &Graph) -> bool {
+        self.disjuncts.iter().any(|q| q.holds(g))
+    }
+
+    /// Total size.
+    pub fn size(&self) -> usize {
+        self.disjuncts.iter().map(|q| q.size()).sum()
+    }
+
+    /// Renders all disjuncts, one per line.
+    pub fn render(&self, vocab: &Vocab) -> String {
+        if self.disjuncts.is_empty() {
+            return "∅ (empty union)".into();
+        }
+        self.disjuncts
+            .iter()
+            .map(|q| q.render(vocab))
+            .collect::<Vec<_>>()
+            .join("\n∪ ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn medical() -> (Vocab, Graph) {
+        let mut v = Vocab::new();
+        let vaccine = v.node_label("Vaccine");
+        let antigen = v.node_label("Antigen");
+        let dt = v.edge_label("designTarget");
+        let cr = v.edge_label("crossReacting");
+        let mut g = Graph::new();
+        let vac = g.add_labeled_node([vaccine]);
+        let a1 = g.add_labeled_node([antigen]);
+        let a2 = g.add_labeled_node([antigen]);
+        g.add_edge(vac, dt, a1);
+        g.add_edge(a1, cr, a2);
+        (v, g)
+    }
+
+    /// Example 3.2: Vaccine·designTarget·crossReacting*·Antigen.
+    fn example_3_2(v: &mut Vocab) -> C2rpq {
+        let vaccine = v.node_label("Vaccine");
+        let antigen = v.node_label("Antigen");
+        let dt = v.edge_label("designTarget");
+        let cr = v.edge_label("crossReacting");
+        let re = Regex::node(vaccine)
+            .then(Regex::edge(dt))
+            .then(Regex::edge(cr).star())
+            .then(Regex::node(antigen));
+        C2rpq::new(2, vec![Var(0), Var(1)], vec![Atom { x: Var(0), y: Var(1), regex: re }])
+    }
+
+    #[test]
+    fn example_3_2_selects_direct_and_cross_reacting_targets() {
+        let (mut v, g) = medical();
+        let q = example_3_2(&mut v);
+        let ans = q.eval(&g);
+        assert_eq!(ans.len(), 2);
+        assert!(ans.contains(&vec![NodeId(0), NodeId(1)]));
+        assert!(ans.contains(&vec![NodeId(0), NodeId(2)]));
+    }
+
+    #[test]
+    fn boolean_closure_and_holds() {
+        let (mut v, g) = medical();
+        let q = example_3_2(&mut v).boolean_closure();
+        assert!(q.is_boolean());
+        assert!(q.holds(&g));
+        let empty_g = Graph::new();
+        assert!(!q.holds(&empty_g));
+    }
+
+    #[test]
+    fn acyclicity_detects_cycles() {
+        let re = Regex::edge(gts_graph::EdgeLabel(0));
+        // Path x0 -r- x1 -r- x2: acyclic.
+        let path = C2rpq::new(
+            3,
+            vec![],
+            vec![
+                Atom { x: Var(0), y: Var(1), regex: re.clone() },
+                Atom { x: Var(1), y: Var(2), regex: re.clone() },
+            ],
+        );
+        assert!(path.is_acyclic());
+        // Parallel atoms between x0, x1: cyclic (Gaifman would say acyclic!).
+        let parallel = C2rpq::new(
+            2,
+            vec![],
+            vec![
+                Atom { x: Var(0), y: Var(1), regex: re.clone() },
+                Atom { x: Var(0), y: Var(1), regex: re.clone() },
+            ],
+        );
+        assert!(!parallel.is_acyclic());
+        // Self loop with a non-trivial regex: cyclic.
+        let selfloop = C2rpq::new(1, vec![], vec![Atom { x: Var(0), y: Var(0), regex: re }]);
+        assert!(!selfloop.is_acyclic());
+        // Trivial atom A(x,x): still acyclic.
+        let trivial = C2rpq::new(
+            1,
+            vec![],
+            vec![Atom { x: Var(0), y: Var(0), regex: Regex::node(gts_graph::NodeLabel(0)) }],
+        );
+        assert!(trivial.is_acyclic());
+    }
+
+    #[test]
+    fn connectivity_and_components() {
+        let re = Regex::edge(gts_graph::EdgeLabel(0));
+        let q = C2rpq::new(
+            4,
+            vec![],
+            vec![
+                Atom { x: Var(0), y: Var(1), regex: re.clone() },
+                Atom { x: Var(2), y: Var(3), regex: re },
+            ],
+        );
+        assert!(!q.is_connected());
+        let comps = q.connected_components();
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0].0, vec![Var(0), Var(1)]);
+        assert_eq!(comps[0].1, vec![0]);
+    }
+
+    #[test]
+    fn cyclic_queries_evaluate_correctly() {
+        // ∃x. r(x,x) — needs a self-loop.
+        let mut v = Vocab::new();
+        let r = v.edge_label("r");
+        let q = C2rpq::new(1, vec![], vec![Atom { x: Var(0), y: Var(0), regex: Regex::edge(r) }]);
+        assert!(!q.is_acyclic());
+        let mut g = Graph::new();
+        let n0 = g.add_node();
+        let n1 = g.add_node();
+        g.add_edge(n0, r, n1);
+        assert!(!q.holds(&g));
+        g.add_edge(n1, r, n1);
+        assert!(q.holds(&g));
+    }
+
+    #[test]
+    fn equality_via_epsilon_atom() {
+        // ε(x,y) forces x = y (Section 4 note).
+        let mut v = Vocab::new();
+        let r = v.edge_label("r");
+        let q = C2rpq::new(
+            2,
+            vec![Var(0), Var(1)],
+            vec![Atom { x: Var(0), y: Var(1), regex: Regex::Epsilon }],
+        );
+        let mut g = Graph::new();
+        let n0 = g.add_node();
+        let n1 = g.add_node();
+        g.add_edge(n0, r, n1);
+        let ans = q.eval(&g);
+        assert_eq!(ans.len(), 2);
+        assert!(ans.contains(&vec![n0, n0]));
+        assert!(ans.contains(&vec![n1, n1]));
+    }
+
+    #[test]
+    fn union_semantics() {
+        let (mut v, g) = medical();
+        let q1 = example_3_2(&mut v);
+        // q2: (Vaccine)(x) × arbitrary y — returns nothing here; use a
+        // variant selecting the vaccine and its direct target only.
+        let dt = v.find_edge_label("designTarget").unwrap();
+        let q2 = C2rpq::new(
+            2,
+            vec![Var(0), Var(1)],
+            vec![Atom { x: Var(0), y: Var(1), regex: Regex::edge(dt) }],
+        );
+        let u = Uc2rpq { disjuncts: vec![q2, q1] };
+        assert_eq!(u.eval(&g).len(), 2);
+        assert!(u.is_acyclic());
+        assert_eq!(u.arity(), Some(2));
+        assert!(!Uc2rpq::empty().holds(&g));
+    }
+
+    #[test]
+    fn render_mentions_quantifiers() {
+        let mut v = Vocab::new();
+        let q = example_3_2(&mut v);
+        let b = q.boolean_closure();
+        let r = b.render(&v);
+        assert!(r.starts_with("q() = ∃x0,x1."));
+    }
+}

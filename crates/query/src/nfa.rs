@@ -1,0 +1,555 @@
+//! Glushkov (position) automata for two-way regular expressions.
+//!
+//! The rolled-up TBox construction (Lemma C.2) and the satisfiability
+//! engine both need small ε-free NFAs for the regular expressions of a
+//! query; the paper suggests "the standard Glushkov technique", which is
+//! what we implement: one state per symbol occurrence plus a start state,
+//! linear in the regex size.
+
+use crate::regex::{AtomSym, Regex};
+use gts_graph::{FxHashSet, Graph, NodeId};
+
+/// An ε-free NFA over the alphabet `Γ ∪ Σ±`.
+///
+/// State `0` is the unique initial state; the remaining states are the
+/// symbol positions of the source regex.
+#[derive(Clone, Debug)]
+pub struct Nfa {
+    /// `trans[s]` lists `(symbol, successor)` transitions of state `s`.
+    trans: Vec<Vec<(AtomSym, usize)>>,
+    /// `finals[s]` iff `s` accepts.
+    finals: Vec<bool>,
+}
+
+struct GlushkovCtx {
+    /// Symbol of each position (1-based positions; index 0 unused).
+    syms: Vec<AtomSym>,
+    follow: Vec<Vec<usize>>,
+}
+
+struct Part {
+    nullable: bool,
+    first: Vec<usize>,
+    last: Vec<usize>,
+}
+
+fn glushkov(re: &Regex, ctx: &mut GlushkovCtx) -> Part {
+    match re {
+        Regex::Empty => Part { nullable: false, first: vec![], last: vec![] },
+        Regex::Epsilon => Part { nullable: true, first: vec![], last: vec![] },
+        Regex::Sym(s) => {
+            ctx.syms.push(*s);
+            ctx.follow.push(Vec::new());
+            let p = ctx.syms.len(); // 1-based position; state index p.
+            Part { nullable: false, first: vec![p], last: vec![p] }
+        }
+        Regex::Concat(a, b) => {
+            let pa = glushkov(a, ctx);
+            let pb = glushkov(b, ctx);
+            for &p in &pa.last {
+                for &q in &pb.first {
+                    ctx.follow[p - 1].push(q);
+                }
+            }
+            let mut first = pa.first.clone();
+            if pa.nullable {
+                first.extend(&pb.first);
+            }
+            let mut last = pb.last.clone();
+            if pb.nullable {
+                last.extend(&pa.last);
+            }
+            Part { nullable: pa.nullable && pb.nullable, first, last }
+        }
+        Regex::Alt(a, b) => {
+            let pa = glushkov(a, ctx);
+            let pb = glushkov(b, ctx);
+            let mut first = pa.first;
+            first.extend(pb.first);
+            let mut last = pa.last;
+            last.extend(pb.last);
+            Part { nullable: pa.nullable || pb.nullable, first, last }
+        }
+        Regex::Star(a) => {
+            let pa = glushkov(a, ctx);
+            for &p in &pa.last {
+                for &q in &pa.first {
+                    ctx.follow[p - 1].push(q);
+                }
+            }
+            Part { nullable: true, first: pa.first, last: pa.last }
+        }
+    }
+}
+
+impl Nfa {
+    /// Builds the Glushkov automaton of `re` (size = number of symbol
+    /// occurrences + 1).
+    pub fn from_regex(re: &Regex) -> Nfa {
+        let mut ctx = GlushkovCtx { syms: Vec::new(), follow: Vec::new() };
+        let part = glushkov(re, &mut ctx);
+        let n = ctx.syms.len() + 1;
+        let mut trans = vec![Vec::new(); n];
+        for &p in &part.first {
+            trans[0].push((ctx.syms[p - 1], p));
+        }
+        for (p0, follows) in ctx.follow.iter().enumerate() {
+            for &q in follows {
+                trans[p0 + 1].push((ctx.syms[q - 1], q));
+            }
+        }
+        let mut finals = vec![false; n];
+        finals[0] = part.nullable;
+        for &p in &part.last {
+            finals[p] = true;
+        }
+        Nfa { trans, finals }
+    }
+
+    /// Number of states (`|p|`-linear).
+    pub fn num_states(&self) -> usize {
+        self.trans.len()
+    }
+
+    /// The unique initial state.
+    pub fn initial(&self) -> usize {
+        0
+    }
+
+    /// `true` iff state `s` accepts.
+    pub fn is_final(&self, s: usize) -> bool {
+        self.finals[s]
+    }
+
+    /// Outgoing transitions of state `s`.
+    pub fn transitions(&self, s: usize) -> &[(AtomSym, usize)] {
+        &self.trans[s]
+    }
+
+    /// Membership test by subset simulation.
+    pub fn accepts(&self, word: &[AtomSym]) -> bool {
+        let mut cur: FxHashSet<usize> = FxHashSet::default();
+        cur.insert(0);
+        for sym in word {
+            let mut next = FxHashSet::default();
+            for &s in &cur {
+                for &(t, q) in &self.trans[s] {
+                    if t == *sym {
+                        next.insert(q);
+                    }
+                }
+            }
+            if next.is_empty() {
+                return false;
+            }
+            cur = next;
+        }
+        cur.iter().any(|&s| self.finals[s])
+    }
+
+    /// States that lie on some accepting path (reachable from the initial
+    /// state and co-reachable to a final state).
+    pub fn useful_states(&self) -> Vec<bool> {
+        let n = self.num_states();
+        let mut reach = vec![false; n];
+        let mut stack = vec![0usize];
+        reach[0] = true;
+        while let Some(s) = stack.pop() {
+            for &(_, q) in &self.trans[s] {
+                if !reach[q] {
+                    reach[q] = true;
+                    stack.push(q);
+                }
+            }
+        }
+        // Reverse reachability from finals.
+        let mut rev: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (s, ts) in self.trans.iter().enumerate() {
+            for &(_, q) in ts {
+                rev[q].push(s);
+            }
+        }
+        let mut coreach = vec![false; n];
+        let mut stack: Vec<usize> = (0..n).filter(|&s| self.finals[s]).collect();
+        for &s in &stack {
+            coreach[s] = true;
+        }
+        while let Some(s) = stack.pop() {
+            for &p in &rev[s] {
+                if !coreach[p] {
+                    coreach[p] = true;
+                    stack.push(p);
+                }
+            }
+        }
+        (0..n).map(|s| reach[s] && coreach[s]).collect()
+    }
+
+    /// `true` iff `L(φ)` is finite (no cycle through useful states).
+    pub fn language_finite(&self) -> bool {
+        let useful = self.useful_states();
+        let n = self.num_states();
+        // Iterative DFS cycle detection restricted to useful states.
+        let mut color = vec![0u8; n]; // 0 = white, 1 = gray, 2 = black
+        for start in 0..n {
+            if !useful[start] || color[start] != 0 {
+                continue;
+            }
+            let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+            color[start] = 1;
+            while let Some((s, idx)) = stack.last().copied() {
+                if idx < self.trans[s].len() {
+                    stack.last_mut().expect("nonempty").1 += 1;
+                    let (_, q) = self.trans[s][idx];
+                    if !useful[q] {
+                        continue;
+                    }
+                    match color[q] {
+                        0 => {
+                            color[q] = 1;
+                            stack.push((q, 0));
+                        }
+                        1 => return false, // back edge → useful cycle
+                        _ => {}
+                    }
+                } else {
+                    color[s] = 2;
+                    stack.pop();
+                }
+            }
+        }
+        true
+    }
+
+    /// Enumerates accepted words with at most `max_syms` symbols, up to
+    /// `cap` distinct words. The second component is `true` iff the result
+    /// is the *entire* language (finite, fully within bounds) — which is
+    /// what lets the satisfiability engine certify UNSAT verdicts.
+    pub fn enumerate_words(&self, max_syms: usize, cap: usize) -> (Vec<Vec<AtomSym>>, bool) {
+        let useful = self.useful_states();
+        let mut out: Vec<Vec<AtomSym>> = Vec::new();
+        let mut seen: FxHashSet<Vec<AtomSym>> = FxHashSet::default();
+        let mut truncated = false;
+        let mut word: Vec<AtomSym> = Vec::new();
+        self.enum_rec(0, max_syms, cap, &useful, &mut word, &mut out, &mut seen, &mut truncated);
+        let exhaustive = !truncated && self.language_finite();
+        (out, exhaustive)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn enum_rec(
+        &self,
+        state: usize,
+        budget: usize,
+        cap: usize,
+        useful: &[bool],
+        word: &mut Vec<AtomSym>,
+        out: &mut Vec<Vec<AtomSym>>,
+        seen: &mut FxHashSet<Vec<AtomSym>>,
+        truncated: &mut bool,
+    ) {
+        if out.len() >= cap {
+            *truncated = true;
+            return;
+        }
+        if self.finals[state] && seen.insert(word.clone()) {
+            out.push(word.clone());
+        }
+        for &(sym, q) in &self.trans[state] {
+            if !useful[q] {
+                continue;
+            }
+            if budget == 0 {
+                *truncated = true;
+                continue;
+            }
+            word.push(sym);
+            self.enum_rec(q, budget - 1, cap, useful, word, out, seen, truncated);
+            word.pop();
+        }
+    }
+
+    /// Enumerates the *prefix-minimal* accepted words: accepted words none
+    /// of whose proper prefixes are accepted. Runs a subset-construction
+    /// DFS that stops at accepting subsets, so the result is often finite
+    /// (and exhaustively enumerable) even for infinite languages — e.g.
+    /// `designTarget·crossReacting*` has the single minimal word
+    /// `designTarget`.
+    ///
+    /// Soundness of using minimal words for satisfiability under a *loose*
+    /// endpoint (a variable occurring in no other atom): any path matching
+    /// `w·v` contains a path matching `w`, so a model witnessing a longer
+    /// word witnesses its minimal prefix with the endpoint rebound.
+    pub fn enumerate_min_words(
+        &self,
+        max_syms: usize,
+        cap: usize,
+    ) -> (Vec<Vec<AtomSym>>, bool) {
+        let useful = self.useful_states();
+        let mut out: Vec<Vec<AtomSym>> = Vec::new();
+        let mut truncated = false;
+        let mut word: Vec<AtomSym> = Vec::new();
+        let mut start: Vec<usize> = vec![0];
+        start.retain(|&s| useful[s]);
+        let mut seen_words: FxHashSet<Vec<AtomSym>> = FxHashSet::default();
+        let mut visited_sets: FxHashSet<Vec<usize>> = FxHashSet::default();
+        self.min_rec(
+            start,
+            max_syms,
+            cap,
+            &useful,
+            &mut word,
+            &mut out,
+            &mut seen_words,
+            &mut visited_sets,
+            &mut truncated,
+        );
+        (out, !truncated)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn min_rec(
+        &self,
+        states: Vec<usize>,
+        budget: usize,
+        cap: usize,
+        useful: &[bool],
+        word: &mut Vec<AtomSym>,
+        out: &mut Vec<Vec<AtomSym>>,
+        seen_words: &mut FxHashSet<Vec<AtomSym>>,
+        visited_sets: &mut FxHashSet<Vec<usize>>,
+        truncated: &mut bool,
+    ) {
+        if out.len() >= cap {
+            *truncated = true;
+            return;
+        }
+        if states.iter().any(|&s| self.finals[s]) {
+            // Prefix-minimal: accept here and do not extend.
+            if seen_words.insert(word.clone()) {
+                out.push(word.clone());
+            }
+            return;
+        }
+        // Loop protection along the current branch: a repeated subset with
+        // no accept in between would pump forever. Its extensions are
+        // *distinct* minimal words (not mere prefix-extensions), so cutting
+        // here loses completeness — flag the enumeration as inexhaustive.
+        let mut key = states.clone();
+        key.sort_unstable();
+        if !visited_sets.insert(key.clone()) {
+            *truncated = true;
+            return;
+        }
+        // Group outgoing transitions by symbol.
+        let mut by_sym: Vec<(AtomSym, Vec<usize>)> = Vec::new();
+        for &s in &states {
+            for &(sym, q) in &self.trans[s] {
+                if !useful[q] {
+                    continue;
+                }
+                match by_sym.iter_mut().find(|(t, _)| *t == sym) {
+                    Some((_, list)) => {
+                        if !list.contains(&q) {
+                            list.push(q);
+                        }
+                    }
+                    None => by_sym.push((sym, vec![q])),
+                }
+            }
+        }
+        for (sym, next) in by_sym {
+            if budget == 0 {
+                *truncated = true;
+                continue;
+            }
+            word.push(sym);
+            self.min_rec(
+                next,
+                budget - 1,
+                cap,
+                useful,
+                word,
+                out,
+                seen_words,
+                visited_sets,
+                truncated,
+            );
+            word.pop();
+        }
+        visited_sets.remove(&key);
+    }
+
+    /// Evaluates the regular expression over a finite graph: all node pairs
+    /// `(u, v)` connected by a path whose labeling is accepted. This is the
+    /// product-reachability evaluation used by C2RPQ semantics.
+    pub fn pairs(&self, g: &Graph) -> FxHashSet<(NodeId, NodeId)> {
+        let mut out = FxHashSet::default();
+        for u in g.nodes() {
+            for v in self.reachable_from(g, u) {
+                out.insert((u, v));
+            }
+        }
+        out
+    }
+
+    /// All nodes `v` such that some path from `start` to `v` is accepted.
+    pub fn reachable_from(&self, g: &Graph, start: NodeId) -> Vec<NodeId> {
+        let n_states = self.num_states();
+        let mut visited = vec![false; g.num_nodes() * n_states];
+        let idx = |node: NodeId, s: usize| node.0 as usize * n_states + s;
+        let mut stack = vec![(start, 0usize)];
+        visited[idx(start, 0)] = true;
+        let mut result: FxHashSet<NodeId> = FxHashSet::default();
+        while let Some((node, state)) = stack.pop() {
+            if self.finals[state] {
+                result.insert(node);
+            }
+            for &(sym, q) in &self.trans[state] {
+                match sym {
+                    AtomSym::Node(a) => {
+                        if g.has_label(node, a) && !visited[idx(node, q)] {
+                            visited[idx(node, q)] = true;
+                            stack.push((node, q));
+                        }
+                    }
+                    AtomSym::Edge(r) => {
+                        for succ in g.successors(node, r) {
+                            if !visited[idx(succ, q)] {
+                                visited[idx(succ, q)] = true;
+                                stack.push((succ, q));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let mut v: Vec<NodeId> = result.into_iter().collect();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gts_graph::{EdgeLabel, EdgeSym, NodeLabel, Vocab};
+
+    fn a() -> AtomSym {
+        AtomSym::Node(NodeLabel(0))
+    }
+    fn r() -> AtomSym {
+        AtomSym::Edge(EdgeSym::fwd(EdgeLabel(0)))
+    }
+
+    #[test]
+    fn accepts_agrees_with_derivatives_on_samples() {
+        let regexes = [
+            Regex::Sym(a()).then(Regex::Sym(r()).star()),
+            Regex::Sym(r()).or(Regex::Sym(a())).star(),
+            Regex::Sym(r()).then(Regex::Sym(r())).or(Regex::Epsilon),
+            Regex::Empty,
+            Regex::Epsilon,
+        ];
+        let words: Vec<Vec<AtomSym>> = vec![
+            vec![],
+            vec![a()],
+            vec![r()],
+            vec![a(), r()],
+            vec![r(), r()],
+            vec![a(), r(), r()],
+            vec![r(), a(), r()],
+        ];
+        for re in &regexes {
+            let nfa = Nfa::from_regex(re);
+            for w in &words {
+                assert_eq!(nfa.accepts(w), re.matches(w), "re={re:?} w={w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn language_finiteness() {
+        assert!(Nfa::from_regex(&Regex::Sym(r())).language_finite());
+        assert!(Nfa::from_regex(&Regex::Empty).language_finite());
+        assert!(!Nfa::from_regex(&Regex::Sym(r()).star()).language_finite());
+        // A star over a useless branch stays finite: (∅·r)* ≡ ε.
+        let re = Regex::Star(Box::new(Regex::Concat(
+            Box::new(Regex::Empty),
+            Box::new(Regex::Sym(r())),
+        )));
+        assert!(Nfa::from_regex(&re).language_finite());
+    }
+
+    #[test]
+    fn enumerate_finite_language_exhaustively() {
+        // r·(a+ε) has words {r, ra}.
+        let re = Regex::Sym(r()).then(Regex::Sym(a()).or(Regex::Epsilon));
+        let nfa = Nfa::from_regex(&re);
+        let (mut words, exhaustive) = nfa.enumerate_words(5, 100);
+        words.sort();
+        assert!(exhaustive);
+        assert_eq!(words, vec![vec![r()], vec![r(), a()]]);
+    }
+
+    #[test]
+    fn enumerate_infinite_language_is_not_exhaustive() {
+        let re = Regex::Sym(r()).star();
+        let nfa = Nfa::from_regex(&re);
+        let (words, exhaustive) = nfa.enumerate_words(3, 100);
+        assert!(!exhaustive);
+        assert_eq!(words.len(), 4); // ε, r, rr, rrr
+    }
+
+    #[test]
+    fn graph_evaluation_follows_paths() {
+        let mut v = Vocab::new();
+        let antigen = v.node_label("Antigen");
+        let dt = v.edge_label("designTarget");
+        let cr = v.edge_label("crossReacting");
+        let mut g = Graph::new();
+        let vac = g.add_node();
+        let a1 = g.add_labeled_node([antigen]);
+        let a2 = g.add_labeled_node([antigen]);
+        g.add_edge(vac, dt, a1);
+        g.add_edge(a1, cr, a2);
+        // designTarget · crossReacting* · Antigen   (Example 3.2-ish)
+        let re = Regex::edge(dt)
+            .then(Regex::edge(cr).star())
+            .then(Regex::node(antigen));
+        let nfa = Nfa::from_regex(&re);
+        assert_eq!(nfa.reachable_from(&g, vac), vec![a1, a2]);
+        let pairs = nfa.pairs(&g);
+        assert!(pairs.contains(&(vac, a1)));
+        assert!(pairs.contains(&(vac, a2)));
+        assert_eq!(pairs.len(), 2);
+    }
+
+    #[test]
+    fn inverse_edges_walk_backwards() {
+        let mut v = Vocab::new();
+        let dt = v.edge_label("designTarget");
+        let mut g = Graph::new();
+        let n0 = g.add_node();
+        let n1 = g.add_node();
+        g.add_edge(n0, dt, n1);
+        let re = Regex::sym(EdgeSym::bwd(dt));
+        let nfa = Nfa::from_regex(&re);
+        assert_eq!(nfa.reachable_from(&g, n1), vec![n0]);
+        assert!(nfa.reachable_from(&g, n0).is_empty());
+    }
+
+    #[test]
+    fn two_way_round_trip() {
+        // r·r⁻ returns to the start node (possibly via a different edge).
+        let mut v = Vocab::new();
+        let dt = v.edge_label("r");
+        let mut g = Graph::new();
+        let n0 = g.add_node();
+        let n1 = g.add_node();
+        g.add_edge(n0, dt, n1);
+        let re = Regex::edge(dt).then(Regex::sym(EdgeSym::bwd(dt)));
+        let nfa = Nfa::from_regex(&re);
+        assert_eq!(nfa.reachable_from(&g, n0), vec![n0]);
+    }
+}

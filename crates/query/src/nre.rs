@@ -1,0 +1,744 @@
+//! Two-way *nested* regular expressions (NREs) — the query extension the
+//! paper singles out in Section 7 ("It is straightforward to extend our
+//! methods to two-way nested regular expressions [52]", the navigational
+//! language nSPARQL of Pérez, Arenas & Gutiérrez).
+//!
+//! An NRE extends two-way regular expressions with a *nesting* operator
+//! `⟨φ⟩`: a node test that holds at `u` iff some `φ`-path starts at `u`
+//! (an existential branch off the main path). Note this is the genuine
+//! nesting semantics, not the `p[q] := p·q·q⁻` expansion of Appendix F,
+//! which coincides with it only in the functional situations where the
+//! paper applies it ([`crate::Regex::nest`]).
+//!
+//! Two exact translations back into the plain pipeline are provided:
+//!
+//! * [`NreC2rpq::lower`] — *interning*: every nest becomes a fresh
+//!   synthetic node label whose extension is defined elsewhere (for
+//!   finite-graph evaluation, by materializing the label; for the
+//!   containment pipeline, by the backward Horn derivation in
+//!   `gts-containment`). Works for **all** NREs, including nests under
+//!   `*`, but only on positions where the label may be over-approximated
+//!   (the contained side of a containment).
+//! * [`NreC2rpq::flatten`] — *flattening*: nests become extra existential
+//!   variables and atoms, alternatives distribute into a union. Exact and
+//!   usable on *both* sides of a containment, but impossible for nests
+//!   under `*`/`+` ([`FlattenError::NestUnderStar`]).
+
+use crate::c2rpq::{Atom, C2rpq, Uc2rpq, Var};
+use crate::nfa::Nfa;
+use crate::regex::{AtomSym, Regex};
+use gts_graph::{EdgeSym, FxHashSet, Graph, LabelSet, NodeId, NodeLabel, Vocab};
+
+/// A two-way nested regular expression.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Nre {
+    /// `∅` — matches no path.
+    Empty,
+    /// `ε` — matches the empty path.
+    Epsilon,
+    /// A plain symbol (node test or edge symbol).
+    Sym(AtomSym),
+    /// The nesting test `⟨φ⟩` — stays at the current node `u` and requires
+    /// some `φ`-path starting at `u`.
+    Nest(Box<Nre>),
+    /// Concatenation `φ·ψ`.
+    Concat(Box<Nre>, Box<Nre>),
+    /// Alternation `φ+ψ`.
+    Alt(Box<Nre>, Box<Nre>),
+    /// Kleene star `φ*`.
+    Star(Box<Nre>),
+}
+
+impl From<&Regex> for Nre {
+    fn from(re: &Regex) -> Nre {
+        match re {
+            Regex::Empty => Nre::Empty,
+            Regex::Epsilon => Nre::Epsilon,
+            Regex::Sym(s) => Nre::Sym(*s),
+            Regex::Concat(a, b) => Nre::Concat(Box::new((&**a).into()), Box::new((&**b).into())),
+            Regex::Alt(a, b) => Nre::Alt(Box::new((&**a).into()), Box::new((&**b).into())),
+            Regex::Star(a) => Nre::Star(Box::new((&**a).into())),
+        }
+    }
+}
+
+impl Nre {
+    /// Node test `A`.
+    pub fn node(a: NodeLabel) -> Nre {
+        Nre::Sym(AtomSym::Node(a))
+    }
+
+    /// Forward edge symbol `r`.
+    pub fn edge(r: gts_graph::EdgeLabel) -> Nre {
+        Nre::Sym(AtomSym::Edge(EdgeSym::fwd(r)))
+    }
+
+    /// Arbitrary edge symbol (forward or inverse).
+    pub fn sym(s: EdgeSym) -> Nre {
+        Nre::Sym(AtomSym::Edge(s))
+    }
+
+    /// The nesting test `⟨φ⟩`.
+    pub fn nest(inner: Nre) -> Nre {
+        Nre::Nest(Box::new(inner))
+    }
+
+    /// Concatenation with unit/zero simplification.
+    pub fn then(self, other: Nre) -> Nre {
+        match (self, other) {
+            (Nre::Empty, _) | (_, Nre::Empty) => Nre::Empty,
+            (Nre::Epsilon, r) | (r, Nre::Epsilon) => r,
+            (a, b) => Nre::Concat(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// Alternation with zero simplification.
+    pub fn or(self, other: Nre) -> Nre {
+        match (self, other) {
+            (Nre::Empty, r) | (r, Nre::Empty) => r,
+            (a, b) => Nre::Alt(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// Kleene star with trivial-body simplification.
+    pub fn star(self) -> Nre {
+        match self {
+            Nre::Empty | Nre::Epsilon => Nre::Epsilon,
+            r => Nre::Star(Box::new(r)),
+        }
+    }
+
+    /// `true` iff the expression contains no nesting test (i.e. it is a
+    /// plain two-way regular expression).
+    pub fn is_plain(&self) -> bool {
+        match self {
+            Nre::Empty | Nre::Epsilon | Nre::Sym(_) => true,
+            Nre::Nest(_) => false,
+            Nre::Concat(a, b) | Nre::Alt(a, b) => a.is_plain() && b.is_plain(),
+            Nre::Star(a) => a.is_plain(),
+        }
+    }
+
+    /// Converts back to a plain regex, or `None` if a nest occurs.
+    pub fn as_regex(&self) -> Option<Regex> {
+        Some(match self {
+            Nre::Empty => Regex::Empty,
+            Nre::Epsilon => Regex::Epsilon,
+            Nre::Sym(s) => Regex::Sym(*s),
+            Nre::Nest(_) => return None,
+            Nre::Concat(a, b) => a.as_regex()?.then(b.as_regex()?),
+            Nre::Alt(a, b) => a.as_regex()?.or(b.as_regex()?),
+            Nre::Star(a) => a.as_regex()?.star(),
+        })
+    }
+
+    /// The reversed expression: nesting tests stay at the node, so they are
+    /// self-inverse — the inner branch is *not* reversed.
+    pub fn reverse(&self) -> Nre {
+        match self {
+            Nre::Empty => Nre::Empty,
+            Nre::Epsilon => Nre::Epsilon,
+            Nre::Sym(AtomSym::Node(a)) => Nre::node(*a),
+            Nre::Sym(AtomSym::Edge(r)) => Nre::sym(r.inv()),
+            Nre::Nest(inner) => Nre::Nest(inner.clone()),
+            Nre::Concat(a, b) => Nre::Concat(Box::new(b.reverse()), Box::new(a.reverse())),
+            Nre::Alt(a, b) => Nre::Alt(Box::new(a.reverse()), Box::new(b.reverse())),
+            Nre::Star(a) => Nre::Star(Box::new(a.reverse())),
+        }
+    }
+
+    /// Number of syntax-tree nodes.
+    pub fn size(&self) -> usize {
+        match self {
+            Nre::Empty | Nre::Epsilon | Nre::Sym(_) => 1,
+            Nre::Nest(a) | Nre::Star(a) => 1 + a.size(),
+            Nre::Concat(a, b) | Nre::Alt(a, b) => 1 + a.size() + b.size(),
+        }
+    }
+
+    /// Maximum nesting depth (0 for plain expressions).
+    pub fn nest_depth(&self) -> usize {
+        match self {
+            Nre::Empty | Nre::Epsilon | Nre::Sym(_) => 0,
+            Nre::Nest(a) => 1 + a.nest_depth(),
+            Nre::Star(a) => a.nest_depth(),
+            Nre::Concat(a, b) | Nre::Alt(a, b) => a.nest_depth().max(b.nest_depth()),
+        }
+    }
+
+    /// `true` iff some nesting test occurs under a star.
+    pub fn has_nest_under_star(&self) -> bool {
+        match self {
+            Nre::Empty | Nre::Epsilon | Nre::Sym(_) => false,
+            Nre::Nest(a) => a.has_nest_under_star(),
+            Nre::Star(a) => !a.is_plain(),
+            Nre::Concat(a, b) | Nre::Alt(a, b) => {
+                a.has_nest_under_star() || b.has_nest_under_star()
+            }
+        }
+    }
+
+    /// The binary relation `[φ]_G` over the nodes of a finite graph,
+    /// computed by materializing nest labels bottom-up and running the
+    /// plain product evaluator.
+    pub fn pairs(&self, g: &Graph, vocab: &mut Vocab) -> FxHashSet<(NodeId, NodeId)> {
+        let mut table = NestTable::default();
+        let re = lower_nre(self, vocab, &mut table);
+        let gm = table.materialize(g);
+        Nfa::from_regex(&re).pairs(&gm)
+    }
+
+    /// Renders the expression using `vocab`; nests print as `⟨…⟩`.
+    pub fn render(&self, vocab: &Vocab) -> String {
+        match self {
+            Nre::Empty => "∅".into(),
+            Nre::Epsilon => "ε".into(),
+            Nre::Sym(s) => s.render(vocab),
+            Nre::Nest(a) => format!("⟨{}⟩", a.render(vocab)),
+            Nre::Concat(a, b) => format!("({}·{})", a.render(vocab), b.render(vocab)),
+            Nre::Alt(a, b) => format!("({}+{})", a.render(vocab), b.render(vocab)),
+            Nre::Star(a) => format!("{}*", a.render(vocab)),
+        }
+    }
+}
+
+/// An atom `φ(x, y)` with an NRE body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NreAtom {
+    /// Source variable.
+    pub x: Var,
+    /// Target variable.
+    pub y: Var,
+    /// The nested regular expression.
+    pub nre: Nre,
+}
+
+/// A conjunctive query over NRE atoms.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NreC2rpq {
+    /// Total number of variables (ids `0..num_vars`).
+    pub num_vars: u32,
+    /// Free (answer) variables.
+    pub free: Vec<Var>,
+    /// The atoms.
+    pub atoms: Vec<NreAtom>,
+}
+
+/// A union of NRE queries.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct NreUc2rpq {
+    /// The disjuncts.
+    pub disjuncts: Vec<NreC2rpq>,
+}
+
+/// The table of interned nests produced by lowering: one fresh synthetic
+/// node label per nest occurrence, with the (already-lowered) inner regex,
+/// in dependency order (inner nests first).
+#[derive(Clone, Debug, Default)]
+pub struct NestTable {
+    /// `(label, inner)` pairs: `label` holds at `u` iff some `inner`-path
+    /// starts at `u`. `inner` may mention labels of *earlier* entries.
+    pub entries: Vec<(NodeLabel, Regex)>,
+}
+
+impl NestTable {
+    /// The set of all nest labels.
+    pub fn labels(&self) -> LabelSet {
+        LabelSet::from_iter(self.entries.iter().map(|(l, _)| l.0))
+    }
+
+    /// Materializes the nest labels on a copy of `g` (bottom-up), so that
+    /// plain evaluation of lowered expressions is exact.
+    pub fn materialize(&self, g: &Graph) -> Graph {
+        let mut gm = g.clone();
+        for (label, inner) in &self.entries {
+            let nfa = Nfa::from_regex(inner);
+            let holders: Vec<NodeId> = gm
+                .nodes()
+                .filter(|&u| !nfa.reachable_from(&gm, u).is_empty())
+                .collect();
+            for u in holders {
+                gm.add_label(u, *label);
+            }
+        }
+        gm
+    }
+}
+
+/// Lowers an NRE to a plain regex, interning each nest as a fresh
+/// synthetic node label appended to `table`.
+pub fn lower_nre(nre: &Nre, vocab: &mut Vocab, table: &mut NestTable) -> Regex {
+    match nre {
+        Nre::Empty => Regex::Empty,
+        Nre::Epsilon => Regex::Epsilon,
+        Nre::Sym(s) => Regex::Sym(*s),
+        Nre::Nest(inner) => {
+            let inner_re = lower_nre(inner, vocab, table);
+            let label = vocab.fresh_node_label("nest");
+            table.entries.push((label, inner_re));
+            Regex::node(label)
+        }
+        Nre::Concat(a, b) => {
+            let la = lower_nre(a, vocab, table);
+            let lb = lower_nre(b, vocab, table);
+            la.then(lb)
+        }
+        Nre::Alt(a, b) => {
+            let la = lower_nre(a, vocab, table);
+            let lb = lower_nre(b, vocab, table);
+            la.or(lb)
+        }
+        Nre::Star(a) => lower_nre(a, vocab, table).star(),
+    }
+}
+
+/// A lowered NRE query: a plain UC2RPQ over an extended label alphabet,
+/// plus the nest table defining the synthetic labels.
+#[derive(Clone, Debug)]
+pub struct LoweredNre {
+    /// The plain query (nests replaced by synthetic node tests).
+    pub query: Uc2rpq,
+    /// Definitions of the synthetic labels.
+    pub table: NestTable,
+}
+
+/// Why flattening an NRE query failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FlattenError {
+    /// A nesting test occurs under `*`/`+` — flattening would need
+    /// unboundedly many branch variables.
+    NestUnderStar,
+    /// Distributing alternatives produced more than the cap allows.
+    TooManyAlternatives,
+}
+
+/// Cap on the number of disjuncts produced by flattening.
+const MAX_FLAT_DISJUNCTS: usize = 256;
+
+impl NreC2rpq {
+    /// Creates a query, validating variable indices.
+    pub fn new(num_vars: u32, free: Vec<Var>, atoms: Vec<NreAtom>) -> NreC2rpq {
+        for v in free.iter().chain(atoms.iter().flat_map(|a| [&a.x, &a.y])) {
+            assert!(v.0 < num_vars, "variable {v:?} out of range (num_vars={num_vars})");
+        }
+        NreC2rpq { num_vars, free, atoms }
+    }
+
+    /// Trivial atoms stay at one variable: `∅/ε/A/⟨φ⟩ (x,x)`.
+    fn atom_is_trivial(a: &NreAtom) -> bool {
+        a.x == a.y
+            && matches!(
+                a.nre,
+                Nre::Empty | Nre::Epsilon | Nre::Sym(AtomSym::Node(_)) | Nre::Nest(_)
+            )
+    }
+
+    /// Acyclicity of the query multigraph (nests live inside the regexes
+    /// and do not contribute edges), mirroring [`C2rpq::is_acyclic`].
+    pub fn is_acyclic(&self) -> bool {
+        let mut parent: Vec<u32> = (0..self.num_vars).collect();
+        fn find(parent: &mut [u32], mut v: u32) -> u32 {
+            while parent[v as usize] != v {
+                parent[v as usize] = parent[parent[v as usize] as usize];
+                v = parent[v as usize];
+            }
+            v
+        }
+        for atom in self.atoms.iter().filter(|a| !Self::atom_is_trivial(a)) {
+            if atom.x == atom.y {
+                return false;
+            }
+            let (rx, ry) = (find(&mut parent, atom.x.0), find(&mut parent, atom.y.0));
+            if rx == ry {
+                return false;
+            }
+            parent[rx as usize] = ry;
+        }
+        true
+    }
+
+    /// Total size (variables plus regex sizes).
+    pub fn size(&self) -> usize {
+        self.num_vars as usize + self.atoms.iter().map(|a| a.nre.size()).sum::<usize>()
+    }
+
+    /// Lowers the query by interning nests (exact on the contained side of
+    /// a containment, and for finite evaluation after
+    /// [`NestTable::materialize`]).
+    pub fn lower(&self, vocab: &mut Vocab) -> LoweredNre {
+        let mut table = NestTable::default();
+        let atoms = self
+            .atoms
+            .iter()
+            .map(|a| Atom { x: a.x, y: a.y, regex: lower_nre(&a.nre, vocab, &mut table) })
+            .collect();
+        LoweredNre {
+            query: Uc2rpq::single(C2rpq::new(self.num_vars, self.free.clone(), atoms)),
+            table,
+        }
+    }
+
+    /// Evaluates the query over a finite graph (exact for all NREs).
+    pub fn eval(&self, g: &Graph, vocab: &mut Vocab) -> FxHashSet<Vec<NodeId>> {
+        let lowered = self.lower(vocab);
+        let gm = lowered.table.materialize(g);
+        lowered.query.eval(&gm)
+    }
+
+    /// Boolean satisfaction over a finite graph.
+    pub fn holds(&self, g: &Graph, vocab: &mut Vocab) -> bool {
+        let lowered = self.lower(vocab);
+        let gm = lowered.table.materialize(g);
+        lowered.query.holds(&gm)
+    }
+
+    /// Flattens nests into extra existential variables and atoms — the
+    /// exact translation into plain C2RPQs, usable on both sides of a
+    /// containment. Alternatives containing nests distribute into a union;
+    /// nests under `*`/`+` are rejected.
+    pub fn flatten(&self) -> Result<Vec<C2rpq>, FlattenError> {
+        let mut next_var = self.num_vars;
+        // Alternatives of atom sets, multiplied across the original atoms.
+        let mut conjuncts: Vec<Vec<Atom>> = vec![Vec::new()];
+        for a in &self.atoms {
+            let alts = flatten_nre(&a.nre, a.x, a.y, &mut next_var)?;
+            let mut grown = Vec::with_capacity(conjuncts.len() * alts.len());
+            for base in &conjuncts {
+                for alt in &alts {
+                    if grown.len() >= MAX_FLAT_DISJUNCTS {
+                        return Err(FlattenError::TooManyAlternatives);
+                    }
+                    let mut c = base.clone();
+                    c.extend(alt.iter().cloned());
+                    grown.push(c);
+                }
+            }
+            conjuncts = grown;
+            if conjuncts.is_empty() {
+                break; // an atom with no alternatives: the query is empty
+            }
+        }
+        Ok(conjuncts
+            .into_iter()
+            .map(|atoms| C2rpq::new(next_var, self.free.clone(), atoms))
+            .collect())
+    }
+
+    /// Renders the query using `vocab`.
+    pub fn render(&self, vocab: &Vocab) -> String {
+        let head: Vec<String> = self.free.iter().map(|v| format!("x{}", v.0)).collect();
+        let body: Vec<String> = self
+            .atoms
+            .iter()
+            .map(|a| format!("{}(x{}, x{})", a.nre.render(vocab), a.x.0, a.y.0))
+            .collect();
+        format!("q({}) = {}", head.join(","), body.join(" ∧ "))
+    }
+}
+
+/// Flattens one NRE read from `x` to `y`: returns the alternatives, each a
+/// set of plain atoms over possibly-fresh existential variables.
+fn flatten_nre(
+    nre: &Nre,
+    x: Var,
+    y: Var,
+    next_var: &mut u32,
+) -> Result<Vec<Vec<Atom>>, FlattenError> {
+    // Plain subtrees collapse to a single atom.
+    if let Some(re) = nre.as_regex() {
+        return Ok(vec![vec![Atom { x, y, regex: re }]]);
+    }
+    match nre {
+        Nre::Alt(a, b) => {
+            let mut alts = flatten_nre(a, x, y, next_var)?;
+            alts.extend(flatten_nre(b, x, y, next_var)?);
+            if alts.len() > MAX_FLAT_DISJUNCTS {
+                return Err(FlattenError::TooManyAlternatives);
+            }
+            Ok(alts)
+        }
+        Nre::Concat(a, b) => {
+            let mid = Var(*next_var);
+            *next_var += 1;
+            let left = flatten_nre(a, x, mid, next_var)?;
+            let right = flatten_nre(b, mid, y, next_var)?;
+            let mut out = Vec::with_capacity(left.len() * right.len());
+            for l in &left {
+                for r in &right {
+                    if out.len() >= MAX_FLAT_DISJUNCTS {
+                        return Err(FlattenError::TooManyAlternatives);
+                    }
+                    let mut c = l.clone();
+                    c.extend(r.iter().cloned());
+                    out.push(c);
+                }
+            }
+            Ok(out)
+        }
+        Nre::Nest(inner) => {
+            // ⟨φ⟩(x,y): x = y and some φ-path leaves x toward a fresh
+            // branch variable.
+            let branch = Var(*next_var);
+            *next_var += 1;
+            let inner_alts = flatten_nre(inner, x, branch, next_var)?;
+            Ok(inner_alts
+                .into_iter()
+                .map(|mut atoms| {
+                    atoms.push(Atom { x, y, regex: Regex::Epsilon });
+                    atoms
+                })
+                .collect())
+        }
+        Nre::Star(_) => Err(FlattenError::NestUnderStar),
+        // Plain leaves were handled by the `as_regex` fast path.
+        Nre::Empty | Nre::Epsilon | Nre::Sym(_) => unreachable!("plain NRE reached match"),
+    }
+}
+
+impl NreUc2rpq {
+    /// Union of one query.
+    pub fn single(q: NreC2rpq) -> NreUc2rpq {
+        NreUc2rpq { disjuncts: vec![q] }
+    }
+
+    /// Embeds a plain union.
+    pub fn from_plain(q: &Uc2rpq) -> NreUc2rpq {
+        NreUc2rpq {
+            disjuncts: q
+                .disjuncts
+                .iter()
+                .map(|d| NreC2rpq {
+                    num_vars: d.num_vars,
+                    free: d.free.clone(),
+                    atoms: d
+                        .atoms
+                        .iter()
+                        .map(|a| NreAtom { x: a.x, y: a.y, nre: (&a.regex).into() })
+                        .collect(),
+                })
+                .collect(),
+        }
+    }
+
+    /// `true` iff every disjunct is acyclic.
+    pub fn is_acyclic(&self) -> bool {
+        self.disjuncts.iter().all(|d| d.is_acyclic())
+    }
+
+    /// Total size.
+    pub fn size(&self) -> usize {
+        self.disjuncts.iter().map(|d| d.size()).sum()
+    }
+
+    /// Lowers all disjuncts into one plain union sharing a nest table.
+    pub fn lower(&self, vocab: &mut Vocab) -> LoweredNre {
+        let mut table = NestTable::default();
+        let disjuncts = self
+            .disjuncts
+            .iter()
+            .map(|d| {
+                let atoms = d
+                    .atoms
+                    .iter()
+                    .map(|a| Atom { x: a.x, y: a.y, regex: lower_nre(&a.nre, vocab, &mut table) })
+                    .collect();
+                C2rpq::new(d.num_vars, d.free.clone(), atoms)
+            })
+            .collect();
+        LoweredNre { query: Uc2rpq { disjuncts }, table }
+    }
+
+    /// Flattens all disjuncts into one plain union.
+    pub fn flatten(&self) -> Result<Uc2rpq, FlattenError> {
+        let mut disjuncts = Vec::new();
+        for d in &self.disjuncts {
+            disjuncts.extend(d.flatten()?);
+            if disjuncts.len() > MAX_FLAT_DISJUNCTS {
+                return Err(FlattenError::TooManyAlternatives);
+            }
+        }
+        Ok(Uc2rpq { disjuncts })
+    }
+
+    /// Boolean satisfaction over a finite graph (exact for all NREs).
+    pub fn holds(&self, g: &Graph, vocab: &mut Vocab) -> bool {
+        self.disjuncts.iter().any(|d| d.holds(g, vocab))
+    }
+
+    /// Union evaluation over a finite graph.
+    pub fn eval(&self, g: &Graph, vocab: &mut Vocab) -> FxHashSet<Vec<NodeId>> {
+        let mut out = FxHashSet::default();
+        for d in &self.disjuncts {
+            out.extend(d.eval(g, vocab));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gts_graph::EdgeLabel;
+
+    /// A toy social graph: persons 0,1,2 in a follows-chain, person 2 is
+    /// verified; a "likes" branch off person 1.
+    fn social() -> (Vocab, Graph, NodeLabel, EdgeLabel, EdgeLabel) {
+        let mut v = Vocab::new();
+        let verified = v.node_label("Verified");
+        let follows = v.edge_label("follows");
+        let likes = v.edge_label("likes");
+        let mut g = Graph::new();
+        let p0 = g.add_node();
+        let p1 = g.add_node();
+        let p2 = g.add_labeled_node([verified]);
+        let post = g.add_node();
+        g.add_edge(p0, follows, p1);
+        g.add_edge(p1, follows, p2);
+        g.add_edge(p1, likes, post);
+        (v, g, verified, follows, likes)
+    }
+
+    #[test]
+    fn nest_is_a_node_test() {
+        let (mut v, g, _, follows, likes) = social();
+        // follows·⟨likes⟩: reach someone who likes something.
+        let nre = Nre::edge(follows).then(Nre::nest(Nre::edge(likes)));
+        let pairs = nre.pairs(&g, &mut v);
+        assert_eq!(pairs.len(), 1);
+        assert!(pairs.contains(&(NodeId(0), NodeId(1))));
+    }
+
+    #[test]
+    fn nest_under_star_evaluates() {
+        let (mut v, g, verified, follows, likes) = social();
+        // (follows·⟨likes + Verified⟩)*: follow-chains through nodes that
+        // like something or are verified.
+        let test = Nre::nest(Nre::edge(likes).or(Nre::node(verified)));
+        let nre = Nre::edge(follows).then(test).star();
+        let pairs = nre.pairs(&g, &mut v);
+        // ε everywhere (4) + 0→1 (likes) + 1→2 (verified) + 0→2.
+        assert_eq!(pairs.len(), 7);
+        assert!(pairs.contains(&(NodeId(0), NodeId(2))));
+        assert!(!pairs.contains(&(NodeId(2), NodeId(0))));
+    }
+
+    #[test]
+    fn reverse_keeps_nests_unreversed() {
+        let (_, _, verified, follows, likes) = social();
+        let nre = Nre::edge(follows).then(Nre::nest(Nre::edge(likes).then(Nre::node(verified))));
+        let rev = nre.reverse();
+        // The nest stays in place, only the outer path reverses.
+        match &rev {
+            Nre::Concat(a, b) => {
+                assert!(matches!(**a, Nre::Nest(_)));
+                assert_eq!(**b, Nre::sym(EdgeSym::bwd(follows)));
+            }
+            other => panic!("unexpected reversal shape: {other:?}"),
+        }
+        assert_eq!(rev.reverse(), nre);
+    }
+
+    #[test]
+    fn lowering_materialization_matches_flattening() {
+        let (mut v, g, verified, follows, likes) = social();
+        // q(x) = (follows·⟨likes⟩·follows·Verified)(x, y)
+        let nre = Nre::edge(follows)
+            .then(Nre::nest(Nre::edge(likes)))
+            .then(Nre::edge(follows))
+            .then(Nre::node(verified));
+        let q = NreC2rpq::new(
+            2,
+            vec![Var(0)],
+            vec![NreAtom { x: Var(0), y: Var(1), nre }],
+        );
+        assert!(q.is_acyclic());
+        let direct = q.eval(&g, &mut v);
+        let flat = q.flatten().unwrap();
+        let mut flat_answers = FxHashSet::default();
+        for d in &flat {
+            flat_answers.extend(d.eval(&g));
+        }
+        assert_eq!(direct, flat_answers);
+        assert_eq!(direct.len(), 1);
+        assert!(direct.contains(&vec![NodeId(0)]));
+    }
+
+    #[test]
+    fn flatten_rejects_nest_under_star() {
+        let (_, _, _, follows, likes) = social();
+        let nre = Nre::edge(follows).then(Nre::nest(Nre::edge(likes))).star();
+        let q = NreC2rpq::new(2, vec![], vec![NreAtom { x: Var(0), y: Var(1), nre }]);
+        assert_eq!(q.flatten().unwrap_err(), FlattenError::NestUnderStar);
+        assert!(Nre::edge(follows)
+            .then(Nre::nest(Nre::edge(likes)))
+            .star()
+            .has_nest_under_star());
+    }
+
+    #[test]
+    fn flatten_distributes_alternatives_with_nests() {
+        let (mut v, g, verified, follows, likes) = social();
+        // follows·(⟨likes⟩ + Verified): either branch.
+        let nre = Nre::edge(follows)
+            .then(Nre::nest(Nre::edge(likes)).or(Nre::node(verified)));
+        let q = NreC2rpq::new(2, vec![Var(1)], vec![NreAtom { x: Var(0), y: Var(1), nre }]);
+        let flat = q.flatten().unwrap();
+        assert_eq!(flat.len(), 2);
+        let mut flat_answers = FxHashSet::default();
+        for d in &flat {
+            flat_answers.extend(d.eval(&g));
+        }
+        assert_eq!(flat_answers, q.eval(&g, &mut v));
+        assert_eq!(flat_answers.len(), 2); // reach p1 (likes) and p2 (verified)
+    }
+
+    #[test]
+    fn nested_nests() {
+        let (mut v, g, verified, follows, likes) = social();
+        // ⟨follows·⟨likes⟩⟩ at x: x follows someone who likes something.
+        let nre = Nre::nest(Nre::edge(follows).then(Nre::nest(Nre::edge(likes))));
+        let q = NreC2rpq::new(1, vec![Var(0)], vec![NreAtom { x: Var(0), y: Var(0), nre }]);
+        let ans = q.eval(&g, &mut v);
+        assert_eq!(ans.len(), 1);
+        assert!(ans.contains(&vec![NodeId(0)]));
+        assert_eq!(q.atoms[0].nre.nest_depth(), 2);
+        let _ = verified;
+    }
+
+    #[test]
+    fn plain_roundtrip() {
+        let (_, _, verified, follows, _) = social();
+        let re = Regex::node(verified).then(Regex::edge(follows).star());
+        let nre: Nre = (&re).into();
+        assert!(nre.is_plain());
+        assert_eq!(nre.as_regex().unwrap(), re);
+        assert_eq!(nre.nest_depth(), 0);
+    }
+
+    #[test]
+    fn lowering_under_star_is_exact_on_graphs() {
+        let (mut v, g, verified, follows, likes) = social();
+        let test = Nre::nest(Nre::edge(likes).or(Nre::node(verified)));
+        let nre = Nre::edge(follows).then(test).star();
+        let q = NreC2rpq::new(2, vec![Var(0), Var(1)], vec![NreAtom {
+            x: Var(0),
+            y: Var(1),
+            nre: nre.clone(),
+        }]);
+        let lowered = q.lower(&mut v);
+        assert_eq!(lowered.table.entries.len(), 1);
+        let gm = lowered.table.materialize(&g);
+        // The nest label is exactly {p1 (likes), p2 (verified)}.
+        let label = lowered.table.entries[0].0;
+        let holders: Vec<NodeId> = gm.nodes().filter(|&u| gm.has_label(u, label)).collect();
+        assert_eq!(holders, vec![NodeId(1), NodeId(2)]);
+        assert_eq!(lowered.query.eval(&gm), q.eval(&g, &mut v));
+    }
+
+    #[test]
+    fn render_uses_angle_brackets() {
+        let (v, _, _, follows, likes) = social();
+        let nre = Nre::edge(follows).then(Nre::nest(Nre::edge(likes)));
+        assert_eq!(nre.render(&v), "(follows·⟨likes⟩)");
+    }
+}

@@ -1,0 +1,294 @@
+//! Two-way regular expressions (Section 3 / Appendix A):
+//!
+//! `φ ::= ∅ | ε | A | R | φ·φ | φ+φ | φ*` with `A ∈ Γ` (node tests) and
+//! `R ∈ Σ±` (edge symbols, possibly inverse).
+//!
+//! A word over the alphabet `Γ ∪ Σ±` describes a path: node tests stay at
+//! the current node, edge symbols move along a (possibly inverse) edge.
+
+use gts_graph::{EdgeSym, NodeLabel, Vocab};
+
+/// A single symbol of the path alphabet `Γ ∪ Σ±`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AtomSym {
+    /// A node test `A ∈ Γ` (stays at the current node).
+    Node(NodeLabel),
+    /// An edge symbol `R ∈ Σ±` (moves along an edge).
+    Edge(EdgeSym),
+}
+
+impl AtomSym {
+    /// Renders the symbol using `vocab`.
+    pub fn render(&self, vocab: &Vocab) -> String {
+        match self {
+            AtomSym::Node(a) => vocab.node_name(*a).to_owned(),
+            AtomSym::Edge(r) => vocab.sym_name(*r),
+        }
+    }
+}
+
+/// A two-way regular expression.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Regex {
+    /// `∅` — matches no path.
+    Empty,
+    /// `ε` — matches the empty path.
+    Epsilon,
+    /// A single symbol (node test or edge symbol).
+    Sym(AtomSym),
+    /// Concatenation `φ·ψ`.
+    Concat(Box<Regex>, Box<Regex>),
+    /// Alternation `φ+ψ`.
+    Alt(Box<Regex>, Box<Regex>),
+    /// Kleene star `φ*`.
+    Star(Box<Regex>),
+}
+
+impl Regex {
+    /// Node test `A`.
+    pub fn node(a: NodeLabel) -> Regex {
+        Regex::Sym(AtomSym::Node(a))
+    }
+
+    /// Forward edge symbol `r`.
+    pub fn edge(r: gts_graph::EdgeLabel) -> Regex {
+        Regex::Sym(AtomSym::Edge(EdgeSym::fwd(r)))
+    }
+
+    /// Arbitrary edge symbol (forward or inverse).
+    pub fn sym(s: EdgeSym) -> Regex {
+        Regex::Sym(AtomSym::Edge(s))
+    }
+
+    /// Concatenation with unit/zero simplification.
+    pub fn then(self, other: Regex) -> Regex {
+        match (self, other) {
+            (Regex::Empty, _) | (_, Regex::Empty) => Regex::Empty,
+            (Regex::Epsilon, r) | (r, Regex::Epsilon) => r,
+            (a, b) => Regex::Concat(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// Alternation with zero simplification.
+    pub fn or(self, other: Regex) -> Regex {
+        match (self, other) {
+            (Regex::Empty, r) | (r, Regex::Empty) => r,
+            (a, b) => Regex::Alt(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// Kleene star with trivial-body simplification.
+    pub fn star(self) -> Regex {
+        match self {
+            Regex::Empty | Regex::Epsilon => Regex::Epsilon,
+            r => Regex::Star(Box::new(r)),
+        }
+    }
+
+    /// Concatenation of many parts.
+    pub fn concat_all<I: IntoIterator<Item = Regex>>(parts: I) -> Regex {
+        parts
+            .into_iter()
+            .fold(Regex::Epsilon, |acc, r| acc.then(r))
+    }
+
+    /// Alternation of many parts (empty iterator gives `∅`).
+    pub fn alt_all<I: IntoIterator<Item = Regex>>(parts: I) -> Regex {
+        parts.into_iter().fold(Regex::Empty, |acc, r| acc.or(r))
+    }
+
+    /// The *nesting* operator of Appendix F: `p[q] := p · q · q⁻`.
+    pub fn nest(self, q: Regex) -> Regex {
+        let qrev = q.reverse();
+        self.then(q).then(qrev)
+    }
+
+    /// The reversed expression `φ⁻` (Appendix F): matches exactly the
+    /// reversed paths. Node tests are self-inverse; edge symbols flip
+    /// direction; concatenation reverses order.
+    pub fn reverse(&self) -> Regex {
+        match self {
+            Regex::Empty => Regex::Empty,
+            Regex::Epsilon => Regex::Epsilon,
+            Regex::Sym(AtomSym::Node(a)) => Regex::node(*a),
+            Regex::Sym(AtomSym::Edge(r)) => Regex::sym(r.inv()),
+            Regex::Concat(a, b) => {
+                Regex::Concat(Box::new(b.reverse()), Box::new(a.reverse()))
+            }
+            Regex::Alt(a, b) => Regex::Alt(Box::new(a.reverse()), Box::new(b.reverse())),
+            Regex::Star(a) => Regex::Star(Box::new(a.reverse())),
+        }
+    }
+
+    /// Rewrites every symbol through `f` (used by the `P̂` relativization of
+    /// Theorem 5.6: wrapping edge symbols with label alternations and
+    /// dropping labels outside the schema).
+    pub fn map_syms(&self, f: &impl Fn(AtomSym) -> Regex) -> Regex {
+        match self {
+            Regex::Empty => Regex::Empty,
+            Regex::Epsilon => Regex::Epsilon,
+            Regex::Sym(s) => f(*s),
+            Regex::Concat(a, b) => a.map_syms(f).then(b.map_syms(f)),
+            Regex::Alt(a, b) => a.map_syms(f).or(b.map_syms(f)),
+            Regex::Star(a) => a.map_syms(f).star(),
+        }
+    }
+
+    /// Number of syntax-tree nodes (the size measure used by complexity
+    /// statements).
+    pub fn size(&self) -> usize {
+        match self {
+            Regex::Empty | Regex::Epsilon | Regex::Sym(_) => 1,
+            Regex::Concat(a, b) | Regex::Alt(a, b) => 1 + a.size() + b.size(),
+            Regex::Star(a) => 1 + a.size(),
+        }
+    }
+
+    /// `true` iff `ε ∈ L(φ)` (nullability).
+    pub fn nullable(&self) -> bool {
+        match self {
+            Regex::Empty | Regex::Sym(_) => false,
+            Regex::Epsilon | Regex::Star(_) => true,
+            Regex::Concat(a, b) => a.nullable() && b.nullable(),
+            Regex::Alt(a, b) => a.nullable() || b.nullable(),
+        }
+    }
+
+    /// Brzozowski derivative with respect to one symbol. Used as a simple,
+    /// obviously-correct membership oracle against the Glushkov automaton.
+    pub fn derive(&self, s: AtomSym) -> Regex {
+        match self {
+            Regex::Empty | Regex::Epsilon => Regex::Empty,
+            Regex::Sym(t) => {
+                if *t == s {
+                    Regex::Epsilon
+                } else {
+                    Regex::Empty
+                }
+            }
+            Regex::Concat(a, b) => {
+                let da_b = a.derive(s).then((**b).clone());
+                if a.nullable() {
+                    da_b.or(b.derive(s))
+                } else {
+                    da_b
+                }
+            }
+            Regex::Alt(a, b) => a.derive(s).or(b.derive(s)),
+            Regex::Star(a) => a.derive(s).then(self.clone()),
+        }
+    }
+
+    /// Membership test `word ∈ L(φ)` by repeated derivation.
+    pub fn matches(&self, word: &[AtomSym]) -> bool {
+        let mut cur = self.clone();
+        for &s in word {
+            cur = cur.derive(s);
+            if cur == Regex::Empty {
+                return false;
+            }
+        }
+        cur.nullable()
+    }
+
+    /// Renders the expression using `vocab`.
+    pub fn render(&self, vocab: &Vocab) -> String {
+        match self {
+            Regex::Empty => "∅".into(),
+            Regex::Epsilon => "ε".into(),
+            Regex::Sym(s) => s.render(vocab),
+            Regex::Concat(a, b) => format!("({}·{})", a.render(vocab), b.render(vocab)),
+            Regex::Alt(a, b) => format!("({}+{})", a.render(vocab), b.render(vocab)),
+            Regex::Star(a) => format!("{}*", a.render(vocab)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gts_graph::EdgeLabel;
+
+    fn syms() -> (AtomSym, AtomSym, AtomSym) {
+        (
+            AtomSym::Node(NodeLabel(0)),
+            AtomSym::Edge(EdgeSym::fwd(EdgeLabel(0))),
+            AtomSym::Edge(EdgeSym::bwd(EdgeLabel(0))),
+        )
+    }
+
+    #[test]
+    fn matches_basic_words() {
+        let (a, r, _) = syms();
+        // A·r*
+        let re = Regex::Sym(a).then(Regex::Sym(r).star());
+        assert!(re.matches(&[a]));
+        assert!(re.matches(&[a, r]));
+        assert!(re.matches(&[a, r, r, r]));
+        assert!(!re.matches(&[r]));
+        assert!(!re.matches(&[]));
+    }
+
+    #[test]
+    fn empty_and_epsilon() {
+        let (a, _, _) = syms();
+        assert!(!Regex::Empty.matches(&[]));
+        assert!(Regex::Epsilon.matches(&[]));
+        assert!(!Regex::Epsilon.matches(&[a]));
+        // Smart constructors collapse trivial cases.
+        assert_eq!(Regex::Empty.or(Regex::Epsilon), Regex::Epsilon);
+        assert_eq!(Regex::Empty.then(Regex::Sym(a)), Regex::Empty);
+        assert_eq!(Regex::Epsilon.star(), Regex::Epsilon);
+    }
+
+    #[test]
+    fn reverse_reverses_words() {
+        let (a, r, rinv) = syms();
+        // (A·r)⁻ = r⁻·A
+        let re = Regex::Sym(a).then(Regex::Sym(r));
+        let rev = re.reverse();
+        assert!(re.matches(&[a, r]));
+        assert!(rev.matches(&[rinv, a]));
+        assert!(!rev.matches(&[a, rinv]));
+        // Reversal is an involution.
+        assert_eq!(rev.reverse(), re);
+    }
+
+    #[test]
+    fn nesting_expands_to_p_q_qrev() {
+        let (_, r, rinv) = syms();
+        let p = Regex::Sym(r);
+        let q = Regex::Sym(r);
+        let nested = p.nest(q);
+        assert!(nested.matches(&[r, r, rinv]));
+        assert!(!nested.matches(&[r, r, r]));
+    }
+
+    #[test]
+    fn alternation_and_star() {
+        let (a, r, _) = syms();
+        let re = Regex::Sym(a).or(Regex::Sym(r)).star();
+        assert!(re.matches(&[]));
+        assert!(re.matches(&[a, r, a, a]));
+    }
+
+    #[test]
+    fn map_syms_rewrites() {
+        let (a, r, _) = syms();
+        let re = Regex::Sym(a).then(Regex::Sym(r));
+        // Drop node tests, keep edges.
+        let mapped = re.map_syms(&|s| match s {
+            AtomSym::Node(_) => Regex::Epsilon,
+            AtomSym::Edge(_) => Regex::Sym(s),
+        });
+        assert!(mapped.matches(&[r]));
+        assert!(!mapped.matches(&[a, r]));
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        let (a, r, _) = syms();
+        let re = Regex::Sym(a).then(Regex::Sym(r).star());
+        assert_eq!(re.size(), 4);
+    }
+}

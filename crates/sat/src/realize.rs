@@ -1,0 +1,430 @@
+//! Coinductive tree-witness realizability — the engine's restatement of the
+//! paper's pre-type elimination (Lemma E.5/E.6).
+//!
+//! A node of type `τ` whose only recorded neighborhood is its parent must
+//! fulfil every applicable `K ⊑ ∃R.K'` requirement by pointing at the
+//! parent or by spawning fresh children, grouping requirements into shared
+//! children when at-most constraints demand it, without violating any
+//! `∀`/`∄`/at-most constraint. Children must themselves be realizable —
+//! a *greatest* fixpoint, because witness trees may be infinite (finitely
+//! branching), which is exactly the unrestricted-satisfiability semantics
+//! the cycle-reversing reduction needs.
+//!
+//! Completeness note (fresh-children-only): in the model surgery of
+//! Theorem 6.3, every missing `∃R.K'` witness is added as a *fresh* copy of
+//! a witness in the original model, so restricting witness creation to
+//! fresh tree children loses no models. Minimal label sets are likewise
+//! complete: all constraint kinds of Horn-ALCIF are antitone in extra node
+//! labels (extra labels can only trigger more `K ⊑ …` obligations).
+
+use crate::budget::{Budget, UnknownReason};
+use crate::types::{TypeId, TypeUniverse};
+use gts_graph::{EdgeSym, FxHashMap, FxHashSet, LabelSet};
+
+/// A realizability candidate: a fresh tree node of type `child`, hanging
+/// off a `parent`-typed node via the edge `sym_down` (oriented from parent
+/// to child).
+pub type Cand = (TypeId, EdgeSym, TypeId);
+
+/// One way to discharge a node's requirements: the fresh children to
+/// spawn (requirements assigned to existing neighbors need no entry).
+type Option_ = Vec<Cand>;
+
+/// Shared realizability context; memoizes candidate verdicts and option
+/// sets across the whole `decide` call.
+pub struct RealizeCtx<'t> {
+    /// Type interner (owns the reference to the TBox).
+    pub types: TypeUniverse<'t>,
+    /// Set when an option was rejected for reasons the search cannot
+    /// guarantee are semantic (merged-witness back-propagation beyond the
+    /// parent's saturation) — negative verdicts must then degrade to
+    /// `Unknown`.
+    pub uncertain: bool,
+    budget: Budget,
+    status: FxHashMap<Cand, bool>,
+    options_memo: FxHashMap<Cand, Vec<Option_>>,
+    candidates_seen: usize,
+}
+
+impl<'t> RealizeCtx<'t> {
+    /// Creates a context over an existing type universe.
+    pub fn new(types: TypeUniverse<'t>, budget: Budget) -> Self {
+        RealizeCtx {
+            types,
+            uncertain: false,
+            budget,
+            status: FxHashMap::default(),
+            options_memo: FxHashMap::default(),
+            candidates_seen: 0,
+        }
+    }
+
+    /// Enumerates the ways a node of type `node` with fixed `neighbors`
+    /// (existing core neighbors, or the tree parent) can discharge all its
+    /// `∃`-requirements. Each returned option lists the fresh children to
+    /// spawn; an empty list of options means the node is *not* extendable.
+    pub fn extension_options(
+        &mut self,
+        node: TypeId,
+        neighbors: &[(EdgeSym, TypeId)],
+    ) -> Result<Vec<Option_>, UnknownReason> {
+        let node_labels = self.types.labels(node).clone();
+        let reqs = self.types.tbox().requirements(&node_labels);
+        let at_most = self.types.tbox().at_most(&node_labels);
+
+        // Baseline at-most counts from the fixed neighborhood; if already
+        // violated, nothing helps (core chase should have prevented this).
+        let neighbor_count = |role: EdgeSym, k: &LabelSet| {
+            neighbors
+                .iter()
+                .filter(|(s, t)| *s == role && k.is_subset(self.types.labels(*t)))
+                .count()
+        };
+        for (role, k) in &at_most {
+            if neighbor_count(*role, k) > 1 {
+                return Ok(Vec::new());
+            }
+        }
+
+        // Requirement choices: an existing satisfying neighbor, or a fresh
+        // child group (canonical leader = least requirement index).
+        #[derive(Clone, Copy, PartialEq)]
+        enum Choice {
+            Neighbor,
+            Group(usize),
+        }
+        let neighbor_ok: Vec<bool> = reqs
+            .iter()
+            .map(|(role, k)| {
+                neighbors
+                    .iter()
+                    .any(|(s, t)| s == role && k.is_subset(self.types.labels(*t)))
+            })
+            .collect();
+
+        let mut options: Vec<Option_> = Vec::new();
+        let mut seen_options: FxHashSet<Vec<Cand>> = FxHashSet::default();
+        let mut assignment: Vec<Choice> = Vec::new();
+        let mut enumerated = 0usize;
+
+        // Depth-first enumeration of canonical assignments.
+        #[allow(clippy::too_many_arguments)]
+        fn rec(
+            ctx: &mut RealizeCtx<'_>,
+            node: TypeId,
+            node_labels: &LabelSet,
+            reqs: &[(EdgeSym, LabelSet)],
+            at_most: &[(EdgeSym, LabelSet)],
+            neighbors: &[(EdgeSym, TypeId)],
+            neighbor_ok: &[bool],
+            assignment: &mut Vec<Choice>,
+            options: &mut Vec<Option_>,
+            seen: &mut FxHashSet<Vec<Cand>>,
+            enumerated: &mut usize,
+        ) -> Result<(), UnknownReason> {
+            if *enumerated >= ctx.budget.max_groupings {
+                return Err(UnknownReason::GroupingBudget);
+            }
+            let i = assignment.len();
+            if i == reqs.len() {
+                *enumerated += 1;
+                // Materialize groups into child candidates.
+                let mut children: Vec<Cand> = Vec::new();
+                let mut group_types: Vec<(usize, EdgeSym, TypeId)> = Vec::new();
+                for leader in 0..reqs.len() {
+                    if assignment[leader] != Choice::Group(leader) {
+                        continue;
+                    }
+                    let role = reqs[leader].0;
+                    let mut seed = ctx.types.tbox().propagate(node_labels, role);
+                    for (j, choice) in assignment.iter().enumerate() {
+                        if *choice == Choice::Group(leader) {
+                            seed.union_with(&reqs[j].1);
+                        }
+                    }
+                    let child = match ctx.types.close(&seed) {
+                        Some(t) => t,
+                        None => return Ok(()), // inconsistent child: option dies
+                    };
+                    // Saturate: labels forced back by the child's own
+                    // mandatory witnesses are part of its type.
+                    let child = match ctx.types.saturate(child) {
+                        Some(t) => t,
+                        None => return Ok(()), // dead type: option dies
+                    };
+                    let child_labels = ctx.types.labels(child).clone();
+                    // Local edge consistency. ∄-violations are semantic;
+                    // a failing back-propagation check can only happen for
+                    // merged witnesses beyond the parent's saturation, so
+                    // rejection there is flagged as uncertain.
+                    if ctx.types.tbox().edge_forbidden(node_labels, role, &child_labels) {
+                        return Ok(());
+                    }
+                    if !ctx
+                        .types
+                        .tbox()
+                        .propagate(&child_labels, role.inv())
+                        .is_subset(node_labels)
+                    {
+                        ctx.uncertain = true;
+                        return Ok(());
+                    }
+                    group_types.push((leader, role, child));
+                    children.push((child, role, node));
+                }
+                // At-most validation across neighbors + fresh children.
+                for (role, k) in at_most {
+                    let mut count = neighbors
+                        .iter()
+                        .filter(|(s, t)| s == role && k.is_subset(ctx.types.labels(*t)))
+                        .count();
+                    count += group_types
+                        .iter()
+                        .filter(|(_, r, c)| r == role && k.is_subset(ctx.types.labels(*c)))
+                        .count();
+                    if count > 1 {
+                        return Ok(());
+                    }
+                }
+                children.sort();
+                children.dedup();
+                if seen.insert(children.clone()) {
+                    options.push(children);
+                }
+                return Ok(());
+            }
+            // Choice 1: an existing neighbor satisfies requirement i.
+            if neighbor_ok[i] {
+                assignment.push(Choice::Neighbor);
+                rec(ctx, node, node_labels, reqs, at_most, neighbors, neighbor_ok, assignment, options, seen, enumerated)?;
+                assignment.pop();
+            }
+            // Choice 2: join an existing group with the same role.
+            for leader in 0..i {
+                if assignment[leader] == Choice::Group(leader) && reqs[leader].0 == reqs[i].0 {
+                    assignment.push(Choice::Group(leader));
+                    rec(ctx, node, node_labels, reqs, at_most, neighbors, neighbor_ok, assignment, options, seen, enumerated)?;
+                    assignment.pop();
+                }
+            }
+            // Choice 3: start a fresh group.
+            assignment.push(Choice::Group(i));
+            rec(ctx, node, node_labels, reqs, at_most, neighbors, neighbor_ok, assignment, options, seen, enumerated)?;
+            assignment.pop();
+            Ok(())
+        }
+
+        rec(
+            self,
+            node,
+            &node_labels,
+            &reqs,
+            &at_most,
+            neighbors,
+            &neighbor_ok,
+            &mut assignment,
+            &mut options,
+            &mut seen_options,
+            &mut enumerated,
+        )?;
+        Ok(options)
+    }
+
+    fn options_of(&mut self, cand: Cand) -> Result<Vec<Option_>, UnknownReason> {
+        if let Some(opts) = self.options_memo.get(&cand) {
+            return Ok(opts.clone());
+        }
+        let (child, sym_down, parent) = cand;
+        let neighbors = [(sym_down.inv(), parent)];
+        let opts = self.extension_options(child, &neighbors)?;
+        self.options_memo.insert(cand, opts.clone());
+        Ok(opts)
+    }
+
+    /// Decides whether `cand` can root an infinite witness tree — the
+    /// greatest fixpoint over the dependency-closed candidate set.
+    pub fn realizable(&mut self, cand: Cand) -> Result<bool, UnknownReason> {
+        if let Some(&v) = self.status.get(&cand) {
+            return Ok(v);
+        }
+        // Phase A: discover the dependency closure of undecided candidates.
+        let mut discovered: FxHashSet<Cand> = FxHashSet::default();
+        let mut frontier = vec![cand];
+        discovered.insert(cand);
+        while let Some(c) = frontier.pop() {
+            self.candidates_seen += 1;
+            if self.candidates_seen > self.budget.max_candidates {
+                return Err(UnknownReason::CandidateBudget);
+            }
+            let opts = self.options_of(c)?;
+            for opt in &opts {
+                for &dep in opt {
+                    if !self.status.contains_key(&dep) && discovered.insert(dep) {
+                        frontier.push(dep);
+                    }
+                }
+            }
+        }
+        // Phase B: greatest-fixpoint elimination on the discovered set.
+        let mut alive: FxHashMap<Cand, bool> =
+            discovered.iter().map(|&c| (c, true)).collect();
+        loop {
+            let mut changed = false;
+            for &c in &discovered {
+                if !alive[&c] {
+                    continue;
+                }
+                let opts = self.options_of(c)?;
+                let ok = opts.iter().any(|opt| {
+                    opt.iter().all(|dep| {
+                        self.status.get(dep).copied().unwrap_or_else(|| alive[dep])
+                    })
+                });
+                if !ok {
+                    alive.insert(c, false);
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        for (c, v) in alive {
+            self.status.insert(c, v);
+        }
+        Ok(self.status[&cand])
+    }
+
+    /// Decides whether a *core* node of type `node` with the given fixed
+    /// core neighborhood can have all its remaining requirements fulfilled
+    /// by realizable witness trees.
+    pub fn node_extendable(
+        &mut self,
+        node: TypeId,
+        neighbors: &[(EdgeSym, TypeId)],
+    ) -> Result<bool, UnknownReason> {
+        let opts = self.extension_options(node, neighbors)?;
+        for opt in opts {
+            let mut all_ok = true;
+            for dep in &opt {
+                if !self.realizable(*dep)? {
+                    all_ok = false;
+                    break;
+                }
+            }
+            if all_ok {
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gts_dl::{HornCi, HornTbox};
+    use gts_graph::EdgeLabel;
+
+    fn sym(i: u32) -> EdgeSym {
+        EdgeSym::fwd(EdgeLabel(i))
+    }
+    fn set(labels: &[u32]) -> LabelSet {
+        LabelSet::from_iter(labels.iter().copied())
+    }
+
+    /// A ⊑ ∃r.A — realizable by an infinite chain (coinduction).
+    #[test]
+    fn infinite_chain_is_realizable() {
+        let mut t = HornTbox::new();
+        t.push(HornCi::Exists { lhs: set(&[0]), role: sym(0), rhs: set(&[0]) });
+        let mut ctx = RealizeCtx::new(TypeUniverse::new(&t), Budget::default());
+        let a = ctx.types.close(&set(&[0])).unwrap();
+        let cand = (a, sym(0), a);
+        assert!(ctx.realizable(cand).unwrap());
+        assert!(ctx.node_extendable(a, &[]).unwrap());
+    }
+
+    /// A ⊑ ∃r.B, B ⊑ ⊥ — not realizable: the required child is
+    /// inconsistent.
+    #[test]
+    fn inconsistent_witness_fails() {
+        let mut t = HornTbox::new();
+        t.push(HornCi::Exists { lhs: set(&[0]), role: sym(0), rhs: set(&[1]) });
+        t.push(HornCi::Bottom { lhs: set(&[1]) });
+        let mut ctx = RealizeCtx::new(TypeUniverse::new(&t), Budget::default());
+        let a = ctx.types.close(&set(&[0])).unwrap();
+        assert!(!ctx.node_extendable(a, &[]).unwrap());
+    }
+
+    /// A ⊑ ∃r.B with an existing B-neighbor: satisfied without children.
+    #[test]
+    fn neighbor_satisfies_requirement() {
+        let mut t = HornTbox::new();
+        t.push(HornCi::Exists { lhs: set(&[0]), role: sym(0), rhs: set(&[1]) });
+        t.push(HornCi::Bottom { lhs: set(&[1, 2]) }); // irrelevant noise
+        let mut ctx = RealizeCtx::new(TypeUniverse::new(&t), Budget::default());
+        let a = ctx.types.close(&set(&[0])).unwrap();
+        let b = ctx.types.close(&set(&[1])).unwrap();
+        assert!(ctx.node_extendable(a, &[(sym(0), b)]).unwrap());
+    }
+
+    /// Example 5.5's refutation pattern: the child needs an s⁻-witness that
+    /// the parent cannot provide and at-most-1 forbids duplicating.
+    #[test]
+    fn at_most_blocks_second_parentlike_child() {
+        // Labels: 0 = A, 1 = B (the "B_{r·s+}" marker).
+        // A ⊑ ∃s.A            (schema: outgoing s-edge)
+        // A⊓B ⊑ ∃s⁻.(A⊓B)     (completion: reversed cycle)
+        // A ⊑ ∃≤1 s⁻.A        (schema: at most one incoming s)
+        // A ⊑ ∀s.B            (marker propagation)
+        let s = sym(0);
+        let mut t = HornTbox::new();
+        t.push(HornCi::Exists { lhs: set(&[0]), role: s, rhs: set(&[0]) });
+        t.push(HornCi::Exists { lhs: set(&[0, 1]), role: s.inv(), rhs: set(&[0, 1]) });
+        t.push(HornCi::AtMostOne { lhs: set(&[0]), role: s.inv(), rhs: set(&[0]) });
+        t.push(HornCi::AllValues { lhs: set(&[0]), role: s, rhs: set(&[1]) });
+        let mut ctx = RealizeCtx::new(TypeUniverse::new(&t), Budget::default());
+        let a = ctx.types.close(&set(&[0])).unwrap();
+        let ab = ctx.types.close(&set(&[0, 1])).unwrap();
+        // The child {A,B} with parent {A} via s cannot be realized: its
+        // ∃s⁻.(A⊓B) needs a second incoming-s neighbor, but the parent
+        // already occupies the unique incoming-s slot.
+        assert!(!ctx.realizable((ab, s, a)).unwrap());
+        // Hence an {A}-node with no neighborhood is not extendable either:
+        // its only option spawns exactly that child.
+        assert!(!ctx.node_extendable(a, &[]).unwrap());
+        // But {A,B} hanging off an {A,B} parent IS realizable (the parent
+        // provides the s⁻-witness, the chain continues downward).
+        assert!(ctx.realizable((ab, s, ab)).unwrap());
+    }
+
+    /// Two requirements with the same role can share one child when the
+    /// merged child type is consistent.
+    #[test]
+    fn requirement_grouping_merges_children() {
+        // A ⊑ ∃r.B, A ⊑ ∃r.C, A ⊑ ∃≤1 r.⊤ — forces B and C into one child.
+        let mut t = HornTbox::new();
+        t.push(HornCi::Exists { lhs: set(&[0]), role: sym(0), rhs: set(&[1]) });
+        t.push(HornCi::Exists { lhs: set(&[0]), role: sym(0), rhs: set(&[2]) });
+        t.push(HornCi::AtMostOne { lhs: set(&[0]), role: sym(0), rhs: LabelSet::new() });
+        let mut ctx = RealizeCtx::new(TypeUniverse::new(&t), Budget::default());
+        let a = ctx.types.close(&set(&[0])).unwrap();
+        assert!(ctx.node_extendable(a, &[]).unwrap());
+
+        // Now make the merge inconsistent: B ⊓ C ⊑ ⊥.
+        let mut t2 = t.clone();
+        t2.push(HornCi::Bottom { lhs: set(&[1, 2]) });
+        let mut ctx2 = RealizeCtx::new(TypeUniverse::new(&t2), Budget::default());
+        let a2 = ctx2.types.close(&set(&[0])).unwrap();
+        assert!(!ctx2.node_extendable(a2, &[]).unwrap());
+    }
+
+    #[test]
+    fn no_requirements_is_trivially_extendable() {
+        let t = HornTbox::new();
+        let mut ctx = RealizeCtx::new(TypeUniverse::new(&t), Budget::default());
+        let top = ctx.types.close(&LabelSet::new()).unwrap();
+        assert!(ctx.node_extendable(top, &[]).unwrap());
+    }
+}

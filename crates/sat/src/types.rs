@@ -1,0 +1,188 @@
+//! Interned node *types*: TBox-closed, consistent label sets.
+//!
+//! Every node of a candidate model carries a label set closed under the
+//! `K ⊑ A` rules of the TBox and not triggering any `K ⊑ ⊥` rule. The
+//! engine interns these closed sets so that the realizability fixpoint can
+//! key its candidates by small integers.
+
+use gts_dl::HornTbox;
+use gts_graph::{FxHashMap, FxHashSet, LabelSet};
+
+/// An interned closed label set.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct TypeId(pub u32);
+
+/// Interning table of closed types, with a closure memo and the
+/// *saturation* fixpoint (see [`TypeUniverse::saturate`]).
+pub struct TypeUniverse<'t> {
+    tbox: &'t HornTbox,
+    sets: Vec<LabelSet>,
+    by_set: FxHashMap<LabelSet, TypeId>,
+    closure_memo: FxHashMap<LabelSet, Option<TypeId>>,
+    /// Current saturation approximation per type (monotonically growing).
+    sat: FxHashMap<TypeId, TypeId>,
+    /// Types whose requirements are unfulfillable (no model has a node of
+    /// this type).
+    dead: FxHashSet<TypeId>,
+}
+
+impl<'t> TypeUniverse<'t> {
+    /// Creates an empty universe over `tbox`.
+    pub fn new(tbox: &'t HornTbox) -> Self {
+        TypeUniverse {
+            tbox,
+            sets: Vec::new(),
+            by_set: FxHashMap::default(),
+            closure_memo: FxHashMap::default(),
+            sat: FxHashMap::default(),
+            dead: FxHashSet::default(),
+        }
+    }
+
+    /// The TBox this universe closes under.
+    pub fn tbox(&self) -> &'t HornTbox {
+        self.tbox
+    }
+
+    /// Closes `seed` under the TBox and interns the result; `None` if the
+    /// closure is inconsistent (`K ⊑ ⊥` fires).
+    pub fn close(&mut self, seed: &LabelSet) -> Option<TypeId> {
+        if let Some(&id) = self.closure_memo.get(seed) {
+            return id;
+        }
+        let closed = self.tbox.closure(seed);
+        let id = closed.map(|set| self.intern_closed(set));
+        self.closure_memo.insert(seed.clone(), id);
+        id
+    }
+
+    fn intern_closed(&mut self, set: LabelSet) -> TypeId {
+        if let Some(&id) = self.by_set.get(&set) {
+            return id;
+        }
+        let id = TypeId(self.sets.len() as u32);
+        self.sets.push(set.clone());
+        self.by_set.insert(set, id);
+        id
+    }
+
+    /// The label set of a type.
+    pub fn labels(&self, id: TypeId) -> &LabelSet {
+        &self.sets[id.0 as usize]
+    }
+
+    /// *Saturates* a type: the least fixpoint adding every label that is
+    /// forced on a node of this type in **every** model. A `K ⊑ ∃R.K'`
+    /// requirement forces *some* `R`-successor `w ⊇ close(K' ∪ ∀-push)`,
+    /// and `∀R⁻`-rules firing on (the saturation of) that minimal witness
+    /// push labels back onto the node itself. Returns `None` when the
+    /// requirements are unfulfillable (an inconsistent forced witness):
+    /// no model contains a node of this type.
+    ///
+    /// Soundness of the lower bound: any actual witness `w` has at least
+    /// the minimal witness's labels, saturation is monotone, and
+    /// `propagate` is monotone — so the absorbed push-back is forced.
+    pub fn saturate(&mut self, t: TypeId) -> Option<TypeId> {
+        self.sat.entry(t).or_insert(t);
+        // Global monotone fixpoint over all registered types.
+        loop {
+            let mut changed = false;
+            let originals: Vec<TypeId> = self.sat.keys().copied().collect();
+            for orig in originals {
+                if self.dead.contains(&orig) {
+                    continue;
+                }
+                let cur = self.sat[&orig];
+                let labels = self.labels(cur).clone();
+                let mut grown = labels.clone();
+                let mut died = false;
+                for (role, kp) in self.tbox.requirements(&labels) {
+                    let mut seed = self.tbox.propagate(&labels, role);
+                    seed.union_with(&kp);
+                    let child = match self.close(&seed) {
+                        Some(c) => c,
+                        None => {
+                            died = true;
+                            break;
+                        }
+                    };
+                    // Register the child; use its current approximation.
+                    self.sat.entry(child).or_insert(child);
+                    if self.dead.contains(&child) {
+                        died = true;
+                        break;
+                    }
+                    let child_cur = self.sat[&child];
+                    let push_back = self.tbox.propagate(self.labels(child_cur), role.inv());
+                    grown.union_with(&push_back);
+                }
+                if died {
+                    self.dead.insert(orig);
+                    changed = true;
+                    continue;
+                }
+                match self.tbox.closure(&grown) {
+                    None => {
+                        self.dead.insert(orig);
+                        changed = true;
+                    }
+                    Some(closed) => {
+                        if closed != labels {
+                            let new_id = self.intern_closed(closed);
+                            self.sat.insert(orig, new_id);
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        if self.dead.contains(&t) {
+            None
+        } else {
+            Some(self.sat[&t])
+        }
+    }
+
+    /// Number of interned types.
+    pub fn len(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// `true` iff no types were interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.sets.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gts_dl::HornCi;
+    use gts_graph::NodeLabel;
+
+    #[test]
+    fn closure_interns_canonically() {
+        let mut t = HornTbox::new();
+        t.push(HornCi::SubAtom { lhs: LabelSet::singleton(0), rhs: NodeLabel(1) });
+        let mut u = TypeUniverse::new(&t);
+        let a = u.close(&LabelSet::singleton(0)).unwrap();
+        let b = u.close(&LabelSet::from_iter([0, 1])).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(u.len(), 1);
+        assert!(u.labels(a).contains(1));
+    }
+
+    #[test]
+    fn inconsistent_seed_returns_none() {
+        let mut t = HornTbox::new();
+        t.push(HornCi::Bottom { lhs: LabelSet::singleton(0) });
+        let mut u = TypeUniverse::new(&t);
+        assert!(u.close(&LabelSet::singleton(0)).is_none());
+        assert!(u.close(&LabelSet::new()).is_some());
+        // Memoized second call.
+        assert!(u.close(&LabelSet::singleton(0)).is_none());
+    }
+}

@@ -1,0 +1,43 @@
+//! # gts-schema
+//!
+//! Graph schemas with participation constraints, as defined in
+//! *Static Analysis of Graph Database Transformations* (PODS 2023,
+//! Section 3): a schema declares allowed node labels `Γ_S`, edge labels
+//! `Σ_S`, and a multiplicity `δ_S(A, R, B) ∈ {0, 1, ?, +, *}` for every
+//! `(A, R, B) ∈ Γ_S × Σ±_S × Γ_S`.
+//!
+//! The crate provides conformance checking, syntactic schema containment
+//! (Proposition B.3), the schema ↔ `L0`-TBox correspondence of Appendix B
+//! (Propositions B.1/B.4), and workload generators for random schemas and
+//! random conforming graphs.
+//!
+//! ```
+//! use gts_graph::{Vocab, EdgeSym, Graph};
+//! use gts_schema::{Schema, Mult};
+//!
+//! // The designTarget edge of Figure 1: every Vaccine has exactly one
+//! // design-target Antigen; an Antigen may be targeted by any number.
+//! let mut v = Vocab::new();
+//! let vaccine = v.node_label("Vaccine");
+//! let antigen = v.node_label("Antigen");
+//! let dt = v.edge_label("designTarget");
+//!
+//! let mut s = Schema::new();
+//! s.set_edge(vaccine, dt, antigen, Mult::One, Mult::Star);
+//!
+//! let mut g = Graph::new();
+//! let vac = g.add_labeled_node([vaccine]);
+//! let ant = g.add_labeled_node([antigen]);
+//! g.add_edge(vac, dt, ant);
+//! assert!(s.conforms(&g).is_ok());
+//! ```
+
+#![warn(missing_docs)]
+
+mod generate;
+mod mult;
+mod schema;
+
+pub use generate::{random_conforming_graph, random_schema, SchemaGenConfig};
+pub use mult::Mult;
+pub use schema::{ConformanceError, Schema};

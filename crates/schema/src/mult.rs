@@ -1,0 +1,145 @@
+//! Participation-constraint multiplicities `{0, 1, ?, +, *}` (Section 3).
+//!
+//! A multiplicity denotes a set of allowed successor counts:
+//! `0 = {0}`, `1 = {1}`, `? = {0,1}`, `+ = {1,2,…}`, `* = {0,1,…}`.
+//!
+//! The syntactic order `≼` of Proposition B.3 is implemented as inclusion of
+//! these count sets. Note: the paper's listing of the generators of `≼`
+//! contains the typo `? ≼ +`; that ordering would contradict Proposition
+//! B.3 itself (an `A`-node with zero `r`-edges conforms under `?` but not
+//! under `+`), so we use the count-set semantics `0,1 ≼ ? ≼ *` and
+//! `1 ≼ + ≼ *`. A unit test documents the counterexample.
+
+use std::fmt;
+
+/// A participation-constraint multiplicity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Mult {
+    /// `0` — no successors allowed.
+    Zero,
+    /// `1` — exactly one successor.
+    One,
+    /// `?` — at most one successor.
+    Opt,
+    /// `+` — at least one successor.
+    Plus,
+    /// `*` — any number of successors.
+    Star,
+}
+
+impl Mult {
+    /// Does this multiplicity allow `count` successors?
+    pub fn allows(self, count: usize) -> bool {
+        match self {
+            Mult::Zero => count == 0,
+            Mult::One => count == 1,
+            Mult::Opt => count <= 1,
+            Mult::Plus => count >= 1,
+            Mult::Star => true,
+        }
+    }
+
+    /// Minimal allowed count (`0` or `1`).
+    pub fn min_count(self) -> usize {
+        match self {
+            Mult::One | Mult::Plus => 1,
+            _ => 0,
+        }
+    }
+
+    /// Maximal allowed count (`None` = unbounded).
+    pub fn max_count(self) -> Option<usize> {
+        match self {
+            Mult::Zero => Some(0),
+            Mult::One | Mult::Opt => Some(1),
+            Mult::Plus | Mult::Star => None,
+        }
+    }
+
+    /// The order `≼` of Proposition B.3: inclusion of allowed-count sets.
+    pub fn leq(self, other: Mult) -> bool {
+        let lower_ok = other.min_count() <= self.min_count();
+        let upper_ok = match (self.max_count(), other.max_count()) {
+            (_, None) => true,
+            (None, Some(_)) => false,
+            (Some(a), Some(b)) => a <= b,
+        };
+        lower_ok && upper_ok
+    }
+
+    /// All five multiplicities.
+    pub fn all() -> [Mult; 5] {
+        [Mult::Zero, Mult::One, Mult::Opt, Mult::Plus, Mult::Star]
+    }
+}
+
+impl fmt::Display for Mult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Mult::Zero => "0",
+            Mult::One => "1",
+            Mult::Opt => "?",
+            Mult::Plus => "+",
+            Mult::Star => "*",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allows_matches_count_sets() {
+        assert!(Mult::Zero.allows(0) && !Mult::Zero.allows(1));
+        assert!(!Mult::One.allows(0) && Mult::One.allows(1) && !Mult::One.allows(2));
+        assert!(Mult::Opt.allows(0) && Mult::Opt.allows(1) && !Mult::Opt.allows(2));
+        assert!(!Mult::Plus.allows(0) && Mult::Plus.allows(5));
+        assert!(Mult::Star.allows(0) && Mult::Star.allows(100));
+    }
+
+    #[test]
+    fn leq_is_count_set_inclusion() {
+        // Exhaustive check against the semantic definition.
+        for a in Mult::all() {
+            for b in Mult::all() {
+                let semantic = (0..=3usize)
+                    .chain([10])
+                    .all(|c| !a.allows(c) || b.allows(c));
+                assert_eq!(a.leq(b), semantic, "{a} ≼ {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn expected_order_relations() {
+        assert!(Mult::Zero.leq(Mult::Opt));
+        assert!(Mult::One.leq(Mult::Opt));
+        assert!(Mult::One.leq(Mult::Plus));
+        assert!(Mult::Opt.leq(Mult::Star));
+        assert!(Mult::Plus.leq(Mult::Star));
+        // The paper's typo `? ≼ +` must NOT hold: an A-node with zero
+        // r-successors conforms under `?` but violates `+`.
+        assert!(!Mult::Opt.leq(Mult::Plus));
+        assert!(!Mult::Star.leq(Mult::Plus));
+        assert!(!Mult::Opt.leq(Mult::One));
+    }
+
+    #[test]
+    fn leq_is_a_partial_order() {
+        for a in Mult::all() {
+            assert!(a.leq(a));
+            for b in Mult::all() {
+                if a.leq(b) && b.leq(a) {
+                    assert_eq!(a, b);
+                }
+                for c in Mult::all() {
+                    if a.leq(b) && b.leq(c) {
+                        assert!(a.leq(c));
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! A FHIR-style healthcare data migration (the paper's Section 1
+//! motivation: "we have found no cyclic queries in the transformations
+//! implementing graph data migration between consecutive versions of the
+//! FHIR data format").
+//!
+//! We model a simplified migration from an R4-like layout, where a
+//! `MedicationRequest` points at a `Medication` which points at an
+//! `Ingredient`, to an R5-like layout where the request links directly to
+//! the active ingredients (flattening one level of indirection), and
+//! encounters get folded into a direct `treatedDuring` edge.
+//!
+//! ```sh
+//! cargo run --example fhir_migration
+//! ```
+
+use gts_core::prelude::*;
+
+fn main() {
+    let mut vocab = Vocab::new();
+
+    // ── R4-like source schema ──────────────────────────────────────────
+    let patient = vocab.node_label("Patient");
+    let request = vocab.node_label("MedicationRequest");
+    let medication = vocab.node_label("Medication");
+    let ingredient = vocab.node_label("Ingredient");
+    let encounter = vocab.node_label("Encounter");
+
+    let subject = vocab.edge_label("subject"); // request → patient
+    let med = vocab.edge_label("medication"); // request → medication
+    let has_ing = vocab.edge_label("hasIngredient"); // medication → ingredient
+    let enc = vocab.edge_label("encounter"); // request → encounter
+    let part_of = vocab.edge_label("partOf"); // encounter → encounter (hierarchy)
+
+    let mut r4 = Schema::new();
+    r4.set_edge(request, subject, patient, Mult::One, Mult::Star);
+    r4.set_edge(request, med, medication, Mult::One, Mult::Star);
+    r4.set_edge(medication, has_ing, ingredient, Mult::Plus, Mult::Star);
+    r4.set_edge(request, enc, encounter, Mult::Opt, Mult::Star);
+    r4.set_edge(encounter, part_of, encounter, Mult::Opt, Mult::Star);
+    println!("R4-like source schema:\n{}\n", r4.render(&vocab));
+
+    // ── R5-like target schema ──────────────────────────────────────────
+    let active = vocab.edge_label("activeIngredient"); // request → ingredient
+    let treated = vocab.edge_label("treatedDuring"); // request → top-level encounter
+
+    let mut r5 = Schema::new();
+    r5.set_edge(request, subject, patient, Mult::One, Mult::Star);
+    r5.set_edge(request, active, ingredient, Mult::Plus, Mult::Star);
+    r5.set_edge(request, treated, encounter, Mult::Star, Mult::Star);
+    println!("R5-like target schema:\n{}\n", r5.render(&vocab));
+
+    // ── The migration transformation (all bodies acyclic C2RPQs) ──────
+    let unary = |l| {
+        C2rpq::new(1, vec![Var(0)], vec![Atom { x: Var(0), y: Var(0), regex: Regex::node(l) }])
+    };
+    let path = |re: Regex| {
+        C2rpq::new(2, vec![Var(0), Var(1)], vec![Atom { x: Var(0), y: Var(1), regex: re }])
+    };
+    let mut t = Transformation::new();
+    t.add_node_rule(patient, unary(patient));
+    t.add_node_rule(request, unary(request));
+    t.add_node_rule(ingredient, unary(ingredient));
+    t.add_node_rule(encounter, unary(encounter));
+    t.add_edge_rule(subject, (request, 1), (patient, 1), path(Regex::edge(subject)));
+    // Flatten: request --medication--> · --hasIngredient--> ingredient.
+    t.add_edge_rule(
+        active,
+        (request, 1),
+        (ingredient, 1),
+        path(Regex::edge(med).then(Regex::edge(has_ing))),
+    );
+    // Fold the encounter hierarchy: link to every ancestor encounter.
+    t.add_edge_rule(
+        treated,
+        (request, 1),
+        (encounter, 1),
+        path(Regex::edge(enc).then(Regex::edge(part_of).star())),
+    );
+    t.validate().unwrap();
+    println!("Migration rules:\n{}\n", t.render(&vocab));
+
+    // ── Migrate a small R4 dataset ─────────────────────────────────────
+    let mut g = Graph::new();
+    let alice = g.add_labeled_node([patient]);
+    let rx = g.add_labeled_node([request]);
+    let amoxi = g.add_labeled_node([medication]);
+    let ing1 = g.add_labeled_node([ingredient]);
+    let ing2 = g.add_labeled_node([ingredient]);
+    let visit = g.add_labeled_node([encounter]);
+    let stay = g.add_labeled_node([encounter]);
+    g.add_edge(rx, subject, alice);
+    g.add_edge(rx, med, amoxi);
+    g.add_edge(amoxi, has_ing, ing1);
+    g.add_edge(amoxi, has_ing, ing2);
+    g.add_edge(rx, enc, visit);
+    g.add_edge(visit, part_of, stay);
+    assert!(r4.conforms(&g).is_ok());
+
+    let out = t.apply(&g);
+    println!(
+        "Migrated dataset: {} nodes, {} edges; active ingredients: {}, treatedDuring: {}\n",
+        out.num_nodes(),
+        out.num_edges(),
+        out.edges().filter(|(_, l, _)| *l == active).count(),
+        out.edges().filter(|(_, l, _)| *l == treated).count(),
+    );
+    assert!(r5.conforms(&out).is_ok(), "the migrated dataset conforms to R5");
+
+    // ── Static type checking proves this for EVERY R4 dataset ─────────
+    let opts = ContainmentOptions::default();
+    let tc = gts_core::type_check(&t, &r4, &r5, &mut vocab, &opts).unwrap();
+    println!("Static type check R4 → R5: holds={} certified={}", tc.holds, tc.certified);
+    assert!(tc.holds);
+
+    // A broken variant: forget the hasIngredient flattening. The target
+    // requirement `MedicationRequest ⊑ ∃activeIngredient.Ingredient` (the
+    // `+`) is then violated — caught statically.
+    let mut broken = Transformation::new();
+    broken.add_node_rule(patient, unary(patient));
+    broken.add_node_rule(request, unary(request));
+    broken.add_node_rule(ingredient, unary(ingredient));
+    broken.add_node_rule(encounter, unary(encounter));
+    broken.add_edge_rule(subject, (request, 1), (patient, 1), path(Regex::edge(subject)));
+    broken.add_edge_rule(
+        treated,
+        (request, 1),
+        (encounter, 1),
+        path(Regex::edge(enc).then(Regex::edge(part_of).star())),
+    );
+    let tc2 = gts_core::type_check(&broken, &r4, &r5, &mut vocab, &opts).unwrap();
+    println!(
+        "Static type check of the broken migration: holds={} (as expected: missing activeIngredient)",
+        tc2.holds
+    );
+    assert!(!tc2.holds);
+}

@@ -1,0 +1,91 @@
+//! Data values as literal nodes — the Section 7 "Extending the data
+//! model" sketch: dedicated node labels designate literal nodes whose
+//! identity *is* their value, and a type-checking-style analysis verifies
+//! that transformations never construct literal nodes from non-literal
+//! ones.
+//!
+//! Run with `cargo run -p gts-core --example literal_values`.
+
+use gts_core::prelude::*;
+use gts_core::query::{Atom, C2rpq, Regex, Var};
+use gts_core::schema::Mult;
+use gts_core::{apply_with_values, check_literal_safety, Value, ValueGraph};
+use gts_core::graph::LabelSet;
+
+fn main() {
+    let mut v = Vocab::new();
+    let product = v.node_label("Product");
+    let price = v.node_label("Price"); // the literal label
+    let offer = v.node_label("Offer");
+    let has_price = v.edge_label("hasPrice");
+    let amount = v.edge_label("amount");
+    let literals = LabelSet::singleton(price.0);
+
+    // Source schema: every Product has exactly one Price.
+    let mut s = Schema::new();
+    s.set_edge(product, has_price, price, Mult::One, Mult::Star);
+
+    // A catalog with shared price literals: the €9 node is one node.
+    let mut catalog = ValueGraph::new();
+    let keyboard = catalog.add_entity(product);
+    let mouse = catalog.add_entity(product);
+    let screen = catalog.add_entity(product);
+    let nine = catalog.add_literal(price, Value::Int(9));
+    let ninety = catalog.add_literal(price, Value::Int(90));
+    catalog.add_edge(keyboard, has_price, nine);
+    catalog.add_edge(mouse, has_price, nine);
+    catalog.add_edge(screen, has_price, ninety);
+    catalog.well_formed(&literals).unwrap();
+    println!(
+        "catalog: {} nodes ({} price literals — 9 is shared), {} edges\n",
+        catalog.graph.num_nodes(),
+        catalog.values.len(),
+        catalog.graph.num_edges()
+    );
+
+    // A well-behaved migration: Products become Offers, prices are copied.
+    let unary = |l| C2rpq::new(1, vec![Var(0)], vec![Atom { x: Var(0), y: Var(0), regex: Regex::node(l) }]);
+    let binary = |re: Regex| {
+        C2rpq::new(2, vec![Var(0), Var(1)], vec![Atom { x: Var(0), y: Var(1), regex: re }])
+    };
+    let mut good = Transformation::new();
+    good.add_node_rule(offer, unary(product))
+        .add_node_rule(price, unary(price))
+        .add_edge_rule(amount, (offer, 1), (price, 1), binary(Regex::edge(has_price)));
+
+    let report = check_literal_safety(&good, &s, &literals, &mut v, &Default::default()).unwrap();
+    println!(
+        "literal safety of the Offer migration: {} ({})",
+        if report.violations.is_empty() { "WELL-BEHAVED" } else { "VIOLATIONS" },
+        if report.certified { "certified" } else { "uncertified" }
+    );
+
+    let migrated = apply_with_values(&good, &catalog, &literals);
+    migrated.well_formed(&literals).unwrap();
+    println!("migrated catalog:");
+    for u in migrated.graph.nodes() {
+        let label = migrated
+            .graph
+            .labels(u)
+            .iter()
+            .map(|l| v.node_name(gts_core::graph::NodeLabel(l)).to_owned())
+            .collect::<Vec<_>>()
+            .join(",");
+        match migrated.values.get(&u) {
+            Some(val) => println!("  n{} : {label} = {val}", u.0),
+            None => println!("  n{} : {label}", u.0),
+        }
+    }
+    println!();
+
+    // An ill-behaved variant: mint a Price literal per *Product* — the
+    // analysis rejects it (you cannot conjure a value out of an entity).
+    let mut bad = Transformation::new();
+    bad.add_node_rule(price, unary(product));
+    let report = check_literal_safety(&bad, &s, &literals, &mut v, &Default::default()).unwrap();
+    println!(
+        "literal safety of `Price(f(x)) ← Product(x)`: {:?}",
+        report.violations
+    );
+    assert!(!report.decision().holds);
+}

@@ -1,0 +1,122 @@
+//! The paper's running example (Example 1.1, Figure 1): schema evolution
+//! of a medical knowledge graph.
+//!
+//! New findings refute the cross-reactivity rule, so the implicit
+//! representation of targeted antigens (via `crossReacting` edges) is made
+//! explicit with `targets` edges, and the `crossReacting` edges are
+//! dropped. The transformation `T0` of Example 4.1 performs the migration;
+//! we verify (type check) that its outputs conform to the evolved schema
+//! `S1`, reproduce the entailment of Example 4.5, and compare the elicited
+//! schema against `S1`.
+//!
+//! ```sh
+//! cargo run --example medical_schema_evolution
+//! ```
+
+use gts_core::prelude::*;
+
+fn schemas(vocab: &mut Vocab) -> (Schema, Schema) {
+    let vaccine = vocab.node_label("Vaccine");
+    let antigen = vocab.node_label("Antigen");
+    let pathogen = vocab.node_label("Pathogen");
+    let dt = vocab.edge_label("designTarget");
+    let cr = vocab.edge_label("crossReacting");
+    let ex = vocab.edge_label("exhibits");
+    let targets = vocab.edge_label("targets");
+
+    // S0 (Figure 1, top): crossReacting is allowed, targets is not.
+    let mut s0 = Schema::new();
+    s0.set_edge(vaccine, dt, antigen, Mult::One, Mult::Star);
+    s0.set_edge(antigen, cr, antigen, Mult::Star, Mult::Star);
+    s0.set_edge(pathogen, ex, antigen, Mult::Plus, Mult::Star);
+
+    // S1 (Figure 1, bottom): targets is explicit (+), crossReacting gone.
+    let mut s1 = Schema::new();
+    s1.set_edge(vaccine, dt, antigen, Mult::One, Mult::Star);
+    s1.set_edge(vaccine, targets, antigen, Mult::Plus, Mult::Star);
+    s1.set_edge(pathogen, ex, antigen, Mult::Plus, Mult::Star);
+    (s0, s1)
+}
+
+fn main() {
+    let mut vocab = Vocab::new();
+    let t0 = medical_transformation(&mut vocab);
+    let (s0, s1) = schemas(&mut vocab);
+    let opts = ContainmentOptions::default();
+
+    println!("Schema S0 (Figure 1, before evolution):\n{}\n", s0.render(&vocab));
+    println!("Schema S1 (after evolution):\n{}\n", s1.render(&vocab));
+    println!("Transformation T0 (Example 4.1):\n{}\n", t0.render(&vocab));
+
+    // ── Run T0 on a concrete knowledge graph ───────────────────────────
+    let vaccine = vocab.find_node_label("Vaccine").unwrap();
+    let antigen = vocab.find_node_label("Antigen").unwrap();
+    let pathogen = vocab.find_node_label("Pathogen").unwrap();
+    let dt = vocab.find_edge_label("designTarget").unwrap();
+    let cr = vocab.find_edge_label("crossReacting").unwrap();
+    let ex = vocab.find_edge_label("exhibits").unwrap();
+    let targets = vocab.find_edge_label("targets").unwrap();
+
+    let mut g = Graph::new();
+    let vac = g.add_labeled_node([vaccine]);
+    let a1 = g.add_labeled_node([antigen]);
+    let a2 = g.add_labeled_node([antigen]);
+    let p = g.add_labeled_node([pathogen]);
+    g.add_edge(vac, dt, a1);
+    g.add_edge(a1, cr, a2);
+    g.add_edge(p, ex, a1);
+    g.add_edge(p, ex, a2);
+    assert!(s0.conforms(&g).is_ok());
+
+    let out = t0.apply(&g);
+    assert!(s1.conforms(&out).is_ok());
+    let n_targets = out.edges().filter(|(_, l, _)| *l == targets).count();
+    println!(
+        "T0(G): {} nodes, {} edges; the vaccine explicitly targets {} antigens\n",
+        out.num_nodes(),
+        out.num_edges(),
+        n_targets
+    );
+    assert_eq!(n_targets, 2, "direct target + one cross-reacting target");
+
+    // ── Type checking (Lemma B.2): every output conforms to S1 ─────────
+    let tc = gts_core::type_check(&t0, &s0, &s1, &mut vocab, &opts).unwrap();
+    println!("Type check T0 : S0 → S1: holds={} certified={}", tc.holds, tc.certified);
+    assert!(tc.holds && tc.certified);
+
+    // ── Example 4.5: S1's requirement Vaccine ⊑ ∃targets.Antigen is the
+    //    containment (Vaccine)(x) ⊆_S0 ∃y.(designTarget·crossReacting*)(x,y)
+    let qv = Uc2rpq::single(C2rpq::new(
+        1,
+        vec![Var(0)],
+        vec![Atom { x: Var(0), y: Var(0), regex: Regex::node(vaccine) }],
+    ));
+    let qt = Uc2rpq::single(C2rpq::new(
+        2,
+        vec![Var(0)],
+        vec![Atom {
+            x: Var(0),
+            y: Var(1),
+            regex: Regex::edge(dt).then(Regex::edge(cr).star()),
+        }],
+    ));
+    let ans = contains(&qv, &qt, &s0, &mut vocab, &opts).unwrap();
+    println!(
+        "Example 4.5 containment (every vaccine targets some antigen): holds={} certified={}",
+        ans.holds, ans.certified
+    );
+    assert!(ans.holds);
+
+    // ── Elicitation (Lemma B.5): the tightest schema for T0's outputs ──
+    let elicited = gts_core::elicit_schema(&t0, &s0, &mut vocab, &opts).unwrap();
+    println!(
+        "\nElicited schema (certified = {}):\n{}",
+        elicited.certified,
+        elicited.schema.render(&vocab)
+    );
+    assert!(
+        elicited.schema.contains_in(&s1),
+        "the elicited schema is at least as tight as S1"
+    );
+    println!("\nThe elicited schema is contained in S1 — minimality in action.");
+}

@@ -1,0 +1,98 @@
+//! Quickstart: define a schema, a transformation, and run all three static
+//! analyses of the paper.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use gts_core::prelude::*;
+
+fn main() {
+    // ── 1. Vocabulary and source schema ────────────────────────────────
+    // People post Messages; every Message has exactly one author.
+    let mut vocab = Vocab::new();
+    let person = vocab.node_label("Person");
+    let message = vocab.node_label("Message");
+    let wrote = vocab.edge_label("wrote");
+    let follows = vocab.edge_label("follows");
+
+    let mut source = Schema::new();
+    source.set_edge(person, wrote, message, Mult::Star, Mult::One);
+    source.set_edge(person, follows, person, Mult::Star, Mult::Star);
+    println!("Source schema:\n{}\n", source.render(&vocab));
+
+    // ── 2. A transformation: replace `wrote` by a `reaches` edge from
+    //      every (transitive) follower to the message ────────────────────
+    let reaches = vocab.edge_label("reaches");
+    let unary = |l| {
+        C2rpq::new(1, vec![Var(0)], vec![Atom { x: Var(0), y: Var(0), regex: Regex::node(l) }])
+    };
+    let mut t = Transformation::new();
+    t.add_node_rule(person, unary(person));
+    t.add_node_rule(message, unary(message));
+    t.add_edge_rule(
+        reaches,
+        (person, 1),
+        (message, 1),
+        C2rpq::new(
+            2,
+            vec![Var(0), Var(1)],
+            vec![Atom {
+                x: Var(0),
+                y: Var(1),
+                // follows* · wrote : follower chains reach the message.
+                regex: Regex::edge(follows).star().then(Regex::edge(wrote)),
+            }],
+        ),
+    );
+    t.validate().expect("well-formed transformation");
+    println!("Transformation:\n{}\n", t.render(&vocab));
+
+    // ── 3. Run it on a concrete graph ──────────────────────────────────
+    let mut g = Graph::new();
+    let alice = g.add_labeled_node([person]);
+    let bob = g.add_labeled_node([person]);
+    let post = g.add_labeled_node([message]);
+    g.add_edge(alice, wrote, post);
+    g.add_edge(bob, follows, alice);
+    assert!(source.conforms(&g).is_ok());
+    let out = t.apply(&g);
+    println!(
+        "T(G): {} nodes, {} edges (both Alice and follower Bob reach the post)\n",
+        out.num_nodes(),
+        out.num_edges()
+    );
+
+    // ── 4. Elicit the tightest target schema ───────────────────────────
+    let opts = ContainmentOptions::default();
+    let elicited = gts_core::elicit_schema(&t, &source, &mut vocab, &opts).expect("elicitable");
+    println!(
+        "Elicited target schema (certified = {}):\n{}\n",
+        elicited.certified,
+        elicited.schema.render(&vocab)
+    );
+
+    // ── 5. Type check against the elicited schema (must pass) ──────────
+    let tc = gts_core::type_check(&t, &source, &elicited.schema, &mut vocab, &opts).unwrap();
+    println!("Type check vs elicited schema: holds={} certified={}", tc.holds, tc.certified);
+    assert!(tc.holds);
+
+    // ── 6. Equivalence: the same transformation plus a redundant rule ──
+    let mut t2 = t.clone();
+    t2.add_edge_rule(
+        reaches,
+        (person, 1),
+        (message, 1),
+        C2rpq::new(
+            2,
+            vec![Var(0), Var(1)],
+            vec![Atom { x: Var(0), y: Var(1), regex: Regex::edge(wrote) }],
+        ),
+    );
+    let eq = gts_core::equivalence(&t, &t2, &source, &mut vocab, &opts).unwrap();
+    println!(
+        "T ≡ T + (wrote-only rule): holds={} certified={}",
+        eq.holds, eq.certified
+    );
+    assert!(eq.holds, "the extra rule is subsumed by follows*·wrote");
+}

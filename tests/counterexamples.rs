@@ -1,0 +1,133 @@
+//! Integration tests for counterexample extraction: every witness returned
+//! by the library must be independently verifiable by direct evaluation.
+
+use gts_core::containment::{finite_counterexample, WitnessConfig};
+use gts_core::prelude::*;
+use gts_core::query::{Atom, C2rpq, Regex, Uc2rpq, Var};
+use gts_core::schema::Mult;
+use gts_core::{equivalence, equivalence_counterexample, type_check, type_check_counterexample};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn rng() -> StdRng {
+    StdRng::seed_from_u64(20230423)
+}
+
+fn medical(v: &mut Vocab) -> (Transformation, Schema, Schema) {
+    let t = medical_transformation(v);
+    let vaccine = v.node_label("Vaccine");
+    let antigen = v.node_label("Antigen");
+    let pathogen = v.node_label("Pathogen");
+    let dt = v.edge_label("designTarget");
+    let cr = v.edge_label("crossReacting");
+    let ex = v.edge_label("exhibits");
+    let targets = v.edge_label("targets");
+    let mut s0 = Schema::new();
+    s0.set_edge(vaccine, dt, antigen, Mult::One, Mult::Star);
+    s0.set_edge(antigen, cr, antigen, Mult::Star, Mult::Star);
+    s0.set_edge(pathogen, ex, antigen, Mult::Plus, Mult::Star);
+    let mut s1 = Schema::new();
+    s1.set_edge(vaccine, dt, antigen, Mult::One, Mult::Star);
+    s1.set_edge(vaccine, targets, antigen, Mult::Plus, Mult::Star);
+    s1.set_edge(pathogen, ex, antigen, Mult::Plus, Mult::Star);
+    (t, s0, s1)
+}
+
+/// T0 does not type check against S0 itself (S0 forbids `targets`), and
+/// the sampler finds a concrete refuting input.
+#[test]
+fn type_check_failure_yields_verified_input() {
+    let mut v = Vocab::new();
+    let (t, s0, _s1) = medical(&mut v);
+    let d = type_check(&t, &s0, &s0, &mut v, &Default::default()).unwrap();
+    assert!(!d.holds);
+
+    let cex = type_check_counterexample(&t, &s0, &s0, 100, 2, &mut rng())
+        .expect("refuting input exists");
+    // Verified: input conforms to S0, output does not.
+    assert!(s0.conforms(&cex.input).is_ok());
+    assert!(s0.conforms(&cex.output).is_err());
+    // And the output really is T(input).
+    assert_eq!(t.apply(&cex.input).num_edges(), cex.output.num_edges());
+}
+
+/// A passing type check admits no sampled counterexample.
+#[test]
+fn type_check_success_has_no_sampled_counterexample() {
+    let mut v = Vocab::new();
+    let (t, s0, s1) = medical(&mut v);
+    let d = type_check(&t, &s0, &s1, &mut v, &Default::default()).unwrap();
+    assert!(d.holds && d.certified);
+    assert!(type_check_counterexample(&t, &s0, &s1, 60, 2, &mut rng()).is_none());
+}
+
+/// Dropping the cross-reactivity closure from the `targets` rule changes
+/// the transformation; the sampler exhibits an input where the outputs
+/// differ, and the full decision procedure agrees.
+#[test]
+fn equivalence_failure_yields_verified_input() {
+    let mut v = Vocab::new();
+    let (t1, s0, _) = medical(&mut v);
+    let vaccine = v.find_node_label("Vaccine").unwrap();
+    let antigen = v.find_node_label("Antigen").unwrap();
+    let pathogen = v.find_node_label("Pathogen").unwrap();
+    let dt = v.find_edge_label("designTarget").unwrap();
+    let ex = v.find_edge_label("exhibits").unwrap();
+    let targets = v.find_edge_label("targets").unwrap();
+
+    // T2: like T0 but `targets` = designTarget only.
+    let unary = |l| C2rpq::new(1, vec![Var(0)], vec![Atom { x: Var(0), y: Var(0), regex: Regex::node(l) }]);
+    let binary = |re: Regex| C2rpq::new(2, vec![Var(0), Var(1)], vec![Atom { x: Var(0), y: Var(1), regex: re }]);
+    let mut t2 = Transformation::new();
+    t2.add_node_rule(vaccine, unary(vaccine))
+        .add_node_rule(antigen, unary(antigen))
+        .add_edge_rule(dt, (vaccine, 1), (antigen, 1), binary(Regex::edge(dt)))
+        .add_edge_rule(targets, (vaccine, 1), (antigen, 1), binary(Regex::edge(dt)))
+        .add_node_rule(pathogen, unary(pathogen))
+        .add_edge_rule(ex, (pathogen, 1), (antigen, 1), binary(Regex::edge(ex)));
+
+    let d = equivalence(&t1, &t2, &s0, &mut v, &Default::default()).unwrap();
+    assert!(!d.holds, "the closure rule matters");
+
+    let cex = equivalence_counterexample(&t1, &t2, &s0, 200, 2, &mut rng())
+        .expect("distinguishing input exists");
+    assert!(s0.conforms(&cex.input).is_ok());
+    assert_ne!(t1.output_facts(&cex.input), t2.output_facts(&cex.input));
+    // The distinguishing input must contain a crossReacting edge.
+    let cr = v.find_edge_label("crossReacting").unwrap();
+    assert!(cex.input.edges().any(|(_, l, _)| l == cr));
+}
+
+/// Containment-level extraction: the witness graph for `Targets ⊄ Direct`
+/// passes independent verification (cf. `gts contains --p … --q …`).
+#[test]
+fn containment_counterexample_round_trips_through_eval() {
+    let mut v = Vocab::new();
+    let (_t, s0, _s1) = medical(&mut v);
+    let dt = v.find_edge_label("designTarget").unwrap();
+    let cr = v.find_edge_label("crossReacting").unwrap();
+    let targets_q = Uc2rpq::single(C2rpq::new(
+        2,
+        vec![Var(0), Var(1)],
+        vec![Atom { x: Var(0), y: Var(1), regex: Regex::edge(dt).then(Regex::edge(cr).star()) }],
+    ));
+    let direct_q = Uc2rpq::single(C2rpq::new(
+        2,
+        vec![Var(0), Var(1)],
+        vec![Atom { x: Var(0), y: Var(1), regex: Regex::edge(dt) }],
+    ));
+    let cex = finite_counterexample(
+        &targets_q,
+        &direct_q,
+        &s0,
+        &mut v,
+        &Default::default(),
+        &WitnessConfig::default(),
+        &mut rng(),
+    )
+    .unwrap()
+    .expect("Targets ⊄ Direct");
+    assert!(s0.conforms(&cex.graph).is_ok());
+    assert!(targets_q.eval(&cex.graph).contains(&cex.tuple));
+    assert!(!direct_q.eval(&cex.graph).contains(&cex.tuple));
+}

@@ -1,0 +1,336 @@
+//! Differential tests: the decision procedures against brute-force finite
+//! oracles, and property-based tests of the substrates.
+
+use gts_containment::{counterexample_exhaustive, is_counterexample};
+use gts_core::prelude::*;
+use gts_schema::{random_conforming_graph, random_schema, SchemaGenConfig};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+// ───────────────────────── containment vs oracle ──────────────────────
+
+/// Deterministic sweep: random 2RPQ containment instances over small
+/// schemas; every *certified* decision is cross-checked against the
+/// exhaustive finite oracle on graphs with ≤ 2 nodes, and against sampled
+/// conforming graphs of moderate size.
+#[test]
+fn containment_decisions_agree_with_finite_oracles() {
+    let mut agree = 0;
+    for seed in 0..30u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut vocab = Vocab::new();
+        let cfg = SchemaGenConfig {
+            num_node_labels: 2,
+            num_edge_labels: 2,
+            edge_density: 0.5,
+            allow_lower_bounds: true,
+        };
+        let schema = random_schema(&cfg, &mut vocab, &mut rng);
+        let (p, q) = random_query_pair(&schema, &mut vocab, &mut rng);
+        let Ok(ans) = contains(&p, &q, &schema, &mut vocab, &ContainmentOptions::default())
+        else {
+            continue;
+        };
+        if !ans.certified {
+            continue;
+        }
+        // Oracle 1: exhaustive over tiny graphs.
+        let (cex, complete) = counterexample_exhaustive(&p, &q, &schema, 2, 400_000);
+        if complete && ans.holds {
+            assert!(cex.is_none(), "seed {seed}: certified containment with finite cex");
+        }
+        // Oracle 2: sampled conforming graphs.
+        if ans.holds {
+            for gseed in 0..10 {
+                let mut grng = StdRng::seed_from_u64(gseed);
+                if let Some(g) = random_conforming_graph(&schema, 3, 3, &mut grng) {
+                    assert!(
+                        !is_counterexample(&p, &q, &g),
+                        "seed {seed}: sampled counterexample against certified holds"
+                    );
+                }
+            }
+        }
+        agree += 1;
+    }
+    assert!(agree >= 20, "too few certified instances: {agree}/30");
+}
+
+/// For *certified non-containment*, the theory (Theorem 5.4) guarantees a
+/// finite counterexample exists; the tiny-graph oracle should find one for
+/// most random instances (not all — witnesses can need more nodes).
+#[test]
+fn non_containment_usually_has_small_witnesses() {
+    let mut found = 0;
+    let mut total = 0;
+    for seed in 100..130u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut vocab = Vocab::new();
+        let cfg = SchemaGenConfig {
+            num_node_labels: 2,
+            num_edge_labels: 1,
+            edge_density: 0.6,
+            allow_lower_bounds: false,
+        };
+        let schema = random_schema(&cfg, &mut vocab, &mut rng);
+        let (p, q) = random_query_pair(&schema, &mut vocab, &mut rng);
+        let Ok(ans) = contains(&p, &q, &schema, &mut vocab, &ContainmentOptions::default())
+        else {
+            continue;
+        };
+        if !ans.certified || ans.holds {
+            continue;
+        }
+        total += 1;
+        let (cex, _) = counterexample_exhaustive(&p, &q, &schema, 3, 400_000);
+        if cex.is_some() {
+            found += 1;
+        }
+    }
+    if total > 0 {
+        assert!(found * 2 >= total, "only {found}/{total} witnesses found at ≤3 nodes");
+    }
+}
+
+fn random_query_pair<R: rand::Rng>(
+    schema: &Schema,
+    _vocab: &mut Vocab,
+    rng: &mut R,
+) -> (Uc2rpq, Uc2rpq) {
+    let labels = schema.node_labels().to_vec();
+    let edges = schema.edge_labels().to_vec();
+    let random_regex = |rng: &mut R| -> Regex {
+        let mut re = Regex::Epsilon;
+        for _ in 0..rng.gen_range(1..=2) {
+            let e = edges[rng.gen_range(0..edges.len())];
+            let sym = if rng.gen_bool(0.3) { EdgeSym::bwd(e) } else { EdgeSym::fwd(e) };
+            let step = if rng.gen_bool(0.25) { Regex::sym(sym).star() } else { Regex::sym(sym) };
+            re = re.then(step);
+        }
+        if rng.gen_bool(0.5) {
+            re = Regex::node(labels[rng.gen_range(0..labels.len())]).then(re);
+        }
+        re
+    };
+    let mk = |re: Regex| {
+        Uc2rpq::single(C2rpq::new(
+            2,
+            vec![Var(0), Var(1)],
+            vec![Atom { x: Var(0), y: Var(1), regex: re }],
+        ))
+    };
+    let p = mk(random_regex(rng));
+    let q = if rng.gen_bool(0.3) {
+        p.clone() // force some holds-cases
+    } else {
+        mk(random_regex(rng))
+    };
+    (p, q)
+}
+
+// ───────────────────── conformance ⇔ Prop. B.1 (semantic) ─────────────
+
+#[test]
+fn conformance_matches_tbox_semantics_on_random_graphs() {
+    for seed in 0..40u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut vocab = Vocab::new();
+        let schema = random_schema(&SchemaGenConfig::default(), &mut vocab, &mut rng);
+        // Half conforming, half random graphs.
+        let g = if seed % 2 == 0 {
+            match random_conforming_graph(&schema, 3, 5, &mut rng) {
+                Some(g) => g,
+                None => continue,
+            }
+        } else {
+            random_labeled_graph(&schema, &mut rng)
+        };
+        let conforms = schema.conforms(&g).is_ok();
+        // Prop. B.1: conformance ⇔ T_S ∧ label cover ∧ label disjointness.
+        let tbox = schema.to_l0().to_horn();
+        let horn_ok = tbox.check_graph(&g).is_ok();
+        let cover = g
+            .nodes()
+            .all(|n| schema.node_labels().iter().any(|&l| g.has_label(n, l)));
+        let disjoint = g.nodes().all(|n| {
+            g.labels(n)
+                .iter()
+                .filter(|&l| schema.node_labels().contains(&NodeLabel(l)))
+                .count()
+                <= 1
+                && g.labels(n).len()
+                    == g.labels(n)
+                        .iter()
+                        .filter(|&l| schema.node_labels().contains(&NodeLabel(l)))
+                        .count()
+        });
+        let edge_ok = g
+            .edges()
+            .all(|(_, l, _)| schema.edge_labels().contains(&l));
+        assert_eq!(
+            conforms,
+            horn_ok && cover && disjoint && edge_ok,
+            "seed {seed}: Prop B.1 mismatch"
+        );
+    }
+}
+
+fn random_labeled_graph<R: rand::Rng>(schema: &Schema, rng: &mut R) -> Graph {
+    let mut g = Graph::new();
+    let labels = schema.node_labels();
+    let n = rng.gen_range(1..=4);
+    for _ in 0..n {
+        let node = g.add_node();
+        if !labels.is_empty() && rng.gen_bool(0.9) {
+            g.add_label(node, labels[rng.gen_range(0..labels.len())]);
+        }
+    }
+    for &e in schema.edge_labels() {
+        for _ in 0..rng.gen_range(0..3) {
+            let s = NodeId(rng.gen_range(0..n) as u32);
+            let t = NodeId(rng.gen_range(0..n) as u32);
+            g.add_edge(s, e, t);
+        }
+    }
+    g
+}
+
+// ───────────────────────── proptest: substrates ───────────────────────
+
+fn arb_regex() -> impl Strategy<Value = Regex> {
+    let leaf = prop_oneof![
+        Just(Regex::Epsilon),
+        Just(Regex::Empty),
+        (0u32..3).prop_map(|i| Regex::node(NodeLabel(i))),
+        (0u32..3, any::<bool>()).prop_map(|(i, inv)| {
+            let s = EdgeSym { label: EdgeLabel(i), inverse: inv };
+            Regex::sym(s)
+        }),
+    ];
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Regex::Concat(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Regex::Alt(Box::new(a), Box::new(b))),
+            inner.prop_map(|a| Regex::Star(Box::new(a))),
+        ]
+    })
+}
+
+fn arb_word() -> impl Strategy<Value = Vec<AtomSym>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u32..3).prop_map(|i| AtomSym::Node(NodeLabel(i))),
+            (0u32..3, any::<bool>())
+                .prop_map(|(i, inv)| AtomSym::Edge(EdgeSym { label: EdgeLabel(i), inverse: inv })),
+        ],
+        0..6,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// Glushkov automata and Brzozowski derivatives agree on membership.
+    #[test]
+    fn nfa_agrees_with_derivatives(re in arb_regex(), w in arb_word()) {
+        let nfa = Nfa::from_regex(&re);
+        prop_assert_eq!(nfa.accepts(&w), re.matches(&w));
+    }
+
+    /// Reversal: w ∈ L(φ) iff reverse-invert(w) ∈ L(φ⁻).
+    #[test]
+    fn reversal_soundness(re in arb_regex(), w in arb_word()) {
+        let rev: Vec<AtomSym> = w.iter().rev().map(|s| match s {
+            AtomSym::Edge(r) => AtomSym::Edge(r.inv()),
+            n => *n,
+        }).collect();
+        prop_assert_eq!(re.matches(&w), re.reverse().matches(&rev));
+    }
+
+    /// Every word from exhaustive enumeration is accepted, and exhaustive
+    /// enumeration contains every accepted word within bounds.
+    #[test]
+    fn enumeration_soundness(re in arb_regex(), w in arb_word()) {
+        let nfa = Nfa::from_regex(&re);
+        let (words, exhaustive) = nfa.enumerate_words(6, 10_000);
+        for word in &words {
+            prop_assert!(nfa.accepts(word));
+        }
+        if exhaustive && nfa.accepts(&w) {
+            prop_assert!(words.contains(&w), "missing word {:?}", w);
+        }
+    }
+
+    /// Minimal-word enumeration: sound, and every accepted word has an
+    /// enumerated prefix when the enumeration is exhaustive.
+    #[test]
+    fn min_word_enumeration_prefix_property(re in arb_regex(), w in arb_word()) {
+        let nfa = Nfa::from_regex(&re);
+        let (words, exhaustive) = nfa.enumerate_min_words(6, 10_000);
+        for word in &words {
+            prop_assert!(nfa.accepts(word));
+        }
+        if exhaustive && nfa.accepts(&w) {
+            prop_assert!(
+                words.iter().any(|m| w.starts_with(m)),
+                "no minimal prefix of {:?} in {:?}", w, words
+            );
+        }
+    }
+
+    /// Multiplicity order ≼ is exactly count-set inclusion.
+    #[test]
+    fn mult_order_semantics(count in 0usize..5) {
+        for a in Mult::all() {
+            for b in Mult::all() {
+                if a.leq(b) && a.allows(count) {
+                    prop_assert!(b.allows(count));
+                }
+            }
+        }
+    }
+
+    /// LabelSet algebra laws.
+    #[test]
+    fn labelset_laws(xs in prop::collection::vec(0u32..120, 0..12),
+                     ys in prop::collection::vec(0u32..120, 0..12)) {
+        let a = LabelSet::from_iter(xs.iter().copied());
+        let b = LabelSet::from_iter(ys.iter().copied());
+        let u = a.union(&b);
+        let i = a.intersection(&b);
+        prop_assert!(a.is_subset(&u) && b.is_subset(&u));
+        prop_assert!(i.is_subset(&a) && i.is_subset(&b));
+        prop_assert_eq!(u.len() + i.len(), a.len() + b.len());
+        prop_assert_eq!(a.difference(&b).len(), a.len() - i.len());
+        prop_assert_eq!(a.is_disjoint(&b), i.is_empty());
+    }
+}
+
+/// Schema containment (Prop. B.3) is consistent with sampling: graphs of
+/// the smaller schema conform to the larger one.
+#[test]
+fn schema_containment_respected_by_samples() {
+    for seed in 0..20u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut vocab = Vocab::new();
+        let s1 = random_schema(&SchemaGenConfig::default(), &mut vocab, &mut rng);
+        // Widen every constraint to build a containing schema.
+        let mut s2 = s1.clone();
+        for &a in s1.node_labels() {
+            for sym in s1.syms().collect::<Vec<_>>() {
+                for &b in s1.node_labels() {
+                    if s1.mult(a, sym, b) != Mult::Zero {
+                        s2.set(a, sym, b, Mult::Star);
+                    }
+                }
+            }
+        }
+        assert!(s1.contains_in(&s2), "seed {seed}");
+        if let Some(g) = random_conforming_graph(&s1, 3, 5, &mut rng) {
+            assert_eq!(s2.conforms(&g), Ok(()), "seed {seed}");
+        }
+    }
+}

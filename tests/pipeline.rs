@@ -1,0 +1,210 @@
+//! End-to-end pipeline tests on *generated* workloads: random schemas,
+//! random transformations, random conforming graphs — checking the
+//! analyses against ground truth obtained by actually running the
+//! transformations.
+
+use gts_core::prelude::*;
+use gts_core::{random_transformation, TransformGenConfig};
+use gts_schema::{random_conforming_graph, random_schema, SchemaGenConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn gen_config() -> SchemaGenConfig {
+    SchemaGenConfig {
+        num_node_labels: 3,
+        num_edge_labels: 2,
+        edge_density: 0.4,
+        allow_lower_bounds: true,
+    }
+}
+
+/// The key soundness property of elicitation: every concrete output of the
+/// transformation conforms to the (certified) elicited schema.
+#[test]
+fn elicited_schema_accepts_all_outputs() {
+    let mut rng = StdRng::seed_from_u64(2024);
+    let opts = ContainmentOptions::default();
+    let mut checked = 0;
+    for seed in 0..4u64 {
+        let mut vocab = Vocab::new();
+        let schema = random_schema(&gen_config(), &mut vocab, &mut rng);
+        let t = random_transformation(
+            &schema,
+            &TransformGenConfig { num_edge_rules: 2, max_path_len: 2, star_prob: 0.0 },
+            &mut vocab,
+            &mut StdRng::seed_from_u64(seed),
+        );
+        let Ok(elicited) = gts_core::elicit_schema(&t, &schema, &mut vocab, &opts) else {
+            continue; // unlabeled outputs; legal per the paper
+        };
+        if !elicited.certified {
+            continue; // only certified schemas carry the guarantee
+        }
+        for gseed in 0..5 {
+            let mut grng = StdRng::seed_from_u64(gseed);
+            if let Some(g) = random_conforming_graph(&schema, 3, 5, &mut grng) {
+                let out = t.apply(&g);
+                assert_eq!(
+                    elicited.schema.conforms(&out),
+                    Ok(()),
+                    "output of seed {seed}/{gseed} violates the elicited schema\n\
+                     schema:\n{}\nelicited:\n{}\nrules:\n{}",
+                    schema.render(&vocab),
+                    elicited.schema.render(&vocab),
+                    t.render(&vocab),
+                );
+                checked += 1;
+            }
+        }
+    }
+    assert!(checked >= 5, "too few instances exercised ({checked})");
+}
+
+/// Type checking against the elicited schema must succeed (the elicited
+/// schema is by definition a valid target).
+#[test]
+fn type_check_against_elicited_schema_holds() {
+    let mut rng = StdRng::seed_from_u64(99);
+    let opts = ContainmentOptions::default();
+    let mut checked = 0;
+    for seed in 0..3u64 {
+        let mut vocab = Vocab::new();
+        let schema = random_schema(&gen_config(), &mut vocab, &mut rng);
+        let t = random_transformation(
+            &schema,
+            &TransformGenConfig { num_edge_rules: 2, max_path_len: 2, star_prob: 0.0 },
+            &mut vocab,
+            &mut StdRng::seed_from_u64(seed),
+        );
+        let Ok(elicited) = gts_core::elicit_schema(&t, &schema, &mut vocab, &opts) else {
+            continue;
+        };
+        if !elicited.certified {
+            continue;
+        }
+        let d = gts_core::type_check(&t, &schema, &elicited.schema, &mut vocab, &opts).unwrap();
+        assert!(d.holds, "elicited schema must type-check (seed {seed})");
+        checked += 1;
+    }
+    assert!(checked >= 2);
+}
+
+/// Generated transformations are self-equivalent, and equivalence detects
+/// a dropped rule whenever the rule is productive.
+#[test]
+fn equivalence_on_generated_transformations() {
+    let opts = ContainmentOptions::default();
+    for seed in 0..3u64 {
+        let mut vocab = Vocab::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let schema = random_schema(&gen_config(), &mut vocab, &mut rng);
+        let t = random_transformation(
+            &schema,
+            &TransformGenConfig { num_edge_rules: 1, max_path_len: 2, star_prob: 0.2 },
+            &mut vocab,
+            &mut rng,
+        );
+        let d = gts_core::equivalence(&t, &t, &schema, &mut vocab, &opts).unwrap();
+        assert!(d.holds, "self-equivalence (seed {seed})");
+    }
+}
+
+/// Containment consistency on the transformation's own grouped queries:
+/// `Q ⊆ Q` holds and `Q ⊆ ∅` fails for productive rules.
+#[test]
+fn grouped_query_containment_sanity() {
+    let mut vocab = Vocab::new();
+    let t0 = medical_transformation(&mut vocab);
+    let vaccine = vocab.find_node_label("Vaccine").unwrap();
+    let antigen = vocab.find_node_label("Antigen").unwrap();
+    let pathogen = vocab.find_node_label("Pathogen").unwrap();
+    let dt = vocab.edge_label("designTarget");
+    let cr = vocab.edge_label("crossReacting");
+    let ex = vocab.edge_label("exhibits");
+    let mut s0 = Schema::new();
+    s0.set_edge(vaccine, dt, antigen, Mult::One, Mult::Star);
+    s0.set_edge(antigen, cr, antigen, Mult::Star, Mult::Star);
+    s0.set_edge(pathogen, ex, antigen, Mult::Plus, Mult::Star);
+
+    let opts = ContainmentOptions::default();
+    for label in t0.node_labels() {
+        let q = t0.q_node(label);
+        let refl = contains(&q, &q, &s0, &mut vocab, &opts).unwrap();
+        assert!(refl.holds);
+        let empty = contains(&q, &Uc2rpq::empty(), &s0, &mut vocab, &opts).unwrap();
+        assert!(!empty.holds, "Q_{label:?} is satisfiable modulo S0");
+    }
+}
+
+/// Trimming is semantics-preserving: the trimmed transformation produces
+/// identical outputs on conforming inputs.
+#[test]
+fn trimming_preserves_outputs() {
+    let mut vocab = Vocab::new();
+    let mut t = medical_transformation(&mut vocab);
+    let vaccine = vocab.find_node_label("Vaccine").unwrap();
+    let pathogen = vocab.find_node_label("Pathogen").unwrap();
+    let antigen = vocab.find_node_label("Antigen").unwrap();
+    let dt = vocab.find_edge_label("designTarget").unwrap();
+    let cr = vocab.find_edge_label("crossReacting").unwrap();
+    let ex = vocab.find_edge_label("exhibits").unwrap();
+    let targets = vocab.find_edge_label("targets").unwrap();
+    // An unproductive rule: vaccines never exhibit anything under S0.
+    t.add_edge_rule(
+        targets,
+        (vaccine, 1),
+        (antigen, 1),
+        C2rpq::new(
+            2,
+            vec![Var(0), Var(1)],
+            vec![Atom {
+                x: Var(0),
+                y: Var(1),
+                regex: Regex::node(vaccine).then(Regex::edge(ex)),
+            }],
+        ),
+    );
+    let mut s0 = Schema::new();
+    s0.set_edge(vaccine, dt, antigen, Mult::One, Mult::Star);
+    s0.set_edge(antigen, cr, antigen, Mult::Star, Mult::Star);
+    s0.set_edge(pathogen, ex, antigen, Mult::Plus, Mult::Star);
+
+    let opts = ContainmentOptions::default();
+    let (trimmed, certified) = gts_core::trim(&t, &s0, &mut vocab, &opts).unwrap();
+    assert!(certified);
+    assert_eq!(trimmed.rules.len(), t.rules.len() - 1);
+
+    let mut rng = StdRng::seed_from_u64(5);
+    for _ in 0..5 {
+        if let Some(g) = random_conforming_graph(&s0, 3, 5, &mut rng) {
+            let a = t.apply(&g);
+            let b = trimmed.apply(&g);
+            assert_eq!(a.num_nodes(), b.num_nodes());
+            assert_eq!(a.num_edges(), b.num_edges());
+        }
+    }
+}
+
+/// The full pipeline is deterministic: repeated runs give identical
+/// decisions (guards against hash-order nondeterminism).
+#[test]
+fn decisions_are_deterministic() {
+    let run = || {
+        let mut vocab = Vocab::new();
+        let t0 = medical_transformation(&mut vocab);
+        let vaccine = vocab.node_label("Vaccine");
+        let antigen = vocab.node_label("Antigen");
+        let pathogen = vocab.node_label("Pathogen");
+        let dt = vocab.edge_label("designTarget");
+        let cr = vocab.edge_label("crossReacting");
+        let ex = vocab.edge_label("exhibits");
+        let mut s0 = Schema::new();
+        s0.set_edge(vaccine, dt, antigen, Mult::One, Mult::Star);
+        s0.set_edge(antigen, cr, antigen, Mult::Star, Mult::Star);
+        s0.set_edge(pathogen, ex, antigen, Mult::Plus, Mult::Star);
+        let e = gts_core::elicit_schema(&t0, &s0, &mut vocab, &ContainmentOptions::default())
+            .unwrap();
+        e.schema.render(&vocab)
+    };
+    assert_eq!(run(), run());
+}
