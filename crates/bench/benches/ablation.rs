@@ -207,21 +207,12 @@ fn bench_literal_safety(c: &mut Criterion) {
                     }
                     t.add_node_rule(
                         price,
-                        C2rpq::new(
-                            2,
-                            vec![Var(1)],
-                            vec![Atom { x: Var(0), y: Var(1), regex: re }],
-                        ),
+                        C2rpq::new(2, vec![Var(1)], vec![Atom { x: Var(0), y: Var(1), regex: re }]),
                     );
                 }
-                let report = check_literal_safety(
-                    &t,
-                    &s,
-                    &literals,
-                    &mut v,
-                    &ContainmentOptions::default(),
-                )
-                .unwrap();
+                let report =
+                    check_literal_safety(&t, &s, &literals, &mut v, &ContainmentOptions::default())
+                        .unwrap();
                 assert!(report.violations.is_empty());
             })
         });

@@ -88,7 +88,9 @@ fn bench_fig5_rollup(c: &mut Criterion) {
                     Atom {
                         x: Var(2),
                         y: Var(1),
-                        regex: Regex::edge(a_e).then(Regex::edge(b_e).star()).then(Regex::edge(c_e)),
+                        regex: Regex::edge(a_e)
+                            .then(Regex::edge(b_e).star())
+                            .then(Regex::edge(c_e)),
                     },
                     Atom { x: Var(1), y: Var(1), regex: Regex::node(la) },
                     Atom { x: Var(3), y: Var(1), regex: Regex::Epsilon },

@@ -87,7 +87,10 @@ fn fig1() {
     let d = gts_core::type_check(&m.t0, &m.s0, &m.s1, &mut m.vocab, &Default::default()).unwrap();
     row(
         "FIG1",
-        &format!("{ok}/20 sampled outputs conform; type check holds={} certified={}", d.holds, d.certified),
+        &format!(
+            "{ok}/20 sampled outputs conform; type check holds={} certified={}",
+            d.holds, d.certified
+        ),
         "T0(G) ⊨ S1 for all G ⊨ S0",
         t,
     );
@@ -121,11 +124,7 @@ fn ex45() {
     let qt = Uc2rpq::single(C2rpq::new(
         2,
         vec![Var(0)],
-        vec![Atom {
-            x: Var(0),
-            y: Var(1),
-            regex: Regex::edge(dt).then(Regex::edge(cr).star()),
-        }],
+        vec![Atom { x: Var(0), y: Var(1), regex: Regex::edge(dt).then(Regex::edge(cr).star()) }],
     ));
     let ans = contains(&qv, &qt, &m.s0, &mut m.vocab, &Default::default()).unwrap();
     row(
@@ -205,13 +204,21 @@ fn fig4() {
             Atom {
                 x: Var(0),
                 y: Var(1),
-                regex: Regex::edge(ea).then(Regex::edge(eb)).then(cplus).then(Regex::edge(ed)).then(Regex::edge(ea)),
+                regex: Regex::edge(ea)
+                    .then(Regex::edge(eb))
+                    .then(cplus)
+                    .then(Regex::edge(ed))
+                    .then(Regex::edge(ea)),
             },
             Atom { x: Var(0), y: Var(1), regex: Regex::edge(ea).star() },
             Atom {
                 x: Var(0),
                 y: Var(1),
-                regex: Regex::edge(ea).star().then(Regex::edge(eb)).then(Regex::edge(ed)).then(Regex::edge(ea).star()),
+                regex: Regex::edge(ea)
+                    .star()
+                    .then(Regex::edge(eb))
+                    .then(Regex::edge(ed))
+                    .then(Regex::edge(ea).star()),
             },
         ],
     );
@@ -255,26 +262,26 @@ fn fig5() {
     for _ in 0..total {
         let g = random_graph(&mut rng, &[la], &[a_e, b_e, c_e]);
         let not_q = !q0.holds(&g);
-        let refuted = choices
-            .iter()
-            .any(|t| gts_dl::datalog_satisfies(t, &g, &states) == Some(true));
+        let refuted =
+            choices.iter().any(|t| gts_dl::datalog_satisfies(t, &g, &states) == Some(true));
         if not_q == refuted {
             agree += 1;
         }
     }
     row(
         "FIG5",
-        &format!("{}/{} random graphs agree (rollup vs evaluation); {} CIs", agree, total, choices[0].len()),
+        &format!(
+            "{}/{} random graphs agree (rollup vs evaluation); {} CIs",
+            agree,
+            total,
+            choices[0].len()
+        ),
         "T¬Q0 simulates the Glushkov automata of Q0 (Lemma C.2)",
         t,
     );
 }
 
-fn random_graph<R: rand::Rng>(
-    rng: &mut R,
-    labels: &[NodeLabel],
-    edges: &[EdgeLabel],
-) -> Graph {
+fn random_graph<R: rand::Rng>(rng: &mut R, labels: &[NodeLabel], edges: &[EdgeLabel]) -> Graph {
     let mut g = Graph::new();
     let n = rng.gen_range(2..6);
     for _ in 0..n {
@@ -303,10 +310,7 @@ fn fig6() {
     let good_clean = !red.negative.holds(&good);
     // Corrupt: second incoming transition (tree violation).
     let mut bad = good.clone();
-    let child = bad
-        .successors(NodeId(0), EdgeSym::fwd(red.labels.trans[2]))
-        .next()
-        .unwrap();
+    let child = bad.successors(NodeId(0), EdgeSym::fwd(red.labels.trans[2])).next().unwrap();
     bad.add_edge(child, red.labels.trans[0], NodeId(0));
     let bad_detected = red.negative.holds(&bad);
     row(
@@ -453,11 +457,7 @@ fn ext_tbox() {
     let q = Uc2rpq::single(C2rpq::new(
         2,
         vec![],
-        vec![Atom {
-            x: Var(0),
-            y: Var(1),
-            regex: Regex::edge(r).then(splus).then(Regex::edge(r)),
-        }],
+        vec![Atom { x: Var(0), y: Var(1), regex: Regex::edge(r).then(splus).then(Regex::edge(r)) }],
     ));
     let ans = contains_finite_modulo_tbox(&p, &q, &tbox, &mut vocab, &Default::default()).unwrap();
     row(
@@ -480,7 +480,8 @@ fn ext_values() {
     let mut s = Schema::new();
     s.set_edge(product, has_price, price, Mult::One, Mult::Star);
     let literals = LabelSet::singleton(price.0);
-    let unary = |l| C2rpq::new(1, vec![Var(0)], vec![Atom { x: Var(0), y: Var(0), regex: Regex::node(l) }]);
+    let unary =
+        |l| C2rpq::new(1, vec![Var(0)], vec![Atom { x: Var(0), y: Var(0), regex: Regex::node(l) }]);
     let mut good = Transformation::new();
     good.add_node_rule(price, unary(price));
     let mut bad = Transformation::new();

@@ -116,11 +116,7 @@ pub fn chain_instance(n: usize, k: usize, vocab: &mut Vocab) -> (Schema, Uc2rpq,
     let p = Uc2rpq::single(C2rpq::new(
         2,
         vec![Var(0)],
-        vec![Atom {
-            x: Var(0),
-            y: Var(1),
-            regex: Regex::node(l0).then(steps),
-        }],
+        vec![Atom { x: Var(0), y: Var(1), regex: Regex::node(l0).then(steps) }],
     ));
     let q = Uc2rpq::single(C2rpq::new(
         3,

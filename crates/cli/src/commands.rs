@@ -53,9 +53,7 @@ fn parse_flags(args: &[String]) -> Result<(HashMap<String, String>, Vec<String>)
                 flags.insert("dot".to_owned(), "true".to_owned());
                 i += 1;
             } else {
-                let val = args
-                    .get(i + 1)
-                    .ok_or_else(|| format!("flag --{name} needs a value"))?;
+                let val = args.get(i + 1).ok_or_else(|| format!("flag --{name} needs a value"))?;
                 flags.insert(name.to_owned(), val.clone());
                 i += 2;
             }
@@ -68,10 +66,7 @@ fn parse_flags(args: &[String]) -> Result<(HashMap<String, String>, Vec<String>)
 }
 
 fn need<'a>(flags: &'a HashMap<String, String>, name: &str) -> Result<&'a str, String> {
-    flags
-        .get(name)
-        .map(|s| s.as_str())
-        .ok_or_else(|| format!("missing required flag --{name}"))
+    flags.get(name).map(|s| s.as_str()).ok_or_else(|| format!("missing required flag --{name}"))
 }
 
 /// Runs a command line (without the leading program name) against `read`,
@@ -98,9 +93,7 @@ fn run_inner(
     let opts = ContainmentOptions::default();
 
     let lookup_schema = |file: &GtsFile, name: &str| -> Result<gts_core::schema::Schema, String> {
-        file.schema(name)
-            .cloned()
-            .ok_or_else(|| format!("no schema named `{name}` in {path}"))
+        file.schema(name).cloned().ok_or_else(|| format!("no schema named `{name}` in {path}"))
     };
     let lookup_transform =
         |file: &GtsFile, name: &str| -> Result<gts_core::Transformation, String> {
@@ -216,9 +209,7 @@ fn run_inner(
                     &mut rng,
                 ) {
                     Ok(Some(cex)) => {
-                        o.output.push_str(
-                            "# a conforming graph where P answers and Q does not:\n",
-                        );
+                        o.output.push_str("# a conforming graph where P answers and Q does not:\n");
                         o.output.push_str(&print::raw_graph_block(
                             "Counterexample",
                             &cex.graph,
@@ -227,8 +218,7 @@ fn run_inner(
                         if !cex.tuple.is_empty() {
                             let t: Vec<String> =
                                 cex.tuple.iter().map(|n| format!("n{}", n.0)).collect();
-                            o.output
-                                .push_str(&format!("# witness tuple: ({})\n", t.join(", ")));
+                            o.output.push_str(&format!("# witness tuple: ({})\n", t.join(", ")));
                         }
                     }
                     _ => {
@@ -255,9 +245,8 @@ fn run_inner(
                     .ok_or_else(|| format!("unknown node label `{name}`"))?;
                 literals.insert(l.0);
             }
-            let report =
-                gts_core::check_literal_safety(&t, &s, &literals, &mut file.vocab, &opts)
-                    .map_err(|e| format!("literal safety check failed: {e:?}"))?;
+            let report = gts_core::check_literal_safety(&t, &s, &literals, &mut file.vocab, &opts)
+                .map_err(|e| format!("literal safety check failed: {e:?}"))?;
             let d = report.decision();
             let mut o = verdict_outcome("literal safety", d.holds, d.certified);
             for v in &report.violations {
@@ -278,9 +267,5 @@ fn seeded_rng() -> rand::rngs::StdRng {
 fn verdict_outcome(what: &str, holds: bool, certified: bool) -> Outcome {
     let verdict = if holds { "HOLDS" } else { "FAILS" };
     let cert = if certified { "certified" } else { "uncertified — raise budgets" };
-    Outcome {
-        code: i32::from(!holds),
-        output: format!("{what}: {verdict} ({cert})\n"),
-    }
+    Outcome { code: i32::from(!holds), output: format!("{what}: {verdict} ({cert})\n") }
 }
-

@@ -349,13 +349,10 @@ mod tests {
 
     #[test]
     fn lexes_inverse_forms() {
-        assert_eq!(kinds("r^- s⁻"), vec![
-            Tok::Ident("r".into()),
-            Tok::Inv,
-            Tok::Ident("s".into()),
-            Tok::Inv,
-            Tok::Eof,
-        ]);
+        assert_eq!(
+            kinds("r^- s⁻"),
+            vec![Tok::Ident("r".into()), Tok::Inv, Tok::Ident("s".into()), Tok::Inv, Tok::Eof,]
+        );
     }
 
     #[test]

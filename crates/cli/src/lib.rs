@@ -123,10 +123,8 @@ query Direct(x, y) {
 
     #[test]
     fn cli_type_check_passes_against_s1() {
-        let out = run(
-            &args("check mem.gts --transform T0 --source S0 --target S1"),
-            &read_mem(MEDICAL),
-        );
+        let out =
+            run(&args("check mem.gts --transform T0 --source S0 --target S1"), &read_mem(MEDICAL));
         assert_eq!(out.code, 0, "{}", out.output);
         assert!(out.output.contains("HOLDS"));
         assert!(out.output.contains("certified"));
@@ -135,10 +133,8 @@ query Direct(x, y) {
     #[test]
     fn cli_type_check_fails_against_s0() {
         // S0 has no `targets` edge label: type checking must fail.
-        let out = run(
-            &args("check mem.gts --transform T0 --source S0 --target S0"),
-            &read_mem(MEDICAL),
-        );
+        let out =
+            run(&args("check mem.gts --transform T0 --source S0 --target S0"), &read_mem(MEDICAL));
         assert_eq!(out.code, 1, "{}", out.output);
         assert!(out.output.contains("FAILS"));
     }
@@ -146,15 +142,11 @@ query Direct(x, y) {
     #[test]
     fn cli_containment_on_queries() {
         // Direct ⊆ Targets, but not the other way (crossReacting exists).
-        let out = run(
-            &args("contains mem.gts --p Direct --q Targets --schema S0"),
-            &read_mem(MEDICAL),
-        );
+        let out =
+            run(&args("contains mem.gts --p Direct --q Targets --schema S0"), &read_mem(MEDICAL));
         assert_eq!(out.code, 0, "{}", out.output);
-        let out2 = run(
-            &args("contains mem.gts --p Targets --q Direct --schema S0"),
-            &read_mem(MEDICAL),
-        );
+        let out2 =
+            run(&args("contains mem.gts --p Targets --q Direct --schema S0"), &read_mem(MEDICAL));
         assert_eq!(out2.code, 1, "{}", out2.output);
         assert!(out2.output.contains("graph Counterexample"), "{}", out2.output);
         assert!(out2.output.contains("witness tuple"), "{}", out2.output);
@@ -184,10 +176,7 @@ query Direct(x, y) {
 
     #[test]
     fn cli_equivalence_self() {
-        let out = run(
-            &args("equiv mem.gts --t1 T0 --t2 T0 --source S0"),
-            &read_mem(MEDICAL),
-        );
+        let out = run(&args("equiv mem.gts --t1 T0 --t2 T0 --source S0"), &read_mem(MEDICAL));
         assert_eq!(out.code, 0, "{}", out.output);
     }
 
@@ -234,21 +223,13 @@ transform Good { Price(f(x)) <- (Price)(x) }
 transform Bad { Price(f(x)) <- (Product)(x) }
 "#;
         let read = move |_p: &str| Ok(src.to_owned());
-        let ok = run(
-            &args("safety mem.gts --transform Good --source S --literals Price"),
-            &read,
-        );
+        let ok = run(&args("safety mem.gts --transform Good --source S --literals Price"), &read);
         assert_eq!(ok.code, 0, "{}", ok.output);
-        let bad = run(
-            &args("safety mem.gts --transform Bad --source S --literals Price"),
-            &read,
-        );
+        let bad = run(&args("safety mem.gts --transform Bad --source S --literals Price"), &read);
         assert_eq!(bad.code, 1, "{}", bad.output);
         assert!(bad.output.contains("SourceNotLiteral"), "{}", bad.output);
-        let unknown = run(
-            &args("safety mem.gts --transform Bad --source S --literals Nope"),
-            &read,
-        );
+        let unknown =
+            run(&args("safety mem.gts --transform Bad --source S --literals Nope"), &read);
         assert_eq!(unknown.code, 2);
     }
 

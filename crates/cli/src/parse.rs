@@ -292,9 +292,8 @@ impl Parser {
                     s.set_edge(a, r, b, m_out, m_in);
                 }
                 other => {
-                    return self.err(format!(
-                        "expected `node` or `edge` in schema body, found `{other}`"
-                    ))
+                    return self
+                        .err(format!("expected `node` or `edge` in schema body, found `{other}`"))
                 }
             }
         }
@@ -349,9 +348,7 @@ impl Parser {
         // Free variables in head order.
         let free_names: Vec<String> = match &h {
             Head::Node { args, .. } => args.clone(),
-            Head::Edge { src, tgt, .. } => {
-                src.1.iter().chain(tgt.1.iter()).cloned().collect()
-            }
+            Head::Edge { src, tgt, .. } => src.1.iter().chain(tgt.1.iter()).cloned().collect(),
         };
         let mut vars: HashMap<String, Var> = HashMap::new();
         for n in &free_names {
@@ -574,11 +571,8 @@ impl Parser {
         self.next(); // `query`
         let name = self.ident()?;
         self.expect(Tok::LParen)?;
-        let free_names = if self.peek().kind == Tok::RParen {
-            Vec::new()
-        } else {
-            self.var_names()?
-        };
+        let free_names =
+            if self.peek().kind == Tok::RParen { Vec::new() } else { self.var_names()? };
         self.expect(Tok::RParen)?;
         self.expect(Tok::LBrace)?;
         let mut vars: HashMap<String, Var> = HashMap::new();
@@ -603,4 +597,3 @@ impl Parser {
         Ok(())
     }
 }
-

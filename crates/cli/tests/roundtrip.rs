@@ -35,8 +35,7 @@ fn render_parts(
 fn assert_fixpoint(src: &str) {
     let f1 = GtsFile::parse(src).unwrap_or_else(|e| panic!("parse failed: {e}\n---\n{src}"));
     let once = render_file(&f1);
-    let f2 = GtsFile::parse(&once)
-        .unwrap_or_else(|e| panic!("re-parse failed: {e}\n---\n{once}"));
+    let f2 = GtsFile::parse(&once).unwrap_or_else(|e| panic!("re-parse failed: {e}\n---\n{once}"));
     let twice = render_file(&f2);
     assert_eq!(once, twice, "rendering is not a fixpoint\n---\n{src}");
 }
@@ -112,10 +111,8 @@ fn nre_strategy() -> impl Strategy<Value = Nre> {
     ];
     leaf.prop_recursive(4, 32, 2, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Nre::Concat(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Nre::Alt(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Nre::Concat(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Nre::Alt(Box::new(a), Box::new(b))),
             inner.clone().prop_map(|a| Nre::Star(Box::new(a))),
             inner.prop_map(|a| Nre::Nest(Box::new(a))),
         ]

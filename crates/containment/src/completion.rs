@@ -116,11 +116,8 @@ pub fn complete(
                         role: r.inv(),
                         rhs: nodes[a].clone(),
                     };
-                    let cap = HornCi::AtMostOne {
-                        lhs: nodes[a].clone(),
-                        role: r,
-                        rhs: nodes[b].clone(),
-                    };
+                    let cap =
+                        HornCi::AtMostOne { lhs: nodes[a].clone(), role: r, rhs: nodes[b].clone() };
                     for ci in [rev, cap] {
                         if !t.cis.contains(&ci) {
                             new_cis.push(ci);
@@ -150,14 +147,15 @@ pub fn complete(
 fn type_universe(t: &HornTbox, schema_labels: &LabelSet, cap: usize) -> (Vec<LabelSet>, bool) {
     let mut seen: FxHashMap<LabelSet, ()> = FxHashMap::default();
     let mut nodes: Vec<LabelSet> = Vec::new();
-    let push = |set: Option<LabelSet>, nodes: &mut Vec<LabelSet>, seen: &mut FxHashMap<LabelSet, ()>| {
-        if let Some(s) = set {
-            if !seen.contains_key(&s) {
-                seen.insert(s.clone(), ());
-                nodes.push(s);
+    let push =
+        |set: Option<LabelSet>, nodes: &mut Vec<LabelSet>, seen: &mut FxHashMap<LabelSet, ()>| {
+            if let Some(s) = set {
+                if !seen.contains_key(&s) {
+                    seen.insert(s.clone(), ());
+                    nodes.push(s);
+                }
             }
-        }
-    };
+        };
     push(t.closure(&LabelSet::new()), &mut nodes, &mut seen);
     for l in schema_labels.iter() {
         push(t.closure(&LabelSet::singleton(l)), &mut nodes, &mut seen);
@@ -266,7 +264,13 @@ mod tests {
         t.push(HornCi::SubAtom { lhs: LabelSet::new(), rhs: a });
         t.push(HornCi::Exists { lhs: set(&[0]), role: sym(0), rhs: set(&[0]) });
         t.push(HornCi::AtMostOne { lhs: set(&[0]), role: sym(0).inv(), rhs: set(&[0]) });
-        let result = complete(&t, &set(&[0]), fresh(&mut v), &Budget::default(), &CompletionConfig::default());
+        let result = complete(
+            &t,
+            &set(&[0]),
+            fresh(&mut v),
+            &Budget::default(),
+            &CompletionConfig::default(),
+        );
         assert!(result.complete);
         assert!(result.added >= 2);
         assert!(result.tbox.cis.contains(&HornCi::Exists {
@@ -293,7 +297,13 @@ mod tests {
         t.push(HornCi::AtMostOne { lhs: set(&[1]), role: sym(0).inv(), rhs: set(&[0]) });
         t.push(HornCi::Exists { lhs: set(&[1]), role: sym(1), rhs: set(&[0]) });
         t.push(HornCi::AtMostOne { lhs: set(&[0]), role: sym(1).inv(), rhs: set(&[1]) });
-        let result = complete(&t, &set(&[0, 1]), fresh(&mut v), &Budget::default(), &CompletionConfig::default());
+        let result = complete(
+            &t,
+            &set(&[0, 1]),
+            fresh(&mut v),
+            &Budget::default(),
+            &CompletionConfig::default(),
+        );
         assert!(result.complete);
         assert!(result.tbox.cis.contains(&HornCi::Exists {
             lhs: set(&[1]),
@@ -315,7 +325,13 @@ mod tests {
         let _a = v.node_label("A");
         let mut t = HornTbox::new();
         t.push(HornCi::Exists { lhs: set(&[0]), role: sym(0), rhs: set(&[0]) });
-        let result = complete(&t, &set(&[0]), fresh(&mut v), &Budget::default(), &CompletionConfig::default());
+        let result = complete(
+            &t,
+            &set(&[0]),
+            fresh(&mut v),
+            &Budget::default(),
+            &CompletionConfig::default(),
+        );
         assert!(result.complete);
         assert_eq!(result.added, 0);
         assert_eq!(result.tbox, t);
@@ -330,7 +346,13 @@ mod tests {
         t.push(HornCi::SubAtom { lhs: LabelSet::new(), rhs: NodeLabel(0) });
         t.push(HornCi::Exists { lhs: set(&[0]), role: sym(0), rhs: set(&[0]) });
         t.push(HornCi::AtMostOne { lhs: set(&[0]), role: sym(0).inv(), rhs: set(&[0]) });
-        let once = complete(&t, &set(&[0]), fresh(&mut v), &Budget::default(), &CompletionConfig::default());
+        let once = complete(
+            &t,
+            &set(&[0]),
+            fresh(&mut v),
+            &Budget::default(),
+            &CompletionConfig::default(),
+        );
         let twice = complete(
             &once.tbox,
             &set(&[0]),

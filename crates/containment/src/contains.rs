@@ -96,12 +96,7 @@ pub(crate) fn contains_lowered(
     // settles reflexive containments of queries with infinite languages
     // without touching the engine.)
     let p = Uc2rpq {
-        disjuncts: p
-            .disjuncts
-            .iter()
-            .filter(|d| !q.disjuncts.contains(d))
-            .cloned()
-            .collect(),
+        disjuncts: p.disjuncts.iter().filter(|d| !q.disjuncts.contains(d)).cloned().collect(),
     };
     // The empty union is contained in everything.
     if p.disjuncts.is_empty() {

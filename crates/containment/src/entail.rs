@@ -83,9 +83,7 @@ impl<'t> EntailCtx<'t> {
             role: role.inv(),
             rhs: LabelSet::singleton(self.fresh_b2.0),
         });
-        t.push(HornCi::Bottom {
-            lhs: LabelSet::from_iter([self.fresh_b.0, self.fresh_b2.0]),
-        });
+        t.push(HornCi::Bottom { lhs: LabelSet::from_iter([self.fresh_b.0, self.fresh_b2.0]) });
         let mut tests = k.clone();
         tests.insert(self.fresh_b.0);
         let q = C2rpq::new(
@@ -141,9 +139,7 @@ impl<'t> EntailCtx<'t> {
         // Exact check via Corollary E.7: two R-steps into K'-nodes marked
         // B and B' respectively, with B⊓B' ⊑ ⊥.
         let mut t = self.tbox.clone();
-        t.push(HornCi::Bottom {
-            lhs: LabelSet::from_iter([self.fresh_b.0, self.fresh_b2.0]),
-        });
+        t.push(HornCi::Bottom { lhs: LabelSet::from_iter([self.fresh_b.0, self.fresh_b2.0]) });
         let step = |marker: NodeLabel| {
             let mut tgt = kp.clone();
             tgt.insert(marker.0);
@@ -236,17 +232,11 @@ mod tests {
         let ctx = EntailCtx::new(&t, fresh(&mut v), Budget::default());
         assert!(ctx.entails_at_most_one(&set(&[0]), sym(0), &set(&[1])).unwrap());
         // Counting a *larger* conjunction (fewer successors) stays ≤ 1.
-        assert!(ctx
-            .entails_at_most_one(&set(&[0]), sym(0), &set(&[1, 0]))
-            .unwrap());
+        assert!(ctx.entails_at_most_one(&set(&[0]), sym(0), &set(&[1, 0])).unwrap());
         // Counting a smaller conjunction (more successors) is not entailed.
-        assert!(!ctx
-            .entails_at_most_one(&set(&[0]), sym(0), &LabelSet::new())
-            .unwrap());
+        assert!(!ctx.entails_at_most_one(&set(&[0]), sym(0), &LabelSet::new()).unwrap());
         // Unconstrained premise is not entailed.
-        assert!(!ctx
-            .entails_at_most_one(&set(&[1]), sym(0), &set(&[1]))
-            .unwrap());
+        assert!(!ctx.entails_at_most_one(&set(&[1]), sym(0), &set(&[1])).unwrap());
     }
 
     #[test]

@@ -83,11 +83,8 @@ mod tests {
         let re = Regex::edge(r);
         let hat = hat_regex(&re, &s);
         // The guarded expression requires labeled endpoints.
-        let word_ok = vec![
-            AtomSym::Node(a),
-            AtomSym::Edge(gts_graph::EdgeSym::fwd(r)),
-            AtomSym::Node(b),
-        ];
+        let word_ok =
+            vec![AtomSym::Node(a), AtomSym::Edge(gts_graph::EdgeSym::fwd(r)), AtomSym::Node(b)];
         assert!(hat.matches(&word_ok));
         assert!(!hat.matches(&[AtomSym::Edge(gts_graph::EdgeSym::fwd(r))]));
     }
@@ -103,11 +100,8 @@ mod tests {
         let re = Regex::edge(foreign).or(Regex::edge(r));
         let hat = hat_regex(&re, &s);
         // The `foreign` branch is dead; only the guarded `r` survives.
-        let word = vec![
-            AtomSym::Node(a),
-            AtomSym::Edge(gts_graph::EdgeSym::fwd(r)),
-            AtomSym::Node(a),
-        ];
+        let word =
+            vec![AtomSym::Node(a), AtomSym::Edge(gts_graph::EdgeSym::fwd(r)), AtomSym::Node(a)];
         assert!(hat.matches(&word));
         assert!(!hat.matches(&[AtomSym::Edge(gts_graph::EdgeSym::fwd(foreign))]));
     }
@@ -122,11 +116,7 @@ mod tests {
         let r = v.edge_label("r");
         let mut s = Schema::new();
         s.set_edge(a, r, b, Mult::Star, Mult::Star);
-        let q = C2rpq::new(
-            2,
-            vec![],
-            vec![Atom { x: Var(0), y: Var(1), regex: Regex::edge(r) }],
-        );
+        let q = C2rpq::new(2, vec![], vec![Atom { x: Var(0), y: Var(1), regex: Regex::edge(r) }]);
         let hat = hat_query(&q, &s);
         let mut g = Graph::new();
         let n0 = g.add_labeled_node([a]);

@@ -41,9 +41,9 @@ mod entail;
 mod hatp;
 mod nre;
 mod oracle;
+mod rollup;
 mod tbox_containment;
 mod witness;
-mod rollup;
 
 pub use booleanize::{booleanize, Booleanized};
 pub use completion::{complete, Completion, CompletionConfig};
@@ -53,13 +53,13 @@ pub use contains::{
 pub use entail::EntailCtx;
 pub use hatp::{hat_query, hat_regex, hat_union};
 pub use nre::{contains_nre, nest_tbox};
-pub use tbox_containment::{contains_finite_modulo_tbox, finitely_satisfiable_modulo_tbox};
-pub use witness::{
-    finite_counterexample, finite_counterexample_nre, sample_counterexample,
-    FiniteCounterexample, WitnessConfig,
-};
 pub use oracle::{
     assert_consistent_with_oracle, counterexample_by_sampling, counterexample_exhaustive,
     is_counterexample,
 };
 pub use rollup::{rollup_component, rollup_negation, Rollup, RollupError};
+pub use tbox_containment::{contains_finite_modulo_tbox, finitely_satisfiable_modulo_tbox};
+pub use witness::{
+    finite_counterexample, finite_counterexample_nre, sample_counterexample, FiniteCounterexample,
+    WitnessConfig,
+};

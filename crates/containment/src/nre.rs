@@ -42,9 +42,7 @@ pub fn nest_tbox(table: &NestTable, vocab: &mut Vocab) -> (HornTbox, LabelSet) {
     for (label, inner) in &table.entries {
         fresh.insert(label.0);
         let nfa = Nfa::from_regex(inner);
-        let states: Vec<_> = (0..nfa.num_states())
-            .map(|_| vocab.fresh_node_label("f"))
-            .collect();
+        let states: Vec<_> = (0..nfa.num_states()).map(|_| vocab.fresh_node_label("f")).collect();
         for &s in &states {
             fresh.insert(s.0);
         }
@@ -152,11 +150,7 @@ mod tests {
         let likes = v.edge_label("likes");
         let follows = v.edge_label("follows");
         let nre = Nre::edge(follows).then(Nre::nest(Nre::edge(likes)));
-        NreUc2rpq::single(NreC2rpq::new(
-            2,
-            vec![],
-            vec![NreAtom { x: Var(0), y: Var(1), nre }],
-        ))
+        NreUc2rpq::single(NreC2rpq::new(2, vec![], vec![NreAtom { x: Var(0), y: Var(1), nre }]))
     }
 
     /// P1 = ∃x,y,z. follows(x,y) ∧ likes(y,z) — flat witness of Q.
@@ -251,10 +245,7 @@ mod tests {
         ));
         let q = q_follows_liker(&mut v);
         let err = contains_nre(&p, &q, &s, &mut v, &Default::default()).unwrap_err();
-        assert_eq!(
-            err,
-            ContainmentError::Flatten(gts_query::FlattenError::NestUnderStar)
-        );
+        assert_eq!(err, ContainmentError::Flatten(gts_query::FlattenError::NestUnderStar));
     }
 
     #[test]
@@ -336,8 +327,7 @@ mod tests {
             // Materialized label extension == nodes satisfying the nest.
             // datalog_satisfies only reports satisfiability; recompute the
             // least valuation by hand via closure-style iteration.
-            let mut labels: Vec<LabelSet> =
-                g.nodes().map(|u| g.labels(u).clone()).collect();
+            let mut labels: Vec<LabelSet> = g.nodes().map(|u| g.labels(u).clone()).collect();
             loop {
                 let mut changed = false;
                 for ci in &tbox.cis {

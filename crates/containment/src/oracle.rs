@@ -195,8 +195,7 @@ mod tests {
         let p_top = Uc2rpq::single(C2rpq::new(1, vec![], vec![]));
         // ∃x.⊤ ⊄ r-query? On a single node with no edges, P holds (Boolean
         // vs arity mismatch aside this sanity-checks the enumerator).
-        let (cex, complete) =
-            counterexample_exhaustive(&p_top, &qr.clone(), &s, 1, 500_000);
+        let (cex, complete) = counterexample_exhaustive(&p_top, &qr.clone(), &s, 1, 500_000);
         assert!(complete);
         assert!(cex.is_some());
     }

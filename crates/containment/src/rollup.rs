@@ -133,9 +133,19 @@ pub fn rollup_component(
         for &i in &tree_atoms {
             let a = &q.atoms[i];
             if depth[&a.y] < depth[&a.x] {
-                exprs.push(Expr { source: a.x, target: a.y, regex: a.regex.clone(), decoration: false });
+                exprs.push(Expr {
+                    source: a.x,
+                    target: a.y,
+                    regex: a.regex.clone(),
+                    decoration: false,
+                });
             } else {
-                exprs.push(Expr { source: a.y, target: a.x, regex: a.regex.reverse(), decoration: false });
+                exprs.push(Expr {
+                    source: a.y,
+                    target: a.x,
+                    regex: a.regex.reverse(),
+                    decoration: false,
+                });
             }
         }
     }
@@ -185,9 +195,7 @@ pub fn rollup_component(
         if exprs[ei].decoration {
             return Vec::new();
         }
-        (0..exprs.len())
-            .filter(|&fi| fi != ei && exprs[fi].target == exprs[ei].source)
-            .collect()
+        (0..exprs.len()).filter(|&fi| fi != ei && exprs[fi].target == exprs[ei].source).collect()
     };
 
     // (3): initial-state seeding per expression.
@@ -234,9 +242,7 @@ fn seed_combos(
     tbox: &mut HornTbox,
 ) {
     if combo.len() == children.len() {
-        let lhs = LabelSet::from_iter(
-            combo.iter().zip(children).map(|(&f, &c)| states[&(c, f)].0),
-        );
+        let lhs = LabelSet::from_iter(combo.iter().zip(children).map(|(&f, &c)| states[&(c, f)].0));
         tbox.push(HornCi::SubAtom { lhs, rhs: init });
         return;
     }
@@ -258,9 +264,8 @@ fn deny_combos(
     tbox: &mut HornTbox,
 ) {
     if combo.len() == root_exprs.len() {
-        let lhs = LabelSet::from_iter(
-            combo.iter().zip(root_exprs).map(|(&f, &c)| states[&(c, f)].0),
-        );
+        let lhs =
+            LabelSet::from_iter(combo.iter().zip(root_exprs).map(|(&f, &c)| states[&(c, f)].0));
         tbox.push(HornCi::Bottom { lhs });
         return;
     }
@@ -338,9 +343,7 @@ mod tests {
         let (choices, states) = rollup_negation(q, vocab).unwrap();
         for (gi, g) in graphs.iter().enumerate() {
             let not_q = !q.holds(g);
-            let refuted = choices
-                .iter()
-                .any(|t| datalog_satisfies(t, g, &states) == Some(true));
+            let refuted = choices.iter().any(|t| datalog_satisfies(t, g, &states) == Some(true));
             assert_eq!(not_q, refuted, "rollup disagrees with evaluation on graph {gi}");
         }
     }
@@ -362,11 +365,7 @@ mod tests {
                 },
                 Atom { x: Var(1), y: Var(1), regex: Regex::node(la) },
                 Atom { x: Var(3), y: Var(1), regex: Regex::Epsilon },
-                Atom {
-                    x: Var(1),
-                    y: Var(0),
-                    regex: Regex::sym(gts_graph::EdgeSym::bwd(a)),
-                },
+                Atom { x: Var(1), y: Var(0), regex: Regex::sym(gts_graph::EdgeSym::bwd(a)) },
             ],
         )
     }
@@ -534,9 +533,7 @@ mod tests {
         let b = g.add_node();
         g.add_edge(a, r, b);
         assert!(!q.holds(&g));
-        assert!(choices
-            .iter()
-            .any(|t| datalog_satisfies(t, &g, &states) == Some(true)));
+        assert!(choices.iter().any(|t| datalog_satisfies(t, &g, &states) == Some(true)));
         // Graph with both edges: Q holds → no choice satisfied.
         let mut g2 = Graph::new();
         let a2 = g2.add_node();
@@ -546,9 +543,7 @@ mod tests {
         g2.add_edge(a2, r, b2);
         g2.add_edge(c2, s, d2);
         assert!(q.holds(&g2));
-        assert!(!choices
-            .iter()
-            .any(|t| datalog_satisfies(t, &g2, &states) == Some(true)));
+        assert!(!choices.iter().any(|t| datalog_satisfies(t, &g2, &states) == Some(true)));
     }
 
     #[test]
@@ -571,11 +566,7 @@ mod tests {
         let q = Uc2rpq::single(C2rpq::new(
             2,
             vec![],
-            vec![Atom {
-                x: Var(0),
-                y: Var(1),
-                regex: Regex::sym(gts_graph::EdgeSym::bwd(r)),
-            }],
+            vec![Atom { x: Var(0), y: Var(1), regex: Regex::sym(gts_graph::EdgeSym::bwd(r)) }],
         ));
         let mut g = Graph::new();
         let n0 = g.add_node();
@@ -593,11 +584,7 @@ mod tests {
         let q = Uc2rpq::single(C2rpq::new(
             2,
             vec![],
-            vec![Atom {
-                x: Var(0),
-                y: Var(1),
-                regex: Regex::edge(r).then(Regex::edge(s).star()),
-            }],
+            vec![Atom { x: Var(0), y: Var(1), regex: Regex::edge(r).then(Regex::edge(s).star()) }],
         ));
         let mut graphs = Vec::new();
         for chain in 0..3 {

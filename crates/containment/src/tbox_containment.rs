@@ -40,12 +40,7 @@ pub fn contains_finite_modulo_tbox(
         return Err(ContainmentError::NotBoolean);
     }
     let p = Uc2rpq {
-        disjuncts: p
-            .disjuncts
-            .iter()
-            .filter(|d| !q.disjuncts.contains(d))
-            .cloned()
-            .collect(),
+        disjuncts: p.disjuncts.iter().filter(|d| !q.disjuncts.contains(d)).cloned().collect(),
     };
     if p.disjuncts.is_empty() {
         return Ok(ContainmentAnswer { holds: true, certified: true, witness: None });
@@ -132,16 +127,8 @@ mod tests {
         let r = v.edge_label("r");
         let mut t = HornTbox::new();
         t.push(HornCi::SubAtom { lhs: LabelSet::new(), rhs: a });
-        t.push(HornCi::Exists {
-            lhs: set(&[a]),
-            role: EdgeSym::fwd(s),
-            rhs: set(&[a]),
-        });
-        t.push(HornCi::AtMostOne {
-            lhs: set(&[a]),
-            role: EdgeSym::bwd(s),
-            rhs: set(&[a]),
-        });
+        t.push(HornCi::Exists { lhs: set(&[a]), role: EdgeSym::fwd(s), rhs: set(&[a]) });
+        t.push(HornCi::AtMostOne { lhs: set(&[a]), role: EdgeSym::bwd(s), rhs: set(&[a]) });
         let p = Uc2rpq::single(C2rpq::new(
             1,
             vec![],
@@ -157,8 +144,7 @@ mod tests {
                 regex: Regex::edge(r).then(splus).then(Regex::edge(r)),
             }],
         ));
-        let ans =
-            contains_finite_modulo_tbox(&p, &q, &t, &mut v, &Default::default()).unwrap();
+        let ans = contains_finite_modulo_tbox(&p, &q, &t, &mut v, &Default::default()).unwrap();
         assert!(ans.holds, "finite containment holds via cycle reversal");
         assert!(ans.certified);
 
@@ -167,13 +153,8 @@ mod tests {
         // extra nodes are allowed), so containment fails.
         let mut t2 = HornTbox::new();
         t2.push(HornCi::SubAtom { lhs: LabelSet::new(), rhs: a });
-        t2.push(HornCi::Exists {
-            lhs: set(&[a]),
-            role: EdgeSym::fwd(s),
-            rhs: set(&[a]),
-        });
-        let ans2 =
-            contains_finite_modulo_tbox(&p, &q, &t2, &mut v, &Default::default()).unwrap();
+        t2.push(HornCi::Exists { lhs: set(&[a]), role: EdgeSym::fwd(s), rhs: set(&[a]) });
+        let ans2 = contains_finite_modulo_tbox(&p, &q, &t2, &mut v, &Default::default()).unwrap();
         assert!(!ans2.holds);
         assert!(ans2.certified);
     }
@@ -191,18 +172,10 @@ mod tests {
         let mut t = HornTbox::new();
         t.push(HornCi::Exists { lhs: set(&[a]), role: EdgeSym::fwd(s), rhs: set(&[b]) });
         t.push(HornCi::Exists { lhs: set(&[b]), role: EdgeSym::fwd(s), rhs: set(&[b]) });
-        t.push(HornCi::AtMostOne {
-            lhs: set(&[b]),
-            role: EdgeSym::bwd(s),
-            rhs: LabelSet::new(),
-        });
+        t.push(HornCi::AtMostOne { lhs: set(&[b]), role: EdgeSym::bwd(s), rhs: LabelSet::new() });
         t.push(HornCi::Bottom { lhs: set(&[a, b]) });
 
-        let p = C2rpq::new(
-            1,
-            vec![],
-            vec![Atom { x: Var(0), y: Var(0), regex: Regex::node(a) }],
-        );
+        let p = C2rpq::new(1, vec![], vec![Atom { x: Var(0), y: Var(0), regex: Regex::node(a) }]);
         // Unrestricted: an infinite s-chain works.
         let verdict = decide(&t, &p, &Budget::default());
         assert!(verdict.is_sat(), "unrestrictedly satisfiable via infinite chain");
@@ -213,11 +186,7 @@ mod tests {
         assert!(cert);
         // Sanity: ∃x.B(x) alone (without the A-seed) IS finitely
         // satisfiable — a pure B-cycle.
-        let pb = C2rpq::new(
-            1,
-            vec![],
-            vec![Atom { x: Var(0), y: Var(0), regex: Regex::node(b) }],
-        );
+        let pb = C2rpq::new(1, vec![], vec![Atom { x: Var(0), y: Var(0), regex: Regex::node(b) }]);
         let (sat_b, cert_b) =
             finitely_satisfiable_modulo_tbox(&pb, &t, &mut v, &Default::default()).unwrap();
         assert!(sat_b && cert_b);
@@ -261,8 +230,8 @@ mod tests {
             vec![Var(0)],
             vec![Atom { x: Var(0), y: Var(1), regex: Regex::edge(r) }],
         ));
-        let err = contains_finite_modulo_tbox(&free, &free, &t, &mut v, &Default::default())
-            .unwrap_err();
+        let err =
+            contains_finite_modulo_tbox(&free, &free, &t, &mut v, &Default::default()).unwrap_err();
         assert_eq!(err, ContainmentError::NotBoolean);
     }
 
@@ -288,8 +257,9 @@ mod tests {
         let ans = contains_finite_modulo_tbox(&p, &q, &t, &mut v, &Default::default()).unwrap();
         assert!(ans.holds && ans.certified);
         // Without the TBox it fails.
-        let ans2 = contains_finite_modulo_tbox(&p, &q, &HornTbox::new(), &mut v, &Default::default())
-            .unwrap();
+        let ans2 =
+            contains_finite_modulo_tbox(&p, &q, &HornTbox::new(), &mut v, &Default::default())
+                .unwrap();
         assert!(!ans2.holds && ans2.certified);
     }
 }

@@ -79,12 +79,7 @@ pub fn finite_counterexample<R: Rng>(
     rng: &mut R,
 ) -> Result<Option<FiniteCounterexample>, ContainmentError> {
     let p_pruned = Uc2rpq {
-        disjuncts: p
-            .disjuncts
-            .iter()
-            .filter(|d| !q.disjuncts.contains(d))
-            .cloned()
-            .collect(),
+        disjuncts: p.disjuncts.iter().filter(|d| !q.disjuncts.contains(d)).cloned().collect(),
     };
     if p_pruned.disjuncts.is_empty() {
         return Ok(None);
@@ -167,9 +162,7 @@ pub fn sample_counterexample<R: Rng>(
     rng: &mut R,
 ) -> Option<FiniteCounterexample> {
     for _ in 0..cfg.samples {
-        if let Some(g) =
-            gts_schema::random_conforming_graph(s, cfg.sample_size_per_label, 3, rng)
-        {
+        if let Some(g) = gts_schema::random_conforming_graph(s, cfg.sample_size_per_label, 3, rng) {
             if is_counterexample(p, q, &g) {
                 let qa = q.eval(&g);
                 let tuple = p.eval(&g).into_iter().find(|t| !qa.contains(t))?;
@@ -210,9 +203,7 @@ fn repair_core<R: Rng>(
     let mut tuple = Vec::with_capacity(markers.len());
     for (i, &x) in markers.iter().enumerate() {
         let marker_node = core.nodes().find(|&u| core.has_label(u, x))?;
-        let pinned = core
-            .successors(marker_node, EdgeSym::fwd(marker_edges[i]))
-            .next()?;
+        let pinned = core.successors(marker_node, EdgeSym::fwd(marker_edges[i])).next()?;
         tuple.push(*map.get(&pinned)?);
     }
     for (src, label, tgt) in core.edges() {
@@ -236,9 +227,7 @@ fn repair_core<R: Rng>(
             .filter(|&w| !has_sym_edge(&g, u, sym, w))
             .filter(|&w| match allowed_in {
                 Mult::Star | Mult::Plus => true,
-                Mult::One | Mult::Opt => {
-                    g.count_labeled_successors(w, sym.inv(), a) == 0
-                }
+                Mult::One | Mult::Opt => g.count_labeled_successors(w, sym.inv(), a) == 0,
                 Mult::Zero => false,
             })
             .collect();
@@ -377,11 +366,7 @@ mod tests {
         let wide = Uc2rpq::single(C2rpq::new(
             2,
             vec![Var(0), Var(1)],
-            vec![Atom {
-                x: Var(0),
-                y: Var(1),
-                regex: Regex::edge(r).then(Regex::edge(r).star()),
-            }],
+            vec![Atom { x: Var(0), y: Var(1), regex: Regex::edge(r).then(Regex::edge(r).star()) }],
         ));
         let none = finite_counterexample(
             &q,

@@ -11,9 +11,7 @@
 //! containment engine (see DESIGN.md §3.2).
 
 use crate::transform::{Rule, Transformation};
-use gts_containment::{
-    contains, satisfiable_modulo_schema, ContainmentError, ContainmentOptions,
-};
+use gts_containment::{contains, satisfiable_modulo_schema, ContainmentError, ContainmentOptions};
 use gts_dl::{L0Kind, L0Statement, L0Tbox};
 use gts_graph::{EdgeSym, FxHashMap, Graph, NodeLabel, Vocab};
 use gts_query::{Atom, C2rpq, Regex, Uc2rpq, Var};
@@ -111,10 +109,7 @@ fn conjoin(qa: &C2rpq, qe: &C2rpq, shared: usize) -> (C2rpq, Vec<Var>) {
         let y = resolve(a.y, &mut map);
         atoms.push(Atom { x, y, regex: a.regex.clone() });
     }
-    let tail: Vec<Var> = qe.free[shared..]
-        .iter()
-        .map(|&v| resolve(v, &mut map))
-        .collect();
+    let tail: Vec<Var> = qe.free[shared..].iter().map(|&v| resolve(v, &mut map)).collect();
     (C2rpq::new(next, qa.free.clone(), atoms), tail)
 }
 
@@ -152,7 +147,8 @@ pub fn label_coverage(
                     }
                     let lhs = truncate_free(&qe, k);
                     let ans = contains(&lhs, &qa, s, vocab, opts)?;
-                    decision = decision.and(Decision { holds: ans.holds, certified: ans.certified });
+                    decision =
+                        decision.and(Decision { holds: ans.holds, certified: ans.certified });
                     if !decision.holds && decision.certified {
                         return Ok(decision);
                     }
@@ -240,11 +236,8 @@ fn stmt_at_most_one(
     let eps_atoms: Vec<Atom> = (0..m)
         .map(|i| Atom { x: Var(i as u32), y: Var((m + i) as u32), regex: Regex::Epsilon })
         .collect();
-    let rhs = Uc2rpq::single(C2rpq::new(
-        (2 * m) as u32,
-        (0..2 * m as u32).map(Var).collect(),
-        eps_atoms,
-    ));
+    let rhs =
+        Uc2rpq::single(C2rpq::new((2 * m) as u32, (0..2 * m as u32).map(Var).collect(), eps_atoms));
     let ans = contains(&lhs, &rhs, s, vocab, opts)?;
     Ok(Decision { holds: ans.holds, certified: ans.certified })
 }
@@ -458,10 +451,20 @@ pub fn elicit_schema(
                         l0.insert(L0Statement { lhs: a, kind: L0Kind::Exists, role: sym, rhs: b });
                     }
                     if nx.holds {
-                        l0.insert(L0Statement { lhs: a, kind: L0Kind::NotExists, role: sym, rhs: b });
+                        l0.insert(L0Statement {
+                            lhs: a,
+                            kind: L0Kind::NotExists,
+                            role: sym,
+                            rhs: b,
+                        });
                     }
                     if am.holds {
-                        l0.insert(L0Statement { lhs: a, kind: L0Kind::AtMostOne, role: sym, rhs: b });
+                        l0.insert(L0Statement {
+                            lhs: a,
+                            kind: L0Kind::AtMostOne,
+                            role: sym,
+                            rhs: b,
+                        });
                     }
                 }
             }
@@ -521,11 +524,8 @@ mod tests {
         let r = v.edge_label("r");
         let mut s = Schema::new();
         s.set_edge(a, r, a, Mult::Star, Mult::Star);
-        let unary = C2rpq::new(
-            1,
-            vec![Var(0)],
-            vec![Atom { x: Var(0), y: Var(0), regex: Regex::node(a) }],
-        );
+        let unary =
+            C2rpq::new(1, vec![Var(0)], vec![Atom { x: Var(0), y: Var(0), regex: Regex::node(a) }]);
         let binary = C2rpq::new(
             2,
             vec![Var(0), Var(1)],
@@ -664,20 +664,13 @@ mod tests {
         let mut s = Schema::new();
         s.set_edge(a, r, a, Mult::Star, Mult::Star);
         s.add_node_label(b);
-        let good = C2rpq::new(
-            1,
-            vec![Var(0)],
-            vec![Atom { x: Var(0), y: Var(0), regex: Regex::node(a) }],
-        );
+        let good =
+            C2rpq::new(1, vec![Var(0)], vec![Atom { x: Var(0), y: Var(0), regex: Regex::node(a) }]);
         // B-nodes have no r-edges under S: body unsatisfiable.
         let bad = C2rpq::new(
             2,
             vec![Var(0)],
-            vec![Atom {
-                x: Var(0),
-                y: Var(1),
-                regex: Regex::node(b).then(Regex::edge(r)),
-            }],
+            vec![Atom { x: Var(0), y: Var(1), regex: Regex::node(b).then(Regex::edge(r)) }],
         );
         let mut t = Transformation::new();
         t.add_node_rule(a, good);

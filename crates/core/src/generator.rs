@@ -75,11 +75,7 @@ pub fn random_transformation<R: Rng>(
         }
         regex = regex.then(Regex::node(cur));
         let out_edge = vocab.edge_label(&format!("out{i}"));
-        let body = C2rpq::new(
-            2,
-            vec![Var(0), Var(1)],
-            vec![Atom { x: Var(0), y: Var(1), regex }],
-        );
+        let body = C2rpq::new(2, vec![Var(0), Var(1)], vec![Atom { x: Var(0), y: Var(1), regex }]);
         t.add_edge_rule(out_edge, (src, 1), (cur, 1), body);
     }
     t

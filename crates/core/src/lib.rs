@@ -41,7 +41,7 @@ pub use analysis::{
 };
 pub use generator::{random_transformation, TransformGenConfig};
 pub use transform::{
-    medical_transformation, EdgeRule, NodeRule, Rule, Transformation, TransformError,
+    medical_transformation, EdgeRule, NodeRule, Rule, TransformError, Transformation,
 };
 pub use values::{
     apply_with_values, check_literal_safety, LiteralSafetyReport, LiteralViolation, Value,

@@ -147,9 +147,7 @@ impl Transformation {
         let mut ctor_arity: FxHashMap<NodeLabel, usize> = FxHashMap::default();
         let mut check = |label: NodeLabel, arity: usize| -> Result<(), TransformError> {
             match ctor_arity.get(&label) {
-                Some(&a) if a != arity => {
-                    Err(TransformError::InconsistentConstructor { label })
-                }
+                Some(&a) if a != arity => Err(TransformError::InconsistentConstructor { label }),
                 _ => {
                     ctor_arity.insert(label, arity);
                     Ok(())
@@ -263,11 +261,7 @@ impl Transformation {
         g: &Graph,
     ) -> (
         std::collections::BTreeSet<(NodeLabel, Vec<NodeId>)>,
-        std::collections::BTreeSet<(
-            (NodeLabel, Vec<NodeId>),
-            EdgeLabel,
-            (NodeLabel, Vec<NodeId>),
-        )>,
+        std::collections::BTreeSet<((NodeLabel, Vec<NodeId>), EdgeLabel, (NodeLabel, Vec<NodeId>))>,
     ) {
         let mut nodes = std::collections::BTreeSet::new();
         let mut edges = std::collections::BTreeSet::new();
@@ -334,9 +328,8 @@ impl Transformation {
 
     /// Renders the rules using `vocab`.
     pub fn render(&self, vocab: &Vocab) -> String {
-        let vars = |vs: &[Var]| {
-            vs.iter().map(|v| format!("x{}", v.0)).collect::<Vec<_>>().join(",")
-        };
+        let vars =
+            |vs: &[Var]| vs.iter().map(|v| format!("x{}", v.0)).collect::<Vec<_>>().join(",");
         self.rules
             .iter()
             .map(|rule| match rule {
@@ -377,11 +370,7 @@ pub fn medical_transformation(vocab: &mut Vocab) -> Transformation {
     let targets = vocab.edge_label("targets");
 
     let unary = |label: NodeLabel| {
-        C2rpq::new(
-            1,
-            vec![Var(0)],
-            vec![Atom { x: Var(0), y: Var(0), regex: Regex::node(label) }],
-        )
+        C2rpq::new(1, vec![Var(0)], vec![Atom { x: Var(0), y: Var(0), regex: Regex::node(label) }])
     };
     let binary = |re: Regex| {
         C2rpq::new(2, vec![Var(0), Var(1)], vec![Atom { x: Var(0), y: Var(1), regex: re }])
@@ -499,11 +488,8 @@ mod tests {
         let mut v = Vocab::new();
         let a = v.node_label("A");
         let r = v.edge_label("r");
-        let unary = C2rpq::new(
-            1,
-            vec![Var(0)],
-            vec![Atom { x: Var(0), y: Var(0), regex: Regex::node(a) }],
-        );
+        let unary =
+            C2rpq::new(1, vec![Var(0)], vec![Atom { x: Var(0), y: Var(0), regex: Regex::node(a) }]);
         let binary = C2rpq::new(
             2,
             vec![Var(0), Var(1)],
@@ -513,10 +499,7 @@ mod tests {
         t.add_node_rule(a, unary);
         // A's constructor is unary; using it with arity 2 is inconsistent.
         t.add_edge_rule(r, (a, 2), (a, 0), binary);
-        assert_eq!(
-            t.validate().unwrap_err(),
-            TransformError::InconsistentConstructor { label: a }
-        );
+        assert_eq!(t.validate().unwrap_err(), TransformError::InconsistentConstructor { label: a });
     }
 
     #[test]
@@ -524,11 +507,8 @@ mod tests {
         let mut v = Vocab::new();
         let a = v.node_label("A");
         let r = v.edge_label("r");
-        let cyclic = C2rpq::new(
-            1,
-            vec![Var(0)],
-            vec![Atom { x: Var(0), y: Var(0), regex: Regex::edge(r) }],
-        );
+        let cyclic =
+            C2rpq::new(1, vec![Var(0)], vec![Atom { x: Var(0), y: Var(0), regex: Regex::edge(r) }]);
         let mut t = Transformation::new();
         t.add_node_rule(a, cyclic);
         assert_eq!(t.validate().unwrap_err(), TransformError::CyclicBody { rule: 0 });
@@ -605,11 +585,7 @@ mod tests {
             vec![Var(0)],
             vec![
                 NreAtom { x: Var(0), y: Var(0), nre: Nre::node(antigen) },
-                NreAtom {
-                    x: Var(0),
-                    y: Var(0),
-                    nre: Nre::nest(Nre::sym(EdgeSym::bwd(ex))),
-                },
+                NreAtom { x: Var(0), y: Var(0), nre: Nre::nest(Nre::sym(EdgeSym::bwd(ex))) },
             ],
         );
         let mut t = Transformation::new();

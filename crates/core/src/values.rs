@@ -20,9 +20,7 @@
 use crate::analysis::{AnalysisError, Decision};
 use crate::transform::{Rule, Transformation};
 use gts_containment::{contains, ContainmentOptions};
-use gts_graph::{
-    EdgeLabel, FxHashMap, Graph, LabelSet, NodeId, NodeLabel, Vocab,
-};
+use gts_graph::{EdgeLabel, FxHashMap, Graph, LabelSet, NodeId, NodeLabel, Vocab};
 use gts_query::{Atom, C2rpq, Regex, Uc2rpq, Var};
 use gts_schema::Schema;
 
@@ -309,7 +307,7 @@ fn transport(
 #[cfg(test)]
 mod tests {
     use super::*;
-    
+
     use gts_schema::Mult;
 
     /// Product catalog: Product −priceOf⁻− Price(literal).
@@ -366,20 +364,17 @@ mod tests {
         let (s, product, price, has_price, literals) = catalog(&mut v);
         // Identity-style migration: copy products, prices, and the edges.
         let mut t = Transformation::new();
-        t.add_node_rule(product, unary(product))
-            .add_node_rule(price, unary(price))
-            .add_edge_rule(
-                has_price,
-                (product, 1),
-                (price, 1),
-                C2rpq::new(2, vec![Var(0), Var(1)], vec![Atom {
-                    x: Var(0),
-                    y: Var(1),
-                    regex: Regex::edge(has_price),
-                }]),
-            );
-        let report =
-            check_literal_safety(&t, &s, &literals, &mut v, &Default::default()).unwrap();
+        t.add_node_rule(product, unary(product)).add_node_rule(price, unary(price)).add_edge_rule(
+            has_price,
+            (product, 1),
+            (price, 1),
+            C2rpq::new(
+                2,
+                vec![Var(0), Var(1)],
+                vec![Atom { x: Var(0), y: Var(1), regex: Regex::edge(has_price) }],
+            ),
+        );
+        let report = check_literal_safety(&t, &s, &literals, &mut v, &Default::default()).unwrap();
         assert!(report.violations.is_empty(), "{:?}", report.violations);
         assert!(report.certified);
 
@@ -401,8 +396,7 @@ mod tests {
         // Ill-behaved: mint a Price literal per *Product*.
         let mut t = Transformation::new();
         t.add_node_rule(price, unary(product));
-        let report =
-            check_literal_safety(&t, &s, &literals, &mut v, &Default::default()).unwrap();
+        let report = check_literal_safety(&t, &s, &literals, &mut v, &Default::default()).unwrap();
         assert_eq!(
             report.violations,
             vec![LiteralViolation::SourceNotLiteral { rule: 0, label: price }]
@@ -419,14 +413,13 @@ mod tests {
         let mut t = Transformation::new();
         t.add_node_rule(
             price,
-            C2rpq::new(2, vec![Var(0), Var(1)], vec![Atom {
-                x: Var(0),
-                y: Var(1),
-                regex: Regex::edge(has_price),
-            }]),
+            C2rpq::new(
+                2,
+                vec![Var(0), Var(1)],
+                vec![Atom { x: Var(0), y: Var(1), regex: Regex::edge(has_price) }],
+            ),
         );
-        let report =
-            check_literal_safety(&t, &s, &literals, &mut v, &Default::default()).unwrap();
+        let report = check_literal_safety(&t, &s, &literals, &mut v, &Default::default()).unwrap();
         assert_eq!(
             report.violations,
             vec![LiteralViolation::NonUnaryConstructor { rule: 0, label: price }]
@@ -441,20 +434,17 @@ mod tests {
         // Edge rule whose target constructor takes the *product* variable:
         // it would mint a literal node keyed by an entity.
         let mut t = Transformation::new();
-        t.add_node_rule(product, unary(product))
-            .add_node_rule(price, unary(price))
-            .add_edge_rule(
-                has_price,
-                (product, 1),
-                (price, 1),
-                C2rpq::new(2, vec![Var(0), Var(0)], vec![Atom {
-                    x: Var(0),
-                    y: Var(1),
-                    regex: Regex::edge(has_price),
-                }]),
-            );
-        let report =
-            check_literal_safety(&t, &s, &literals, &mut v, &Default::default()).unwrap();
+        t.add_node_rule(product, unary(product)).add_node_rule(price, unary(price)).add_edge_rule(
+            has_price,
+            (product, 1),
+            (price, 1),
+            C2rpq::new(
+                2,
+                vec![Var(0), Var(0)],
+                vec![Atom { x: Var(0), y: Var(1), regex: Regex::edge(has_price) }],
+            ),
+        );
+        let report = check_literal_safety(&t, &s, &literals, &mut v, &Default::default()).unwrap();
         assert!(report
             .violations
             .contains(&LiteralViolation::SourceNotLiteral { rule: 2, label: price }));
@@ -468,18 +458,16 @@ mod tests {
         let mut v = Vocab::new();
         let (_s, product, price, has_price, literals) = catalog(&mut v);
         let mut t = Transformation::new();
-        t.add_node_rule(product, unary(product))
-            .add_node_rule(price, unary(price))
-            .add_edge_rule(
-                has_price,
-                (product, 1),
-                (price, 1),
-                C2rpq::new(2, vec![Var(0), Var(1)], vec![Atom {
-                    x: Var(0),
-                    y: Var(1),
-                    regex: Regex::edge(has_price),
-                }]),
-            );
+        t.add_node_rule(product, unary(product)).add_node_rule(price, unary(price)).add_edge_rule(
+            has_price,
+            (product, 1),
+            (price, 1),
+            C2rpq::new(
+                2,
+                vec![Var(0), Var(1)],
+                vec![Atom { x: Var(0), y: Var(1), regex: Regex::edge(has_price) }],
+            ),
+        );
         let mut g = ValueGraph::new();
         let p1 = g.add_entity(product);
         let p2 = g.add_entity(product);

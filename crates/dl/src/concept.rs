@@ -42,10 +42,7 @@ impl Concept {
 
     /// Value restriction `∀R.C := ¬∃R.¬C`.
     pub fn all(r: EdgeSym, c: Concept) -> Concept {
-        Concept::Not(Box::new(Concept::Exists(
-            r,
-            Box::new(Concept::Not(Box::new(c))),
-        )))
+        Concept::Not(Box::new(Concept::Exists(r, Box::new(Concept::Not(Box::new(c))))))
     }
 
     /// Negated existential `∄R.C := ¬∃R.C`.
@@ -106,8 +103,7 @@ pub struct ConceptInclusion {
 impl ConceptInclusion {
     /// `G ⊨ C ⊑ D` iff `C^G ⊆ D^G`.
     pub fn satisfied_by(&self, g: &Graph) -> bool {
-        g.nodes()
-            .all(|n| !self.lhs.holds_at(g, n) || self.rhs.holds_at(g, n))
+        g.nodes().all(|n| !self.lhs.holds_at(g, n) || self.rhs.holds_at(g, n))
     }
 }
 
@@ -183,7 +179,8 @@ mod tests {
         let a = Concept::Atom(v.find_node_label("A").unwrap());
         let b = Concept::Atom(v.find_node_label("B").unwrap());
         let r = v.find_edge_label("r").unwrap();
-        let ci = ConceptInclusion { lhs: a.clone(), rhs: Concept::Exists(EdgeSym::fwd(r), Box::new(b)) };
+        let ci =
+            ConceptInclusion { lhs: a.clone(), rhs: Concept::Exists(EdgeSym::fwd(r), Box::new(b)) };
         assert!(ci.satisfied_by(&g));
         let bad = ConceptInclusion { lhs: Concept::top(), rhs: a };
         assert!(!bad.satisfied_by(&g));

@@ -81,26 +81,20 @@ impl HornCi {
     pub fn to_general(&self) -> ConceptInclusion {
         let names = |s: &LabelSet| Concept::names(s.iter().map(NodeLabel));
         match self {
-            HornCi::SubAtom { lhs, rhs } => ConceptInclusion {
-                lhs: names(lhs),
-                rhs: Concept::Atom(*rhs),
-            },
-            HornCi::Bottom { lhs } => ConceptInclusion {
-                lhs: names(lhs),
-                rhs: Concept::Bottom,
-            },
-            HornCi::AllValues { lhs, role, rhs } => ConceptInclusion {
-                lhs: names(lhs),
-                rhs: Concept::all(*role, names(rhs)),
-            },
+            HornCi::SubAtom { lhs, rhs } => {
+                ConceptInclusion { lhs: names(lhs), rhs: Concept::Atom(*rhs) }
+            }
+            HornCi::Bottom { lhs } => ConceptInclusion { lhs: names(lhs), rhs: Concept::Bottom },
+            HornCi::AllValues { lhs, role, rhs } => {
+                ConceptInclusion { lhs: names(lhs), rhs: Concept::all(*role, names(rhs)) }
+            }
             HornCi::Exists { lhs, role, rhs } => ConceptInclusion {
                 lhs: names(lhs),
                 rhs: Concept::Exists(*role, Box::new(names(rhs))),
             },
-            HornCi::NotExists { lhs, role, rhs } => ConceptInclusion {
-                lhs: names(lhs),
-                rhs: Concept::not_exists(*role, names(rhs)),
-            },
+            HornCi::NotExists { lhs, role, rhs } => {
+                ConceptInclusion { lhs: names(lhs), rhs: Concept::not_exists(*role, names(rhs)) }
+            }
             HornCi::AtMostOne { lhs, role, rhs } => ConceptInclusion {
                 lhs: names(lhs),
                 rhs: Concept::AtMostOne(*role, Box::new(names(rhs))),
@@ -196,10 +190,7 @@ impl HornTbox {
 
     /// Number of at-most constraints (the parameter `ℓ` of Theorem 6.1).
     pub fn num_at_most(&self) -> usize {
-        self.cis
-            .iter()
-            .filter(|ci| matches!(ci, HornCi::AtMostOne { .. }))
-            .count()
+        self.cis.iter().filter(|ci| matches!(ci, HornCi::AtMostOne { .. })).count()
     }
 
     /// All concept names mentioned anywhere in the TBox.
@@ -246,14 +237,12 @@ impl HornTbox {
             let mut changed = false;
             for ci in &self.cis {
                 match ci {
-                    HornCi::SubAtom { lhs, rhs }
-                        if lhs.is_subset(&cur) && cur.insert(rhs.0) => {
-                            changed = true;
-                        }
-                    HornCi::Bottom { lhs }
-                        if lhs.is_subset(&cur) => {
-                            return None;
-                        }
+                    HornCi::SubAtom { lhs, rhs } if lhs.is_subset(&cur) && cur.insert(rhs.0) => {
+                        changed = true;
+                    }
+                    HornCi::Bottom { lhs } if lhs.is_subset(&cur) => {
+                        return None;
+                    }
                     _ => {}
                 }
             }
@@ -336,19 +325,17 @@ impl HornTbox {
                 let ok = match ci {
                     HornCi::SubAtom { rhs, .. } => g.has_label(node, *rhs),
                     HornCi::Bottom { .. } => false,
-                    HornCi::AllValues { role, rhs, .. } => g
-                        .successors(node, *role)
-                        .all(|n| rhs.is_subset(g.labels(n))),
-                    HornCi::Exists { role, rhs, .. } => g
-                        .successors(node, *role)
-                        .any(|n| rhs.is_subset(g.labels(n))),
-                    HornCi::NotExists { role, rhs, .. } => !g
-                        .successors(node, *role)
-                        .any(|n| rhs.is_subset(g.labels(n))),
+                    HornCi::AllValues { role, rhs, .. } => {
+                        g.successors(node, *role).all(|n| rhs.is_subset(g.labels(n)))
+                    }
+                    HornCi::Exists { role, rhs, .. } => {
+                        g.successors(node, *role).any(|n| rhs.is_subset(g.labels(n)))
+                    }
+                    HornCi::NotExists { role, rhs, .. } => {
+                        !g.successors(node, *role).any(|n| rhs.is_subset(g.labels(n)))
+                    }
                     HornCi::AtMostOne { role, rhs, .. } => {
-                        g.successors(node, *role)
-                            .filter(|&n| rhs.is_subset(g.labels(n)))
-                            .count()
+                        g.successors(node, *role).filter(|&n| rhs.is_subset(g.labels(n))).count()
                             <= 1
                     }
                 };
@@ -362,11 +349,7 @@ impl HornTbox {
 
     /// Renders all CIs, one per line.
     pub fn render(&self, vocab: &Vocab) -> String {
-        self.cis
-            .iter()
-            .map(|ci| ci.render(vocab))
-            .collect::<Vec<_>>()
-            .join("\n")
+        self.cis.iter().map(|ci| ci.render(vocab)).collect::<Vec<_>>().join("\n")
     }
 }
 

@@ -117,11 +117,7 @@ impl L0Tbox {
 
     /// Renders all statements, one per line.
     pub fn render(&self, vocab: &Vocab) -> String {
-        self.stmts
-            .iter()
-            .map(|s| s.render(vocab))
-            .collect::<Vec<_>>()
-            .join("\n")
+        self.stmts.iter().map(|s| s.render(vocab)).collect::<Vec<_>>().join("\n")
     }
 }
 

@@ -95,10 +95,7 @@ impl LabelSet {
         if self.blocks.len() > other.blocks.len() {
             return false;
         }
-        self.blocks
-            .iter()
-            .zip(&other.blocks)
-            .all(|(a, b)| a & !b == 0)
+        self.blocks.iter().zip(&other.blocks).all(|(a, b)| a & !b == 0)
     }
 
     /// `true` iff the sets share no element.

@@ -100,33 +100,24 @@ impl Graph {
     /// Iterates over all edges as `(src, label, tgt)` in insertion order per
     /// source node.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, EdgeLabel, NodeId)> + '_ {
-        self.out.iter().enumerate().flat_map(|(src, adj)| {
-            adj.iter().map(move |&(l, tgt)| (NodeId(src as u32), l, tgt))
-        })
+        self.out
+            .iter()
+            .enumerate()
+            .flat_map(|(src, adj)| adj.iter().map(move |&(l, tgt)| (NodeId(src as u32), l, tgt)))
     }
 
     /// Successors of `node` along the Σ± symbol `sym` (edge targets for a
     /// forward symbol, edge sources for an inverse symbol).
     pub fn successors(&self, node: NodeId, sym: EdgeSym) -> impl Iterator<Item = NodeId> + '_ {
-        let adj = if sym.inverse {
-            &self.inc[node.0 as usize]
-        } else {
-            &self.out[node.0 as usize]
-        };
-        adj.iter()
-            .filter(move |&&(l, _)| l == sym.label)
-            .map(|&(_, n)| n)
+        let adj = if sym.inverse { &self.inc[node.0 as usize] } else { &self.out[node.0 as usize] };
+        adj.iter().filter(move |&&(l, _)| l == sym.label).map(|&(_, n)| n)
     }
 
     /// All `(EdgeSym, neighbor)` pairs incident to `node`, forward edges
     /// first (used by conformance checks and the chase).
     pub fn incident(&self, node: NodeId) -> impl Iterator<Item = (EdgeSym, NodeId)> + '_ {
-        let o = self.out[node.0 as usize]
-            .iter()
-            .map(|&(l, n)| (EdgeSym::fwd(l), n));
-        let i = self.inc[node.0 as usize]
-            .iter()
-            .map(|&(l, n)| (EdgeSym::bwd(l), n));
+        let o = self.out[node.0 as usize].iter().map(|&(l, n)| (EdgeSym::fwd(l), n));
+        let i = self.inc[node.0 as usize].iter().map(|&(l, n)| (EdgeSym::bwd(l), n));
         o.chain(i)
     }
 
@@ -138,20 +129,15 @@ impl Graph {
         sym: EdgeSym,
         target_label: NodeLabel,
     ) -> usize {
-        self.successors(node, sym)
-            .filter(|&n| self.has_label(n, target_label))
-            .count()
+        self.successors(node, sym).filter(|&n| self.has_label(n, target_label)).count()
     }
 
     /// Renders the graph in Graphviz DOT syntax using `vocab` for names.
     pub fn to_dot(&self, vocab: &Vocab) -> String {
         let mut s = String::from("digraph G {\n");
         for n in self.nodes() {
-            let labels: Vec<&str> = self
-                .labels(n)
-                .iter()
-                .map(|l| vocab.node_name(NodeLabel(l)))
-                .collect();
+            let labels: Vec<&str> =
+                self.labels(n).iter().map(|l| vocab.node_name(NodeLabel(l))).collect();
             let _ = writeln!(s, "  n{} [label=\"{}:{}\"];", n.0, n.0, labels.join(","));
         }
         for (src, l, tgt) in self.edges() {

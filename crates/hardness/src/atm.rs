@@ -142,11 +142,8 @@ impl Atm {
             }
         }
         // Least fixpoint of acceptance.
-        let mut accepting: FxHashSet<Config> = reach
-            .iter()
-            .filter(|c| c.state == self.q_yes)
-            .cloned()
-            .collect();
+        let mut accepting: FxHashSet<Config> =
+            reach.iter().filter(|c| c.state == self.q_yes).cloned().collect();
         loop {
             let mut changed = false;
             for c in &reach {
@@ -209,9 +206,7 @@ impl Atm {
                 if depth.contains_key(c) || self.is_final(c.state) {
                     continue;
                 }
-                let d = |b: usize| {
-                    self.step(c, b).and_then(|n| depth.get(&n).copied())
-                };
+                let d = |b: usize| self.step(c, b).and_then(|n| depth.get(&n).copied());
                 let acc = if self.universal[c.state] {
                     matches!((d(0), d(1)), (Some(a), Some(b)) if a.max(b) < rank)
                 } else {

@@ -127,16 +127,17 @@ impl ReductionLabels {
 
     /// `State_q = Config[+_i pos_i · q]`.
     fn state_any(&self, q: State) -> Regex {
-        Regex::node(self.config).nest(Regex::alt_all(self.pos_edges.iter().map(|&p| {
-            Regex::edge(p).then(Regex::edge(self.state_edges[q]))
-        })))
+        Regex::node(self.config).nest(Regex::alt_all(
+            self.pos_edges.iter().map(|&p| Regex::edge(p).then(Regex::edge(self.state_edges[q]))),
+        ))
     }
 
     /// `Head_i = Config[+_q pos_i · q]`.
     fn head_at(&self, i: usize, num_states: usize) -> Regex {
-        Regex::node(self.config).nest(Regex::alt_all((0..num_states).map(|q| {
-            Regex::edge(self.pos_edges[i]).then(Regex::edge(self.state_edges[q]))
-        })))
+        Regex::node(self.config).nest(Regex::alt_all(
+            (0..num_states)
+                .map(|q| Regex::edge(self.pos_edges[i]).then(Regex::edge(self.state_edges[q]))),
+        ))
     }
 
     /// Any transition edge `∃1+∃2+∀1+∀2`.
@@ -164,9 +165,8 @@ fn negative_query(atm: &Atm, space: usize, l: &ReductionLabels) -> C2rpq {
         }
     }
     // TwoHeads: two different (position, state) head markers.
-    let heads: Vec<(usize, State)> = (0..space)
-        .flat_map(|i| (0..atm.num_states).map(move |q| (i, q)))
-        .collect();
+    let heads: Vec<(usize, State)> =
+        (0..space).flat_map(|i| (0..atm.num_states).map(move |q| (i, q))).collect();
     for (x, &(i, q)) in heads.iter().enumerate() {
         for &(j, p) in &heads[x + 1..] {
             branches.push(l.state_at(i, q).then(l.state_at(j, p)));
@@ -178,22 +178,19 @@ fn negative_query(atm: &Atm, space: usize, l: &ReductionLabels) -> C2rpq {
         if atm.is_final(q) {
             branches.push(l.state_any(q).nest(l.any_trans()));
         } else if atm.universal[q] {
-            branches.push(l.state_any(q).nest(
-                Regex::edge(l.trans[EX1]).or(Regex::edge(l.trans[EX2])),
-            ));
+            branches
+                .push(l.state_any(q).nest(Regex::edge(l.trans[EX1]).or(Regex::edge(l.trans[EX2]))));
         } else {
-            branches.push(l.state_any(q).nest(
-                Regex::edge(l.trans[ALL1]).or(Regex::edge(l.trans[ALL2])),
-            ));
+            branches.push(
+                l.state_any(q).nest(Regex::edge(l.trans[ALL1]).or(Regex::edge(l.trans[ALL2]))),
+            );
         }
     }
     // TwoExistentialEdges.
     for q in 0..atm.num_states {
         if !atm.is_final(q) && !atm.universal[q] {
             branches.push(
-                l.state_any(q)
-                    .nest(Regex::edge(l.trans[EX1]))
-                    .nest(Regex::edge(l.trans[EX2])),
+                l.state_any(q).nest(Regex::edge(l.trans[EX1])).nest(Regex::edge(l.trans[EX2])),
             );
         }
     }
@@ -238,11 +235,7 @@ fn negative_query(atm: &Atm, space: usize, l: &ReductionLabels) -> C2rpq {
         }
     }
 
-    C2rpq::new(
-        2,
-        vec![],
-        vec![Atom { x: Var(0), y: Var(1), regex: Regex::alt_all(branches) }],
-    )
+    C2rpq::new(2, vec![], vec![Atom { x: Var(0), y: Var(1), regex: Regex::alt_all(branches) }])
 }
 
 /// `Move_{i,q,a}`: the configuration (head at `i`, state `q`, symbol `a`)
@@ -296,7 +289,8 @@ fn positive_query(atm: &Atm, input: &[Sym], space: usize, l: &ReductionLabels) -
     // pTape: every cell holds some symbol.
     let p_tape = Regex::concat_all((0..space).map(|i| {
         Regex::node(l.config).nest(Regex::alt_all(
-            (0..atm.num_syms).map(|a| Regex::edge(l.pos_edges[i]).then(Regex::edge(l.sym_edges[a]))),
+            (0..atm.num_syms)
+                .map(|a| Regex::edge(l.pos_edges[i]).then(Regex::edge(l.sym_edges[a]))),
         ))
     }));
     // pTransition: outgoing transition edges fit the state kind.
@@ -304,28 +298,24 @@ fn positive_query(atm: &Atm, input: &[Sym], space: usize, l: &ReductionLabels) -
         if atm.is_final(q) {
             l.state_any(q)
         } else if atm.universal[q] {
-            l.state_any(q)
-                .nest(Regex::edge(l.trans[ALL1]))
-                .nest(Regex::edge(l.trans[ALL2]))
+            l.state_any(q).nest(Regex::edge(l.trans[ALL1])).nest(Regex::edge(l.trans[ALL2]))
         } else {
-            l.state_any(q)
-                .nest(Regex::edge(l.trans[EX1]).or(Regex::edge(l.trans[EX2])))
+            l.state_any(q).nest(Regex::edge(l.trans[EX1]).or(Regex::edge(l.trans[EX2])))
         }
     }));
     // pExecution: some Move macro applies.
     let p_execution = Regex::alt_all((0..space).flat_map(|i| {
-        (0..atm.num_states).flat_map(move |q| {
-            (0..atm.num_syms).map(move |a| move_macro(atm, i, q, a, space, l))
-        })
+        (0..atm.num_states)
+            .flat_map(move |q| (0..atm.num_syms).map(move |a| move_macro(atm, i, q, a, space, l)))
     }));
     // pTapeCopy: initial tape, or faithful copy from the parent.
     let init = atm.initial_config(input, space);
     let init_tape = Regex::concat_all((0..space).map(|i| l.symbol(i, init.tape[i])));
     let p_init = l.state_at(init.head, atm.initial).then(init_tape);
     let pos_copy = |j: usize| {
-        looped(Regex::alt_all((0..atm.num_syms).map(|a| {
-            l.symbol(j, a).then(l.any_trans_inv()).then(l.symbol(j, a))
-        })))
+        looped(Regex::alt_all(
+            (0..atm.num_syms).map(|a| l.symbol(j, a).then(l.any_trans_inv()).then(l.symbol(j, a))),
+        ))
     };
     let tape_copy = Regex::alt_all((0..space).map(|i| {
         let up_head = looped(l.any_trans_inv().then(l.head_at(i, atm.num_states)));
@@ -334,25 +324,15 @@ fn positive_query(atm: &Atm, input: &[Sym], space: usize, l: &ReductionLabels) -
     }));
     let p_tape_copy = p_init.or(tape_copy);
 
-    let p_config = p_head
-        .then(p_tape)
-        .then(p_transition)
-        .then(p_execution)
-        .then(p_tape_copy);
+    let p_config = p_head.then(p_tape).then(p_transition).then(p_execution).then(p_tape_copy);
     let p_accept = p_config.clone().then(l.state_any(atm.q_yes));
     let p_start = p_config.clone().then(l.state_any(atm.initial));
 
     // The Euler traversal (Figure 8).
     let down = p_config.then(
-        Regex::edge(l.trans[ALL1])
-            .or(Regex::edge(l.trans[EX1]))
-            .or(Regex::edge(l.trans[EX2])),
+        Regex::edge(l.trans[ALL1]).or(Regex::edge(l.trans[EX1])).or(Regex::edge(l.trans[EX2])),
     );
-    let up = Regex::alt_all(
-        [EX1, EX2, ALL2]
-            .iter()
-            .map(|&t| Regex::sym(EdgeSym::bwd(l.trans[t]))),
-    );
+    let up = Regex::alt_all([EX1, EX2, ALL2].iter().map(|&t| Regex::sym(EdgeSym::bwd(l.trans[t]))));
     let descend_to_leaf = down.star().then(p_accept).then(up.star());
     let switch = Regex::sym(EdgeSym::bwd(l.trans[ALL1])).then(Regex::edge(l.trans[ALL2]));
     let traversal = p_start
@@ -475,30 +455,22 @@ mod tests {
 
         // Corruption 1: a second symbol on the root's first cell.
         let mut g1 = base.clone();
-        let pos0 = g1
-            .successors(NodeId(0), EdgeSym::fwd(red.labels.pos_edges[0]))
-            .next()
-            .unwrap();
+        let pos0 = g1.successors(NodeId(0), EdgeSym::fwd(red.labels.pos_edges[0])).next().unwrap();
         let stray = g1.add_labeled_node([red.labels.symb]);
         g1.add_edge(pos0, red.labels.sym_edges[BIT0], stray);
         assert!(red.negative.holds(&g1), "TwoSymbols must fire");
 
         // Corruption 2: a second head marker.
         let mut g2 = base.clone();
-        let pos1 = g2
-            .successors(NodeId(0), EdgeSym::fwd(red.labels.pos_edges[2]))
-            .next()
-            .unwrap();
+        let pos1 = g2.successors(NodeId(0), EdgeSym::fwd(red.labels.pos_edges[2])).next().unwrap();
         let st2 = g2.add_labeled_node([red.labels.st]);
         g2.add_edge(pos1, red.labels.state_edges[m.q_yes], st2);
         assert!(red.negative.holds(&g2), "TwoHeads must fire");
 
         // Corruption 3: an incoming transition to the root.
         let mut g3 = base.clone();
-        let other_config = g3
-            .successors(NodeId(0), EdgeSym::fwd(red.labels.trans[ALL1]))
-            .next()
-            .unwrap();
+        let other_config =
+            g3.successors(NodeId(0), EdgeSym::fwd(red.labels.trans[ALL1])).next().unwrap();
         g3.add_edge(other_config, red.labels.trans[EX1], NodeId(0));
         assert!(red.negative.holds(&g3), "BadTreeRoot/BadTreeNode must fire");
     }
@@ -512,7 +484,11 @@ mod tests {
         // 4 transition + m pos + |A| sym + |K| state edge labels.
         assert_eq!(red.schema.edge_labels().len(), 4 + 4 + 5 + 3);
         assert_eq!(
-            red.schema.mult(red.labels.config, EdgeSym::fwd(red.labels.trans[0]), red.labels.config),
+            red.schema.mult(
+                red.labels.config,
+                EdgeSym::fwd(red.labels.trans[0]),
+                red.labels.config
+            ),
             Mult::Opt
         );
     }

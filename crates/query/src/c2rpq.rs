@@ -38,10 +38,7 @@ impl Atom {
     /// contribute edges to the query multigraph (Appendix A).
     pub fn is_trivial(&self) -> bool {
         self.x == self.y
-            && matches!(
-                self.regex,
-                Regex::Empty | Regex::Epsilon | Regex::Sym(AtomSym::Node(_))
-            )
+            && matches!(self.regex, Regex::Empty | Regex::Epsilon | Regex::Sym(AtomSym::Node(_)))
     }
 }
 
@@ -190,8 +187,7 @@ impl C2rpq {
             })
             .collect();
         // Early exit: an atom with an empty relation has no matches.
-        if self.atoms.iter().zip(&rels).any(|(_, r)| r.pairs.is_empty()) && !self.atoms.is_empty()
-        {
+        if self.atoms.iter().zip(&rels).any(|(_, r)| r.pairs.is_empty()) && !self.atoms.is_empty() {
             return;
         }
 
@@ -269,11 +265,8 @@ impl C2rpq {
             .iter()
             .map(|a| format!("{}(x{}, x{})", a.regex.render(vocab), a.x.0, a.y.0))
             .collect();
-        let prefix = if exist.is_empty() {
-            String::new()
-        } else {
-            format!("∃{}. ", exist.join(","))
-        };
+        let prefix =
+            if exist.is_empty() { String::new() } else { format!("∃{}. ", exist.join(",")) };
         format!(
             "q({}) = {}{}",
             head.join(","),
@@ -351,11 +344,7 @@ impl Uc2rpq {
         if self.disjuncts.is_empty() {
             return "∅ (empty union)".into();
         }
-        self.disjuncts
-            .iter()
-            .map(|q| q.render(vocab))
-            .collect::<Vec<_>>()
-            .join("\n∪ ")
+        self.disjuncts.iter().map(|q| q.render(vocab)).collect::<Vec<_>>().join("\n∪ ")
     }
 }
 

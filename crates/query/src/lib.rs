@@ -40,7 +40,5 @@ mod regex;
 
 pub use c2rpq::{Atom, C2rpq, Uc2rpq, Var};
 pub use nfa::Nfa;
-pub use nre::{
-    lower_nre, FlattenError, LoweredNre, NestTable, Nre, NreAtom, NreC2rpq, NreUc2rpq,
-};
+pub use nre::{lower_nre, FlattenError, LoweredNre, NestTable, Nre, NreAtom, NreC2rpq, NreUc2rpq};
 pub use regex::{AtomSym, Regex};

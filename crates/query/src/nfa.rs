@@ -280,11 +280,7 @@ impl Nfa {
     /// endpoint (a variable occurring in no other atom): any path matching
     /// `w·v` contains a path matching `w`, so a model witnessing a longer
     /// word witnesses its minimal prefix with the endpoint rebound.
-    pub fn enumerate_min_words(
-        &self,
-        max_syms: usize,
-        cap: usize,
-    ) -> (Vec<Vec<AtomSym>>, bool) {
+    pub fn enumerate_min_words(&self, max_syms: usize, cap: usize) -> (Vec<Vec<AtomSym>>, bool) {
         let useful = self.useful_states();
         let mut out: Vec<Vec<AtomSym>> = Vec::new();
         let mut truncated = false;
@@ -474,10 +470,8 @@ mod tests {
         assert!(Nfa::from_regex(&Regex::Empty).language_finite());
         assert!(!Nfa::from_regex(&Regex::Sym(r()).star()).language_finite());
         // A star over a useless branch stays finite: (∅·r)* ≡ ε.
-        let re = Regex::Star(Box::new(Regex::Concat(
-            Box::new(Regex::Empty),
-            Box::new(Regex::Sym(r())),
-        )));
+        let re =
+            Regex::Star(Box::new(Regex::Concat(Box::new(Regex::Empty), Box::new(Regex::Sym(r())))));
         assert!(Nfa::from_regex(&re).language_finite());
     }
 
@@ -514,9 +508,7 @@ mod tests {
         g.add_edge(vac, dt, a1);
         g.add_edge(a1, cr, a2);
         // designTarget · crossReacting* · Antigen   (Example 3.2-ish)
-        let re = Regex::edge(dt)
-            .then(Regex::edge(cr).star())
-            .then(Regex::node(antigen));
+        let re = Regex::edge(dt).then(Regex::edge(cr).star()).then(Regex::node(antigen));
         let nfa = Nfa::from_regex(&re);
         assert_eq!(nfa.reachable_from(&g, vac), vec![a1, a2]);
         let pairs = nfa.pairs(&g);

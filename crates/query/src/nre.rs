@@ -253,10 +253,8 @@ impl NestTable {
         let mut gm = g.clone();
         for (label, inner) in &self.entries {
             let nfa = Nfa::from_regex(inner);
-            let holders: Vec<NodeId> = gm
-                .nodes()
-                .filter(|&u| !nfa.reachable_from(&gm, u).is_empty())
-                .collect();
+            let holders: Vec<NodeId> =
+                gm.nodes().filter(|&u| !nfa.reachable_from(&gm, u).is_empty()).collect();
             for u in holders {
                 gm.add_label(u, *label);
             }
@@ -646,11 +644,7 @@ mod tests {
             .then(Nre::nest(Nre::edge(likes)))
             .then(Nre::edge(follows))
             .then(Nre::node(verified));
-        let q = NreC2rpq::new(
-            2,
-            vec![Var(0)],
-            vec![NreAtom { x: Var(0), y: Var(1), nre }],
-        );
+        let q = NreC2rpq::new(2, vec![Var(0)], vec![NreAtom { x: Var(0), y: Var(1), nre }]);
         assert!(q.is_acyclic());
         let direct = q.eval(&g, &mut v);
         let flat = q.flatten().unwrap();
@@ -669,18 +663,14 @@ mod tests {
         let nre = Nre::edge(follows).then(Nre::nest(Nre::edge(likes))).star();
         let q = NreC2rpq::new(2, vec![], vec![NreAtom { x: Var(0), y: Var(1), nre }]);
         assert_eq!(q.flatten().unwrap_err(), FlattenError::NestUnderStar);
-        assert!(Nre::edge(follows)
-            .then(Nre::nest(Nre::edge(likes)))
-            .star()
-            .has_nest_under_star());
+        assert!(Nre::edge(follows).then(Nre::nest(Nre::edge(likes))).star().has_nest_under_star());
     }
 
     #[test]
     fn flatten_distributes_alternatives_with_nests() {
         let (mut v, g, verified, follows, likes) = social();
         // follows·(⟨likes⟩ + Verified): either branch.
-        let nre = Nre::edge(follows)
-            .then(Nre::nest(Nre::edge(likes)).or(Nre::node(verified)));
+        let nre = Nre::edge(follows).then(Nre::nest(Nre::edge(likes)).or(Nre::node(verified)));
         let q = NreC2rpq::new(2, vec![Var(1)], vec![NreAtom { x: Var(0), y: Var(1), nre }]);
         let flat = q.flatten().unwrap();
         assert_eq!(flat.len(), 2);
@@ -720,11 +710,11 @@ mod tests {
         let (mut v, g, verified, follows, likes) = social();
         let test = Nre::nest(Nre::edge(likes).or(Nre::node(verified)));
         let nre = Nre::edge(follows).then(test).star();
-        let q = NreC2rpq::new(2, vec![Var(0), Var(1)], vec![NreAtom {
-            x: Var(0),
-            y: Var(1),
-            nre: nre.clone(),
-        }]);
+        let q = NreC2rpq::new(
+            2,
+            vec![Var(0), Var(1)],
+            vec![NreAtom { x: Var(0), y: Var(1), nre: nre.clone() }],
+        );
         let lowered = q.lower(&mut v);
         assert_eq!(lowered.table.entries.len(), 1);
         let gm = lowered.table.materialize(&g);

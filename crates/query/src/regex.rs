@@ -87,9 +87,7 @@ impl Regex {
 
     /// Concatenation of many parts.
     pub fn concat_all<I: IntoIterator<Item = Regex>>(parts: I) -> Regex {
-        parts
-            .into_iter()
-            .fold(Regex::Epsilon, |acc, r| acc.then(r))
+        parts.into_iter().fold(Regex::Epsilon, |acc, r| acc.then(r))
     }
 
     /// Alternation of many parts (empty iterator gives `∅`).
@@ -112,9 +110,7 @@ impl Regex {
             Regex::Epsilon => Regex::Epsilon,
             Regex::Sym(AtomSym::Node(a)) => Regex::node(*a),
             Regex::Sym(AtomSym::Edge(r)) => Regex::sym(r.inv()),
-            Regex::Concat(a, b) => {
-                Regex::Concat(Box::new(b.reverse()), Box::new(a.reverse()))
-            }
+            Regex::Concat(a, b) => Regex::Concat(Box::new(b.reverse()), Box::new(a.reverse())),
             Regex::Alt(a, b) => Regex::Alt(Box::new(a.reverse()), Box::new(b.reverse())),
             Regex::Star(a) => Regex::Star(Box::new(a.reverse())),
         }

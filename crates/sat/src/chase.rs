@@ -81,20 +81,14 @@ impl Core {
         self.edges = old_edges
             .into_iter()
             .map(|(s, l, t)| {
-                (
-                    if s == gone { keep } else { s },
-                    l,
-                    if t == gone { keep } else { t },
-                )
+                (if s == gone { keep } else { s }, l, if t == gone { keep } else { t })
             })
             .collect();
     }
 
     /// Current representatives, sorted.
     pub fn roots(&mut self) -> Vec<usize> {
-        let mut out: Vec<usize> = (0..self.parent.len())
-            .map(|i| self.find(i))
-            .collect();
+        let mut out: Vec<usize> = (0..self.parent.len()).map(|i| self.find(i)).collect();
         out.sort_unstable();
         out.dedup();
         out
@@ -135,12 +129,8 @@ impl Core {
 
     /// Distinct `role`-successor roots of `root` whose labels include `k`.
     fn labeled_successors(&mut self, root: usize, role: EdgeSym, k: &LabelSet) -> Vec<usize> {
-        let mut out: Vec<usize> = self
-            .incident(root)
-            .into_iter()
-            .filter(|(s, _)| *s == role)
-            .map(|(_, n)| n)
-            .collect();
+        let mut out: Vec<usize> =
+            self.incident(root).into_iter().filter(|(s, _)| *s == role).map(|(_, n)| n).collect();
         out.sort_unstable();
         out.dedup();
         out.retain(|&n| {
@@ -158,9 +148,7 @@ impl Core {
 
             // 1) Close labels under K ⊑ A rules; detect ⊥.
             for root in self.roots() {
-                let closed = tbox
-                    .closure(&self.labels[root])
-                    .ok_or(ChaseFail::Inconsistent)?;
+                let closed = tbox.closure(&self.labels[root]).ok_or(ChaseFail::Inconsistent)?;
                 if closed != self.labels[root] {
                     self.labels[root] = closed;
                     changed = true;

@@ -155,10 +155,8 @@ fn solve_component(
     }
 
     // Would the total-length budget ever prune a combination?
-    let max_total: usize = word_lists
-        .iter()
-        .map(|ws| ws.iter().map(|w| edge_len(w)).max().unwrap_or(0))
-        .sum();
+    let max_total: usize =
+        word_lists.iter().map(|ws| ws.iter().map(|w| edge_len(w)).max().unwrap_or(0)).sum();
     let total_pruned = max_total > budget.max_total_edge_syms;
 
     // DFS over word combinations within the total edge budget.
@@ -218,10 +216,8 @@ fn solve_component(
         };
         weak_lists.push(words);
     }
-    let weak_total: usize = weak_lists
-        .iter()
-        .map(|ws| ws.iter().map(|w| edge_len(w)).max().unwrap_or(0))
-        .sum();
+    let weak_total: usize =
+        weak_lists.iter().map(|ws| ws.iter().map(|w| edge_len(w)).max().unwrap_or(0)).sum();
     if weak_total > budget.max_total_edge_syms {
         return CompResult::Unknown(infinite_or_word_budget(&atoms));
     }
@@ -276,10 +272,7 @@ fn anchor_symbols(nfa: &Nfa, invert_back: bool) -> Vec<Vec<AtomSym>> {
 }
 
 fn infinite_or_word_budget(atoms: &[(usize, usize, &gts_query::Atom)]) -> UnknownReason {
-    if atoms
-        .iter()
-        .any(|(_, _, a)| !Nfa::from_regex(&a.regex).language_finite())
-    {
+    if atoms.iter().any(|(_, _, a)| !Nfa::from_regex(&a.regex).language_finite()) {
         UnknownReason::InfiniteLanguage
     } else {
         UnknownReason::WordBudget
@@ -287,9 +280,7 @@ fn infinite_or_word_budget(atoms: &[(usize, usize, &gts_query::Atom)]) -> Unknow
 }
 
 fn edge_len(word: &[AtomSym]) -> usize {
-    word.iter()
-        .filter(|s| matches!(s, AtomSym::Edge(_)))
-        .count()
+    word.iter().filter(|s| matches!(s, AtomSym::Edge(_))).count()
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -356,9 +347,8 @@ fn try_core(
     realize_budget: &mut Option<UnknownReason>,
 ) -> Option<Graph> {
     let mut core = Core::new();
-    let var_nodes: Vec<usize> = (0..num_vars.max(1))
-        .map(|_| core.add_node(LabelSet::new()))
-        .collect();
+    let var_nodes: Vec<usize> =
+        (0..num_vars.max(1)).map(|_| core.add_node(LabelSet::new())).collect();
     for (i, (x, y, _)) in atoms.iter().enumerate() {
         let word = &word_lists[i][chosen[i]];
         let mut cur = var_nodes[*x];
@@ -451,12 +441,7 @@ fn disjoint_union(graphs: &[Graph]) -> Graph {
 /// by tests and by debug assertions.
 pub fn universal_constraints_hold(tbox: &HornTbox, g: &Graph) -> bool {
     let universal = HornTbox {
-        cis: tbox
-            .cis
-            .iter()
-            .filter(|ci| !matches!(ci, HornCi::Exists { .. }))
-            .cloned()
-            .collect(),
+        cis: tbox.cis.iter().filter(|ci| !matches!(ci, HornCi::Exists { .. })).cloned().collect(),
     };
     universal.check_graph(g).is_ok()
 }
@@ -488,10 +473,8 @@ mod tests {
     #[test]
     fn single_edge_query_is_sat() {
         let t = HornTbox::new();
-        let q = bool_query(
-            vec![Atom { x: Var(0), y: Var(1), regex: Regex::edge(EdgeLabel(0)) }],
-            2,
-        );
+        let q =
+            bool_query(vec![Atom { x: Var(0), y: Var(1), regex: Regex::edge(EdgeLabel(0)) }], 2);
         let v = decide(&t, &q, &Budget::default());
         match v {
             Verdict::Sat(w) => {
@@ -515,10 +498,8 @@ mod tests {
         // Query: ∃x. A(x); TBox: A ⊑ ⊥.
         let mut t = HornTbox::new();
         t.push(HornCi::Bottom { lhs: set(&[0]) });
-        let q = bool_query(
-            vec![Atom { x: Var(0), y: Var(0), regex: Regex::node(NodeLabel(0)) }],
-            1,
-        );
+        let q =
+            bool_query(vec![Atom { x: Var(0), y: Var(0), regex: Regex::node(NodeLabel(0)) }], 1);
         assert!(decide(&t, &q, &Budget::default()).is_unsat());
     }
 
@@ -634,10 +615,8 @@ mod tests {
     fn finite_language_with_forbidden_edge_is_certified_unsat() {
         let mut t = HornTbox::new();
         t.push(HornCi::NotExists { lhs: LabelSet::new(), role: sym(0), rhs: LabelSet::new() });
-        let q = bool_query(
-            vec![Atom { x: Var(0), y: Var(1), regex: Regex::edge(EdgeLabel(0)) }],
-            2,
-        );
+        let q =
+            bool_query(vec![Atom { x: Var(0), y: Var(1), regex: Regex::edge(EdgeLabel(0)) }], 2);
         assert!(decide(&t, &q, &Budget::default()).is_unsat());
     }
 
@@ -646,10 +625,8 @@ mod tests {
         // Query ∃x. A(x); A ⊑ ∃r.A is satisfiable via an infinite chain.
         let mut t = HornTbox::new();
         t.push(HornCi::Exists { lhs: set(&[0]), role: sym(0), rhs: set(&[0]) });
-        let q = bool_query(
-            vec![Atom { x: Var(0), y: Var(0), regex: Regex::node(NodeLabel(0)) }],
-            1,
-        );
+        let q =
+            bool_query(vec![Atom { x: Var(0), y: Var(0), regex: Regex::node(NodeLabel(0)) }], 1);
         assert!(decide(&t, &q, &Budget::default()).is_sat());
     }
 
@@ -676,14 +653,9 @@ mod tests {
         t.push(HornCi::Exists { lhs: set(&[0, 2]), role: s.inv(), rhs: set(&[0, 2]) });
         t.push(HornCi::AtMostOne { lhs: set(&[0, 2]), role: s, rhs: set(&[0, 2]) });
 
-        let p = bool_query(
-            vec![Atom { x: Var(0), y: Var(0), regex: Regex::sym(r) }],
-            1,
-        );
+        let p = bool_query(vec![Atom { x: Var(0), y: Var(0), regex: Regex::sym(r) }], 1);
         // Without the completion CIs, P is satisfiable (infinite s-chain).
-        let t_without: HornTbox = HornTbox {
-            cis: t.cis[..7].to_vec(),
-        };
+        let t_without: HornTbox = HornTbox { cis: t.cis[..7].to_vec() };
         assert!(
             decide(&t_without, &p, &Budget::default()).is_sat(),
             "P must be satisfiable modulo the uncompleted TBox (infinite models)"
@@ -696,10 +668,8 @@ mod tests {
     #[test]
     fn stats_are_populated() {
         let t = HornTbox::new();
-        let q = bool_query(
-            vec![Atom { x: Var(0), y: Var(1), regex: Regex::edge(EdgeLabel(0)) }],
-            2,
-        );
+        let q =
+            bool_query(vec![Atom { x: Var(0), y: Var(1), regex: Regex::edge(EdgeLabel(0)) }], 2);
         let (v, stats) = decide_with_stats(&t, &q, &Budget::default());
         assert!(v.is_sat());
         assert!(stats.cores_tried >= 1);

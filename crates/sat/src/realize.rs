@@ -96,9 +96,7 @@ impl<'t> RealizeCtx<'t> {
         let neighbor_ok: Vec<bool> = reqs
             .iter()
             .map(|(role, k)| {
-                neighbors
-                    .iter()
-                    .any(|(s, t)| s == role && k.is_subset(self.types.labels(*t)))
+                neighbors.iter().any(|(s, t)| s == role && k.is_subset(self.types.labels(*t)))
             })
             .collect();
 
@@ -160,11 +158,7 @@ impl<'t> RealizeCtx<'t> {
                     if ctx.types.tbox().edge_forbidden(node_labels, role, &child_labels) {
                         return Ok(());
                     }
-                    if !ctx
-                        .types
-                        .tbox()
-                        .propagate(&child_labels, role.inv())
-                        .is_subset(node_labels)
+                    if !ctx.types.tbox().propagate(&child_labels, role.inv()).is_subset(node_labels)
                     {
                         ctx.uncertain = true;
                         return Ok(());
@@ -196,20 +190,56 @@ impl<'t> RealizeCtx<'t> {
             // Choice 1: an existing neighbor satisfies requirement i.
             if neighbor_ok[i] {
                 assignment.push(Choice::Neighbor);
-                rec(ctx, node, node_labels, reqs, at_most, neighbors, neighbor_ok, assignment, options, seen, enumerated)?;
+                rec(
+                    ctx,
+                    node,
+                    node_labels,
+                    reqs,
+                    at_most,
+                    neighbors,
+                    neighbor_ok,
+                    assignment,
+                    options,
+                    seen,
+                    enumerated,
+                )?;
                 assignment.pop();
             }
             // Choice 2: join an existing group with the same role.
             for leader in 0..i {
                 if assignment[leader] == Choice::Group(leader) && reqs[leader].0 == reqs[i].0 {
                     assignment.push(Choice::Group(leader));
-                    rec(ctx, node, node_labels, reqs, at_most, neighbors, neighbor_ok, assignment, options, seen, enumerated)?;
+                    rec(
+                        ctx,
+                        node,
+                        node_labels,
+                        reqs,
+                        at_most,
+                        neighbors,
+                        neighbor_ok,
+                        assignment,
+                        options,
+                        seen,
+                        enumerated,
+                    )?;
                     assignment.pop();
                 }
             }
             // Choice 3: start a fresh group.
             assignment.push(Choice::Group(i));
-            rec(ctx, node, node_labels, reqs, at_most, neighbors, neighbor_ok, assignment, options, seen, enumerated)?;
+            rec(
+                ctx,
+                node,
+                node_labels,
+                reqs,
+                at_most,
+                neighbors,
+                neighbor_ok,
+                assignment,
+                options,
+                seen,
+                enumerated,
+            )?;
             assignment.pop();
             Ok(())
         }
@@ -266,8 +296,7 @@ impl<'t> RealizeCtx<'t> {
             }
         }
         // Phase B: greatest-fixpoint elimination on the discovered set.
-        let mut alive: FxHashMap<Cand, bool> =
-            discovered.iter().map(|&c| (c, true)).collect();
+        let mut alive: FxHashMap<Cand, bool> = discovered.iter().map(|&c| (c, true)).collect();
         loop {
             let mut changed = false;
             for &c in &discovered {
@@ -276,9 +305,8 @@ impl<'t> RealizeCtx<'t> {
                 }
                 let opts = self.options_of(c)?;
                 let ok = opts.iter().any(|opt| {
-                    opt.iter().all(|dep| {
-                        self.status.get(dep).copied().unwrap_or_else(|| alive[dep])
-                    })
+                    opt.iter()
+                        .all(|dep| self.status.get(dep).copied().unwrap_or_else(|| alive[dep]))
                 });
                 if !ok {
                     alive.insert(c, false);

@@ -35,12 +35,10 @@ impl Default for SchemaGenConfig {
 
 /// Generates a random schema. Labels are named `L0, L1, …` / `e0, e1, …`.
 pub fn random_schema<R: Rng>(cfg: &SchemaGenConfig, vocab: &mut Vocab, rng: &mut R) -> Schema {
-    let labels: Vec<NodeLabel> = (0..cfg.num_node_labels)
-        .map(|i| vocab.node_label(&format!("L{i}")))
-        .collect();
-    let edges: Vec<_> = (0..cfg.num_edge_labels)
-        .map(|i| vocab.edge_label(&format!("e{i}")))
-        .collect();
+    let labels: Vec<NodeLabel> =
+        (0..cfg.num_node_labels).map(|i| vocab.node_label(&format!("L{i}"))).collect();
+    let edges: Vec<_> =
+        (0..cfg.num_edge_labels).map(|i| vocab.edge_label(&format!("e{i}"))).collect();
     let mut s = Schema::new();
     for &l in &labels {
         s.add_node_label(l);

@@ -104,9 +104,7 @@ mod tests {
         // Exhaustive check against the semantic definition.
         for a in Mult::all() {
             for b in Mult::all() {
-                let semantic = (0..=3usize)
-                    .chain([10])
-                    .all(|c| !a.allows(c) || b.allows(c));
+                let semantic = (0..=3usize).chain([10]).all(|c| !a.allows(c) || b.allows(c));
                 assert_eq!(a.leq(b), semantic, "{a} ≼ {b}");
             }
         }

@@ -121,9 +121,7 @@ impl Schema {
 
     /// All symbols in `Σ±_S`.
     pub fn syms(&self) -> impl Iterator<Item = EdgeSym> + '_ {
-        self.edge_labels
-            .iter()
-            .flat_map(|&l| [EdgeSym::fwd(l), EdgeSym::bwd(l)])
+        self.edge_labels.iter().flat_map(|&l| [EdgeSym::fwd(l), EdgeSym::bwd(l)])
     }
 
     /// `true` iff `l ∈ Γ_S`.
@@ -141,10 +139,7 @@ impl Schema {
         // 1) every node has exactly one label, and it is allowed.
         for n in g.nodes() {
             let labels = g.labels(n);
-            let allowed = labels
-                .iter()
-                .filter(|&l| self.has_node_label(NodeLabel(l)))
-                .count();
+            let allowed = labels.iter().filter(|&l| self.has_node_label(NodeLabel(l))).count();
             if labels.len() != 1 || allowed != 1 {
                 return Err(ConformanceError::BadNodeLabels { node: n, count: allowed });
             }
@@ -218,10 +213,20 @@ impl Schema {
                         t.insert(L0Statement { lhs: a, kind: L0Kind::Exists, role: sym, rhs: b });
                     }
                     if matches!(m, Mult::One | Mult::Opt | Mult::Zero) {
-                        t.insert(L0Statement { lhs: a, kind: L0Kind::AtMostOne, role: sym, rhs: b });
+                        t.insert(L0Statement {
+                            lhs: a,
+                            kind: L0Kind::AtMostOne,
+                            role: sym,
+                            rhs: b,
+                        });
                     }
                     if m == Mult::Zero {
-                        t.insert(L0Statement { lhs: a, kind: L0Kind::NotExists, role: sym, rhs: b });
+                        t.insert(L0Statement {
+                            lhs: a,
+                            kind: L0Kind::NotExists,
+                            role: sym,
+                            rhs: b,
+                        });
                     }
                 }
             }
@@ -231,7 +236,11 @@ impl Schema {
 
     /// Reconstructs the unique schema over (`node_labels`, `edge_labels`)
     /// whose `L0` TBox is `t` (Appendix B); `None` if `t` is incoherent.
-    pub fn from_l0(t: &L0Tbox, node_labels: &[NodeLabel], edge_labels: &[EdgeLabel]) -> Option<Schema> {
+    pub fn from_l0(
+        t: &L0Tbox,
+        node_labels: &[NodeLabel],
+        edge_labels: &[EdgeLabel],
+    ) -> Option<Schema> {
         if !t.is_coherent() {
             return None;
         }
@@ -245,9 +254,8 @@ impl Schema {
         for &a in node_labels {
             for sym in edge_labels.iter().flat_map(|&l| [EdgeSym::fwd(l), EdgeSym::bwd(l)]) {
                 for &b in node_labels {
-                    let has = |kind: L0Kind| {
-                        t.contains(&L0Statement { lhs: a, kind, role: sym, rhs: b })
-                    };
+                    let has =
+                        |kind: L0Kind| t.contains(&L0Statement { lhs: a, kind, role: sym, rhs: b });
                     let m = if has(L0Kind::NotExists) {
                         Mult::Zero
                     } else if has(L0Kind::Exists) && has(L0Kind::AtMostOne) {
@@ -283,16 +291,8 @@ impl Schema {
     pub fn render(&self, vocab: &Vocab) -> String {
         let mut lines = vec![format!(
             "Γ = {{{}}}  Σ = {{{}}}",
-            self.node_labels
-                .iter()
-                .map(|&l| vocab.node_name(l))
-                .collect::<Vec<_>>()
-                .join(", "),
-            self.edge_labels
-                .iter()
-                .map(|&l| vocab.edge_name(l))
-                .collect::<Vec<_>>()
-                .join(", ")
+            self.node_labels.iter().map(|&l| vocab.node_name(l)).collect::<Vec<_>>().join(", "),
+            self.edge_labels.iter().map(|&l| vocab.edge_name(l)).collect::<Vec<_>>().join(", ")
         )];
         let mut entries: Vec<_> = self.delta.iter().collect();
         entries.sort_by_key(|((a, sym, b), _)| (*a, *sym, *b));
@@ -380,7 +380,10 @@ mod tests {
         let mut g = Graph::new();
         g.add_labeled_node([vaccine]);
         let err = s.conforms(&g).unwrap_err();
-        assert!(matches!(err, ConformanceError::MultiplicityViolated { expected: Mult::One, count: 0, .. }));
+        assert!(matches!(
+            err,
+            ConformanceError::MultiplicityViolated { expected: Mult::One, count: 0, .. }
+        ));
     }
 
     #[test]
@@ -429,7 +432,10 @@ mod tests {
         let mut g = medical_graph(&mut v);
         let foreign = v.edge_label("foreign");
         g.add_edge(NodeId(0), foreign, NodeId(1));
-        assert!(matches!(s.conforms(&g).unwrap_err(), ConformanceError::EdgeLabelNotAllowed { .. }));
+        assert!(matches!(
+            s.conforms(&g).unwrap_err(),
+            ConformanceError::EdgeLabelNotAllowed { .. }
+        ));
     }
 
     #[test]
@@ -507,11 +513,7 @@ mod tests {
                 .fold(Concept::Bottom, |acc, &l| Concept::or(acc, Concept::Atom(l)));
             let cover = g.nodes().all(|n| cover_concept.holds_at(g, n));
             let disjoint = g.nodes().all(|n| {
-                g.labels(n)
-                    .iter()
-                    .filter(|&l| s.has_node_label(NodeLabel(l)))
-                    .count()
-                    <= 1
+                g.labels(n).iter().filter(|&l| s.has_node_label(NodeLabel(l))).count() <= 1
             });
             assert_eq!(horn_ok && cover && disjoint, expect);
             assert_eq!(s.conforms(g).is_ok(), expect);
@@ -523,11 +525,7 @@ mod tests {
         let mut v = Vocab::new();
         let s = medical_s0(&mut v);
         let hat = s.hat_tbox();
-        let bottoms = hat
-            .cis
-            .iter()
-            .filter(|c| matches!(c, HornCi::Bottom { .. }))
-            .count();
+        let bottoms = hat.cis.iter().filter(|c| matches!(c, HornCi::Bottom { .. })).count();
         // 3 labels → 3 unordered pairs.
         assert_eq!(bottoms, 3);
     }

@@ -4,14 +4,14 @@
 //! bridging the gap.
 //!
 //! ```sh
-//! cargo run --example containment_explorer
+//! cargo run -p gts-tests --example containment_explorer
 //! ```
 
 use gts_containment::{complete, rollup_negation, CompletionConfig};
 use gts_core::prelude::*;
 use gts_dl::HornTbox;
 
-fn main() {
+pub fn main() {
     let mut vocab = Vocab::new();
     let a = vocab.node_label("A");
     let s_edge = vocab.edge_label("s");
@@ -95,10 +95,7 @@ fn main() {
     loose_schema.set_edge(a, s_edge, a, Mult::Plus, Mult::Star);
     loose_schema.set_edge(a, r_edge, a, Mult::Star, Mult::Star);
     let ans2 = contains(&p, &q, &loose_schema, &mut vocab, &opts).unwrap();
-    println!(
-        "\nWithout δ(A, s⁻, A) = ? : holds={} certified={}",
-        ans2.holds, ans2.certified
-    );
+    println!("\nWithout δ(A, s⁻, A) = ? : holds={} certified={}", ans2.holds, ans2.certified);
     assert!(!ans2.holds);
 
     // And here a finite counterexample genuinely exists: an r-loop node

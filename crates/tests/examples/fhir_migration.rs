@@ -10,12 +10,12 @@
 //! encounters get folded into a direct `treatedDuring` edge.
 //!
 //! ```sh
-//! cargo run --example fhir_migration
+//! cargo run -p gts-tests --example fhir_migration
 //! ```
 
 use gts_core::prelude::*;
 
-fn main() {
+pub fn main() {
     let mut vocab = Vocab::new();
 
     // ── R4-like source schema ──────────────────────────────────────────
@@ -50,9 +50,8 @@ fn main() {
     println!("R5-like target schema:\n{}\n", r5.render(&vocab));
 
     // ── The migration transformation (all bodies acyclic C2RPQs) ──────
-    let unary = |l| {
-        C2rpq::new(1, vec![Var(0)], vec![Atom { x: Var(0), y: Var(0), regex: Regex::node(l) }])
-    };
+    let unary =
+        |l| C2rpq::new(1, vec![Var(0)], vec![Atom { x: Var(0), y: Var(0), regex: Regex::node(l) }]);
     let path = |re: Regex| {
         C2rpq::new(2, vec![Var(0), Var(1)], vec![Atom { x: Var(0), y: Var(1), regex: re }])
     };

@@ -4,15 +4,15 @@
 //! that transformations never construct literal nodes from non-literal
 //! ones.
 //!
-//! Run with `cargo run -p gts-core --example literal_values`.
+//! Run with `cargo run -p gts-tests --example literal_values`.
 
+use gts_core::graph::LabelSet;
 use gts_core::prelude::*;
 use gts_core::query::{Atom, C2rpq, Regex, Var};
 use gts_core::schema::Mult;
 use gts_core::{apply_with_values, check_literal_safety, Value, ValueGraph};
-use gts_core::graph::LabelSet;
 
-fn main() {
+pub fn main() {
     let mut v = Vocab::new();
     let product = v.node_label("Product");
     let price = v.node_label("Price"); // the literal label
@@ -44,14 +44,18 @@ fn main() {
     );
 
     // A well-behaved migration: Products become Offers, prices are copied.
-    let unary = |l| C2rpq::new(1, vec![Var(0)], vec![Atom { x: Var(0), y: Var(0), regex: Regex::node(l) }]);
+    let unary =
+        |l| C2rpq::new(1, vec![Var(0)], vec![Atom { x: Var(0), y: Var(0), regex: Regex::node(l) }]);
     let binary = |re: Regex| {
         C2rpq::new(2, vec![Var(0), Var(1)], vec![Atom { x: Var(0), y: Var(1), regex: re }])
     };
     let mut good = Transformation::new();
-    good.add_node_rule(offer, unary(product))
-        .add_node_rule(price, unary(price))
-        .add_edge_rule(amount, (offer, 1), (price, 1), binary(Regex::edge(has_price)));
+    good.add_node_rule(offer, unary(product)).add_node_rule(price, unary(price)).add_edge_rule(
+        amount,
+        (offer, 1),
+        (price, 1),
+        binary(Regex::edge(has_price)),
+    );
 
     let report = check_literal_safety(&good, &s, &literals, &mut v, &Default::default()).unwrap();
     println!(
@@ -83,9 +87,6 @@ fn main() {
     let mut bad = Transformation::new();
     bad.add_node_rule(price, unary(product));
     let report = check_literal_safety(&bad, &s, &literals, &mut v, &Default::default()).unwrap();
-    println!(
-        "literal safety of `Price(f(x)) ← Product(x)`: {:?}",
-        report.violations
-    );
+    println!("literal safety of `Price(f(x)) ← Product(x)`: {:?}", report.violations);
     assert!(!report.decision().holds);
 }

@@ -10,7 +10,7 @@
 //! schema against `S1`.
 //!
 //! ```sh
-//! cargo run --example medical_schema_evolution
+//! cargo run -p gts-tests --example medical_schema_evolution
 //! ```
 
 use gts_core::prelude::*;
@@ -38,7 +38,7 @@ fn schemas(vocab: &mut Vocab) -> (Schema, Schema) {
     (s0, s1)
 }
 
-fn main() {
+pub fn main() {
     let mut vocab = Vocab::new();
     let t0 = medical_transformation(&mut vocab);
     let (s0, s1) = schemas(&mut vocab);
@@ -94,11 +94,7 @@ fn main() {
     let qt = Uc2rpq::single(C2rpq::new(
         2,
         vec![Var(0)],
-        vec![Atom {
-            x: Var(0),
-            y: Var(1),
-            regex: Regex::edge(dt).then(Regex::edge(cr).star()),
-        }],
+        vec![Atom { x: Var(0), y: Var(1), regex: Regex::edge(dt).then(Regex::edge(cr).star()) }],
     ));
     let ans = contains(&qv, &qt, &s0, &mut vocab, &opts).unwrap();
     println!(
@@ -114,9 +110,6 @@ fn main() {
         elicited.certified,
         elicited.schema.render(&vocab)
     );
-    assert!(
-        elicited.schema.contains_in(&s1),
-        "the elicited schema is at least as tight as S1"
-    );
+    assert!(elicited.schema.contains_in(&s1), "the elicited schema is at least as tight as S1");
     println!("\nThe elicited schema is contained in S1 — minimality in action.");
 }

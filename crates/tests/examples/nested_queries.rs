@@ -5,14 +5,14 @@
 //! flattening into plain C2RPQs, schema-aware containment with a nested
 //! right-hand side, and NRE rule bodies in executable transformations.
 //!
-//! Run with `cargo run -p gts-core --example nested_queries`.
+//! Run with `cargo run -p gts-tests --example nested_queries`.
 
 use gts_core::containment::{contains_nre, ContainmentOptions};
 use gts_core::prelude::*;
 use gts_core::query::{Nre, NreAtom, NreC2rpq, NreUc2rpq, Var};
 use gts_core::schema::Mult;
 
-fn main() {
+pub fn main() {
     let mut v = Vocab::new();
     let person = v.node_label("Person");
     let post = v.node_label("Post");
@@ -53,8 +53,10 @@ fn main() {
     for (x, y) in sorted {
         println!("  n{} ⇝ n{}", x.0, y.0);
     }
-    println!("(dave appears in no chain: each step ends in the ⟨likes⟩ test, \
-              and dave likes nothing)\n");
+    println!(
+        "(dave appears in no chain: each step ends in the ⟨likes⟩ test, \
+              and dave likes nothing)\n"
+    );
 
     // Flattening: the nest NOT under a star flattens exactly.
     let one_step = NreC2rpq::new(
@@ -102,8 +104,7 @@ fn main() {
         vec![],
         vec![NreAtom { x: Var(0), y: Var(1), nre: Nre::edge(follows) }],
     ));
-    let ans2 =
-        contains_nre(&bare, &q, &s_forced, &mut v, &ContainmentOptions::default()).unwrap();
+    let ans2 = contains_nre(&bare, &q, &s_forced, &mut v, &ContainmentOptions::default()).unwrap();
     println!(
         "with δ(Person,likes,Post)=1:  ∃ follows  ⊆_S  ∃ (follows·⟨likes⟩)⁺ ?  {} ({})\n",
         if ans2.holds { "yes" } else { "no" },

@@ -2,12 +2,12 @@
 //! analyses of the paper.
 //!
 //! ```sh
-//! cargo run --example quickstart
+//! cargo run -p gts-tests --example quickstart
 //! ```
 
 use gts_core::prelude::*;
 
-fn main() {
+pub fn main() {
     // ── 1. Vocabulary and source schema ────────────────────────────────
     // People post Messages; every Message has exactly one author.
     let mut vocab = Vocab::new();
@@ -24,9 +24,8 @@ fn main() {
     // ── 2. A transformation: replace `wrote` by a `reaches` edge from
     //      every (transitive) follower to the message ────────────────────
     let reaches = vocab.edge_label("reaches");
-    let unary = |l| {
-        C2rpq::new(1, vec![Var(0)], vec![Atom { x: Var(0), y: Var(0), regex: Regex::node(l) }])
-    };
+    let unary =
+        |l| C2rpq::new(1, vec![Var(0)], vec![Atom { x: Var(0), y: Var(0), regex: Regex::node(l) }]);
     let mut t = Transformation::new();
     t.add_node_rule(person, unary(person));
     t.add_node_rule(message, unary(message));
@@ -90,9 +89,6 @@ fn main() {
         ),
     );
     let eq = gts_core::equivalence(&t, &t2, &source, &mut vocab, &opts).unwrap();
-    println!(
-        "T ≡ T + (wrote-only rule): holds={} certified={}",
-        eq.holds, eq.certified
-    );
+    println!("T ≡ T + (wrote-only rule): holds={} certified={}", eq.holds, eq.certified);
     assert!(eq.holds, "the extra rule is subsumed by follows*·wrote");
 }

@@ -3,12 +3,12 @@
 //! containment-minimal schema capturing every possible output.
 //!
 //! ```sh
-//! cargo run --example schema_elicitation
+//! cargo run -p gts-tests --example schema_elicitation
 //! ```
 
 use gts_core::prelude::*;
 
-fn main() {
+pub fn main() {
     let mut vocab = Vocab::new();
 
     // Source: Books with exactly one Author each; Authors may have mentors.
@@ -26,9 +26,8 @@ fn main() {
     // to its author and to the author's whole mentor lineage.
     let entry = vocab.node_label("Entry");
     let credited = vocab.edge_label("creditedTo");
-    let unary = |l| {
-        C2rpq::new(1, vec![Var(0)], vec![Atom { x: Var(0), y: Var(0), regex: Regex::node(l) }])
-    };
+    let unary =
+        |l| C2rpq::new(1, vec![Var(0)], vec![Atom { x: Var(0), y: Var(0), regex: Regex::node(l) }]);
     let mut t = Transformation::new();
     t.add_node_rule(entry, unary(book));
     t.add_node_rule(author, unary(author));

@@ -1,0 +1,3 @@
+//! Host crate for the workspace-level integration suites (`tests/`) and the
+//! runnable examples (`examples/`). It exports nothing; depending on every
+//! `gts-*` crate here gives the suites and examples a single build target.

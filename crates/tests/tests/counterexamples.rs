@@ -42,8 +42,8 @@ fn type_check_failure_yields_verified_input() {
     let d = type_check(&t, &s0, &s0, &mut v, &Default::default()).unwrap();
     assert!(!d.holds);
 
-    let cex = type_check_counterexample(&t, &s0, &s0, 100, 2, &mut rng())
-        .expect("refuting input exists");
+    let cex =
+        type_check_counterexample(&t, &s0, &s0, 100, 2, &mut rng()).expect("refuting input exists");
     // Verified: input conforms to S0, output does not.
     assert!(s0.conforms(&cex.input).is_ok());
     assert!(s0.conforms(&cex.output).is_err());
@@ -76,8 +76,11 @@ fn equivalence_failure_yields_verified_input() {
     let targets = v.find_edge_label("targets").unwrap();
 
     // T2: like T0 but `targets` = designTarget only.
-    let unary = |l| C2rpq::new(1, vec![Var(0)], vec![Atom { x: Var(0), y: Var(0), regex: Regex::node(l) }]);
-    let binary = |re: Regex| C2rpq::new(2, vec![Var(0), Var(1)], vec![Atom { x: Var(0), y: Var(1), regex: re }]);
+    let unary =
+        |l| C2rpq::new(1, vec![Var(0)], vec![Atom { x: Var(0), y: Var(0), regex: Regex::node(l) }]);
+    let binary = |re: Regex| {
+        C2rpq::new(2, vec![Var(0), Var(1)], vec![Atom { x: Var(0), y: Var(1), regex: re }])
+    };
     let mut t2 = Transformation::new();
     t2.add_node_rule(vaccine, unary(vaccine))
         .add_node_rule(antigen, unary(antigen))

@@ -28,8 +28,7 @@ fn containment_decisions_agree_with_finite_oracles() {
         };
         let schema = random_schema(&cfg, &mut vocab, &mut rng);
         let (p, q) = random_query_pair(&schema, &mut vocab, &mut rng);
-        let Ok(ans) = contains(&p, &q, &schema, &mut vocab, &ContainmentOptions::default())
-        else {
+        let Ok(ans) = contains(&p, &q, &schema, &mut vocab, &ContainmentOptions::default()) else {
             continue;
         };
         if !ans.certified {
@@ -75,8 +74,7 @@ fn non_containment_usually_has_small_witnesses() {
         };
         let schema = random_schema(&cfg, &mut vocab, &mut rng);
         let (p, q) = random_query_pair(&schema, &mut vocab, &mut rng);
-        let Ok(ans) = contains(&p, &q, &schema, &mut vocab, &ContainmentOptions::default())
-        else {
+        let Ok(ans) = contains(&p, &q, &schema, &mut vocab, &ContainmentOptions::default()) else {
             continue;
         };
         if !ans.certified || ans.holds {
@@ -150,14 +148,9 @@ fn conformance_matches_tbox_semantics_on_random_graphs() {
         // Prop. B.1: conformance ⇔ T_S ∧ label cover ∧ label disjointness.
         let tbox = schema.to_l0().to_horn();
         let horn_ok = tbox.check_graph(&g).is_ok();
-        let cover = g
-            .nodes()
-            .all(|n| schema.node_labels().iter().any(|&l| g.has_label(n, l)));
+        let cover = g.nodes().all(|n| schema.node_labels().iter().any(|&l| g.has_label(n, l)));
         let disjoint = g.nodes().all(|n| {
-            g.labels(n)
-                .iter()
-                .filter(|&l| schema.node_labels().contains(&NodeLabel(l)))
-                .count()
+            g.labels(n).iter().filter(|&l| schema.node_labels().contains(&NodeLabel(l))).count()
                 <= 1
                 && g.labels(n).len()
                     == g.labels(n)
@@ -165,9 +158,7 @@ fn conformance_matches_tbox_semantics_on_random_graphs() {
                         .filter(|&l| schema.node_labels().contains(&NodeLabel(l)))
                         .count()
         });
-        let edge_ok = g
-            .edges()
-            .all(|(_, l, _)| schema.edge_labels().contains(&l));
+        let edge_ok = g.edges().all(|(_, l, _)| schema.edge_labels().contains(&l));
         assert_eq!(
             conforms,
             horn_ok && cover && disjoint && edge_ok,
@@ -212,8 +203,7 @@ fn arb_regex() -> impl Strategy<Value = Regex> {
         prop_oneof![
             (inner.clone(), inner.clone())
                 .prop_map(|(a, b)| Regex::Concat(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Regex::Alt(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Regex::Alt(Box::new(a), Box::new(b))),
             inner.prop_map(|a| Regex::Star(Box::new(a))),
         ]
     })

@@ -1,0 +1,45 @@
+//! Smoke tests over the runnable examples: each `examples/*.rs` is included
+//! as a module and its `main` is executed, so `cargo test -q` fails the
+//! moment an example stops compiling or starts panicking. The examples
+//! remain runnable directly via `cargo run -p gts-tests --example <name>`.
+
+macro_rules! example_smoke {
+    ($($test:ident => $module:ident),+ $(,)?) => {$(
+        #[test]
+        fn $test() {
+            $module::main();
+        }
+    )+};
+}
+
+#[path = "../examples/containment_explorer.rs"]
+#[allow(dead_code)]
+mod containment_explorer_example;
+#[path = "../examples/fhir_migration.rs"]
+#[allow(dead_code)]
+mod fhir_migration_example;
+#[path = "../examples/literal_values.rs"]
+#[allow(dead_code)]
+mod literal_values_example;
+#[path = "../examples/medical_schema_evolution.rs"]
+#[allow(dead_code)]
+mod medical_schema_evolution_example;
+#[path = "../examples/nested_queries.rs"]
+#[allow(dead_code)]
+mod nested_queries_example;
+#[path = "../examples/quickstart.rs"]
+#[allow(dead_code)]
+mod quickstart_example;
+#[path = "../examples/schema_elicitation.rs"]
+#[allow(dead_code)]
+mod schema_elicitation_example;
+
+example_smoke!(
+    containment_explorer => containment_explorer_example,
+    fhir_migration => fhir_migration_example,
+    literal_values => literal_values_example,
+    medical_schema_evolution => medical_schema_evolution_example,
+    nested_queries => nested_queries_example,
+    quickstart => quickstart_example,
+    schema_elicitation => schema_elicitation_example,
+);

@@ -85,10 +85,8 @@ fn nre_strategy() -> impl Strategy<Value = Nre> {
     ];
     leaf.prop_recursive(3, 24, 2, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Nre::Concat(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Nre::Alt(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Nre::Concat(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Nre::Alt(Box::new(a), Box::new(b))),
             inner.clone().prop_map(|a| Nre::Star(Box::new(a))),
             inner.prop_map(|a| Nre::Nest(Box::new(a))),
         ]
@@ -208,18 +206,14 @@ fn starved_budgets_never_certify_wrong_answers() {
     let instances: Vec<(Uc2rpq, Uc2rpq)> = vec![
         (atom(Regex::edge(r)), atom(Regex::edge(r).or(Regex::edge(s_edge)))),
         (atom(Regex::edge(r).or(Regex::edge(s_edge))), atom(Regex::edge(r))),
-        (
-            atom(Regex::edge(r)),
-            atom(Regex::edge(r).then(Regex::edge(s_edge).star())),
-        ),
+        (atom(Regex::edge(r)), atom(Regex::edge(r).then(Regex::edge(s_edge).star()))),
         (
             atom(Regex::edge(r).then(Regex::edge(s_edge))),
             atom(Regex::edge(r).then(Regex::edge(s_edge).star())),
         ),
     ];
     let default_opts = ContainmentOptions::default();
-    let starved_opts =
-        ContainmentOptions { budget: starved_budget(), ..Default::default() };
+    let starved_opts = ContainmentOptions { budget: starved_budget(), ..Default::default() };
     for (i, (p, q)) in instances.iter().enumerate() {
         let full = contains(p, q, &schema, &mut v, &default_opts).unwrap();
         assert!(full.certified, "instance {i}: default budget must certify");
@@ -258,8 +252,7 @@ fn starved_nre_pipeline_is_honest() {
     ));
     let full = contains_nre(&p, &q, &s, &mut v, &Default::default()).unwrap();
     assert!(full.holds && full.certified, "likes is forced by the schema");
-    let starved =
-        ContainmentOptions { budget: starved_budget(), ..Default::default() };
+    let starved = ContainmentOptions { budget: starved_budget(), ..Default::default() };
     let lean = contains_nre(&p, &q, &s, &mut v, &starved).unwrap();
     if lean.certified {
         assert_eq!(lean.holds, full.holds);
@@ -323,11 +316,7 @@ fn finite_satisfiability_agrees_with_enumeration() {
     let b = v.node_label("B");
     let r = v.edge_label("r");
     let set = |ls: &[NodeLabel]| LabelSet::from_iter(ls.iter().map(|l| l.0));
-    let query_a = C2rpq::new(
-        1,
-        vec![],
-        vec![Atom { x: Var(0), y: Var(0), regex: Regex::node(a) }],
-    );
+    let query_a = C2rpq::new(1, vec![], vec![Atom { x: Var(0), y: Var(0), regex: Regex::node(a) }]);
 
     let tboxes: Vec<HornTbox> = vec![
         // 0: empty.

@@ -20,12 +20,14 @@ fn gen_config() -> SchemaGenConfig {
 
 /// The key soundness property of elicitation: every concrete output of the
 /// transformation conforms to the (certified) elicited schema.
-#[test]
-fn elicited_schema_accepts_all_outputs() {
+///
+/// `num_seeds` controls sweep length; each elicitation costs seconds, so the
+/// always-on test runs a short prefix and the `#[ignore]`d sweep the rest.
+fn elicited_schema_accepts_outputs_sweep(num_seeds: u64, min_checked: usize) {
     let mut rng = StdRng::seed_from_u64(2024);
     let opts = ContainmentOptions::default();
     let mut checked = 0;
-    for seed in 0..4u64 {
+    for seed in 0..num_seeds {
         let mut vocab = Vocab::new();
         let schema = random_schema(&gen_config(), &mut vocab, &mut rng);
         let t = random_transformation(
@@ -57,17 +59,30 @@ fn elicited_schema_accepts_all_outputs() {
             }
         }
     }
-    assert!(checked >= 5, "too few instances exercised ({checked})");
+    assert!(checked >= min_checked, "too few instances exercised ({checked})");
+}
+
+/// Fast deterministic prefix of the elicitation-soundness sweep; always on.
+#[test]
+fn elicited_schema_accepts_all_outputs() {
+    elicited_schema_accepts_outputs_sweep(2, 1);
+}
+
+/// Full elicitation-soundness sweep. Run with:
+/// `cargo test -p gts-tests --test pipeline -- --ignored`
+#[test]
+#[ignore = "multi-seed sweep takes ~20s; the fast prefix is always on"]
+fn elicited_schema_accepts_all_outputs_full() {
+    elicited_schema_accepts_outputs_sweep(4, 5);
 }
 
 /// Type checking against the elicited schema must succeed (the elicited
 /// schema is by definition a valid target).
-#[test]
-fn type_check_against_elicited_schema_holds() {
+fn type_check_elicited_sweep(num_seeds: u64, min_checked: usize) {
     let mut rng = StdRng::seed_from_u64(99);
     let opts = ContainmentOptions::default();
     let mut checked = 0;
-    for seed in 0..3u64 {
+    for seed in 0..num_seeds {
         let mut vocab = Vocab::new();
         let schema = random_schema(&gen_config(), &mut vocab, &mut rng);
         let t = random_transformation(
@@ -86,7 +101,21 @@ fn type_check_against_elicited_schema_holds() {
         assert!(d.holds, "elicited schema must type-check (seed {seed})");
         checked += 1;
     }
-    assert!(checked >= 2);
+    assert!(checked >= min_checked, "too few instances exercised ({checked})");
+}
+
+/// Fast deterministic prefix of the elicited-schema type-check sweep.
+#[test]
+fn type_check_against_elicited_schema_holds() {
+    type_check_elicited_sweep(1, 1);
+}
+
+/// Full elicited-schema type-check sweep. Run with:
+/// `cargo test -p gts-tests --test pipeline -- --ignored`
+#[test]
+#[ignore = "multi-seed sweep takes ~15s; the fast prefix is always on"]
+fn type_check_against_elicited_schema_holds_full() {
+    type_check_elicited_sweep(3, 2);
 }
 
 /// Generated transformations are self-equivalent, and equivalence detects
@@ -157,11 +186,7 @@ fn trimming_preserves_outputs() {
         C2rpq::new(
             2,
             vec![Var(0), Var(1)],
-            vec![Atom {
-                x: Var(0),
-                y: Var(1),
-                regex: Regex::node(vaccine).then(Regex::edge(ex)),
-            }],
+            vec![Atom { x: Var(0), y: Var(1), regex: Regex::node(vaccine).then(Regex::edge(ex)) }],
         ),
     );
     let mut s0 = Schema::new();
@@ -202,8 +227,8 @@ fn decisions_are_deterministic() {
         s0.set_edge(vaccine, dt, antigen, Mult::One, Mult::Star);
         s0.set_edge(antigen, cr, antigen, Mult::Star, Mult::Star);
         s0.set_edge(pathogen, ex, antigen, Mult::Plus, Mult::Star);
-        let e = gts_core::elicit_schema(&t0, &s0, &mut vocab, &ContainmentOptions::default())
-            .unwrap();
+        let e =
+            gts_core::elicit_schema(&t0, &s0, &mut vocab, &ContainmentOptions::default()).unwrap();
         e.schema.render(&vocab)
     };
     assert_eq!(run(), run());
