@@ -1,0 +1,187 @@
+//! Seeds the performance trajectory: measures the paper's three analyses
+//! cold (fresh state per call) and through a cached `AnalysisSession`
+//! (cold first run, warm re-run), plus a repeated-containment benchmark,
+//! and writes the machine-readable report `BENCH_baseline.json`.
+//!
+//! ```sh
+//! cargo run --release -p gts-bench --bin baseline                 # BENCH_baseline.json
+//! cargo run --release -p gts-bench --bin baseline -- out.json     # custom path
+//! ```
+
+use gts_bench::{fig2, medical};
+use gts_core::prelude::*;
+use gts_engine::{AnalysisSession, Json};
+use std::time::Instant;
+
+fn timed<T>(f: impl FnOnce() -> T) -> (T, u64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_micros() as u64)
+}
+
+/// One analysis measured cold (fresh vocab, no shared state), session-cold
+/// (first run in a fresh session), and session-warm (re-run in the same
+/// session).
+struct AnalysisRow {
+    name: &'static str,
+    cold_micros: u64,
+    session_cold_micros: u64,
+    session_warm_micros: u64,
+}
+
+impl AnalysisRow {
+    fn json(&self) -> Json {
+        let mut e = Json::obj();
+        e.set("name", self.name)
+            .set("cold_micros", self.cold_micros)
+            .set("session_cold_micros", self.session_cold_micros)
+            .set("session_warm_micros", self.session_warm_micros)
+            .set("warm_speedup_over_cold", ratio(self.cold_micros, self.session_warm_micros));
+        e
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    num as f64 / den.max(1) as f64
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_baseline.json".into());
+    let opts = ContainmentOptions::default();
+
+    // ---- The three analyses over the Figure 1 medical fixture. Each
+    // analysis gets a *fresh* session for its cold/warm pair, so
+    // session_cold is genuinely a first run; cross-analysis reuse is
+    // measured separately by the shared-session pass below. ----
+    let mut rows = Vec::new();
+    {
+        let m = medical();
+        let mut vocab = m.vocab.clone();
+        let (_, cold) =
+            timed(|| type_check(&m.t0, &m.s0, &m.s1, &mut vocab, &opts).expect("type check"));
+        let mut session = AnalysisSession::new(m.s0.clone(), m.vocab);
+        let (_, s_cold) = timed(|| session.type_check(&m.t0, &m.s1).expect("type check"));
+        let (_, s_warm) = timed(|| session.type_check(&m.t0, &m.s1).expect("type check"));
+        rows.push(AnalysisRow {
+            name: "type_check_medical",
+            cold_micros: cold,
+            session_cold_micros: s_cold,
+            session_warm_micros: s_warm,
+        });
+    }
+    {
+        let m = medical();
+        let mut vocab = m.vocab.clone();
+        let (_, cold) =
+            timed(|| equivalence(&m.t0, &m.t0, &m.s0, &mut vocab, &opts).expect("equivalence"));
+        let mut session = AnalysisSession::new(m.s0.clone(), m.vocab);
+        let (_, s_cold) = timed(|| session.equivalence(&m.t0, &m.t0).expect("equivalence"));
+        let (_, s_warm) = timed(|| session.equivalence(&m.t0, &m.t0).expect("equivalence"));
+        rows.push(AnalysisRow {
+            name: "equivalence_medical",
+            cold_micros: cold,
+            session_cold_micros: s_cold,
+            session_warm_micros: s_warm,
+        });
+    }
+    {
+        let m = medical();
+        let mut vocab = m.vocab.clone();
+        let (_, cold) = timed(|| elicit_schema(&m.t0, &m.s0, &mut vocab, &opts).expect("elicit"));
+        let mut session = AnalysisSession::new(m.s0.clone(), m.vocab);
+        let (_, s_cold) = timed(|| session.elicit(&m.t0).expect("elicit"));
+        let (_, s_warm) = timed(|| session.elicit(&m.t0).expect("elicit"));
+        rows.push(AnalysisRow {
+            name: "elicit_medical",
+            cold_micros: cold,
+            session_cold_micros: s_cold,
+            session_warm_micros: s_warm,
+        });
+    }
+
+    // ---- Cross-analysis reuse: all three analyses through ONE session;
+    // its cache stats quantify how much the analyses share. ----
+    let session = {
+        let m = medical();
+        let mut s = AnalysisSession::new(m.s0.clone(), m.vocab);
+        s.type_check(&m.t0, &m.s1).expect("type check");
+        s.equivalence(&m.t0, &m.t0).expect("equivalence");
+        s.elicit(&m.t0).expect("elicit");
+        s
+    };
+
+    // ---- Repeated containment: the Figure 2 instance asked N times. ----
+    const ITERS: usize = 10;
+    let repeated = {
+        let mut f = fig2();
+        let (_, cold) = timed(|| {
+            for _ in 0..ITERS {
+                contains(&f.p, &f.q, &f.schema, &mut f.vocab, &opts).expect("contains");
+            }
+        });
+        let f = fig2();
+        let mut s = AnalysisSession::new(f.schema.clone(), f.vocab.clone());
+        let (_, warm) = timed(|| {
+            for _ in 0..ITERS {
+                s.contains(&f.p, &f.q).expect("contains");
+            }
+        });
+        let stats = s.stats();
+        let mut e = Json::obj();
+        e.set("iterations", ITERS)
+            .set("cold_micros", cold)
+            .set("warm_micros", warm)
+            .set("speedup", ratio(cold, warm))
+            .set("warm_beats_cold", warm < cold)
+            .set("cache_hits", stats.hits)
+            .set("cache_misses", stats.misses);
+        println!(
+            "repeated containment ({ITERS}x fig2): cold {cold}us, warm session {warm}us \
+             (speedup {:.1}x, {} hits / {} misses)",
+            ratio(cold, warm),
+            stats.hits,
+            stats.misses
+        );
+        if warm >= cold {
+            eprintln!("warning: warm session did not beat the cold path");
+        }
+        e
+    };
+
+    // ---- Assemble the report. ----
+    let stats = session.stats();
+    let (nfa_hits, nfa_misses) = gts_core::query::nfa_cache_stats();
+    let mut doc = Json::obj();
+    doc.set("schema_version", 1u64).set("generated_by", "gts-bench baseline");
+    doc.set("analyses", Json::Arr(rows.iter().map(AnalysisRow::json).collect()));
+    doc.set("repeated_containment", repeated);
+    let mut cache = Json::obj();
+    cache
+        .set("hits", stats.hits)
+        .set("misses", stats.misses)
+        .set("entries", stats.entries)
+        .set("hit_rate", stats.hit_rate());
+    doc.set("containment_cache", cache);
+    let mut nfa = Json::obj();
+    nfa.set("hits", nfa_hits)
+        .set("misses", nfa_misses)
+        .set("hit_rate", ratio(nfa_hits, nfa_hits + nfa_misses));
+    doc.set("nfa_cache", nfa);
+
+    for r in &rows {
+        println!(
+            "{:22} cold {:>8}us | session cold {:>8}us | warm {:>8}us",
+            r.name, r.cold_micros, r.session_cold_micros, r.session_warm_micros
+        );
+    }
+    println!(
+        "containment cache: {} hits / {} misses ({} entries, {:.0}% hit rate)",
+        stats.hits,
+        stats.misses,
+        stats.entries,
+        stats.hit_rate() * 100.0
+    );
+    std::fs::write(&out_path, doc.pretty())
+        .unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    println!("wrote {out_path}");
+}

@@ -4,17 +4,47 @@
 //! ```sh
 //! cargo run --release -p gts-bench --bin paper_figures            # all
 //! cargo run --release -p gts-bench --bin paper_figures fig2       # one
+//! cargo run --release -p gts-bench --bin paper_figures -- --json BENCH_figures.json
 //! ```
+//!
+//! With `--json PATH`, the rows are additionally written to `PATH` as a
+//! machine-readable JSON report (same shape as `BENCH_baseline.json`'s
+//! rows: experiment id, outcome, paper claim, wall-clock micros).
 
 use gts_bench::{chain_instance, fig2, medical};
 use gts_containment::{complete, rollup_negation, CompletionConfig};
 use gts_core::prelude::*;
 use gts_dl::HornTbox;
+use gts_engine::Json;
 use gts_hardness::{encode_run, machines, reduce};
+use std::sync::Mutex;
 use std::time::Instant;
 
+/// Rows recorded by [`row`] for the optional JSON report.
+static ROWS: Mutex<Vec<(String, String, String, u64)>> = Mutex::new(Vec::new());
+
 fn main() {
-    let filter = std::env::args().nth(1).unwrap_or_default();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json_path = None;
+    let mut filter = String::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--json" {
+            match args.get(i + 1) {
+                Some(path) if !path.starts_with("--") => json_path = Some(path.clone()),
+                _ => {
+                    eprintln!("--json requires a PATH argument");
+                    std::process::exit(2);
+                }
+            }
+            i += 2;
+        } else {
+            if filter.is_empty() {
+                filter = args[i].clone();
+            }
+            i += 1;
+        }
+    }
     let run = |id: &str| filter.is_empty() || filter.eq_ignore_ascii_case(id);
     println!("experiment | outcome | paper claim | time");
     println!("-----------+---------+-------------+-----");
@@ -63,10 +93,36 @@ fn main() {
     if run("ext_values") {
         ext_values();
     }
+    if let Some(path) = json_path {
+        let rows = ROWS.lock().unwrap();
+        let mut doc = Json::obj();
+        doc.set("generated_by", "gts-bench paper_figures");
+        let entries: Vec<Json> = rows
+            .iter()
+            .map(|(id, outcome, claim, micros)| {
+                let mut e = Json::obj();
+                e.set("id", id.as_str())
+                    .set("outcome", outcome.as_str())
+                    .set("claim", claim.as_str())
+                    .set("micros", *micros);
+                e
+            })
+            .collect();
+        doc.set("experiments", Json::Arr(entries));
+        std::fs::write(&path, doc.pretty()).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("wrote {path}");
+    }
 }
 
 fn row(id: &str, outcome: &str, claim: &str, t: Instant) {
-    println!("{id:10} | {outcome} | {claim} | {:?}", t.elapsed());
+    let elapsed = t.elapsed();
+    println!("{id:10} | {outcome} | {claim} | {elapsed:?}");
+    ROWS.lock().unwrap().push((
+        id.to_owned(),
+        outcome.to_owned(),
+        claim.to_owned(),
+        elapsed.as_micros() as u64,
+    ));
 }
 
 /// Figure 1 / Example 1.1: migrate a knowledge graph; outputs conform to

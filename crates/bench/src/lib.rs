@@ -1,9 +1,14 @@
 //! # gts-bench
 //!
 //! Shared fixtures for the benchmark harness: the paper's figures and
-//! examples as reusable workloads, plus scaling-workload generators. The
-//! `paper_figures` binary regenerates every figure/example experiment (see
-//! EXPERIMENTS.md); the Criterion benches measure them.
+//! examples (Figure 1 / Example 4.1, Figure 2 / Example 5.2, the chain
+//! scaling family) as reusable workloads. Two binaries report on them:
+//! `paper_figures` regenerates every figure/example experiment (see
+//! EXPERIMENTS.md; `--json PATH` emits a machine-readable report) and
+//! `baseline` writes `BENCH_baseline.json` — per-analysis cold vs
+//! warm-`AnalysisSession` wall-clock and cache hit rates, the reference
+//! point of the performance trajectory. The Criterion benches measure the
+//! same fixtures under the harness.
 
 #![warn(missing_docs)]
 

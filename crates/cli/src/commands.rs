@@ -8,6 +8,7 @@
 //! gts apply     FILE --transform T --graph G [--dot]
 //! gts conform   FILE --graph G --schema S
 //! gts contains  FILE --p Q1 --q Q2 --schema S
+//! gts batch     FILE... [--threads N]
 //! ```
 //!
 //! Exit codes: `0` = success / property holds, `1` = property fails /
@@ -17,6 +18,7 @@ use crate::parse::GtsFile;
 use crate::print;
 use gts_core::containment::{contains_nre, ContainmentOptions};
 use gts_core::{elicit_schema, equivalence, type_check};
+use gts_engine::{AnalysisSession, Batch, CacheStats, Json, Request, Verdict};
 use std::collections::HashMap;
 
 /// Outcome of one command: exit code plus the text to print.
@@ -38,7 +40,8 @@ fn usage() -> String {
      \x20 apply     FILE --transform T --graph G [--dot]   run the transformation\n\
      \x20 conform   FILE --graph G --schema S              conformance check\n\
      \x20 contains  FILE --p Q1 --q Q2 --schema S          query containment (Thm 5.1)\n\
-     \x20 safety    FILE --transform T --source S --literals L1,L2   literal safety (§7)\n"
+     \x20 safety    FILE --transform T --source S --literals L1,L2   literal safety (§7)\n\
+     \x20 batch     FILE... [--threads N]                  run all analyses of each file, emit JSON\n"
         .into()
 }
 
@@ -84,6 +87,9 @@ fn run_inner(
     read: &dyn Fn(&str) -> Result<String, String>,
 ) -> Result<Outcome, String> {
     let (flags, positional) = parse_flags(args)?;
+    if positional.first().map(String::as_str) == Some("batch") {
+        return run_batch(&positional[1..], &flags, read);
+    }
     let (cmd, path) = match positional.as_slice() {
         [c, p] => (c.as_str(), p.as_str()),
         _ => return Err("expected `gts <command> <file.gts>`".into()),
@@ -256,6 +262,100 @@ fn run_inner(
         }
         other => Err(format!("unknown command `{other}`")),
     }
+}
+
+/// `gts batch FILE... [--threads N]`: for every file, runs the full
+/// analysis suite — type checking of each transformation against every
+/// (source, target) schema pair, pairwise equivalence of the
+/// transformations modulo each schema, and schema elicitation of each
+/// transformation from each schema — through one cached
+/// [`AnalysisSession`] per (file, source schema), sharded across worker
+/// threads. Emits one JSON document on stdout.
+fn run_batch(
+    paths: &[String],
+    flags: &HashMap<String, String>,
+    read: &dyn Fn(&str) -> Result<String, String>,
+) -> Result<Outcome, String> {
+    if paths.is_empty() {
+        return Err("batch needs at least one .gts file".into());
+    }
+    let threads: usize = match flags.get("threads") {
+        Some(s) => s.parse().map_err(|_| format!("--threads: not a number: `{s}`"))?,
+        None => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8),
+    };
+    let mut files_json = Vec::new();
+    let mut all_hold = true;
+    let mut any_error = false;
+    for path in paths {
+        let src = read(path)?;
+        let file = GtsFile::parse(&src).map_err(|e| format!("{path}:{e}"))?;
+        let mut results_json = Vec::new();
+        let mut hits = 0u64;
+        let mut misses = 0u64;
+        for (source_name, source) in &file.schemas {
+            let mut batch = Batch::new(AnalysisSession::new(source.clone(), file.vocab.clone()));
+            for (tname, t) in &file.transforms {
+                for (target_name, target) in &file.schemas {
+                    batch.push(
+                        format!("check {tname}: {source_name} -> {target_name}"),
+                        Request::TypeCheck { transform: t.clone(), target: target.clone() },
+                    );
+                }
+                batch.push(
+                    format!("elicit {tname} from {source_name}"),
+                    Request::Elicit { transform: t.clone() },
+                );
+            }
+            for (i, (n1, t1)) in file.transforms.iter().enumerate() {
+                for (n2, t2) in file.transforms.iter().skip(i + 1) {
+                    batch.push(
+                        format!("equiv {n1} ~ {n2} mod {source_name}"),
+                        Request::Equivalence { left: t1.clone(), right: t2.clone() },
+                    );
+                }
+            }
+            let (results, session) = batch.run(threads);
+            let stats = session.stats();
+            hits += stats.hits;
+            misses += stats.misses;
+            for r in results {
+                let mut entry = Json::obj();
+                entry.set("label", r.label.as_str()).set("micros", r.micros);
+                match r.verdict {
+                    Ok(Verdict::Decision(d)) => {
+                        entry.set("holds", d.holds).set("certified", d.certified);
+                        all_hold &= d.holds;
+                    }
+                    Ok(Verdict::Elicited { schema, certified }) => {
+                        entry
+                            .set("schema", print::schema_block("Elicited", &schema, &file.vocab))
+                            .set("certified", certified);
+                    }
+                    Err(e) => {
+                        entry.set("error", format!("{e:?}"));
+                        any_error = true;
+                    }
+                }
+                results_json.push(entry);
+            }
+        }
+        let mut cache = Json::obj();
+        cache
+            .set("hits", hits)
+            .set("misses", misses)
+            .set("hit_rate", CacheStats { hits, misses, entries: 0 }.hit_rate());
+        let mut fj = Json::obj();
+        fj.set("file", path.as_str())
+            .set("results", Json::Arr(results_json))
+            .set("containment_cache", cache);
+        files_json.push(fj);
+    }
+    let mut doc = Json::obj();
+    doc.set("threads", threads).set("files", Json::Arr(files_json));
+    // Exit-code contract: 2 = some analysis errored, 1 = every analysis
+    // ran but some property fails, 0 = everything holds.
+    let code = if any_error { 2 } else { i32::from(!all_hold) };
+    Ok(Outcome { code, output: doc.pretty() })
 }
 
 /// Deterministic RNG so CLI runs are reproducible.

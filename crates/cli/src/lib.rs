@@ -5,7 +5,9 @@
 //! constraints, graph transformations with (nested-)C2RPQ rule bodies,
 //! graphs, and queries — plus the `gts` binary that runs the paper's
 //! three static analyses (type checking, equivalence, schema elicitation)
-//! and query containment on such files.
+//! and query containment on such files. `gts batch` runs the full
+//! analysis suite of many files through `gts-engine`'s cached sessions
+//! and emits machine-readable JSON.
 //!
 //! ```
 //! use gts_cli::GtsFile;
@@ -178,6 +180,30 @@ query Direct(x, y) {
     fn cli_equivalence_self() {
         let out = run(&args("equiv mem.gts --t1 T0 --t2 T0 --source S0"), &read_mem(MEDICAL));
         assert_eq!(out.code, 0, "{}", out.output);
+    }
+
+    #[test]
+    fn cli_batch_emits_json() {
+        let out = run(&args("batch mem.gts --threads 2"), &read_mem(MEDICAL));
+        // T0 does not type check against the source schema S0, so the
+        // suite contains failing verdicts → exit code 1.
+        assert_eq!(out.code, 1, "{}", out.output);
+        // One JSON document with a per-request entry and cache counters.
+        assert!(out.output.contains("\"file\": \"mem.gts\""), "{}", out.output);
+        assert!(out.output.contains("\"check T0: S0 -> S1\""), "{}", out.output);
+        assert!(out.output.contains("\"elicit T0 from S0\""), "{}", out.output);
+        assert!(out.output.contains("\"containment_cache\""), "{}", out.output);
+        assert!(out.output.contains("\"hit_rate\""), "{}", out.output);
+        // The S0→S1 type check holds (Example 1.1) and the elicited
+        // schema mentions the derived `targets` edge.
+        assert!(out.output.contains("targets"), "{}", out.output);
+    }
+
+    #[test]
+    fn cli_batch_requires_files() {
+        let out = run(&args("batch"), &read_mem(MEDICAL));
+        assert_eq!(out.code, 2);
+        assert!(out.output.contains("at least one"), "{}", out.output);
     }
 
     #[test]

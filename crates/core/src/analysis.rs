@@ -11,7 +11,7 @@
 //! containment engine (see DESIGN.md §3.2).
 
 use crate::transform::{Rule, Transformation};
-use gts_containment::{contains, satisfiable_modulo_schema, ContainmentError, ContainmentOptions};
+use gts_containment::{contains, ContainmentError, ContainmentOptions};
 use gts_dl::{L0Kind, L0Statement, L0Tbox};
 use gts_graph::{EdgeSym, FxHashMap, Graph, NodeLabel, Vocab};
 use gts_query::{Atom, C2rpq, Regex, Uc2rpq, Var};
@@ -57,6 +57,53 @@ impl From<ContainmentError> for AnalysisError {
     }
 }
 
+/// The containment-modulo-schema oracle every analysis bottoms out in.
+///
+/// All three analyses (and trimming) interrogate a *fixed source schema*
+/// through exactly two questions: `P ⊆_S Q` and "is `q` satisfiable modulo
+/// `S`". Abstracting them behind a trait lets the same analysis code run
+/// against the direct decision procedure ([`DirectOracle`]) or a memoizing
+/// session (`gts-engine`'s `AnalysisSession`) without change.
+pub trait ContainmentOracle {
+    /// Decides `p ⊆_S q` modulo the oracle's source schema.
+    fn contains(&mut self, p: &Uc2rpq, q: &Uc2rpq) -> Result<Decision, ContainmentError>;
+
+    /// Satisfiability of `q` modulo the source schema; returns
+    /// `(satisfiable, certified)`. The default routes through
+    /// [`ContainmentOracle::contains`] against the empty union, so caching
+    /// oracles cover it for free.
+    fn satisfiable(&mut self, q: &C2rpq) -> Result<(bool, bool), ContainmentError> {
+        let d = self.contains(&Uc2rpq::single(q.clone()), &Uc2rpq::empty())?;
+        Ok((!d.holds, d.certified))
+    }
+}
+
+/// The cold-path oracle: every question runs the full decision procedure
+/// of `gts-containment` (Booleanize → roll up → complete → decide), with
+/// no state shared between questions.
+pub struct DirectOracle<'a> {
+    schema: &'a Schema,
+    vocab: &'a mut Vocab,
+    opts: &'a ContainmentOptions,
+}
+
+impl<'a> DirectOracle<'a> {
+    /// An oracle answering questions modulo `schema`.
+    pub fn new(schema: &'a Schema, vocab: &'a mut Vocab, opts: &'a ContainmentOptions) -> Self {
+        DirectOracle { schema, vocab, opts }
+    }
+}
+
+impl ContainmentOracle for DirectOracle<'_> {
+    fn contains(&mut self, p: &Uc2rpq, q: &Uc2rpq) -> Result<Decision, ContainmentError> {
+        let ans = contains(p, q, self.schema, self.vocab, self.opts)?;
+        Ok(Decision { holds: ans.holds, certified: ans.certified })
+    }
+    // `satisfiable` uses the trait default, which is definitionally
+    // `satisfiable_modulo_schema` — keeping one path guarantees warm and
+    // cold agree.
+}
+
 /// Removes rules whose bodies are unsatisfiable modulo `S` (Appendix B:
 /// transformations are w.l.o.g. *trimmed*). Returns the trimmed
 /// transformation and a certification flag.
@@ -66,6 +113,14 @@ pub fn trim(
     vocab: &mut Vocab,
     opts: &ContainmentOptions,
 ) -> Result<(Transformation, bool), AnalysisError> {
+    trim_with(t, &mut DirectOracle::new(s, vocab, opts))
+}
+
+/// [`trim`] against an arbitrary [`ContainmentOracle`].
+pub fn trim_with(
+    t: &Transformation,
+    oracle: &mut dyn ContainmentOracle,
+) -> Result<(Transformation, bool), AnalysisError> {
     let mut out = Transformation::new();
     let mut certified = true;
     for rule in &t.rules {
@@ -73,7 +128,7 @@ pub fn trim(
             Rule::Node(r) => &r.body,
             Rule::Edge(r) => &r.body,
         };
-        let (sat, cert) = satisfiable_modulo_schema(body, s, vocab, opts)?;
+        let (sat, cert) = oracle.satisfiable(body)?;
         certified &= cert;
         // An uncertified "unsatisfiable" must keep the rule (conservative).
         if sat || !cert {
@@ -133,6 +188,14 @@ pub fn label_coverage(
     vocab: &mut Vocab,
     opts: &ContainmentOptions,
 ) -> Result<Decision, AnalysisError> {
+    label_coverage_with(t, &mut DirectOracle::new(s, vocab, opts))
+}
+
+/// [`label_coverage`] against an arbitrary [`ContainmentOracle`].
+pub fn label_coverage_with(
+    t: &Transformation,
+    oracle: &mut dyn ContainmentOracle,
+) -> Result<Decision, AnalysisError> {
     let labels = t.node_labels();
     let mut decision = Decision { holds: true, certified: true };
     for &a in &labels {
@@ -146,9 +209,7 @@ pub fn label_coverage(
                         continue;
                     }
                     let lhs = truncate_free(&qe, k);
-                    let ans = contains(&lhs, &qa, s, vocab, opts)?;
-                    decision =
-                        decision.and(Decision { holds: ans.holds, certified: ans.certified });
+                    decision = decision.and(oracle.contains(&lhs, &qa)?);
                     if !decision.holds && decision.certified {
                         return Ok(decision);
                     }
@@ -163,30 +224,25 @@ pub fn label_coverage(
 /// `Q_A(x̄) ⊆_S ∃ȳ.Q_{A,R,B}(x̄,ȳ)`.
 fn stmt_exists(
     t: &Transformation,
-    s: &Schema,
     a: NodeLabel,
     r: EdgeSym,
     b: NodeLabel,
-    vocab: &mut Vocab,
-    opts: &ContainmentOptions,
+    oracle: &mut dyn ContainmentOracle,
 ) -> Result<Decision, AnalysisError> {
     let k = t.ctor_arity(a).unwrap_or(0);
     let qa = t.q_node(a);
     let rhs = truncate_free(&t.q_edge(a, r, b), k);
-    let ans = contains(&qa, &rhs, s, vocab, opts)?;
-    Ok(Decision { holds: ans.holds, certified: ans.certified })
+    Ok(oracle.contains(&qa, &rhs)?)
 }
 
 /// Lemma B.7, second form: `(T,S) ⊨ A ⊑ ∄R.B` iff
 /// `∃ȳ.Q_A(x̄) ∧ Q_{A,R,B}(x̄,ȳ)` is unsatisfiable modulo `S`.
 fn stmt_not_exists(
     t: &Transformation,
-    s: &Schema,
     a: NodeLabel,
     r: EdgeSym,
     b: NodeLabel,
-    vocab: &mut Vocab,
-    opts: &ContainmentOptions,
+    oracle: &mut dyn ContainmentOracle,
 ) -> Result<Decision, AnalysisError> {
     let k = t.ctor_arity(a).unwrap_or(0);
     let qa = t.q_node(a);
@@ -200,8 +256,7 @@ fn stmt_not_exists(
         }
     }
     let lhs = Uc2rpq { disjuncts };
-    let ans = contains(&lhs, &Uc2rpq::empty(), s, vocab, opts)?;
-    Ok(Decision { holds: ans.holds, certified: ans.certified })
+    Ok(oracle.contains(&lhs, &Uc2rpq::empty())?)
 }
 
 /// Lemma B.7, third form: `(T,S) ⊨ A ⊑ ∃≤1 R.B` iff
@@ -209,12 +264,10 @@ fn stmt_not_exists(
 /// (injective constructors make tuple equality the right notion).
 fn stmt_at_most_one(
     t: &Transformation,
-    s: &Schema,
     a: NodeLabel,
     r: EdgeSym,
     b: NodeLabel,
-    vocab: &mut Vocab,
-    opts: &ContainmentOptions,
+    oracle: &mut dyn ContainmentOracle,
 ) -> Result<Decision, AnalysisError> {
     let k = t.ctor_arity(a).unwrap_or(0);
     let m = t.ctor_arity(b).unwrap_or(0);
@@ -238,8 +291,7 @@ fn stmt_at_most_one(
         .collect();
     let rhs =
         Uc2rpq::single(C2rpq::new((2 * m) as u32, (0..2 * m as u32).map(Var).collect(), eps_atoms));
-    let ans = contains(&lhs, &rhs, s, vocab, opts)?;
-    Ok(Decision { holds: ans.holds, certified: ans.certified })
+    Ok(oracle.contains(&lhs, &rhs)?)
 }
 
 /// Lemma B.2: type checking. `T(G)` conforms to `S'` for every `G ⊨ S` iff
@@ -251,8 +303,18 @@ pub fn type_check(
     vocab: &mut Vocab,
     opts: &ContainmentOptions,
 ) -> Result<Decision, AnalysisError> {
+    type_check_with(t, s_prime, &mut DirectOracle::new(s, vocab, opts))
+}
+
+/// [`type_check`] against an arbitrary [`ContainmentOracle`] (whose source
+/// schema plays the role of `S`).
+pub fn type_check_with(
+    t: &Transformation,
+    s_prime: &Schema,
+    oracle: &mut dyn ContainmentOracle,
+) -> Result<Decision, AnalysisError> {
     t.validate().map_err(AnalysisError::Transform)?;
-    let (t, trim_cert) = trim(t, s, vocab, opts)?;
+    let (t, trim_cert) = trim_with(t, oracle)?;
     let mut decision = Decision { holds: true, certified: trim_cert };
 
     // Head labels must be allowed by the target schema.
@@ -263,7 +325,7 @@ pub fn type_check(
     }
 
     // Every output node must get (exactly one) label.
-    let cover = label_coverage(&t, s, vocab, opts)?;
+    let cover = label_coverage_with(&t, oracle)?;
     decision = decision.and(cover);
     if !decision.holds {
         return Ok(decision);
@@ -277,13 +339,9 @@ pub fn type_check(
             continue;
         }
         let d = match stmt.kind {
-            L0Kind::Exists => stmt_exists(&t, s, stmt.lhs, stmt.role, stmt.rhs, vocab, opts)?,
-            L0Kind::NotExists => {
-                stmt_not_exists(&t, s, stmt.lhs, stmt.role, stmt.rhs, vocab, opts)?
-            }
-            L0Kind::AtMostOne => {
-                stmt_at_most_one(&t, s, stmt.lhs, stmt.role, stmt.rhs, vocab, opts)?
-            }
+            L0Kind::Exists => stmt_exists(&t, stmt.lhs, stmt.role, stmt.rhs, oracle)?,
+            L0Kind::NotExists => stmt_not_exists(&t, stmt.lhs, stmt.role, stmt.rhs, oracle)?,
+            L0Kind::AtMostOne => stmt_at_most_one(&t, stmt.lhs, stmt.role, stmt.rhs, oracle)?,
         };
         decision = decision.and(d);
         if !decision.holds && decision.certified {
@@ -301,6 +359,15 @@ pub fn equivalence(
     vocab: &mut Vocab,
     opts: &ContainmentOptions,
 ) -> Result<Decision, AnalysisError> {
+    equivalence_with(t1, t2, &mut DirectOracle::new(s, vocab, opts))
+}
+
+/// [`equivalence`] against an arbitrary [`ContainmentOracle`].
+pub fn equivalence_with(
+    t1: &Transformation,
+    t2: &Transformation,
+    oracle: &mut dyn ContainmentOracle,
+) -> Result<Decision, AnalysisError> {
     t1.validate().map_err(AnalysisError::Transform)?;
     t2.validate().map_err(AnalysisError::Transform)?;
     // Constructors are global: arities must agree on shared labels.
@@ -311,8 +378,8 @@ pub fn equivalence(
             }
         }
     }
-    let (t1, c1) = trim(t1, s, vocab, opts)?;
-    let (t2, c2) = trim(t2, s, vocab, opts)?;
+    let (t1, c1) = trim_with(t1, oracle)?;
+    let (t2, c2) = trim_with(t2, oracle)?;
     let mut decision = Decision { holds: true, certified: c1 && c2 };
 
     // (1) Same head labels after trimming.
@@ -320,13 +387,16 @@ pub fn equivalence(
         return Ok(Decision { holds: false, certified: decision.certified });
     }
     // (2) Q_A equivalent for every node label.
-    let both = |p: &Uc2rpq, q: &Uc2rpq, vocab: &mut Vocab| -> Result<Decision, AnalysisError> {
-        let fwd = contains(p, q, s, vocab, opts)?;
-        let bwd = contains(q, p, s, vocab, opts)?;
-        Ok(Decision { holds: fwd.holds && bwd.holds, certified: fwd.certified && bwd.certified })
+    let both = |p: &Uc2rpq,
+                q: &Uc2rpq,
+                oracle: &mut dyn ContainmentOracle|
+     -> Result<Decision, AnalysisError> {
+        let fwd = oracle.contains(p, q)?;
+        let bwd = oracle.contains(q, p)?;
+        Ok(fwd.and(bwd))
     };
     for a in t1.node_labels() {
-        decision = decision.and(both(&t1.q_node(a), &t2.q_node(a), vocab)?);
+        decision = decision.and(both(&t1.q_node(a), &t2.q_node(a), oracle)?);
         if !decision.holds && decision.certified {
             return Ok(decision);
         }
@@ -341,7 +411,7 @@ pub fn equivalence(
                 if qa.disjuncts.is_empty() && qb.disjuncts.is_empty() {
                     continue;
                 }
-                decision = decision.and(both(&qa, &qb, vocab)?);
+                decision = decision.and(both(&qa, &qb, oracle)?);
                 if !decision.holds && decision.certified {
                     return Ok(decision);
                 }
@@ -426,11 +496,19 @@ pub fn elicit_schema(
     vocab: &mut Vocab,
     opts: &ContainmentOptions,
 ) -> Result<Elicited, AnalysisError> {
+    elicit_schema_with(t, &mut DirectOracle::new(s, vocab, opts))
+}
+
+/// [`elicit_schema`] against an arbitrary [`ContainmentOracle`].
+pub fn elicit_schema_with(
+    t: &Transformation,
+    oracle: &mut dyn ContainmentOracle,
+) -> Result<Elicited, AnalysisError> {
     t.validate().map_err(AnalysisError::Transform)?;
-    let (t, trim_cert) = trim(t, s, vocab, opts)?;
+    let (t, trim_cert) = trim_with(t, oracle)?;
     let mut certified = trim_cert;
 
-    let cover = label_coverage(&t, s, vocab, opts)?;
+    let cover = label_coverage_with(&t, oracle)?;
     certified &= cover.certified;
     if !cover.holds {
         return Err(AnalysisError::UnlabeledOutputs);
@@ -443,9 +521,9 @@ pub fn elicit_schema(
         for &r in &sigma {
             for sym in [EdgeSym::fwd(r), EdgeSym::bwd(r)] {
                 for &b in &gamma {
-                    let ex = stmt_exists(&t, s, a, sym, b, vocab, opts)?;
-                    let nx = stmt_not_exists(&t, s, a, sym, b, vocab, opts)?;
-                    let am = stmt_at_most_one(&t, s, a, sym, b, vocab, opts)?;
+                    let ex = stmt_exists(&t, a, sym, b, oracle)?;
+                    let nx = stmt_not_exists(&t, a, sym, b, oracle)?;
+                    let am = stmt_at_most_one(&t, a, sym, b, oracle)?;
                     certified &= ex.certified && nx.certified && am.certified;
                     if ex.holds {
                         l0.insert(L0Statement { lhs: a, kind: L0Kind::Exists, role: sym, rhs: b });

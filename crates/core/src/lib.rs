@@ -19,6 +19,13 @@
 //! modulo Horn-ALCIF (`gts-sat`). This crate re-exports the substrate
 //! crates so applications need a single dependency.
 //!
+//! The analyses are written against the [`ContainmentOracle`] trait:
+//! [`DirectOracle`] is the stateless cold path used by the plain entry
+//! points ([`type_check`], [`equivalence`], [`elicit_schema`]), while the
+//! `*_with` variants accept any oracle — in particular `gts-engine`'s
+//! memoizing `AnalysisSession`, which shares verdicts across analyses and
+//! worker threads.
+//!
 //! ```
 //! use gts_core::prelude::*;
 //!
@@ -36,8 +43,10 @@ mod transform;
 mod values;
 
 pub use analysis::{
-    elicit_schema, equivalence, equivalence_counterexample, label_coverage, trim, type_check,
-    type_check_counterexample, AnalysisCounterexample, AnalysisError, Decision, Elicited,
+    elicit_schema, elicit_schema_with, equivalence, equivalence_counterexample, equivalence_with,
+    label_coverage, label_coverage_with, trim, trim_with, type_check, type_check_counterexample,
+    type_check_with, AnalysisCounterexample, AnalysisError, ContainmentOracle, Decision,
+    DirectOracle, Elicited,
 };
 pub use generator::{random_transformation, TransformGenConfig};
 pub use transform::{

@@ -1,0 +1,220 @@
+//! A minimal JSON document builder (the build environment is offline, so
+//! no serde): enough to emit batch results and benchmark reports as
+//! machine-readable, stably ordered JSON.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer (emitted without a fraction).
+    Int(i64),
+    /// A float (emitted via Rust's shortest round-trip formatting; NaN and
+    /// infinities render as `null` per JSON's number grammar).
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An empty object.
+    pub fn obj() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// Appends `key: value` to an object (panics on non-objects — a
+    /// builder misuse, not a data error).
+    pub fn set(&mut self, key: &str, value: impl Into<Json>) -> &mut Json {
+        match self {
+            Json::Obj(fields) => fields.push((key.to_owned(), value.into())),
+            other => panic!("Json::set on non-object {other:?}"),
+        }
+        self
+    }
+
+    /// Renders with two-space indentation and a trailing newline (the
+    /// format of the `BENCH_*.json` artifacts).
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(0));
+        out.push('\n');
+        out
+    }
+
+    /// Renders compactly on one line.
+    pub fn compact(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::Float(f) => {
+                if f.is_finite() {
+                    let mut num = format!("{f}");
+                    // `2f64` formats as "2"; keep the value visibly floating.
+                    if !num.contains('.') && !num.contains('e') {
+                        num.push_str(".0");
+                    }
+                    out.push_str(&num);
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => write_seq(out, indent, '[', ']', items.len(), |out, i, ind| {
+                items[i].write(out, ind);
+            }),
+            Json::Obj(fields) => write_seq(out, indent, '{', '}', fields.len(), |out, i, ind| {
+                write_escaped(out, &fields[i].0);
+                out.push_str(": ");
+                fields[i].1.write(out, ind);
+            }),
+        }
+    }
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize, Option<usize>),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if let Some(level) = indent {
+            out.push('\n');
+            out.push_str(&"  ".repeat(level + 1));
+        }
+        item(out, i, indent.map(|l| l + 1));
+        if i + 1 < len {
+            out.push(',');
+            if indent.is_none() {
+                out.push(' ');
+            }
+        }
+    }
+    if let Some(level) = indent {
+        out.push('\n');
+        out.push_str(&"  ".repeat(level));
+    }
+    out.push(close);
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Json {
+        Json::Bool(b)
+    }
+}
+
+impl From<i64> for Json {
+    fn from(i: i64) -> Json {
+        Json::Int(i)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(i: u64) -> Json {
+        Json::Int(i as i64)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(i: usize) -> Json {
+        Json::Int(i as i64)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(f: f64) -> Json {
+        Json::Float(f)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_owned())
+    }
+}
+
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+
+impl From<Vec<Json>> for Json {
+    fn from(items: Vec<Json>) -> Json {
+        Json::Arr(items)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_documents() {
+        let mut doc = Json::obj();
+        doc.set("name", "baseline").set("n", 3u64).set("ok", true);
+        doc.set("items", Json::Arr(vec![Json::Int(1), Json::Null]));
+        assert_eq!(
+            doc.compact(),
+            r#"{"name": "baseline", "n": 3, "ok": true, "items": [1, null]}"#
+        );
+        let pretty = doc.pretty();
+        assert!(pretty.contains("\n  \"name\": \"baseline\","), "{pretty}");
+        assert!(pretty.ends_with("}\n"));
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let j = Json::Str("a\"b\\c\n\u{1}".into());
+        assert_eq!(j.compact(), "\"a\\\"b\\\\c\\n\\u0001\"");
+    }
+
+    #[test]
+    fn floats_render_as_numbers() {
+        assert_eq!(Json::Float(1.5).compact(), "1.5");
+        assert_eq!(Json::Float(2.0).compact(), "2.0");
+        assert_eq!(Json::Float(f64::NAN).compact(), "null");
+    }
+}

@@ -1,0 +1,338 @@
+//! Per-(schema, vocabulary) analysis sessions with a memoized containment
+//! oracle.
+//!
+//! Every analysis of the paper is a polynomial Turing reduction to
+//! `P ⊆_S Q` for a *fixed* source schema `S`, and the reduction asks many
+//! overlapping questions: trimming re-tests the same rule bodies type
+//! checking tests, elicitation probes all three L0 statement forms over
+//! the same `Q_A`/`Q_{A,R,B}` queries, and equivalence checks both
+//! directions of each pair. A session interns the answers once, keyed on a
+//! *canonicalized* form of the query pair (variables renamed by first
+//! occurrence, union disjuncts sorted), so any α-equivalent repeat — from
+//! the same analysis, a later analysis, or another worker thread of a
+//! [`crate::Batch`] — is a hash lookup.
+//!
+//! Correctness of the memo rests on two properties of the decision
+//! procedure: its verdict depends only on `(P, Q, S)` and the engine
+//! budgets (the vocabulary merely names fresh labels), and it is
+//! deterministic for fixed budgets — so a cached verdict is exactly what
+//! the cold path would recompute (the differential suites in
+//! `crates/tests` enforce this).
+
+use gts_core::containment::{contains, ContainmentError, ContainmentOptions};
+use gts_core::graph::{FxHashMap, Vocab};
+use gts_core::query::{C2rpq, Uc2rpq, Var};
+use gts_core::schema::Schema;
+use gts_core::{
+    elicit_schema_with, equivalence_with, label_coverage_with, trim_with, type_check_with,
+    AnalysisError, ContainmentOracle, Decision, Elicited, Transformation,
+};
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+
+/// Cache-effectiveness counters of one session (cumulative, shared by all
+/// clones of the session).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Containment questions answered from the memo.
+    pub hits: u64,
+    /// Containment questions that ran the full decision procedure.
+    pub misses: u64,
+    /// Distinct canonicalized query pairs currently interned.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Fraction of questions answered from the memo (`0.0` when none were
+    /// asked).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Default)]
+struct Memo {
+    map: FxHashMap<String, Decision>,
+    hits: u64,
+    misses: u64,
+}
+
+/// A reusable analysis context owning the shared state of all analyses
+/// over one source schema: the schema, its vocabulary, the engine
+/// budgets, and the memoized containment oracle.
+///
+/// Cloning a session is cheap in the way that matters: the memo is shared
+/// (behind an [`Arc`]), so clones handed to worker threads of a
+/// [`crate::Batch`] warm one common cache.
+#[derive(Clone)]
+pub struct AnalysisSession {
+    schema: Schema,
+    vocab: Vocab,
+    opts: ContainmentOptions,
+    memo: Arc<Mutex<Memo>>,
+}
+
+impl AnalysisSession {
+    /// A session over `schema` with default engine budgets. `vocab` must
+    /// contain every label the schema (and later queries) mention.
+    pub fn new(schema: Schema, vocab: Vocab) -> Self {
+        Self::with_options(schema, vocab, ContainmentOptions::default())
+    }
+
+    /// A session with explicit engine budgets. Budgets are part of the
+    /// session identity: cached verdicts are only replayed for questions
+    /// asked under the same options.
+    pub fn with_options(schema: Schema, vocab: Vocab, opts: ContainmentOptions) -> Self {
+        AnalysisSession { schema, vocab, opts, memo: Arc::new(Mutex::new(Memo::default())) }
+    }
+
+    /// The session's source schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The session's vocabulary.
+    pub fn vocab(&self) -> &Vocab {
+        &self.vocab
+    }
+
+    /// Mutable access to the vocabulary (e.g. to intern labels for ad-hoc
+    /// queries against [`AnalysisSession::contains`]).
+    pub fn vocab_mut(&mut self) -> &mut Vocab {
+        &mut self.vocab
+    }
+
+    /// The engine budgets used by every question this session answers.
+    pub fn options(&self) -> &ContainmentOptions {
+        &self.opts
+    }
+
+    /// Current cache counters (shared across clones of this session).
+    pub fn stats(&self) -> CacheStats {
+        let memo = self.memo.lock().unwrap();
+        CacheStats { hits: memo.hits, misses: memo.misses, entries: memo.map.len() }
+    }
+
+    fn oracle(&mut self) -> SessionOracle<'_> {
+        SessionOracle {
+            schema: &self.schema,
+            vocab: &mut self.vocab,
+            opts: &self.opts,
+            memo: &self.memo,
+        }
+    }
+
+    /// Memoized `p ⊆_S q` modulo the session schema.
+    pub fn contains(&mut self, p: &Uc2rpq, q: &Uc2rpq) -> Result<Decision, ContainmentError> {
+        self.oracle().contains(p, q)
+    }
+
+    /// Memoized satisfiability of `q` modulo the session schema; returns
+    /// `(satisfiable, certified)`.
+    pub fn satisfiable(&mut self, q: &C2rpq) -> Result<(bool, bool), ContainmentError> {
+        self.oracle().satisfiable(q)
+    }
+
+    /// Type checking (Lemma B.2) of `t` from the session schema into
+    /// `target`, through the memoized oracle.
+    pub fn type_check(
+        &mut self,
+        t: &Transformation,
+        target: &Schema,
+    ) -> Result<Decision, AnalysisError> {
+        type_check_with(t, target, &mut self.oracle())
+    }
+
+    /// Equivalence (Lemma B.8) of two transformations modulo the session
+    /// schema, through the memoized oracle.
+    pub fn equivalence(
+        &mut self,
+        t1: &Transformation,
+        t2: &Transformation,
+    ) -> Result<Decision, AnalysisError> {
+        equivalence_with(t1, t2, &mut self.oracle())
+    }
+
+    /// Schema elicitation (Lemma B.5) for `t` from the session schema,
+    /// through the memoized oracle.
+    pub fn elicit(&mut self, t: &Transformation) -> Result<Elicited, AnalysisError> {
+        elicit_schema_with(t, &mut self.oracle())
+    }
+
+    /// Label coverage (Lemma B.6) of `t` modulo the session schema.
+    pub fn label_coverage(&mut self, t: &Transformation) -> Result<Decision, AnalysisError> {
+        label_coverage_with(t, &mut self.oracle())
+    }
+
+    /// Trimming (Appendix B) of `t` modulo the session schema.
+    pub fn trim(&mut self, t: &Transformation) -> Result<(Transformation, bool), AnalysisError> {
+        trim_with(t, &mut self.oracle())
+    }
+}
+
+/// The memoizing [`ContainmentOracle`] borrowed out of a session for the
+/// duration of one analysis.
+struct SessionOracle<'a> {
+    schema: &'a Schema,
+    vocab: &'a mut Vocab,
+    opts: &'a ContainmentOptions,
+    memo: &'a Mutex<Memo>,
+}
+
+impl ContainmentOracle for SessionOracle<'_> {
+    fn contains(&mut self, p: &Uc2rpq, q: &Uc2rpq) -> Result<Decision, ContainmentError> {
+        let key = canonical_pair(p, q);
+        {
+            let mut memo = self.memo.lock().unwrap();
+            if let Some(&d) = memo.map.get(&key) {
+                memo.hits += 1;
+                return Ok(d);
+            }
+            memo.misses += 1;
+        }
+        // The lock is NOT held while deciding: concurrent workers may race
+        // to answer the same key, but the procedure is deterministic, so
+        // the duplicate insert is idempotent.
+        let ans = contains(p, q, self.schema, self.vocab, self.opts)?;
+        let d = Decision { holds: ans.holds, certified: ans.certified };
+        self.memo.lock().unwrap().map.insert(key, d);
+        Ok(d)
+    }
+}
+
+/// Canonical key of a containment question `p ⊆ q`.
+fn canonical_pair(p: &Uc2rpq, q: &Uc2rpq) -> String {
+    let mut key = canonical_union(p);
+    key.push('⊑');
+    key.push_str(&canonical_union(q));
+    key
+}
+
+/// Canonical form of a union: each disjunct canonicalized independently,
+/// then sorted and deduplicated (union is an idempotent commutative
+/// monoid, so this is verdict-preserving).
+fn canonical_union(u: &Uc2rpq) -> String {
+    let mut parts: Vec<String> = u.disjuncts.iter().map(canonical_c2rpq).collect();
+    parts.sort();
+    parts.dedup();
+    parts.join("|")
+}
+
+/// Canonical form of one C2RPQ: variables renamed in first-occurrence
+/// order over (free tuple, then atom endpoints), so α-equivalent queries —
+/// same atoms and answer tuple under a variable bijection — share a key.
+/// The count of never-occurring variables is kept: an isolated existential
+/// variable still asserts a node's existence.
+fn canonical_c2rpq(q: &C2rpq) -> String {
+    let mut rename: FxHashMap<u32, u32> = FxHashMap::default();
+    let mut id = |v: Var| -> u32 {
+        let next = rename.len() as u32;
+        *rename.entry(v.0).or_insert(next)
+    };
+    let mut s = String::new();
+    s.push('(');
+    for v in &q.free {
+        let _ = write!(s, "{},", id(*v));
+    }
+    s.push(';');
+    for a in &q.atoms {
+        let _ = write!(s, "{}-{:?}-{},", id(a.x), a.regex, id(a.y));
+    }
+    let _ = write!(s, ";{})", q.num_vars);
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gts_core::prelude::*;
+
+    fn fixture() -> (Vocab, Schema, Uc2rpq, Uc2rpq) {
+        let mut v = Vocab::new();
+        let a = v.node_label("A");
+        let r = v.edge_label("r");
+        let mut s = Schema::new();
+        s.set_edge(a, r, a, Mult::Star, Mult::Star);
+        let p = Uc2rpq::single(C2rpq::new(
+            2,
+            vec![Var(0), Var(1)],
+            vec![Atom { x: Var(0), y: Var(1), regex: Regex::edge(r) }],
+        ));
+        let q = Uc2rpq::single(C2rpq::new(
+            2,
+            vec![Var(0), Var(1)],
+            vec![Atom { x: Var(0), y: Var(1), regex: Regex::edge(r).or(Regex::node(a)) }],
+        ));
+        (v, s, p, q)
+    }
+
+    #[test]
+    fn alpha_equivalent_queries_share_a_key() {
+        let (v, _, _, _) = fixture();
+        let r = v.find_edge_label("r").unwrap();
+        let q1 = Uc2rpq::single(C2rpq::new(
+            2,
+            vec![Var(0), Var(1)],
+            vec![Atom { x: Var(0), y: Var(1), regex: Regex::edge(r) }],
+        ));
+        // Same query with the variable ids swapped.
+        let q2 = Uc2rpq::single(C2rpq::new(
+            2,
+            vec![Var(1), Var(0)],
+            vec![Atom { x: Var(1), y: Var(0), regex: Regex::edge(r) }],
+        ));
+        assert_eq!(canonical_union(&q1), canonical_union(&q2));
+        // A genuinely different query (reversed answer tuple) must not
+        // collide.
+        let q3 = Uc2rpq::single(C2rpq::new(
+            2,
+            vec![Var(1), Var(0)],
+            vec![Atom { x: Var(0), y: Var(1), regex: Regex::edge(r) }],
+        ));
+        assert_ne!(canonical_union(&q1), canonical_union(&q3));
+    }
+
+    #[test]
+    fn disjunct_order_is_canonicalized() {
+        let (_, _, p, q) = fixture();
+        let u1 = Uc2rpq { disjuncts: vec![p.disjuncts[0].clone(), q.disjuncts[0].clone()] };
+        let u2 = Uc2rpq { disjuncts: vec![q.disjuncts[0].clone(), p.disjuncts[0].clone()] };
+        assert_eq!(canonical_union(&u1), canonical_union(&u2));
+    }
+
+    #[test]
+    fn unused_variable_counts_are_distinguished() {
+        let (_, _, p, _) = fixture();
+        let mut with_isolated = p.disjuncts[0].clone();
+        with_isolated.num_vars += 1; // ∃z. (z unconstrained)
+        assert_ne!(canonical_c2rpq(&p.disjuncts[0]), canonical_c2rpq(&with_isolated));
+    }
+
+    #[test]
+    fn repeat_questions_hit_the_memo() {
+        let (v, s, p, q) = fixture();
+        let mut session = AnalysisSession::new(s, v);
+        let d1 = session.contains(&p, &q).unwrap();
+        assert_eq!(session.stats(), CacheStats { hits: 0, misses: 1, entries: 1 });
+        let d2 = session.contains(&p, &q).unwrap();
+        assert_eq!(d1, d2);
+        let stats = session.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clones_share_the_memo() {
+        let (v, s, p, q) = fixture();
+        let mut session = AnalysisSession::new(s, v);
+        session.contains(&p, &q).unwrap();
+        let mut clone = session.clone();
+        clone.contains(&p, &q).unwrap();
+        assert_eq!(session.stats().hits, 1, "the clone's question hit the shared memo");
+    }
+}

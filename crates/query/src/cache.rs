@@ -1,0 +1,90 @@
+//! A process-wide cache of compiled Glushkov automata.
+//!
+//! Regular expressions recur constantly across the reduction pipeline: the
+//! satisfiability engine compiles the regex of every atom (forwards and
+//! reversed) on every `decide` call, and the rolling-up construction
+//! compiles every atom of every negation choice. Within one analysis —
+//! and even more so across the batched analyses of an `AnalysisSession` —
+//! the same few expressions are compiled thousands of times.
+//!
+//! [`Nfa::compiled`] interns the automaton per regex and hands out
+//! [`Arc`]s, so repeated compilations are a hash lookup plus a refcount
+//! bump. The map is thread-local (no lock contention between worker
+//! threads of a batch; each worker warms its own shard), while the
+//! hit/miss counters are global atomics so cache effectiveness can be
+//! reported from any thread (see [`nfa_cache_stats`]).
+
+use crate::nfa::Nfa;
+use crate::regex::Regex;
+use gts_graph::FxHashMap;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Entry cap per thread; the cache is cleared when it is exceeded (regexes
+/// are tiny, so this bounds memory without an LRU's bookkeeping).
+const MAX_ENTRIES: usize = 16_384;
+
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static CACHE: RefCell<FxHashMap<Regex, Arc<Nfa>>> = RefCell::new(FxHashMap::default());
+}
+
+impl Nfa {
+    /// Like [`Nfa::from_regex`], but interned: returns a shared handle to
+    /// the compiled automaton, compiling at most once per regex per
+    /// thread.
+    pub fn compiled(re: &Regex) -> Arc<Nfa> {
+        CACHE.with(|cache| {
+            let mut cache = cache.borrow_mut();
+            if let Some(nfa) = cache.get(re) {
+                HITS.fetch_add(1, Ordering::Relaxed);
+                return Arc::clone(nfa);
+            }
+            MISSES.fetch_add(1, Ordering::Relaxed);
+            if cache.len() >= MAX_ENTRIES {
+                cache.clear();
+            }
+            let nfa = Arc::new(Nfa::from_regex(re));
+            cache.insert(re.clone(), Arc::clone(&nfa));
+            nfa
+        })
+    }
+}
+
+/// Cumulative `(hits, misses)` of [`Nfa::compiled`] across all threads
+/// since process start.
+pub fn nfa_cache_stats() -> (u64, u64) {
+    (HITS.load(Ordering::Relaxed), MISSES.load(Ordering::Relaxed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regex::AtomSym;
+    use gts_graph::{EdgeLabel, EdgeSym};
+
+    #[test]
+    fn compiled_interns_per_regex() {
+        let r = Regex::edge(EdgeLabel(7)).then(Regex::edge(EdgeLabel(8)).star());
+        let a = Nfa::compiled(&r);
+        let b = Nfa::compiled(&r);
+        assert!(Arc::ptr_eq(&a, &b), "second compile must hit the cache");
+        let word =
+            [AtomSym::Edge(EdgeSym::fwd(EdgeLabel(7))), AtomSym::Edge(EdgeSym::fwd(EdgeLabel(8)))];
+        assert!(a.accepts(&word));
+    }
+
+    #[test]
+    fn stats_move_monotonically() {
+        let (h0, m0) = nfa_cache_stats();
+        let r = Regex::edge(EdgeLabel(99));
+        Nfa::compiled(&r);
+        Nfa::compiled(&r);
+        let (h1, m1) = nfa_cache_stats();
+        assert!(h1 > h0, "the second compile is a hit");
+        assert!(m1 >= m0);
+    }
+}

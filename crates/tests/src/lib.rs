@@ -1,3 +1,11 @@
-//! Host crate for the workspace-level integration suites (`tests/`) and the
-//! runnable examples (`examples/`). It exports nothing; depending on every
-//! `gts-*` crate here gives the suites and examples a single build target.
+//! # gts-tests
+//!
+//! Host crate for the workspace-level integration suites (`tests/`) and
+//! the runnable examples (`examples/`). It exports nothing; depending on
+//! every `gts-*` crate here gives the suites and examples a single build
+//! target. The suites cover the paper end to end: `pipeline.rs` (the
+//! three analyses of Section 4 on generated workloads), `differential.rs`
+//! (decision procedures vs brute-force finite oracles), `session.rs`
+//! (the `gts-engine` cache layer vs the cold path), `paper_examples.rs`
+//! (the figures and examples as assertions), `counterexamples.rs`
+//! (witness extraction), and `extensions.rs` (Section 7).
