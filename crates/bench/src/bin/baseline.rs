@@ -1,16 +1,20 @@
 //! Seeds the performance trajectory: measures the paper's three analyses
 //! cold (fresh state per call) and through a cached `AnalysisSession`
 //! (cold first run, warm re-run), plus a repeated-containment benchmark,
-//! and writes the machine-readable report `BENCH_baseline.json`.
+//! and writes the machine-readable report `BENCH_baseline.json`. Also
+//! measures transformation *execution* — naive `Transformation::apply`
+//! vs the indexed `gts-exec` engine across instance sizes — and writes
+//! `BENCH_exec.json`.
 //!
 //! ```sh
-//! cargo run --release -p gts-bench --bin baseline                 # BENCH_baseline.json
-//! cargo run --release -p gts-bench --bin baseline -- out.json     # custom path
+//! cargo run --release -p gts-bench --bin baseline           # BENCH_baseline.json + BENCH_exec.json
+//! cargo run --release -p gts-bench --bin baseline -- a.json b.json   # custom paths
 //! ```
 
-use gts_bench::{fig2, medical};
+use gts_bench::{fig2, medical, medical_instance};
 use gts_core::prelude::*;
 use gts_engine::{AnalysisSession, Json};
+use gts_exec::{execute_with, output_facts, ExecOptions, IndexedGraph};
 use std::time::Instant;
 
 fn timed<T>(f: impl FnOnce() -> T) -> (T, u64) {
@@ -45,8 +49,102 @@ fn ratio(num: u64, den: u64) -> f64 {
     num as f64 / den.max(1) as f64
 }
 
+/// Runs `f` `reps` times and returns its result with the *best* (minimum)
+/// wall-clock time — standard noise suppression for short measurements.
+fn best_of<T>(reps: usize, mut f: impl FnMut() -> T) -> (T, u64) {
+    let (mut out, mut best) = timed(&mut f);
+    for _ in 1..reps {
+        let (o, micros) = timed(&mut f);
+        if micros < best {
+            best = micros;
+            out = o;
+        }
+    }
+    (out, best)
+}
+
+/// Naive vs indexed execution of `T0` on the RPQ-heavy medical instance
+/// family, across instance sizes. Two comparisons per size: rule-body
+/// evaluation alone (the RPQ-heavy hot path the indexed engine replaces)
+/// and end-to-end execution including output-graph assembly (a cost both
+/// engines share).
+fn exec_report(out_path: &str) {
+    let m = medical();
+    let chain_len = 8;
+    const REPS: usize = 3;
+    let mut rows = Vec::new();
+    for &chains in &[8usize, 64, 512, 2048] {
+        let g = medical_instance(&m, chains, chain_len);
+        let bodies: Vec<_> =
+            m.t0.rules
+                .iter()
+                .map(|rule| match rule {
+                    gts_core::Rule::Node(r) => &r.body,
+                    gts_core::Rule::Edge(r) => &r.body,
+                })
+                .collect();
+        // Rule-body evaluation: per-pair NFA products vs indexed product-BFS.
+        let (_, naive_eval) =
+            best_of(REPS, || bodies.iter().map(|b| b.eval(&g).len()).sum::<usize>());
+        let (idx, index_build) = best_of(REPS, || IndexedGraph::build(&g));
+        let (_, indexed_eval) = best_of(REPS, || {
+            gts_exec::eval_rule_bodies(&idx, &m.t0, &ExecOptions { threads: 1 })
+                .iter()
+                .map(Vec::len)
+                .sum::<usize>()
+        });
+        // End-to-end: apply vs execute (indexed numbers include the build).
+        let (naive_out, naive) = best_of(REPS, || m.t0.apply(&g));
+        let (indexed_out, indexed) =
+            best_of(REPS, || execute_with(&m.t0, &g, &ExecOptions { threads: 1 }));
+        let (_, threaded) = best_of(REPS, || execute_with(&m.t0, &g, &ExecOptions { threads: 0 }));
+        let agree = output_facts(&idx, &m.t0, &ExecOptions { threads: 1 }) == m.t0.output_facts(&g);
+        let mut e = Json::obj();
+        e.set("chains", chains)
+            .set("chain_len", chain_len)
+            .set("nodes", g.num_nodes())
+            .set("edges", g.num_edges())
+            .set("output_nodes", indexed_out.num_nodes())
+            .set("output_edges", indexed_out.num_edges())
+            .set("naive_eval_micros", naive_eval)
+            .set("indexed_eval_micros", index_build + indexed_eval)
+            .set("eval_speedup", ratio(naive_eval, index_build + indexed_eval))
+            .set("naive_micros", naive)
+            .set("index_build_micros", index_build)
+            .set("indexed_micros", indexed)
+            .set("indexed_threaded_micros", threaded)
+            .set("speedup_indexed_over_naive", ratio(naive, indexed))
+            .set("outputs_agree", agree);
+        println!(
+            "exec {:>6} nodes: eval naive {:>8}us vs indexed {:>6}us ({:>5.1}x) | end-to-end \
+             naive {:>8}us vs indexed {:>6}us ({:>4.1}x, threaded {:>6}us) | agree {}",
+            g.num_nodes(),
+            naive_eval,
+            index_build + indexed_eval,
+            ratio(naive_eval, index_build + indexed_eval),
+            naive,
+            indexed,
+            ratio(naive, indexed),
+            threaded,
+            agree
+        );
+        assert_eq!(naive_out.num_edges(), indexed_out.num_edges(), "engines must agree");
+        rows.push(e);
+    }
+    let mut doc = Json::obj();
+    doc.set("schema_version", 1u64)
+        .set("generated_by", "gts-bench baseline (exec comparison)")
+        .set("transformation", "medical T0 (Example 4.1)")
+        .set("workload", "crossReacting chains; targets = designTarget.crossReacting*")
+        .set("sizes", Json::Arr(rows));
+    std::fs::write(out_path, doc.pretty())
+        .unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    println!("wrote {out_path}");
+}
+
 fn main() {
     let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_baseline.json".into());
+    let exec_path = std::env::args().nth(2).unwrap_or_else(|| "BENCH_exec.json".into());
     let opts = ContainmentOptions::default();
 
     // ---- The three analyses over the Figure 1 medical fixture. Each
@@ -184,4 +282,6 @@ fn main() {
     std::fs::write(&out_path, doc.pretty())
         .unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
     println!("wrote {out_path}");
+
+    exec_report(&exec_path);
 }

@@ -94,6 +94,41 @@ pub fn fig2() -> Fig2Fixture {
     Fig2Fixture { vocab, schema, loose, p, q }
 }
 
+/// A scalable S0-conforming medical instance for execution benchmarks:
+/// `chains` disjoint crossReacting-chains of `chain_len` antigens, each
+/// with one vaccine design-targeting the chain head and one pathogen
+/// exhibiting it. The `targets` rule of `T0`
+/// (`designTarget·crossReacting*`) is RPQ-heavy on this family — every
+/// vaccine's answer set is its whole chain.
+pub fn medical_instance(m: &MedicalFixture, chains: usize, chain_len: usize) -> Graph {
+    let vaccine = m.vocab.find_node_label("Vaccine").expect("fixture label");
+    let antigen = m.vocab.find_node_label("Antigen").expect("fixture label");
+    let pathogen = m.vocab.find_node_label("Pathogen").expect("fixture label");
+    let dt = m.vocab.find_edge_label("designTarget").expect("fixture label");
+    let cr = m.vocab.find_edge_label("crossReacting").expect("fixture label");
+    let ex = m.vocab.find_edge_label("exhibits").expect("fixture label");
+    let mut g = Graph::new();
+    for _ in 0..chains {
+        let v = g.add_labeled_node([vaccine]);
+        let p = g.add_labeled_node([pathogen]);
+        let mut prev = None;
+        for _ in 0..chain_len.max(1) {
+            let a = g.add_labeled_node([antigen]);
+            match prev {
+                None => {
+                    g.add_edge(v, dt, a);
+                    g.add_edge(p, ex, a);
+                }
+                Some(prev) => {
+                    g.add_edge(prev, cr, a);
+                }
+            }
+            prev = Some(a);
+        }
+    }
+    g
+}
+
 /// A scalable chain schema with `n` labels `L0 → L1 → … → L(n-1)` (one
 /// mandatory edge each) used for scaling studies of the decision
 /// procedures.
@@ -149,6 +184,18 @@ mod tests {
         let (s, p, q) = chain_instance(4, 1, &mut v);
         assert!(!s.node_labels().is_empty());
         assert!(p.is_acyclic() && q.is_acyclic());
+    }
+
+    #[test]
+    fn medical_instances_conform_and_scale() {
+        let m = medical();
+        let g = medical_instance(&m, 4, 8);
+        assert_eq!(g.num_nodes(), 4 * (2 + 8));
+        assert_eq!(m.s0.conforms(&g), Ok(()));
+        // RPQ-heavy: every vaccine targets its whole chain.
+        let out = m.t0.apply(&g);
+        let targets = m.vocab.find_edge_label("targets").unwrap();
+        assert_eq!(out.edges().filter(|(_, l, _)| *l == targets).count(), 4 * 8);
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! gts equiv     FILE --t1 T1 --t2 T2 --source S
 //! gts elicit    FILE --transform T --source S
 //! gts apply     FILE --transform T --graph G [--dot]
+//! gts run       FILE --transform T --instance I [--check-schema S] [--threads N] [--naive] [--dot]
 //! gts conform   FILE --graph G --schema S
 //! gts contains  FILE --p Q1 --q Q2 --schema S
 //! gts batch     FILE... [--threads N]
@@ -38,6 +39,9 @@ fn usage() -> String {
      \x20 equiv     FILE --t1 T1 --t2 T2 --source S        equivalence (Lemma B.8)\n\
      \x20 elicit    FILE --transform T --source S          schema elicitation (Lemma B.5)\n\
      \x20 apply     FILE --transform T --graph G [--dot]   run the transformation\n\
+     \x20 run       FILE --transform T --instance I        execute on an instance file through\n\
+     \x20           [--check-schema S] [--threads N]       the indexed engine (gts-exec);\n\
+     \x20           [--naive] [--dot]                      exit 1 if the output violates S\n\
      \x20 conform   FILE --graph G --schema S              conformance check\n\
      \x20 contains  FILE --p Q1 --q Q2 --schema S          query containment (Thm 5.1)\n\
      \x20 safety    FILE --transform T --source S --literals L1,L2   literal safety (§7)\n\
@@ -52,8 +56,8 @@ fn parse_flags(args: &[String]) -> Result<(HashMap<String, String>, Vec<String>)
     while i < args.len() {
         let a = &args[i];
         if let Some(name) = a.strip_prefix("--") {
-            if name == "dot" {
-                flags.insert("dot".to_owned(), "true".to_owned());
+            if name == "dot" || name == "naive" {
+                flags.insert(name.to_owned(), "true".to_owned());
                 i += 1;
             } else {
                 let val = args.get(i + 1).ok_or_else(|| format!("flag --{name} needs a value"))?;
@@ -177,6 +181,43 @@ fn run_inner(
                 print::raw_graph_block("Output", &out_graph, &file.vocab)
             };
             Ok(Outcome { code: 0, output: rendered })
+        }
+        "run" => {
+            let t = lookup_transform(&file, need(&flags, "transform")?)?;
+            t.validate().map_err(|e| format!("ill-formed transformation: {e:?}"))?;
+            let inst_path = need(&flags, "instance")?;
+            let inst_src = read(inst_path)?;
+            let inst = crate::instance::parse_instance(&inst_src, &mut file.vocab)
+                .map_err(|e| format!("{inst_path}:{e}"))?;
+            let threads: usize = match flags.get("threads") {
+                Some(s) => s.parse().map_err(|_| format!("--threads: not a number: `{s}`"))?,
+                None => 0, // let the executor pick
+            };
+            let out_graph = if flags.contains_key("naive") {
+                t.apply(&inst.graph)
+            } else {
+                gts_exec::execute_with(&t, &inst.graph, &gts_exec::ExecOptions { threads })
+            };
+            let mut output = if flags.contains_key("dot") {
+                out_graph.to_dot(&file.vocab)
+            } else {
+                crate::instance::raw_instance(&out_graph, &file.vocab)
+            };
+            let mut code = 0;
+            if let Some(schema_name) = flags.get("check-schema") {
+                if !output.ends_with('\n') {
+                    output.push('\n'); // to_dot ends at `}`; keep the comment on its own line
+                }
+                let s = lookup_schema(&file, schema_name)?;
+                match s.conforms(&out_graph) {
+                    Ok(()) => output.push_str("# output conforms\n"),
+                    Err(v) => {
+                        output.push_str(&format!("# output violation: {v:?}\n"));
+                        code = 1;
+                    }
+                }
+            }
+            Ok(Outcome { code, output })
         }
         "conform" => {
             let s = lookup_schema(&file, need(&flags, "schema")?)?;
@@ -330,6 +371,15 @@ fn run_batch(
                         entry
                             .set("schema", print::schema_block("Elicited", &schema, &file.vocab))
                             .set("certified", certified);
+                    }
+                    Ok(Verdict::Executed { output, conforms }) => {
+                        entry
+                            .set("output_nodes", output.num_nodes() as u64)
+                            .set("output_edges", output.num_edges() as u64);
+                        if let Some(ok) = conforms {
+                            entry.set("conforms", ok);
+                            all_hold &= ok;
+                        }
                     }
                     Err(e) => {
                         entry.set("error", format!("{e:?}"));

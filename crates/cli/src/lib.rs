@@ -27,11 +27,13 @@
 #![warn(missing_docs)]
 
 mod commands;
+mod instance;
 mod lex;
 mod parse;
 mod print;
 
 pub use commands::{run, Outcome};
+pub use instance::{parse_instance, print_instance, raw_instance};
 pub use lex::{lex, ParseError, Tok, Token};
 pub use parse::{GtsFile, NamedGraph};
 pub use print::{
@@ -166,6 +168,92 @@ query Direct(x, y) {
         // violates the `+` on targets).
         let c2 = run(&args("conform mem.gts --graph G --schema S1"), &read_mem(MEDICAL));
         assert_eq!(c2.code, 1, "{}", c2.output);
+    }
+
+    const INSTANCE: &str = "\
+# the Figure 1 instance, in the standalone instance format
+node v1 Vaccine
+node a1 Antigen
+node a2 Antigen
+node p1 Pathogen
+edge v1 designTarget a1
+edge a1 crossReacting a2
+edge p1 exhibits a1
+edge p1 exhibits a2
+";
+
+    fn read_two(path: &str) -> Result<String, String> {
+        match path {
+            "mem.gts" => Ok(MEDICAL.to_owned()),
+            "inst.graph" => Ok(INSTANCE.to_owned()),
+            other => Err(format!("cannot read {other}")),
+        }
+    }
+
+    #[test]
+    fn cli_run_executes_an_instance_end_to_end() {
+        let out = run(&args("run mem.gts --transform T0 --instance inst.graph"), &read_two);
+        assert_eq!(out.code, 0, "{}", out.output);
+        // The derived closure edge is present, crossReacting is gone.
+        assert!(out.output.contains("targets"), "{}", out.output);
+        assert!(!out.output.contains("crossReacting"), "{}", out.output);
+        // The output is itself a parseable instance.
+        let mut vocab = gts_core::graph::Vocab::new();
+        let reparsed = parse_instance(&out.output, &mut vocab).unwrap();
+        assert_eq!(reparsed.graph.num_nodes(), 4);
+    }
+
+    #[test]
+    fn cli_run_checks_output_conformance() {
+        let ok = run(
+            &args("run mem.gts --transform T0 --instance inst.graph --check-schema S1"),
+            &read_two,
+        );
+        assert_eq!(ok.code, 0, "{}", ok.output);
+        assert!(ok.output.contains("output conforms"), "{}", ok.output);
+        // S0 has no `targets` label: the very same output violates it.
+        let bad = run(
+            &args("run mem.gts --transform T0 --instance inst.graph --check-schema S0"),
+            &read_two,
+        );
+        assert_eq!(bad.code, 1, "{}", bad.output);
+        assert!(bad.output.contains("output violation"), "{}", bad.output);
+    }
+
+    #[test]
+    fn cli_run_dot_with_check_keeps_valid_dot() {
+        let out = run(
+            &args("run mem.gts --transform T0 --instance inst.graph --dot --check-schema S1"),
+            &read_two,
+        );
+        assert_eq!(out.code, 0, "{}", out.output);
+        // The conformance comment must land on its own line after `}`.
+        assert!(out.output.contains("}\n# output conforms"), "{}", out.output);
+    }
+
+    #[test]
+    fn cli_run_naive_and_indexed_agree() {
+        let indexed =
+            run(&args("run mem.gts --transform T0 --instance inst.graph --threads 2"), &read_two);
+        let naive =
+            run(&args("run mem.gts --transform T0 --instance inst.graph --naive"), &read_two);
+        assert_eq!(indexed.code, 0);
+        assert_eq!(naive.code, 0);
+        // Same fact counts (node ids may differ between the engines).
+        assert_eq!(indexed.output.lines().count(), naive.output.lines().count());
+    }
+
+    #[test]
+    fn cli_run_reports_instance_parse_errors() {
+        let read = |path: &str| -> Result<String, String> {
+            match path {
+                "mem.gts" => Ok(MEDICAL.to_owned()),
+                _ => Ok("node a\nedge a nope".to_owned()),
+            }
+        };
+        let out = run(&args("run mem.gts --transform T0 --instance bad.graph"), &read);
+        assert_eq!(out.code, 2, "{}", out.output);
+        assert!(out.output.contains("line 2"), "{}", out.output);
     }
 
     #[test]

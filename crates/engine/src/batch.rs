@@ -12,8 +12,10 @@
 //! attribute cost per request.
 
 use crate::session::AnalysisSession;
+use gts_core::graph::Graph;
 use gts_core::schema::Schema;
 use gts_core::{AnalysisError, Decision, Transformation};
+use gts_exec::ExecOptions;
 use std::time::Instant;
 
 /// One analysis request against the batch's source schema.
@@ -41,6 +43,17 @@ pub enum Request {
         /// The transformation to elicit a schema for.
         transform: Transformation,
     },
+    /// Concrete execution of `transform` on `instance` through the
+    /// indexed engine (`gts-exec`), optionally conformance-checking the
+    /// output against a target schema.
+    Execute {
+        /// The transformation to run.
+        transform: Transformation,
+        /// The input instance.
+        instance: Graph,
+        /// When set, the output is checked against this schema.
+        check_target: Option<Schema>,
+    },
 }
 
 /// The successful outcome of one request.
@@ -54,6 +67,14 @@ pub enum Verdict {
         schema: Schema,
         /// `true` iff every entailment test was certified.
         certified: bool,
+    },
+    /// The output graph of an execution request.
+    Executed {
+        /// The transformation's output on the request's instance.
+        output: Graph,
+        /// `Some(true/false)` when the request asked for a conformance
+        /// check against a target schema.
+        conforms: Option<bool>,
     },
 }
 
@@ -154,6 +175,16 @@ fn run_one(session: &mut AnalysisSession, label: String, req: Request) -> BatchR
         Request::Elicit { transform } => session
             .elicit(&transform)
             .map(|e| Verdict::Elicited { schema: e.schema, certified: e.certified }),
+        Request::Execute { transform, instance, check_target } => {
+            transform.validate().map_err(AnalysisError::Transform).map(|()| {
+                // Batch workers already parallelize across requests; keep
+                // each execution single-threaded to avoid oversubscription.
+                let output =
+                    gts_exec::execute_with(&transform, &instance, &ExecOptions { threads: 1 });
+                let conforms = check_target.map(|s| s.conforms(&output).is_ok());
+                Verdict::Executed { output, conforms }
+            })
+        }
     };
     BatchResult { label, verdict, micros: start.elapsed().as_micros() as u64 }
 }
@@ -205,6 +236,50 @@ mod tests {
         );
         assert!(results.iter().all(|r| r.verdict.is_ok()));
         assert!(session.stats().misses > 0);
+    }
+
+    #[test]
+    fn execute_requests_run_through_the_batch() {
+        let (v, s, t) = fixture();
+        let a = v.find_node_label("A").unwrap();
+        let r = v.find_edge_label("r").unwrap();
+        let mut g = gts_core::graph::Graph::new();
+        let n0 = g.add_labeled_node([a]);
+        let n1 = g.add_labeled_node([a]);
+        g.add_edge(n0, r, n1);
+        let mut batch = Batch::new(AnalysisSession::new(s.clone(), v));
+        batch.push("run", Request::Execute { transform: t, instance: g, check_target: Some(s) });
+        let (results, _) = batch.run(1);
+        match &results[0].verdict {
+            Ok(Verdict::Executed { output, conforms }) => {
+                assert_eq!(output.num_nodes(), 2);
+                assert_eq!(output.num_edges(), 1);
+                assert_eq!(*conforms, Some(true));
+            }
+            other => panic!("expected an Executed verdict, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn execute_rejects_ill_formed_transformations() {
+        let (v, s, _) = fixture();
+        let a = v.find_node_label("A").unwrap();
+        let r = v.find_edge_label("r").unwrap();
+        let cyclic =
+            C2rpq::new(1, vec![Var(0)], vec![Atom { x: Var(0), y: Var(0), regex: Regex::edge(r) }]);
+        let mut bad = Transformation::new();
+        bad.add_node_rule(a, cyclic);
+        let mut batch = Batch::new(AnalysisSession::new(s, v));
+        batch.push(
+            "bad",
+            Request::Execute { transform: bad, instance: Default::default(), check_target: None },
+        );
+        let (results, _) = batch.run(1);
+        assert!(
+            matches!(results[0].verdict, Err(gts_core::AnalysisError::Transform(_))),
+            "{:?}",
+            results[0].verdict
+        );
     }
 
     #[test]

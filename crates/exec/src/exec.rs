@@ -1,0 +1,450 @@
+//! The rule executor: indexed C2RPQ evaluation and whole-transformation
+//! execution with per-rule parallelism.
+//!
+//! Rule bodies are evaluated atom-by-atom into [`Relation`]s (one
+//! product-BFS each, automata interned via [`Nfa::compiled`]) and joined
+//! by backtracking with bitset candidate intersection. A
+//! [`Transformation`] is executed by evaluating all rule bodies — in
+//! parallel across a sharded `std::thread` worker pool, the same
+//! work-stealing-free pattern `gts-engine` uses for analysis batches —
+//! and assembling the output graph single-threaded in rule order, so the
+//! result is deterministic regardless of thread count.
+
+use crate::index::IndexedGraph;
+use crate::rpq::Relation;
+use gts_core::{Rule, Transformation};
+use gts_graph::{EdgeLabel, FxHashMap, FxHashSet, Graph, LabelSet, NodeId, NodeLabel};
+use gts_query::{C2rpq, Nfa, Uc2rpq};
+use std::collections::BTreeSet;
+
+/// A node fact `A(f_A(t̄))` over constructor keys.
+pub type NodeFact = (NodeLabel, Vec<NodeId>);
+/// An edge fact `r(f(t̄), f'(t̄'))` over constructor keys.
+pub type EdgeFact = (NodeFact, EdgeLabel, NodeFact);
+
+/// Execution options.
+#[derive(Clone, Debug, Default)]
+pub struct ExecOptions {
+    /// Worker threads for rule-body evaluation; `0` (the default) picks
+    /// the available parallelism (capped at 8), `1` runs inline.
+    pub threads: usize,
+}
+
+impl ExecOptions {
+    fn resolve_threads(&self, work_items: usize) -> usize {
+        let t = match self.threads {
+            0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8),
+            t => t,
+        };
+        t.clamp(1, work_items.max(1))
+    }
+}
+
+/// Evaluates a C2RPQ over the index, returning the sorted, deduplicated
+/// answer tuples (aligned with [`C2rpq::free`]). Agrees with
+/// [`C2rpq::eval`] on every graph (the property suites enforce this).
+pub fn eval_c2rpq(idx: &IndexedGraph, q: &C2rpq) -> Vec<Vec<NodeId>> {
+    let rels: Vec<Relation> =
+        q.atoms.iter().map(|a| Relation::build(idx, &Nfa::compiled(&a.regex))).collect();
+    if rels.iter().any(Relation::is_empty) && !q.atoms.is_empty() {
+        return Vec::new();
+    }
+    // Fast paths for single-atom bodies whose answer tuple is exactly the
+    // atom's endpoints — the shape of every copy and rewire rule. The
+    // relation already is the (distinct) answer set; skip the join.
+    if let [a] = q.atoms.as_slice() {
+        let rel = &rels[0];
+        if a.x != a.y && q.num_vars == 2 {
+            if q.free == [a.x, a.y] {
+                return rel.iter_pairs().map(|(u, v)| vec![u, v]).collect();
+            }
+            if q.free == [a.y, a.x] {
+                let mut out: Vec<Vec<NodeId>> = rel.iter_pairs().map(|(u, v)| vec![v, u]).collect();
+                out.sort();
+                return out;
+            }
+            if q.free.is_empty() {
+                return vec![Vec::new()]; // non-empty relation: ∃x,y. φ(x,y)
+            }
+        }
+        if a.x == a.y && q.num_vars == 1 {
+            let mut diagonal = rel.src_support().iter().filter(|&u| rel.contains(u, u));
+            if q.free == [a.x] {
+                return diagonal.map(|u| vec![NodeId(u)]).collect();
+            }
+            if q.free.is_empty() {
+                return if diagonal.next().is_some() { vec![Vec::new()] } else { Vec::new() };
+            }
+        }
+    }
+    let mut answers: FxHashSet<Vec<NodeId>> = FxHashSet::default();
+    let mut asg: Vec<Option<u32>> = vec![None; q.num_vars as usize];
+    backtrack(idx, q, &rels, 0, &mut asg, &mut answers);
+    let mut out: Vec<Vec<NodeId>> = answers.into_iter().collect();
+    out.sort();
+    out
+}
+
+fn backtrack(
+    idx: &IndexedGraph,
+    q: &C2rpq,
+    rels: &[Relation],
+    var: u32,
+    asg: &mut Vec<Option<u32>>,
+    answers: &mut FxHashSet<Vec<NodeId>>,
+) {
+    if var == q.num_vars {
+        answers
+            .insert(q.free.iter().map(|v| NodeId(asg[v.0 as usize].expect("assigned"))).collect());
+        return;
+    }
+    // Candidate narrowing: atoms connecting `var` to an already-assigned
+    // variable contribute their (sorted CSR) relation column; every other
+    // atom touching `var` contributes its column-support bitset (a value
+    // with no pair in some touching relation can never extend). The
+    // shortest column seeds the domain; the rest filter it.
+    let mut columns: Vec<&[u32]> = Vec::new();
+    let mut supports: Vec<&LabelSet> = Vec::new();
+    for (i, a) in q.atoms.iter().enumerate() {
+        if a.x.0 == var {
+            if a.y.0 < var {
+                columns.push(rels[i].sources_of(asg[a.y.0 as usize].expect("assigned")));
+            } else {
+                supports.push(rels[i].src_support());
+            }
+        }
+        if a.y.0 == var {
+            if a.x.0 < var {
+                columns.push(rels[i].targets_of(asg[a.x.0 as usize].expect("assigned")));
+            } else {
+                supports.push(rels[i].tgt_support());
+            }
+        }
+    }
+    let domain: Vec<u32> = if let Some(seed) = columns.iter().min_by_key(|c| c.len()).copied() {
+        seed.iter()
+            .copied()
+            .filter(|&v| {
+                columns.iter().all(|c| std::ptr::eq(*c, seed) || c.binary_search(&v).is_ok())
+                    && supports.iter().all(|s| s.contains(v))
+            })
+            .collect()
+    } else if !supports.is_empty() {
+        let (first, rest) = supports.split_first().expect("non-empty");
+        first.iter().filter(|&v| rest.iter().all(|s| s.contains(v))).collect()
+    } else {
+        idx.all_nodes().iter().collect()
+    };
+    'outer: for node in domain {
+        asg[var as usize] = Some(node);
+        // Validate exactly the atoms whose last endpoint is `var` —
+        // earlier atoms were validated when their own last endpoint was
+        // assigned and have not changed since.
+        for (i, a) in q.atoms.iter().enumerate() {
+            if a.x.0.max(a.y.0) == var {
+                let (ux, uy) = (
+                    asg[a.x.0 as usize].expect("assigned"),
+                    asg[a.y.0 as usize].expect("assigned"),
+                );
+                if !rels[i].contains(ux, uy) {
+                    asg[var as usize] = None;
+                    continue 'outer;
+                }
+            }
+        }
+        backtrack(idx, q, rels, var + 1, asg, answers);
+        asg[var as usize] = None;
+    }
+}
+
+/// Union evaluation: sorted, deduplicated answers across all disjuncts.
+pub fn eval_uc2rpq(idx: &IndexedGraph, u: &Uc2rpq) -> Vec<Vec<NodeId>> {
+    let mut out: BTreeSet<Vec<NodeId>> = BTreeSet::new();
+    for q in &u.disjuncts {
+        out.extend(eval_c2rpq(idx, q));
+    }
+    out.into_iter().collect()
+}
+
+/// Evaluates every rule body of `t` over the index; returns one sorted
+/// tuple list per rule, in rule order. This is the parallel section of
+/// [`execute_with`]: rules are dealt round-robin into one shard per
+/// worker, workers share only the immutable index.
+pub fn eval_rule_bodies(
+    idx: &IndexedGraph,
+    t: &Transformation,
+    opts: &ExecOptions,
+) -> Vec<Vec<Vec<NodeId>>> {
+    let bodies: Vec<&C2rpq> = t
+        .rules
+        .iter()
+        .map(|rule| match rule {
+            Rule::Node(r) => &r.body,
+            Rule::Edge(r) => &r.body,
+        })
+        .collect();
+    let workers = opts.resolve_threads(bodies.len());
+    if workers <= 1 {
+        return bodies.into_iter().map(|b| eval_c2rpq(idx, b)).collect();
+    }
+    let mut shards: Vec<Vec<(usize, &C2rpq)>> = vec![Vec::new(); workers];
+    for (i, body) in bodies.iter().enumerate() {
+        shards[i % workers].push((i, body));
+    }
+    let mut slots: Vec<Option<Vec<Vec<NodeId>>>> = (0..bodies.len()).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = shards
+            .into_iter()
+            .map(|shard| {
+                scope.spawn(move || {
+                    shard
+                        .into_iter()
+                        .map(|(i, body)| (i, eval_c2rpq(idx, body)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, tuples) in handle.join().expect("executor worker panicked") {
+                slots[i] = Some(tuples);
+            }
+        }
+    });
+    slots.into_iter().map(|s| s.expect("every rule evaluated")).collect()
+}
+
+/// Executes the transformation over a pre-built index.
+pub fn execute_indexed(idx: &IndexedGraph, t: &Transformation, opts: &ExecOptions) -> Graph {
+    let per_rule = eval_rule_bodies(idx, t, opts);
+    assemble(t, &per_rule)
+}
+
+/// Executes `t` on `g` through the indexed engine with explicit options.
+pub fn execute_with(t: &Transformation, g: &Graph, opts: &ExecOptions) -> Graph {
+    execute_indexed(&IndexedGraph::build(g), t, opts)
+}
+
+/// Executes `t` on `g` through the indexed engine with default options
+/// (automatic thread count). Produces a graph equal to
+/// [`Transformation::apply`] up to constructed-node renaming; compare via
+/// [`output_facts`] / [`Transformation::output_facts`].
+pub fn execute(t: &Transformation, g: &Graph) -> Graph {
+    execute_with(t, g, &ExecOptions::default())
+}
+
+/// Assembles the output graph from per-rule tuples, in rule order with
+/// sorted tuples — fully deterministic. Unary constructors (the common
+/// case: copy rules) are interned through a dedicated map with an inline
+/// key, avoiding one heap allocation per constructed-node lookup.
+fn assemble(t: &Transformation, per_rule: &[Vec<Vec<NodeId>>]) -> Graph {
+    let mut out = Graph::new();
+    let total: usize = per_rule.iter().map(Vec::len).sum();
+    let mut ctor1: FxHashMap<(NodeLabel, NodeId), NodeId> = FxHashMap::default();
+    let mut ctorn: FxHashMap<(NodeLabel, Vec<NodeId>), NodeId> = FxHashMap::default();
+    ctor1.reserve(total);
+    let mut construct = |out: &mut Graph, label: NodeLabel, args: &[NodeId]| -> NodeId {
+        match args {
+            [arg] => *ctor1.entry((label, *arg)).or_insert_with(|| out.add_node()),
+            _ => *ctorn.entry((label, args.to_vec())).or_insert_with(|| out.add_node()),
+        }
+    };
+    for (rule, tuples) in t.rules.iter().zip(per_rule) {
+        match rule {
+            Rule::Node(r) => {
+                for tuple in tuples {
+                    let node = construct(&mut out, r.label, tuple);
+                    out.add_label(node, r.label);
+                }
+            }
+            Rule::Edge(r) => {
+                for tuple in tuples {
+                    let (x, y) = tuple.split_at(r.src_arity);
+                    let src = construct(&mut out, r.src_label, x);
+                    let tgt = construct(&mut out, r.tgt_label, y);
+                    out.add_edge(src, r.edge, tgt);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Executes the transformation over a pre-built index, returning both
+/// the output graph and its canonical facts while evaluating each rule
+/// body only once (what the differential harness wants per instance).
+pub fn execute_and_facts(
+    idx: &IndexedGraph,
+    t: &Transformation,
+    opts: &ExecOptions,
+) -> (Graph, (BTreeSet<NodeFact>, BTreeSet<EdgeFact>)) {
+    let per_rule = eval_rule_bodies(idx, t, opts);
+    (assemble(t, &per_rule), facts_of(t, &per_rule))
+}
+
+/// The output of `t` on the indexed graph as canonical facts over
+/// constructor keys — directly comparable with
+/// [`Transformation::output_facts`], which is how the differential
+/// harness checks indexed-vs-naive agreement and output equality.
+pub fn output_facts(
+    idx: &IndexedGraph,
+    t: &Transformation,
+    opts: &ExecOptions,
+) -> (BTreeSet<NodeFact>, BTreeSet<EdgeFact>) {
+    let per_rule = eval_rule_bodies(idx, t, opts);
+    facts_of(t, &per_rule)
+}
+
+/// Canonical facts of pre-evaluated rule tuples.
+fn facts_of(
+    t: &Transformation,
+    per_rule: &[Vec<Vec<NodeId>>],
+) -> (BTreeSet<NodeFact>, BTreeSet<EdgeFact>) {
+    let mut nodes = BTreeSet::new();
+    let mut edges = BTreeSet::new();
+    for (rule, tuples) in t.rules.iter().zip(per_rule) {
+        match rule {
+            Rule::Node(r) => {
+                for tuple in tuples {
+                    nodes.insert((r.label, tuple.clone()));
+                }
+            }
+            Rule::Edge(r) => {
+                for tuple in tuples {
+                    let (x, y) = tuple.split_at(r.src_arity);
+                    edges.insert(((r.src_label, x.to_vec()), r.edge, (r.tgt_label, y.to_vec())));
+                }
+            }
+        }
+    }
+    (nodes, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gts_core::medical_transformation;
+    use gts_graph::Vocab;
+    use gts_query::{Atom, Regex, Var};
+
+    fn medical_graph(v: &mut Vocab) -> Graph {
+        let vaccine = v.node_label("Vaccine");
+        let antigen = v.node_label("Antigen");
+        let pathogen = v.node_label("Pathogen");
+        let dt = v.edge_label("designTarget");
+        let cr = v.edge_label("crossReacting");
+        let ex = v.edge_label("exhibits");
+        let mut g = Graph::new();
+        let vac = g.add_labeled_node([vaccine]);
+        let a1 = g.add_labeled_node([antigen]);
+        let a2 = g.add_labeled_node([antigen]);
+        let a3 = g.add_labeled_node([antigen]);
+        let p = g.add_labeled_node([pathogen]);
+        g.add_edge(vac, dt, a1);
+        g.add_edge(a1, cr, a2);
+        g.add_edge(a2, cr, a3);
+        g.add_edge(p, ex, a1);
+        g.add_edge(p, ex, a2);
+        g.add_edge(p, ex, a3);
+        g
+    }
+
+    #[test]
+    fn eval_agrees_with_naive_on_example_3_2() {
+        let mut v = Vocab::new();
+        let g = medical_graph(&mut v);
+        let vaccine = v.find_node_label("Vaccine").unwrap();
+        let antigen = v.find_node_label("Antigen").unwrap();
+        let dt = v.find_edge_label("designTarget").unwrap();
+        let cr = v.find_edge_label("crossReacting").unwrap();
+        let re = Regex::node(vaccine)
+            .then(Regex::edge(dt))
+            .then(Regex::edge(cr).star())
+            .then(Regex::node(antigen));
+        let q = C2rpq::new(2, vec![Var(0), Var(1)], vec![Atom { x: Var(0), y: Var(1), regex: re }]);
+        let idx = IndexedGraph::build(&g);
+        let indexed = eval_c2rpq(&idx, &q);
+        let naive: BTreeSet<Vec<NodeId>> = q.eval(&g).into_iter().collect();
+        assert_eq!(indexed, naive.into_iter().collect::<Vec<_>>());
+        assert_eq!(indexed.len(), 3);
+    }
+
+    #[test]
+    fn multi_atom_join_agrees_with_naive() {
+        let mut v = Vocab::new();
+        let g = medical_graph(&mut v);
+        let pathogen = v.find_node_label("Pathogen").unwrap();
+        let ex = v.find_edge_label("exhibits").unwrap();
+        let cr = v.find_edge_label("crossReacting").unwrap();
+        // q(x, z) = ∃y. Pathogen(x) ∧ exhibits(x, y) ∧ crossReacting(y, z)
+        let q = C2rpq::new(
+            3,
+            vec![Var(0), Var(2)],
+            vec![
+                Atom { x: Var(0), y: Var(0), regex: Regex::node(pathogen) },
+                Atom { x: Var(0), y: Var(1), regex: Regex::edge(ex) },
+                Atom { x: Var(1), y: Var(2), regex: Regex::edge(cr) },
+            ],
+        );
+        let idx = IndexedGraph::build(&g);
+        let indexed = eval_c2rpq(&idx, &q);
+        let mut naive: Vec<Vec<NodeId>> = q.eval(&g).into_iter().collect();
+        naive.sort();
+        assert_eq!(indexed, naive);
+        assert!(!indexed.is_empty());
+    }
+
+    #[test]
+    fn execute_matches_apply_on_example_4_1() {
+        let mut v = Vocab::new();
+        let t = medical_transformation(&mut v);
+        let g = medical_graph(&mut v);
+        let out = execute(&t, &g);
+        let naive = t.apply(&g);
+        assert_eq!(out.num_nodes(), naive.num_nodes());
+        assert_eq!(out.num_edges(), naive.num_edges());
+        let idx = IndexedGraph::build(&g);
+        assert_eq!(output_facts(&idx, &t, &ExecOptions::default()), t.output_facts(&g));
+    }
+
+    #[test]
+    fn threaded_execution_is_deterministic() {
+        let mut v = Vocab::new();
+        let t = medical_transformation(&mut v);
+        let g = medical_graph(&mut v);
+        let one = execute_with(&t, &g, &ExecOptions { threads: 1 });
+        let four = execute_with(&t, &g, &ExecOptions { threads: 4 });
+        // Determinism is exact graph equality, not just fact equality.
+        assert_eq!(one.num_nodes(), four.num_nodes());
+        assert_eq!(
+            one.edges().collect::<Vec<_>>(),
+            four.edges().collect::<Vec<_>>(),
+            "thread count must not change the output graph"
+        );
+    }
+
+    #[test]
+    fn empty_transformation_and_empty_graph() {
+        let t = Transformation::new();
+        let g = Graph::new();
+        assert_eq!(execute(&t, &g).num_nodes(), 0);
+        let mut v = Vocab::new();
+        let t0 = medical_transformation(&mut v);
+        assert_eq!(execute(&t0, &Graph::new()).num_nodes(), 0);
+    }
+
+    #[test]
+    fn boolean_body_yields_empty_tuple() {
+        // A node rule with a Boolean body constructs one constant node iff
+        // the body holds.
+        let mut v = Vocab::new();
+        let a = v.node_label("A");
+        let mark = v.node_label("NonEmpty");
+        let q = C2rpq::new(1, vec![], vec![Atom { x: Var(0), y: Var(0), regex: Regex::node(a) }]);
+        let mut t = Transformation::new();
+        t.add_node_rule(mark, q);
+        let mut g = Graph::new();
+        g.add_labeled_node([a]);
+        assert_eq!(execute(&t, &g).num_nodes(), 1);
+        assert_eq!(execute(&t, &Graph::new()).num_nodes(), 0);
+    }
+}

@@ -1,0 +1,344 @@
+//! The static↔dynamic differential harness.
+//!
+//! The paper's analyses make universally-quantified claims about runtime
+//! behavior: a *certified* type-check "holds" means every output of `T`
+//! on a source-conforming instance conforms to the target schema; a
+//! certified equivalence "holds" means `T1` and `T2` produce identical
+//! outputs on every conforming instance. This module *watches those
+//! claims be right*: it samples random conforming instances
+//! ([`gts_schema::random_conforming_graph`]), executes the
+//! transformations through the indexed engine, and cross-checks the
+//! dynamic observations against the static verdict — any disagreement is
+//! a soundness bug in one of the two towers and is reported with the
+//! witnessing instance graph.
+//!
+//! Every run also replays the naive evaluator
+//! ([`Transformation::apply`]/[`Transformation::output_facts`]) against
+//! the indexed engine, so the harness doubles as a differential test of
+//! the execution layer itself.
+
+use crate::exec::{execute_and_facts, output_facts, ExecOptions};
+use crate::index::IndexedGraph;
+use gts_core::{Decision, Transformation};
+use gts_graph::{Graph, Vocab};
+use gts_schema::{random_conforming_graph, ConformanceError, Schema};
+use rand::Rng;
+
+/// Configuration of one differential run.
+#[derive(Clone, Debug)]
+pub struct HarnessConfig {
+    /// Number of instances to sample.
+    pub instances: usize,
+    /// Requested nodes per schema label in each instance.
+    pub size_per_label: usize,
+    /// Generation attempts per instance before it is skipped.
+    pub attempts: usize,
+    /// Worker threads handed to the executor.
+    pub threads: usize,
+}
+
+impl Default for HarnessConfig {
+    fn default() -> Self {
+        HarnessConfig { instances: 8, size_per_label: 3, attempts: 5, threads: 1 }
+    }
+}
+
+/// One observed static/dynamic disagreement, with the witnessing input.
+#[derive(Clone, Debug)]
+pub enum Disagreement {
+    /// A certified "type check holds" verdict, but this conforming input
+    /// produced a non-conforming output.
+    TypeCheck {
+        /// The conforming input instance.
+        instance: Graph,
+        /// How its output violates the target schema.
+        violation: ConformanceError,
+    },
+    /// A certified "equivalent" verdict, but the transformations disagree
+    /// on this conforming input.
+    Equivalence {
+        /// The conforming input instance.
+        instance: Graph,
+    },
+    /// The indexed engine and the naive evaluator disagree on this input
+    /// (an execution-layer bug, independent of any analysis).
+    EngineMismatch {
+        /// The input instance.
+        instance: Graph,
+    },
+}
+
+/// Outcome of a differential run.
+#[derive(Clone, Debug, Default)]
+pub struct HarnessReport {
+    /// Instances actually generated and checked.
+    pub checked: usize,
+    /// Instances skipped because generation failed within its attempts.
+    pub skipped: usize,
+    /// All observed disagreements (soundness bugs if non-empty).
+    pub disagreements: Vec<Disagreement>,
+    /// For a failing static verdict: `true` iff some sampled instance
+    /// concretely witnessed the failure (not guaranteed — random sampling
+    /// may miss the counterexample region).
+    pub witnessed_failure: bool,
+    /// An *uncertified* "holds" verdict was contradicted by a sampled
+    /// instance. Not a soundness disagreement — uncertified answers carry
+    /// no guarantee — but a signal that the engine budgets were too low.
+    pub uncertified_holds_refuted: bool,
+}
+
+impl HarnessReport {
+    /// `true` iff no static/dynamic disagreement was observed.
+    pub fn ok(&self) -> bool {
+        self.disagreements.is_empty()
+    }
+
+    /// Human-readable report; disagreement instances are rendered in DOT
+    /// so a failure message carries its counterexample graph.
+    pub fn render(&self, vocab: &Vocab) -> String {
+        let mut s = format!(
+            "checked {} instance(s), skipped {}, {} disagreement(s)\n",
+            self.checked,
+            self.skipped,
+            self.disagreements.len()
+        );
+        for d in &self.disagreements {
+            match d {
+                Disagreement::TypeCheck { instance, violation } => {
+                    s.push_str(&format!(
+                        "type-check disagreement: output violates target ({violation:?})\n\
+                         on input:\n{}\n",
+                        instance.to_dot(vocab)
+                    ));
+                }
+                Disagreement::Equivalence { instance } => {
+                    s.push_str(&format!(
+                        "equivalence disagreement: outputs differ on input:\n{}\n",
+                        instance.to_dot(vocab)
+                    ));
+                }
+                Disagreement::EngineMismatch { instance } => {
+                    s.push_str(&format!(
+                        "indexed/naive engine mismatch on input:\n{}\n",
+                        instance.to_dot(vocab)
+                    ));
+                }
+            }
+        }
+        s
+    }
+}
+
+/// Differentially validates a type-checking verdict: samples conforming
+/// `source`-instances, executes `t`, and checks the outputs against
+/// `target`. A certified "holds" verdict must see only conforming
+/// outputs; violations under a "fails" verdict are recorded as witnesses.
+pub fn differential_type_check<R: Rng>(
+    t: &Transformation,
+    source: &Schema,
+    target: &Schema,
+    verdict: &Decision,
+    cfg: &HarnessConfig,
+    rng: &mut R,
+) -> HarnessReport {
+    let mut report = HarnessReport::default();
+    let opts = ExecOptions { threads: cfg.threads };
+    for _ in 0..cfg.instances {
+        let Some(g) = random_conforming_graph(source, cfg.size_per_label, cfg.attempts, rng) else {
+            report.skipped += 1;
+            continue;
+        };
+        report.checked += 1;
+        let idx = IndexedGraph::build(&g);
+        let (out, facts) = execute_and_facts(&idx, t, &opts);
+        if facts != t.output_facts(&g) {
+            report.disagreements.push(Disagreement::EngineMismatch { instance: g });
+            continue;
+        }
+        match target.conforms(&out) {
+            Ok(()) => {}
+            Err(violation) => match (verdict.holds, verdict.certified) {
+                (true, true) => {
+                    report.disagreements.push(Disagreement::TypeCheck { instance: g, violation })
+                }
+                (true, false) => report.uncertified_holds_refuted = true,
+                (false, _) => report.witnessed_failure = true,
+            },
+        }
+    }
+    report
+}
+
+/// Differentially validates an equivalence verdict: samples conforming
+/// `source`-instances and compares the two transformations' output facts.
+/// A certified "holds" verdict must see only identical outputs;
+/// divergences under a "fails" verdict are recorded as witnesses.
+pub fn differential_equivalence<R: Rng>(
+    t1: &Transformation,
+    t2: &Transformation,
+    source: &Schema,
+    verdict: &Decision,
+    cfg: &HarnessConfig,
+    rng: &mut R,
+) -> HarnessReport {
+    let mut report = HarnessReport::default();
+    let opts = ExecOptions { threads: cfg.threads };
+    for _ in 0..cfg.instances {
+        let Some(g) = random_conforming_graph(source, cfg.size_per_label, cfg.attempts, rng) else {
+            report.skipped += 1;
+            continue;
+        };
+        report.checked += 1;
+        let idx = IndexedGraph::build(&g);
+        let (f1, f2) = (output_facts(&idx, t1, &opts), output_facts(&idx, t2, &opts));
+        if f1 != t1.output_facts(&g) || f2 != t2.output_facts(&g) {
+            report.disagreements.push(Disagreement::EngineMismatch { instance: g });
+            continue;
+        }
+        if f1 != f2 {
+            match (verdict.holds, verdict.certified) {
+                (true, true) => {
+                    report.disagreements.push(Disagreement::Equivalence { instance: g })
+                }
+                (true, false) => report.uncertified_holds_refuted = true,
+                (false, _) => report.witnessed_failure = true,
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gts_core::medical_transformation;
+    use gts_query::{Atom, C2rpq, Regex, Var};
+    use gts_schema::Mult;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn medical_schemas(v: &mut Vocab) -> (Schema, Schema) {
+        let vaccine = v.node_label("Vaccine");
+        let antigen = v.node_label("Antigen");
+        let pathogen = v.node_label("Pathogen");
+        let dt = v.edge_label("designTarget");
+        let cr = v.edge_label("crossReacting");
+        let ex = v.edge_label("exhibits");
+        let targets = v.edge_label("targets");
+        let mut s0 = Schema::new();
+        s0.set_edge(vaccine, dt, antigen, Mult::One, Mult::Star);
+        s0.set_edge(antigen, cr, antigen, Mult::Star, Mult::Star);
+        s0.set_edge(pathogen, ex, antigen, Mult::Plus, Mult::Star);
+        let mut s1 = Schema::new();
+        s1.set_edge(vaccine, dt, antigen, Mult::One, Mult::Star);
+        s1.set_edge(vaccine, targets, antigen, Mult::Plus, Mult::Star);
+        s1.set_edge(pathogen, ex, antigen, Mult::Plus, Mult::Star);
+        (s0, s1)
+    }
+
+    #[test]
+    fn medical_type_check_verdict_is_dynamically_consistent() {
+        let mut v = Vocab::new();
+        let t0 = medical_transformation(&mut v);
+        let (s0, s1) = medical_schemas(&mut v);
+        // The paper's Example 1.1 verdict: T0 : S0 → S1 type checks.
+        let verdict = Decision { holds: true, certified: true };
+        let mut rng = StdRng::seed_from_u64(11);
+        let report =
+            differential_type_check(&t0, &s0, &s1, &verdict, &HarnessConfig::default(), &mut rng);
+        assert!(report.ok(), "{}", report.render(&v));
+        assert!(report.checked > 0);
+    }
+
+    #[test]
+    fn failing_verdicts_get_witnessed() {
+        let mut v = Vocab::new();
+        let t0 = medical_transformation(&mut v);
+        let (s0, _) = medical_schemas(&mut v);
+        // T0 : S0 → S0 does not type check (S0 lacks `targets`); random
+        // conforming instances witness the violation immediately.
+        let verdict = Decision { holds: false, certified: true };
+        let mut rng = StdRng::seed_from_u64(5);
+        let report =
+            differential_type_check(&t0, &s0, &s0, &verdict, &HarnessConfig::default(), &mut rng);
+        assert!(report.ok());
+        assert!(report.witnessed_failure, "sampled instances should expose the violation");
+        assert!(!report.uncertified_holds_refuted);
+    }
+
+    #[test]
+    fn uncertified_holds_refutations_are_flagged_not_buried() {
+        let mut v = Vocab::new();
+        let t0 = medical_transformation(&mut v);
+        let (s0, _) = medical_schemas(&mut v);
+        // An (hypothetical) uncertified "holds" verdict for T0 : S0 → S0
+        // is contradicted by every sampled instance: not a soundness
+        // disagreement, but it must be surfaced, not counted as a
+        // witnessed failure.
+        let verdict = Decision { holds: true, certified: false };
+        let mut rng = StdRng::seed_from_u64(5);
+        let report =
+            differential_type_check(&t0, &s0, &s0, &verdict, &HarnessConfig::default(), &mut rng);
+        assert!(report.ok());
+        assert!(report.uncertified_holds_refuted);
+        assert!(!report.witnessed_failure);
+    }
+
+    #[test]
+    fn equivalence_of_identical_transformations_is_consistent() {
+        let mut v = Vocab::new();
+        let t0 = medical_transformation(&mut v);
+        let (s0, _) = medical_schemas(&mut v);
+        let verdict = Decision { holds: true, certified: true };
+        let mut rng = StdRng::seed_from_u64(23);
+        let report = differential_equivalence(
+            &t0,
+            &t0.clone(),
+            &s0,
+            &verdict,
+            &HarnessConfig::default(),
+            &mut rng,
+        );
+        assert!(report.ok(), "{}", report.render(&v));
+        assert!(report.checked > 0);
+    }
+
+    #[test]
+    fn inequivalence_gets_witnessed() {
+        let mut v = Vocab::new();
+        let t1 = medical_transformation(&mut v);
+        let mut t2 = t1.clone();
+        // Drop the `targets` rule: outputs differ on any input with a
+        // designTarget edge.
+        t2.rules.remove(3);
+        let (s0, _) = medical_schemas(&mut v);
+        let verdict = Decision { holds: false, certified: true };
+        let mut rng = StdRng::seed_from_u64(7);
+        let report =
+            differential_equivalence(&t1, &t2, &s0, &verdict, &HarnessConfig::default(), &mut rng);
+        assert!(report.ok());
+        assert!(report.witnessed_failure);
+    }
+
+    #[test]
+    fn unsatisfiable_schemas_report_skips() {
+        let mut v = Vocab::new();
+        let a = v.node_label("A");
+        let r = v.edge_label("r");
+        // A needs an r-successor A, but each A may have at most one
+        // incoming r... satisfiable actually; make it impossible instead:
+        // A requires an r-edge to B, but B admits none.
+        let b = v.node_label("B");
+        let mut s = Schema::new();
+        s.set_edge(a, r, b, Mult::One, Mult::Zero);
+        let q =
+            C2rpq::new(1, vec![Var(0)], vec![Atom { x: Var(0), y: Var(0), regex: Regex::node(a) }]);
+        let mut t = Transformation::new();
+        t.add_node_rule(a, q);
+        let verdict = Decision { holds: true, certified: true };
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = HarnessConfig { instances: 2, attempts: 2, ..HarnessConfig::default() };
+        let report = differential_type_check(&t, &s, &s, &verdict, &cfg, &mut rng);
+        assert_eq!(report.checked + report.skipped, 2);
+    }
+}

@@ -1,0 +1,237 @@
+//! Immutable, query-optimized graph indexes.
+//!
+//! [`IndexedGraph`] is the execution engine's view of a
+//! [`gts_graph::Graph`]: CSR (compressed sparse row) forward and reverse
+//! adjacency *per edge label*, plus one node bitset per node label. It is
+//! built once per instance and shared read-only by every rule evaluation —
+//! the product-BFS of [`crate::rpq`] then walks plain integer slices
+//! instead of filtering hash-backed adjacency lists per step.
+
+use gts_graph::{EdgeSym, Graph, LabelSet, NodeId, NodeLabel};
+
+/// One CSR structure over node-id rows: `targets[offsets[u] ..
+/// offsets[u+1]]` are the neighbors of node `u`. Shared by the adjacency
+/// index here and by [`crate::rpq::Relation`]'s pair columns.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct Csr {
+    offsets: Vec<u32>,
+    targets: Vec<u32>,
+}
+
+impl Csr {
+    fn fill(num_nodes: usize, edges: &[(u32, u32)]) -> Csr {
+        let mut offsets = vec![0u32; num_nodes + 1];
+        for &(src, _) in edges {
+            offsets[src as usize + 1] += 1;
+        }
+        for i in 0..num_nodes {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut targets = vec![0u32; offsets[num_nodes] as usize];
+        let mut cursor = offsets.clone();
+        for &(src, tgt) in edges {
+            targets[cursor[src as usize] as usize] = tgt;
+            cursor[src as usize] += 1;
+        }
+        Csr { offsets, targets }
+    }
+
+    /// Builds from pairs in arbitrary order, sorting each row so neighbor
+    /// slices are deterministic regardless of edge insertion order.
+    pub(crate) fn build(num_nodes: usize, edges: &[(u32, u32)]) -> Csr {
+        let mut csr = Csr::fill(num_nodes, edges);
+        for u in 0..num_nodes {
+            csr.targets[csr.offsets[u] as usize..csr.offsets[u + 1] as usize].sort_unstable();
+        }
+        csr
+    }
+
+    /// Builds from pairs already sorted lexicographically (rows come out
+    /// sorted without the per-row sort).
+    pub(crate) fn from_sorted_pairs(num_nodes: usize, pairs: &[(u32, u32)]) -> Csr {
+        Csr::fill(num_nodes, pairs)
+    }
+
+    /// Number of rows.
+    pub(crate) fn num_rows(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    #[inline]
+    pub(crate) fn row(&self, u: u32) -> &[u32] {
+        &self.targets[self.offsets[u as usize] as usize..self.offsets[u as usize + 1] as usize]
+    }
+}
+
+/// An immutable index of a finite graph, optimized for regular-path
+/// evaluation: per-edge-label CSR adjacency in both directions and
+/// per-node-label node bitsets.
+#[derive(Clone, Debug)]
+pub struct IndexedGraph {
+    num_nodes: usize,
+    /// `fwd[l]` / `rev[l]`: CSR adjacency of edge label `l` (forward /
+    /// reverse orientation). Labels beyond the graph's maximum are absent.
+    fwd: Vec<Csr>,
+    rev: Vec<Csr>,
+    /// `by_label[a]`: bitset of nodes carrying node label `a`.
+    by_label: Vec<LabelSet>,
+    /// All nodes, as a bitset (the universal frontier).
+    all_nodes: LabelSet,
+    num_edges: usize,
+}
+
+impl IndexedGraph {
+    /// Builds the index; `O(|V| + |E| log deg)` time, touching each edge
+    /// twice (once per direction).
+    pub fn build(g: &Graph) -> IndexedGraph {
+        let n = g.num_nodes();
+        let max_edge_label = g.edges().map(|(_, l, _)| l.0 as usize + 1).max().unwrap_or(0);
+        let mut fwd_edges: Vec<Vec<(u32, u32)>> = vec![Vec::new(); max_edge_label];
+        let mut rev_edges: Vec<Vec<(u32, u32)>> = vec![Vec::new(); max_edge_label];
+        for (src, label, tgt) in g.edges() {
+            fwd_edges[label.0 as usize].push((src.0, tgt.0));
+            rev_edges[label.0 as usize].push((tgt.0, src.0));
+        }
+        let fwd = fwd_edges.iter().map(|edges| Csr::build(n, edges)).collect();
+        let rev = rev_edges.iter().map(|edges| Csr::build(n, edges)).collect();
+        let max_node_label = g
+            .nodes()
+            .filter_map(|u| g.labels(u).iter().max())
+            .max()
+            .map(|l| l as usize + 1)
+            .unwrap_or(0);
+        let mut by_label = vec![LabelSet::new(); max_node_label];
+        for u in g.nodes() {
+            for l in g.labels(u).iter() {
+                by_label[l as usize].insert(u.0);
+            }
+        }
+        IndexedGraph {
+            num_nodes: n,
+            fwd,
+            rev,
+            by_label,
+            all_nodes: LabelSet::from_iter(0..n as u32),
+            num_edges: g.num_edges(),
+        }
+    }
+
+    /// Number of nodes in the indexed graph.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of edges in the indexed graph.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Bitset of every node (shared universal frontier).
+    pub fn all_nodes(&self) -> &LabelSet {
+        &self.all_nodes
+    }
+
+    /// Neighbors of `u` along `sym` as a sorted slice (empty for labels
+    /// the graph never uses).
+    #[inline]
+    pub fn successors(&self, u: u32, sym: EdgeSym) -> &[u32] {
+        let table = if sym.inverse { &self.rev } else { &self.fwd };
+        match table.get(sym.label.0 as usize) {
+            Some(csr) => csr.row(u),
+            None => &[],
+        }
+    }
+
+    /// `true` iff `u` has at least one `sym`-successor.
+    #[inline]
+    pub fn has_successor(&self, u: u32, sym: EdgeSym) -> bool {
+        !self.successors(u, sym).is_empty()
+    }
+
+    /// Bitset of nodes carrying `label` (`None` when no node does).
+    pub fn nodes_with_label(&self, label: NodeLabel) -> Option<&LabelSet> {
+        self.by_label.get(label.0 as usize).filter(|s| !s.is_empty())
+    }
+
+    /// `true` iff node `u` carries `label`.
+    #[inline]
+    pub fn has_label(&self, u: u32, label: NodeLabel) -> bool {
+        self.by_label.get(label.0 as usize).is_some_and(|s| s.contains(u))
+    }
+
+    /// Iterates node ids as [`NodeId`]s.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.num_nodes as u32).map(NodeId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gts_graph::{EdgeLabel, Vocab};
+
+    fn fixture() -> (Vocab, Graph) {
+        let mut v = Vocab::new();
+        let a = v.node_label("A");
+        let b = v.node_label("B");
+        let r = v.edge_label("r");
+        let s = v.edge_label("s");
+        let mut g = Graph::new();
+        let n0 = g.add_labeled_node([a]);
+        let n1 = g.add_labeled_node([b]);
+        let n2 = g.add_labeled_node([a, b]);
+        g.add_edge(n0, r, n1);
+        g.add_edge(n0, r, n2);
+        g.add_edge(n2, s, n0);
+        g.add_edge(n1, r, n1); // self loop
+        (v, g)
+    }
+
+    #[test]
+    fn csr_matches_graph_adjacency() {
+        let (v, g) = fixture();
+        let idx = IndexedGraph::build(&g);
+        let r = v.find_edge_label("r").unwrap();
+        let s = v.find_edge_label("s").unwrap();
+        for u in g.nodes() {
+            for sym in [EdgeSym::fwd(r), EdgeSym::bwd(r), EdgeSym::fwd(s), EdgeSym::bwd(s)] {
+                let mut want: Vec<u32> = g.successors(u, sym).map(|n| n.0).collect();
+                want.sort_unstable();
+                want.dedup();
+                assert_eq!(idx.successors(u.0, sym), want.as_slice(), "node {u:?} sym {sym:?}");
+            }
+        }
+        assert_eq!(idx.num_nodes(), 3);
+        assert_eq!(idx.num_edges(), 4);
+    }
+
+    #[test]
+    fn label_bitsets_match_graph_labels() {
+        let (v, g) = fixture();
+        let idx = IndexedGraph::build(&g);
+        let a = v.find_node_label("A").unwrap();
+        let b = v.find_node_label("B").unwrap();
+        assert_eq!(idx.nodes_with_label(a).unwrap().iter().collect::<Vec<_>>(), vec![0, 2]);
+        assert_eq!(idx.nodes_with_label(b).unwrap().iter().collect::<Vec<_>>(), vec![1, 2]);
+        assert!(idx.has_label(2, a) && idx.has_label(2, b));
+        assert!(!idx.has_label(1, a));
+        // An unused label index is absent rather than panicking.
+        assert!(idx.nodes_with_label(NodeLabel(99)).is_none());
+        assert!(!idx.has_label(0, NodeLabel(99)));
+    }
+
+    #[test]
+    fn unknown_edge_labels_have_no_successors() {
+        let (_, g) = fixture();
+        let idx = IndexedGraph::build(&g);
+        assert!(idx.successors(0, EdgeSym::fwd(EdgeLabel(41))).is_empty());
+        assert!(!idx.has_successor(0, EdgeSym::bwd(EdgeLabel(41))));
+    }
+
+    #[test]
+    fn empty_graph_indexes_cleanly() {
+        let idx = IndexedGraph::build(&Graph::new());
+        assert_eq!(idx.num_nodes(), 0);
+        assert!(idx.all_nodes().is_empty());
+    }
+}

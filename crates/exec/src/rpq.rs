@@ -1,0 +1,312 @@
+//! RPQ evaluation over the product of a graph with a Glushkov NFA.
+//!
+//! The naive evaluator ([`gts_query::Nfa::pairs`]) runs one
+//! node-at-a-time DFS per source over hash-backed adjacency, allocating
+//! an `O(|V| · |Q|)` visited table *per source* — `O(|V|²·|Q|)` work even
+//! when answers are sparse. Here:
+//!
+//! * sources are pre-filtered through the index's per-label node bitsets
+//!   ([`gts_graph::LabelSet`]) to nodes that can take some first
+//!   transition, which on anchored expressions
+//!   (e.g. `Vaccine·designTarget·…`) skips almost the whole graph;
+//! * each surviving source runs a worklist BFS over the product whose
+//!   visited table is a *stamped* array allocated once per relation
+//!   build — per-source cost is proportional to the product states
+//!   actually reached, not to the graph;
+//! * the resulting [`Relation`] stores its pairs as CSR columns in both
+//!   orientations plus bitset column *supports*, so the join in
+//!   [`crate::exec`] narrows candidate frontiers by word-level
+//!   intersection and sorted-row merges.
+
+use crate::index::{Csr, IndexedGraph};
+use gts_graph::{LabelSet, NodeId};
+use gts_query::{AtomSym, Nfa};
+
+/// A binary relation over graph nodes — the answer set of one regular
+/// path expression. Stored as CSR in both orientations (memory linear in
+/// the pair count), with bitset *supports* per column for the join's
+/// candidate-frontier intersections.
+#[derive(Clone, Debug)]
+pub struct Relation {
+    /// Pairs grouped by source: `fwd.row(u)` = sorted targets of `u`.
+    fwd: Csr,
+    /// Pairs grouped by target: `rev.row(v)` = sorted sources of `v`.
+    rev: Csr,
+    /// Nodes with at least one outgoing pair (`{u | ∃v. (u,v)}`).
+    src_support: LabelSet,
+    /// Nodes with at least one incoming pair (`{v | ∃u. (u,v)}`).
+    tgt_support: LabelSet,
+    len: usize,
+}
+
+impl Relation {
+    /// Evaluates `nfa` over the indexed graph: all pairs `(u, v)` joined
+    /// by a path whose labeling the automaton accepts.
+    pub fn build(idx: &IndexedGraph, nfa: &Nfa) -> Relation {
+        let n = idx.num_nodes();
+        let useful = nfa.useful_states();
+        let mut pairs: Vec<(u32, u32)> = Vec::new();
+
+        // Identity pairs: a nullable expression relates every node to
+        // itself, no search needed.
+        if nfa.is_final(nfa.initial()) {
+            pairs.extend((0..n as u32).map(|u| (u, u)));
+        }
+
+        // Source filter: only nodes able to take some useful first
+        // transition can reach anything beyond themselves.
+        let mut sources = LabelSet::new();
+        for &(sym, q) in nfa.transitions(nfa.initial()) {
+            if !useful[q] {
+                continue;
+            }
+            match sym {
+                AtomSym::Node(a) => {
+                    if let Some(s) = idx.nodes_with_label(a) {
+                        sources.union_with(s);
+                    }
+                }
+                AtomSym::Edge(r) => {
+                    for u in 0..n as u32 {
+                        if idx.has_successor(u, r) {
+                            sources.insert(u);
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut bfs = ProductBfs::new(n, nfa.num_states());
+        let mut row: Vec<u32> = Vec::new();
+        for u in sources.iter() {
+            row.clear();
+            bfs.run(idx, nfa, &useful, u, &mut row);
+            pairs.extend(row.iter().map(|&v| (u, v)));
+        }
+        pairs.sort_unstable();
+        pairs.dedup();
+
+        let fwd = Csr::from_sorted_pairs(n, &pairs);
+        let mut src_support = LabelSet::new();
+        let mut tgt_support = LabelSet::new();
+        for &(u, v) in &pairs {
+            src_support.insert(u);
+            tgt_support.insert(v);
+        }
+        let len = pairs.len();
+        for p in &mut pairs {
+            *p = (p.1, p.0);
+        }
+        pairs.sort_unstable();
+        let rev = Csr::from_sorted_pairs(n, &pairs);
+        Relation { fwd, rev, src_support, tgt_support, len }
+    }
+
+    /// Nodes with at least one outgoing pair — the candidate frontier for
+    /// a join variable in source position.
+    pub fn src_support(&self) -> &LabelSet {
+        &self.src_support
+    }
+
+    /// Nodes with at least one incoming pair — the candidate frontier for
+    /// a join variable in target position.
+    pub fn tgt_support(&self) -> &LabelSet {
+        &self.tgt_support
+    }
+
+    /// Number of pairs in the relation.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` iff the relation has no pairs.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// All `v` with `(u, v)` in the relation, sorted.
+    pub fn targets_of(&self, u: u32) -> &[u32] {
+        self.fwd.row(u)
+    }
+
+    /// All `u` with `(u, v)` in the relation, sorted.
+    pub fn sources_of(&self, v: u32) -> &[u32] {
+        self.rev.row(v)
+    }
+
+    /// Membership test (binary search in the source's row).
+    pub fn contains(&self, u: u32, v: u32) -> bool {
+        self.fwd.row(u).binary_search(&v).is_ok()
+    }
+
+    /// Iterates all pairs in `(u, v)` lexicographic order.
+    pub fn iter_pairs(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        (0..self.fwd.num_rows()).flat_map(move |u| {
+            self.fwd.row(u as u32).iter().map(move |&v| (NodeId(u as u32), NodeId(v)))
+        })
+    }
+}
+
+/// Reusable single-source product-search state. The visited table covers
+/// `|V| × |Q|` product states but is allocated *once* per relation build
+/// and reset in `O(1)` by bumping a generation stamp, so each source only
+/// pays for the product states it actually reaches.
+struct ProductBfs {
+    states: usize,
+    stamp: u32,
+    visited: Vec<u32>,
+    worklist: Vec<(u32, u32)>,
+}
+
+impl ProductBfs {
+    fn new(num_nodes: usize, states: usize) -> ProductBfs {
+        ProductBfs { states, stamp: 0, visited: vec![0; num_nodes * states], worklist: Vec::new() }
+    }
+
+    #[inline]
+    fn mark(&mut self, node: u32, state: u32) -> bool {
+        let slot = &mut self.visited[node as usize * self.states + state as usize];
+        let fresh = *slot != self.stamp;
+        *slot = self.stamp;
+        fresh
+    }
+
+    /// Appends to `result` every node reachable from `start` along an
+    /// accepted path (including `start` itself when the automaton is
+    /// nullable). May append a node more than once — one entry per
+    /// accepting product state — so callers deduplicate.
+    fn run(
+        &mut self,
+        idx: &IndexedGraph,
+        nfa: &Nfa,
+        useful: &[bool],
+        start: u32,
+        result: &mut Vec<u32>,
+    ) {
+        self.stamp = self.stamp.wrapping_add(1);
+        if self.stamp == 0 {
+            // Stamp wrapped: the table may contain stale "visited" marks.
+            self.visited.fill(0);
+            self.stamp = 1;
+        }
+        self.worklist.clear();
+        self.mark(start, 0);
+        self.worklist.push((start, 0));
+        if nfa.is_final(0) {
+            result.push(start);
+        }
+        while let Some((u, s)) = self.worklist.pop() {
+            for &(sym, q) in nfa.transitions(s as usize) {
+                if !useful[q] {
+                    continue;
+                }
+                let q = q as u32;
+                match sym {
+                    AtomSym::Node(a) => {
+                        if idx.has_label(u, a) && self.mark(u, q) {
+                            if nfa.is_final(q as usize) {
+                                result.push(u);
+                            }
+                            self.worklist.push((u, q));
+                        }
+                    }
+                    AtomSym::Edge(r) => {
+                        for &v in idx.successors(u, r) {
+                            if self.mark(v, q) {
+                                if nfa.is_final(q as usize) {
+                                    result.push(v);
+                                }
+                                self.worklist.push((v, q));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gts_graph::{FxHashSet, Graph, Vocab};
+    use gts_query::Regex;
+
+    /// Builds the medical chain: vac -dt-> a1 -cr-> a2 -cr-> a3.
+    fn medical() -> (Vocab, Graph) {
+        let mut v = Vocab::new();
+        let vaccine = v.node_label("Vaccine");
+        let antigen = v.node_label("Antigen");
+        let dt = v.edge_label("designTarget");
+        let cr = v.edge_label("crossReacting");
+        let mut g = Graph::new();
+        let vac = g.add_labeled_node([vaccine]);
+        let a1 = g.add_labeled_node([antigen]);
+        let a2 = g.add_labeled_node([antigen]);
+        let a3 = g.add_labeled_node([antigen]);
+        g.add_edge(vac, dt, a1);
+        g.add_edge(a1, cr, a2);
+        g.add_edge(a2, cr, a3);
+        (v, g)
+    }
+
+    fn assert_agrees(re: &Regex, g: &Graph) {
+        let nfa = Nfa::from_regex(re);
+        let idx = IndexedGraph::build(g);
+        let rel = Relation::build(&idx, &nfa);
+        let naive = nfa.pairs(g);
+        let indexed: FxHashSet<(NodeId, NodeId)> = rel.iter_pairs().collect();
+        assert_eq!(indexed, naive, "regex {re:?}");
+        assert_eq!(rel.len(), naive.len());
+    }
+
+    #[test]
+    fn anchored_star_expression_agrees_with_naive() {
+        let (v, g) = medical();
+        let vaccine = v.find_node_label("Vaccine").unwrap();
+        let antigen = v.find_node_label("Antigen").unwrap();
+        let dt = v.find_edge_label("designTarget").unwrap();
+        let cr = v.find_edge_label("crossReacting").unwrap();
+        let re = Regex::node(vaccine)
+            .then(Regex::edge(dt))
+            .then(Regex::edge(cr).star())
+            .then(Regex::node(antigen));
+        assert_agrees(&re, &g);
+        // And the indexed answer is the expected 3 pairs.
+        let rel = Relation::build(&IndexedGraph::build(&g), &Nfa::from_regex(&re));
+        assert_eq!(rel.len(), 3);
+        assert_eq!(rel.targets_of(0).len(), 3);
+        assert!(rel.contains(0, 3));
+        assert_eq!(rel.sources_of(3), &[0]);
+        assert_eq!(rel.src_support().iter().collect::<Vec<_>>(), vec![0]);
+        assert_eq!(rel.tgt_support().len(), 3);
+    }
+
+    #[test]
+    fn nullable_and_inverse_expressions_agree_with_naive() {
+        let (v, g) = medical();
+        let dt = v.find_edge_label("designTarget").unwrap();
+        let cr = v.find_edge_label("crossReacting").unwrap();
+        for re in [
+            Regex::Epsilon,
+            Regex::Empty,
+            Regex::edge(cr).star(),
+            Regex::sym(gts_graph::EdgeSym::bwd(cr)),
+            Regex::edge(dt).then(Regex::sym(gts_graph::EdgeSym::bwd(dt))),
+            Regex::edge(cr).or(Regex::Epsilon),
+        ] {
+            assert_agrees(&re, &g);
+        }
+    }
+
+    #[test]
+    fn self_loops_and_empty_graphs() {
+        let mut v = Vocab::new();
+        let r = v.edge_label("r");
+        let mut g = Graph::new();
+        let n = g.add_node();
+        g.add_edge(n, r, n);
+        assert_agrees(&Regex::edge(r).star(), &g);
+        assert_agrees(&Regex::edge(r), &Graph::new());
+    }
+}
