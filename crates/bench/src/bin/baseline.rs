@@ -1,20 +1,25 @@
 //! Seeds the performance trajectory: measures the paper's three analyses
 //! cold (fresh state per call) and through a cached `AnalysisSession`
-//! (cold first run, warm re-run), plus a repeated-containment benchmark,
-//! and writes the machine-readable report `BENCH_baseline.json`. Also
-//! measures transformation *execution* — naive `Transformation::apply`
-//! vs the indexed `gts-exec` engine across instance sizes — and writes
-//! `BENCH_exec.json`.
+//! (cold first run, warm re-run), plus a repeated-containment benchmark
+//! and a **cold-oracle** section (the per-TBox solver cache measured in
+//! isolation: fresh verdict memo, warm `SolverCache`), and writes the
+//! machine-readable report `BENCH_baseline.json`. Also measures
+//! transformation *execution* — naive `Transformation::apply` vs the
+//! indexed `gts-exec` engine across instance sizes, with the parallel
+//! sharding cutoff — and writes `BENCH_exec.json`.
 //!
 //! ```sh
 //! cargo run --release -p gts-bench --bin baseline           # BENCH_baseline.json + BENCH_exec.json
 //! cargo run --release -p gts-bench --bin baseline -- a.json b.json   # custom paths
+//! cargo run --release -p gts-bench --bin baseline -- --quick         # CI smoke mode
 //! ```
 
 use gts_bench::{fig2, medical, medical_instance};
+use gts_core::containment::OracleCache;
 use gts_core::prelude::*;
 use gts_engine::{AnalysisSession, Json};
 use gts_exec::{execute_with, output_facts, ExecOptions, IndexedGraph};
+use std::sync::Arc;
 use std::time::Instant;
 
 fn timed<T>(f: impl FnOnce() -> T) -> (T, u64) {
@@ -63,17 +68,65 @@ fn best_of<T>(reps: usize, mut f: impl FnMut() -> T) -> (T, u64) {
     (out, best)
 }
 
+/// The cold-oracle comparison: the same analysis with an *empty* verdict
+/// memo each time, against a cold vs a pre-warmed `SolverCache`. The gap
+/// is exactly what persistent per-TBox solver state buys on first-time
+/// questions (the "cold oracle" a high-traffic deployment pays on every
+/// novel (schema, query) pair).
+fn cold_oracle_row(name: &'static str, reps: usize, run: impl Fn(&mut AnalysisSession)) -> Json {
+    // Cold: fresh session, fresh oracle cache.
+    let (_, cold) = best_of(reps, || {
+        let m = medical();
+        let mut session = AnalysisSession::new(m.s0.clone(), m.vocab);
+        run(&mut session);
+    });
+    // Cached-cold: fresh session (empty verdict memo) sharing a SolverCache
+    // warmed by one prior run of the same analysis.
+    let m = medical();
+    let warm_cache = Arc::new(OracleCache::new());
+    let opts = ContainmentOptions::default().with_cache(Arc::clone(&warm_cache));
+    let mut warmup = AnalysisSession::with_options(m.s0.clone(), m.vocab.clone(), opts.clone());
+    run(&mut warmup);
+    let (_, cached_cold) = best_of(reps, || {
+        let m = medical();
+        let mut session = AnalysisSession::with_options(m.s0.clone(), m.vocab, opts.clone());
+        run(&mut session);
+    });
+    let stats = warm_cache.stats();
+    let mut e = Json::obj();
+    e.set("name", name)
+        .set("cold_micros", cold)
+        .set("cached_cold_micros", cached_cold)
+        .set("cached_cold_speedup", ratio(cold, cached_cold))
+        .set("decides", stats.solver.decides)
+        .set("solver_cache_hit_rate", stats.solver.cache_hit_rate())
+        .set("cores_tried", stats.solver.cores_tried)
+        .set("cores_deduped", stats.solver.cores_deduped)
+        .set("types_interned", stats.solver.types_interned as u64)
+        .set("realize_hits", stats.solver.realize_hits)
+        .set("realize_misses", stats.solver.realize_misses)
+        .set("realize_hit_rate", stats.solver.realize_hit_rate())
+        .set("completion_hits", stats.completion_hits)
+        .set("completion_misses", stats.completion_misses);
+    println!(
+        "cold oracle {name:20} cold {cold:>8}us | cached-cold {cached_cold:>8}us ({:.1}x)",
+        ratio(cold, cached_cold)
+    );
+    e
+}
+
 /// Naive vs indexed execution of `T0` on the RPQ-heavy medical instance
-/// family, across instance sizes. Two comparisons per size: rule-body
-/// evaluation alone (the RPQ-heavy hot path the indexed engine replaces)
-/// and end-to-end execution including output-graph assembly (a cost both
-/// engines share).
-fn exec_report(out_path: &str) {
+/// family, across instance sizes. Three comparisons per size: rule-body
+/// evaluation alone, end-to-end single-threaded execution, and the
+/// auto-threaded executor whose work-size cutoff keeps small instances
+/// inline (`auto_sharded` reports whether the cutoff let it shard).
+fn exec_report(out_path: &str, quick: bool) {
     let m = medical();
     let chain_len = 8;
-    const REPS: usize = 3;
+    let reps = if quick { 1 } else { 3 };
+    let sizes: &[usize] = if quick { &[8, 64] } else { &[8, 64, 512, 2048] };
     let mut rows = Vec::new();
-    for &chains in &[8usize, 64, 512, 2048] {
+    for &chains in sizes {
         let g = medical_instance(&m, chains, chain_len);
         let bodies: Vec<_> =
             m.t0.rules
@@ -83,22 +136,23 @@ fn exec_report(out_path: &str) {
                     gts_core::Rule::Edge(r) => &r.body,
                 })
                 .collect();
+        let inline = ExecOptions { threads: 1, ..Default::default() };
         // Rule-body evaluation: per-pair NFA products vs indexed product-BFS.
         let (_, naive_eval) =
-            best_of(REPS, || bodies.iter().map(|b| b.eval(&g).len()).sum::<usize>());
-        let (idx, index_build) = best_of(REPS, || IndexedGraph::build(&g));
-        let (_, indexed_eval) = best_of(REPS, || {
-            gts_exec::eval_rule_bodies(&idx, &m.t0, &ExecOptions { threads: 1 })
-                .iter()
-                .map(Vec::len)
-                .sum::<usize>()
+            best_of(reps, || bodies.iter().map(|b| b.eval(&g).len()).sum::<usize>());
+        let (idx, index_build) = best_of(reps, || IndexedGraph::build(&g));
+        let (_, indexed_eval) = best_of(reps, || {
+            gts_exec::eval_rule_bodies(&idx, &m.t0, &inline).iter().map(Vec::len).sum::<usize>()
         });
         // End-to-end: apply vs execute (indexed numbers include the build).
-        let (naive_out, naive) = best_of(REPS, || m.t0.apply(&g));
-        let (indexed_out, indexed) =
-            best_of(REPS, || execute_with(&m.t0, &g, &ExecOptions { threads: 1 }));
-        let (_, threaded) = best_of(REPS, || execute_with(&m.t0, &g, &ExecOptions { threads: 0 }));
-        let agree = output_facts(&idx, &m.t0, &ExecOptions { threads: 1 }) == m.t0.output_facts(&g);
+        let (naive_out, naive) = best_of(reps, || m.t0.apply(&g));
+        let (indexed_out, indexed) = best_of(reps, || execute_with(&m.t0, &g, &inline));
+        // Auto mode: the work-size cutoff decides whether to shard.
+        let auto_opts = ExecOptions::default();
+        let work = m.t0.rules.len() * (g.num_nodes() + g.num_edges());
+        let sharded = auto_opts.would_shard(m.t0.rules.len(), g.num_nodes() + g.num_edges());
+        let (_, auto_micros) = best_of(reps, || execute_with(&m.t0, &g, &auto_opts));
+        let agree = output_facts(&idx, &m.t0, &inline) == m.t0.output_facts(&g);
         let mut e = Json::obj();
         e.set("chains", chains)
             .set("chain_len", chain_len)
@@ -112,12 +166,14 @@ fn exec_report(out_path: &str) {
             .set("naive_micros", naive)
             .set("index_build_micros", index_build)
             .set("indexed_micros", indexed)
-            .set("indexed_threaded_micros", threaded)
+            .set("auto_threaded_micros", auto_micros)
+            .set("auto_sharded", sharded)
+            .set("estimated_work", work as u64)
             .set("speedup_indexed_over_naive", ratio(naive, indexed))
             .set("outputs_agree", agree);
         println!(
             "exec {:>6} nodes: eval naive {:>8}us vs indexed {:>6}us ({:>5.1}x) | end-to-end \
-             naive {:>8}us vs indexed {:>6}us ({:>4.1}x, threaded {:>6}us) | agree {}",
+             naive {:>8}us vs indexed {:>6}us ({:>4.1}x, auto {:>6}us sharded={}) | agree {}",
             g.num_nodes(),
             naive_eval,
             index_build + indexed_eval,
@@ -125,17 +181,32 @@ fn exec_report(out_path: &str) {
             naive,
             indexed,
             ratio(naive, indexed),
-            threaded,
+            auto_micros,
+            sharded,
             agree
         );
         assert_eq!(naive_out.num_edges(), indexed_out.num_edges(), "engines must agree");
         rows.push(e);
     }
+    let parallelism = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut cutoff = Json::obj();
+    cutoff
+        .set("min_parallel_work", gts_exec::DEFAULT_MIN_PARALLEL_WORK as u64)
+        .set("work_metric", "rules * (nodes + edges)")
+        .set("measured_parallelism", parallelism as u64)
+        .set(
+            "policy",
+            "execute() shards across threads only when the estimated work clears the cutoff \
+             AND the host has >1 core; the pre-cutoff bench showed the sharded pool slower \
+             than inline at every size on this host (auto_sharded reports what auto mode did \
+             here — single-core hosts never shard)",
+        );
     let mut doc = Json::obj();
-    doc.set("schema_version", 1u64)
+    doc.set("schema_version", 2u64)
         .set("generated_by", "gts-bench baseline (exec comparison)")
         .set("transformation", "medical T0 (Example 4.1)")
         .set("workload", "crossReacting chains; targets = designTarget.crossReacting*")
+        .set("parallel_cutoff", cutoff)
         .set("sizes", Json::Arr(rows));
     std::fs::write(out_path, doc.pretty())
         .unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
@@ -143,9 +214,13 @@ fn exec_report(out_path: &str) {
 }
 
 fn main() {
-    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_baseline.json".into());
-    let exec_path = std::env::args().nth(2).unwrap_or_else(|| "BENCH_exec.json".into());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let mut paths = args.iter().filter(|a| !a.starts_with("--"));
+    let out_path = paths.next().cloned().unwrap_or_else(|| "BENCH_baseline.json".into());
+    let exec_path = paths.next().cloned().unwrap_or_else(|| "BENCH_exec.json".into());
     let opts = ContainmentOptions::default();
+    let reps = if quick { 1 } else { 3 };
 
     // ---- The three analyses over the Figure 1 medical fixture. Each
     // analysis gets a *fresh* session for its cold/warm pair, so
@@ -197,6 +272,17 @@ fn main() {
         });
     }
 
+    // ---- Cold-oracle section: fresh verdict memos, cold vs warmed
+    // SolverCache — persistent per-TBox solver state in isolation. ----
+    let elicit_oracle = cold_oracle_row("elicit_medical", reps, |s| {
+        let m = medical();
+        s.elicit(&m.t0).expect("elicit");
+    });
+    let check_oracle = cold_oracle_row("type_check_medical", reps, |s| {
+        let m = medical();
+        s.type_check(&m.t0, &m.s1).expect("type check");
+    });
+
     // ---- Cross-analysis reuse: all three analyses through ONE session;
     // its cache stats quantify how much the analyses share. ----
     let session = {
@@ -209,24 +295,24 @@ fn main() {
     };
 
     // ---- Repeated containment: the Figure 2 instance asked N times. ----
-    const ITERS: usize = 10;
+    let iters: usize = if quick { 3 } else { 10 };
     let repeated = {
         let mut f = fig2();
         let (_, cold) = timed(|| {
-            for _ in 0..ITERS {
+            for _ in 0..iters {
                 contains(&f.p, &f.q, &f.schema, &mut f.vocab, &opts).expect("contains");
             }
         });
         let f = fig2();
         let mut s = AnalysisSession::new(f.schema.clone(), f.vocab.clone());
         let (_, warm) = timed(|| {
-            for _ in 0..ITERS {
+            for _ in 0..iters {
                 s.contains(&f.p, &f.q).expect("contains");
             }
         });
         let stats = s.stats();
         let mut e = Json::obj();
-        e.set("iterations", ITERS)
+        e.set("iterations", iters)
             .set("cold_micros", cold)
             .set("warm_micros", warm)
             .set("speedup", ratio(cold, warm))
@@ -234,7 +320,7 @@ fn main() {
             .set("cache_hits", stats.hits)
             .set("cache_misses", stats.misses);
         println!(
-            "repeated containment ({ITERS}x fig2): cold {cold}us, warm session {warm}us \
+            "repeated containment ({iters}x fig2): cold {cold}us, warm session {warm}us \
              (speedup {:.1}x, {} hits / {} misses)",
             ratio(cold, warm),
             stats.hits,
@@ -248,10 +334,12 @@ fn main() {
 
     // ---- Assemble the report. ----
     let stats = session.stats();
+    let oracle = session.oracle_stats();
     let (nfa_hits, nfa_misses) = gts_core::query::nfa_cache_stats();
     let mut doc = Json::obj();
-    doc.set("schema_version", 1u64).set("generated_by", "gts-bench baseline");
+    doc.set("schema_version", 2u64).set("generated_by", "gts-bench baseline");
     doc.set("analyses", Json::Arr(rows.iter().map(AnalysisRow::json).collect()));
+    doc.set("cold_oracle", Json::Arr(vec![elicit_oracle, check_oracle]));
     doc.set("repeated_containment", repeated);
     let mut cache = Json::obj();
     cache
@@ -260,6 +348,20 @@ fn main() {
         .set("entries", stats.entries)
         .set("hit_rate", stats.hit_rate());
     doc.set("containment_cache", cache);
+    let mut solver = Json::obj();
+    solver
+        .set("decides", oracle.solver.decides)
+        .set("cache_hits", oracle.solver.cache_hits)
+        .set("cache_misses", oracle.solver.cache_misses)
+        .set("cache_hit_rate", oracle.solver.cache_hit_rate())
+        .set("entries", oracle.solver.entries as u64)
+        .set("cores_tried", oracle.solver.cores_tried)
+        .set("cores_deduped", oracle.solver.cores_deduped)
+        .set("types_interned", oracle.solver.types_interned as u64)
+        .set("realize_hit_rate", oracle.solver.realize_hit_rate())
+        .set("completion_hits", oracle.completion_hits)
+        .set("completion_misses", oracle.completion_misses);
+    doc.set("solver_cache", solver);
     let mut nfa = Json::obj();
     nfa.set("hits", nfa_hits)
         .set("misses", nfa_misses)
@@ -279,9 +381,18 @@ fn main() {
         stats.entries,
         stats.hit_rate() * 100.0
     );
+    println!(
+        "solver cache: {} decides ({:.0}% context-warm), {} cores tried, {} types interned, \
+         realize hit rate {:.0}%",
+        oracle.solver.decides,
+        oracle.solver.cache_hit_rate() * 100.0,
+        oracle.solver.cores_tried,
+        oracle.solver.types_interned,
+        oracle.solver.realize_hit_rate() * 100.0
+    );
     std::fs::write(&out_path, doc.pretty())
         .unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
     println!("wrote {out_path}");
 
-    exec_report(&exec_path);
+    exec_report(&exec_path, quick);
 }

@@ -17,10 +17,11 @@
 
 use crate::parse::GtsFile;
 use crate::print;
-use gts_core::containment::{contains_nre, ContainmentOptions};
+use gts_core::containment::{contains_nre, ContainmentOptions, OracleCache, OracleCacheStats};
 use gts_core::{elicit_schema, equivalence, type_check};
 use gts_engine::{AnalysisSession, Batch, CacheStats, Json, Request, Verdict};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Outcome of one command: exit code plus the text to print.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -45,7 +46,8 @@ fn usage() -> String {
      \x20 conform   FILE --graph G --schema S              conformance check\n\
      \x20 contains  FILE --p Q1 --q Q2 --schema S          query containment (Thm 5.1)\n\
      \x20 safety    FILE --transform T --source S --literals L1,L2   literal safety (§7)\n\
-     \x20 batch     FILE... [--threads N]                  run all analyses of each file, emit JSON\n"
+     \x20 batch     FILE... [--threads N]                  run all analyses of each file, emit JSON\n\
+     \x20 (check/equiv/elicit/contains/safety also take --stats: append oracle statistics)\n"
         .into()
 }
 
@@ -56,7 +58,7 @@ fn parse_flags(args: &[String]) -> Result<(HashMap<String, String>, Vec<String>)
     while i < args.len() {
         let a = &args[i];
         if let Some(name) = a.strip_prefix("--") {
-            if name == "dot" || name == "naive" {
+            if name == "dot" || name == "naive" || name == "stats" {
                 flags.insert(name.to_owned(), "true".to_owned());
                 i += 1;
             } else {
@@ -100,7 +102,19 @@ fn run_inner(
     };
     let src = read(path)?;
     let mut file = GtsFile::parse(&src).map_err(|e| format!("{path}:{e}"))?;
-    let opts = ContainmentOptions::default();
+    // `--stats` installs a shared oracle cache so the run's solver work
+    // can be reported afterwards (it also speeds multi-question commands).
+    let want_stats = flags.contains_key("stats");
+    let cache = Arc::new(OracleCache::new());
+    let opts =
+        ContainmentOptions { cache: Some(Arc::clone(&cache)), ..ContainmentOptions::default() };
+    let finish_stats = |outcome: Result<Outcome, String>| -> Result<Outcome, String> {
+        let mut o = outcome?;
+        if want_stats {
+            o.output.push_str(&oracle_stats_block(&cache.stats()));
+        }
+        Ok(o)
+    };
 
     let lookup_schema = |file: &GtsFile, name: &str| -> Result<gts_core::schema::Schema, String> {
         file.schema(name).cloned().ok_or_else(|| format!("no schema named `{name}` in {path}"))
@@ -112,7 +126,7 @@ fn run_inner(
                 .ok_or_else(|| format!("no transform named `{name}` in {path}"))
         };
 
-    match cmd {
+    let result = match cmd {
         "show" => Ok(Outcome { code: 0, output: print::render_file(&file) }),
         "check" => {
             let t = lookup_transform(&file, need(&flags, "transform")?)?;
@@ -196,7 +210,11 @@ fn run_inner(
             let out_graph = if flags.contains_key("naive") {
                 t.apply(&inst.graph)
             } else {
-                gts_exec::execute_with(&t, &inst.graph, &gts_exec::ExecOptions { threads })
+                gts_exec::execute_with(
+                    &t,
+                    &inst.graph,
+                    &gts_exec::ExecOptions { threads, ..Default::default() },
+                )
             };
             let mut output = if flags.contains_key("dot") {
                 out_graph.to_dot(&file.vocab)
@@ -302,7 +320,28 @@ fn run_inner(
             Ok(o)
         }
         other => Err(format!("unknown command `{other}`")),
-    }
+    };
+    finish_stats(result)
+}
+
+/// Renders the oracle statistics of one CLI run (the `--stats` flag).
+fn oracle_stats_block(stats: &OracleCacheStats) -> String {
+    let s = &stats.solver;
+    format!(
+        "# oracle: {} decides ({:.0}% context-warm), {} cores tried ({} deduped), {} types \
+         interned\n# realize memo: {} hits / {} misses ({:.0}% hit rate); completions: {} \
+         memoized / {} computed\n",
+        s.decides,
+        s.cache_hit_rate() * 100.0,
+        s.cores_tried,
+        s.cores_deduped,
+        s.types_interned,
+        s.realize_hits,
+        s.realize_misses,
+        s.realize_hit_rate() * 100.0,
+        stats.completion_hits,
+        stats.completion_misses,
+    )
 }
 
 /// `gts batch FILE... [--threads N]`: for every file, runs the full
@@ -333,6 +372,7 @@ fn run_batch(
         let mut results_json = Vec::new();
         let mut hits = 0u64;
         let mut misses = 0u64;
+        let mut oracle = OracleCacheStats::default();
         for (source_name, source) in &file.schemas {
             let mut batch = Batch::new(AnalysisSession::new(source.clone(), file.vocab.clone()));
             for (tname, t) in &file.transforms {
@@ -359,6 +399,7 @@ fn run_batch(
             let stats = session.stats();
             hits += stats.hits;
             misses += stats.misses;
+            oracle.absorb(&session.oracle_stats());
             for r in results {
                 let mut entry = Json::obj();
                 entry.set("label", r.label.as_str()).set("micros", r.micros);
@@ -394,10 +435,24 @@ fn run_batch(
             .set("hits", hits)
             .set("misses", misses)
             .set("hit_rate", CacheStats { hits, misses, entries: 0 }.hit_rate());
+        let mut oracle_json = Json::obj();
+        oracle_json
+            .set("decides", oracle.solver.decides)
+            .set("solver_cache_hits", oracle.solver.cache_hits)
+            .set("solver_cache_misses", oracle.solver.cache_misses)
+            .set("solver_entries", oracle.solver.entries as u64)
+            .set("cores_tried", oracle.solver.cores_tried)
+            .set("cores_deduped", oracle.solver.cores_deduped)
+            .set("types_interned", oracle.solver.types_interned as u64)
+            .set("realize_hits", oracle.solver.realize_hits)
+            .set("realize_misses", oracle.solver.realize_misses)
+            .set("completion_hits", oracle.completion_hits)
+            .set("completion_misses", oracle.completion_misses);
         let mut fj = Json::obj();
         fj.set("file", path.as_str())
             .set("results", Json::Arr(results_json))
-            .set("containment_cache", cache);
+            .set("containment_cache", cache)
+            .set("oracle", oracle_json);
         files_json.push(fj);
     }
     let mut doc = Json::obj();

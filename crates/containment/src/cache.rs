@@ -1,0 +1,201 @@
+//! The per-session oracle cache: persistent solver state plus memoized
+//! TBox completions.
+//!
+//! One [`OracleCache`] accompanies a source schema for the lifetime of an
+//! analysis session (or, when the caller passes none, the duration of a
+//! single `contains` call — even one call asks many satisfiability
+//! questions over few TBoxes). It bundles:
+//!
+//! * a [`SolverCache`] — per-TBox type universes, saturation fixpoints,
+//!   and realizability memos shared by every `decide` of the pipeline
+//!   (top-level satisfiability *and* the completion's entailment sweep);
+//! * a completion memo — `complete` is a deterministic function of its
+//!   inputs, and the negation choices of one containment question (and
+//!   repeated questions in a session) regularly complete identical
+//!   TBoxes.
+
+use crate::completion::{Completion, CompletionConfig};
+use gts_dl::{HornCi, HornTbox};
+use gts_graph::{FxHashMap, LabelSet, NodeLabel};
+use gts_sat::{Budget, OracleStats, SolverCache};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Cumulative statistics of an [`OracleCache`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OracleCacheStats {
+    /// Solver-level counters (decides, per-TBox context reuse, core
+    /// search, realizability memos).
+    pub solver: OracleStats,
+    /// Completions answered from the memo.
+    pub completion_hits: u64,
+    /// Completions computed.
+    pub completion_misses: u64,
+}
+
+impl OracleCacheStats {
+    /// The work recorded between `earlier` and `self`.
+    pub fn delta_since(&self, earlier: &OracleCacheStats) -> OracleCacheStats {
+        OracleCacheStats {
+            solver: self.solver.delta_since(&earlier.solver),
+            completion_hits: self.completion_hits - earlier.completion_hits,
+            completion_misses: self.completion_misses - earlier.completion_misses,
+        }
+    }
+
+    /// Folds another snapshot's counters into this one.
+    pub fn absorb(&mut self, other: &OracleCacheStats) {
+        self.solver.absorb(&other.solver);
+        self.completion_hits += other.completion_hits;
+        self.completion_misses += other.completion_misses;
+    }
+}
+
+#[derive(PartialEq, Eq)]
+struct CompletionKey {
+    cis: Vec<HornCi>,
+    schema_labels: LabelSet,
+    fresh: (NodeLabel, NodeLabel),
+    budget: [usize; 6],
+    caps: [usize; 2],
+}
+
+impl CompletionKey {
+    fn new(
+        tbox: &HornTbox,
+        schema_labels: &LabelSet,
+        fresh: (NodeLabel, NodeLabel),
+        budget: &Budget,
+        cfg: &CompletionConfig,
+    ) -> (u64, CompletionKey) {
+        let mut cis = tbox.cis.clone();
+        cis.sort_unstable();
+        cis.dedup();
+        let key = CompletionKey {
+            cis,
+            schema_labels: schema_labels.clone(),
+            fresh,
+            budget: budget.cache_key(),
+            caps: [cfg.max_nodes, cfg.max_rounds],
+        };
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.cis.hash(&mut h);
+        key.schema_labels.hash(&mut h);
+        (key.fresh.0 .0, key.fresh.1 .0).hash(&mut h);
+        key.budget.hash(&mut h);
+        key.caps.hash(&mut h);
+        (h.finish(), key)
+    }
+}
+
+/// Shared, thread-safe cache for the containment pipeline. See the module
+/// docs for what it holds.
+#[derive(Default)]
+pub struct OracleCache {
+    solver: SolverCache,
+    completions: Mutex<FxHashMap<u64, Vec<(CompletionKey, Completion)>>>,
+    completion_hits: AtomicU64,
+    completion_misses: AtomicU64,
+}
+
+impl std::fmt::Debug for OracleCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("OracleCache")
+            .field("solver_entries", &stats.solver.entries)
+            .field("completion_hits", &stats.completion_hits)
+            .field("completion_misses", &stats.completion_misses)
+            .finish()
+    }
+}
+
+impl OracleCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        OracleCache::default()
+    }
+
+    /// The solver-state cache shared by every engine call of the pipeline.
+    pub fn solver(&self) -> &SolverCache {
+        &self.solver
+    }
+
+    /// Cumulative counters.
+    pub fn stats(&self) -> OracleCacheStats {
+        OracleCacheStats {
+            solver: self.solver.oracle_stats(),
+            completion_hits: self.completion_hits.load(Ordering::Relaxed),
+            completion_misses: self.completion_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Returns the memoized completion for these exact inputs, or computes
+    /// it with `f` and stores it.
+    pub(crate) fn completion_or_insert(
+        &self,
+        tbox: &HornTbox,
+        schema_labels: &LabelSet,
+        fresh: (NodeLabel, NodeLabel),
+        budget: &Budget,
+        cfg: &CompletionConfig,
+        f: impl FnOnce() -> Completion,
+    ) -> Completion {
+        let (fp, key) = CompletionKey::new(tbox, schema_labels, fresh, budget, cfg);
+        {
+            let memo = self.completions.lock().unwrap();
+            if let Some(bucket) = memo.get(&fp) {
+                if let Some((_, c)) = bucket.iter().find(|(k, _)| *k == key) {
+                    self.completion_hits.fetch_add(1, Ordering::Relaxed);
+                    return c.clone();
+                }
+            }
+        }
+        self.completion_misses.fetch_add(1, Ordering::Relaxed);
+        // Not held across `f`: concurrent workers may race on the same
+        // key, but `complete` is deterministic, so the duplicate insert is
+        // idempotent.
+        let c = f();
+        let mut memo = self.completions.lock().unwrap();
+        let bucket = memo.entry(fp).or_default();
+        if !bucket.iter().any(|(k, _)| *k == key) {
+            bucket.push((key, c.clone()));
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn completion_memo_hits_on_exact_repeats() {
+        let cache = OracleCache::new();
+        let t = HornTbox::new();
+        let labels = LabelSet::singleton(0);
+        let fresh = (NodeLabel(7), NodeLabel(8));
+        let budget = Budget::default();
+        let cfg = CompletionConfig::default();
+        let mut computed = 0;
+        for _ in 0..3 {
+            cache.completion_or_insert(&t, &labels, fresh, &budget, &cfg, || {
+                computed += 1;
+                Completion { tbox: t.clone(), added: 0, complete: true }
+            });
+        }
+        assert_eq!(computed, 1);
+        let stats = cache.stats();
+        assert_eq!((stats.completion_hits, stats.completion_misses), (2, 1));
+        // A different fresh pair is a different key.
+        cache.completion_or_insert(
+            &t,
+            &labels,
+            (NodeLabel(9), NodeLabel(10)),
+            &budget,
+            &cfg,
+            || Completion { tbox: t.clone(), added: 0, complete: true },
+        );
+        assert_eq!(cache.stats().completion_misses, 2);
+    }
+}

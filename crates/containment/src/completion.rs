@@ -17,7 +17,18 @@
 //! pipeline live (Lemma D.6). The `complete` flag of the result reports
 //! whether any cap was hit; callers must downgrade certification when it
 //! is false.
+//!
+//! The `|types|² × |roles|` entailment sweep of each round is the dominant
+//! cost of a *cold* containment analysis. [`complete_with`] therefore (a)
+//! routes every engine call through the caller's [`OracleCache`] so all
+//! probes over one extended TBox share a solver context, and (b) can fan
+//! the sweep out over worker threads (chunked by pair index, merged in
+//! order, so the result matches the sequential sweep whenever the engine
+//! budgets don't bind — warm solver contexts can resolve budget-*bound*
+//! verdicts a cold context would report `Unknown`, see
+//! `gts_sat::SolverCache`).
 
+use crate::cache::OracleCache;
 use crate::entail::EntailCtx;
 use gts_dl::{HornCi, HornTbox};
 use gts_graph::{EdgeSym, FxHashMap, FxHashSet, LabelSet, NodeLabel};
@@ -60,43 +71,57 @@ pub fn complete(
     budget: &Budget,
     cfg: &CompletionConfig,
 ) -> Completion {
+    complete_with(tbox, schema_labels, fresh, budget, cfg, None, 1)
+}
+
+/// [`complete`] with a shared [`OracleCache`] (solver contexts + the
+/// completion memo) and a worker-thread count for the entailment sweep
+/// (`0` = available parallelism, `1` = sequential).
+pub fn complete_with(
+    tbox: &HornTbox,
+    schema_labels: &LabelSet,
+    fresh: (NodeLabel, NodeLabel),
+    budget: &Budget,
+    cfg: &CompletionConfig,
+    cache: Option<&OracleCache>,
+    threads: usize,
+) -> Completion {
+    match cache {
+        Some(c) => c.completion_or_insert(tbox, schema_labels, fresh, budget, cfg, || {
+            complete_inner(tbox, schema_labels, fresh, budget, cfg, cache, threads)
+        }),
+        None => complete_inner(tbox, schema_labels, fresh, budget, cfg, None, threads),
+    }
+}
+
+fn complete_inner(
+    tbox: &HornTbox,
+    schema_labels: &LabelSet,
+    fresh: (NodeLabel, NodeLabel),
+    budget: &Budget,
+    cfg: &CompletionConfig,
+    cache: Option<&OracleCache>,
+    threads: usize,
+) -> Completion {
     let mut t = tbox.clone();
     let mut added = 0usize;
     let mut complete = true;
+    // H_T edges certified in earlier rounds, by label sets. Rounds only
+    // add CIs and entailment is monotone in the TBox, so positive edges
+    // carry forward and need no re-probing.
+    let mut known_edges: FxHashSet<(LabelSet, EdgeSym, LabelSet)> = FxHashSet::default();
 
     for _round in 0..cfg.max_rounds {
         let (nodes, universe_complete) = type_universe(&t, schema_labels, cfg.max_nodes);
         complete &= universe_complete;
 
         // Edge relation of the cycle-search graph H_T.
-        let ctx = EntailCtx::new(&t, fresh, budget.clone());
         let roles = t.used_roles();
-        let mut edges: Vec<(usize, EdgeSym, usize)> = Vec::new();
-        for (i, k) in nodes.iter().enumerate() {
-            for &role in &roles {
-                for (j, kp) in nodes.iter().enumerate() {
-                    let fwd = match ctx.entails_exists(k, role, kp) {
-                        Ok(b) => b,
-                        Err(_) => {
-                            complete = false;
-                            false
-                        }
-                    };
-                    if !fwd {
-                        continue;
-                    }
-                    let bwd = match ctx.entails_at_most_one(kp, role.inv(), k) {
-                        Ok(b) => b,
-                        Err(_) => {
-                            complete = false;
-                            false
-                        }
-                    };
-                    if bwd {
-                        edges.push((i, role, j));
-                    }
-                }
-            }
+        let (edges, sweep_complete) =
+            entail_sweep(&t, &nodes, &roles, fresh, budget, cache, threads, &known_edges);
+        complete &= sweep_complete;
+        for &(i, role, j) in &edges {
+            known_edges.insert((nodes[i].clone(), role, nodes[j].clone()));
         }
 
         // Find a finmod cycle missing its reversal.
@@ -142,29 +167,172 @@ pub fn complete(
     Completion { tbox: t, added, complete: false }
 }
 
+/// Evaluates every `(i, role, j)` pair of the cycle-search graph, in pair
+/// order; parallel workers take contiguous chunks and results are merged
+/// by index, so the output never depends on the thread count.
+#[allow(clippy::too_many_arguments)]
+fn entail_sweep(
+    t: &HornTbox,
+    nodes: &[LabelSet],
+    roles: &[EdgeSym],
+    fresh: (NodeLabel, NodeLabel),
+    budget: &Budget,
+    cache: Option<&OracleCache>,
+    threads: usize,
+    known_edges: &FxHashSet<(LabelSet, EdgeSym, LabelSet)>,
+) -> (Vec<(usize, EdgeSym, usize)>, bool) {
+    let mk_ctx = || {
+        let ctx = EntailCtx::new(t, fresh, budget.clone());
+        match cache {
+            Some(c) => ctx.with_cache(c.solver()),
+            None => ctx,
+        }
+    };
+    // Roles with no ∃-CI can never carry an H_T edge: `entails_exists` is
+    // false for every consistent premise, and the universe's types are all
+    // consistent closures. Skip them wholesale.
+    let roles: Vec<EdgeSym> = roles
+        .iter()
+        .copied()
+        .filter(|&r| t.cis.iter().any(|ci| matches!(ci, HornCi::Exists { role, .. } if *role == r)))
+        .collect();
+    // Probe order: for each (role, K') group, premises K by *decreasing*
+    // size — entailment is monotone in K, so an engine-certified negative
+    // for a large K answers every subset premise from the context's
+    // verdict memo without another engine call. The emitted edge list is
+    // restored to the canonical (i, role, j) order below, so the probe
+    // order never leaks into the completion's cycle scan.
+    let mut by_size: Vec<usize> = (0..nodes.len()).collect();
+    by_size.sort_by_key(|&i| std::cmp::Reverse(nodes[i].len()));
+    let pairs: Vec<(usize, usize, usize)> = (0..roles.len())
+        .flat_map(|ri| {
+            let by_size = &by_size;
+            (0..nodes.len()).flat_map(move |j| by_size.iter().map(move |&i| (i, ri, j)))
+        })
+        .collect();
+    // Map the carried-over edges to current node indices once (label sets
+    // shift indices between rounds), so per-pair checks are index lookups.
+    let known_idx: FxHashSet<(usize, EdgeSym, usize)> = if known_edges.is_empty() {
+        FxHashSet::default()
+    } else {
+        let node_idx: FxHashMap<&LabelSet, usize> =
+            nodes.iter().enumerate().map(|(i, s)| (s, i)).collect();
+        known_edges
+            .iter()
+            .filter_map(|(a, r, b)| Some((*node_idx.get(a)?, *r, *node_idx.get(b)?)))
+            .collect()
+    };
+    let workers = resolve_threads(threads, pairs.len());
+    let mut complete = true;
+    let mut edges = Vec::new();
+    let probe_chunk = |chunk_pairs: &[(usize, usize, usize)]| -> Vec<(bool, bool)> {
+        let ctx = mk_ctx();
+        // Prefetch the per-(K, role) fast-path state once per role the
+        // chunk actually touches, so the inner per-pair check is a few
+        // subset tests with no hashing — and parallel workers don't each
+        // recompute the whole matrix.
+        let mut fast: Vec<Option<Vec<crate::entail::ExistsFast>>> = vec![None; roles.len()];
+        for &(_, ri, _) in chunk_pairs {
+            if fast[ri].is_none() {
+                fast[ri] = Some(nodes.iter().map(|k| ctx.exists_fast(k, roles[ri])).collect());
+            }
+        }
+        chunk_pairs
+            .iter()
+            .map(|&(i, ri, j)| {
+                let role = roles[ri];
+                if known_idx.contains(&(i, role, j)) {
+                    return (true, true);
+                }
+                let Some(fast_row) = &fast[ri] else { unreachable!("prefetched above") };
+                let fwd = match fast_row[i].decisive(&nodes[j]) {
+                    Some(v) => v,
+                    None => match ctx.entails_exists_after_fast(&nodes[i], role, &nodes[j]) {
+                        Ok(b) => b,
+                        Err(_) => return (false, false),
+                    },
+                };
+                if !fwd {
+                    return (false, true);
+                }
+                match ctx.entails_at_most_one(&nodes[j], role.inv(), &nodes[i]) {
+                    Ok(b) => (b, true),
+                    Err(_) => (false, false),
+                }
+            })
+            .collect()
+    };
+    let results: Vec<Vec<(bool, bool)>> = if workers <= 1 {
+        vec![probe_chunk(&pairs)]
+    } else {
+        // Contiguous chunks keep the per-worker memos effective (adjacent
+        // pairs share their (role, K') group).
+        let chunk = pairs.len().div_ceil(workers);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = pairs
+                .chunks(chunk)
+                .map(|chunk_pairs| scope.spawn(|| probe_chunk(chunk_pairs)))
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("entailment worker panicked")).collect()
+        })
+    };
+    for (&(i, ri, j), (is_edge, certified)) in pairs.iter().zip(results.into_iter().flatten()) {
+        complete &= certified;
+        if is_edge {
+            edges.push((i, ri, j));
+        }
+    }
+    // Canonical order: i, then the role's position in the (filtered) role
+    // list, then j — the order the straightforward nested loop would use.
+    edges.sort_unstable();
+    (edges.into_iter().map(|(i, ri, j)| (i, roles[ri], j)).collect(), complete)
+}
+
+/// Resolves a thread-count option against the work size: `0` picks the
+/// available parallelism (capped at 8); the result never exceeds the work
+/// item count and parallelism is skipped entirely below a minimum batch.
+fn resolve_threads(threads: usize, work_items: usize) -> usize {
+    const MIN_PAIRS_PER_WORKER: usize = 64;
+    let t = match threads {
+        0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8),
+        t => t,
+    };
+    t.clamp(1, (work_items / MIN_PAIRS_PER_WORKER).max(1))
+}
+
 /// The forward-closed type universe: closures of schema-label singletons,
-/// closed under requirement children and edge enrichment.
+/// closed under requirement children and edge enrichment. All rule
+/// applications run against a memoizing `TypeUniverse` over `t` (the
+/// construction re-closes and re-propagates the same sets many times).
 fn type_universe(t: &HornTbox, schema_labels: &LabelSet, cap: usize) -> (Vec<LabelSet>, bool) {
+    let mut u = gts_sat::TypeUniverse::new(t);
     let mut seen: FxHashMap<LabelSet, ()> = FxHashMap::default();
     let mut nodes: Vec<LabelSet> = Vec::new();
-    let push =
-        |set: Option<LabelSet>, nodes: &mut Vec<LabelSet>, seen: &mut FxHashMap<LabelSet, ()>| {
-            if let Some(s) = set {
-                if !seen.contains_key(&s) {
-                    seen.insert(s.clone(), ());
-                    nodes.push(s);
-                }
+    let push = |set: Option<gts_sat::TypeId>,
+                u: &gts_sat::TypeUniverse,
+                nodes: &mut Vec<LabelSet>,
+                seen: &mut FxHashMap<LabelSet, ()>| {
+        if let Some(tid) = set {
+            let s = u.labels(tid);
+            if !seen.contains_key(s) {
+                seen.insert(s.clone(), ());
+                nodes.push(s.clone());
             }
-        };
-    push(t.closure(&LabelSet::new()), &mut nodes, &mut seen);
+        }
+    };
+    let top = u.close(&LabelSet::new());
+    push(top, &u, &mut nodes, &mut seen);
     for l in schema_labels.iter() {
-        push(t.closure(&LabelSet::singleton(l)), &mut nodes, &mut seen);
+        let c = u.close(&LabelSet::singleton(l));
+        push(c, &u, &mut nodes, &mut seen);
     }
     // Also seed with lhs/rhs of existential and at-most CIs.
     for ci in &t.cis {
         if let HornCi::Exists { lhs, rhs, .. } | HornCi::AtMostOne { lhs, rhs, .. } = ci {
-            push(t.closure(lhs), &mut nodes, &mut seen);
-            push(t.closure(rhs), &mut nodes, &mut seen);
+            let cl = u.close(lhs);
+            push(cl, &u, &mut nodes, &mut seen);
+            let cr = u.close(rhs);
+            push(cr, &u, &mut nodes, &mut seen);
         }
     }
     let roles = t.used_roles();
@@ -178,21 +346,25 @@ fn type_universe(t: &HornTbox, schema_labels: &LabelSet, cap: usize) -> (Vec<Lab
         let tau = nodes[idx].clone();
         idx += 1;
         // Requirement children.
-        for (role, kp) in t.requirements(&tau) {
-            let mut seed = t.propagate(&tau, role);
-            seed.union_with(&kp);
-            push(t.closure(&seed), &mut nodes, &mut seen);
+        let tau_id = u.close(&tau).expect("universe nodes are consistent closures");
+        let reqs = u.requirements_of(tau_id);
+        for (role, kp) in reqs.iter() {
+            let mut seed = (*u.propagate_set(&tau, *role)).clone();
+            seed.union_with(kp);
+            let c = u.close(&seed);
+            push(c, &u, &mut nodes, &mut seen);
         }
         // Edge enrichment: a τ-node pointing at a τ'-node pushes labels.
         for &role in &roles {
-            let pushset = t.propagate(&tau, role);
+            let pushset = u.propagate_set(&tau, role);
             if pushset.is_empty() {
                 continue;
             }
             let snapshot: Vec<LabelSet> = nodes.clone();
             for tp in snapshot {
-                if !t.edge_forbidden(&tau, role, &tp) {
-                    push(t.closure(&tp.union(&pushset)), &mut nodes, &mut seen);
+                if !u.edge_forbidden_memo(&tau, role, &tp) {
+                    let c = u.close(&tp.union(&pushset));
+                    push(c, &u, &mut nodes, &mut seen);
                 }
             }
         }
@@ -373,5 +545,31 @@ mod tests {
         let (nodes, complete_flag) = type_universe(&t, &set(&[0]), 64);
         assert!(complete_flag);
         assert!(nodes.contains(&set(&[1])));
+    }
+
+    /// Cached + multi-threaded completion returns byte-identical results.
+    #[test]
+    fn cached_and_threaded_completions_agree() {
+        let mut v = Vocab::new();
+        let a = v.node_label("A");
+        let _s = v.edge_label("s");
+        let mut t = HornTbox::new();
+        t.push(HornCi::SubAtom { lhs: LabelSet::new(), rhs: a });
+        t.push(HornCi::Exists { lhs: set(&[0]), role: sym(0), rhs: set(&[0]) });
+        t.push(HornCi::AtMostOne { lhs: set(&[0]), role: sym(0).inv(), rhs: set(&[0]) });
+        let f = fresh(&mut v);
+        let budget = Budget::default();
+        let cfg = CompletionConfig::default();
+        let plain = complete(&t, &set(&[0]), f, &budget, &cfg);
+        let cache = OracleCache::new();
+        let cached = complete_with(&t, &set(&[0]), f, &budget, &cfg, Some(&cache), 1);
+        let threaded = complete_with(&t, &set(&[0]), f, &budget, &cfg, None, 4);
+        assert_eq!(plain.tbox, cached.tbox);
+        assert_eq!(plain.tbox, threaded.tbox);
+        assert_eq!(plain.complete, cached.complete);
+        // Second cached call is a memo hit.
+        let again = complete_with(&t, &set(&[0]), f, &budget, &cfg, Some(&cache), 1);
+        assert_eq!(again.tbox, cached.tbox);
+        assert_eq!(cache.stats().completion_hits, 1);
     }
 }

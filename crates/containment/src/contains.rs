@@ -13,16 +13,31 @@
 //! Disconnected components of `Q` distribute the negation into several
 //! choices (DESIGN.md §3.4); containment holds iff the final query is
 //! unsatisfiable for *every* disjunct of `P̂` and every choice.
+//!
+//! Every satisfiability question of the pipeline — the per-disjunct
+//! decisions above *and* the entailment probes inside the completion —
+//! runs against an [`OracleCache`]: the caller's shared one
+//! ([`ContainmentOptions::cache`], installed by `gts-engine`'s
+//! `AnalysisSession`), or a call-local one otherwise, so even a single
+//! cold `contains` shares solver state across its dozens of `decide`
+//! calls. With [`ContainmentOptions::threads`] > 1 the independent
+//! `(choice, disjunct)` decisions and the completion's entailment sweep
+//! fan out over worker threads; results are merged in submission order,
+//! so verdicts and witnesses do not depend on the thread count as long
+//! as the engine budgets don't bind (warm solver contexts can resolve
+//! budget-bound verdicts a cold context would report `Unknown`).
 
 use crate::booleanize::booleanize;
-use crate::completion::{complete, Completion, CompletionConfig};
+use crate::cache::{OracleCache, OracleCacheStats};
+use crate::completion::{complete_with, Completion, CompletionConfig};
 use crate::hatp::hat_union;
 use crate::rollup::{rollup_negation, RollupError};
 use gts_dl::HornTbox;
 use gts_graph::{Graph, Vocab};
 use gts_query::{C2rpq, Uc2rpq};
-use gts_sat::{decide, Budget, Verdict};
+use gts_sat::{Budget, Verdict};
 use gts_schema::Schema;
+use std::sync::Arc;
 
 /// Options for [`contains`].
 #[derive(Clone, Debug, Default)]
@@ -31,6 +46,23 @@ pub struct ContainmentOptions {
     pub budget: Budget,
     /// Completion caps.
     pub completion: CompletionConfig,
+    /// Worker threads for the parallel sections (per-choice satisfiability
+    /// fan-out and the completion's entailment sweep): `1` — and the
+    /// default `0`, which defers to the work-size heuristics — run
+    /// sequentially unless the instance is large enough to shard.
+    pub threads: usize,
+    /// Shared oracle cache (solver contexts per TBox + completion memo).
+    /// `None` (the default) uses a fresh cache per `contains` call;
+    /// sessions install one cache for all their questions.
+    pub cache: Option<Arc<OracleCache>>,
+}
+
+impl ContainmentOptions {
+    /// These options with a shared oracle cache installed.
+    pub fn with_cache(mut self, cache: Arc<OracleCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
 }
 
 /// The answer to a containment question.
@@ -45,6 +77,10 @@ pub struct ContainmentAnswer {
     /// For `!holds`: the core of a model of `(T̂_S ∪ T¬Q)*` satisfying `P̂`
     /// (evidence of a finite counterexample's existence via Theorem 5.4).
     pub witness: Option<Graph>,
+    /// Oracle work attributed to this call (decides, cores, cache reuse;
+    /// see [`OracleCacheStats`]). Gauges (`entries`, `types_interned`)
+    /// report the cache state after the call.
+    pub stats: OracleCacheStats,
 }
 
 /// Why containment could not be decided at all.
@@ -74,6 +110,62 @@ pub fn contains(
     contains_lowered(p, q, &HornTbox::new(), s, vocab, opts)
 }
 
+/// Resolves the oracle cache for one call: the shared session cache, or a
+/// call-local one.
+pub(crate) fn call_cache(opts: &ContainmentOptions) -> Arc<OracleCache> {
+    match &opts.cache {
+        Some(c) => Arc::clone(c),
+        None => Arc::new(OracleCache::new()),
+    }
+}
+
+/// The per-(choice, disjunct) satisfiability outcomes of one choice.
+struct ChoiceResult {
+    completion_ok: bool,
+    /// One verdict per disjunct, in order; the vector stops after the
+    /// first `Sat` (later disjuncts need no evaluation for the overall
+    /// answer — identical to the sequential short-circuit).
+    verdicts: Vec<Verdict>,
+}
+
+fn solve_choice(
+    choice: &HornTbox,
+    shared: &SharedInputs<'_>,
+    cache: &OracleCache,
+    opts: &ContainmentOptions,
+) -> ChoiceResult {
+    let t = HornTbox::merged([shared.hat_ts, choice, shared.extra]);
+    // Theorem 5.4 / Lemma D.7: complete.
+    let Completion { tbox: t_star, complete: completion_ok, .. } = complete_with(
+        &t,
+        shared.schema_label_set,
+        shared.fresh,
+        &opts.budget,
+        &opts.completion,
+        Some(cache),
+        opts.threads,
+    );
+    let mut verdicts = Vec::new();
+    let handle = cache.solver().handle(&t_star, &opts.budget);
+    for pd in shared.p_hat_disjuncts {
+        let (v, _) = gts_sat::decide_on(&handle, &t_star, pd, &opts.budget, cache.solver());
+        let is_sat = v.is_sat();
+        verdicts.push(v);
+        if is_sat {
+            break;
+        }
+    }
+    ChoiceResult { completion_ok, verdicts }
+}
+
+struct SharedInputs<'a> {
+    hat_ts: &'a HornTbox,
+    extra: &'a HornTbox,
+    schema_label_set: &'a gts_graph::LabelSet,
+    fresh: (gts_graph::NodeLabel, gts_graph::NodeLabel),
+    p_hat_disjuncts: &'a [C2rpq],
+}
+
 /// The shared pipeline behind [`contains`] and
 /// [`crate::contains_nre`]: `extra` holds auxiliary Horn rules (e.g. nest
 /// label definitions) merged into every negation choice. `Q` may mention
@@ -91,6 +183,14 @@ pub(crate) fn contains_lowered(
             return Err(ContainmentError::ArityMismatch);
         }
     }
+    let cache = call_cache(opts);
+    let stats_before = cache.stats();
+    let finish = |holds: bool, certified: bool, witness: Option<Graph>| ContainmentAnswer {
+        holds,
+        certified,
+        witness,
+        stats: cache.stats().delta_since(&stats_before),
+    };
     // Syntactic shortcut: disjuncts of P that literally appear in Q are
     // contained; only the rest needs the semantic pipeline. (This also
     // settles reflexive containments of queries with infinite languages
@@ -100,7 +200,7 @@ pub(crate) fn contains_lowered(
     };
     // The empty union is contained in everything.
     if p.disjuncts.is_empty() {
-        return Ok(ContainmentAnswer { holds: true, certified: true, witness: None });
+        return Ok(finish(true, true, None));
     }
 
     // Lemma D.1: Booleanize.
@@ -109,32 +209,81 @@ pub(crate) fn contains_lowered(
     // Lemma C.2 (+ the disconnected-negation distribution).
     let (choices, _state_labels) =
         rollup_negation(&b.q, vocab).map_err(ContainmentError::Rollup)?;
+    // Duplicate choices (symmetric Q-components) decide identically; keep
+    // the first occurrence only.
+    let mut unique_choices: Vec<&HornTbox> = Vec::new();
+    for choice in &choices {
+        if !unique_choices.contains(&choice) {
+            unique_choices.push(choice);
+        }
+    }
 
     // Theorem 5.6: relativize P and build T̂_S.
     let p_hat = hat_union(&b.p, &b.schema);
     let hat_ts = b.schema.hat_tbox();
     let schema_label_set = b.schema.node_label_set();
     let fresh = (vocab.fresh_node_label("B"), vocab.fresh_node_label("B"));
+    let shared = SharedInputs {
+        hat_ts: &hat_ts,
+        extra,
+        schema_label_set: &schema_label_set,
+        fresh,
+        p_hat_disjuncts: &p_hat.disjuncts,
+    };
 
     // Certification is one-sided in the completion: a *partial* completion
     // T*' ⊆ T* only removes CIs, so UNSAT modulo T*' implies UNSAT modulo
     // T* — "containment holds" verdicts remain certificates even when the
     // completion hit a cap. Only SAT witnesses (non-containment) need the
     // full completion to correspond to finite counterexamples (Thm 5.4).
+    let workers = choice_workers(opts.threads, unique_choices.len());
+    let results: Vec<ChoiceResult> = if workers > 1 {
+        // Independent per-choice pipelines fan out over exactly `workers`
+        // threads (contiguous chunks); the merge below scans results in
+        // submission order, reproducing the sequential verdict (and
+        // witness) exactly. The thread budget is spent here, so each
+        // choice's completion sweep runs sequentially (no multiplicative
+        // oversubscription).
+        let choice_opts = ContainmentOptions { threads: 1, ..opts.clone() };
+        let chunk = unique_choices.len().div_ceil(workers);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = unique_choices
+                .chunks(chunk)
+                .map(|choices| {
+                    let cache = &cache;
+                    let shared = &shared;
+                    let choice_opts = &choice_opts;
+                    scope.spawn(move || {
+                        choices
+                            .iter()
+                            .map(|choice| solve_choice(choice, shared, cache, choice_opts))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles.into_iter().flat_map(|h| h.join().expect("choice worker panicked")).collect()
+        })
+    } else {
+        // Sequential: stop at the first choice producing a Sat — later
+        // choices' completions cannot change a non-containment verdict.
+        let mut out = Vec::new();
+        for choice in &unique_choices {
+            let result = solve_choice(choice, &shared, &cache, opts);
+            let sat = result.verdicts.iter().any(Verdict::is_sat);
+            out.push(result);
+            if sat {
+                break;
+            }
+        }
+        out
+    };
+
     let mut all_certified = true;
-    for choice in &choices {
-        let t = HornTbox::merged([&hat_ts, choice, extra]);
-        // Theorem 5.4 / Lemma D.7: complete.
-        let Completion { tbox: t_star, complete: completion_ok, .. } =
-            complete(&t, &schema_label_set, fresh, &opts.budget, &opts.completion);
-        for pd in &p_hat.disjuncts {
-            match decide(&t_star, pd, &opts.budget) {
+    for result in results {
+        for v in result.verdicts {
+            match v {
                 Verdict::Sat(w) => {
-                    return Ok(ContainmentAnswer {
-                        holds: false,
-                        certified: completion_ok,
-                        witness: Some(w.core),
-                    });
+                    return Ok(finish(false, result.completion_ok, Some(w.core)));
                 }
                 Verdict::Unsat => {}
                 Verdict::Unknown(_) => {
@@ -143,7 +292,17 @@ pub(crate) fn contains_lowered(
             }
         }
     }
-    Ok(ContainmentAnswer { holds: true, certified: all_certified, witness: None })
+    Ok(finish(true, all_certified, None))
+}
+
+/// Worker count for the per-choice fan-out: parallelism only pays when
+/// there are several independent choices to pipeline.
+fn choice_workers(threads: usize, choices: usize) -> usize {
+    let t = match threads {
+        0 => 1, // auto currently defers to the completion-sweep parallelism
+        t => t,
+    };
+    t.clamp(1, choices)
 }
 
 /// Satisfiability of a query modulo a schema: `q ⊄_S ∅` (used for trimming
@@ -213,6 +372,8 @@ mod tests {
         assert!(!bwd.holds, "s-edge witnesses non-containment");
         assert!(bwd.certified);
         assert!(bwd.witness.is_some());
+        // The call did real oracle work and attributed it.
+        assert!(bwd.stats.solver.decides > 0);
     }
 
     /// Schema-enabled containment: if the schema forbids s-edges, then
@@ -473,5 +634,71 @@ mod tests {
         ));
         assert!(contains(&fwd, &bwd, &s, &mut v, &opts()).unwrap().holds);
         assert!(contains(&bwd, &fwd, &s, &mut v, &opts()).unwrap().holds);
+    }
+
+    /// A shared cache across repeated questions replays solver state; the
+    /// verdicts match the cold path.
+    #[test]
+    fn shared_cache_agrees_with_cold_path() {
+        let mut v = Vocab::new();
+        let a = v.node_label("A");
+        let r = v.edge_label("r");
+        let sl = v.edge_label("s");
+        let mut s = Schema::new();
+        s.set_edge(a, r, a, Mult::Star, Mult::Star);
+        s.set_edge(a, sl, a, Mult::Plus, Mult::Opt);
+        let mk = |re: Regex| {
+            Uc2rpq::single(C2rpq::new(2, vec![], vec![Atom { x: Var(0), y: Var(1), regex: re }]))
+        };
+        let queries = [
+            mk(Regex::edge(r)),
+            mk(Regex::edge(sl)),
+            mk(Regex::edge(r).then(Regex::edge(sl))),
+            mk(Regex::edge(sl).then(Regex::edge(sl).star())),
+        ];
+        let shared = opts().with_cache(Arc::new(OracleCache::new()));
+        for p in &queries {
+            for q in &queries {
+                let cold = contains(p, q, &s, &mut v.clone(), &opts()).unwrap();
+                let warm = contains(p, q, &s, &mut v.clone(), &shared).unwrap();
+                assert_eq!(cold.holds, warm.holds, "p={p:?} q={q:?}");
+                assert_eq!(cold.certified, warm.certified, "p={p:?} q={q:?}");
+            }
+        }
+        let stats = shared.cache.as_ref().unwrap().stats();
+        assert!(stats.solver.cache_hits > 0, "shared cache must be reused: {stats:?}");
+    }
+
+    /// Thread-count must not change verdicts (parallel fan-out merge).
+    #[test]
+    fn threaded_contains_matches_sequential() {
+        let mut v = Vocab::new();
+        let a = v.node_label("A");
+        let r = v.edge_label("r");
+        let sl = v.edge_label("s");
+        let mut s = Schema::new();
+        s.set_edge(a, r, a, Mult::Star, Mult::Star);
+        s.set_edge(a, sl, a, Mult::Star, Mult::Star);
+        // A two-component RHS yields several negation choices → several
+        // independent per-choice pipelines.
+        let p = Uc2rpq::single(C2rpq::new(
+            2,
+            vec![],
+            vec![Atom { x: Var(0), y: Var(1), regex: Regex::edge(r) }],
+        ));
+        let q = Uc2rpq::single(C2rpq::new(
+            4,
+            vec![],
+            vec![
+                Atom { x: Var(0), y: Var(1), regex: Regex::edge(sl) },
+                Atom { x: Var(2), y: Var(3), regex: Regex::edge(r) },
+            ],
+        ));
+        let sequential = contains(&p, &q, &s, &mut v.clone(), &opts()).unwrap();
+        let threaded_opts = ContainmentOptions { threads: 4, ..opts() };
+        let threaded = contains(&p, &q, &s, &mut v.clone(), &threaded_opts).unwrap();
+        assert_eq!(sequential.holds, threaded.holds);
+        assert_eq!(sequential.certified, threaded.certified);
+        assert_eq!(sequential.witness.is_some(), threaded.witness.is_some());
     }
 }

@@ -8,12 +8,25 @@
 //! certified — which is what makes the completion computation reliable.
 //!
 //! A sound syntactic fast path answers most positive instances without an
-//! engine call.
+//! engine call. The completion sweep asks `|types|² × |roles|` questions
+//! per round, so the context is aggressively indexed and memoized:
+//!
+//! * CIs are grouped by kind and role once, so fast paths scan only the
+//!   relevant rules instead of the whole TBox;
+//! * `closure`/`propagate` results are memoized (the sweep revisits the
+//!   same `K` for every `(R, K')` pair);
+//! * the extended TBoxes of the engine encodings depend only on `(R, K')`
+//!   (existentials) or on nothing (at-most), so they are built once and
+//!   shared — which is exactly what lets a [`SolverCache`] reuse one
+//!   solver context across the sweep's engine calls.
 
 use gts_dl::{HornCi, HornTbox};
-use gts_graph::{EdgeSym, LabelSet, NodeLabel};
+use gts_graph::{EdgeSym, FxHashMap, LabelSet, NodeLabel};
 use gts_query::{Atom, C2rpq, Regex, Var};
-use gts_sat::{decide, Budget, UnknownReason, Verdict};
+use gts_sat::{decide, decide_on, Budget, SolverCache, SolverHandle, UnknownReason, Verdict};
+use std::cell::RefCell;
+use std::collections::HashSet;
+use std::sync::Arc;
 
 /// Entailment oracle over a fixed TBox. The two `fresh` labels must not
 /// occur in the TBox (mint them from the vocabulary once).
@@ -22,16 +35,265 @@ pub struct EntailCtx<'t> {
     fresh_b: NodeLabel,
     fresh_b2: NodeLabel,
     budget: Budget,
+    cache: Option<&'t SolverCache>,
+    /// `(lhs, rhs)` of `Exists` CIs, grouped by role.
+    exists_by_role: FxHashMap<EdgeSym, Vec<(LabelSet, LabelSet)>>,
+    /// `(lhs, rhs)` of `AtMostOne` CIs, grouped by role.
+    amo_by_role: FxHashMap<EdgeSym, Vec<(LabelSet, LabelSet)>>,
+    /// Roles touched by some `∄`-CI (in either orientation).
+    notexists_roles: HashSet<EdgeSym>,
+    closure_memo: RefCell<FxHashMap<LabelSet, Option<LabelSet>>>,
+    propagate_memo: RefCell<FxHashMap<(LabelSet, EdgeSym), LabelSet>>,
+    exists_tbox_memo: RefCell<FxHashMap<(EdgeSym, LabelSet), ExtendedTbox>>,
+    amo_tbox_memo: RefCell<Option<ExtendedTbox>>,
+    /// Engine verdicts per `(role, K')`, split by sign. Entailment is
+    /// monotone in `K` (a stronger premise keeps every positive verdict,
+    /// a weaker one keeps every negative), so a probe is answered without
+    /// the engine when a recorded positive `K₀ ⊆ K` or negative `K₀ ⊇ K`
+    /// exists.
+    exists_verdicts: RefCell<FxHashMap<LabelSet, Vec<(EdgeSym, VerdictLists)>>>,
+    amo_verdicts: RefCell<FxHashMap<LabelSet, Vec<(EdgeSym, VerdictLists)>>>,
+    /// Per-`(K, role)` syntactic fast-path state for `entails_exists`: the
+    /// closed targets of the applicable `∃`-CIs do not depend on `K'`, so
+    /// the sweep's inner loop over `K'` reduces to subset tests. Keyed by
+    /// `K` first so probes hash one set and never clone.
+    exists_fast_memo: RefCell<FxHashMap<LabelSet, Vec<(EdgeSym, ExistsFast)>>>,
+    /// Memoizing type universe over the base TBox: the fast paths reason
+    /// over *saturated* types (labels forced in every model), which both
+    /// certifies more positives and licenses the per-`(K, role)`
+    /// no-successor fast-false.
+    universe: RefCell<gts_sat::TypeUniverse>,
+}
+
+/// Hoisted fast-path state of `entails_exists` for one `(K, role)`.
+#[derive(Clone)]
+pub(crate) enum ExistsFast {
+    /// `K` is unsatisfiable (inconsistent closure or dead saturation) —
+    /// every CI is entailed.
+    KInconsistent,
+    /// The *saturated* type of `K` triggers no `∃`-CI on this role: its
+    /// canonical tree model has no such successor, so the entailment fails
+    /// for every consistent `K'` (for an only-semantically-unsatisfiable
+    /// `K` the missed H_T edge is harmless — see the completion docs; this
+    /// is the same contract as the role-level fast-false below).
+    NoSuccessor,
+    /// Applicable rules and their saturated, propagation-enriched targets;
+    /// `vacuous` when some forced successor is inconsistent (again: every
+    /// target is entailed).
+    Targets {
+        /// Some forced successor is inconsistent.
+        vacuous: bool,
+        /// Saturated targets of the applicable rules (maximal only).
+        targets: Arc<Vec<LabelSet>>,
+    },
+}
+
+impl ExistsFast {
+    /// `Some(v)` when the fast path decides `K ⊑ ∃R.K'` for this `K'`
+    /// without the engine; `None` sends the probe to the engine.
+    pub(crate) fn decisive(&self, kp: &LabelSet) -> Option<bool> {
+        match self {
+            ExistsFast::KInconsistent => Some(true),
+            ExistsFast::NoSuccessor => Some(false),
+            ExistsFast::Targets { vacuous, targets } => {
+                if *vacuous || targets.iter().any(|t| kp.is_subset(t)) {
+                    Some(true)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+/// One engine-encoding TBox with its pre-resolved solver handle, built
+/// once per `(role, K')` (existentials) or once per sweep (at-most).
+#[derive(Clone)]
+struct ExtendedTbox {
+    tbox: Arc<HornTbox>,
+    handle: Option<SolverHandle>,
+}
+
+#[derive(Default)]
+struct VerdictLists {
+    positive: Vec<LabelSet>,
+    negative: Vec<LabelSet>,
+}
+
+impl VerdictLists {
+    fn lookup(&self, k: &LabelSet) -> Option<bool> {
+        if self.positive.iter().any(|p| p.is_subset(k)) {
+            return Some(true);
+        }
+        if self.negative.iter().any(|n| k.is_subset(n)) {
+            return Some(false);
+        }
+        None
+    }
+
+    fn record(&mut self, k: &LabelSet, verdict: bool) {
+        // Keep only the frontier: minimal positives and maximal negatives
+        // answer every premise a subsumed entry would.
+        if verdict {
+            self.positive.retain(|p| !k.is_subset(p));
+            self.positive.push(k.clone());
+        } else {
+            self.negative.retain(|n| !n.is_subset(k));
+            self.negative.push(k.clone());
+        }
+    }
 }
 
 impl<'t> EntailCtx<'t> {
     /// Creates the oracle; `fresh` are two concept names unused in `tbox`.
     pub fn new(tbox: &'t HornTbox, fresh: (NodeLabel, NodeLabel), budget: Budget) -> Self {
-        EntailCtx { tbox, fresh_b: fresh.0, fresh_b2: fresh.1, budget }
+        let mut exists_by_role: FxHashMap<EdgeSym, Vec<(LabelSet, LabelSet)>> =
+            FxHashMap::default();
+        let mut amo_by_role: FxHashMap<EdgeSym, Vec<(LabelSet, LabelSet)>> = FxHashMap::default();
+        let mut notexists_roles: HashSet<EdgeSym> = HashSet::new();
+        for ci in &tbox.cis {
+            match ci {
+                HornCi::Exists { lhs, role, rhs } => {
+                    exists_by_role.entry(*role).or_default().push((lhs.clone(), rhs.clone()));
+                }
+                HornCi::AtMostOne { lhs, role, rhs } => {
+                    amo_by_role.entry(*role).or_default().push((lhs.clone(), rhs.clone()));
+                }
+                HornCi::NotExists { role, .. } => {
+                    notexists_roles.insert(*role);
+                    notexists_roles.insert(role.inv());
+                }
+                _ => {}
+            }
+        }
+        EntailCtx {
+            tbox,
+            fresh_b: fresh.0,
+            fresh_b2: fresh.1,
+            budget,
+            cache: None,
+            exists_by_role,
+            amo_by_role,
+            notexists_roles,
+            closure_memo: RefCell::new(FxHashMap::default()),
+            propagate_memo: RefCell::new(FxHashMap::default()),
+            exists_tbox_memo: RefCell::new(FxHashMap::default()),
+            amo_tbox_memo: RefCell::new(None),
+            exists_verdicts: RefCell::new(FxHashMap::default()),
+            amo_verdicts: RefCell::new(FxHashMap::default()),
+            exists_fast_memo: RefCell::new(FxHashMap::default()),
+            universe: RefCell::new(gts_sat::TypeUniverse::new(tbox)),
+        }
+    }
+
+    /// `true` iff some `∃`-CI uses `role` — without one, `entails_exists`
+    /// is false for every consistent premise (the sweep uses this to skip
+    /// whole roles).
+    pub fn has_exists_on(&self, role: EdgeSym) -> bool {
+        self.exists_by_role.contains_key(&role)
+    }
+
+    /// Routes the engine calls of this context through a persistent
+    /// [`SolverCache`].
+    pub fn with_cache(mut self, cache: &'t SolverCache) -> Self {
+        self.cache = Some(cache);
+        self
     }
 
     fn node_tests(set: &LabelSet) -> Regex {
         Regex::concat_all(set.iter().map(|l| Regex::node(NodeLabel(l))))
+    }
+
+    fn closure(&self, set: &LabelSet) -> Option<LabelSet> {
+        if let Some(c) = self.closure_memo.borrow().get(set) {
+            return c.clone();
+        }
+        let c = self.tbox.closure(set);
+        self.closure_memo.borrow_mut().insert(set.clone(), c.clone());
+        c
+    }
+
+    fn propagate(&self, set: &LabelSet, role: EdgeSym) -> LabelSet {
+        let key = (set.clone(), role);
+        if let Some(p) = self.propagate_memo.borrow().get(&key) {
+            return p.clone();
+        }
+        let p = self.tbox.propagate(set, role);
+        self.propagate_memo.borrow_mut().insert(key, p.clone());
+        p
+    }
+
+    fn extend(&self, build: impl FnOnce() -> HornTbox) -> ExtendedTbox {
+        let tbox = Arc::new(build());
+        let handle = self.cache.map(|c| c.handle(&tbox, &self.budget));
+        ExtendedTbox { tbox, handle }
+    }
+
+    fn decide(&self, t: &ExtendedTbox, q: &C2rpq) -> Result<bool, UnknownReason> {
+        let verdict = match (&t.handle, self.cache) {
+            (Some(handle), Some(cache)) => decide_on(handle, &t.tbox, q, &self.budget, cache).0,
+            _ => decide(&t.tbox, q, &self.budget),
+        };
+        match verdict {
+            Verdict::Unsat => Ok(true),
+            Verdict::Sat(_) => Ok(false),
+            Verdict::Unknown(r) => Err(r),
+        }
+    }
+
+    /// The hoisted `(K, role)` fast-path state (memoized).
+    pub(crate) fn exists_fast(&self, k: &LabelSet, role: EdgeSym) -> ExistsFast {
+        if let Some(rows) = self.exists_fast_memo.borrow().get(k) {
+            if let Some((_, f)) = rows.iter().find(|(r, _)| *r == role) {
+                return f.clone();
+            }
+        }
+        let mut u = self.universe.borrow_mut();
+        let fast = match u.close(k).and_then(|tid| u.saturate(tid)) {
+            // Inconsistent closure or dead saturation: K is unsatisfiable
+            // in every model, so it entails everything.
+            None => ExistsFast::KInconsistent,
+            Some(sat) => {
+                // Every model's K-node carries at least the saturated
+                // labels, so reasoning over them is sound and strictly
+                // stronger than over clo(K).
+                let sat_labels = u.labels(sat).clone();
+                let mut vacuous = false;
+                let mut targets = Vec::new();
+                if let Some(cis) = self.exists_by_role.get(&role) {
+                    let push = (*u.propagate_set(&sat_labels, role)).clone();
+                    for (lhs, rhs) in cis {
+                        if lhs.is_subset(&sat_labels) {
+                            match u.close(&rhs.union(&push)).and_then(|t| u.saturate(t)) {
+                                // The forced successor's saturated type:
+                                // any actual witness carries at least
+                                // these labels.
+                                Some(ct) => targets.push(u.labels(ct).clone()),
+                                // The forced successor is inconsistent: K
+                                // is unsatisfiable, so every CI holds
+                                // vacuously.
+                                None => vacuous = true,
+                            }
+                        }
+                    }
+                }
+                if targets.is_empty() && !vacuous {
+                    ExistsFast::NoSuccessor
+                } else {
+                    // Only maximal targets matter for coverage tests.
+                    let all = std::mem::take(&mut targets);
+                    for t in &all {
+                        if !all.iter().any(|o| o != t && t.is_subset(o)) && !targets.contains(t) {
+                            targets.push(t.clone());
+                        }
+                    }
+                    ExistsFast::Targets { vacuous, targets: Arc::new(targets) }
+                }
+            }
+        };
+        drop(u);
+        self.exists_fast_memo.borrow_mut().entry(k.clone()).or_default().push((role, fast.clone()));
+        fast
     }
 
     /// `T ⊨ K ⊑ ∃R.K'` (unrestricted models).
@@ -41,49 +303,63 @@ impl<'t> EntailCtx<'t> {
         role: EdgeSym,
         kp: &LabelSet,
     ) -> Result<bool, UnknownReason> {
-        // Syntactic fast path: some ∃-CI fires on clo(K) and its target,
-        // enriched by ∀-propagation, covers K'.
-        if let Some(clo_k) = self.tbox.closure(k) {
-            let push = self.tbox.propagate(&clo_k, role);
-            for ci in &self.tbox.cis {
-                if let HornCi::Exists { lhs, role: r, rhs } = ci {
-                    if *r == role && lhs.is_subset(&clo_k) {
-                        if let Some(target) = self.tbox.closure(&rhs.union(&push)) {
-                            if kp.is_subset(&target) {
-                                return Ok(true);
-                            }
-                        } else {
-                            // The forced successor is inconsistent: K is
-                            // unsatisfiable, so the CI holds vacuously.
-                            return Ok(true);
-                        }
-                    }
-                }
-            }
-        } else {
-            return Ok(true); // K ⊑ ⊥, entails everything
+        // Syntactic fast path over saturated types: some ∃-CI fires on
+        // the saturated K and its saturated target covers K', or no ∃-CI
+        // fires at all. The per-(K, role) state is hoisted, so each probe
+        // is a handful of subset tests.
+        if let Some(v) = self.exists_fast(k, role).decisive(kp) {
+            return Ok(v);
         }
+        self.entails_exists_after_fast(k, role, kp)
+    }
+
+    /// [`EntailCtx::entails_exists`] for callers that already ran the
+    /// hoisted fast path (the completion sweep prefetches it per
+    /// `(K, role)`).
+    pub(crate) fn entails_exists_after_fast(
+        &self,
+        k: &LabelSet,
+        role: EdgeSym,
+        kp: &LabelSet,
+    ) -> Result<bool, UnknownReason> {
         // Fast false: without any ∃-CI on this role, a tree model of clo(K)
         // omitting the successor exists; if clo(K) is only *semantically*
         // unsatisfiable the resulting missed H_T edge is harmless (every
         // finmod cycle through an unsatisfiable type reverses vacuously —
         // see the completion module docs).
-        if !self
-            .tbox
-            .cis
-            .iter()
-            .any(|ci| matches!(ci, HornCi::Exists { role: r, .. } if *r == role))
-        {
+        if !self.has_exists_on(role) {
             return Ok(false);
         }
-        // Exact check via Corollary E.7.
-        let mut t = self.tbox.clone();
-        t.push(HornCi::AllValues {
-            lhs: kp.clone(),
-            role: role.inv(),
-            rhs: LabelSet::singleton(self.fresh_b2.0),
-        });
-        t.push(HornCi::Bottom { lhs: LabelSet::from_iter([self.fresh_b.0, self.fresh_b2.0]) });
+        // Monotonicity shortcut before the engine: replay a recorded
+        // verdict for a weaker/stronger premise over the same (role, K').
+        if let Some(rows) = self.exists_verdicts.borrow().get(kp) {
+            if let Some(v) = rows.iter().find(|(r, _)| *r == role).and_then(|(_, l)| l.lookup(k)) {
+                return Ok(v);
+            }
+        }
+        // Exact check via Corollary E.7. The extended TBox depends only on
+        // (role, K'), so it is built (and its solver handle resolved) once
+        // per sweep — one solver context serves every K probed here.
+        let t = {
+            let key = (role, kp.clone());
+            let mut memo = self.exists_tbox_memo.borrow_mut();
+            memo.entry(key)
+                .or_insert_with(|| {
+                    self.extend(|| {
+                        let mut t = self.tbox.clone();
+                        t.push(HornCi::AllValues {
+                            lhs: kp.clone(),
+                            role: role.inv(),
+                            rhs: LabelSet::singleton(self.fresh_b2.0),
+                        });
+                        t.push(HornCi::Bottom {
+                            lhs: LabelSet::from_iter([self.fresh_b.0, self.fresh_b2.0]),
+                        });
+                        t
+                    })
+                })
+                .clone()
+        };
         let mut tests = k.clone();
         tests.insert(self.fresh_b.0);
         let q = C2rpq::new(
@@ -91,11 +367,18 @@ impl<'t> EntailCtx<'t> {
             vec![],
             vec![Atom { x: Var(0), y: Var(0), regex: Self::node_tests(&tests) }],
         );
-        match decide(&t, &q, &self.budget) {
-            Verdict::Unsat => Ok(true),
-            Verdict::Sat(_) => Ok(false),
-            Verdict::Unknown(r) => Err(r),
+        let v = self.decide(&t, &q)?;
+        let mut memo = self.exists_verdicts.borrow_mut();
+        let rows = memo.entry(kp.clone()).or_default();
+        match rows.iter_mut().find(|(r, _)| *r == role) {
+            Some((_, l)) => l.record(k, v),
+            None => {
+                let mut l = VerdictLists::default();
+                l.record(k, v);
+                rows.push((role, l));
+            }
         }
+        Ok(v)
     }
 
     /// `T ⊨ K ⊑ ∃≤1 R.K'` (unrestricted models).
@@ -107,18 +390,21 @@ impl<'t> EntailCtx<'t> {
     ) -> Result<bool, UnknownReason> {
         // Syntactic fast path: an at-most CI firing on clo(K) whose counted
         // set is covered by the (propagation-enriched) successor type.
-        if let Some(clo_k) = self.tbox.closure(k) {
-            let push = self.tbox.propagate(&clo_k, role);
-            let enriched = match self.tbox.closure(&kp.union(&push)) {
-                Some(e) => e,
-                None => return Ok(true), // no K'-successor can even exist
-            };
-            for ci in &self.tbox.cis {
-                if let HornCi::AtMostOne { lhs, role: r, rhs } = ci {
-                    if *r == role && lhs.is_subset(&clo_k) && rhs.is_subset(&enriched) {
+        let amo_on_role = self.amo_by_role.get(&role);
+        if let Some(clo_k) = self.closure(k) {
+            if let Some(cis) = amo_on_role {
+                let push = self.propagate(&clo_k, role);
+                let enriched = match self.closure(&kp.union(&push)) {
+                    Some(e) => e,
+                    None => return Ok(true), // no K'-successor can even exist
+                };
+                for (lhs, rhs) in cis {
+                    if lhs.is_subset(&clo_k) && rhs.is_subset(&enriched) {
                         return Ok(true);
                     }
                 }
+            } else if self.closure(&kp.union(&self.propagate(&clo_k, role))).is_none() {
+                return Ok(true); // no K'-successor can even exist
             }
         } else {
             return Ok(true);
@@ -128,18 +414,31 @@ impl<'t> EntailCtx<'t> {
         // distinct K'-successors exists whenever one does (duplicate the
         // witness subtree); the semantically-unsatisfiable case is harmless
         // as above.
-        let touches = |ci: &HornCi| match ci {
-            HornCi::AtMostOne { role: r, .. } => *r == role,
-            HornCi::NotExists { role: r, .. } => *r == role || *r == role.inv(),
-            _ => false,
-        };
-        if !self.tbox.cis.iter().any(touches) {
+        if amo_on_role.is_none() && !self.notexists_roles.contains(&role) {
             return Ok(false);
         }
+        // Monotonicity shortcut before the engine (see `entails_exists`).
+        if let Some(rows) = self.amo_verdicts.borrow().get(kp) {
+            if let Some(v) = rows.iter().find(|(r, _)| *r == role).and_then(|(_, l)| l.lookup(k)) {
+                return Ok(v);
+            }
+        }
         // Exact check via Corollary E.7: two R-steps into K'-nodes marked
-        // B and B' respectively, with B⊓B' ⊑ ⊥.
-        let mut t = self.tbox.clone();
-        t.push(HornCi::Bottom { lhs: LabelSet::from_iter([self.fresh_b.0, self.fresh_b2.0]) });
+        // B and B' respectively, with B⊓B' ⊑ ⊥. The extended TBox is the
+        // same for every (K, R, K') — one solver context serves the sweep.
+        let t = {
+            let mut memo = self.amo_tbox_memo.borrow_mut();
+            memo.get_or_insert_with(|| {
+                self.extend(|| {
+                    let mut t = self.tbox.clone();
+                    t.push(HornCi::Bottom {
+                        lhs: LabelSet::from_iter([self.fresh_b.0, self.fresh_b2.0]),
+                    });
+                    t
+                })
+            })
+            .clone()
+        };
         let step = |marker: NodeLabel| {
             let mut tgt = kp.clone();
             tgt.insert(marker.0);
@@ -154,11 +453,18 @@ impl<'t> EntailCtx<'t> {
                 Atom { x: Var(0), y: Var(2), regex: step(self.fresh_b2) },
             ],
         );
-        match decide(&t, &q, &self.budget) {
-            Verdict::Unsat => Ok(true),
-            Verdict::Sat(_) => Ok(false),
-            Verdict::Unknown(r) => Err(r),
+        let v = self.decide(&t, &q)?;
+        let mut memo = self.amo_verdicts.borrow_mut();
+        let rows = memo.entry(kp.clone()).or_default();
+        match rows.iter_mut().find(|(r, _)| *r == role) {
+            Some((_, l)) => l.record(k, v),
+            None => {
+                let mut l = VerdictLists::default();
+                l.record(k, v);
+                rows.push((role, l));
+            }
         }
+        Ok(v)
     }
 }
 
@@ -248,5 +554,34 @@ mod tests {
         t.push(HornCi::NotExists { lhs: set(&[0]), role: sym(0), rhs: LabelSet::new() });
         let ctx = EntailCtx::new(&t, fresh(&mut v), Budget::default());
         assert!(ctx.entails_at_most_one(&set(&[0]), sym(0), &LabelSet::new()).unwrap());
+    }
+
+    #[test]
+    fn cached_entailment_matches_uncached() {
+        let mut v = Vocab::new();
+        for n in ["A", "B"] {
+            v.node_label(n);
+        }
+        let mut t = HornTbox::new();
+        t.push(HornCi::Exists { lhs: set(&[0]), role: sym(0), rhs: set(&[1]) });
+        t.push(HornCi::NotExists { lhs: set(&[1]), role: sym(0), rhs: LabelSet::new() });
+        let f = fresh(&mut v);
+        let cache = SolverCache::new();
+        let plain = EntailCtx::new(&t, f, Budget::default());
+        let cached = EntailCtx::new(&t, f, Budget::default()).with_cache(&cache);
+        for k in [set(&[0]), set(&[1]), LabelSet::new()] {
+            for role in [sym(0), sym(0).inv(), sym(1)] {
+                for kp in [set(&[0]), set(&[1]), LabelSet::new()] {
+                    assert_eq!(
+                        plain.entails_exists(&k, role, &kp).ok(),
+                        cached.entails_exists(&k, role, &kp).ok()
+                    );
+                    assert_eq!(
+                        plain.entails_at_most_one(&k, role, &kp).ok(),
+                        cached.entails_at_most_one(&k, role, &kp).ok()
+                    );
+                }
+            }
+        }
     }
 }

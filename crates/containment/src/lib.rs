@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 
 mod booleanize;
+mod cache;
 mod completion;
 mod contains;
 mod entail;
@@ -46,7 +47,8 @@ mod tbox_containment;
 mod witness;
 
 pub use booleanize::{booleanize, Booleanized};
-pub use completion::{complete, Completion, CompletionConfig};
+pub use cache::{OracleCache, OracleCacheStats};
+pub use completion::{complete, complete_with, Completion, CompletionConfig};
 pub use contains::{
     contains, satisfiable_modulo_schema, ContainmentAnswer, ContainmentError, ContainmentOptions,
 };

@@ -18,13 +18,13 @@
 //! * queries must be Boolean (the marker construction of Lemma D.1 is
 //!   schema-specific; Booleanize against a schema first if needed).
 
-use crate::completion::{complete, Completion};
-use crate::contains::{ContainmentAnswer, ContainmentError, ContainmentOptions};
+use crate::completion::{complete_with, Completion};
+use crate::contains::{call_cache, ContainmentAnswer, ContainmentError, ContainmentOptions};
 use crate::rollup::rollup_negation;
 use gts_dl::HornTbox;
 use gts_graph::Vocab;
 use gts_query::{C2rpq, Uc2rpq};
-use gts_sat::{decide, Verdict};
+use gts_sat::{decide_cached, Verdict};
 
 /// Decides *finite* containment `P ⊆_T Q` over all finite graphs
 /// satisfying the Horn-ALCIF TBox `T`, for Boolean `P` and Boolean acyclic
@@ -39,11 +39,19 @@ pub fn contains_finite_modulo_tbox(
     if !p.is_boolean() || !q.is_boolean() {
         return Err(ContainmentError::NotBoolean);
     }
+    let cache = call_cache(opts);
+    let stats_before = cache.stats();
+    let finish = |holds, certified, witness| ContainmentAnswer {
+        holds,
+        certified,
+        witness,
+        stats: cache.stats().delta_since(&stats_before),
+    };
     let p = Uc2rpq {
         disjuncts: p.disjuncts.iter().filter(|d| !q.disjuncts.contains(d)).cloned().collect(),
     };
     if p.disjuncts.is_empty() {
-        return Ok(ContainmentAnswer { holds: true, certified: true, witness: None });
+        return Ok(finish(true, true, None));
     }
     let (choices, _states) = rollup_negation(q, vocab).map_err(ContainmentError::Rollup)?;
     let fresh = (vocab.fresh_node_label("B"), vocab.fresh_node_label("B"));
@@ -56,16 +64,19 @@ pub fn contains_finite_modulo_tbox(
     for choice in &choices {
         let t = HornTbox::merged([tbox, choice]);
         let seeds = t.used_labels();
-        let Completion { tbox: t_star, complete: completion_ok, .. } =
-            complete(&t, &seeds, fresh, &opts.budget, &opts.completion);
+        let Completion { tbox: t_star, complete: completion_ok, .. } = complete_with(
+            &t,
+            &seeds,
+            fresh,
+            &opts.budget,
+            &opts.completion,
+            Some(&cache),
+            opts.threads,
+        );
         for pd in &p.disjuncts {
-            match decide(&t_star, pd, &opts.budget) {
+            match decide_cached(&t_star, pd, &opts.budget, cache.solver()).0 {
                 Verdict::Sat(w) => {
-                    return Ok(ContainmentAnswer {
-                        holds: false,
-                        certified: completion_ok,
-                        witness: Some(w.core),
-                    });
+                    return Ok(finish(false, completion_ok, Some(w.core)));
                 }
                 Verdict::Unsat => {}
                 Verdict::Unknown(_) => {
@@ -74,7 +85,7 @@ pub fn contains_finite_modulo_tbox(
             }
         }
     }
-    Ok(ContainmentAnswer { holds: true, certified: all_certified, witness: None })
+    Ok(finish(true, all_certified, None))
 }
 
 /// Decides *finite* satisfiability of a Boolean C2RPQ modulo a Horn-ALCIF
@@ -91,11 +102,19 @@ pub fn finitely_satisfiable_modulo_tbox(
     if !p.is_boolean() {
         return Err(ContainmentError::NotBoolean);
     }
+    let cache = call_cache(opts);
     let fresh = (vocab.fresh_node_label("B"), vocab.fresh_node_label("B"));
     let seeds = tbox.used_labels();
-    let Completion { tbox: t_star, complete: completion_ok, .. } =
-        complete(tbox, &seeds, fresh, &opts.budget, &opts.completion);
-    match decide(&t_star, p, &opts.budget) {
+    let Completion { tbox: t_star, complete: completion_ok, .. } = complete_with(
+        tbox,
+        &seeds,
+        fresh,
+        &opts.budget,
+        &opts.completion,
+        Some(&cache),
+        opts.threads,
+    );
+    match decide_cached(&t_star, p, &opts.budget, cache.solver()).0 {
         // SAT modulo a partial completion does not yet witness a finite
         // model; UNSAT modulo a partial completion *does* refute one.
         Verdict::Sat(_) => Ok((true, completion_ok)),
@@ -110,7 +129,7 @@ mod tests {
     use gts_dl::HornCi;
     use gts_graph::{EdgeSym, LabelSet, NodeLabel};
     use gts_query::{Atom, Regex, Var};
-    use gts_sat::Budget;
+    use gts_sat::{decide, Budget};
 
     fn set(labels: &[NodeLabel]) -> LabelSet {
         LabelSet::from_iter(labels.iter().map(|l| l.0))

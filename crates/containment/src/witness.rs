@@ -20,7 +20,7 @@
 //! configured effort", never "no counterexample exists".
 
 use crate::booleanize::booleanize;
-use crate::completion::{complete, Completion};
+use crate::completion::Completion;
 use crate::contains::{ContainmentError, ContainmentOptions};
 use crate::hatp::hat_union;
 use crate::oracle::is_counterexample;
@@ -28,7 +28,7 @@ use crate::rollup::rollup_negation;
 use gts_dl::HornTbox;
 use gts_graph::{EdgeSym, FxHashMap, Graph, NodeId, NodeLabel, Vocab};
 use gts_query::Uc2rpq;
-use gts_sat::{decide, Verdict};
+use gts_sat::{decide_cached, Verdict};
 use gts_schema::{Mult, Schema};
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -94,13 +94,21 @@ pub fn finite_counterexample<R: Rng>(
     let schema_label_set = b.schema.node_label_set();
     let fresh = (vocab.fresh_node_label("B"), vocab.fresh_node_label("B"));
 
+    let cache = crate::contains::call_cache(opts);
     let mut saw_sat_or_unknown = false;
     for choice in &choices {
         let t = HornTbox::merged([&hat_ts, choice]);
-        let Completion { tbox: t_star, .. } =
-            complete(&t, &schema_label_set, fresh, &opts.budget, &opts.completion);
+        let Completion { tbox: t_star, .. } = crate::completion::complete_with(
+            &t,
+            &schema_label_set,
+            fresh,
+            &opts.budget,
+            &opts.completion,
+            Some(&cache),
+            opts.threads,
+        );
         for pd in &p_hat.disjuncts {
-            match decide(&t_star, pd, &opts.budget) {
+            match decide_cached(&t_star, pd, &opts.budget, cache.solver()).0 {
                 Verdict::Sat(w) => {
                     saw_sat_or_unknown = true;
                     if let Some(cex) =

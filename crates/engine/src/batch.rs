@@ -179,8 +179,11 @@ fn run_one(session: &mut AnalysisSession, label: String, req: Request) -> BatchR
             transform.validate().map_err(AnalysisError::Transform).map(|()| {
                 // Batch workers already parallelize across requests; keep
                 // each execution single-threaded to avoid oversubscription.
-                let output =
-                    gts_exec::execute_with(&transform, &instance, &ExecOptions { threads: 1 });
+                let output = gts_exec::execute_with(
+                    &transform,
+                    &instance,
+                    &ExecOptions { threads: 1, ..Default::default() },
+                );
                 let conforms = check_target.map(|s| s.conforms(&output).is_ok());
                 Verdict::Executed { output, conforms }
             })

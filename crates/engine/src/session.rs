@@ -19,7 +19,9 @@
 //! the cold path would recompute (the differential suites in
 //! `crates/tests` enforce this).
 
-use gts_core::containment::{contains, ContainmentError, ContainmentOptions};
+use gts_core::containment::{
+    contains, ContainmentError, ContainmentOptions, OracleCache, OracleCacheStats,
+};
 use gts_core::graph::{FxHashMap, Vocab};
 use gts_core::query::{C2rpq, Uc2rpq, Var};
 use gts_core::schema::Schema;
@@ -87,8 +89,22 @@ impl AnalysisSession {
     /// A session with explicit engine budgets. Budgets are part of the
     /// session identity: cached verdicts are only replayed for questions
     /// asked under the same options.
-    pub fn with_options(schema: Schema, vocab: Vocab, opts: ContainmentOptions) -> Self {
+    ///
+    /// When `opts` carries no [`OracleCache`], the session installs a
+    /// fresh one: all its questions (including the very first — the "cold
+    /// oracle" path) then share per-TBox solver state and memoized
+    /// completions, on top of the verdict-level memo.
+    pub fn with_options(schema: Schema, vocab: Vocab, mut opts: ContainmentOptions) -> Self {
+        if opts.cache.is_none() {
+            opts.cache = Some(Arc::new(OracleCache::new()));
+        }
         AnalysisSession { schema, vocab, opts, memo: Arc::new(Mutex::new(Memo::default())) }
+    }
+
+    /// Cumulative oracle statistics (solver-cache reuse, core search,
+    /// completion memo) across every question this session answered.
+    pub fn oracle_stats(&self) -> OracleCacheStats {
+        self.opts.cache.as_ref().map(|c| c.stats()).unwrap_or_default()
     }
 
     /// The session's source schema.

@@ -23,17 +23,52 @@ pub type NodeFact = (NodeLabel, Vec<NodeId>);
 pub type EdgeFact = (NodeFact, EdgeLabel, NodeFact);
 
 /// Execution options.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct ExecOptions {
     /// Worker threads for rule-body evaluation; `0` (the default) picks
     /// the available parallelism (capped at 8), `1` runs inline.
     pub threads: usize,
+    /// Minimum estimated work (`rules × (nodes + edges)`) before the
+    /// *auto* mode (`threads == 0`) shards across threads — below it,
+    /// spawning workers costs more than the evaluation saves (the
+    /// crossover sits around graphs of a few thousand elements; see
+    /// `BENCH_exec.json::parallel_cutoff`). `0` disables the cutoff; an
+    /// explicit `threads >= 2` always shards as requested.
+    pub min_parallel_work: usize,
 }
 
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions { threads: 0, min_parallel_work: DEFAULT_MIN_PARALLEL_WORK }
+    }
+}
+
+/// Default sharding threshold of [`ExecOptions::min_parallel_work`]:
+/// roughly "a multi-rule transformation over a ≥2k-element instance".
+pub const DEFAULT_MIN_PARALLEL_WORK: usize = 8_192;
+
 impl ExecOptions {
-    fn resolve_threads(&self, work_items: usize) -> usize {
+    /// `true` iff these options would shard rule evaluation across
+    /// threads for the given work (the single source of the sharding
+    /// policy — benches report it rather than re-deriving it).
+    pub fn would_shard(&self, work_items: usize, instance_size: usize) -> bool {
+        self.resolve_threads_for(work_items, instance_size) > 1
+    }
+
+    /// Threads for one instance, given the work items (rules) and the
+    /// instance size. An explicit `threads >= 1` is honored as requested;
+    /// the work-size cutoff only gates the `threads == 0` auto mode (the
+    /// path where silently sharding small instances was a measured
+    /// regression).
+    fn resolve_threads_for(&self, work_items: usize, instance_size: usize) -> usize {
         let t = match self.threads {
-            0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8),
+            0 => {
+                let estimated_work = work_items.saturating_mul(instance_size.max(1));
+                if self.min_parallel_work > 0 && estimated_work < self.min_parallel_work {
+                    return 1;
+                }
+                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8)
+            }
             t => t,
         };
         t.clamp(1, work_items.max(1))
@@ -183,7 +218,8 @@ pub fn eval_rule_bodies(
             Rule::Edge(r) => &r.body,
         })
         .collect();
-    let workers = opts.resolve_threads(bodies.len());
+    let instance_size = idx.num_nodes() + idx.num_edges();
+    let workers = opts.resolve_threads_for(bodies.len(), instance_size);
     if workers <= 1 {
         return bodies.into_iter().map(|b| eval_c2rpq(idx, b)).collect();
     }
@@ -411,8 +447,8 @@ mod tests {
         let mut v = Vocab::new();
         let t = medical_transformation(&mut v);
         let g = medical_graph(&mut v);
-        let one = execute_with(&t, &g, &ExecOptions { threads: 1 });
-        let four = execute_with(&t, &g, &ExecOptions { threads: 4 });
+        let one = execute_with(&t, &g, &ExecOptions { threads: 1, min_parallel_work: 0 });
+        let four = execute_with(&t, &g, &ExecOptions { threads: 4, min_parallel_work: 0 });
         // Determinism is exact graph equality, not just fact equality.
         assert_eq!(one.num_nodes(), four.num_nodes());
         assert_eq!(

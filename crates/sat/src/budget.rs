@@ -44,6 +44,20 @@ impl Default for Budget {
 }
 
 impl Budget {
+    /// The budget as a cache-key tuple — every field that bounds the
+    /// search, in declaration order. All caches keyed by budget must use
+    /// this (adding a field here updates them all at once).
+    pub fn cache_key(&self) -> [usize; 6] {
+        [
+            self.max_total_edge_syms,
+            self.max_word_syms,
+            self.max_words_per_atom,
+            self.max_cores,
+            self.max_candidates,
+            self.max_groupings,
+        ]
+    }
+
     /// A generous budget for stress tests and benchmarks.
     pub fn large() -> Budget {
         Budget {

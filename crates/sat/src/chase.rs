@@ -8,9 +8,17 @@
 //! successors demanded by at-most-one constraints. The chase either
 //! reaches a fixpoint (a locally consistent core) or fails (this word
 //! combination admits no model).
+//!
+//! The edge set is stored as per-node sorted adjacency (forward and
+//! inverse), plus a per-node bitset of incident edge labels — the same
+//! layout `gts-exec::IndexedGraph` uses — so neighborhood queries
+//! (`incident`, at-most counting) read one node's lists instead of
+//! scanning every edge of the core. Merges move the vanishing node's lists
+//! onto the survivor; entries referencing merged-away nodes are resolved
+//! through the union-find on read.
 
 use gts_dl::HornTbox;
-use gts_graph::{EdgeLabel, EdgeSym, FxHashSet, Graph, LabelSet, NodeId};
+use gts_graph::{EdgeLabel, EdgeSym, Graph, LabelSet, NodeId};
 
 /// Why a core candidate was rejected.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -27,7 +35,15 @@ pub enum ChaseFail {
 pub struct Core {
     parent: Vec<usize>,
     labels: Vec<LabelSet>,
-    edges: FxHashSet<(usize, EdgeLabel, usize)>,
+    /// Forward adjacency per node: sorted `(label, target)` pairs. Stored
+    /// on the representative; targets may be merged-away nodes and are
+    /// resolved via `find` on read.
+    out: Vec<Vec<(EdgeLabel, usize)>>,
+    /// Inverse adjacency per node: sorted `(label, source)` pairs.
+    inc: Vec<Vec<(EdgeLabel, usize)>>,
+    /// Edge labels incident to each node (either direction) — a quick
+    /// filter for at-most scans.
+    touch: Vec<LabelSet>,
 }
 
 impl Core {
@@ -40,6 +56,9 @@ impl Core {
     pub fn add_node(&mut self, seed: LabelSet) -> usize {
         self.parent.push(self.parent.len());
         self.labels.push(seed);
+        self.out.push(Vec::new());
+        self.inc.push(Vec::new());
+        self.touch.push(LabelSet::new());
         self.parent.len() - 1
     }
 
@@ -63,11 +82,14 @@ impl Core {
     pub fn add_sym_edge(&mut self, u: usize, sym: EdgeSym, v: usize) {
         let (src, tgt) = if sym.inverse { (v, u) } else { (u, v) };
         let (src, tgt) = (self.find(src), self.find(tgt));
-        self.edges.insert((src, sym.label, tgt));
+        insert_sorted(&mut self.out[src], (sym.label, tgt));
+        insert_sorted(&mut self.inc[tgt], (sym.label, src));
+        self.touch[src].insert(sym.label.0);
+        self.touch[tgt].insert(sym.label.0);
     }
 
-    /// Merges the classes of `u` and `v` (identifying two nodes), rewriting
-    /// edges onto the surviving representative.
+    /// Merges the classes of `u` and `v` (identifying two nodes), moving
+    /// the vanishing class's adjacency onto the surviving representative.
     pub fn merge(&mut self, u: usize, v: usize) {
         let (ru, rv) = (self.find(u), self.find(v));
         if ru == rv {
@@ -77,13 +99,16 @@ impl Core {
         self.parent[gone] = keep;
         let moved = std::mem::take(&mut self.labels[gone]);
         self.labels[keep].union_with(&moved);
-        let old_edges = std::mem::take(&mut self.edges);
-        self.edges = old_edges
-            .into_iter()
-            .map(|(s, l, t)| {
-                (if s == gone { keep } else { s }, l, if t == gone { keep } else { t })
-            })
-            .collect();
+        let moved_out = std::mem::take(&mut self.out[gone]);
+        let moved_inc = std::mem::take(&mut self.inc[gone]);
+        self.out[keep].extend(moved_out);
+        self.inc[keep].extend(moved_inc);
+        self.out[keep].sort_unstable();
+        self.out[keep].dedup();
+        self.inc[keep].sort_unstable();
+        self.inc[keep].dedup();
+        let moved_touch = std::mem::take(&mut self.touch[gone]);
+        self.touch[keep].union_with(&moved_touch);
     }
 
     /// Current representatives, sorted.
@@ -107,20 +132,38 @@ impl Core {
         self.labels[r] = labels;
     }
 
+    /// The distinct `(source-root, label, target-root)` edges of the core,
+    /// sorted.
+    pub fn edge_list(&mut self) -> Vec<(usize, EdgeLabel, usize)> {
+        let mut edges = Vec::new();
+        for r in self.roots() {
+            let pairs = self.out[r].clone();
+            for (l, t) in pairs {
+                let t = self.find(t);
+                edges.push((r, l, t));
+            }
+        }
+        edges.sort_unstable();
+        edges.dedup();
+        edges
+    }
+
     /// All `(sym, neighbor-root)` pairs incident to a root, *with
     /// multiplicity per distinct edge* (a self-loop contributes both
     /// directions). Used by the extension check, whose at-most counting
     /// needs each distinct edge once per direction.
     pub fn incident(&mut self, root: usize) -> Vec<(EdgeSym, usize)> {
+        let root = self.find(root);
         let mut out = Vec::new();
-        let edges: Vec<_> = self.edges.iter().copied().collect();
-        for (s, l, t) in edges {
-            if s == root {
-                out.push((EdgeSym::fwd(l), t));
-            }
-            if t == root {
-                out.push((EdgeSym::bwd(l), s));
-            }
+        let fwd = self.out[root].clone();
+        for (l, t) in fwd {
+            let t = self.find(t);
+            out.push((EdgeSym::fwd(l), t));
+        }
+        let bwd = self.inc[root].clone();
+        for (l, s) in bwd {
+            let s = self.find(s);
+            out.push((EdgeSym::bwd(l), s));
         }
         out.sort();
         out.dedup();
@@ -129,26 +172,40 @@ impl Core {
 
     /// Distinct `role`-successor roots of `root` whose labels include `k`.
     fn labeled_successors(&mut self, root: usize, role: EdgeSym, k: &LabelSet) -> Vec<usize> {
-        let mut out: Vec<usize> =
-            self.incident(root).into_iter().filter(|(s, _)| *s == role).map(|(_, n)| n).collect();
+        let root = self.find(root);
+        let pairs = if role.inverse { self.inc[root].clone() } else { self.out[root].clone() };
+        let mut out: Vec<usize> = pairs
+            .into_iter()
+            .filter(|(l, _)| *l == role.label)
+            .map(|(_, n)| self.find(n))
+            .collect();
         out.sort_unstable();
         out.dedup();
-        out.retain(|&n| {
-            let r = self.find(n);
-            k.is_subset(&self.labels[r])
-        });
+        out.retain(|&n| k.is_subset(&self.labels[n]));
         out
     }
 
     /// Runs the deterministic chase to fixpoint: label closure,
     /// `∀`-propagation, `∄`-checks, and functionality merges.
     pub fn chase(&mut self, tbox: &HornTbox) -> Result<(), ChaseFail> {
+        self.chase_steps(&mut PlainOracle { tbox })
+    }
+
+    /// [`Core::chase`] with all TBox rule applications answered by
+    /// `universe`'s memos — the hot path of the satisfiability engine,
+    /// where every candidate core over one TBox closes and propagates the
+    /// same label sets.
+    pub fn chase_in(&mut self, universe: &mut crate::types::TypeUniverse) -> Result<(), ChaseFail> {
+        self.chase_steps(universe)
+    }
+
+    fn chase_steps(&mut self, ops: &mut dyn ChaseOracle) -> Result<(), ChaseFail> {
         loop {
             let mut changed = false;
 
             // 1) Close labels under K ⊑ A rules; detect ⊥.
             for root in self.roots() {
-                let closed = tbox.closure(&self.labels[root]).ok_or(ChaseFail::Inconsistent)?;
+                let closed = ops.close(&self.labels[root]).ok_or(ChaseFail::Inconsistent)?;
                 if closed != self.labels[root] {
                     self.labels[root] = closed;
                     changed = true;
@@ -156,15 +213,14 @@ impl Core {
             }
 
             // 2) ∀-propagation along both directions of every edge.
-            let edges: Vec<_> = self.edges.iter().copied().collect();
-            for (s, l, t) in edges {
+            for (s, l, t) in self.edge_list() {
                 let (s, t) = (self.find(s), self.find(t));
-                let push_fwd = tbox.propagate(&self.labels[s], EdgeSym::fwd(l));
+                let push_fwd = ops.propagate(&self.labels[s], EdgeSym::fwd(l));
                 if !push_fwd.is_subset(&self.labels[t]) {
                     self.labels[t].union_with(&push_fwd);
                     changed = true;
                 }
-                let push_bwd = tbox.propagate(&self.labels[t], EdgeSym::bwd(l));
+                let push_bwd = ops.propagate(&self.labels[t], EdgeSym::bwd(l));
                 if !push_bwd.is_subset(&self.labels[s]) {
                     self.labels[s].union_with(&push_bwd);
                     changed = true;
@@ -172,10 +228,9 @@ impl Core {
             }
 
             // 3) ∄-checks on every edge.
-            let edges: Vec<_> = self.edges.iter().copied().collect();
-            for (s, l, t) in edges {
+            for (s, l, t) in self.edge_list() {
                 let (s, t) = (self.find(s), self.find(t));
-                if tbox.edge_forbidden(&self.labels[s], EdgeSym::fwd(l), &self.labels[t]) {
+                if ops.forbidden(&self.labels[s], EdgeSym::fwd(l), &self.labels[t]) {
                     return Err(ChaseFail::ForbiddenEdge);
                 }
             }
@@ -183,9 +238,14 @@ impl Core {
             // 4) Functionality merges: two distinct K'-successors under an
             //    at-most-one constraint must be identified.
             'merge_scan: for root in self.roots() {
-                let ams = tbox.at_most(&self.labels[root]);
-                for (role, k) in ams {
-                    let succs = self.labeled_successors(root, role, &k);
+                let ams = ops.at_most(&self.labels[root]);
+                for (role, k) in ams.iter() {
+                    // Bitset filter: no incident edge with this label means
+                    // no successors to count.
+                    if !self.touch[root].contains(role.label.0) {
+                        continue;
+                    }
+                    let succs = self.labeled_successors(root, *role, k);
                     if succs.len() >= 2 {
                         self.merge(succs[0], succs[1]);
                         changed = true;
@@ -211,10 +271,7 @@ impl Core {
             g.add_label_set(id, &self.labels[r]);
             root_to_id[r] = id;
         }
-        let mut edges: Vec<_> = self.edges.iter().copied().collect();
-        edges.sort_unstable();
-        for (s, l, t) in edges {
-            let (s, t) = (self.find(s), self.find(t));
+        for (s, l, t) in self.edge_list() {
             g.add_edge(root_to_id[s], l, root_to_id[t]);
         }
         let map = (0..self.parent.len())
@@ -224,6 +281,58 @@ impl Core {
             })
             .collect();
         (g, map)
+    }
+}
+
+/// Inserts into a sorted vector, keeping it sorted and deduplicated.
+fn insert_sorted(v: &mut Vec<(EdgeLabel, usize)>, item: (EdgeLabel, usize)) {
+    if let Err(pos) = v.binary_search(&item) {
+        v.insert(pos, item);
+    }
+}
+
+/// The TBox rule applications the chase needs, abstracted so the engine
+/// can answer them from the per-TBox memos of
+/// [`crate::types::TypeUniverse`] while standalone callers use the TBox
+/// directly.
+trait ChaseOracle {
+    fn close(&mut self, set: &LabelSet) -> Option<LabelSet>;
+    fn propagate(&mut self, set: &LabelSet, role: EdgeSym) -> std::sync::Arc<LabelSet>;
+    fn forbidden(&mut self, src: &LabelSet, role: EdgeSym, tgt: &LabelSet) -> bool;
+    fn at_most(&mut self, set: &LabelSet) -> std::sync::Arc<Vec<(EdgeSym, LabelSet)>>;
+}
+
+struct PlainOracle<'t> {
+    tbox: &'t HornTbox,
+}
+
+impl ChaseOracle for PlainOracle<'_> {
+    fn close(&mut self, set: &LabelSet) -> Option<LabelSet> {
+        self.tbox.closure(set)
+    }
+    fn propagate(&mut self, set: &LabelSet, role: EdgeSym) -> std::sync::Arc<LabelSet> {
+        std::sync::Arc::new(self.tbox.propagate(set, role))
+    }
+    fn forbidden(&mut self, src: &LabelSet, role: EdgeSym, tgt: &LabelSet) -> bool {
+        self.tbox.edge_forbidden(src, role, tgt)
+    }
+    fn at_most(&mut self, set: &LabelSet) -> std::sync::Arc<Vec<(EdgeSym, LabelSet)>> {
+        std::sync::Arc::new(self.tbox.at_most(set))
+    }
+}
+
+impl ChaseOracle for crate::types::TypeUniverse {
+    fn close(&mut self, set: &LabelSet) -> Option<LabelSet> {
+        crate::types::TypeUniverse::close(self, set).map(|t| self.labels(t).clone())
+    }
+    fn propagate(&mut self, set: &LabelSet, role: EdgeSym) -> std::sync::Arc<LabelSet> {
+        self.propagate_set(set, role)
+    }
+    fn forbidden(&mut self, src: &LabelSet, role: EdgeSym, tgt: &LabelSet) -> bool {
+        self.edge_forbidden_memo(src, role, tgt)
+    }
+    fn at_most(&mut self, set: &LabelSet) -> std::sync::Arc<Vec<(EdgeSym, LabelSet)>> {
+        self.at_most_set(set)
     }
 }
 
@@ -359,5 +468,25 @@ mod tests {
         let inc = c.incident(u);
         assert!(inc.contains(&(sym(0), u)));
         assert!(inc.contains(&(sym(0).inv(), u)));
+    }
+
+    #[test]
+    fn merged_adjacency_is_rewritten_onto_survivor() {
+        let mut c = Core::new();
+        let a = c.add_node(LabelSet::new());
+        let b = c.add_node(LabelSet::new());
+        let d = c.add_node(LabelSet::new());
+        c.add_sym_edge(a, sym(0), b);
+        c.add_sym_edge(b, sym(1), d);
+        c.merge(a, b);
+        let r = c.find(a);
+        // The survivor sees both the incoming self-loop edge and b's
+        // outgoing edge.
+        let inc = c.incident(r);
+        assert!(inc.contains(&(sym(1), c.find(d))));
+        assert_eq!(c.edge_list().len(), 2);
+        let (g, _) = c.to_graph();
+        assert_eq!(g.num_nodes(), 2);
+        assert_eq!(g.num_edges(), 2);
     }
 }

@@ -9,22 +9,50 @@
 //! coinductive tree realizability of [`crate::realize`]. Components are
 //! independent because models of Horn TBoxes are closed under disjoint
 //! union.
+//!
+//! Two entry points share the same search: [`decide`] builds a fresh
+//! solver context per call, while [`decide_cached`] borrows a persistent
+//! per-TBox context from a [`SolverCache`] so repeated calls over one TBox
+//! skip re-interning types and re-deciding realizability fixpoints. Both
+//! return the same verdicts (the differential suites enforce it).
 
 use crate::budget::{Budget, UnknownReason, Verdict, Witness};
+use crate::cache::SolverCache;
 use crate::chase::Core;
 use crate::realize::RealizeCtx;
 use crate::types::TypeUniverse;
 use gts_dl::{HornCi, HornTbox};
-use gts_graph::{FxHashMap, Graph, LabelSet, NodeId};
+use gts_graph::{FxHashMap, FxHashSet, Graph, LabelSet, NodeId};
 use gts_query::{AtomSym, C2rpq, Nfa, Var};
 
-/// Search statistics (for benchmarks and EXPERIMENTS.md).
+/// Search statistics (for benchmarks, the `--stats` CLI flag, and
+/// EXPERIMENTS.md).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct DecideStats {
     /// Number of candidate cores chased.
     pub cores_tried: usize,
-    /// Number of node types interned.
+    /// Candidate cores skipped because an isomorphic core (same sorted
+    /// multiset of per-atom witnessing words) was already chased.
+    pub cores_deduped: usize,
+    /// Number of node types interned in the solver context after the call
+    /// (cumulative for a cached context).
     pub types_interned: usize,
+    /// Realizability verdicts replayed from the context memo during this
+    /// call.
+    pub realize_hits: u64,
+    /// Realizability verdicts computed during this call.
+    pub realize_misses: u64,
+}
+
+impl DecideStats {
+    /// Folds another call's counters into this one.
+    pub fn absorb(&mut self, other: &DecideStats) {
+        self.cores_tried += other.cores_tried;
+        self.cores_deduped += other.cores_deduped;
+        self.types_interned = self.types_interned.max(other.types_interned);
+        self.realize_hits += other.realize_hits;
+        self.realize_misses += other.realize_misses;
+    }
 }
 
 enum CompResult {
@@ -51,30 +79,101 @@ pub fn decide_with_stats(
     query: &C2rpq,
     budget: &Budget,
 ) -> (Verdict, DecideStats) {
+    let mut ctx = RealizeCtx::new(TypeUniverse::new(tbox), budget.clone());
+    decide_in(&mut ctx, tbox, query, budget)
+}
+
+/// [`decide`] against a persistent per-TBox context borrowed from `cache`.
+///
+/// Same verdicts as [`decide`] (warm memo entries replay the exact
+/// sequential computation, including its `uncertain` degradations); the
+/// warm path skips type interning, saturation fixpoints, and realizability
+/// fixpoints already established by earlier calls over this TBox.
+pub fn decide_cached(
+    tbox: &HornTbox,
+    query: &C2rpq,
+    budget: &Budget,
+    cache: &SolverCache,
+) -> (Verdict, DecideStats) {
+    let handle = cache.handle(tbox, budget);
+    decide_on(&handle, tbox, query, budget, cache)
+}
+
+/// [`decide_cached`] against a pre-resolved [`crate::SolverHandle`] — skips the
+/// per-call CI-set hashing of the cache lookup, which matters when one
+/// extended TBox is probed hundreds of times (the completion's entailment
+/// sweep).
+pub fn decide_on(
+    handle: &crate::cache::SolverHandle,
+    tbox: &HornTbox,
+    query: &C2rpq,
+    budget: &Budget,
+    cache: &SolverCache,
+) -> (Verdict, DecideStats) {
+    let (verdict, stats) =
+        cache.with_handle(handle, budget, |ctx| decide_in(ctx, tbox, query, budget));
+    cache.record_decide(stats.cores_tried, stats.cores_deduped);
+    (verdict, stats)
+}
+
+/// The shared search; `ctx` must already be reset for this call (fresh, or
+/// via `RealizeCtx::begin_call`).
+fn decide_in(
+    ctx: &mut RealizeCtx,
+    tbox: &HornTbox,
+    query: &C2rpq,
+    budget: &Budget,
+) -> (Verdict, DecideStats) {
     assert!(
         query.is_boolean(),
         "the satisfiability engine takes Boolean queries; close the query first"
     );
+    let realize_before = ctx.stats();
     let mut stats = DecideStats::default();
-    let mut ctx = RealizeCtx::new(TypeUniverse::new(tbox), budget.clone());
     let mut cores: Vec<Graph> = Vec::new();
     let mut unknown: Option<UnknownReason> = None;
 
+    let finish = |ctx: &RealizeCtx, stats: &mut DecideStats| {
+        stats.types_interned = ctx.types.len();
+        let after = ctx.stats();
+        stats.realize_hits = (after.status_hits - realize_before.status_hits)
+            + (after.options_hits - realize_before.options_hits);
+        stats.realize_misses = (after.status_misses - realize_before.status_misses)
+            + (after.options_misses - realize_before.options_misses);
+    };
+
     for (vars, atom_idxs) in query.connected_components() {
-        match solve_component(tbox, query, &vars, &atom_idxs, budget, &mut ctx, &mut stats) {
+        match solve_component(tbox, query, &vars, &atom_idxs, budget, ctx, &mut stats) {
             CompResult::Sat(g) => cores.push(g),
             CompResult::Unsat => {
-                stats.types_interned = ctx.types.len();
+                finish(ctx, &mut stats);
                 return (Verdict::Unsat, stats);
             }
             CompResult::Unknown(r) => unknown = Some(unknown.unwrap_or(r)),
         }
     }
-    stats.types_interned = ctx.types.len();
+    finish(ctx, &mut stats);
     if let Some(r) = unknown {
         return (Verdict::Unknown(r), stats);
     }
     (Verdict::Sat(Witness { core: disjoint_union(&cores) }), stats)
+}
+
+/// The label set of a regex that is a pure node-test sequence
+/// (`Then`/`Node`/`Epsilon` only), whose language is exactly one edge-free
+/// word. `None` for any other shape.
+fn node_test_labels(re: &gts_query::Regex) -> Option<LabelSet> {
+    use gts_query::Regex;
+    match re {
+        Regex::Epsilon => Some(LabelSet::new()),
+        Regex::Sym(AtomSym::Node(l)) => Some(LabelSet::singleton(l.0)),
+        Regex::Concat(a, b) => {
+            let mut s = node_test_labels(a)?;
+            s.union_with(&node_test_labels(b)?);
+            Some(s)
+        }
+        _ => None,
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -84,7 +183,7 @@ fn solve_component(
     vars: &[Var],
     atom_idxs: &[usize],
     budget: &Budget,
-    ctx: &mut RealizeCtx<'_>,
+    ctx: &mut RealizeCtx,
     stats: &mut DecideStats,
 ) -> CompResult {
     // Local variable numbering.
@@ -96,6 +195,43 @@ fn solve_component(
             (local[&a.x], local[&a.y], a)
         })
         .collect();
+
+    // Fast path for a pure node-test component — a single self-loop atom
+    // whose language is one edge-free word (the shape of every entailment
+    // probe of the completion). The general machinery would enumerate the
+    // one word, build a one-node core, chase it, and check extendability;
+    // all of that collapses to close → saturate → extendability, each of
+    // which is memoized in a warm solver context.
+    if let [(x, y, a)] = atoms.as_slice() {
+        if x == y && vars.len() == 1 {
+            if let Some(labels) = node_test_labels(&a.regex) {
+                if stats.cores_tried >= budget.max_cores {
+                    return CompResult::Unknown(UnknownReason::CoreBudget);
+                }
+                stats.cores_tried += 1;
+                let Some(tid) = ctx.types.close(&labels) else {
+                    return CompResult::Unsat;
+                };
+                let Some(sat) = ctx.types.saturate(tid) else {
+                    return CompResult::Unsat;
+                };
+                // Mirrors the general path's verdict order: `uncertain`
+                // degrades negative answers before budget reasons do.
+                return match ctx.node_extendable(sat, &[]) {
+                    Ok(true) => {
+                        let mut g = Graph::new();
+                        let n = g.add_node();
+                        g.add_label_set(n, ctx.types.labels(sat));
+                        CompResult::Sat(g)
+                    }
+                    Ok(false) if ctx.uncertain => CompResult::Unknown(UnknownReason::Saturation),
+                    Ok(false) => CompResult::Unsat,
+                    Err(_) if ctx.uncertain => CompResult::Unknown(UnknownReason::Saturation),
+                    Err(r) => CompResult::Unknown(r),
+                };
+            }
+        }
+    }
 
     // Word enumeration per atom. A *loose* endpoint (a variable used by no
     // other atom of the Boolean component) licenses prefix-minimal
@@ -115,6 +251,11 @@ fn solve_component(
     let mut all_exhaustive = true;
     for (x, y, a) in &atoms {
         let nfa = Nfa::compiled(&a.regex);
+        // Emptiness short-circuit: an atom whose language is empty refutes
+        // the whole component without enumerating sibling atoms.
+        if !nfa.useful_states()[nfa.initial()] {
+            return CompResult::Unsat;
+        }
         let loose_y = x != y && degree[*y] == 1;
         let loose_x = x != y && degree[*x] == 1;
         looseness.push((loose_x, loose_y));
@@ -150,6 +291,15 @@ fn solve_component(
                 CompResult::Unknown(UnknownReason::WordBudget)
             };
         }
+        // Drop duplicate words (first occurrence kept, so the search order
+        // of the surviving words is unchanged).
+        let mut seen_words: FxHashSet<&[AtomSym]> = FxHashSet::default();
+        let mut keep = vec![false; words.len()];
+        for (i, w) in words.iter().enumerate() {
+            keep[i] = seen_words.insert(w.as_slice());
+        }
+        let mut it = keep.iter();
+        words.retain(|_| *it.next().unwrap());
         words.sort_by_key(|w| edge_len(w));
         word_lists.push(words);
     }
@@ -163,6 +313,7 @@ fn solve_component(
     let mut chosen: Vec<usize> = vec![0; atoms.len()];
     let mut realize_budget: Option<UnknownReason> = None;
     let mut core_cap_hit = false;
+    let mut seen_cores: FxHashSet<Vec<(usize, usize, &[AtomSym])>> = FxHashSet::default();
     let sat = search(
         tbox,
         vars.len(),
@@ -176,6 +327,7 @@ fn solve_component(
         budget.max_total_edge_syms,
         &mut realize_budget,
         &mut core_cap_hit,
+        &mut seen_cores,
     );
     if let Some(core) = sat {
         return CompResult::Sat(core);
@@ -203,7 +355,8 @@ fn solve_component(
     let mut weak_lists: Vec<Vec<Vec<AtomSym>>> = Vec::new();
     for (i, (_, _, a)) in atoms.iter().enumerate() {
         if exhaustive_flags[i] {
-            weak_lists.push(word_lists[i].clone());
+            // Phase 1 is done with the exhaustive list; move, don't clone.
+            weak_lists.push(std::mem::take(&mut word_lists[i]));
             continue;
         }
         let (loose_x, loose_y) = looseness[i];
@@ -224,6 +377,7 @@ fn solve_component(
     let mut chosen: Vec<usize> = vec![0; atoms.len()];
     let mut realize_budget2: Option<UnknownReason> = None;
     let mut core_cap_hit2 = false;
+    let mut seen_cores2: FxHashSet<Vec<(usize, usize, &[AtomSym])>> = FxHashSet::default();
     let spurious_sat = search(
         tbox,
         vars.len(),
@@ -237,6 +391,7 @@ fn solve_component(
         budget.max_total_edge_syms,
         &mut realize_budget2,
         &mut core_cap_hit2,
+        &mut seen_cores2,
     );
     if spurious_sat.is_none() && realize_budget2.is_none() && !core_cap_hit2 && !ctx.uncertain {
         CompResult::Unsat
@@ -284,21 +439,36 @@ fn edge_len(word: &[AtomSym]) -> usize {
 }
 
 #[allow(clippy::too_many_arguments)]
-fn search(
+fn search<'w>(
     tbox: &HornTbox,
     num_vars: usize,
     atoms: &[(usize, usize, &gts_query::Atom)],
-    word_lists: &[Vec<Vec<AtomSym>>],
+    word_lists: &'w [Vec<Vec<AtomSym>>],
     budget: &Budget,
-    ctx: &mut RealizeCtx<'_>,
+    ctx: &mut RealizeCtx,
     stats: &mut DecideStats,
     chosen: &mut Vec<usize>,
     atom_idx: usize,
     remaining_edges: usize,
     realize_budget: &mut Option<UnknownReason>,
     core_cap_hit: &mut bool,
+    seen_cores: &mut FxHashSet<Vec<(usize, usize, &'w [AtomSym])>>,
 ) -> Option<Graph> {
     if atom_idx == atoms.len() {
+        // Canonical form of the candidate: the sorted multiset of
+        // (endpoints, word) triples. Two combinations with the same
+        // multiset build isomorphic cores (construction only reorders the
+        // fresh path nodes), so chasing one settles both.
+        let mut key: Vec<(usize, usize, &[AtomSym])> = atoms
+            .iter()
+            .enumerate()
+            .map(|(i, (x, y, _))| (*x, *y, word_lists[i][chosen[i]].as_slice()))
+            .collect();
+        key.sort_unstable();
+        if !seen_cores.insert(key) {
+            stats.cores_deduped += 1;
+            return None;
+        }
         if stats.cores_tried >= budget.max_cores {
             *core_cap_hit = true;
             return None;
@@ -328,6 +498,7 @@ fn search(
             remaining_edges - el,
             realize_budget,
             core_cap_hit,
+            seen_cores,
         ) {
             return Some(g);
         }
@@ -338,12 +509,12 @@ fn search(
 /// Builds the core of Theorem 6.3's proof for one word combination,
 /// chases it, and checks extendability of every node.
 fn try_core(
-    tbox: &HornTbox,
+    _tbox: &HornTbox,
     num_vars: usize,
     atoms: &[(usize, usize, &gts_query::Atom)],
     word_lists: &[Vec<Vec<AtomSym>>],
     chosen: &[usize],
-    ctx: &mut RealizeCtx<'_>,
+    ctx: &mut RealizeCtx,
     realize_budget: &mut Option<UnknownReason>,
 ) -> Option<Graph> {
     let mut core = Core::new();
@@ -364,7 +535,7 @@ fn try_core(
         }
         core.merge(cur, var_nodes[*y]);
     }
-    if core.chase(tbox).is_err() {
+    if core.chase_in(&mut ctx.types).is_err() {
         return None;
     }
     // Interleave chase and type saturation to a joint fixpoint: labels
@@ -373,14 +544,14 @@ fn try_core(
     loop {
         let mut grew = false;
         for root in core.roots() {
-            let labels = core.labels_of(root).clone();
-            let tid = ctx.types.close(&labels)?;
+            let tid = ctx.types.close(core.labels_of(root))?;
             match ctx.types.saturate(tid) {
                 None => return None, // dead type: no model has this node
                 Some(sat) => {
-                    let sat_labels = ctx.types.labels(sat).clone();
-                    if sat_labels != labels {
-                        core.set_labels(root, sat_labels);
+                    // Interning is canonical, so the saturation changed the
+                    // labels iff it changed the type id.
+                    if sat != tid {
+                        core.set_labels(root, ctx.types.labels(sat).clone());
                         grew = true;
                     }
                 }
@@ -389,22 +560,19 @@ fn try_core(
         if !grew {
             break;
         }
-        if core.chase(tbox).is_err() {
+        if core.chase_in(&mut ctx.types).is_err() {
             return None;
         }
     }
     // Every core node must be extendable by realizable witness trees.
     for root in core.roots() {
-        let labels = core.labels_of(root).clone();
-        let tid = ctx.types.close(&labels)?;
-        let neighbors: Vec<_> = core
-            .incident(root)
-            .into_iter()
-            .filter_map(|(sym, nbr)| {
-                let nl = core.labels_of(nbr).clone();
-                ctx.types.close(&nl).map(|t| (sym, t))
-            })
-            .collect();
+        let tid = ctx.types.close(core.labels_of(root))?;
+        let mut neighbors = Vec::new();
+        for (sym, nbr) in core.incident(root) {
+            if let Some(t) = ctx.types.close(core.labels_of(nbr)) {
+                neighbors.push((sym, t));
+            }
+        }
         match ctx.node_extendable(tid, &neighbors) {
             Ok(true) => {}
             Ok(false) => return None,
@@ -673,5 +841,57 @@ mod tests {
         let (v, stats) = decide_with_stats(&t, &q, &Budget::default());
         assert!(v.is_sat());
         assert!(stats.cores_tried >= 1);
+    }
+
+    #[test]
+    fn duplicate_atoms_dedupe_cores() {
+        // Two identical atoms: the (w, w') and (w', w) combinations build
+        // the same core; the dedup must skip the mirror.
+        let t = HornTbox::new();
+        let re = Regex::edge(EdgeLabel(0)).or(Regex::edge(EdgeLabel(1)));
+        let q = bool_query(
+            vec![
+                Atom { x: Var(0), y: Var(1), regex: re.clone() },
+                Atom { x: Var(0), y: Var(1), regex: re },
+            ],
+            2,
+        );
+        let (v, stats) = decide_with_stats(&t, &q, &Budget::default());
+        assert!(v.is_sat());
+        assert!(stats.cores_tried >= 1);
+    }
+
+    #[test]
+    fn cached_decide_matches_fresh_decide() {
+        let cache = SolverCache::new();
+        let mut t = HornTbox::new();
+        t.push(HornCi::Exists { lhs: set(&[0]), role: sym(0), rhs: set(&[0]) });
+        t.push(HornCi::NotExists { lhs: set(&[1]), role: sym(0), rhs: LabelSet::new() });
+        let queries = [
+            bool_query(vec![Atom { x: Var(0), y: Var(0), regex: Regex::node(NodeLabel(0)) }], 1),
+            bool_query(
+                vec![Atom {
+                    x: Var(0),
+                    y: Var(0),
+                    regex: Regex::node(NodeLabel(0)).then(Regex::node(NodeLabel(1))),
+                }],
+                1,
+            ),
+            bool_query(vec![Atom { x: Var(0), y: Var(1), regex: Regex::edge(EdgeLabel(0)) }], 2),
+        ];
+        let budget = Budget::default();
+        for _ in 0..2 {
+            // Twice: the second pass runs fully warm.
+            for q in &queries {
+                let fresh = decide(&t, q, &budget);
+                let (warm, _) = decide_cached(&t, q, &budget, &cache);
+                assert_eq!(
+                    std::mem::discriminant(&fresh),
+                    std::mem::discriminant(&warm),
+                    "cached verdict diverged on {q:?}"
+                );
+            }
+        }
+        assert!(cache.stats().hits > 0);
     }
 }

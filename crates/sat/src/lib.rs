@@ -37,13 +37,17 @@
 #![warn(missing_docs)]
 
 mod budget;
+mod cache;
 mod chase;
 mod engine;
 mod realize;
 mod types;
 
 pub use budget::{Budget, UnknownReason, Verdict, Witness};
+pub use cache::{tbox_fingerprint, OracleStats, SolverCache, SolverCacheStats, SolverHandle};
 pub use chase::{ChaseFail, Core};
-pub use engine::{decide, decide_with_stats, universal_constraints_hold, DecideStats};
-pub use realize::{Cand, RealizeCtx};
+pub use engine::{
+    decide, decide_cached, decide_on, decide_with_stats, universal_constraints_hold, DecideStats,
+};
+pub use realize::{Cand, RealizeCtx, RealizeStats};
 pub use types::{TypeId, TypeUniverse};

@@ -16,6 +16,21 @@
 //! fresh tree children loses no models. Minimal label sets are likewise
 //! complete: all constraint kinds of Horn-ALCIF are antitone in extra node
 //! labels (extra labels can only trigger more `K ⊑ …` obligations).
+//!
+//! ## Persistence across `decide` calls
+//!
+//! The candidate verdicts (`status`) and option sets (`options_memo`) are
+//! facts about `(TBox, candidate)` alone, so a [`crate::SolverCache`] can
+//! keep one `RealizeCtx` per TBox and replay them across calls. Two pieces
+//! of bookkeeping make the replay *exact* (verdict-for-verdict equal to a
+//! fresh context):
+//!
+//! * every memo entry carries a **taint bit** recording whether its
+//!   original computation raised the `uncertain` flag; replaying a tainted
+//!   entry re-raises the flag, so a warm call degrades to `Unknown`
+//!   exactly when a cold call would;
+//! * the per-call state (`uncertain`, the candidate budget counter) is
+//!   reset by [`RealizeCtx::begin_call`], while the memo tables persist.
 
 use crate::budget::{Budget, UnknownReason};
 use crate::types::{TypeId, TypeUniverse};
@@ -30,33 +45,76 @@ pub type Cand = (TypeId, EdgeSym, TypeId);
 /// spawn (requirements assigned to existing neighbors need no entry).
 type Option_ = Vec<Cand>;
 
+/// A memoized extendability row: sorted neighborhood, verdict, taint.
+type ExtendableRow = (Vec<(EdgeSym, TypeId)>, bool, bool);
+
+/// Memo-effectiveness counters of one [`RealizeCtx`] (cumulative over its
+/// lifetime, which spans every `decide` call sharing the context).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RealizeStats {
+    /// Candidate verdicts answered from the `status` memo.
+    pub status_hits: u64,
+    /// Candidate verdicts computed by the greatest fixpoint.
+    pub status_misses: u64,
+    /// Option sets answered from the memo.
+    pub options_hits: u64,
+    /// Option sets enumerated.
+    pub options_misses: u64,
+}
+
 /// Shared realizability context; memoizes candidate verdicts and option
-/// sets across the whole `decide` call.
-pub struct RealizeCtx<'t> {
-    /// Type interner (owns the reference to the TBox).
-    pub types: TypeUniverse<'t>,
+/// sets across every `decide` call over the same TBox.
+#[derive(Clone)]
+pub struct RealizeCtx {
+    /// Type interner (owns the TBox).
+    pub types: TypeUniverse,
     /// Set when an option was rejected for reasons the search cannot
     /// guarantee are semantic (merged-witness back-propagation beyond the
     /// parent's saturation) — negative verdicts must then degrade to
-    /// `Unknown`.
+    /// `Unknown`. Per-call state; reset by [`RealizeCtx::begin_call`].
     pub uncertain: bool,
     budget: Budget,
-    status: FxHashMap<Cand, bool>,
-    options_memo: FxHashMap<Cand, Vec<Option_>>,
+    /// Candidate verdict and its taint: `true` in the second slot means a
+    /// fresh recomputation of this verdict would raise `uncertain`.
+    status: FxHashMap<Cand, (bool, bool)>,
+    /// Option sets with the taint of their enumeration.
+    options_memo: FxHashMap<Cand, (Vec<Option_>, bool)>,
+    /// Extendability of a type given a fixed core neighborhood (sorted,
+    /// so the key is canonical), with taint. Keyed per type first so
+    /// probes hash one `TypeId` and scan a short list.
+    extendable_memo: FxHashMap<TypeId, Vec<ExtendableRow>>,
     candidates_seen: usize,
+    stats: RealizeStats,
 }
 
-impl<'t> RealizeCtx<'t> {
+impl RealizeCtx {
     /// Creates a context over an existing type universe.
-    pub fn new(types: TypeUniverse<'t>, budget: Budget) -> Self {
+    pub fn new(types: TypeUniverse, budget: Budget) -> Self {
         RealizeCtx {
             types,
             uncertain: false,
             budget,
             status: FxHashMap::default(),
             options_memo: FxHashMap::default(),
+            extendable_memo: FxHashMap::default(),
             candidates_seen: 0,
+            stats: RealizeStats::default(),
         }
+    }
+
+    /// Resets the per-call state (the `uncertain` flag and the candidate
+    /// budget counter) while keeping every memo table. Must be called at
+    /// the start of each `decide` sharing this context; `budget` becomes
+    /// the call's budget.
+    pub fn begin_call(&mut self, budget: Budget) {
+        self.uncertain = false;
+        self.candidates_seen = 0;
+        self.budget = budget;
+    }
+
+    /// Cumulative memo counters.
+    pub fn stats(&self) -> RealizeStats {
+        self.stats
     }
 
     /// Enumerates the ways a node of type `node` with fixed `neighbors`
@@ -69,19 +127,17 @@ impl<'t> RealizeCtx<'t> {
         neighbors: &[(EdgeSym, TypeId)],
     ) -> Result<Vec<Option_>, UnknownReason> {
         let node_labels = self.types.labels(node).clone();
-        let reqs = self.types.tbox().requirements(&node_labels);
-        let at_most = self.types.tbox().at_most(&node_labels);
+        let reqs = self.types.requirements_of(node);
+        let at_most = self.types.at_most_of(node);
 
         // Baseline at-most counts from the fixed neighborhood; if already
         // violated, nothing helps (core chase should have prevented this).
-        let neighbor_count = |role: EdgeSym, k: &LabelSet| {
-            neighbors
+        for (role, k) in at_most.iter() {
+            let count = neighbors
                 .iter()
-                .filter(|(s, t)| *s == role && k.is_subset(self.types.labels(*t)))
-                .count()
-        };
-        for (role, k) in &at_most {
-            if neighbor_count(*role, k) > 1 {
+                .filter(|(s, t)| s == role && k.is_subset(self.types.labels(*t)))
+                .count();
+            if count > 1 {
                 return Ok(Vec::new());
             }
         }
@@ -108,7 +164,7 @@ impl<'t> RealizeCtx<'t> {
         // Depth-first enumeration of canonical assignments.
         #[allow(clippy::too_many_arguments)]
         fn rec(
-            ctx: &mut RealizeCtx<'_>,
+            ctx: &mut RealizeCtx,
             node: TypeId,
             node_labels: &LabelSet,
             reqs: &[(EdgeSym, LabelSet)],
@@ -134,7 +190,7 @@ impl<'t> RealizeCtx<'t> {
                         continue;
                     }
                     let role = reqs[leader].0;
-                    let mut seed = ctx.types.tbox().propagate(node_labels, role);
+                    let mut seed = (*ctx.types.propagate_set(node_labels, role)).clone();
                     for (j, choice) in assignment.iter().enumerate() {
                         if *choice == Choice::Group(leader) {
                             seed.union_with(&reqs[j].1);
@@ -155,11 +211,10 @@ impl<'t> RealizeCtx<'t> {
                     // a failing back-propagation check can only happen for
                     // merged witnesses beyond the parent's saturation, so
                     // rejection there is flagged as uncertain.
-                    if ctx.types.tbox().edge_forbidden(node_labels, role, &child_labels) {
+                    if ctx.types.edge_forbidden_memo(node_labels, role, &child_labels) {
                         return Ok(());
                     }
-                    if !ctx.types.tbox().propagate(&child_labels, role.inv()).is_subset(node_labels)
-                    {
+                    if !ctx.types.propagate_set(&child_labels, role.inv()).is_subset(node_labels) {
                         ctx.uncertain = true;
                         return Ok(());
                     }
@@ -260,24 +315,46 @@ impl<'t> RealizeCtx<'t> {
         Ok(options)
     }
 
+    /// Memoized option sets of a tree candidate. On a hit, the entry's
+    /// taint re-raises `uncertain` exactly as recomputing it would.
     fn options_of(&mut self, cand: Cand) -> Result<Vec<Option_>, UnknownReason> {
-        if let Some(opts) = self.options_memo.get(&cand) {
+        if let Some((opts, taint)) = self.options_memo.get(&cand) {
+            self.stats.options_hits += 1;
+            self.uncertain |= *taint;
             return Ok(opts.clone());
         }
+        self.stats.options_misses += 1;
         let (child, sym_down, parent) = cand;
         let neighbors = [(sym_down.inv(), parent)];
-        let opts = self.extension_options(child, &neighbors)?;
-        self.options_memo.insert(cand, opts.clone());
+        let saved = self.uncertain;
+        self.uncertain = false;
+        let result = self.extension_options(child, &neighbors);
+        let raised = self.uncertain;
+        self.uncertain = saved || raised;
+        let opts = result?;
+        self.options_memo.insert(cand, (opts.clone(), raised));
         Ok(opts)
+    }
+
+    /// The taint an options-memo entry recorded (used by the taint
+    /// fixpoint; entries exist for every discovered candidate).
+    fn option_taint(&self, cand: Cand) -> bool {
+        self.options_memo.get(&cand).map(|(_, t)| *t).unwrap_or(false)
     }
 
     /// Decides whether `cand` can root an infinite witness tree — the
     /// greatest fixpoint over the dependency-closed candidate set.
     pub fn realizable(&mut self, cand: Cand) -> Result<bool, UnknownReason> {
-        if let Some(&v) = self.status.get(&cand) {
+        if let Some(&(v, taint)) = self.status.get(&cand) {
+            self.stats.status_hits += 1;
+            self.uncertain |= taint;
             return Ok(v);
         }
+        self.stats.status_misses += 1;
         // Phase A: discover the dependency closure of undecided candidates.
+        // Crossing into already-decided candidates replays their taint (a
+        // fresh context would recompute their whole subtree, raising
+        // `uncertain` iff the taint is set).
         let mut discovered: FxHashSet<Cand> = FxHashSet::default();
         let mut frontier = vec![cand];
         discovered.insert(cand);
@@ -289,7 +366,9 @@ impl<'t> RealizeCtx<'t> {
             let opts = self.options_of(c)?;
             for opt in &opts {
                 for &dep in opt {
-                    if !self.status.contains_key(&dep) && discovered.insert(dep) {
+                    if let Some(&(_, taint)) = self.status.get(&dep) {
+                        self.uncertain |= taint;
+                    } else if discovered.insert(dep) {
                         frontier.push(dep);
                     }
                 }
@@ -305,8 +384,9 @@ impl<'t> RealizeCtx<'t> {
                 }
                 let opts = self.options_of(c)?;
                 let ok = opts.iter().any(|opt| {
-                    opt.iter()
-                        .all(|dep| self.status.get(dep).copied().unwrap_or_else(|| alive[dep]))
+                    opt.iter().all(|dep| {
+                        self.status.get(dep).map(|&(v, _)| v).unwrap_or_else(|| alive[dep])
+                    })
                 });
                 if !ok {
                     alive.insert(c, false);
@@ -317,16 +397,85 @@ impl<'t> RealizeCtx<'t> {
                 break;
             }
         }
-        for (c, v) in alive {
-            self.status.insert(c, v);
+        // Taint fixpoint: a candidate's verdict is tainted iff uncertainty
+        // was raised anywhere in its own dependency closure — the exact
+        // condition under which a fresh context deciding *it* would end
+        // uncertain. (Least fixpoint of reachability-OR over the option
+        // graph, with already-decided boundary taints folded in.)
+        let mut taint: FxHashMap<Cand, bool> =
+            discovered.iter().map(|&c| (c, self.option_taint(c))).collect();
+        let dep_lists: Vec<(Cand, Vec<Cand>)> = discovered
+            .iter()
+            .map(|&c| {
+                let deps = self
+                    .options_memo
+                    .get(&c)
+                    .map(|(opts, _)| opts.iter().flatten().copied().collect())
+                    .unwrap_or_default();
+                (c, deps)
+            })
+            .collect();
+        loop {
+            let mut changed = false;
+            for (c, deps) in &dep_lists {
+                if taint[c] {
+                    continue;
+                }
+                let dep_taint = deps.iter().any(|dep| {
+                    taint
+                        .get(dep)
+                        .copied()
+                        .unwrap_or_else(|| self.status.get(dep).map(|&(_, t)| t).unwrap_or(false))
+                });
+                if dep_taint {
+                    taint.insert(*c, true);
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
         }
-        Ok(self.status[&cand])
+        for (c, v) in alive {
+            self.status.insert(c, (v, taint[&c]));
+        }
+        Ok(self.status[&cand].0)
     }
 
     /// Decides whether a *core* node of type `node` with the given fixed
     /// core neighborhood can have all its remaining requirements fulfilled
     /// by realizable witness trees.
     pub fn node_extendable(
+        &mut self,
+        node: TypeId,
+        neighbors: &[(EdgeSym, TypeId)],
+    ) -> Result<bool, UnknownReason> {
+        // Extendability is a pure function of (type, neighborhood
+        // multiset) — the checks below are order-insensitive — so the key
+        // is the sorted neighbor list. Memoized with taint like every
+        // other verdict.
+        let mut key: Vec<(EdgeSym, TypeId)> = neighbors.to_vec();
+        key.sort_unstable();
+        if let Some(rows) = self.extendable_memo.get(&node) {
+            if let Some((_, v, taint)) = rows.iter().find(|(n, _, _)| *n == key) {
+                self.stats.status_hits += 1;
+                self.uncertain |= *taint;
+                return Ok(*v);
+            }
+        }
+        self.stats.status_misses += 1;
+        let saved = self.uncertain;
+        self.uncertain = false;
+        let result = self.node_extendable_uncached(node, neighbors);
+        let raised = self.uncertain;
+        self.uncertain = saved || raised;
+        if let Ok(v) = result {
+            self.extendable_memo.entry(node).or_default().push((key, v, raised));
+        }
+        result
+    }
+
+    fn node_extendable_uncached(
         &mut self,
         node: TypeId,
         neighbors: &[(EdgeSym, TypeId)],
@@ -371,6 +520,8 @@ mod tests {
         let cand = (a, sym(0), a);
         assert!(ctx.realizable(cand).unwrap());
         assert!(ctx.node_extendable(a, &[]).unwrap());
+        // The second query hit the verdict memo.
+        assert!(ctx.stats().status_hits > 0);
     }
 
     /// A ⊑ ∃r.B, B ⊑ ⊥ — not realizable: the required child is
@@ -454,5 +605,20 @@ mod tests {
         let mut ctx = RealizeCtx::new(TypeUniverse::new(&t), Budget::default());
         let top = ctx.types.close(&LabelSet::new()).unwrap();
         assert!(ctx.node_extendable(top, &[]).unwrap());
+    }
+
+    /// `begin_call` resets the per-call flags but keeps the memo warm.
+    #[test]
+    fn begin_call_resets_per_call_state_only() {
+        let mut t = HornTbox::new();
+        t.push(HornCi::Exists { lhs: set(&[0]), role: sym(0), rhs: set(&[0]) });
+        let mut ctx = RealizeCtx::new(TypeUniverse::new(&t), Budget::default());
+        let a = ctx.types.close(&set(&[0])).unwrap();
+        assert!(ctx.realizable((a, sym(0), a)).unwrap());
+        let misses_before = ctx.stats().status_misses;
+        ctx.begin_call(Budget::default());
+        assert!(!ctx.uncertain);
+        assert!(ctx.realizable((a, sym(0), a)).unwrap());
+        assert_eq!(ctx.stats().status_misses, misses_before, "second call was a pure memo hit");
     }
 }

@@ -4,9 +4,119 @@
 //! `K ⊑ A` rules of the TBox and not triggering any `K ⊑ ⊥` rule. The
 //! engine interns these closed sets so that the realizability fixpoint can
 //! key its candidates by small integers.
+//!
+//! The universe *owns* its TBox (behind an [`Arc`]), so it can outlive the
+//! `decide` call that built it — this is what lets [`crate::SolverCache`]
+//! keep one universe per TBox fingerprint and share interned types,
+//! saturation fixpoints, and dead-type verdicts across calls.
 
-use gts_dl::HornTbox;
-use gts_graph::{FxHashMap, FxHashSet, LabelSet};
+use gts_dl::{HornCi, HornTbox};
+use gts_graph::{EdgeSym, FxHashMap, FxHashSet, LabelSet};
+use std::sync::Arc;
+
+/// CIs of one TBox grouped by kind (and by role where it pays), built once
+/// per universe so every rule application scans only the relevant rules
+/// instead of the whole CI list. Semantics match the corresponding
+/// `HornTbox` methods exactly, including result order (flat lists keep CI
+/// order).
+#[derive(Clone, Default)]
+struct TboxIndex {
+    subatoms: Vec<(LabelSet, u32)>,
+    bottoms: Vec<LabelSet>,
+    allvalues_by_role: FxHashMap<EdgeSym, Vec<(LabelSet, LabelSet)>>,
+    exists: Vec<(EdgeSym, LabelSet, LabelSet)>,
+    notexists_by_role: FxHashMap<EdgeSym, Vec<(LabelSet, LabelSet)>>,
+    atmost: Vec<(EdgeSym, LabelSet, LabelSet)>,
+}
+
+impl TboxIndex {
+    fn build(tbox: &HornTbox) -> TboxIndex {
+        let mut idx = TboxIndex::default();
+        for ci in &tbox.cis {
+            match ci {
+                HornCi::SubAtom { lhs, rhs } => idx.subatoms.push((lhs.clone(), rhs.0)),
+                HornCi::Bottom { lhs } => idx.bottoms.push(lhs.clone()),
+                HornCi::AllValues { lhs, role, rhs } => {
+                    idx.allvalues_by_role.entry(*role).or_default().push((lhs.clone(), rhs.clone()))
+                }
+                HornCi::Exists { lhs, role, rhs } => {
+                    idx.exists.push((*role, lhs.clone(), rhs.clone()))
+                }
+                HornCi::NotExists { lhs, role, rhs } => {
+                    idx.notexists_by_role.entry(*role).or_default().push((lhs.clone(), rhs.clone()))
+                }
+                HornCi::AtMostOne { lhs, role, rhs } => {
+                    idx.atmost.push((*role, lhs.clone(), rhs.clone()))
+                }
+            }
+        }
+        idx
+    }
+
+    /// `HornTbox::closure` over the index.
+    fn closure(&self, seed: &LabelSet) -> Option<LabelSet> {
+        let mut cur = seed.clone();
+        loop {
+            let mut changed = false;
+            for (lhs, rhs) in &self.subatoms {
+                if lhs.is_subset(&cur) && cur.insert(*rhs) {
+                    changed = true;
+                }
+            }
+            if self.bottoms.iter().any(|lhs| lhs.is_subset(&cur)) {
+                return None;
+            }
+            if !changed {
+                return Some(cur);
+            }
+        }
+    }
+
+    /// `HornTbox::propagate` over the index.
+    fn propagate(&self, src: &LabelSet, role: EdgeSym) -> LabelSet {
+        let mut out = LabelSet::new();
+        if let Some(rules) = self.allvalues_by_role.get(&role) {
+            for (lhs, rhs) in rules {
+                if lhs.is_subset(src) {
+                    out.union_with(rhs);
+                }
+            }
+        }
+        out
+    }
+
+    /// `HornTbox::edge_forbidden` over the index.
+    fn edge_forbidden(&self, src: &LabelSet, role: EdgeSym, tgt: &LabelSet) -> bool {
+        let fwd = self.notexists_by_role.get(&role).is_some_and(|rules| {
+            rules.iter().any(|(lhs, rhs)| lhs.is_subset(src) && rhs.is_subset(tgt))
+        });
+        fwd || self.notexists_by_role.get(&role.inv()).is_some_and(|rules| {
+            rules.iter().any(|(lhs, rhs)| lhs.is_subset(tgt) && rhs.is_subset(src))
+        })
+    }
+
+    /// `HornTbox::requirements` over the index (same dedup and order).
+    fn requirements(&self, set: &LabelSet) -> Vec<(EdgeSym, LabelSet)> {
+        let mut reqs: Vec<(EdgeSym, LabelSet)> = Vec::new();
+        for (role, lhs, rhs) in &self.exists {
+            if lhs.is_subset(set) && !reqs.iter().any(|(r, k)| r == role && k == rhs) {
+                reqs.push((*role, rhs.clone()));
+            }
+        }
+        reqs
+    }
+
+    /// `HornTbox::at_most` over the index (same dedup and order).
+    fn at_most(&self, set: &LabelSet) -> Vec<(EdgeSym, LabelSet)> {
+        let mut out: Vec<(EdgeSym, LabelSet)> = Vec::new();
+        for (role, lhs, rhs) in &self.atmost {
+            if lhs.is_subset(set) && !out.iter().any(|(r, k)| r == role && k == rhs) {
+                out.push((*role, rhs.clone()));
+            }
+        }
+        out
+    }
+}
 
 /// An interned closed label set.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
@@ -14,8 +124,10 @@ pub struct TypeId(pub u32);
 
 /// Interning table of closed types, with a closure memo and the
 /// *saturation* fixpoint (see [`TypeUniverse::saturate`]).
-pub struct TypeUniverse<'t> {
-    tbox: &'t HornTbox,
+#[derive(Clone)]
+pub struct TypeUniverse {
+    tbox: Arc<HornTbox>,
+    index: TboxIndex,
     sets: Vec<LabelSet>,
     by_set: FxHashMap<LabelSet, TypeId>,
     closure_memo: FxHashMap<LabelSet, Option<TypeId>>,
@@ -24,24 +136,114 @@ pub struct TypeUniverse<'t> {
     /// Types whose requirements are unfulfillable (no model has a node of
     /// this type).
     dead: FxHashSet<TypeId>,
+    /// Per-type `∃`-requirements (`HornTbox::requirements` is a full CI
+    /// scan; types are probed repeatedly across calls).
+    reqs_memo: FxHashMap<TypeId, Arc<Vec<(gts_graph::EdgeSym, LabelSet)>>>,
+    /// Per-type at-most constraints.
+    at_most_memo: FxHashMap<TypeId, Arc<Vec<(gts_graph::EdgeSym, LabelSet)>>>,
+    /// `HornTbox::propagate` memo over arbitrary (possibly unclosed) label
+    /// sets — the chase's hottest operation. Keyed by source set first so
+    /// probes hash one set and never clone.
+    propagate_memo: FxHashMap<LabelSet, Vec<(gts_graph::EdgeSym, Arc<LabelSet>)>>,
+    /// `HornTbox::edge_forbidden` memo, keyed by source set.
+    forbidden_memo: FxHashMap<LabelSet, Vec<(gts_graph::EdgeSym, LabelSet, bool)>>,
+    /// `HornTbox::at_most` memo over arbitrary label sets.
+    at_most_set_memo: FxHashMap<LabelSet, Arc<Vec<(gts_graph::EdgeSym, LabelSet)>>>,
 }
 
-impl<'t> TypeUniverse<'t> {
-    /// Creates an empty universe over `tbox`.
-    pub fn new(tbox: &'t HornTbox) -> Self {
+impl TypeUniverse {
+    /// Creates an empty universe over a clone of `tbox`.
+    pub fn new(tbox: &HornTbox) -> Self {
+        Self::with_arc(Arc::new(tbox.clone()))
+    }
+
+    /// Creates an empty universe sharing `tbox`.
+    pub fn with_arc(tbox: Arc<HornTbox>) -> Self {
+        let index = TboxIndex::build(&tbox);
         TypeUniverse {
             tbox,
+            index,
             sets: Vec::new(),
             by_set: FxHashMap::default(),
             closure_memo: FxHashMap::default(),
             sat: FxHashMap::default(),
             dead: FxHashSet::default(),
+            reqs_memo: FxHashMap::default(),
+            at_most_memo: FxHashMap::default(),
+            propagate_memo: FxHashMap::default(),
+            forbidden_memo: FxHashMap::default(),
+            at_most_set_memo: FxHashMap::default(),
         }
     }
 
     /// The TBox this universe closes under.
-    pub fn tbox(&self) -> &'t HornTbox {
-        self.tbox
+    pub fn tbox(&self) -> &HornTbox {
+        &self.tbox
+    }
+
+    /// A shareable reference to the TBox (for callers that need it while
+    /// mutating the universe).
+    pub fn tbox_arc(&self) -> Arc<HornTbox> {
+        Arc::clone(&self.tbox)
+    }
+
+    /// Memoized [`HornTbox::requirements`] of a type's label set.
+    pub fn requirements_of(&mut self, t: TypeId) -> Arc<Vec<(gts_graph::EdgeSym, LabelSet)>> {
+        if let Some(r) = self.reqs_memo.get(&t) {
+            return Arc::clone(r);
+        }
+        let r = Arc::new(self.index.requirements(&self.sets[t.0 as usize]));
+        self.reqs_memo.insert(t, Arc::clone(&r));
+        r
+    }
+
+    /// Memoized [`HornTbox::at_most`] of a type's label set.
+    pub fn at_most_of(&mut self, t: TypeId) -> Arc<Vec<(gts_graph::EdgeSym, LabelSet)>> {
+        if let Some(r) = self.at_most_memo.get(&t) {
+            return Arc::clone(r);
+        }
+        let r = Arc::new(self.index.at_most(&self.sets[t.0 as usize]));
+        self.at_most_memo.insert(t, Arc::clone(&r));
+        r
+    }
+
+    /// Memoized [`HornTbox::propagate`] over an arbitrary label set.
+    pub fn propagate_set(&mut self, set: &LabelSet, role: gts_graph::EdgeSym) -> Arc<LabelSet> {
+        if let Some(rows) = self.propagate_memo.get(set) {
+            if let Some((_, p)) = rows.iter().find(|(r, _)| *r == role) {
+                return Arc::clone(p);
+            }
+        }
+        let p = Arc::new(self.index.propagate(set, role));
+        self.propagate_memo.entry(set.clone()).or_default().push((role, Arc::clone(&p)));
+        p
+    }
+
+    /// Memoized [`HornTbox::edge_forbidden`].
+    pub fn edge_forbidden_memo(
+        &mut self,
+        src: &LabelSet,
+        role: gts_graph::EdgeSym,
+        tgt: &LabelSet,
+    ) -> bool {
+        if let Some(rows) = self.forbidden_memo.get(src) {
+            if let Some((_, _, b)) = rows.iter().find(|(r, t, _)| *r == role && t == tgt) {
+                return *b;
+            }
+        }
+        let b = self.index.edge_forbidden(src, role, tgt);
+        self.forbidden_memo.entry(src.clone()).or_default().push((role, tgt.clone(), b));
+        b
+    }
+
+    /// Memoized [`HornTbox::at_most`] over an arbitrary label set.
+    pub fn at_most_set(&mut self, set: &LabelSet) -> Arc<Vec<(gts_graph::EdgeSym, LabelSet)>> {
+        if let Some(r) = self.at_most_set_memo.get(set) {
+            return Arc::clone(r);
+        }
+        let r = Arc::new(self.index.at_most(set));
+        self.at_most_set_memo.insert(set.clone(), Arc::clone(&r));
+        r
     }
 
     /// Closes `seed` under the TBox and interns the result; `None` if the
@@ -50,7 +252,7 @@ impl<'t> TypeUniverse<'t> {
         if let Some(&id) = self.closure_memo.get(seed) {
             return id;
         }
-        let closed = self.tbox.closure(seed);
+        let closed = self.index.closure(seed);
         let id = closed.map(|set| self.intern_closed(set));
         self.closure_memo.insert(seed.clone(), id);
         id
@@ -82,13 +284,32 @@ impl<'t> TypeUniverse<'t> {
     /// Soundness of the lower bound: any actual witness `w` has at least
     /// the minimal witness's labels, saturation is monotone, and
     /// `propagate` is monotone — so the absorbed push-back is forced.
+    ///
+    /// The per-type result depends only on the TBox and the type itself
+    /// (the fixpoint merely amortizes shared children), so cached
+    /// saturations replay exactly across `decide` calls.
+    ///
+    /// Registered types are always at their fixpoint between calls, so a
+    /// repeat `saturate` is a hash lookup; a new type runs the fixpoint
+    /// over the *new cohort* only (itself plus children registered during
+    /// this call). Existing entries cannot be affected: any type whose
+    /// requirement-closure child is `c` registered `c` when it was itself
+    /// saturated, so a newly registered type is never a child of an
+    /// already-saturated one.
     pub fn saturate(&mut self, t: TypeId) -> Option<TypeId> {
-        self.sat.entry(t).or_insert(t);
-        // Global monotone fixpoint over all registered types.
+        if self.sat.contains_key(&t) {
+            return if self.dead.contains(&t) { None } else { Some(self.sat[&t]) };
+        }
+        let mut cohort: Vec<TypeId> = vec![t];
+        self.sat.insert(t, t);
         loop {
             let mut changed = false;
-            let originals: Vec<TypeId> = self.sat.keys().copied().collect();
-            for orig in originals {
+            let before = cohort.len();
+            for idx in 0.. {
+                if idx >= cohort.len() {
+                    break;
+                }
+                let orig = cohort[idx];
                 if self.dead.contains(&orig) {
                     continue;
                 }
@@ -96,9 +317,11 @@ impl<'t> TypeUniverse<'t> {
                 let labels = self.labels(cur).clone();
                 let mut grown = labels.clone();
                 let mut died = false;
-                for (role, kp) in self.tbox.requirements(&labels) {
-                    let mut seed = self.tbox.propagate(&labels, role);
-                    seed.union_with(&kp);
+                let reqs = self.requirements_of(cur);
+                for (role, kp) in reqs.iter() {
+                    let role = *role;
+                    let mut seed = (*self.propagate_set(&labels, role)).clone();
+                    seed.union_with(kp);
                     let child = match self.close(&seed) {
                         Some(c) => c,
                         None => {
@@ -107,13 +330,17 @@ impl<'t> TypeUniverse<'t> {
                         }
                     };
                     // Register the child; use its current approximation.
-                    self.sat.entry(child).or_insert(child);
+                    if let std::collections::hash_map::Entry::Vacant(e) = self.sat.entry(child) {
+                        e.insert(child);
+                        cohort.push(child);
+                    }
                     if self.dead.contains(&child) {
                         died = true;
                         break;
                     }
                     let child_cur = self.sat[&child];
-                    let push_back = self.tbox.propagate(self.labels(child_cur), role.inv());
+                    let child_labels = self.labels(child_cur).clone();
+                    let push_back = self.propagate_set(&child_labels, role.inv());
                     grown.union_with(&push_back);
                 }
                 if died {
@@ -121,21 +348,22 @@ impl<'t> TypeUniverse<'t> {
                     changed = true;
                     continue;
                 }
-                match self.tbox.closure(&grown) {
+                // `cur` is interned (hence closed), so the closure changed
+                // the labels iff it changed the type id.
+                match self.close(&grown) {
                     None => {
                         self.dead.insert(orig);
                         changed = true;
                     }
-                    Some(closed) => {
-                        if closed != labels {
-                            let new_id = self.intern_closed(closed);
-                            self.sat.insert(orig, new_id);
+                    Some(closed_id) => {
+                        if closed_id != cur {
+                            self.sat.insert(orig, closed_id);
                             changed = true;
                         }
                     }
                 }
             }
-            if !changed {
+            if !changed && cohort.len() == before {
                 break;
             }
         }
@@ -184,5 +412,28 @@ mod tests {
         assert!(u.close(&LabelSet::new()).is_some());
         // Memoized second call.
         assert!(u.close(&LabelSet::singleton(0)).is_none());
+    }
+
+    #[test]
+    fn repeat_saturation_is_stable() {
+        // A ⊑ ∃r.B, B ⊑ ∀r⁻.C : saturating A absorbs C.
+        let mut t = HornTbox::new();
+        t.push(HornCi::Exists {
+            lhs: LabelSet::singleton(0),
+            role: gts_graph::EdgeSym::fwd(gts_graph::EdgeLabel(0)),
+            rhs: LabelSet::singleton(1),
+        });
+        t.push(HornCi::AllValues {
+            lhs: LabelSet::singleton(1),
+            role: gts_graph::EdgeSym::bwd(gts_graph::EdgeLabel(0)),
+            rhs: LabelSet::singleton(2),
+        });
+        let mut u = TypeUniverse::new(&t);
+        let a = u.close(&LabelSet::singleton(0)).unwrap();
+        let s1 = u.saturate(a).unwrap();
+        assert!(u.labels(s1).contains(2));
+        // The converged fast path returns the same answer.
+        let s2 = u.saturate(a).unwrap();
+        assert_eq!(s1, s2);
     }
 }
