@@ -1,0 +1,374 @@
+//! Load generator for the resident analysis server (`gts-serve`):
+//! replays a mixed typecheck/equivalence/elicit/execute workload over N
+//! concurrent connections and writes `BENCH_server.json` — throughput,
+//! p50/p95/p99 latency, cold-one-shot vs resident speedup, and the
+//! session-pool hit rate.
+//!
+//! ```sh
+//! cargo run --release -p gts-bench --bin loadgen                  # in-process server
+//! cargo run --release -p gts-bench --bin loadgen -- --quick       # CI smoke mode
+//! cargo run --release -p gts-bench --bin loadgen -- --addr HOST:PORT   # external server
+//! cargo run --release -p gts-bench --bin loadgen -- --spawn target/release/gts
+//! #   spawns `gts serve` on an ephemeral port, drives it, sends the
+//! #   shutdown verb, and asserts a clean drain (exit 0, "server drained")
+//! ```
+//!
+//! The cold baseline re-parses the `.gts` text and builds a fresh
+//! session (fresh oracle cache) per request — exactly the work a
+//! one-shot `gts` invocation repeats every time, *minus* process spawn
+//! and schema-file I/O, so the reported resident speedup is a floor.
+
+use gts_bench::{medical, medical_instance};
+use gts_core::containment::ContainmentOptions;
+use gts_engine::{AnalysisSession, Json, Request};
+use gts_serve::{proto, AdmissionConfig, Client, Server, ServerConfig};
+use std::io::BufRead;
+use std::time::Instant;
+
+/// The four request kinds of the mixed workload, round-robined across
+/// each connection's stream.
+const KINDS: [&str; 4] = ["type_check", "equivalence", "elicit", "execute"];
+
+struct Workload {
+    gts: String,
+    instance: String,
+}
+
+/// Renders the medical fixture (Figure 1 / Example 4.1) as wire text.
+fn workload() -> Workload {
+    let m = medical();
+    let file = gts_cli::GtsFile {
+        schemas: vec![("S0".into(), m.s0.clone()), ("S1".into(), m.s1.clone())],
+        transforms: vec![("T0".into(), m.t0.clone())],
+        vocab: m.vocab.clone(),
+        ..Default::default()
+    };
+    let gts = gts_cli::render_file(&file);
+    let instance = gts_cli::raw_instance(&medical_instance(&m, 4, 6), &m.vocab);
+    Workload { gts, instance }
+}
+
+fn spec_for(kind: &str, w: &Workload) -> Json {
+    match kind {
+        "type_check" => proto::spec_type_check("T0", "S1"),
+        "equivalence" => proto::spec_equivalence("T0", "T0"),
+        "elicit" => proto::spec_elicit("T0"),
+        "execute" => proto::spec_execute("T0", &w.instance, Some("S1")),
+        other => unreachable!("unknown kind {other}"),
+    }
+}
+
+/// One measured request: kind index, latency, success.
+struct Sample {
+    kind: usize,
+    micros: u64,
+    ok: bool,
+    first_on_connection: bool,
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+fn mean(values: impl Iterator<Item = u64>) -> f64 {
+    let (mut sum, mut n) = (0u128, 0u64);
+    for v in values {
+        sum += v as u128;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum as f64 / n as f64
+    }
+}
+
+/// The cold one-shot baseline: for each kind, the latency of parsing
+/// the text and answering through a fresh session + fresh oracle cache.
+fn cold_oneshot(w: &Workload, reps: usize) -> Vec<(usize, u64)> {
+    let mut out = Vec::new();
+    for (ki, kind) in KINDS.iter().enumerate() {
+        let mut best = u64::MAX;
+        for _ in 0..reps {
+            let start = Instant::now();
+            let file = gts_cli::GtsFile::parse(&w.gts).expect("workload parses");
+            let s0 = file.schema("S0").unwrap().clone();
+            let s1 = file.schema("S1").unwrap().clone();
+            let t0 = file.transform("T0").unwrap().clone();
+            let mut session = AnalysisSession::with_options(
+                s0,
+                file.vocab.clone(),
+                ContainmentOptions::default(),
+            );
+            let request = match *kind {
+                "type_check" => Request::TypeCheck { transform: t0, target: s1 },
+                "equivalence" => Request::Equivalence { left: t0.clone(), right: t0 },
+                "elicit" => Request::Elicit { transform: t0 },
+                "execute" => {
+                    let mut vocab = file.vocab.clone();
+                    let inst =
+                        gts_cli::parse_instance(&w.instance, &mut vocab).expect("instance parses");
+                    Request::Execute { transform: t0, instance: inst.graph, check_target: Some(s1) }
+                }
+                _ => unreachable!(),
+            };
+            request.run(&mut session).expect("cold request succeeds");
+            best = best.min(start.elapsed().as_micros() as u64);
+        }
+        out.push((ki, best));
+    }
+    out
+}
+
+/// Drives `conns` concurrent connections, `requests` frames each.
+fn drive(addr: &str, w: &Workload, conns: usize, requests: usize) -> (Vec<Sample>, u64) {
+    let barrier = std::sync::Arc::new(std::sync::Barrier::new(conns + 1));
+    let samples = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..conns)
+            .map(|c| {
+                let barrier = std::sync::Arc::clone(&barrier);
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    let mut local = Vec::with_capacity(requests);
+                    barrier.wait();
+                    for i in 0..requests {
+                        // Stagger kinds across connections so every kind
+                        // is in flight at any moment.
+                        let kind = (c + i) % KINDS.len();
+                        let start = Instant::now();
+                        let resp = client
+                            .analyze(&w.gts, Some("S0"), vec![spec_for(KINDS[kind], w)])
+                            .expect("analyze roundtrip");
+                        let micros = start.elapsed().as_micros() as u64;
+                        let ok = resp.get("ok").and_then(Json::as_bool) == Some(true);
+                        local.push(Sample { kind, micros, ok, first_on_connection: i == 0 });
+                    }
+                    local
+                })
+            })
+            .collect();
+        barrier.wait();
+        let wall_start = Instant::now();
+        let mut all = Vec::new();
+        for h in handles {
+            all.extend(h.join().expect("connection thread"));
+        }
+        (all, wall_start.elapsed().as_micros() as u64)
+    });
+    samples
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let flag = |name: &str| -> Option<String> {
+        args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+    };
+    let out_path = flag("--out").unwrap_or_else(|| "BENCH_server.json".into());
+    let conns: usize = flag("--conns").map(|s| s.parse().expect("--conns")).unwrap_or(8);
+    let requests: usize = flag("--requests")
+        .map(|s| s.parse().expect("--requests"))
+        .unwrap_or(if quick { 6 } else { 32 });
+    let cold_reps = if quick { 1 } else { 3 };
+    let w = workload();
+
+    // ---- Pick the server: external (--addr), spawned binary (--spawn),
+    // or in-process. ----
+    let external_addr = flag("--addr");
+    let spawn_bin = flag("--spawn");
+    let mut spawned: Option<std::process::Child> = None;
+    let mut spawned_banner: Option<std::thread::JoinHandle<String>> = None;
+    let mut in_process: Option<gts_serve::ServerHandle> = None;
+    let (addr, mode) = if let Some(addr) = external_addr {
+        (addr, "external")
+    } else if let Some(bin) = spawn_bin {
+        let mut child = std::process::Command::new(&bin)
+            .args([
+                "serve",
+                "--addr",
+                "127.0.0.1:0",
+                "--threads",
+                &conns.to_string(),
+                "--queue",
+                &(4 * conns).to_string(),
+            ])
+            .stdout(std::process::Stdio::piped())
+            .spawn()
+            .unwrap_or_else(|e| panic!("cannot spawn {bin}: {e}"));
+        // The first stdout line is `listening on ADDR` (flushed before
+        // the server blocks); scrape the ephemeral port from it.
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut reader = std::io::BufReader::new(stdout);
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read listening line");
+        let addr = line
+            .trim()
+            .strip_prefix("listening on ")
+            .unwrap_or_else(|| panic!("unexpected serve banner: {line:?}"))
+            .to_owned();
+        // Keep draining the child's stdout in the background so the
+        // final `server drained` line can be asserted after shutdown.
+        spawned_banner = Some(std::thread::spawn(move || {
+            let mut rest = String::new();
+            let mut l = String::new();
+            while reader.read_line(&mut l).map(|n| n > 0).unwrap_or(false) {
+                rest.push_str(&l);
+                l.clear();
+            }
+            rest
+        }));
+        spawned = Some(child);
+        (addr, "spawned")
+    } else {
+        let handle = Server::start(
+            ServerConfig {
+                admission: AdmissionConfig { max_inflight: conns, max_queue: 4 * conns },
+                ..Default::default()
+            },
+            gts_cli::frontend(),
+        )
+        .expect("start in-process server");
+        let addr = handle.addr().to_string();
+        in_process = Some(handle);
+        (addr, "in-process")
+    };
+    println!("loadgen: {mode} server at {addr}, {conns} connections x {requests} requests");
+
+    // ---- Cold one-shot baseline (in-process, fresh state per call). ----
+    let cold = cold_oneshot(&w, cold_reps);
+    let cold_mean = mean(cold.iter().map(|&(_, us)| us));
+    for &(ki, us) in &cold {
+        println!("cold one-shot {:12} {us:>8}us", KINDS[ki]);
+    }
+
+    // ---- Warm the pool: one frame per kind over a single connection,
+    // so the measured run sees the *resident* steady state (the verdict
+    // memo filled) rather than a cold-question stampede. The time this
+    // warmup takes is exactly one cold suite — what the very first
+    // client ever pays. ----
+    let warmup_micros = {
+        let mut warm = Client::connect(addr.as_str()).expect("connect");
+        let start = Instant::now();
+        for kind in KINDS {
+            let resp = warm.analyze(&w.gts, Some("S0"), vec![spec_for(kind, &w)]).expect("warmup");
+            assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true), "{}", resp.pretty());
+        }
+        start.elapsed().as_micros() as u64
+    };
+    let (samples, wall_micros) = drive(&addr, &w, conns, requests);
+    let failed = samples.iter().filter(|s| !s.ok).count();
+    assert_eq!(failed, 0, "{failed} requests failed (queue bounds too tight for the workload?)");
+
+    // ---- Aggregate. ----
+    let mut sorted: Vec<u64> = samples.iter().map(|s| s.micros).collect();
+    sorted.sort_unstable();
+    let total = sorted.len() as u64;
+    let throughput = total as f64 / (wall_micros as f64 / 1e6);
+    let resident_mean = mean(samples.iter().map(|s| s.micros));
+    let steady_mean = mean(samples.iter().filter(|s| !s.first_on_connection).map(|s| s.micros));
+    let speedup = cold_mean / resident_mean.max(1.0);
+    let steady_speedup = cold_mean / steady_mean.max(1.0);
+
+    let mut latency = Json::obj();
+    latency
+        .set("mean", resident_mean)
+        .set("p50", percentile(&sorted, 0.50))
+        .set("p90", percentile(&sorted, 0.90))
+        .set("p95", percentile(&sorted, 0.95))
+        .set("p99", percentile(&sorted, 0.99))
+        .set("max", sorted.last().copied().unwrap_or(0));
+
+    let mut per_kind = Vec::new();
+    for (ki, kind) in KINDS.iter().enumerate() {
+        let mut ks: Vec<u64> = samples.iter().filter(|s| s.kind == ki).map(|s| s.micros).collect();
+        ks.sort_unstable();
+        let cold_us = cold.iter().find(|&&(k, _)| k == ki).map(|&(_, us)| us).unwrap_or(0);
+        let k_mean = mean(ks.iter().copied());
+        let mut e = Json::obj();
+        e.set("kind", *kind)
+            .set("count", ks.len())
+            .set("cold_oneshot_micros", cold_us)
+            .set("resident_mean_micros", k_mean)
+            .set("resident_p95_micros", percentile(&ks, 0.95))
+            .set("resident_speedup", cold_us as f64 / k_mean.max(1.0));
+        per_kind.push(e);
+    }
+
+    // ---- Pool + admission stats over the wire (works in all modes). ----
+    let mut stats_client = Client::connect(addr.as_str()).expect("connect for stats");
+    let stats = stats_client.stats().expect("stats verb");
+    let pool = stats.get("registry").cloned().unwrap_or_else(Json::obj);
+    let admission = stats.get("admission").cloned().unwrap_or_else(Json::obj);
+
+    // ---- Shut the server down and assert a clean drain. ----
+    let drain_clean = match mode {
+        "external" => Json::Null, // not ours to stop
+        _ => {
+            let resp = stats_client.shutdown().expect("shutdown verb");
+            assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true));
+            if let Some(handle) = in_process.take() {
+                handle.join();
+            }
+            if let Some(mut child) = spawned.take() {
+                let status = child.wait().expect("wait for spawned server");
+                assert!(status.success(), "spawned server exited with {status}");
+                let banner = spawned_banner
+                    .take()
+                    .expect("spawn mode collects stdout")
+                    .join()
+                    .expect("banner collector");
+                assert!(
+                    banner.contains("server drained"),
+                    "spawned server did not report a clean drain; stdout after the \
+                     listening line was: {banner:?}"
+                );
+                println!("spawned server drained cleanly ({status})");
+            }
+            Json::Bool(true)
+        }
+    };
+
+    let mut doc = Json::obj();
+    doc.set("schema_version", 1u64)
+        .set("generated_by", "gts-bench loadgen")
+        .set(
+            "workload",
+            "medical T0 (Example 4.1) over S0: mixed type_check/equivalence/elicit/execute, \
+             one request per frame, resident sessions vs cold one-shot re-analysis",
+        )
+        .set("mode", mode)
+        .set("quick", quick)
+        .set("connections", conns)
+        .set("requests_per_connection", requests)
+        .set("total_requests", total)
+        .set("warmup_micros", warmup_micros)
+        .set("wall_micros", wall_micros)
+        .set("throughput_rps", throughput)
+        .set("latency_micros", latency)
+        .set("cold_oneshot_mean_micros", cold_mean)
+        .set("resident_mean_micros", resident_mean)
+        .set("steady_state_mean_micros", steady_mean)
+        .set("resident_speedup_vs_cold", speedup)
+        .set("steady_state_speedup_vs_cold", steady_speedup)
+        .set("per_kind", Json::Arr(per_kind))
+        .set("pool", pool)
+        .set("admission", admission)
+        .set("drain_clean", drain_clean);
+    std::fs::write(&out_path, doc.pretty())
+        .unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    println!(
+        "resident mean {resident_mean:.0}us (steady {steady_mean:.0}us) vs cold one-shot \
+         {cold_mean:.0}us -> {speedup:.1}x (steady {steady_speedup:.1}x); p99 {}us; {throughput:.0} req/s \
+         over {conns} connections",
+        percentile(&sorted, 0.99)
+    );
+    println!("wrote {out_path}");
+    assert!(
+        speedup >= 5.0,
+        "acceptance: resident requests must be >= 5x faster than cold one-shot (got {speedup:.1}x)"
+    );
+}

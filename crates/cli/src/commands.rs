@@ -9,8 +9,13 @@
 //! gts run       FILE --transform T --instance I [--check-schema S] [--threads N] [--naive] [--dot]
 //! gts conform   FILE --graph G --schema S
 //! gts contains  FILE --p Q1 --q Q2 --schema S
-//! gts batch     FILE... [--threads N]
+//! gts batch     FILE... [--threads N] [--stats]
+//! gts serve     [--addr A] [--threads N] [--max-sessions N] ...
+//! gts client    FILE... [--addr A] | --verb ping|stats|evict|shutdown
 //! ```
+//!
+//! `batch` and `client` accept `-` as a file name to read the `.gts`
+//! source from stdin (pipelines need no temp files).
 //!
 //! Exit codes: `0` = success / property holds, `1` = property fails /
 //! conformance violation, `2` = usage or analysis error.
@@ -46,7 +51,13 @@ fn usage() -> String {
      \x20 conform   FILE --graph G --schema S              conformance check\n\
      \x20 contains  FILE --p Q1 --q Q2 --schema S          query containment (Thm 5.1)\n\
      \x20 safety    FILE --transform T --source S --literals L1,L2   literal safety (§7)\n\
-     \x20 batch     FILE... [--threads N]                  run all analyses of each file, emit JSON\n\
+     \x20 batch     FILE... [--threads N] [--stats]        run all analyses of each file, emit JSON\n\
+     \x20 serve     [--addr A] [--threads N] [--queue N]   resident analysis server (newline-\n\
+     \x20           [--max-sessions N] [--max-session-mb N] delimited JSON protocol; shut down\n\
+     \x20           [--deadline-ms N]                      with `gts client --verb shutdown`)\n\
+     \x20 client    FILE... [--addr A]                     the batch suite over the wire, or a\n\
+     \x20           | --verb ping|stats|evict|shutdown     control verb against a running server\n\
+     \x20 (batch/client accept `-` as FILE to read the .gts source from stdin)\n\
      \x20 (check/equiv/elicit/contains/safety also take --stats: append oracle statistics)\n"
         .into()
 }
@@ -58,7 +69,7 @@ fn parse_flags(args: &[String]) -> Result<(HashMap<String, String>, Vec<String>)
     while i < args.len() {
         let a = &args[i];
         if let Some(name) = a.strip_prefix("--") {
-            if name == "dot" || name == "naive" || name == "stats" {
+            if name == "dot" || name == "naive" || name == "stats" || name == "allow-linger" {
                 flags.insert(name.to_owned(), "true".to_owned());
                 i += 1;
             } else {
@@ -93,8 +104,11 @@ fn run_inner(
     read: &dyn Fn(&str) -> Result<String, String>,
 ) -> Result<Outcome, String> {
     let (flags, positional) = parse_flags(args)?;
-    if positional.first().map(String::as_str) == Some("batch") {
-        return run_batch(&positional[1..], &flags, read);
+    match positional.first().map(String::as_str) {
+        Some("batch") => return run_batch(&positional[1..], &flags, read),
+        Some("serve") => return crate::remote::run_serve(&flags),
+        Some("client") => return crate::remote::run_client(&positional[1..], &flags, read),
+        _ => {}
     }
     let (cmd, path) = match positional.as_slice() {
         [c, p] => (c.as_str(), p.as_str()),
@@ -344,13 +358,72 @@ fn oracle_stats_block(stats: &OracleCacheStats) -> String {
     )
 }
 
-/// `gts batch FILE... [--threads N]`: for every file, runs the full
-/// analysis suite — type checking of each transformation against every
-/// (source, target) schema pair, pairwise equivalence of the
+/// One named entry of the standard analysis suite (shared by `gts
+/// batch`, which runs it locally, and `gts client`, which ships it to a
+/// server).
+pub(crate) enum SuiteSpec {
+    /// Type checking of `transform` against `target`.
+    Check {
+        /// Transformation name.
+        transform: String,
+        /// Target schema name.
+        target: String,
+    },
+    /// Equivalence of two transformations.
+    Equiv {
+        /// First transformation name.
+        left: String,
+        /// Second transformation name.
+        right: String,
+    },
+    /// Schema elicitation of `transform`.
+    Elicit {
+        /// Transformation name.
+        transform: String,
+    },
+}
+
+/// The full suite of a file, grouped by source schema: every
+/// transformation type-checked against every schema, elicited, and all
+/// transformation pairs checked for equivalence.
+pub(crate) fn suite(file: &GtsFile) -> Vec<(String, Vec<(String, SuiteSpec)>)> {
+    let mut out = Vec::new();
+    for (source_name, _) in &file.schemas {
+        let mut items = Vec::new();
+        for (tname, _) in &file.transforms {
+            for (target_name, _) in &file.schemas {
+                items.push((
+                    format!("check {tname}: {source_name} -> {target_name}"),
+                    SuiteSpec::Check { transform: tname.clone(), target: target_name.clone() },
+                ));
+            }
+            items.push((
+                format!("elicit {tname} from {source_name}"),
+                SuiteSpec::Elicit { transform: tname.clone() },
+            ));
+        }
+        for (i, (n1, _)) in file.transforms.iter().enumerate() {
+            for (n2, _) in file.transforms.iter().skip(i + 1) {
+                items.push((
+                    format!("equiv {n1} ~ {n2} mod {source_name}"),
+                    SuiteSpec::Equiv { left: n1.clone(), right: n2.clone() },
+                ));
+            }
+        }
+        out.push((source_name.clone(), items));
+    }
+    out
+}
+
+/// `gts batch FILE... [--threads N] [--stats]`: for every file, runs the
+/// full analysis suite — type checking of each transformation against
+/// every (source, target) schema pair, pairwise equivalence of the
 /// transformations modulo each schema, and schema elicitation of each
 /// transformation from each schema — through one cached
 /// [`AnalysisSession`] per (file, source schema), sharded across worker
-/// threads. Emits one JSON document on stdout.
+/// threads. Emits one JSON document on stdout; `--stats` adds a
+/// per-file `session` occupancy block (the counters the `gts-serve`
+/// registry budgets against).
 fn run_batch(
     paths: &[String],
     flags: &HashMap<String, String>,
@@ -372,33 +445,34 @@ fn run_batch(
         let mut results_json = Vec::new();
         let mut hits = 0u64;
         let mut misses = 0u64;
+        let mut entries = 0usize;
+        let mut approx_bytes = 0usize;
         let mut oracle = OracleCacheStats::default();
-        for (source_name, source) in &file.schemas {
-            let mut batch = Batch::new(AnalysisSession::new(source.clone(), file.vocab.clone()));
-            for (tname, t) in &file.transforms {
-                for (target_name, target) in &file.schemas {
-                    batch.push(
-                        format!("check {tname}: {source_name} -> {target_name}"),
-                        Request::TypeCheck { transform: t.clone(), target: target.clone() },
-                    );
-                }
-                batch.push(
-                    format!("elicit {tname} from {source_name}"),
-                    Request::Elicit { transform: t.clone() },
-                );
-            }
-            for (i, (n1, t1)) in file.transforms.iter().enumerate() {
-                for (n2, t2) in file.transforms.iter().skip(i + 1) {
-                    batch.push(
-                        format!("equiv {n1} ~ {n2} mod {source_name}"),
-                        Request::Equivalence { left: t1.clone(), right: t2.clone() },
-                    );
-                }
+        for (source_name, items) in suite(&file) {
+            let source = file.schema(&source_name).expect("suite names file schemas").clone();
+            let mut batch = Batch::new(AnalysisSession::new(source, file.vocab.clone()));
+            for (label, spec) in items {
+                let request = match spec {
+                    SuiteSpec::Check { transform, target } => Request::TypeCheck {
+                        transform: file.transform(&transform).expect("suite").clone(),
+                        target: file.schema(&target).expect("suite").clone(),
+                    },
+                    SuiteSpec::Equiv { left, right } => Request::Equivalence {
+                        left: file.transform(&left).expect("suite").clone(),
+                        right: file.transform(&right).expect("suite").clone(),
+                    },
+                    SuiteSpec::Elicit { transform } => Request::Elicit {
+                        transform: file.transform(&transform).expect("suite").clone(),
+                    },
+                };
+                batch.push(label, request);
             }
             let (results, session) = batch.run(threads);
             let stats = session.stats();
             hits += stats.hits;
             misses += stats.misses;
+            entries += stats.entries;
+            approx_bytes += stats.approx_bytes;
             oracle.absorb(&session.oracle_stats());
             for r in results {
                 let mut entry = Json::obj();
@@ -434,7 +508,7 @@ fn run_batch(
         cache
             .set("hits", hits)
             .set("misses", misses)
-            .set("hit_rate", CacheStats { hits, misses, entries: 0 }.hit_rate());
+            .set("hit_rate", CacheStats { hits, misses, ..Default::default() }.hit_rate());
         let mut oracle_json = Json::obj();
         oracle_json
             .set("decides", oracle.solver.decides)
@@ -453,6 +527,18 @@ fn run_batch(
             .set("results", Json::Arr(results_json))
             .set("containment_cache", cache)
             .set("oracle", oracle_json);
+        if flags.contains_key("stats") {
+            // The occupancy counters the server's session registry
+            // budgets against, summed over this file's source sessions.
+            let mut session_json = Json::obj();
+            session_json
+                .set("entries", entries)
+                .set("approx_bytes", approx_bytes)
+                .set("hits", hits)
+                .set("misses", misses)
+                .set("hit_rate", CacheStats { hits, misses, ..Default::default() }.hit_rate());
+            fj.set("session", session_json);
+        }
         files_json.push(fj);
     }
     let mut doc = Json::obj();

@@ -31,6 +31,7 @@ mod instance;
 mod lex;
 mod parse;
 mod print;
+mod remote;
 
 pub use commands::{run, Outcome};
 pub use instance::{parse_instance, print_instance, raw_instance};
@@ -40,6 +41,7 @@ pub use print::{
     c2rpq_body_str, graph_block, mult_str, nre_body_str, nre_str, raw_graph_block, render_file,
     schema_block, transform_block,
 };
+pub use remote::frontend;
 
 #[cfg(test)]
 mod tests {
@@ -285,6 +287,27 @@ edge p1 exhibits a2
         // The S0→S1 type check holds (Example 1.1) and the elicited
         // schema mentions the derived `targets` edge.
         assert!(out.output.contains("targets"), "{}", out.output);
+    }
+
+    #[test]
+    fn cli_batch_stats_emits_the_session_block() {
+        let out = run(&args("batch mem.gts --stats"), &read_mem(MEDICAL));
+        assert_eq!(out.code, 1, "{}", out.output);
+        assert!(out.output.contains("\"session\""), "{}", out.output);
+        assert!(out.output.contains("\"approx_bytes\""), "{}", out.output);
+        assert!(out.output.contains("\"entries\""), "{}", out.output);
+        // Without --stats the occupancy block stays out of the document.
+        let plain = run(&args("batch mem.gts"), &read_mem(MEDICAL));
+        assert!(!plain.output.contains("\"approx_bytes\""), "{}", plain.output);
+    }
+
+    #[test]
+    fn cli_client_requires_files_or_a_verb() {
+        // No server is listening here: the connect itself must fail
+        // cleanly with a usage-style error (exit 2).
+        let out = run(&args("client --addr 127.0.0.1:9 --verb ping"), &read_mem(MEDICAL));
+        assert_eq!(out.code, 2, "{}", out.output);
+        assert!(out.output.contains("cannot connect"), "{}", out.output);
     }
 
     #[test]

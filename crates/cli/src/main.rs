@@ -3,6 +3,12 @@
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let read = |path: &str| -> Result<String, String> {
+        if path == "-" {
+            let mut src = String::new();
+            std::io::Read::read_to_string(&mut std::io::stdin(), &mut src)
+                .map_err(|e| format!("cannot read stdin: {e}"))?;
+            return Ok(src);
+        }
         std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
     };
     let outcome = gts_cli::run(&args, &read);

@@ -1,0 +1,164 @@
+//! `gts serve` and `gts client`: the CLI face of the resident server.
+//!
+//! `gts serve` starts a `gts-serve` server over the `.gts` front end and
+//! blocks until a client sends the `shutdown` verb (it prints
+//! `listening on ADDR` — with the real port when `--addr` asked for
+//! `:0` — before accepting, so scripts can scrape the address).
+//! `gts client` runs the same analysis suite as `gts batch`, but over
+//! the wire against a resident server, so repeated invocations share
+//! the server's session pool instead of each paying the cold oracle.
+
+use crate::commands::{suite, Outcome, SuiteSpec};
+use crate::parse::GtsFile;
+use crate::print;
+use gts_engine::Json;
+use gts_serve::{proto, Client, Compiled, Frontend, Server, ServerConfig};
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::sync::Arc;
+
+/// The `.gts` front end handed to `gts-serve`: compiles shipped schema/
+/// transformation text with [`GtsFile::parse`], instances with
+/// [`crate::instance::parse_instance`], and renders elicited schemas in
+/// the `.gts` block syntax (the same shape `gts batch` emits).
+pub fn frontend() -> Frontend {
+    Frontend {
+        compile: Arc::new(|src| {
+            let file = GtsFile::parse(src).map_err(|e| e.to_string())?;
+            Ok(Compiled { vocab: file.vocab, schemas: file.schemas, transforms: file.transforms })
+        }),
+        parse_instance: Arc::new(|src, vocab| {
+            crate::instance::parse_instance(src, vocab).map(|g| g.graph)
+        }),
+        render_schema: Arc::new(|schema, vocab| print::schema_block("Elicited", schema, vocab)),
+    }
+}
+
+fn parse_num(flags: &HashMap<String, String>, name: &str) -> Result<Option<usize>, String> {
+    match flags.get(name) {
+        None => Ok(None),
+        Some(s) => s.parse().map(Some).map_err(|_| format!("--{name}: not a number: `{s}`")),
+    }
+}
+
+/// `gts serve [--addr A] [--threads N] [--queue N] [--max-sessions N]
+/// [--max-session-mb N] [--deadline-ms N] [--allow-linger]`.
+pub fn run_serve(flags: &HashMap<String, String>) -> Result<Outcome, String> {
+    let mut cfg = ServerConfig {
+        addr: flags.get("addr").cloned().unwrap_or_else(|| "127.0.0.1:4815".into()),
+        ..Default::default()
+    };
+    if let Some(n) = parse_num(flags, "threads")? {
+        cfg.admission.max_inflight = n.max(1);
+    }
+    if let Some(n) = parse_num(flags, "queue")? {
+        cfg.admission.max_queue = n;
+    }
+    if let Some(n) = parse_num(flags, "max-sessions")? {
+        cfg.registry.max_sessions = n.max(1);
+    }
+    if let Some(n) = parse_num(flags, "max-session-mb")? {
+        cfg.registry.max_bytes = n << 20;
+    }
+    if let Some(n) = parse_num(flags, "deadline-ms")? {
+        cfg.default_deadline_ms = Some(n as u64);
+    }
+    cfg.allow_linger = flags.contains_key("allow-linger");
+    let handle = Server::start(cfg, frontend()).map_err(|e| format!("cannot start server: {e}"))?;
+    // Printed (and flushed) before blocking so wrappers — CI's loadgen
+    // spawn mode, shell scripts — can scrape the bound address.
+    println!("listening on {}", handle.addr());
+    let _ = std::io::stdout().flush();
+    handle.join();
+    Ok(Outcome { code: 0, output: "server drained\n".into() })
+}
+
+/// `gts client --addr A FILE...` (the `gts batch` suite over the wire),
+/// or `gts client --addr A --verb ping|stats|evict|shutdown`.
+pub fn run_client(
+    paths: &[String],
+    flags: &HashMap<String, String>,
+    read: &dyn Fn(&str) -> Result<String, String>,
+) -> Result<Outcome, String> {
+    let addr = flags.get("addr").cloned().unwrap_or_else(|| "127.0.0.1:4815".into());
+    let mut client =
+        Client::connect(addr.as_str()).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    if let Some(verb) = flags.get("verb") {
+        let resp = match verb.as_str() {
+            "ping" => client.ping(),
+            "stats" => client.stats(),
+            "shutdown" => client.shutdown(),
+            "evict" => client.evict(flags.get("fingerprint").map(String::as_str)),
+            other => return Err(format!("unknown --verb `{other}`")),
+        }
+        .map_err(|e| format!("{verb} failed: {e}"))?;
+        let code = i32::from(resp.get("ok").and_then(Json::as_bool) != Some(true)) * 2;
+        return Ok(Outcome { code, output: resp.pretty() });
+    }
+    if paths.is_empty() {
+        return Err("client needs at least one .gts file (or --verb)".into());
+    }
+    let mut files_json = Vec::new();
+    let mut all_hold = true;
+    let mut any_error = false;
+    for path in paths {
+        let src = read(path)?;
+        let file = GtsFile::parse(&src).map_err(|e| format!("{path}:{e}"))?;
+        let mut results_json = Vec::new();
+        let mut sources_json = Vec::new();
+        for (source_name, items) in suite(&file) {
+            let specs = items
+                .iter()
+                .map(|(label, spec)| {
+                    let mut s = match spec {
+                        SuiteSpec::Check { transform, target } => {
+                            proto::spec_type_check(transform, target)
+                        }
+                        SuiteSpec::Equiv { left, right } => proto::spec_equivalence(left, right),
+                        SuiteSpec::Elicit { transform } => proto::spec_elicit(transform),
+                    };
+                    s.set("label", label.as_str());
+                    s
+                })
+                .collect();
+            let resp = client
+                .analyze(&src, Some(&source_name), specs)
+                .map_err(|e| format!("{path}: analyze failed: {e}"))?;
+            if resp.get("ok").and_then(Json::as_bool) != Some(true) {
+                any_error = true;
+                results_json.push(resp.clone());
+                continue;
+            }
+            for entry in resp.get("results").and_then(Json::as_arr).unwrap_or(&[]) {
+                if let Some(holds) = entry.get("holds").and_then(Json::as_bool) {
+                    all_hold &= holds;
+                }
+                if let Some(ok) = entry.get("conforms").and_then(Json::as_bool) {
+                    all_hold &= ok;
+                }
+                if entry.get("error").is_some() {
+                    any_error = true;
+                }
+                results_json.push(entry.clone());
+            }
+            let mut source_json = Json::obj();
+            source_json.set("source", source_name.as_str());
+            for key in ["fingerprint", "pool", "session", "oracle"] {
+                if let Some(v) = resp.get(key) {
+                    source_json.set(key, v.clone());
+                }
+            }
+            sources_json.push(source_json);
+        }
+        let mut fj = Json::obj();
+        fj.set("file", path.as_str())
+            .set("results", Json::Arr(results_json))
+            .set("sources", Json::Arr(sources_json));
+        files_json.push(fj);
+    }
+    let mut doc = Json::obj();
+    doc.set("addr", addr.as_str()).set("files", Json::Arr(files_json));
+    // Same exit-code contract as `gts batch`.
+    let code = if any_error { 2 } else { i32::from(!all_hold) };
+    Ok(Outcome { code, output: doc.pretty() })
+}

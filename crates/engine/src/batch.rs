@@ -56,6 +56,40 @@ pub enum Request {
     },
 }
 
+impl Request {
+    /// Runs this request against `session` (the session's schema is the
+    /// source schema). This is the single execution path for requests —
+    /// [`Batch`] workers, the `gts batch` subcommand, and the `gts-serve`
+    /// connection handlers all go through it.
+    pub fn run(self, session: &mut AnalysisSession) -> Result<Verdict, AnalysisError> {
+        match self {
+            Request::TypeCheck { transform, target } => {
+                session.type_check(&transform, &target).map(Verdict::Decision)
+            }
+            Request::Equivalence { left, right } => {
+                session.equivalence(&left, &right).map(Verdict::Decision)
+            }
+            Request::Elicit { transform } => session
+                .elicit(&transform)
+                .map(|e| Verdict::Elicited { schema: e.schema, certified: e.certified }),
+            Request::Execute { transform, instance, check_target } => {
+                transform.validate().map_err(AnalysisError::Transform).map(|()| {
+                    // Callers already parallelize across requests; keep
+                    // each execution single-threaded to avoid
+                    // oversubscription.
+                    let output = gts_exec::execute_with(
+                        &transform,
+                        &instance,
+                        &ExecOptions { threads: 1, ..Default::default() },
+                    );
+                    let conforms = check_target.map(|s| s.conforms(&output).is_ok());
+                    Verdict::Executed { output, conforms }
+                })
+            }
+        }
+    }
+}
+
 /// The successful outcome of one request.
 #[derive(Clone, Debug)]
 pub enum Verdict {
@@ -165,30 +199,7 @@ impl Batch {
 
 fn run_one(session: &mut AnalysisSession, label: String, req: Request) -> BatchResult {
     let start = Instant::now();
-    let verdict = match req {
-        Request::TypeCheck { transform, target } => {
-            session.type_check(&transform, &target).map(Verdict::Decision)
-        }
-        Request::Equivalence { left, right } => {
-            session.equivalence(&left, &right).map(Verdict::Decision)
-        }
-        Request::Elicit { transform } => session
-            .elicit(&transform)
-            .map(|e| Verdict::Elicited { schema: e.schema, certified: e.certified }),
-        Request::Execute { transform, instance, check_target } => {
-            transform.validate().map_err(AnalysisError::Transform).map(|()| {
-                // Batch workers already parallelize across requests; keep
-                // each execution single-threaded to avoid oversubscription.
-                let output = gts_exec::execute_with(
-                    &transform,
-                    &instance,
-                    &ExecOptions { threads: 1, ..Default::default() },
-                );
-                let conforms = check_target.map(|s| s.conforms(&output).is_ok());
-                Verdict::Executed { output, conforms }
-            })
-        }
-    };
+    let verdict = req.run(session);
     BatchResult { label, verdict, micros: start.elapsed().as_micros() as u64 }
 }
 

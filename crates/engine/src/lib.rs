@@ -71,5 +71,5 @@ mod json;
 mod session;
 
 pub use batch::{Batch, BatchResult, Request, Verdict};
-pub use json::Json;
+pub use json::{Json, JsonError};
 pub use session::{AnalysisSession, CacheStats};

@@ -42,6 +42,10 @@ pub struct CacheStats {
     pub misses: u64,
     /// Distinct canonicalized query pairs currently interned.
     pub entries: usize,
+    /// Approximate heap occupancy of the memo in bytes (keys + verdicts +
+    /// table overhead) — the figure the `gts-serve` session registry
+    /// budgets against.
+    pub approx_bytes: usize,
 }
 
 impl CacheStats {
@@ -131,7 +135,10 @@ impl AnalysisSession {
     /// Current cache counters (shared across clones of this session).
     pub fn stats(&self) -> CacheStats {
         let memo = self.memo.lock().unwrap();
-        CacheStats { hits: memo.hits, misses: memo.misses, entries: memo.map.len() }
+        // Per-entry overhead: the `String` header + `Decision` + the hash
+        // table's bucket slot, approximated as 64 bytes.
+        let approx_bytes: usize = memo.map.keys().map(|k| k.capacity() + 64).sum();
+        CacheStats { hits: memo.hits, misses: memo.misses, entries: memo.map.len(), approx_bytes }
     }
 
     fn oracle(&mut self) -> SessionOracle<'_> {
@@ -334,7 +341,9 @@ mod tests {
         let (v, s, p, q) = fixture();
         let mut session = AnalysisSession::new(s, v);
         let d1 = session.contains(&p, &q).unwrap();
-        assert_eq!(session.stats(), CacheStats { hits: 0, misses: 1, entries: 1 });
+        let cold = session.stats();
+        assert_eq!((cold.hits, cold.misses, cold.entries), (0, 1, 1));
+        assert!(cold.approx_bytes > 0, "one interned entry occupies memory");
         let d2 = session.contains(&p, &q).unwrap();
         assert_eq!(d1, d2);
         let stats = session.stats();

@@ -1,0 +1,316 @@
+//! Semaphore-style admission control for the analysis server.
+//!
+//! Analyses are CPU-bound and can take arbitrarily long (the decision
+//! procedure is EXPTIME-bounded by explicit budgets), so a resident
+//! server must not let every connection run one concurrently: an
+//! [`Admission`] bounds the number of in-flight analyses and the number
+//! of frames allowed to *wait* for a slot. Anything beyond that is
+//! rejected immediately with a backpressure error — bounded latency for
+//! admitted work beats unbounded buffering for everyone. Waiters with a
+//! deadline give up (and free their queue slot) when it passes.
+
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+/// Admission bounds.
+#[derive(Clone, Copy, Debug)]
+pub struct AdmissionConfig {
+    /// Maximum analyses running concurrently (≥ 1).
+    pub max_inflight: usize,
+    /// Maximum frames waiting for a slot; `0` rejects as soon as all
+    /// slots are busy.
+    pub max_queue: usize,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        AdmissionConfig { max_inflight: cores.max(1), max_queue: 2 * cores }
+    }
+}
+
+/// Why admission was refused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdmissionError {
+    /// All slots busy and the wait queue is full — retry later.
+    Overloaded,
+    /// The request's deadline passed while it was queued.
+    DeadlineExceeded,
+    /// The server is draining and accepts no new work.
+    Draining,
+}
+
+impl AdmissionError {
+    /// The protocol error code of this rejection.
+    pub fn code(self) -> &'static str {
+        match self {
+            AdmissionError::Overloaded => "overloaded",
+            AdmissionError::DeadlineExceeded => "deadline_exceeded",
+            AdmissionError::Draining => "shutting_down",
+        }
+    }
+}
+
+/// Cumulative admission counters plus current gauges.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AdmissionStats {
+    /// Analyses admitted (granted a permit).
+    pub admitted: u64,
+    /// Frames rejected because the queue was full.
+    pub rejected_overloaded: u64,
+    /// Frames whose deadline expired while queued.
+    pub rejected_deadline: u64,
+    /// Frames rejected during drain.
+    pub rejected_draining: u64,
+    /// Highest concurrent in-flight count observed.
+    pub peak_inflight: usize,
+    /// Analyses running right now.
+    pub inflight: usize,
+    /// Frames waiting for a slot right now.
+    pub queued: usize,
+}
+
+#[derive(Default)]
+struct State {
+    inflight: usize,
+    queued: usize,
+    draining: bool,
+    stats: AdmissionStats,
+}
+
+/// The admission controller: a counting semaphore with a bounded wait
+/// queue, deadlines, and drain support, built on `Mutex` + `Condvar`
+/// (std-only, like the rest of the server).
+pub struct Admission {
+    cfg: AdmissionConfig,
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+/// An admitted analysis slot; releasing is dropping.
+pub struct Permit<'a> {
+    adm: &'a Admission,
+}
+
+impl std::fmt::Debug for Permit<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Permit")
+    }
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        let mut s = self.adm.state.lock().unwrap();
+        s.inflight -= 1;
+        drop(s);
+        // notify_all, not notify_one: the condvar is shared by queued
+        // `admit` waiters AND `await_idle` blockers — a single wakeup
+        // could land on an idle-waiter and leave a queued request
+        // sleeping next to a free slot.
+        self.adm.cv.notify_all();
+    }
+}
+
+impl Admission {
+    /// A controller with the given bounds (`max_inflight` is clamped to
+    /// ≥ 1).
+    pub fn new(mut cfg: AdmissionConfig) -> Self {
+        cfg.max_inflight = cfg.max_inflight.max(1);
+        Admission { cfg, state: Mutex::new(State::default()), cv: Condvar::new() }
+    }
+
+    /// The configured bounds.
+    pub fn config(&self) -> AdmissionConfig {
+        self.cfg
+    }
+
+    /// Requests a slot, waiting (up to `deadline`, if any) in the bounded
+    /// queue when all slots are busy.
+    pub fn admit(&self, deadline: Option<Instant>) -> Result<Permit<'_>, AdmissionError> {
+        let mut s = self.state.lock().unwrap();
+        if s.draining {
+            s.stats.rejected_draining += 1;
+            return Err(AdmissionError::Draining);
+        }
+        if s.inflight >= self.cfg.max_inflight {
+            // Full: take a queue slot or bounce.
+            if s.queued >= self.cfg.max_queue {
+                s.stats.rejected_overloaded += 1;
+                return Err(AdmissionError::Overloaded);
+            }
+            s.queued += 1;
+            loop {
+                if s.draining {
+                    s.queued -= 1;
+                    s.stats.rejected_draining += 1;
+                    return Err(AdmissionError::Draining);
+                }
+                if s.inflight < self.cfg.max_inflight {
+                    s.queued -= 1;
+                    break;
+                }
+                match deadline {
+                    None => s = self.cv.wait(s).unwrap(),
+                    Some(d) => {
+                        let now = Instant::now();
+                        if now >= d {
+                            s.queued -= 1;
+                            s.stats.rejected_deadline += 1;
+                            return Err(AdmissionError::DeadlineExceeded);
+                        }
+                        let (guard, _timeout) = self.cv.wait_timeout(s, d - now).unwrap();
+                        s = guard;
+                    }
+                }
+            }
+        }
+        s.inflight += 1;
+        s.stats.admitted += 1;
+        s.stats.peak_inflight = s.stats.peak_inflight.max(s.inflight);
+        Ok(Permit { adm: self })
+    }
+
+    /// Starts draining: queued waiters are woken and rejected, later
+    /// `admit` calls fail fast. Already-admitted permits run to
+    /// completion.
+    pub fn begin_drain(&self) {
+        self.state.lock().unwrap().draining = true;
+        self.cv.notify_all();
+    }
+
+    /// `true` once [`Admission::begin_drain`] has run.
+    pub fn draining(&self) -> bool {
+        self.state.lock().unwrap().draining
+    }
+
+    /// Blocks until no analysis is in flight (drain completion).
+    pub fn await_idle(&self) {
+        let mut s = self.state.lock().unwrap();
+        while s.inflight > 0 {
+            s = self.cv.wait(s).unwrap();
+        }
+    }
+
+    /// Counter snapshot. The `queued` gauge reports *current* waiters
+    /// (the cumulative peak is folded into `peak_inflight`'s sibling
+    /// fields).
+    pub fn stats(&self) -> AdmissionStats {
+        let s = self.state.lock().unwrap();
+        AdmissionStats { inflight: s.inflight, queued: s.queued, ..s.stats }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn permits_are_bounded_and_released() {
+        let adm = Admission::new(AdmissionConfig { max_inflight: 2, max_queue: 0 });
+        let p1 = adm.admit(None).unwrap();
+        let p2 = adm.admit(None).unwrap();
+        assert_eq!(adm.admit(None).unwrap_err(), AdmissionError::Overloaded);
+        drop(p1);
+        let p3 = adm.admit(None).unwrap();
+        drop(p2);
+        drop(p3);
+        let stats = adm.stats();
+        assert_eq!(stats.admitted, 3);
+        assert_eq!(stats.rejected_overloaded, 1);
+        assert_eq!(stats.peak_inflight, 2);
+        assert_eq!(stats.inflight, 0);
+    }
+
+    #[test]
+    fn queued_waiters_get_slots_in_turn() {
+        let adm = Arc::new(Admission::new(AdmissionConfig { max_inflight: 1, max_queue: 8 }));
+        let held = adm.admit(None).unwrap();
+        let workers: Vec<_> = (0..4)
+            .map(|_| {
+                let adm = Arc::clone(&adm);
+                std::thread::spawn(move || {
+                    let p = adm.admit(None).unwrap();
+                    std::thread::sleep(Duration::from_millis(2));
+                    drop(p);
+                })
+            })
+            .collect();
+        // Give the workers time to enqueue, then open the gate.
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(adm.stats().queued, 4);
+        drop(held);
+        for w in workers {
+            w.join().unwrap();
+        }
+        let stats = adm.stats();
+        assert_eq!(stats.admitted, 5);
+        assert_eq!(stats.inflight, 0);
+        assert_eq!(stats.queued, 0);
+        assert_eq!(stats.peak_inflight, 1, "never more than one in flight");
+    }
+
+    #[test]
+    fn deadlines_bound_the_queue_wait() {
+        let adm = Admission::new(AdmissionConfig { max_inflight: 1, max_queue: 4 });
+        let _held = adm.admit(None).unwrap();
+        let deadline = Instant::now() + Duration::from_millis(30);
+        let start = Instant::now();
+        let err = adm.admit(Some(deadline)).unwrap_err();
+        assert_eq!(err, AdmissionError::DeadlineExceeded);
+        assert!(start.elapsed() >= Duration::from_millis(25));
+        assert_eq!(adm.stats().rejected_deadline, 1);
+        assert_eq!(adm.stats().queued, 0, "the queue slot was released");
+        // An already-expired deadline still rejects (without waiting).
+        let err2 = adm.admit(Some(Instant::now() - Duration::from_millis(1))).unwrap_err();
+        assert_eq!(err2, AdmissionError::DeadlineExceeded);
+    }
+
+    #[test]
+    fn drain_rejects_new_work_and_wakes_waiters() {
+        let adm = Arc::new(Admission::new(AdmissionConfig { max_inflight: 1, max_queue: 4 }));
+        let held = adm.admit(None).unwrap();
+        let waiter = {
+            let adm = Arc::clone(&adm);
+            std::thread::spawn(move || adm.admit(None).map(|_| ()))
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        adm.begin_drain();
+        assert_eq!(waiter.join().unwrap().unwrap_err(), AdmissionError::Draining);
+        assert_eq!(adm.admit(None).unwrap_err(), AdmissionError::Draining);
+        // The held permit still completes; drain waits for it.
+        let adm2 = Arc::clone(&adm);
+        let joiner = std::thread::spawn(move || adm2.await_idle());
+        drop(held);
+        joiner.join().unwrap();
+        assert_eq!(adm.stats().inflight, 0);
+    }
+
+    #[test]
+    fn hammering_admission_from_many_threads_is_consistent() {
+        let adm = Arc::new(Admission::new(AdmissionConfig { max_inflight: 3, max_queue: 64 }));
+        let threads: Vec<_> = (0..16)
+            .map(|_| {
+                let adm = Arc::clone(&adm);
+                std::thread::spawn(move || {
+                    let mut admitted = 0u64;
+                    for _ in 0..20 {
+                        if let Ok(_p) = adm.admit(None) {
+                            admitted += 1;
+                            std::hint::spin_loop();
+                        }
+                    }
+                    admitted
+                })
+            })
+            .collect();
+        let total: u64 = threads.into_iter().map(|t| t.join().unwrap()).sum();
+        assert_eq!(total, 16 * 20, "no unbounded queue → but queue of 64 fits 16 waiters");
+        let stats = adm.stats();
+        assert_eq!(stats.admitted, total);
+        assert!(stats.peak_inflight <= 3);
+        assert_eq!(stats.inflight, 0);
+        assert_eq!(stats.queued, 0);
+    }
+}

@@ -1,0 +1,63 @@
+//! # gts-serve
+//!
+//! A long-running analysis/execution server for the paper's decidable
+//! static analyses (*Static Analysis of Graph Database Transformations*,
+//! PODS 2023). Every other entry point of the workspace is a one-shot
+//! process: each `gts` invocation rebuilds schemas, re-interns automata,
+//! and discards the `AnalysisSession` verdict memo and the per-TBox
+//! `SolverCache` when it exits. This crate makes that state *resident*:
+//!
+//! * [`SessionRegistry`] — a concurrency-safe pool of
+//!   [`gts_engine::AnalysisSession`]s keyed by a [`Fingerprint`] of
+//!   (vocabulary, schema, engine budgets), with LRU eviction under entry
+//!   and byte budgets, so containment memos and solver caches persist
+//!   across connections and clients;
+//! * [`Admission`] — a semaphore-style admission controller bounding
+//!   in-flight analyses and queue depth, returning backpressure errors
+//!   instead of buffering without bound, with per-request deadlines;
+//! * [`Server`] — a std-only (`std::net`) thread-per-connection TCP
+//!   acceptor speaking newline-delimited JSON over a versioned protocol
+//!   ([`PROTO_VERSION`]) that wraps [`gts_engine::Request`] /
+//!   [`gts_engine::Verdict`] plus control verbs (`ping`, `stats`,
+//!   `load_schema`, `evict`, `shutdown`), with graceful drain;
+//! * [`Client`] — a blocking client for the protocol, used by
+//!   `gts client`, the `loadgen` benchmark, and the loopback test suites.
+//!
+//! The crate deliberately does not depend on the `.gts` parser (that
+//! lives in `gts-cli`, which itself depends on this crate for the `gts
+//! serve` / `gts client` subcommands): the text formats carried on the
+//! wire are compiled through an injected [`Frontend`], keeping the
+//! dependency graph acyclic.
+//!
+//! ## Protocol
+//!
+//! One JSON object per line in each direction; see [`proto`] for the
+//! frame grammar and error codes, and ARCHITECTURE.md for the full
+//! description.
+//!
+//! ```text
+//! → {"v":1,"op":"ping"}
+//! ← {"ok":true,"op":"ping","proto":1}
+//! → {"v":1,"op":"analyze","gts":"schema S {...} ...","source":"S",
+//!    "requests":[{"kind":"elicit","transform":"T"}]}
+//! ← {"ok":true,"op":"analyze","fingerprint":"…","pool":"miss",
+//!    "results":[{"label":"elicit T","micros":…,"schema":"…","certified":true}],
+//!    "session":{…},"oracle":{…}}
+//! ```
+
+#![warn(missing_docs)]
+
+mod admission;
+mod client;
+pub mod proto;
+mod registry;
+mod server;
+
+pub use admission::{Admission, AdmissionConfig, AdmissionError, AdmissionStats, Permit};
+pub use client::{Client, ClientError};
+pub use proto::PROTO_VERSION;
+pub use registry::{
+    canonical_key, fingerprint, fingerprint_of, Fingerprint, RegistryConfig, RegistryStats,
+    SessionRegistry,
+};
+pub use server::{Compiled, Frontend, Server, ServerConfig, ServerHandle};

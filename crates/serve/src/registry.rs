@@ -1,0 +1,548 @@
+//! The resident session pool: `AnalysisSession`s keyed by schema
+//! fingerprint, shared across connections, evicted LRU under budgets.
+//!
+//! A [`Fingerprint`] identifies everything a cached verdict depends on:
+//! the *entire* vocabulary in intern order (label ids on the wire are
+//! positional, so two clients only share a session when their label
+//! numbering agrees), the source schema, and the engine budgets (a
+//! verdict decided under small budgets may be `uncertified` where larger
+//! budgets would certify — they must not share a memo). Checkout hands
+//! back a *clone* of the pooled session: clones share the verdict memo
+//! and oracle cache (that is the point of pooling) but own their
+//! vocabulary, so per-request label interning — e.g. by `execute`
+//! instances — cannot corrupt the pooled master.
+
+use gts_core::containment::ContainmentOptions;
+use gts_core::graph::{FxHashMap, Vocab};
+use gts_core::schema::Schema;
+use gts_engine::AnalysisSession;
+use std::sync::Mutex;
+
+/// A 64-bit FNV-1a identity of (vocabulary, schema, budgets).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fingerprint(pub u64);
+
+impl std::fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+impl Fingerprint {
+    /// Parses the 16-hex-digit rendering.
+    pub fn parse(s: &str) -> Option<Fingerprint> {
+        (s.len() == 16).then(|| u64::from_str_radix(s, 16).ok().map(Fingerprint)).flatten()
+    }
+}
+
+/// The canonical preimage of a [`Fingerprint`]: every byte of session
+/// identity, spelled out. The registry stores it alongside each entry
+/// and compares it on checkout, so a 64-bit hash collision between two
+/// distinct (vocabulary, schema, budgets) identities can never silently
+/// share a verdict memo — FNV is not collision-resistant, and the memo
+/// is correctness-critical.
+pub fn canonical_key(schema: &Schema, vocab: &Vocab, opts: &ContainmentOptions) -> String {
+    use std::fmt::Write as _;
+    let mut key = String::new();
+    for l in vocab.node_labels() {
+        key.push_str(vocab.node_name(l));
+        key.push('\x1f');
+    }
+    key.push('\x1e');
+    for l in vocab.edge_labels() {
+        key.push_str(vocab.edge_name(l));
+        key.push('\x1f');
+    }
+    key.push('\x1e');
+    key.push_str(&schema.render(vocab));
+    key.push('\x1e');
+    let _ = write!(
+        key,
+        "{:?}|{}|{}",
+        opts.budget.cache_key(),
+        opts.completion.max_nodes,
+        opts.completion.max_rounds
+    );
+    key
+}
+
+/// Hashes a canonical key down to its wire-sized fingerprint.
+pub fn fingerprint_of(key: &str) -> Fingerprint {
+    let mut h = Fnv::new();
+    h.write(key.as_bytes());
+    Fingerprint(h.finish())
+}
+
+/// Computes the pool key of a session over `schema` under `opts`.
+pub fn fingerprint(schema: &Schema, vocab: &Vocab, opts: &ContainmentOptions) -> Fingerprint {
+    fingerprint_of(&canonical_key(schema, vocab, opts))
+}
+
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf29ce484222325)
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100000001b3);
+        }
+    }
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Pool budgets.
+#[derive(Clone, Copy, Debug)]
+pub struct RegistryConfig {
+    /// Maximum resident sessions (≥ 1; the most recently used session is
+    /// never evicted by the budget sweep).
+    pub max_sessions: usize,
+    /// Approximate byte budget across all resident verdict memos
+    /// ([`gts_engine::CacheStats::approx_bytes`]).
+    pub max_bytes: usize,
+}
+
+impl Default for RegistryConfig {
+    fn default() -> Self {
+        RegistryConfig { max_sessions: 64, max_bytes: 256 << 20 }
+    }
+}
+
+/// Pool counters and occupancy gauges.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RegistryStats {
+    /// Checkouts served by a resident session.
+    pub hits: u64,
+    /// Checkouts that built a fresh session.
+    pub misses: u64,
+    /// Sessions evicted (LRU budget sweeps + explicit evictions).
+    pub evictions: u64,
+    /// Checkouts whose fingerprint matched a resident entry but whose
+    /// canonical key did not (64-bit hash collisions; the entry is
+    /// replaced, never shared).
+    pub collisions: u64,
+    /// Resident sessions right now.
+    pub sessions: usize,
+    /// Approximate bytes across resident verdict memos right now.
+    pub approx_bytes: usize,
+}
+
+impl RegistryStats {
+    /// Fraction of checkouts served from the pool.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Entry {
+    /// The full identity preimage — compared on checkout so hash
+    /// collisions can never alias two sessions.
+    key: String,
+    session: AnalysisSession,
+    last_used: u64,
+}
+
+#[derive(Default)]
+struct Inner {
+    entries: FxHashMap<u64, Entry>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    collisions: u64,
+}
+
+/// A concurrency-safe LRU pool of [`AnalysisSession`]s keyed by
+/// [`Fingerprint`].
+pub struct SessionRegistry {
+    cfg: RegistryConfig,
+    inner: Mutex<Inner>,
+}
+
+impl SessionRegistry {
+    /// An empty pool under `cfg` (`max_sessions` clamped to ≥ 1).
+    pub fn new(mut cfg: RegistryConfig) -> Self {
+        cfg.max_sessions = cfg.max_sessions.max(1);
+        SessionRegistry { cfg, inner: Mutex::new(Inner::default()) }
+    }
+
+    /// The pool budgets.
+    pub fn config(&self) -> RegistryConfig {
+        self.cfg
+    }
+
+    /// Fetches the session for `fp` (whose canonical preimage is `key`),
+    /// building (and pooling) it with `build` on a miss. Returns the
+    /// session clone and whether the pool had it. A resident entry is
+    /// only shared when its stored key matches `key` byte-for-byte; a
+    /// fingerprint collision between distinct identities counts as a
+    /// miss and replaces the entry (newest wins — correctness over
+    /// retention). Runs the budget sweep after every checkout, since
+    /// memos grow as sessions are used.
+    pub fn checkout(
+        &self,
+        fp: Fingerprint,
+        key: &str,
+        build: impl FnOnce() -> AnalysisSession,
+    ) -> (AnalysisSession, bool) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.tick += 1;
+        let tick = inner.tick;
+        let resident = match inner.entries.get_mut(&fp.0) {
+            Some(entry) if entry.key == key => {
+                entry.last_used = tick;
+                Some(entry.session.clone())
+            }
+            Some(_) => {
+                inner.collisions += 1;
+                None
+            }
+            None => None,
+        };
+        let (session, hit) = match resident {
+            Some(session) => {
+                inner.hits += 1;
+                (session, true)
+            }
+            None => {
+                // Build OUTSIDE the lock? Building a session is cheap (no
+                // analysis runs), and holding the lock keeps the pool
+                // single-flight per fingerprint — concurrent first
+                // requests for one schema warm a single memo instead of
+                // racing on independent ones.
+                let session = build();
+                inner.misses += 1;
+                inner.entries.insert(
+                    fp.0,
+                    Entry { key: key.to_owned(), session: session.clone(), last_used: tick },
+                );
+                (session, false)
+            }
+        };
+        Self::enforce(&self.cfg, &mut inner);
+        drop(inner);
+        (session, hit)
+    }
+
+    /// Evicts one fingerprint; `true` iff it was resident.
+    pub fn evict(&self, fp: Fingerprint) -> bool {
+        let mut inner = self.inner.lock().unwrap();
+        let found = inner.entries.remove(&fp.0).is_some();
+        if found {
+            inner.evictions += 1;
+        }
+        found
+    }
+
+    /// Evicts everything; returns how many sessions were dropped.
+    pub fn evict_all(&self) -> usize {
+        let mut inner = self.inner.lock().unwrap();
+        let n = inner.entries.len();
+        inner.entries.clear();
+        inner.evictions += n as u64;
+        n
+    }
+
+    /// Counter/occupancy snapshot.
+    pub fn stats(&self) -> RegistryStats {
+        let inner = self.inner.lock().unwrap();
+        RegistryStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            collisions: inner.collisions,
+            sessions: inner.entries.len(),
+            approx_bytes: inner.entries.values().map(|e| e.session.stats().approx_bytes).sum(),
+        }
+    }
+
+    /// Aggregated oracle-cache statistics across the resident sessions.
+    pub fn oracle_stats(&self) -> gts_core::containment::OracleCacheStats {
+        let inner = self.inner.lock().unwrap();
+        let mut agg = gts_core::containment::OracleCacheStats::default();
+        for e in inner.entries.values() {
+            agg.absorb(&e.session.oracle_stats());
+        }
+        agg
+    }
+
+    /// LRU sweep: drop least-recently-used entries while over the entry
+    /// or byte budget, always keeping the most recent one.
+    fn enforce(cfg: &RegistryConfig, inner: &mut Inner) {
+        loop {
+            if inner.entries.len() <= 1 {
+                return;
+            }
+            let over_entries = inner.entries.len() > cfg.max_sessions;
+            let over_bytes = {
+                let total: usize =
+                    inner.entries.values().map(|e| e.session.stats().approx_bytes).sum();
+                total > cfg.max_bytes
+            };
+            if !over_entries && !over_bytes {
+                return;
+            }
+            let oldest = inner
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(&k, _)| k)
+                .expect("non-empty");
+            inner.entries.remove(&oldest);
+            inner.evictions += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gts_core::prelude::*;
+    use std::sync::Arc;
+
+    fn fixture(n_labels: usize) -> (Vocab, Schema, Transformation) {
+        let mut v = Vocab::new();
+        let labels: Vec<_> = (0..n_labels.max(1)).map(|i| v.node_label(&format!("A{i}"))).collect();
+        let r = v.edge_label("r");
+        let a = labels[0];
+        let mut s = Schema::new();
+        s.set_edge(a, r, a, Mult::Star, Mult::Star);
+        for &l in &labels[1..] {
+            s.add_node_label(l);
+        }
+        let mut t = Transformation::new();
+        t.add_node_rule(
+            a,
+            C2rpq::new(1, vec![Var(0)], vec![Atom { x: Var(0), y: Var(0), regex: Regex::node(a) }]),
+        );
+        (v, s, t)
+    }
+
+    fn fp_of(v: &Vocab, s: &Schema) -> Fingerprint {
+        fingerprint(s, v, &ContainmentOptions::default())
+    }
+
+    fn key_of(v: &Vocab, s: &Schema) -> String {
+        canonical_key(s, v, &ContainmentOptions::default())
+    }
+
+    #[test]
+    fn fingerprints_separate_schemas_budgets_and_vocabularies() {
+        let (v, s, _) = fixture(1);
+        let base = fp_of(&v, &s);
+        assert_eq!(base, fp_of(&v, &s), "deterministic");
+        assert_eq!(Fingerprint::parse(&base.to_string()), Some(base), "hex roundtrip");
+
+        // A different schema over the same vocabulary.
+        let mut s2 = s.clone();
+        let a = v.find_node_label("A0").unwrap();
+        let r = v.find_edge_label("r").unwrap();
+        s2.set_edge(a, r, a, Mult::One, Mult::Star);
+        assert_ne!(base, fp_of(&v, &s2));
+
+        // The same schema under larger budgets.
+        let large = ContainmentOptions { budget: Budget::large(), ..Default::default() };
+        assert_ne!(base, fingerprint(&s, &v, &large));
+
+        // The same schema text with an extra interned label: positional
+        // label ids shift meaning, so the pool must separate them.
+        let mut v2 = v.clone();
+        v2.node_label("Extra");
+        assert_ne!(base, fp_of(&v2, &s));
+    }
+
+    #[test]
+    fn checkout_pools_and_shares_the_memo() {
+        let (v, s, t) = fixture(1);
+        let reg = SessionRegistry::new(RegistryConfig::default());
+        let fp = fp_of(&v, &s);
+        let (mut s1, hit1) =
+            reg.checkout(fp, &key_of(&v, &s), || AnalysisSession::new(s.clone(), v.clone()));
+        assert!(!hit1);
+        s1.type_check(&t, &s).unwrap();
+        let warmed = s1.stats().misses;
+        assert!(warmed > 0);
+        let (mut s2, hit2) =
+            reg.checkout(fp, &key_of(&v, &s), || AnalysisSession::new(s.clone(), v.clone()));
+        assert!(hit2);
+        s2.type_check(&t, &s).unwrap();
+        let after = s2.stats();
+        assert_eq!(after.misses, warmed, "the re-analysis was answered from the shared memo");
+        assert!(after.hits > 0);
+        let stats = reg.stats();
+        assert_eq!((stats.hits, stats.misses, stats.sessions), (1, 1, 1));
+        assert!(stats.approx_bytes > 0);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lru_eviction_under_entry_budget() {
+        let reg = SessionRegistry::new(RegistryConfig { max_sessions: 2, max_bytes: usize::MAX });
+        let fixtures: Vec<_> = (1..=3).map(fixture).collect();
+        let fps: Vec<_> = fixtures.iter().map(|(v, s, _)| fp_of(v, s)).collect();
+        assert_eq!(fps.iter().collect::<std::collections::HashSet<_>>().len(), 3);
+        for (v, s, _) in &fixtures {
+            reg.checkout(fp_of(v, s), &key_of(v, s), || AnalysisSession::new(s.clone(), v.clone()));
+        }
+        let stats = reg.stats();
+        assert_eq!(stats.sessions, 2);
+        assert_eq!(stats.evictions, 1);
+        // The least-recently-used (first) fingerprint was the victim.
+        let (v0, s0, _) = &fixtures[0];
+        let (_, hit) =
+            reg.checkout(fps[0], &key_of(v0, s0), || AnalysisSession::new(s0.clone(), v0.clone()));
+        assert!(!hit, "fixture 0 was evicted");
+        let (v2, s2, _) = &fixtures[2];
+        let (_, hit2) =
+            reg.checkout(fps[2], &key_of(v2, s2), || AnalysisSession::new(s2.clone(), v2.clone()));
+        assert!(hit2, "fixture 2 stayed resident");
+    }
+
+    #[test]
+    fn byte_budget_evicts_grown_memos_but_keeps_the_newest() {
+        let reg = SessionRegistry::new(RegistryConfig { max_sessions: 16, max_bytes: 1 });
+        let (v, s, t) = fixture(1);
+        let (mut sess, _) = reg.checkout(fp_of(&v, &s), &key_of(&v, &s), || {
+            AnalysisSession::new(s.clone(), v.clone())
+        });
+        sess.type_check(&t, &s).unwrap();
+        assert!(sess.stats().approx_bytes > 1);
+        // Still resident: the newest session is never evicted.
+        assert_eq!(reg.stats().sessions, 1);
+        // A second schema pushes the grown one out.
+        let (v2, s2, _) = fixture(2);
+        reg.checkout(fp_of(&v2, &s2), &key_of(&v2, &s2), || {
+            AnalysisSession::new(s2.clone(), v2.clone())
+        });
+        let stats = reg.stats();
+        assert_eq!(stats.sessions, 1);
+        assert!(stats.evictions >= 1);
+    }
+
+    #[test]
+    fn explicit_eviction_and_evict_all() {
+        let reg = SessionRegistry::new(RegistryConfig::default());
+        let (v, s, _) = fixture(1);
+        let fp = fp_of(&v, &s);
+        reg.checkout(fp, &key_of(&v, &s), || AnalysisSession::new(s.clone(), v.clone()));
+        assert!(reg.evict(fp));
+        assert!(!reg.evict(fp), "double eviction is a no-op");
+        reg.checkout(fp, &key_of(&v, &s), || AnalysisSession::new(s.clone(), v.clone()));
+        let (v2, s2, _) = fixture(2);
+        reg.checkout(fp_of(&v2, &s2), &key_of(&v2, &s2), || {
+            AnalysisSession::new(s2.clone(), v2.clone())
+        });
+        assert_eq!(reg.evict_all(), 2);
+        assert_eq!(reg.stats().sessions, 0);
+    }
+
+    #[test]
+    fn fingerprint_collisions_never_share_a_session() {
+        // Simulate a 64-bit collision: same fingerprint, different
+        // canonical keys (as two colliding (vocab, schema) identities
+        // would produce). The pool must treat the second checkout as a
+        // miss, not hand over the first identity's memo.
+        let (v, s, t) = fixture(1);
+        let reg = SessionRegistry::new(RegistryConfig::default());
+        let fp = Fingerprint(0xdead_beef);
+        let (mut s1, hit1) =
+            reg.checkout(fp, "identity-A", || AnalysisSession::new(s.clone(), v.clone()));
+        assert!(!hit1);
+        s1.type_check(&t, &s).unwrap();
+        let (s2, hit2) =
+            reg.checkout(fp, "identity-B", || AnalysisSession::new(s.clone(), v.clone()));
+        assert!(!hit2, "a collision is a miss, never a hit");
+        assert_eq!(s2.stats().entries, 0, "the colliding checkout got a fresh memo");
+        let stats = reg.stats();
+        assert_eq!(stats.collisions, 1);
+        // Newest wins: identity-B is now resident under that fingerprint.
+        let (_, hit3) =
+            reg.checkout(fp, "identity-B", || AnalysisSession::new(s.clone(), v.clone()));
+        assert!(hit3);
+    }
+
+    #[test]
+    fn many_threads_hammering_one_schema_share_one_memo() {
+        let (v, s, t) = fixture(1);
+        let reg = Arc::new(SessionRegistry::new(RegistryConfig::default()));
+        let fp = fp_of(&v, &s);
+        let key = key_of(&v, &s);
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let reg = Arc::clone(&reg);
+                let key = key.clone();
+                let (v, s, t) = (v.clone(), s.clone(), t.clone());
+                std::thread::spawn(move || {
+                    for _ in 0..5 {
+                        let (mut sess, _) =
+                            reg.checkout(fp, &key, || AnalysisSession::new(s.clone(), v.clone()));
+                        let d = sess.type_check(&t, &s).unwrap();
+                        assert!(d.holds && d.certified);
+                    }
+                })
+            })
+            .collect();
+        for th in threads {
+            th.join().unwrap();
+        }
+        let stats = reg.stats();
+        assert_eq!(stats.sessions, 1, "one fingerprint → one resident session");
+        assert_eq!(stats.hits + stats.misses, 8 * 5);
+        assert_eq!(stats.misses, 1, "exactly one thread built the session");
+        // All 40 analyses shared one memo. Concurrent first-askers can
+        // race on a cold key (the decide runs outside the memo lock), so
+        // the structural bound is: at most one miss per (thread, key)
+        // pair — everything else must have been a shared-memo hit.
+        let (mut sess, _) = reg.checkout(fp, &key_of(&v, &s), || unreachable!("resident"));
+        let memo = sess.stats();
+        assert!(
+            memo.misses <= 8 * memo.entries as u64,
+            "more misses than cold races can explain: {memo:?}"
+        );
+        assert!(memo.hits > 0, "repeat questions hit the shared memo: {memo:?}");
+        let d = sess.type_check(&t, &s).unwrap();
+        assert!(d.holds);
+    }
+
+    #[test]
+    fn many_schemas_under_budget_evict_consistently_across_threads() {
+        let reg = Arc::new(SessionRegistry::new(RegistryConfig {
+            max_sessions: 3,
+            max_bytes: usize::MAX,
+        }));
+        let fixtures: Arc<Vec<_>> = Arc::new((1..=10).map(fixture).collect());
+        let threads: Vec<_> = (0..8)
+            .map(|tid| {
+                let reg = Arc::clone(&reg);
+                let fixtures = Arc::clone(&fixtures);
+                std::thread::spawn(move || {
+                    for i in 0..30 {
+                        let (v, s, t) = &fixtures[(tid + i) % fixtures.len()];
+                        let fp = fp_of(v, s);
+                        let (mut sess, _) = reg.checkout(fp, &key_of(v, s), || {
+                            AnalysisSession::new(s.clone(), v.clone())
+                        });
+                        let d = sess.type_check(t, s).unwrap();
+                        assert!(d.holds, "verdicts survive eviction churn");
+                    }
+                })
+            })
+            .collect();
+        for th in threads {
+            th.join().unwrap();
+        }
+        let stats = reg.stats();
+        assert!(stats.sessions <= 3, "budget holds under concurrency: {stats:?}");
+        assert!(stats.evictions > 0);
+        assert_eq!(stats.hits + stats.misses, 8 * 30);
+    }
+}

@@ -1,0 +1,750 @@
+//! The resident server: thread-per-connection TCP acceptor, frame
+//! dispatch, and graceful drain.
+//!
+//! Lifecycle: [`Server::start`] binds the listener (port `0` picks an
+//! ephemeral port), spawns the acceptor thread, and returns a
+//! [`ServerHandle`]. Each accepted connection gets its own handler
+//! thread reading `\n`-terminated JSON frames under a short socket read
+//! timeout, so idle connections notice drain promptly. A `shutdown`
+//! frame (or [`ServerHandle::shutdown`]) flips the server into drain:
+//! the acceptor stops accepting, admission rejects new analyses,
+//! in-flight frames run to completion and their responses are written,
+//! idle connections close at their next timeout tick, and
+//! [`ServerHandle::join`] returns once every handler has exited.
+
+use crate::admission::{Admission, AdmissionConfig};
+use crate::proto::{self, PROTO_VERSION};
+use crate::registry::{
+    canonical_key, fingerprint_of, Fingerprint, RegistryConfig, SessionRegistry,
+};
+use gts_core::containment::ContainmentOptions;
+use gts_core::graph::{Graph, Vocab};
+use gts_core::sat::Budget;
+use gts_core::schema::Schema;
+use gts_core::Transformation;
+use gts_engine::{AnalysisSession, Json, Request, Verdict};
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A compiled `.gts` document: the artifacts the server resolves request
+/// specs against.
+pub struct Compiled {
+    /// Labels interned in declaration order.
+    pub vocab: Vocab,
+    /// Named schemas, in file order.
+    pub schemas: Vec<(String, Schema)>,
+    /// Named transformations, in file order.
+    pub transforms: Vec<(String, Transformation)>,
+}
+
+/// Compiles a `.gts` source text into analysis artifacts.
+pub type CompileFn = dyn Fn(&str) -> Result<Compiled, String> + Send + Sync;
+/// Parses the standalone graph-instance format against a vocabulary.
+pub type ParseInstanceFn = dyn Fn(&str, &mut Vocab) -> Result<Graph, String> + Send + Sync;
+/// Renders a schema for the wire (`elicit` results).
+pub type RenderSchemaFn = dyn Fn(&Schema, &Vocab) -> String + Send + Sync;
+
+/// The injected text front end (the server itself has no parser — see
+/// the crate docs for why).
+#[derive(Clone)]
+pub struct Frontend {
+    /// Compiles a `.gts` source text.
+    pub compile: Arc<CompileFn>,
+    /// Parses the standalone graph-instance format against a vocabulary.
+    pub parse_instance: Arc<ParseInstanceFn>,
+    /// Renders a schema (used for `elicit` results on the wire).
+    pub render_schema: Arc<RenderSchemaFn>,
+}
+
+/// Server configuration. The defaults suit tests and local use; the CLI
+/// maps `gts serve` flags onto the fields it exposes.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address (`"127.0.0.1:0"` picks an ephemeral port).
+    pub addr: String,
+    /// Admission bounds (in-flight analyses / wait-queue depth).
+    pub admission: AdmissionConfig,
+    /// Session-pool budgets.
+    pub registry: RegistryConfig,
+    /// Deadline applied to frames that carry none (`None` = unbounded).
+    pub default_deadline_ms: Option<u64>,
+    /// Hard cap on one frame's length in bytes; longer frames are
+    /// rejected and the connection closed (a malformed peer, not a
+    /// workload).
+    pub max_frame_bytes: usize,
+    /// Honor the `linger_ms` analyze field (holds the admission permit
+    /// while sleeping). A test/benchmark hook for making "slow requests"
+    /// deterministic; keep `false` in production setups.
+    pub allow_linger: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            admission: AdmissionConfig::default(),
+            registry: RegistryConfig::default(),
+            default_deadline_ms: None,
+            max_frame_bytes: 16 << 20,
+            allow_linger: false,
+        }
+    }
+}
+
+/// How often blocked reads wake up to check the drain flag.
+const READ_TICK: Duration = Duration::from_millis(25);
+/// How long the acceptor sleeps between accept polls.
+const ACCEPT_TICK: Duration = Duration::from_millis(10);
+/// Grace given to half-written frames once drain starts.
+const DRAIN_GRACE: Duration = Duration::from_secs(2);
+
+struct Shared {
+    cfg: ServerConfig,
+    frontend: Frontend,
+    registry: SessionRegistry,
+    admission: Admission,
+    draining: AtomicBool,
+    drained_at_tick: AtomicU64, // micros since `started`; 0 = not draining
+    started: Instant,
+    connections_open: AtomicUsize,
+    connections_total: AtomicU64,
+    frames_total: AtomicU64,
+    requests_total: AtomicU64,
+    errors_total: AtomicU64,
+}
+
+impl Shared {
+    fn begin_drain(&self) {
+        if !self.draining.swap(true, Ordering::SeqCst) {
+            let micros = self.started.elapsed().as_micros() as u64;
+            self.drained_at_tick.store(micros.max(1), Ordering::SeqCst);
+            self.admission.begin_drain();
+        }
+    }
+
+    fn drain_grace_expired(&self) -> bool {
+        let at = self.drained_at_tick.load(Ordering::SeqCst);
+        at != 0 && self.started.elapsed().as_micros() as u64 >= at + DRAIN_GRACE.as_micros() as u64
+    }
+}
+
+/// The server type; [`Server::start`] is the entry point.
+pub struct Server;
+
+/// A running server: address, stats access, shutdown/join.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `cfg.addr` and starts accepting.
+    pub fn start(cfg: ServerConfig, frontend: Frontend) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            admission: Admission::new(cfg.admission),
+            registry: SessionRegistry::new(cfg.registry),
+            cfg,
+            frontend,
+            draining: AtomicBool::new(false),
+            drained_at_tick: AtomicU64::new(0),
+            started: Instant::now(),
+            connections_open: AtomicUsize::new(0),
+            connections_total: AtomicU64::new(0),
+            frames_total: AtomicU64::new(0),
+            requests_total: AtomicU64::new(0),
+            errors_total: AtomicU64::new(0),
+        });
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(listener, shared))
+        };
+        Ok(ServerHandle { addr, shared, acceptor: Some(acceptor) })
+    }
+}
+
+impl ServerHandle {
+    /// The bound address (with the real port when `addr` asked for `0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The session pool (stats inspection in tests and benchmarks).
+    pub fn registry(&self) -> &SessionRegistry {
+        &self.shared.registry
+    }
+
+    /// The admission controller (stats inspection).
+    pub fn admission(&self) -> &Admission {
+        &self.shared.admission
+    }
+
+    /// Begins graceful drain (idempotent): stop accepting, reject new
+    /// analyses, let in-flight work finish.
+    pub fn shutdown(&self) {
+        self.shared.begin_drain();
+    }
+
+    /// Waits until the acceptor and every connection handler have
+    /// exited. Call [`ServerHandle::shutdown`] first (or have a client
+    /// send the `shutdown` verb), otherwise this blocks for the
+    /// server's lifetime.
+    pub fn join(mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    loop {
+        if shared.draining.load(Ordering::SeqCst) {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                shared.connections_total.fetch_add(1, Ordering::Relaxed);
+                shared.connections_open.fetch_add(1, Ordering::SeqCst);
+                let shared = Arc::clone(&shared);
+                handlers.push(std::thread::spawn(move || {
+                    handle_connection(stream, &shared);
+                    shared.connections_open.fetch_sub(1, Ordering::SeqCst);
+                }));
+                // Opportunistically reap finished handlers so the vec
+                // doesn't grow without bound on long uptimes.
+                handlers.retain(|h| !h.is_finished());
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_TICK),
+            Err(_) => std::thread::sleep(ACCEPT_TICK),
+        }
+    }
+    for h in handlers {
+        let _ = h.join();
+    }
+    // Drain completion: every admitted analysis has released its permit
+    // (handlers exited), so this returns immediately; it documents the
+    // invariant more than it waits.
+    shared.admission.await_idle();
+}
+
+/// Outcome of reading one frame line off a connection.
+enum FrameRead {
+    /// A complete line landed in the buffer (terminator stripped).
+    Frame,
+    /// Orderly end of stream (any unterminated trailing bytes were
+    /// already surfaced as a final frame).
+    Eof,
+    /// The server is draining and this connection should close.
+    Drain,
+    /// The line outgrew `max_frame_bytes` before its terminator.
+    TooBig,
+    /// Transport error — the peer vanished.
+    Disconnect,
+}
+
+/// Accumulates bytes up to the next `\n` into `buf`, waking every
+/// [`READ_TICK`] to honor drain. Working on raw bytes (rather than
+/// `read_line`) matters twice: the size bound is enforced *while* the
+/// line grows, not after it is fully buffered, and a read timeout can
+/// never corrupt a frame by splitting a multi-byte UTF-8 character
+/// (bytes stay in `buf` across wakeups; decoding happens once, on the
+/// complete line).
+fn read_frame(reader: &mut BufReader<TcpStream>, buf: &mut Vec<u8>, shared: &Shared) -> FrameRead {
+    buf.clear();
+    loop {
+        match reader.fill_buf() {
+            Ok([]) => {
+                // EOF: tolerate a final unterminated frame.
+                return if buf.is_empty() { FrameRead::Eof } else { FrameRead::Frame };
+            }
+            Ok(chunk) => {
+                if let Some(pos) = chunk.iter().position(|&b| b == b'\n') {
+                    buf.extend_from_slice(&chunk[..pos]);
+                    reader.consume(pos + 1);
+                    return FrameRead::Frame;
+                }
+                let n = chunk.len();
+                buf.extend_from_slice(chunk);
+                reader.consume(n);
+                if buf.len() > shared.cfg.max_frame_bytes {
+                    return FrameRead::TooBig;
+                }
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                let draining = shared.draining.load(Ordering::SeqCst);
+                if draining && (buf.is_empty() || shared.drain_grace_expired()) {
+                    return FrameRead::Drain; // idle (or hopeless) on drain
+                }
+            }
+            Err(_) => return FrameRead::Disconnect,
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(READ_TICK));
+    let Ok(read_half) = stream.try_clone() else { return };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    let mut buf = Vec::new();
+    loop {
+        match read_frame(&mut reader, &mut buf, shared) {
+            FrameRead::Frame => {}
+            FrameRead::Eof | FrameRead::Drain | FrameRead::Disconnect => return,
+            FrameRead::TooBig => {
+                shared.errors_total.fetch_add(1, Ordering::Relaxed);
+                let err = proto::error_frame(None, proto::BAD_FRAME, "frame exceeds size bound");
+                let _ = writeln!(writer, "{}", err.compact());
+                return;
+            }
+        }
+        let Ok(line) = std::str::from_utf8(&buf) else {
+            shared.errors_total.fetch_add(1, Ordering::Relaxed);
+            let err = proto::error_frame(None, proto::BAD_FRAME, "frame is not valid UTF-8");
+            let _ = writeln!(writer, "{}", err.compact());
+            return;
+        };
+        if line.trim().is_empty() {
+            continue; // blank keep-alive lines are tolerated
+        }
+        shared.frames_total.fetch_add(1, Ordering::Relaxed);
+        let (response, control) = dispatch(shared, line.trim());
+        if response.get("ok").and_then(Json::as_bool) == Some(false) {
+            shared.errors_total.fetch_add(1, Ordering::Relaxed);
+        }
+        if writeln!(writer, "{}", response.compact()).is_err() {
+            return;
+        }
+        let _ = writer.flush();
+        match control {
+            Control::Continue => {}
+            Control::Shutdown => {
+                shared.begin_drain();
+                return;
+            }
+        }
+    }
+}
+
+enum Control {
+    Continue,
+    Shutdown,
+}
+
+fn dispatch(shared: &Shared, raw: &str) -> (Json, Control) {
+    let frame = match Json::parse(raw) {
+        Ok(f) => f,
+        Err(e) => {
+            return (proto::error_frame(None, proto::BAD_FRAME, e.to_string()), Control::Continue)
+        }
+    };
+    if frame.get("op").is_none() && frame.get("v").is_none() {
+        return (
+            proto::error_frame(None, proto::BAD_FRAME, "expected an object with `v` and `op`"),
+            Control::Continue,
+        );
+    }
+    let op = frame.get("op").and_then(Json::as_str).unwrap_or_default().to_owned();
+    match frame.get("v").and_then(Json::as_i64) {
+        Some(v) if v == PROTO_VERSION => {}
+        other => {
+            let msg = format!(
+                "this server speaks protocol version {PROTO_VERSION}, frame carries {other:?}"
+            );
+            return (
+                proto::error_frame(Some(&op), proto::UNSUPPORTED_VERSION, msg),
+                Control::Continue,
+            );
+        }
+    }
+    match op.as_str() {
+        "ping" => {
+            let mut r = proto::ok_frame("ping");
+            r.set("proto", PROTO_VERSION)
+                .set("uptime_micros", shared.started.elapsed().as_micros() as u64);
+            (r, Control::Continue)
+        }
+        "stats" => (stats_frame(shared), Control::Continue),
+        "load_schema" => (load_schema(shared, &frame), Control::Continue),
+        "analyze" => (analyze(shared, &frame), Control::Continue),
+        "evict" => (evict(shared, &frame), Control::Continue),
+        "shutdown" => {
+            let mut r = proto::ok_frame("shutdown");
+            r.set("draining", true);
+            (r, Control::Shutdown)
+        }
+        other => (
+            proto::error_frame(Some(other), proto::UNKNOWN_OP, format!("unknown verb `{other}`")),
+            Control::Continue,
+        ),
+    }
+}
+
+/// The uniform statistics document: session registry, admission
+/// controller, aggregated oracle caches, server counters. The same
+/// numbers `gts batch --stats` reports locally.
+fn stats_frame(shared: &Shared) -> Json {
+    let mut r = proto::ok_frame("stats");
+    let reg = shared.registry.stats();
+    let mut registry = Json::obj();
+    registry
+        .set("sessions", reg.sessions)
+        .set("approx_bytes", reg.approx_bytes)
+        .set("hits", reg.hits)
+        .set("misses", reg.misses)
+        .set("evictions", reg.evictions)
+        .set("collisions", reg.collisions)
+        .set("hit_rate", reg.hit_rate())
+        .set("max_sessions", shared.registry.config().max_sessions)
+        .set("max_bytes", shared.registry.config().max_bytes);
+    r.set("registry", registry);
+    let adm = shared.admission.stats();
+    let mut admission = Json::obj();
+    admission
+        .set("inflight", adm.inflight)
+        .set("queued", adm.queued)
+        .set("admitted", adm.admitted)
+        .set("rejected_overloaded", adm.rejected_overloaded)
+        .set("rejected_deadline", adm.rejected_deadline)
+        .set("rejected_draining", adm.rejected_draining)
+        .set("peak_inflight", adm.peak_inflight)
+        .set("max_inflight", shared.admission.config().max_inflight)
+        .set("max_queue", shared.admission.config().max_queue);
+    r.set("admission", admission);
+    r.set("oracle", oracle_json(&shared.registry.oracle_stats()));
+    let mut server = Json::obj();
+    server
+        .set("uptime_micros", shared.started.elapsed().as_micros() as u64)
+        .set("connections_open", shared.connections_open.load(Ordering::SeqCst))
+        .set("connections_total", shared.connections_total.load(Ordering::Relaxed))
+        .set("frames_total", shared.frames_total.load(Ordering::Relaxed))
+        .set("requests_total", shared.requests_total.load(Ordering::Relaxed))
+        .set("errors_total", shared.errors_total.load(Ordering::Relaxed))
+        .set("draining", shared.draining.load(Ordering::SeqCst));
+    r.set("server", server);
+    r
+}
+
+/// Renders oracle-cache statistics (shared shape with `gts batch`).
+pub fn oracle_json(oracle: &gts_core::containment::OracleCacheStats) -> Json {
+    let mut o = Json::obj();
+    o.set("decides", oracle.solver.decides)
+        .set("solver_cache_hits", oracle.solver.cache_hits)
+        .set("solver_cache_misses", oracle.solver.cache_misses)
+        .set("solver_entries", oracle.solver.entries as u64)
+        .set("cores_tried", oracle.solver.cores_tried)
+        .set("cores_deduped", oracle.solver.cores_deduped)
+        .set("types_interned", oracle.solver.types_interned as u64)
+        .set("realize_hits", oracle.solver.realize_hits)
+        .set("realize_misses", oracle.solver.realize_misses)
+        .set("completion_hits", oracle.completion_hits)
+        .set("completion_misses", oracle.completion_misses);
+    o
+}
+
+/// Resolves the frame's `.gts` text, source schema, and engine options;
+/// shared by `load_schema` and `analyze`.
+fn resolve_source(
+    shared: &Shared,
+    frame: &Json,
+    op: &str,
+) -> Result<(Compiled, usize, ContainmentOptions, Fingerprint, String), Json> {
+    let gts = frame
+        .get("gts")
+        .and_then(Json::as_str)
+        .ok_or_else(|| proto::error_frame(Some(op), proto::BAD_FRAME, "missing `gts` text"))?;
+    let compiled = (shared.frontend.compile)(gts)
+        .map_err(|e| proto::error_frame(Some(op), proto::COMPILE_ERROR, e))?;
+    let source_key = if op == "load_schema" { "schema" } else { "source" };
+    let source_idx = match frame.get(source_key).and_then(Json::as_str) {
+        Some(name) => compiled.schemas.iter().position(|(n, _)| n == name).ok_or_else(|| {
+            proto::error_frame(
+                Some(op),
+                proto::BAD_REQUEST,
+                format!("no schema named `{name}` in the shipped text"),
+            )
+        })?,
+        None if !compiled.schemas.is_empty() => 0,
+        None => {
+            return Err(proto::error_frame(
+                Some(op),
+                proto::BAD_REQUEST,
+                "the shipped text declares no schema",
+            ))
+        }
+    };
+    let opts = match frame.get("budget").and_then(Json::as_str) {
+        None | Some("default") => ContainmentOptions::default(),
+        Some("large") => ContainmentOptions { budget: Budget::large(), ..Default::default() },
+        Some(other) => {
+            return Err(proto::error_frame(
+                Some(op),
+                proto::BAD_REQUEST,
+                format!("unknown budget `{other}` (expected `default` or `large`)"),
+            ))
+        }
+    };
+    let key = canonical_key(&compiled.schemas[source_idx].1, &compiled.vocab, &opts);
+    let fp = fingerprint_of(&key);
+    Ok((compiled, source_idx, opts, fp, key))
+}
+
+fn load_schema(shared: &Shared, frame: &Json) -> Json {
+    let (compiled, idx, opts, fp, key) = match resolve_source(shared, frame, "load_schema") {
+        Ok(x) => x,
+        Err(e) => return e,
+    };
+    let schema = compiled.schemas[idx].1.clone();
+    let vocab = compiled.vocab;
+    let (_, hit) =
+        shared.registry.checkout(fp, &key, || AnalysisSession::with_options(schema, vocab, opts));
+    let mut r = proto::ok_frame("load_schema");
+    r.set("fingerprint", fp.to_string())
+        .set("schema", compiled.schemas[idx].0.as_str())
+        .set("pool", if hit { "hit" } else { "miss" });
+    r
+}
+
+fn evict(shared: &Shared, frame: &Json) -> Json {
+    match frame.get("fingerprint") {
+        // Only a genuinely absent field means "evict everything": a
+        // present-but-malformed fingerprint must never escalate a typo
+        // into a full pool wipe.
+        None => {
+            let n = shared.registry.evict_all();
+            let mut r = proto::ok_frame("evict");
+            r.set("evicted", n as u64);
+            r
+        }
+        Some(v) => match v.as_str().and_then(Fingerprint::parse) {
+            Some(fp) if shared.registry.evict(fp) => {
+                let mut r = proto::ok_frame("evict");
+                r.set("evicted", 1u64);
+                r
+            }
+            Some(fp) => proto::error_frame(
+                Some("evict"),
+                proto::NOT_FOUND,
+                format!("fingerprint {fp} is not resident"),
+            ),
+            None => proto::error_frame(
+                Some("evict"),
+                proto::BAD_REQUEST,
+                "fingerprint must be a string of 16 hex digits",
+            ),
+        },
+    }
+}
+
+fn analyze(shared: &Shared, frame: &Json) -> Json {
+    let (compiled, idx, opts, fp, key) = match resolve_source(shared, frame, "analyze") {
+        Ok(x) => x,
+        Err(e) => return e,
+    };
+    let Some(specs) = frame.get("requests").and_then(Json::as_arr) else {
+        return proto::error_frame(Some("analyze"), proto::BAD_FRAME, "missing `requests` array");
+    };
+    // Resolve every spec BEFORE admission: malformed frames must not
+    // consume an analysis slot.
+    let mut resolved: Vec<(String, Request)> = Vec::with_capacity(specs.len());
+    for (i, spec) in specs.iter().enumerate() {
+        match resolve_spec(shared, &compiled, spec) {
+            Ok(labeled) => resolved.push(labeled),
+            Err(msg) => {
+                return proto::error_frame(
+                    Some("analyze"),
+                    proto::BAD_REQUEST,
+                    format!("request #{i}: {msg}"),
+                )
+            }
+        }
+    }
+    let deadline_ms = frame.get("deadline_ms").and_then(Json::as_u64);
+    let deadline = deadline_ms
+        .or(shared.cfg.default_deadline_ms)
+        .map(|ms| Instant::now() + Duration::from_millis(ms));
+    let permit = match shared.admission.admit(deadline) {
+        Ok(p) => p,
+        Err(e) => {
+            return proto::error_frame(Some("analyze"), e.code(), admission_message(e));
+        }
+    };
+    // Test/benchmark hook: hold the permit without doing work, so suites
+    // can exercise backpressure and drain deterministically.
+    if shared.cfg.allow_linger {
+        if let Some(ms) = frame.get("linger_ms").and_then(Json::as_u64) {
+            std::thread::sleep(Duration::from_millis(ms.min(10_000)));
+        }
+    }
+    let schema = compiled.schemas[idx].1.clone();
+    let (mut session, pool_hit) = shared
+        .registry
+        .checkout(fp, &key, || AnalysisSession::with_options(schema, compiled.vocab.clone(), opts));
+    let mut results = Vec::with_capacity(resolved.len());
+    for (label, request) in resolved {
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            let mut entry = Json::obj();
+            entry.set("label", label).set("error", proto::DEADLINE_EXCEEDED).set("skipped", true);
+            results.push(entry);
+            continue;
+        }
+        shared.requests_total.fetch_add(1, Ordering::Relaxed);
+        let start = Instant::now();
+        let verdict = request.run(&mut session);
+        let micros = start.elapsed().as_micros() as u64;
+        results.push(verdict_json(shared, &session, label, verdict, micros));
+    }
+    drop(permit);
+    let stats = session.stats();
+    let mut session_json = Json::obj();
+    session_json
+        .set("hits", stats.hits)
+        .set("misses", stats.misses)
+        .set("entries", stats.entries)
+        .set("approx_bytes", stats.approx_bytes)
+        .set("hit_rate", stats.hit_rate());
+    let mut r = proto::ok_frame("analyze");
+    r.set("fingerprint", fp.to_string())
+        .set("source", compiled.schemas[idx].0.as_str())
+        .set("pool", if pool_hit { "hit" } else { "miss" })
+        .set("results", Json::Arr(results))
+        .set("session", session_json)
+        .set("oracle", oracle_json(&session.oracle_stats()));
+    r
+}
+
+fn admission_message(e: crate::AdmissionError) -> &'static str {
+    match e {
+        crate::AdmissionError::Overloaded => {
+            "all analysis slots busy and the wait queue is full; retry later"
+        }
+        crate::AdmissionError::DeadlineExceeded => "deadline passed while queued for a slot",
+        crate::AdmissionError::Draining => "server is draining; no new analyses",
+    }
+}
+
+/// Resolves one request spec against the compiled document.
+fn resolve_spec(
+    shared: &Shared,
+    compiled: &Compiled,
+    spec: &Json,
+) -> Result<(String, Request), String> {
+    let kind = spec.get("kind").and_then(Json::as_str).ok_or("missing `kind`")?;
+    let transform = |key: &str| -> Result<Transformation, String> {
+        let name = spec
+            .get(key)
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("missing `{key}` transform name"))?;
+        compiled
+            .transforms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, t)| t.clone())
+            .ok_or_else(|| format!("no transform named `{name}` in the shipped text"))
+    };
+    let schema = |key: &str| -> Result<Schema, String> {
+        let name = spec
+            .get(key)
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("missing `{key}` schema name"))?;
+        compiled
+            .schemas
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, s)| s.clone())
+            .ok_or_else(|| format!("no schema named `{name}` in the shipped text"))
+    };
+    let label = |default: String| -> String {
+        spec.get("label").and_then(Json::as_str).map(str::to_owned).unwrap_or(default)
+    };
+    match kind {
+        "type_check" => {
+            let t = spec.get("transform").and_then(Json::as_str).unwrap_or("?").to_owned();
+            let target = spec.get("target").and_then(Json::as_str).unwrap_or("?").to_owned();
+            Ok((
+                label(format!("check {t} -> {target}")),
+                Request::TypeCheck {
+                    transform: transform("transform")?,
+                    target: schema("target")?,
+                },
+            ))
+        }
+        "equivalence" => {
+            let l = spec.get("left").and_then(Json::as_str).unwrap_or("?").to_owned();
+            let r = spec.get("right").and_then(Json::as_str).unwrap_or("?").to_owned();
+            Ok((
+                label(format!("equiv {l} ~ {r}")),
+                Request::Equivalence { left: transform("left")?, right: transform("right")? },
+            ))
+        }
+        "elicit" => {
+            let t = spec.get("transform").and_then(Json::as_str).unwrap_or("?").to_owned();
+            Ok((
+                label(format!("elicit {t}")),
+                Request::Elicit { transform: transform("transform")? },
+            ))
+        }
+        "execute" => {
+            let text =
+                spec.get("instance").and_then(Json::as_str).ok_or("missing `instance` text")?;
+            // Instances may intern new labels; parse against a scratch
+            // vocabulary clone (the session keeps its own).
+            let mut vocab = compiled.vocab.clone();
+            let instance = (shared.frontend.parse_instance)(text, &mut vocab)
+                .map_err(|e| format!("instance: {e}"))?;
+            let check_target = match spec.get("check_target").and_then(Json::as_str) {
+                Some(_) => Some(schema("check_target")?),
+                None => None,
+            };
+            let t = spec.get("transform").and_then(Json::as_str).unwrap_or("?").to_owned();
+            Ok((
+                label(format!("execute {t}")),
+                Request::Execute { transform: transform("transform")?, instance, check_target },
+            ))
+        }
+        other => Err(format!("unknown request kind `{other}`")),
+    }
+}
+
+/// Renders one request outcome as a result entry (same field names as
+/// the `gts batch` JSON).
+fn verdict_json(
+    shared: &Shared,
+    session: &AnalysisSession,
+    label: String,
+    verdict: Result<Verdict, gts_core::AnalysisError>,
+    micros: u64,
+) -> Json {
+    let mut entry = Json::obj();
+    entry.set("label", label).set("micros", micros);
+    match verdict {
+        Ok(Verdict::Decision(d)) => {
+            entry.set("holds", d.holds).set("certified", d.certified);
+        }
+        Ok(Verdict::Elicited { schema, certified }) => {
+            entry
+                .set("schema", (shared.frontend.render_schema)(&schema, session.vocab()))
+                .set("certified", certified);
+        }
+        Ok(Verdict::Executed { output, conforms }) => {
+            entry
+                .set("output_nodes", output.num_nodes() as u64)
+                .set("output_edges", output.num_edges() as u64);
+            if let Some(ok) = conforms {
+                entry.set("conforms", ok);
+            }
+        }
+        Err(e) => {
+            entry.set("error", format!("{e:?}"));
+        }
+    }
+    entry
+}

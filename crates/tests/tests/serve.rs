@@ -1,0 +1,478 @@
+//! Loopback integration suite for `gts-serve`: happy-path verdict parity
+//! with direct sessions, the malformed-frame/early-disconnect battery,
+//! backpressure rejection, eviction correctness, and graceful shutdown
+//! mid-stream. Every test starts a real server on an ephemeral loopback
+//! port and talks to it over TCP through `gts_serve::Client`.
+
+use gts_engine::Json;
+use gts_serve::{
+    proto, AdmissionConfig, Client, RegistryConfig, Server, ServerConfig, ServerHandle,
+};
+use std::time::{Duration, Instant};
+
+/// The medical fixture of Figure 1 in `.gts` text form.
+const MEDICAL: &str = r#"
+schema S0 {
+  node Vaccine
+  node Antigen
+  node Pathogen
+  edge Vaccine -designTarget-> Antigen [1, *]
+  edge Antigen -crossReacting-> Antigen [*, *]
+  edge Pathogen -exhibits-> Antigen [+, *]
+}
+schema S1 {
+  node Vaccine
+  node Antigen
+  node Pathogen
+  edge Vaccine -designTarget-> Antigen [1, *]
+  edge Vaccine -targets-> Antigen [+, *]
+  edge Pathogen -exhibits-> Antigen [+, *]
+}
+transform T0 {
+  Vaccine(f(x)) <- (Vaccine)(x)
+  Antigen(f(x)) <- (Antigen)(x)
+  designTarget(Vaccine(x), Antigen(y)) <- (designTarget)(x, y)
+  targets(Vaccine(x), Antigen(y)) <- (designTarget . crossReacting*)(x, y)
+  Pathogen(f(x)) <- (Pathogen)(x)
+  exhibits(Pathogen(x), Antigen(y)) <- (exhibits)(x, y)
+}
+"#;
+
+const MEDICAL_INSTANCE: &str = "\
+node v1 Vaccine
+node a1 Antigen
+node a2 Antigen
+node p1 Pathogen
+edge v1 designTarget a1
+edge a1 crossReacting a2
+edge p1 exhibits a1
+edge p1 exhibits a2
+";
+
+/// A deliberately tiny second fixture (distinct fingerprint).
+const TINY: &str = r#"
+schema S {
+  node Person
+  edge Person -knows-> Person [*, *]
+}
+transform T {
+  Person(f(x)) <- (Person)(x)
+  knows(Person(x), Person(y)) <- (knows)(x, y)
+}
+"#;
+
+fn start(cfg: ServerConfig) -> ServerHandle {
+    Server::start(cfg, gts_cli::frontend()).expect("bind loopback")
+}
+
+fn start_default() -> ServerHandle {
+    start(ServerConfig::default())
+}
+
+fn connect(handle: &ServerHandle) -> Client {
+    Client::connect(handle.addr()).expect("connect loopback")
+}
+
+fn ok(frame: &Json) -> bool {
+    frame.get("ok").and_then(Json::as_bool) == Some(true)
+}
+
+fn results(frame: &Json) -> &[Json] {
+    frame.get("results").and_then(Json::as_arr).unwrap_or_default()
+}
+
+fn shutdown_and_join(handle: ServerHandle) {
+    let mut c = connect(&handle);
+    assert!(ok(&c.shutdown().unwrap()));
+    handle.join();
+}
+
+#[test]
+fn happy_path_verdicts_match_a_direct_session() {
+    let handle = start_default();
+    let mut client = connect(&handle);
+
+    let resp = client
+        .analyze(
+            MEDICAL,
+            Some("S0"),
+            vec![
+                proto::spec_type_check("T0", "S1"),
+                proto::spec_type_check("T0", "S0"),
+                proto::spec_equivalence("T0", "T0"),
+                proto::spec_elicit("T0"),
+                proto::spec_execute("T0", MEDICAL_INSTANCE, Some("S1")),
+            ],
+        )
+        .unwrap();
+    assert!(ok(&resp), "{}", resp.pretty());
+    assert_eq!(resp.get("pool").and_then(Json::as_str), Some("miss"));
+    let entries = results(&resp);
+    assert_eq!(entries.len(), 5);
+
+    // The same questions asked directly of gts-engine.
+    let file = gts_cli::GtsFile::parse(MEDICAL).unwrap();
+    let mut session =
+        gts_engine::AnalysisSession::new(file.schema("S0").unwrap().clone(), file.vocab.clone());
+    let t0 = file.transform("T0").unwrap();
+    let direct_s1 = session.type_check(t0, file.schema("S1").unwrap()).unwrap();
+    let direct_s0 = session.type_check(t0, file.schema("S0").unwrap()).unwrap();
+    let direct_eq = session.equivalence(t0, t0).unwrap();
+    let elicited = session.elicit(t0).unwrap();
+
+    assert_eq!(entries[0].get("holds").and_then(Json::as_bool), Some(direct_s1.holds));
+    assert_eq!(entries[0].get("certified").and_then(Json::as_bool), Some(direct_s1.certified));
+    assert_eq!(entries[1].get("holds").and_then(Json::as_bool), Some(direct_s0.holds));
+    assert_eq!(entries[2].get("holds").and_then(Json::as_bool), Some(direct_eq.holds));
+    let wire_schema = entries[3].get("schema").and_then(Json::as_str).unwrap();
+    assert!(wire_schema.contains("targets"), "{wire_schema}");
+    assert_eq!(entries[3].get("certified").and_then(Json::as_bool), Some(elicited.certified));
+    // Execution: 4 nodes survive, crossReacting collapses into targets.
+    assert_eq!(entries[4].get("output_nodes").and_then(Json::as_u64), Some(4));
+    assert_eq!(entries[4].get("conforms").and_then(Json::as_bool), Some(true));
+
+    // A second identical frame is a pool hit answered from the memo.
+    let resp2 =
+        client.analyze(MEDICAL, Some("S0"), vec![proto::spec_type_check("T0", "S1")]).unwrap();
+    assert!(ok(&resp2));
+    assert_eq!(resp2.get("pool").and_then(Json::as_str), Some("hit"));
+    let warm = &results(&resp2)[0];
+    assert_eq!(warm.get("holds").and_then(Json::as_bool), Some(direct_s1.holds));
+    let session_stats = resp2.get("session").unwrap();
+    assert!(session_stats.get("hits").and_then(Json::as_u64).unwrap() > 0);
+    assert!(session_stats.get("approx_bytes").and_then(Json::as_u64).unwrap() > 0);
+
+    shutdown_and_join(handle);
+}
+
+#[test]
+fn malformed_frames_get_error_responses_and_the_connection_survives() {
+    let handle = start_default();
+    let mut client = connect(&handle);
+
+    let cases: &[(&str, &str)] = &[
+        ("this is not json", proto::BAD_FRAME),
+        ("[1, 2, 3]", proto::BAD_FRAME),
+        (r#"{"v": 99, "op": "ping"}"#, proto::UNSUPPORTED_VERSION),
+        (r#"{"op": "ping"}"#, proto::UNSUPPORTED_VERSION),
+        (r#"{"v": 1, "op": "frobnicate"}"#, proto::UNKNOWN_OP),
+        (r#"{"v": 1, "op": "analyze"}"#, proto::BAD_FRAME),
+        (r#"{"v": 1, "op": "analyze", "gts": "schema S {", "requests": []}"#, proto::COMPILE_ERROR),
+        (r#"{"v": 1, "op": "load_schema", "gts": "node A"}"#, proto::BAD_REQUEST),
+        (r#"{"v": 1, "op": "evict", "fingerprint": "nope"}"#, proto::BAD_REQUEST),
+    ];
+    for (raw, want) in cases {
+        let resp = client.roundtrip_raw(raw).unwrap();
+        assert!(!ok(&resp), "accepted {raw}: {}", resp.pretty());
+        assert_eq!(
+            resp.get("error").and_then(Json::as_str),
+            Some(*want),
+            "{raw} → {}",
+            resp.pretty()
+        );
+    }
+    // Bad request specs inside an otherwise valid frame.
+    let resp =
+        client.analyze(TINY, None, vec![proto::spec_type_check("NoSuchTransform", "S")]).unwrap();
+    assert_eq!(resp.get("error").and_then(Json::as_str), Some(proto::BAD_REQUEST));
+    let resp = client
+        .roundtrip_raw(
+            r#"{"v":1,"op":"analyze","gts":"schema S { node A }","requests":[{"kind":"mystery"}]}"#,
+        )
+        .unwrap();
+    assert_eq!(resp.get("error").and_then(Json::as_str), Some(proto::BAD_REQUEST));
+
+    // After all that abuse the same connection still answers pings and
+    // real work.
+    assert!(ok(&client.ping().unwrap()));
+    let good = client.analyze(TINY, Some("S"), vec![proto::spec_elicit("T")]).unwrap();
+    assert!(ok(&good), "{}", good.pretty());
+
+    shutdown_and_join(handle);
+}
+
+#[test]
+fn early_disconnects_leave_the_server_healthy() {
+    let handle = start_default();
+
+    // Half a frame, then gone.
+    let c1 = connect(&handle);
+    c1.send_partial_and_close(r#"{"v": 1, "op": "anal"#).unwrap();
+    // A whole frame with no newline, then gone.
+    let c2 = connect(&handle);
+    c2.send_partial_and_close(r#"{"v": 1, "op": "ping"}"#).unwrap();
+    // Connect and say nothing at all.
+    let c3 = connect(&handle);
+    drop(c3);
+
+    // The server shrugged all three off.
+    let mut c4 = connect(&handle);
+    assert!(ok(&c4.ping().unwrap()));
+    let resp = c4.analyze(TINY, Some("S"), vec![proto::spec_type_check("T", "S")]).unwrap();
+    assert!(ok(&resp), "{}", resp.pretty());
+    assert_eq!(results(&resp)[0].get("holds").and_then(Json::as_bool), Some(true));
+
+    shutdown_and_join(handle);
+}
+
+/// An analyze frame that holds its admission slot for `ms` (the server
+/// honors `linger_ms` only when configured with `allow_linger`).
+fn lingering_frame(ms: u64) -> Json {
+    let mut f = proto::analyze_frame(TINY, Some("S"), vec![proto::spec_type_check("T", "S")]);
+    f.set("linger_ms", ms);
+    f
+}
+
+#[test]
+fn backpressure_rejects_rather_than_buffers() {
+    let handle = start(ServerConfig {
+        admission: AdmissionConfig { max_inflight: 1, max_queue: 0 },
+        allow_linger: true,
+        ..Default::default()
+    });
+
+    // Connection A occupies the only slot for a while.
+    let addr = handle.addr();
+    let slow = std::thread::spawn(move || {
+        let mut a = Client::connect(addr).unwrap();
+        a.roundtrip(&lingering_frame(1200)).unwrap()
+    });
+    // Wait until A's analysis is actually in flight.
+    let mut b = connect(&handle);
+    let t0 = Instant::now();
+    while handle.admission().stats().inflight == 0 {
+        assert!(t0.elapsed() < Duration::from_secs(5), "A never got admitted");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // B is bounced immediately with a backpressure error — not queued.
+    let t1 = Instant::now();
+    let resp = b.roundtrip(&lingering_frame(0)).unwrap();
+    assert!(t1.elapsed() < Duration::from_millis(600), "rejection was not prompt");
+    assert!(!ok(&resp));
+    assert_eq!(resp.get("error").and_then(Json::as_str), Some(proto::OVERLOADED));
+
+    // A's own frame completes fine, and afterwards B gets a slot.
+    let a_resp = slow.join().unwrap();
+    assert!(ok(&a_resp), "{}", a_resp.pretty());
+    let retry = b.roundtrip(&lingering_frame(0)).unwrap();
+    assert!(ok(&retry), "{}", retry.pretty());
+    assert!(handle.admission().stats().rejected_overloaded >= 1);
+
+    shutdown_and_join(handle);
+}
+
+#[test]
+fn queued_requests_respect_deadlines() {
+    let handle = start(ServerConfig {
+        admission: AdmissionConfig { max_inflight: 1, max_queue: 4 },
+        allow_linger: true,
+        ..Default::default()
+    });
+    let addr = handle.addr();
+    let slow = std::thread::spawn(move || {
+        let mut a = Client::connect(addr).unwrap();
+        a.roundtrip(&lingering_frame(1000)).unwrap()
+    });
+    let mut b = connect(&handle);
+    let t0 = Instant::now();
+    while handle.admission().stats().inflight == 0 {
+        assert!(t0.elapsed() < Duration::from_secs(5), "A never got admitted");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let mut f = lingering_frame(0);
+    f.set("deadline_ms", 80u64);
+    let resp = b.roundtrip(&f).unwrap();
+    assert!(!ok(&resp));
+    assert_eq!(resp.get("error").and_then(Json::as_str), Some(proto::DEADLINE_EXCEEDED));
+    assert!(ok(&slow.join().unwrap()));
+    shutdown_and_join(handle);
+}
+
+#[test]
+fn eviction_correctness_evicted_schemas_reanalyze_to_identical_verdicts() {
+    // A pool with room for exactly one session: alternating between two
+    // schemas evicts on every switch.
+    let handle = start(ServerConfig {
+        registry: RegistryConfig { max_sessions: 1, max_bytes: usize::MAX },
+        ..Default::default()
+    });
+    let mut client = connect(&handle);
+
+    let medical = || {
+        vec![
+            proto::spec_type_check("T0", "S1"),
+            proto::spec_type_check("T0", "S0"),
+            proto::spec_elicit("T0"),
+        ]
+    };
+    let tiny = || vec![proto::spec_type_check("T", "S"), proto::spec_elicit("T")];
+
+    let first_medical = client.analyze(MEDICAL, Some("S0"), medical()).unwrap();
+    assert!(ok(&first_medical));
+    let first_tiny = client.analyze(TINY, Some("S"), tiny()).unwrap();
+    assert!(ok(&first_tiny));
+    // Round two: each schema was evicted by the other, so both are pool
+    // misses that must reproduce the original verdicts from scratch.
+    let second_medical = client.analyze(MEDICAL, Some("S0"), medical()).unwrap();
+    let second_tiny = client.analyze(TINY, Some("S"), tiny()).unwrap();
+    for (first, second) in [(&first_medical, &second_medical), (&first_tiny, &second_tiny)] {
+        assert_eq!(second.get("pool").and_then(Json::as_str), Some("miss"), "evicted → rebuilt");
+        assert_eq!(
+            first.get("fingerprint").and_then(Json::as_str),
+            second.get("fingerprint").and_then(Json::as_str),
+            "same schema, same fingerprint"
+        );
+        for (a, b) in results(first).iter().zip(results(second)) {
+            assert_eq!(a.get("label"), b.get("label"));
+            assert_eq!(a.get("holds"), b.get("holds"), "verdict changed across eviction");
+            assert_eq!(a.get("certified"), b.get("certified"));
+            assert_eq!(a.get("schema"), b.get("schema"), "elicited schema changed");
+        }
+    }
+    let stats = handle.registry().stats();
+    assert_eq!(stats.sessions, 1);
+    assert!(stats.evictions >= 3, "every switch evicted: {stats:?}");
+
+    shutdown_and_join(handle);
+}
+
+#[test]
+fn load_schema_and_evict_verbs_manage_the_pool() {
+    let handle = start_default();
+    let mut client = connect(&handle);
+
+    let loaded = client.load_schema(MEDICAL, Some("S0")).unwrap();
+    assert!(ok(&loaded), "{}", loaded.pretty());
+    let fp = loaded.get("fingerprint").and_then(Json::as_str).unwrap().to_owned();
+    assert_eq!(loaded.get("pool").and_then(Json::as_str), Some("miss"));
+    // Loading again is a hit; analyzing against it is a hit too.
+    let again = client.load_schema(MEDICAL, Some("S0")).unwrap();
+    assert_eq!(again.get("pool").and_then(Json::as_str), Some("hit"));
+    assert_eq!(again.get("fingerprint").and_then(Json::as_str), Some(fp.as_str()));
+    let resp =
+        client.analyze(MEDICAL, Some("S0"), vec![proto::spec_type_check("T0", "S1")]).unwrap();
+    assert_eq!(resp.get("pool").and_then(Json::as_str), Some("hit"));
+
+    // Evict by fingerprint, then by sweep.
+    let evicted = client.evict(Some(&fp)).unwrap();
+    assert!(ok(&evicted));
+    assert_eq!(evicted.get("evicted").and_then(Json::as_u64), Some(1));
+    let missing = client.evict(Some(&fp)).unwrap();
+    assert_eq!(missing.get("error").and_then(Json::as_str), Some(proto::NOT_FOUND));
+    client.load_schema(MEDICAL, Some("S0")).unwrap();
+    client.load_schema(TINY, None).unwrap();
+    let swept = client.evict(None).unwrap();
+    assert_eq!(swept.get("evicted").and_then(Json::as_u64), Some(2));
+    assert_eq!(handle.registry().stats().sessions, 0);
+
+    shutdown_and_join(handle);
+}
+
+#[test]
+fn stats_verb_reports_registry_admission_oracle_and_server() {
+    let handle = start_default();
+    let mut client = connect(&handle);
+    client.analyze(TINY, Some("S"), vec![proto::spec_elicit("T")]).unwrap();
+    let stats = client.stats().unwrap();
+    assert!(ok(&stats), "{}", stats.pretty());
+    let registry = stats.get("registry").unwrap();
+    assert_eq!(registry.get("sessions").and_then(Json::as_u64), Some(1));
+    assert!(registry.get("approx_bytes").and_then(Json::as_u64).unwrap() > 0);
+    let admission = stats.get("admission").unwrap();
+    assert_eq!(admission.get("admitted").and_then(Json::as_u64), Some(1));
+    assert_eq!(admission.get("inflight").and_then(Json::as_u64), Some(0));
+    let oracle = stats.get("oracle").unwrap();
+    assert!(oracle.get("decides").and_then(Json::as_u64).unwrap() > 0);
+    let server = stats.get("server").unwrap();
+    assert!(server.get("connections_total").and_then(Json::as_u64).unwrap() >= 1);
+    assert_eq!(server.get("draining").and_then(Json::as_bool), Some(false));
+    shutdown_and_join(handle);
+}
+
+#[test]
+fn graceful_shutdown_drains_in_flight_work() {
+    let handle = start(ServerConfig { allow_linger: true, ..Default::default() });
+    let addr = handle.addr();
+
+    // A long-running frame on connection A…
+    let slow = std::thread::spawn(move || {
+        let mut a = Client::connect(addr).unwrap();
+        a.roundtrip(&lingering_frame(700)).unwrap()
+    });
+    let t0 = Instant::now();
+    while handle.admission().stats().inflight == 0 {
+        assert!(t0.elapsed() < Duration::from_secs(5), "A never got admitted");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    // …then a shutdown from connection B mid-stream.
+    let mut b = connect(&handle);
+    let resp = b.shutdown().unwrap();
+    assert!(ok(&resp));
+    assert_eq!(resp.get("draining").and_then(Json::as_bool), Some(true));
+
+    // A's response still arrives, complete and ok: drain waited for it.
+    let a_resp = slow.join().unwrap();
+    assert!(ok(&a_resp), "{}", a_resp.pretty());
+    assert_eq!(results(&a_resp).len(), 1);
+
+    // After the drain completes the listener is gone.
+    handle.join();
+    assert!(Client::connect(addr).is_err(), "post-drain connections must be refused");
+}
+
+#[test]
+fn draining_servers_reject_new_analyses() {
+    let handle = start(ServerConfig { allow_linger: true, ..Default::default() });
+    let addr = handle.addr();
+    // Hold a connection open from before the drain.
+    let mut early = connect(&handle);
+    assert!(ok(&early.ping().unwrap()));
+    let slow = std::thread::spawn(move || {
+        let mut a = Client::connect(addr).unwrap();
+        a.roundtrip(&lingering_frame(600)).unwrap()
+    });
+    let t0 = Instant::now();
+    while handle.admission().stats().inflight == 0 {
+        assert!(t0.elapsed() < Duration::from_secs(5));
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    handle.shutdown();
+    // The pre-existing connection's new analysis is refused…
+    let resp = early.roundtrip(&lingering_frame(0)).unwrap();
+    assert!(!ok(&resp));
+    assert_eq!(resp.get("error").and_then(Json::as_str), Some(proto::SHUTTING_DOWN));
+    // …while the in-flight one completes.
+    assert!(ok(&slow.join().unwrap()));
+    handle.join();
+}
+
+#[test]
+fn concurrent_clients_share_one_resident_session() {
+    // Enough queue room for all six clients even on a single-core host
+    // (the default bounds scale with the core count).
+    let handle = start(ServerConfig {
+        admission: AdmissionConfig { max_inflight: 2, max_queue: 16 },
+        ..Default::default()
+    });
+    let addr = handle.addr();
+    let workers: Vec<_> = (0..6)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).unwrap();
+                let resp = c
+                    .analyze(MEDICAL, Some("S0"), vec![proto::spec_type_check("T0", "S1")])
+                    .unwrap();
+                assert!(ok(&resp), "{}", resp.pretty());
+                results(&resp)[0].get("holds").and_then(Json::as_bool).unwrap()
+            })
+        })
+        .collect();
+    let verdicts: Vec<bool> = workers.into_iter().map(|w| w.join().unwrap()).collect();
+    assert!(verdicts.iter().all(|&v| v), "every client saw the same (true) verdict");
+    let stats = handle.registry().stats();
+    assert_eq!(stats.sessions, 1, "one schema → one resident session: {stats:?}");
+    assert_eq!(stats.hits + stats.misses, 6);
+    assert_eq!(stats.misses, 1, "five clients reused the first client's session");
+    shutdown_and_join(handle);
+}
