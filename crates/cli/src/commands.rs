@@ -23,7 +23,6 @@
 use crate::parse::GtsFile;
 use crate::print;
 use gts_core::containment::{contains_nre, ContainmentOptions, OracleCache, OracleCacheStats};
-use gts_core::{elicit_schema, equivalence, type_check};
 use gts_engine::{AnalysisSession, Batch, CacheStats, Json, Request, Verdict};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -54,11 +53,15 @@ fn usage() -> String {
      \x20 batch     FILE... [--threads N] [--stats]        run all analyses of each file, emit JSON\n\
      \x20 serve     [--addr A] [--threads N] [--queue N]   resident analysis server (newline-\n\
      \x20           [--max-sessions N] [--max-session-mb N] delimited JSON protocol; shut down\n\
-     \x20           [--deadline-ms N]                      with `gts client --verb shutdown`)\n\
+     \x20           [--deadline-ms N] [--cache-dir DIR]    with `gts client --verb shutdown`)\n\
+     \x20           [--flush-ms N]\n\
      \x20 client    FILE... [--addr A]                     the batch suite over the wire, or a\n\
      \x20           | --verb ping|stats|evict|shutdown     control verb against a running server\n\
+     \x20           |        cache-export|cache-import     (see --fingerprint / --store)\n\
      \x20 (batch/client accept `-` as FILE to read the .gts source from stdin)\n\
-     \x20 (check/equiv/elicit/contains/safety also take --stats: append oracle statistics)\n"
+     \x20 (check/equiv/elicit/contains/safety also take --stats: append oracle statistics)\n\
+     \x20 (analysis commands + batch/serve take --cache-dir DIR — or the GTS_CACHE_DIR env var —\n\
+     \x20  to persist oracle state across runs in DIR/*.gtsc; --no-cache forces a stateless run)\n"
         .into()
 }
 
@@ -69,7 +72,12 @@ fn parse_flags(args: &[String]) -> Result<(HashMap<String, String>, Vec<String>)
     while i < args.len() {
         let a = &args[i];
         if let Some(name) = a.strip_prefix("--") {
-            if name == "dot" || name == "naive" || name == "stats" || name == "allow-linger" {
+            if name == "dot"
+                || name == "naive"
+                || name == "stats"
+                || name == "allow-linger"
+                || name == "no-cache"
+            {
                 flags.insert(name.to_owned(), "true".to_owned());
                 i += 1;
             } else {
@@ -87,6 +95,19 @@ fn parse_flags(args: &[String]) -> Result<(HashMap<String, String>, Vec<String>)
 
 fn need<'a>(flags: &'a HashMap<String, String>, name: &str) -> Result<&'a str, String> {
     flags.get(name).map(|s| s.as_str()).ok_or_else(|| format!("missing required flag --{name}"))
+}
+
+/// Resolves the persistent-cache directory: `--cache-dir DIR` wins, then
+/// the `GTS_CACHE_DIR` environment variable; `--no-cache` overrides both.
+/// `None` = stateless run (the default).
+pub(crate) fn cache_dir_from(flags: &HashMap<String, String>) -> Option<std::path::PathBuf> {
+    if flags.contains_key("no-cache") {
+        return None;
+    }
+    if let Some(dir) = flags.get("cache-dir") {
+        return Some(std::path::PathBuf::from(dir));
+    }
+    std::env::var_os("GTS_CACHE_DIR").map(std::path::PathBuf::from)
 }
 
 /// Runs a command line (without the leading program name) against `read`,
@@ -122,6 +143,21 @@ fn run_inner(
     let cache = Arc::new(OracleCache::new());
     let opts =
         ContainmentOptions { cache: Some(Arc::clone(&cache)), ..ContainmentOptions::default() };
+    // Persistent disk cache (--cache-dir / GTS_CACHE_DIR, vetoed by
+    // --no-cache): analysis commands bind an `AnalysisSession` over the
+    // command's source schema to its store file, hydrating prior verdict
+    // memos, completion memos, and solver snapshots before the first
+    // question, and flushing what this run learned on drop.
+    let cache_dir = cache_dir_from(&flags);
+    let bind_session =
+        |schema: &gts_core::schema::Schema, vocab: &gts_core::graph::Vocab| -> AnalysisSession {
+            let mut session =
+                AnalysisSession::with_options(schema.clone(), vocab.clone(), opts.clone());
+            if let Some(dir) = &cache_dir {
+                session.attach_disk(dir);
+            }
+            session
+        };
     let finish_stats = |outcome: Result<Outcome, String>| -> Result<Outcome, String> {
         let mut o = outcome?;
         if want_stats {
@@ -146,8 +182,9 @@ fn run_inner(
             let t = lookup_transform(&file, need(&flags, "transform")?)?;
             let s = lookup_schema(&file, need(&flags, "source")?)?;
             let s2 = lookup_schema(&file, need(&flags, "target")?)?;
-            let d = type_check(&t, &s, &s2, &mut file.vocab, &opts)
-                .map_err(|e| format!("type checking failed: {e:?}"))?;
+            let mut session = bind_session(&s, &file.vocab);
+            let d =
+                session.type_check(&t, &s2).map_err(|e| format!("type checking failed: {e:?}"))?;
             let mut o = verdict_outcome("type check", d.holds, d.certified);
             if !d.holds {
                 let mut rng = seeded_rng();
@@ -168,7 +205,9 @@ fn run_inner(
             let t1 = lookup_transform(&file, need(&flags, "t1")?)?;
             let t2 = lookup_transform(&file, need(&flags, "t2")?)?;
             let s = lookup_schema(&file, need(&flags, "source")?)?;
-            let d = equivalence(&t1, &t2, &s, &mut file.vocab, &opts)
+            let mut session = bind_session(&s, &file.vocab);
+            let d = session
+                .equivalence(&t1, &t2)
                 .map_err(|e| format!("equivalence check failed: {e:?}"))?;
             let mut o = verdict_outcome("equivalence", d.holds, d.certified);
             if !d.holds {
@@ -189,9 +228,9 @@ fn run_inner(
         "elicit" => {
             let t = lookup_transform(&file, need(&flags, "transform")?)?;
             let s = lookup_schema(&file, need(&flags, "source")?)?;
-            let e = elicit_schema(&t, &s, &mut file.vocab, &opts)
-                .map_err(|e| format!("elicitation failed: {e:?}"))?;
-            let mut out = print::schema_block("Elicited", &e.schema, &file.vocab);
+            let mut session = bind_session(&s, &file.vocab);
+            let e = session.elicit(&t).map_err(|e| format!("elicitation failed: {e:?}"))?;
+            let mut out = print::schema_block("Elicited", &e.schema, session.vocab());
             if !e.certified {
                 out.push_str("# warning: some entailment tests were uncertified\n");
             }
@@ -271,6 +310,11 @@ fn run_inner(
                 .cloned()
                 .ok_or_else(|| format!("no query named `{}` in {path}", flags["q"]))?;
             let s = lookup_schema(&file, need(&flags, "schema")?)?;
+            // Containment runs through the free function (NRE queries are
+            // not session requests), but a disk-bound anchor session over
+            // the same schema hydrates the shared oracle cache first and
+            // flushes what this run adds to it when dropped.
+            let _warm = cache_dir.as_ref().map(|_| bind_session(&s, &file.vocab));
             let ans = contains_nre(&p, &q, &s, &mut file.vocab, &opts)
                 .map_err(|e| format!("containment failed: {e:?}"))?;
             let mut o = verdict_outcome("containment", ans.holds, ans.certified);
@@ -324,6 +368,7 @@ fn run_inner(
                     .ok_or_else(|| format!("unknown node label `{name}`"))?;
                 literals.insert(l.0);
             }
+            let _warm = cache_dir.as_ref().map(|_| bind_session(&s, &file.vocab));
             let report = gts_core::check_literal_safety(&t, &s, &literals, &mut file.vocab, &opts)
                 .map_err(|e| format!("literal safety check failed: {e:?}"))?;
             let d = report.decision();
@@ -436,6 +481,7 @@ fn run_batch(
         Some(s) => s.parse().map_err(|_| format!("--threads: not a number: `{s}`"))?,
         None => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8),
     };
+    let cache_dir = cache_dir_from(flags);
     let mut files_json = Vec::new();
     let mut all_hold = true;
     let mut any_error = false;
@@ -450,7 +496,11 @@ fn run_batch(
         let mut oracle = OracleCacheStats::default();
         for (source_name, items) in suite(&file) {
             let source = file.schema(&source_name).expect("suite names file schemas").clone();
-            let mut batch = Batch::new(AnalysisSession::new(source, file.vocab.clone()));
+            let mut session = AnalysisSession::new(source, file.vocab.clone());
+            if let Some(dir) = &cache_dir {
+                session.attach_disk(dir);
+            }
+            let mut batch = Batch::new(session);
             for (label, spec) in items {
                 let request = match spec {
                     SuiteSpec::Check { transform, target } => Request::TypeCheck {

@@ -318,6 +318,35 @@ edge p1 exhibits a2
     }
 
     #[test]
+    fn cli_cache_dir_persists_verdicts_across_runs() {
+        let dir = std::env::temp_dir().join(format!("gts-cli-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cmd = format!(
+            "check mem.gts --transform T0 --source S0 --target S1 --cache-dir {}",
+            dir.display()
+        );
+        let first = run(&args(&cmd), &read_mem(MEDICAL));
+        assert_eq!(first.code, 0, "{}", first.output);
+        let stores = std::fs::read_dir(&dir).unwrap().count();
+        assert!(stores >= 1, "a .gtsc store landed on disk");
+        // The warm run replays the identical verdict from disk.
+        let second = run(&args(&cmd), &read_mem(MEDICAL));
+        assert_eq!(second.code, 0, "{}", second.output);
+        assert_eq!(first.output, second.output);
+        // --no-cache vetoes --cache-dir: no store is touched or created.
+        let off = std::env::temp_dir().join(format!("gts-cli-nocache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&off);
+        let cmd_off = format!(
+            "check mem.gts --transform T0 --source S0 --target S1 --cache-dir {} --no-cache",
+            off.display()
+        );
+        let out = run(&args(&cmd_off), &read_mem(MEDICAL));
+        assert_eq!(out.code, 0, "{}", out.output);
+        assert!(!off.exists(), "--no-cache must not create a cache directory");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn cli_usage_errors() {
         let out = run(&args("frobnicate mem.gts"), &read_mem(MEDICAL));
         assert_eq!(out.code, 2);

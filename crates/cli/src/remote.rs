@@ -42,7 +42,8 @@ fn parse_num(flags: &HashMap<String, String>, name: &str) -> Result<Option<usize
 }
 
 /// `gts serve [--addr A] [--threads N] [--queue N] [--max-sessions N]
-/// [--max-session-mb N] [--deadline-ms N] [--allow-linger]`.
+/// [--max-session-mb N] [--deadline-ms N] [--cache-dir DIR]
+/// [--flush-ms N] [--allow-linger]`.
 pub fn run_serve(flags: &HashMap<String, String>) -> Result<Outcome, String> {
     let mut cfg = ServerConfig {
         addr: flags.get("addr").cloned().unwrap_or_else(|| "127.0.0.1:4815".into()),
@@ -62,6 +63,14 @@ pub fn run_serve(flags: &HashMap<String, String>) -> Result<Outcome, String> {
     }
     if let Some(n) = parse_num(flags, "deadline-ms")? {
         cfg.default_deadline_ms = Some(n as u64);
+    }
+    // The server honors the same cache-dir resolution as local commands
+    // (--cache-dir, then GTS_CACHE_DIR, vetoed by --no-cache): sessions
+    // hydrate from DIR on first checkout and flush on drain (and every
+    // --flush-ms milliseconds, when given).
+    cfg.registry.cache_dir = crate::commands::cache_dir_from(flags);
+    if let Some(n) = parse_num(flags, "flush-ms")? {
+        cfg.flush_interval = Some(std::time::Duration::from_millis(n.max(1) as u64));
     }
     cfg.allow_linger = flags.contains_key("allow-linger");
     let handle = Server::start(cfg, frontend()).map_err(|e| format!("cannot start server: {e}"))?;
@@ -89,6 +98,28 @@ pub fn run_client(
             "stats" => client.stats(),
             "shutdown" => client.shutdown(),
             "evict" => client.evict(flags.get("fingerprint").map(String::as_str)),
+            "cache-export" => {
+                let fp = flags
+                    .get("fingerprint")
+                    .ok_or("cache-export needs --fingerprint HEX16 (see load_schema/stats)")?;
+                client.cache_export(fp)
+            }
+            "cache-import" => {
+                // --store FILE names a text file holding the base64
+                // `store` field of a prior cache-export (the whole
+                // response JSON also works: the field is extracted).
+                let path = flags.get("store").ok_or("cache-import needs --store FILE (base64)")?;
+                let text = read(path)?;
+                let b64 = match Json::parse(text.trim()) {
+                    Ok(doc) => doc
+                        .get("store")
+                        .and_then(Json::as_str)
+                        .map(str::to_owned)
+                        .ok_or("the JSON in --store FILE has no `store` field")?,
+                    Err(_) => text.split_whitespace().collect::<String>(),
+                };
+                client.cache_import(&b64)
+            }
             other => return Err(format!("unknown --verb `{other}`")),
         }
         .map_err(|e| format!("{verb} failed: {e}"))?;

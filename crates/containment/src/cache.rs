@@ -79,13 +79,19 @@ impl CompletionKey {
             budget: budget.cache_key(),
             caps: [cfg.max_nodes, cfg.max_rounds],
         };
+        (key.fingerprint(), key)
+    }
+
+    /// In-process bucket fingerprint (recomputed on import — never
+    /// persisted, so the hasher needs no cross-process stability).
+    fn fingerprint(&self) -> u64 {
         let mut h = std::collections::hash_map::DefaultHasher::new();
-        key.cis.hash(&mut h);
-        key.schema_labels.hash(&mut h);
-        (key.fresh.0 .0, key.fresh.1 .0).hash(&mut h);
-        key.budget.hash(&mut h);
-        key.caps.hash(&mut h);
-        (h.finish(), key)
+        self.cis.hash(&mut h);
+        self.schema_labels.hash(&mut h);
+        (self.fresh.0 .0, self.fresh.1 .0).hash(&mut h);
+        self.budget.hash(&mut h);
+        self.caps.hash(&mut h);
+        h.finish()
     }
 }
 
@@ -163,6 +169,106 @@ impl OracleCache {
         }
         c
     }
+
+    /// Serializes every memoized completion as a self-contained payload
+    /// (full key material + result), importable on any process via
+    /// [`OracleCache::import_completions`].
+    pub fn export_completions(&self) -> Vec<Vec<u8>> {
+        use gts_sat::portable::{enc_horn_ci, enc_label_set};
+        let memo = self.completions.lock().unwrap();
+        let mut out = Vec::new();
+        for (key, c) in memo.values().flatten() {
+            let mut e = gts_store::Enc::new();
+            e.usize(key.cis.len());
+            for ci in &key.cis {
+                enc_horn_ci(&mut e, ci);
+            }
+            enc_label_set(&mut e, &key.schema_labels);
+            e.u32(key.fresh.0 .0);
+            e.u32(key.fresh.1 .0);
+            for v in key.budget {
+                e.usize(v);
+            }
+            for v in key.caps {
+                e.usize(v);
+            }
+            // The completed TBox keeps its CI *order* — downstream decide
+            // calls enumerate it, so replay must be bit-identical.
+            e.usize(c.tbox.cis.len());
+            for ci in &c.tbox.cis {
+                enc_horn_ci(&mut e, ci);
+            }
+            e.usize(c.added);
+            e.u8(c.complete as u8);
+            out.push(e.finish());
+        }
+        out
+    }
+
+    /// Replays payloads from [`OracleCache::export_completions`]. Each
+    /// payload carries its full key, so no external identity check is
+    /// needed; malformed payloads are skipped (cold path), and locally
+    /// computed completions are never overridden. Returns the number of
+    /// entries installed.
+    pub fn import_completions<'a>(&self, payloads: impl IntoIterator<Item = &'a [u8]>) -> usize {
+        use gts_sat::portable::{dec_horn_ci, dec_label_set};
+        let mut installed = 0;
+        for payload in payloads {
+            let decoded = (|| {
+                let mut d = gts_store::Dec::new(payload);
+                let n = d.usize()?;
+                let mut cis = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    cis.push(dec_horn_ci(&mut d)?);
+                }
+                let schema_labels = dec_label_set(&mut d)?;
+                let fresh = (NodeLabel(d.u32()?), NodeLabel(d.u32()?));
+                let mut budget = [0usize; 6];
+                for v in &mut budget {
+                    *v = d.usize()?;
+                }
+                let mut caps = [0usize; 2];
+                for v in &mut caps {
+                    *v = d.usize()?;
+                }
+                let n = d.usize()?;
+                let mut tbox = HornTbox::new();
+                tbox.cis.reserve(n.min(1 << 16));
+                for _ in 0..n {
+                    // Straight into the CI list: the payload was encoded
+                    // from a (set-like) `HornTbox` in enumeration order,
+                    // so it carries no duplicates, and `push`'s O(n)
+                    // dedup scan would make replay quadratic per tbox.
+                    tbox.cis.push(dec_horn_ci(&mut d)?);
+                }
+                let added = d.usize()?;
+                let complete = match d.u8()? {
+                    0 => false,
+                    1 => true,
+                    _ => return None,
+                };
+                if !d.done() {
+                    return None;
+                }
+                let key = CompletionKey { cis, schema_labels, fresh, budget, caps };
+                Some((key, Completion { tbox, added, complete }))
+            })();
+            let Some((key, completion)) = decoded else { continue };
+            let fp = key.fingerprint();
+            let mut memo = self.completions.lock().unwrap();
+            let bucket = memo.entry(fp).or_default();
+            if !bucket.iter().any(|(k, _)| *k == key) {
+                bucket.push((key, completion));
+                installed += 1;
+            }
+        }
+        installed
+    }
+
+    /// Number of memoized completions currently held.
+    pub fn completions_len(&self) -> usize {
+        self.completions.lock().unwrap().values().map(Vec::len).sum()
+    }
 }
 
 #[cfg(test)]
@@ -197,5 +303,47 @@ mod tests {
             || Completion { tbox: t.clone(), added: 0, complete: true },
         );
         assert_eq!(cache.stats().completion_misses, 2);
+    }
+
+    #[test]
+    fn completions_roundtrip_through_portable_payloads() {
+        let cache = OracleCache::new();
+        let mut t = HornTbox::new();
+        t.push(HornCi::Bottom { lhs: LabelSet::from_iter([0, 1]) });
+        let labels = LabelSet::from_iter([0, 1, 2]);
+        let budget = Budget::default();
+        let cfg = CompletionConfig::default();
+        let mut completed = t.clone();
+        completed.push(HornCi::SubAtom { lhs: LabelSet::singleton(2), rhs: NodeLabel(0) });
+        cache.completion_or_insert(
+            &t,
+            &labels,
+            (NodeLabel(7), NodeLabel(8)),
+            &budget,
+            &cfg,
+            || Completion { tbox: completed.clone(), added: 1, complete: true },
+        );
+
+        let payloads = cache.export_completions();
+        assert_eq!(payloads.len(), 1);
+        let fresh_cache = OracleCache::new();
+        assert_eq!(fresh_cache.import_completions(payloads.iter().map(Vec::as_slice)), 1);
+        // The imported entry is a hit: the closure must never run.
+        let c = fresh_cache.completion_or_insert(
+            &t,
+            &labels,
+            (NodeLabel(7), NodeLabel(8)),
+            &budget,
+            &cfg,
+            || panic!("imported completion must be a memo hit"),
+        );
+        assert_eq!(c.tbox.cis, completed.cis);
+        assert_eq!((c.added, c.complete), (1, true));
+        assert_eq!(fresh_cache.stats().completion_hits, 1);
+        // A truncated payload is skipped, never half-imported.
+        let empty = OracleCache::new();
+        let cut = &payloads[0][..payloads[0].len() - 2];
+        assert_eq!(empty.import_completions([cut]), 0);
+        assert_eq!(empty.completions_len(), 0);
     }
 }

@@ -1,0 +1,452 @@
+//! The session ⇄ store bridge: persisting an [`crate::AnalysisSession`]'s
+//! cached oracle state to a `gts-store` record log and replaying it.
+//!
+//! ## Record kinds
+//!
+//! | kind | payload | semantics |
+//! |------|---------|-----------|
+//! | [`KIND_VERDICT`] | canonical pair key, flags byte | one containment verdict; appended incrementally, first-wins on replay |
+//! | [`KIND_COMPLETION`] | self-contained completion memo entry | appended incrementally, first-wins on replay |
+//! | [`KIND_SOLVER`] | portable TBox key + `gts_sat` portable context snapshot | whole-context snapshot; **last**-wins on replay (later snapshots carry supersets) |
+//!
+//! Every payload is self-describing and exact-keyed, so replay can never
+//! install state under the wrong question — the store header already
+//! pins the session identity (vocabulary, schema, budgets), and solver /
+//! completion records additionally carry their full TBox key material.
+//!
+//! ## Flush strategy
+//!
+//! A [`DiskBinding`] tracks what the file already holds and appends only
+//! the delta: new verdicts and completions individually, and a fresh
+//! snapshot of any per-TBox solver context whose serialized size grew.
+//! When accumulated appends dwarf a full snapshot (re-appended solver
+//! snapshots supersede their predecessors in place), the flush compacts
+//! by installing a fresh full store atomically. Flushes happen on demand
+//! ([`crate::AnalysisSession::flush_disk`], the server's periodic flush)
+//! and when the last session clone holding the binding drops.
+//!
+//! Concurrent writers (two processes sharing a cache dir) are tolerated,
+//! not coordinated: appends are single `O_APPEND` writes, so interleaving
+//! can at worst tear the tail, which the loader drops — degraded, never
+//! wrong.
+
+use crate::session::Memo;
+use gts_core::containment::OracleCache;
+use gts_core::Decision;
+use gts_store::{append_records, load_file, Dec, Enc, LoadStatus, Loaded, Record};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// Record kind: one canonical containment verdict.
+pub const KIND_VERDICT: u8 = 1;
+/// Record kind: one per-TBox solver-context snapshot.
+pub const KIND_SOLVER: u8 = 2;
+/// Record kind: one completion-memo entry.
+pub const KIND_COMPLETION: u8 = 3;
+
+/// What replaying a store contributed to a session.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HydrateReport {
+    /// Containment verdicts installed into the memo.
+    pub verdicts: usize,
+    /// Completion-memo entries installed.
+    pub completions: usize,
+    /// Per-TBox solver snapshots staged for lazy hydration.
+    pub solver_snapshots: usize,
+    /// `true` when a corrupt tail was dropped (the records above are the
+    /// clean prefix — still sound, just fewer).
+    pub degraded: bool,
+}
+
+impl HydrateReport {
+    /// Total entries contributed.
+    pub fn total(&self) -> usize {
+        self.verdicts + self.completions + self.solver_snapshots
+    }
+}
+
+/// What one flush wrote.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FlushReport {
+    /// Records written (appended, or total in the compacted store).
+    pub records: usize,
+    /// Bytes written.
+    pub bytes: usize,
+    /// `true` when the flush rewrote the file as one fresh snapshot
+    /// instead of appending.
+    pub compacted: bool,
+}
+
+fn verdict_record(key: &str, d: Decision) -> Record {
+    let mut e = Enc::new();
+    e.str(key);
+    e.u8((d.holds as u8) | ((d.certified as u8) << 1));
+    Record { kind: KIND_VERDICT, payload: e.finish() }
+}
+
+fn decode_verdict(payload: &[u8]) -> Option<(String, Decision)> {
+    let mut d = Dec::new(payload);
+    let key = d.str()?.to_owned();
+    let flags = d.u8()?;
+    if flags > 3 || !d.done() {
+        return None;
+    }
+    Some((key, Decision { holds: flags & 1 != 0, certified: flags & 2 != 0 }))
+}
+
+fn solver_record(key: &[u8], payload: &[u8]) -> Record {
+    let mut e = Enc::new();
+    e.bytes(key);
+    e.bytes(payload);
+    Record { kind: KIND_SOLVER, payload: e.finish() }
+}
+
+fn decode_solver(payload: &[u8]) -> Option<(Vec<u8>, Vec<u8>)> {
+    let (key, snap) = decode_solver_borrowed(payload)?;
+    Some((key.to_vec(), snap.to_vec()))
+}
+
+/// The zero-copy view of a solver record — for passes that only hash or
+/// measure (multi-kilobyte snapshots make the owned decode a real cost).
+fn decode_solver_borrowed(payload: &[u8]) -> Option<(&[u8], &[u8])> {
+    let mut d = Dec::new(payload);
+    let key = d.bytes()?;
+    let snap = d.bytes()?;
+    if !d.done() {
+        return None;
+    }
+    Some((key, snap))
+}
+
+/// Replays decoded store records into a session's memo and oracle cache.
+/// Verdicts and completions install directly (first wins — locally
+/// decided state is never overridden); solver snapshots are staged in the
+/// [`gts_sat::SolverCache`] and claimed lazily when their TBox is first
+/// probed. Used by both the disk path and the wire path (`cache_import`).
+pub(crate) fn apply_records(
+    loaded: &Loaded,
+    memo: &Mutex<Memo>,
+    cache: &OracleCache,
+) -> HydrateReport {
+    let mut report = HydrateReport {
+        degraded: loaded.status == LoadStatus::TruncatedTail,
+        ..HydrateReport::default()
+    };
+    let mut solver_pairs: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+    let mut completion_payloads: Vec<&[u8]> = Vec::new();
+    {
+        let mut memo = memo.lock().unwrap();
+        for rec in &loaded.records {
+            match rec.kind {
+                KIND_VERDICT => {
+                    if let Some((key, d)) = decode_verdict(&rec.payload) {
+                        if let std::collections::hash_map::Entry::Vacant(e) = memo.map.entry(key) {
+                            e.insert(d);
+                            report.verdicts += 1;
+                        }
+                    }
+                }
+                KIND_SOLVER => {
+                    if let Some(pair) = decode_solver(&rec.payload) {
+                        solver_pairs.push(pair);
+                    }
+                }
+                KIND_COMPLETION => completion_payloads.push(&rec.payload),
+                // Unknown kinds: a newer writer under the same format
+                // version added a record type we cannot use — skip.
+                _ => {}
+            }
+        }
+        memo.hydrated += report.verdicts as u64;
+    }
+    report.completions = cache.import_completions(completion_payloads.iter().copied());
+    // `import_portable` keeps the last snapshot per exact key, matching
+    // the log's supersession order.
+    report.solver_snapshots = cache.solver().import_portable(solver_pairs);
+    report
+}
+
+/// Serializes the full current cached state as store records (all
+/// verdicts, all completions, all solver snapshots).
+fn full_records(memo: &Mutex<Memo>, cache: &OracleCache) -> Vec<Record> {
+    let mut records: Vec<Record> = Vec::new();
+    {
+        let memo = memo.lock().unwrap();
+        records.extend(memo.map.iter().map(|(k, &d)| verdict_record(k, d)));
+    }
+    records.extend(
+        cache
+            .export_completions()
+            .into_iter()
+            .map(|p| Record { kind: KIND_COMPLETION, payload: p }),
+    );
+    records
+        .extend(cache.solver().export_portable().into_iter().map(|(k, p)| solver_record(&k, &p)));
+    records
+}
+
+/// Serializes a session's full cached state as store-file bytes.
+pub(crate) fn export_store_bytes(
+    identity: &str,
+    memo: &Mutex<Memo>,
+    cache: &OracleCache,
+) -> Vec<u8> {
+    gts_store::encode_store(identity, &full_records(memo, cache))
+}
+
+/// Tracking of what the bound file already holds, so flushes append only
+/// deltas. All sets key by [`gts_store::hash64`] of the record's
+/// identifying material (in-memory only, never persisted) — a hash
+/// collision merely skips persisting one record (the next full
+/// compaction picks it up), never corrupts replay.
+#[derive(Default)]
+struct PersistState {
+    verdict_keys: gts_core::graph::FxHashSet<u64>,
+    completion_payloads: gts_core::graph::FxHashSet<u64>,
+    /// Portable-key FNV → serialized snapshot length last persisted (the
+    /// payload only ever grows, so a changed length marks new state).
+    solver_sizes: gts_core::graph::FxHashMap<u64, usize>,
+    /// Bytes appended since the store was last written whole.
+    appended_bytes: usize,
+    /// Size of the file when last written whole (header + records).
+    base_bytes: usize,
+}
+
+/// A session's live connection to its on-disk store. Shared (`Arc`) by
+/// every clone of the bound session; flushes explicitly on
+/// [`DiskBinding::flush`] and implicitly when the last clone drops.
+pub struct DiskBinding {
+    path: PathBuf,
+    /// The identity captured at bind time (a clone's vocabulary may grow
+    /// afterwards through ad-hoc interning; persisted state stays keyed
+    /// by the identity it was hydrated under).
+    identity: String,
+    memo: Arc<Mutex<Memo>>,
+    cache: Arc<OracleCache>,
+    state: Mutex<PersistState>,
+}
+
+impl DiskBinding {
+    /// Opens (or prepares to create) the store at `path`, replaying its
+    /// clean records into `memo`/`cache`.
+    pub(crate) fn open(
+        path: PathBuf,
+        identity: String,
+        memo: Arc<Mutex<Memo>>,
+        cache: Arc<OracleCache>,
+    ) -> (DiskBinding, HydrateReport) {
+        let loaded = load_file(&path, Some(&identity));
+        let report = apply_records(&loaded, &memo, &cache);
+        let mut state = PersistState { base_bytes: loaded.bytes, ..PersistState::default() };
+        // Everything the file already holds needs no re-append.
+        for rec in &loaded.records {
+            match rec.kind {
+                KIND_VERDICT => {
+                    if let Some((key, _)) = decode_verdict(&rec.payload) {
+                        state.verdict_keys.insert(gts_store::hash64(key.as_bytes()));
+                    }
+                }
+                KIND_SOLVER => {
+                    if let Some((key, snap)) = decode_solver_borrowed(&rec.payload) {
+                        state.solver_sizes.insert(gts_store::hash64(key), snap.len());
+                    }
+                }
+                KIND_COMPLETION => {
+                    state.completion_payloads.insert(gts_store::hash64(&rec.payload));
+                }
+                _ => {}
+            }
+        }
+        let binding = DiskBinding { path, identity, memo, cache, state: Mutex::new(state) };
+        (binding, report)
+    }
+
+    /// The bound file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The identity the store is keyed by.
+    pub fn identity(&self) -> &str {
+        &self.identity
+    }
+
+    /// Writes everything cached since the last flush: appends the delta,
+    /// or compacts into a fresh snapshot when superseded records dominate
+    /// the file. A flush with nothing new writes nothing.
+    pub fn flush(&self) -> std::io::Result<FlushReport> {
+        let mut state = self.state.lock().unwrap();
+        let mut delta: Vec<Record> = Vec::new();
+        {
+            let memo = self.memo.lock().unwrap();
+            for (key, &d) in &memo.map {
+                if state.verdict_keys.insert(gts_store::hash64(key.as_bytes())) {
+                    delta.push(verdict_record(key, d));
+                }
+            }
+        }
+        for payload in self.cache.export_completions() {
+            if state.completion_payloads.insert(gts_store::hash64(&payload)) {
+                delta.push(Record { kind: KIND_COMPLETION, payload });
+            }
+        }
+        for (key, payload) in self.cache.solver().export_portable() {
+            let h = gts_store::hash64(&key);
+            if state.solver_sizes.get(&h) != Some(&payload.len()) {
+                state.solver_sizes.insert(h, payload.len());
+                delta.push(solver_record(&key, &payload));
+            }
+        }
+        if delta.is_empty() {
+            return Ok(FlushReport::default());
+        }
+        let delta_bytes: usize = delta.iter().map(|r| 8 + 1 + r.payload.len()).sum();
+        // Compact when appends (largely superseded solver snapshots)
+        // outweigh a fresh full store.
+        let compact = state.appended_bytes + delta_bytes > (state.base_bytes.max(1 << 16)) * 4;
+        if compact {
+            let bytes =
+                gts_store::encode_store(&self.identity, &full_records(&self.memo, &self.cache));
+            gts_store::install_snapshot(&self.path, &bytes).map_err(std::io::Error::other)?;
+            state.base_bytes = bytes.len();
+            state.appended_bytes = 0;
+            Ok(FlushReport { records: delta.len(), bytes: bytes.len(), compacted: true })
+        } else {
+            let written = append_records(&self.path, &self.identity, &delta)?;
+            state.appended_bytes += written;
+            Ok(FlushReport { records: delta.len(), bytes: written, compacted: false })
+        }
+    }
+}
+
+impl Drop for DiskBinding {
+    fn drop(&mut self) {
+        // Best-effort: a failing final flush must not panic in drop; the
+        // cache degrades to whatever the last successful flush persisted.
+        let _ = self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::AnalysisSession;
+    use gts_core::prelude::*;
+
+    fn fixture() -> (Vocab, Schema, Transformation) {
+        let mut v = Vocab::new();
+        let a = v.node_label("A");
+        let r = v.edge_label("r");
+        let mut s = Schema::new();
+        s.set_edge(a, r, a, Mult::Star, Mult::Star);
+        let mut t = Transformation::new();
+        t.add_node_rule(
+            a,
+            C2rpq::new(1, vec![Var(0)], vec![Atom { x: Var(0), y: Var(0), regex: Regex::node(a) }]),
+        );
+        (v, s, t)
+    }
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("gts-disk-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn drop_flushes_and_reopen_hydrates_warm() {
+        let dir = tmp_dir("roundtrip");
+        let (v, s, t) = fixture();
+        {
+            let (mut sess, report) =
+                AnalysisSession::with_disk(s.clone(), v.clone(), Default::default(), &dir);
+            assert_eq!(report.total(), 0, "first open finds nothing");
+            let d = sess.type_check(&t, &s).unwrap();
+            assert!(d.holds && d.certified);
+            assert!(sess.stats().misses > 0);
+        } // last clone drops → flush
+        let (mut warm, report) =
+            AnalysisSession::with_disk(s.clone(), v.clone(), Default::default(), &dir);
+        assert!(report.verdicts > 0, "verdicts came back: {report:?}");
+        assert!(!report.degraded);
+        let d = warm.type_check(&t, &s).unwrap();
+        assert!(d.holds && d.certified);
+        let stats = warm.stats();
+        assert_eq!(stats.misses, 0, "the warm run decided nothing: {stats:?}");
+        assert_eq!(stats.hydrated as usize, report.verdicts);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn different_budgets_use_separate_stores() {
+        let dir = tmp_dir("budgets");
+        let (v, s, t) = fixture();
+        {
+            let (mut sess, _) =
+                AnalysisSession::with_disk(s.clone(), v.clone(), Default::default(), &dir);
+            sess.type_check(&t, &s).unwrap();
+        }
+        let large = gts_core::containment::ContainmentOptions {
+            budget: Budget::large(),
+            ..Default::default()
+        };
+        let (sess, report) = AnalysisSession::with_disk(s.clone(), v.clone(), large, &dir);
+        assert_eq!(report.total(), 0, "budget is part of the identity");
+        assert!(sess.disk_path().is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_store_degrades_to_clean_prefix_and_identical_verdicts() {
+        let dir = tmp_dir("truncate");
+        let (v, s, t) = fixture();
+        {
+            let (mut sess, _) =
+                AnalysisSession::with_disk(s.clone(), v.clone(), Default::default(), &dir);
+            sess.type_check(&t, &s).unwrap();
+        }
+        let path = {
+            let sess = AnalysisSession::new(s.clone(), v.clone());
+            gts_store::store_path(&dir, sess.store_fingerprint())
+        };
+        // Chop mid-record.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+        let (mut warm, report) =
+            AnalysisSession::with_disk(s.clone(), v.clone(), Default::default(), &dir);
+        assert!(report.degraded, "the torn tail was detected");
+        // Verdicts agree with a fresh session regardless.
+        let d_warm = warm.type_check(&t, &s).unwrap();
+        let mut fresh = AnalysisSession::new(s.clone(), v.clone());
+        let d_fresh = fresh.type_check(&t, &s).unwrap();
+        assert_eq!(d_warm, d_fresh);
+        // Bit-flip the header: the whole store is ignored, cold path.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[5] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        let (mut cold, report) =
+            AnalysisSession::with_disk(s.clone(), v.clone(), Default::default(), &dir);
+        assert_eq!(report.total(), 0);
+        assert_eq!(cold.type_check(&t, &s).unwrap(), d_fresh);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn export_bytes_hydrate_a_twin_session_over_the_wire() {
+        let (v, s, t) = fixture();
+        let mut src = AnalysisSession::new(s.clone(), v.clone());
+        src.type_check(&t, &s).unwrap();
+        let bytes = src.export_store_bytes();
+
+        let mut twin = AnalysisSession::new(s.clone(), v.clone());
+        let report = twin.hydrate_from_bytes(&bytes).expect("identity matches");
+        assert!(report.verdicts > 0);
+        twin.type_check(&t, &s).unwrap();
+        assert_eq!(twin.stats().misses, 0, "twin answered fully warm");
+
+        // A session with a different identity refuses the snapshot.
+        let mut v2 = v.clone();
+        v2.node_label("Extra");
+        let mut other = AnalysisSession::new(s.clone(), v2);
+        assert!(other.hydrate_from_bytes(&bytes).is_none());
+    }
+}

@@ -1,0 +1,53 @@
+//! Canonical session identity: the preimage and fingerprint that key both
+//! the `gts-serve` session pool and the on-disk store files.
+//!
+//! A cached verdict depends on the *entire* vocabulary in intern order
+//! (label ids on the wire are positional, so two contexts only share
+//! state when their label numbering agrees), the source schema, and the
+//! engine budgets (a verdict decided under small budgets may be
+//! `uncertified` where larger budgets would certify). The canonical key
+//! spells all of it out byte-for-byte; the fingerprint is its FNV-1a hash,
+//! sized for file names and wire frames. Consumers that pool or persist
+//! on the fingerprint must compare the key on use — FNV is not
+//! collision-resistant, and the memos are correctness-critical.
+
+use gts_core::containment::ContainmentOptions;
+use gts_core::graph::Vocab;
+use gts_core::schema::Schema;
+
+/// The canonical identity preimage of a session over `schema`.
+pub fn canonical_key(schema: &Schema, vocab: &Vocab, opts: &ContainmentOptions) -> String {
+    use std::fmt::Write as _;
+    let mut key = String::new();
+    for l in vocab.node_labels() {
+        key.push_str(vocab.node_name(l));
+        key.push('\x1f');
+    }
+    key.push('\x1e');
+    for l in vocab.edge_labels() {
+        key.push_str(vocab.edge_name(l));
+        key.push('\x1f');
+    }
+    key.push('\x1e');
+    key.push_str(&schema.render(vocab));
+    key.push('\x1e');
+    let _ = write!(
+        key,
+        "{:?}|{}|{}",
+        opts.budget.cache_key(),
+        opts.completion.max_nodes,
+        opts.completion.max_rounds
+    );
+    key
+}
+
+/// Hashes a canonical key down to its 64-bit fingerprint (FNV-1a — the
+/// same digest `gts-serve` renders as the 16-hex-digit session id).
+pub fn fingerprint_of(key: &str) -> u64 {
+    gts_store::fnv64(key.as_bytes())
+}
+
+/// The fingerprint of a session over `schema` under `opts`.
+pub fn fingerprint(schema: &Schema, vocab: &Vocab, opts: &ContainmentOptions) -> u64 {
+    fingerprint_of(&canonical_key(schema, vocab, opts))
+}

@@ -67,9 +67,12 @@
 #![warn(missing_docs)]
 
 mod batch;
+pub mod disk;
+pub mod identity;
 mod json;
 mod session;
 
 pub use batch::{Batch, BatchResult, Request, Verdict};
+pub use disk::{DiskBinding, FlushReport, HydrateReport};
 pub use json::{Json, JsonError};
 pub use session::{AnalysisSession, CacheStats};

@@ -46,6 +46,9 @@ pub struct CacheStats {
     /// table overhead) — the figure the `gts-serve` session registry
     /// budgets against.
     pub approx_bytes: usize,
+    /// Verdicts installed from a disk store ([`AnalysisSession::with_disk`]
+    /// and friends) rather than decided by this process.
+    pub hydrated: u64,
 }
 
 impl CacheStats {
@@ -62,10 +65,12 @@ impl CacheStats {
 }
 
 #[derive(Default)]
-struct Memo {
-    map: FxHashMap<String, Decision>,
-    hits: u64,
-    misses: u64,
+pub(crate) struct Memo {
+    pub(crate) map: FxHashMap<String, Decision>,
+    pub(crate) hits: u64,
+    pub(crate) misses: u64,
+    /// Verdicts installed from a disk store rather than decided here.
+    pub(crate) hydrated: u64,
 }
 
 /// A reusable analysis context owning the shared state of all analyses
@@ -81,6 +86,15 @@ pub struct AnalysisSession {
     vocab: Vocab,
     opts: ContainmentOptions,
     memo: Arc<Mutex<Memo>>,
+    /// The canonical identity, captured at construction: the analyses
+    /// intern reduction-internal fresh labels into the vocabulary as they
+    /// run, but cached state stays keyed by the vocabulary the session
+    /// *started* from (what a twin process constructing the same session
+    /// would also compute).
+    identity: Arc<String>,
+    /// The on-disk store this session persists to, if any. Shared by all
+    /// clones; the last clone to drop flushes it (see [`crate::disk`]).
+    disk: Option<Arc<crate::disk::DiskBinding>>,
 }
 
 impl AnalysisSession {
@@ -102,7 +116,15 @@ impl AnalysisSession {
         if opts.cache.is_none() {
             opts.cache = Some(Arc::new(OracleCache::new()));
         }
-        AnalysisSession { schema, vocab, opts, memo: Arc::new(Mutex::new(Memo::default())) }
+        let identity = Arc::new(crate::identity::canonical_key(&schema, &vocab, &opts));
+        AnalysisSession {
+            schema,
+            vocab,
+            opts,
+            memo: Arc::new(Mutex::new(Memo::default())),
+            identity,
+            disk: None,
+        }
     }
 
     /// Cumulative oracle statistics (solver-cache reuse, core search,
@@ -138,7 +160,101 @@ impl AnalysisSession {
         // Per-entry overhead: the `String` header + `Decision` + the hash
         // table's bucket slot, approximated as 64 bytes.
         let approx_bytes: usize = memo.map.keys().map(|k| k.capacity() + 64).sum();
-        CacheStats { hits: memo.hits, misses: memo.misses, entries: memo.map.len(), approx_bytes }
+        CacheStats {
+            hits: memo.hits,
+            misses: memo.misses,
+            entries: memo.map.len(),
+            approx_bytes,
+            hydrated: memo.hydrated,
+        }
+    }
+
+    /// The canonical identity string of this session — every byte a
+    /// cached verdict depends on: the *construction-time* vocabulary in
+    /// intern order, the rendered schema, and the engine budgets. Two
+    /// sessions may share persisted state iff their identities are equal.
+    /// (Labels interned later — by the analyses themselves or through
+    /// [`AnalysisSession::vocab_mut`] — do not change the identity; a
+    /// caller that wants ad-hoc labels inside the persistent identity
+    /// must intern them before constructing the session.)
+    pub fn identity(&self) -> String {
+        (*self.identity).clone()
+    }
+
+    /// The 64-bit fingerprint of [`AnalysisSession::identity`] — the
+    /// store's file name under a cache directory, and the session pool
+    /// key of `gts-serve`.
+    pub fn store_fingerprint(&self) -> u64 {
+        crate::identity::fingerprint_of(&self.identity())
+    }
+
+    /// Binds this session (and every clone made *after* this call) to the
+    /// on-disk store for its identity under `cache_dir`: existing state is
+    /// hydrated into the memo and oracle cache now, and new state is
+    /// flushed on [`AnalysisSession::flush_disk`] and when the last bound
+    /// clone drops. Returns what the store contributed.
+    pub fn attach_disk(&mut self, cache_dir: &std::path::Path) -> crate::disk::HydrateReport {
+        let identity = self.identity();
+        let path = gts_store::store_path(cache_dir, crate::identity::fingerprint_of(&identity));
+        let cache = Arc::clone(self.opts.cache.as_ref().expect("with_options installs a cache"));
+        let (binding, report) =
+            crate::disk::DiskBinding::open(path, identity, Arc::clone(&self.memo), cache);
+        self.disk = Some(Arc::new(binding));
+        report
+    }
+
+    /// A session bound to its on-disk store under `cache_dir` — the
+    /// one-call form of [`AnalysisSession::with_options`] +
+    /// [`AnalysisSession::attach_disk`].
+    pub fn with_disk(
+        schema: Schema,
+        vocab: Vocab,
+        opts: ContainmentOptions,
+        cache_dir: &std::path::Path,
+    ) -> (Self, crate::disk::HydrateReport) {
+        let mut session = Self::with_options(schema, vocab, opts);
+        let report = session.attach_disk(cache_dir);
+        (session, report)
+    }
+
+    /// Hydrates this session from in-memory store bytes (the
+    /// `cache_import` wire shape) without binding it to any file. The
+    /// snapshot's identity header must match this session's identity;
+    /// `None` when it does not (or the bytes are not a store).
+    pub fn hydrate_from_bytes(&mut self, bytes: &[u8]) -> Option<crate::disk::HydrateReport> {
+        let identity = self.identity();
+        let loaded = gts_store::decode_store(bytes, Some(&identity));
+        if matches!(
+            loaded.status,
+            gts_store::LoadStatus::Missing | gts_store::LoadStatus::HeaderMismatch
+        ) {
+            return None;
+        }
+        let cache = self.opts.cache.as_ref().expect("with_options installs a cache");
+        Some(crate::disk::apply_records(&loaded, &self.memo, cache))
+    }
+
+    /// Serializes this session's full cached state (verdict memo,
+    /// completion memo, per-TBox solver snapshots) as store bytes — the
+    /// payload of the server's `cache_export` verb, installable on disk
+    /// via [`gts_store::install_snapshot`] or into a twin session via
+    /// [`AnalysisSession::hydrate_from_bytes`].
+    pub fn export_store_bytes(&self) -> Vec<u8> {
+        let identity =
+            self.disk.as_ref().map(|d| d.identity().to_owned()).unwrap_or_else(|| self.identity());
+        let cache = self.opts.cache.as_ref().expect("with_options installs a cache");
+        crate::disk::export_store_bytes(&identity, &self.memo, cache)
+    }
+
+    /// Flushes new cached state to the bound store, if any. `None` when
+    /// the session has no disk binding.
+    pub fn flush_disk(&self) -> Option<std::io::Result<crate::disk::FlushReport>> {
+        self.disk.as_ref().map(|d| d.flush())
+    }
+
+    /// The bound store file, if any.
+    pub fn disk_path(&self) -> Option<&std::path::Path> {
+        self.disk.as_deref().map(crate::disk::DiskBinding::path)
     }
 
     fn oracle(&mut self) -> SessionOracle<'_> {

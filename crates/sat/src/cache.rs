@@ -200,6 +200,13 @@ struct Entry {
     types_reported: AtomicU64,
 }
 
+/// A not-yet-claimed portable snapshot: the exact portable TBox key plus
+/// the serialized [`RealizeCtx`] memo tables (see [`crate::portable`]).
+struct PendingSnapshot {
+    key: Vec<u8>,
+    payload: Vec<u8>,
+}
+
 /// A resolved reference to one per-TBox solver context. Cloning is cheap
 /// (an `Arc` bump); the handle stays valid for the cache's lifetime and
 /// skips the CI-set hashing of [`SolverCache::handle`] on every reuse.
@@ -228,6 +235,13 @@ pub struct SolverCache {
     realize_hits: AtomicU64,
     realize_misses: AtomicU64,
     types_interned_gauge: AtomicU64,
+    /// Imported portable snapshots awaiting their TBox's first `handle`
+    /// call, keyed by the FNV of the portable key (exact key compared on
+    /// claim — a hash collision only wastes the snapshot, never bleeds
+    /// state between TBoxes).
+    pending: Mutex<FxHashMap<u64, Vec<PendingSnapshot>>>,
+    /// Memo entries hydrated out of claimed snapshots.
+    hydrated: AtomicU64,
 }
 
 impl std::fmt::Debug for SolverCache {
@@ -280,7 +294,8 @@ impl SolverCache {
             Some(e) => Arc::clone(e),
             None => {
                 let key = CacheKey { cis: tbox.cis.iter().cloned().collect(), budget: bkey };
-                let ctx = RealizeCtx::new(TypeUniverse::new(tbox), budget.clone());
+                let mut ctx = RealizeCtx::new(TypeUniverse::new(tbox), budget.clone());
+                self.try_hydrate(&key, &mut ctx);
                 let entry = Arc::new(Entry {
                     key,
                     ctx: Mutex::new(ctx),
@@ -347,6 +362,80 @@ impl SolverCache {
     ) -> R {
         let handle = self.handle(tbox, budget);
         self.with_handle(&handle, budget, f)
+    }
+
+    /// Serializes every entry's durable memo tables as
+    /// `(portable key, payload)` pairs — the portable key is
+    /// [`crate::portable_tbox_key`] of the entry's exact CI set and
+    /// budget; the payload is [`RealizeCtx::export_portable`]. The pairs
+    /// round-trip through [`SolverCache::import_portable`] on any process.
+    pub fn export_portable(&self) -> Vec<(Vec<u8>, Vec<u8>)> {
+        self.snapshot_entries()
+            .iter()
+            .map(|e| {
+                let key = crate::portable::portable_tbox_key(e.key.cis.iter(), e.key.budget);
+                let payload = e.ctx.lock().unwrap().export_portable();
+                (key, payload)
+            })
+            .collect()
+    }
+
+    /// Stashes portable snapshots (from [`SolverCache::export_portable`],
+    /// possibly of another process) for lazy hydration: each snapshot is
+    /// claimed — exact-key-compared and replayed into the fresh context —
+    /// the first time its TBox reaches [`SolverCache::handle`]. Returns
+    /// the number of snapshots stashed.
+    pub fn import_portable(
+        &self,
+        snapshots: impl IntoIterator<Item = (Vec<u8>, Vec<u8>)>,
+    ) -> usize {
+        let mut pending = self.pending.lock().unwrap();
+        let mut n = 0;
+        for (key, payload) in snapshots {
+            let fp = gts_store::hash64(&key);
+            let bucket = pending.entry(fp).or_default();
+            // Last import wins per exact key (a re-import carries a
+            // superset of the earlier memo tables).
+            bucket.retain(|p| p.key != key);
+            bucket.push(PendingSnapshot { key, payload });
+            n += 1;
+        }
+        n
+    }
+
+    /// Memo entries hydrated from imported snapshots so far.
+    pub fn hydrated_entries(&self) -> u64 {
+        self.hydrated.load(Ordering::Relaxed)
+    }
+
+    /// Snapshots imported but not yet claimed by a `handle` call.
+    pub fn pending_snapshots(&self) -> usize {
+        self.pending.lock().unwrap().values().map(Vec::len).sum()
+    }
+
+    /// Claims a pending snapshot for a freshly built entry, replaying its
+    /// memo tables into `ctx`. Exact portable-key equality is required;
+    /// the snapshot is consumed either way once matched (a payload that
+    /// fails to parse imports nothing — cold path).
+    fn try_hydrate(&self, key: &CacheKey, ctx: &mut RealizeCtx) {
+        let snap = {
+            let mut pending = self.pending.lock().unwrap();
+            if pending.is_empty() {
+                return;
+            }
+            let pkey = crate::portable::portable_tbox_key(key.cis.iter(), key.budget);
+            let fp = gts_store::hash64(&pkey);
+            let Some(bucket) = pending.get_mut(&fp) else { return };
+            let Some(pos) = bucket.iter().position(|p| p.key == pkey) else { return };
+            let snap = bucket.swap_remove(pos);
+            if bucket.is_empty() {
+                pending.remove(&fp);
+            }
+            snap
+        };
+        if let Some(report) = ctx.import_portable(&snap.payload) {
+            self.hydrated.fetch_add(report.entries() as u64, Ordering::Relaxed);
+        }
     }
 
     /// Records the search counters of one `decide_cached` call.
@@ -441,6 +530,41 @@ mod tests {
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses, stats.entries), (1, 2, 2));
         assert!((stats.hit_rate() - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn portable_snapshots_hydrate_fresh_entries() {
+        let mut t = HornTbox::new();
+        t.push(HornCi::Exists {
+            lhs: gts_graph::LabelSet::singleton(0),
+            role: gts_graph::EdgeSym::fwd(gts_graph::EdgeLabel(0)),
+            rhs: gts_graph::LabelSet::singleton(0),
+        });
+        let budget = Budget::default();
+        let src = SolverCache::new();
+        src.with_ctx(&t, &budget, |ctx| {
+            let a = ctx.types.close(&gts_graph::LabelSet::singleton(0)).unwrap();
+            assert!(ctx.node_extendable(a, &[]).unwrap());
+        });
+        let snapshots = src.export_portable();
+        assert_eq!(snapshots.len(), 1);
+
+        let dst = SolverCache::new();
+        assert_eq!(dst.import_portable(snapshots), 1);
+        assert_eq!(dst.pending_snapshots(), 1);
+        // An unrelated TBox must not claim the snapshot.
+        dst.with_ctx(&HornTbox::new(), &budget, |_| ());
+        assert_eq!(dst.pending_snapshots(), 1);
+        assert_eq!(dst.hydrated_entries(), 0);
+        // The matching TBox claims it and answers warm.
+        let misses = dst.with_ctx(&t, &budget, |ctx| {
+            let a = ctx.types.close(&gts_graph::LabelSet::singleton(0)).unwrap();
+            assert!(ctx.node_extendable(a, &[]).unwrap());
+            ctx.stats().status_misses
+        });
+        assert_eq!(misses, 0, "hydrated context answers from the memo");
+        assert_eq!(dst.pending_snapshots(), 0);
+        assert!(dst.hydrated_entries() > 0);
     }
 
     #[test]

@@ -40,6 +40,7 @@ mod budget;
 mod cache;
 mod chase;
 mod engine;
+pub mod portable;
 mod realize;
 mod types;
 
@@ -49,5 +50,6 @@ pub use chase::{ChaseFail, Core};
 pub use engine::{
     decide, decide_cached, decide_on, decide_with_stats, universal_constraints_hold, DecideStats,
 };
+pub use portable::{portable_tbox_key, ImportReport};
 pub use realize::{Cand, RealizeCtx, RealizeStats};
 pub use types::{TypeId, TypeUniverse};

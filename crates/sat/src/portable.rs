@@ -1,0 +1,466 @@
+//! Portable (cross-process) serialization of per-TBox solver state.
+//!
+//! A [`crate::RealizeCtx`]'s memo tables — interned types, saturation
+//! fixpoints, candidate realizability verdicts, extendability rows — are
+//! pure functions of `(TBox, budget)`, so they can be shipped to another
+//! process and replayed there, provided the receiving context is keyed by
+//! the **exact same** TBox and budget. `TypeId`s are interner-local and
+//! never travel: every type crosses the boundary as its label set and is
+//! re-interned via [`crate::TypeUniverse::close`] on import (idempotent on
+//! closed sets).
+//!
+//! Identity is the [`portable_tbox_key`]: the sorted, deduplicated binary
+//! encodings of the CI set plus the budget cache key. Two keys are equal
+//! iff the CI sets and budgets are equal, so hydrating under an equal key
+//! can never smuggle a verdict between TBoxes. Decoding is fail-closed: a
+//! payload that does not parse (or references an inconsistent label set)
+//! imports nothing and leaves the context cold.
+
+use crate::realize::RealizeCtx;
+use crate::types::TypeId;
+use gts_dl::HornCi;
+use gts_graph::{EdgeSym, LabelSet, NodeLabel};
+use gts_store::{Dec, Enc};
+
+/// Encodes a label set as its sorted index list.
+pub fn enc_label_set(e: &mut Enc, set: &LabelSet) {
+    let indices: Vec<u32> = set.iter().collect();
+    e.u32(indices.len() as u32);
+    for i in indices {
+        e.u32(i);
+    }
+}
+
+/// Decodes a label set written by [`enc_label_set`].
+pub fn dec_label_set(d: &mut Dec) -> Option<LabelSet> {
+    let n = d.u32()?;
+    let mut set = LabelSet::new();
+    for _ in 0..n {
+        set.insert(d.u32()?);
+    }
+    Some(set)
+}
+
+/// Encodes an edge symbol (label index + direction).
+pub fn enc_edge_sym(e: &mut Enc, sym: EdgeSym) {
+    e.u32(sym.label.0);
+    e.u8(sym.inverse as u8);
+}
+
+/// Decodes an edge symbol written by [`enc_edge_sym`].
+pub fn dec_edge_sym(d: &mut Dec) -> Option<EdgeSym> {
+    let label = gts_graph::EdgeLabel(d.u32()?);
+    let inverse = match d.u8()? {
+        0 => false,
+        1 => true,
+        _ => return None,
+    };
+    Some(EdgeSym { label, inverse })
+}
+
+const CI_SUB_ATOM: u8 = 0;
+const CI_BOTTOM: u8 = 1;
+const CI_ALL_VALUES: u8 = 2;
+const CI_EXISTS: u8 = 3;
+const CI_NOT_EXISTS: u8 = 4;
+const CI_AT_MOST_ONE: u8 = 5;
+
+/// Encodes one Horn concept inclusion.
+pub fn enc_horn_ci(e: &mut Enc, ci: &HornCi) {
+    match ci {
+        HornCi::SubAtom { lhs, rhs } => {
+            e.u8(CI_SUB_ATOM);
+            enc_label_set(e, lhs);
+            e.u32(rhs.0);
+        }
+        HornCi::Bottom { lhs } => {
+            e.u8(CI_BOTTOM);
+            enc_label_set(e, lhs);
+        }
+        HornCi::AllValues { lhs, role, rhs } => {
+            e.u8(CI_ALL_VALUES);
+            enc_label_set(e, lhs);
+            enc_edge_sym(e, *role);
+            enc_label_set(e, rhs);
+        }
+        HornCi::Exists { lhs, role, rhs } => {
+            e.u8(CI_EXISTS);
+            enc_label_set(e, lhs);
+            enc_edge_sym(e, *role);
+            enc_label_set(e, rhs);
+        }
+        HornCi::NotExists { lhs, role, rhs } => {
+            e.u8(CI_NOT_EXISTS);
+            enc_label_set(e, lhs);
+            enc_edge_sym(e, *role);
+            enc_label_set(e, rhs);
+        }
+        HornCi::AtMostOne { lhs, role, rhs } => {
+            e.u8(CI_AT_MOST_ONE);
+            enc_label_set(e, lhs);
+            enc_edge_sym(e, *role);
+            enc_label_set(e, rhs);
+        }
+    }
+}
+
+/// Decodes one Horn concept inclusion written by [`enc_horn_ci`].
+pub fn dec_horn_ci(d: &mut Dec) -> Option<HornCi> {
+    let kind = d.u8()?;
+    Some(match kind {
+        CI_SUB_ATOM => HornCi::SubAtom { lhs: dec_label_set(d)?, rhs: NodeLabel(d.u32()?) },
+        CI_BOTTOM => HornCi::Bottom { lhs: dec_label_set(d)? },
+        CI_ALL_VALUES => HornCi::AllValues {
+            lhs: dec_label_set(d)?,
+            role: dec_edge_sym(d)?,
+            rhs: dec_label_set(d)?,
+        },
+        CI_EXISTS => HornCi::Exists {
+            lhs: dec_label_set(d)?,
+            role: dec_edge_sym(d)?,
+            rhs: dec_label_set(d)?,
+        },
+        CI_NOT_EXISTS => HornCi::NotExists {
+            lhs: dec_label_set(d)?,
+            role: dec_edge_sym(d)?,
+            rhs: dec_label_set(d)?,
+        },
+        CI_AT_MOST_ONE => HornCi::AtMostOne {
+            lhs: dec_label_set(d)?,
+            role: dec_edge_sym(d)?,
+            rhs: dec_label_set(d)?,
+        },
+        _ => return None,
+    })
+}
+
+/// The exact portable identity of a `(TBox, budget)` pair: CI encodings
+/// sorted and deduplicated (set semantics, order-insensitive) followed by
+/// the budget cache key. Byte equality of two keys is equivalent to
+/// equality of the CI sets and budgets.
+pub fn portable_tbox_key<'a>(
+    cis: impl IntoIterator<Item = &'a HornCi>,
+    budget_key: [usize; 6],
+) -> Vec<u8> {
+    let mut encoded: Vec<Vec<u8>> = cis
+        .into_iter()
+        .map(|ci| {
+            let mut e = Enc::new();
+            enc_horn_ci(&mut e, ci);
+            e.finish()
+        })
+        .collect();
+    encoded.sort();
+    encoded.dedup();
+    let mut e = Enc::new();
+    e.usize(encoded.len());
+    for b in &encoded {
+        e.bytes(b);
+    }
+    for v in budget_key {
+        e.usize(v);
+    }
+    e.finish()
+}
+
+fn enc_flags(verdict: bool, taint: bool) -> u8 {
+    (verdict as u8) | ((taint as u8) << 1)
+}
+
+fn dec_flags(b: u8) -> Option<(bool, bool)> {
+    if b > 3 {
+        return None;
+    }
+    Some((b & 1 != 0, b & 2 != 0))
+}
+
+/// How much of a portable snapshot a context imported.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ImportReport {
+    /// Interned types re-closed.
+    pub types: usize,
+    /// Saturation fixpoints installed.
+    pub saturations: usize,
+    /// Candidate realizability verdicts installed.
+    pub verdicts: usize,
+    /// Extendability rows installed.
+    pub extendable: usize,
+}
+
+impl ImportReport {
+    /// Total memo entries installed (types excluded: re-interning is a
+    /// warm-up, not a verdict).
+    pub fn entries(&self) -> usize {
+        self.saturations + self.verdicts + self.extendable
+    }
+}
+
+impl RealizeCtx {
+    /// Serializes this context's durable memo tables (interned types,
+    /// saturation fixpoints, realizability verdicts, extendability rows)
+    /// into a payload importable by [`RealizeCtx::import_portable`] on a
+    /// context over the exact same TBox and budget. Per-call state and
+    /// option sets are not exported (status/extendability hits bypass
+    /// option enumeration entirely).
+    pub fn export_portable(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        // Types, in intern order (parents of the id space come first,
+        // which keeps re-interning on import cheap and deterministic).
+        let n_types = self.types.len();
+        e.usize(n_types);
+        for i in 0..n_types {
+            enc_label_set(&mut e, self.types.labels(TypeId(i as u32)));
+        }
+        // Saturation fixpoints.
+        let sat_rows = self.types.sat_rows();
+        e.usize(sat_rows.len());
+        for (t, sat) in sat_rows {
+            enc_label_set(&mut e, self.types.labels(t));
+            match sat {
+                None => {
+                    e.u8(0);
+                }
+                Some(s) => {
+                    e.u8(1);
+                    enc_label_set(&mut e, self.types.labels(s));
+                }
+            }
+        }
+        // Candidate verdicts.
+        e.usize(self.status.len());
+        for (&(child, sym, parent), &(verdict, taint)) in &self.status {
+            enc_label_set(&mut e, self.types.labels(child));
+            enc_edge_sym(&mut e, sym);
+            enc_label_set(&mut e, self.types.labels(parent));
+            e.u8(enc_flags(verdict, taint));
+        }
+        // Extendability rows.
+        let n_rows: usize = self.extendable_memo.values().map(Vec::len).sum();
+        e.usize(n_rows);
+        for (&node, rows) in &self.extendable_memo {
+            for (neighbors, verdict, taint) in rows {
+                enc_label_set(&mut e, self.types.labels(node));
+                e.usize(neighbors.len());
+                for &(sym, t) in neighbors {
+                    enc_edge_sym(&mut e, sym);
+                    enc_label_set(&mut e, self.types.labels(t));
+                }
+                e.u8(enc_flags(*verdict, *taint));
+            }
+        }
+        e.finish()
+    }
+
+    /// Replays a payload produced by [`RealizeCtx::export_portable`] on a
+    /// context over the exact same TBox and budget (the caller must have
+    /// verified the [`portable_tbox_key`] — this method cannot). Label
+    /// sets are re-interned through `close`; entries that fail to close
+    /// (corrupt payloads only) are skipped, and locally computed verdicts
+    /// are never overridden. Returns `None` — importing nothing — when
+    /// the payload does not parse.
+    pub fn import_portable(&mut self, payload: &[u8]) -> Option<ImportReport> {
+        // Decode fully before touching the memo tables, so a payload that
+        // turns out truncated cannot leave a half-imported context.
+        let mut d = Dec::new(payload);
+        let mut report = ImportReport::default();
+        let n_types = d.usize()?;
+        let mut types = Vec::with_capacity(n_types.min(1 << 16));
+        for _ in 0..n_types {
+            types.push(dec_label_set(&mut d)?);
+        }
+        let n_sat = d.usize()?;
+        let mut sats = Vec::with_capacity(n_sat.min(1 << 16));
+        for _ in 0..n_sat {
+            let t = dec_label_set(&mut d)?;
+            let sat = match d.u8()? {
+                0 => None,
+                1 => Some(dec_label_set(&mut d)?),
+                _ => return None,
+            };
+            sats.push((t, sat));
+        }
+        let n_status = d.usize()?;
+        let mut verdicts = Vec::with_capacity(n_status.min(1 << 16));
+        for _ in 0..n_status {
+            let child = dec_label_set(&mut d)?;
+            let sym = dec_edge_sym(&mut d)?;
+            let parent = dec_label_set(&mut d)?;
+            let flags = dec_flags(d.u8()?)?;
+            verdicts.push((child, sym, parent, flags));
+        }
+        let n_ext = d.usize()?;
+        let mut ext_rows = Vec::with_capacity(n_ext.min(1 << 16));
+        for _ in 0..n_ext {
+            let node = dec_label_set(&mut d)?;
+            let n_neighbors = d.usize()?;
+            let mut neighbors = Vec::with_capacity(n_neighbors.min(1 << 16));
+            for _ in 0..n_neighbors {
+                let sym = dec_edge_sym(&mut d)?;
+                let t = dec_label_set(&mut d)?;
+                neighbors.push((sym, t));
+            }
+            let flags = dec_flags(d.u8()?)?;
+            ext_rows.push((node, neighbors, flags));
+        }
+        if !d.done() {
+            return None;
+        }
+
+        for set in &types {
+            if self.types.close(set).is_some() {
+                report.types += 1;
+            }
+        }
+        for (t, sat) in &sats {
+            let Some(t) = self.types.close(t) else { continue };
+            let sat = match sat {
+                None => None,
+                Some(s) => match self.types.close(s) {
+                    Some(s) => Some(s),
+                    None => continue,
+                },
+            };
+            self.types.import_sat_row(t, sat);
+            report.saturations += 1;
+        }
+        for (child, sym, parent, (verdict, taint)) in verdicts {
+            let (Some(child), Some(parent)) = (self.types.close(&child), self.types.close(&parent))
+            else {
+                continue;
+            };
+            self.status.entry((child, sym, parent)).or_insert((verdict, taint));
+            report.verdicts += 1;
+        }
+        for (node, neighbors, (verdict, taint)) in ext_rows {
+            let Some(node) = self.types.close(&node) else { continue };
+            let mut key = Vec::with_capacity(neighbors.len());
+            let mut ok = true;
+            for (sym, t) in neighbors {
+                match self.types.close(&t) {
+                    Some(t) => key.push((sym, t)),
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if !ok {
+                continue;
+            }
+            key.sort_unstable();
+            let rows = self.extendable_memo.entry(node).or_default();
+            if !rows.iter().any(|(n, _, _)| *n == key) {
+                rows.push((key, verdict, taint));
+                report.extendable += 1;
+            }
+        }
+        Some(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::budget::Budget;
+    use crate::types::TypeUniverse;
+    use gts_dl::HornTbox;
+    use gts_graph::EdgeLabel;
+
+    fn sym(i: u32) -> EdgeSym {
+        EdgeSym::fwd(EdgeLabel(i))
+    }
+    fn set(labels: &[u32]) -> LabelSet {
+        LabelSet::from_iter(labels.iter().copied())
+    }
+
+    fn demo_tbox() -> HornTbox {
+        let s = sym(0);
+        let mut t = HornTbox::new();
+        t.push(HornCi::Exists { lhs: set(&[0]), role: s, rhs: set(&[0]) });
+        t.push(HornCi::Exists { lhs: set(&[0, 1]), role: s.inv(), rhs: set(&[0, 1]) });
+        t.push(HornCi::AtMostOne { lhs: set(&[0]), role: s.inv(), rhs: set(&[0]) });
+        t.push(HornCi::AllValues { lhs: set(&[0]), role: s, rhs: set(&[1]) });
+        t
+    }
+
+    #[test]
+    fn ci_codec_roundtrips() {
+        let t = demo_tbox();
+        for ci in &t.cis {
+            let mut e = Enc::new();
+            enc_horn_ci(&mut e, ci);
+            let bytes = e.finish();
+            let mut d = Dec::new(&bytes);
+            assert_eq!(dec_horn_ci(&mut d).as_ref(), Some(ci));
+            assert!(d.done());
+        }
+    }
+
+    #[test]
+    fn portable_key_is_order_insensitive_and_exact() {
+        let t = demo_tbox();
+        let mut rev = HornTbox::new();
+        for ci in t.cis.iter().rev() {
+            rev.push(ci.clone());
+        }
+        let b = Budget::default().cache_key();
+        assert_eq!(portable_tbox_key(&t.cis, b), portable_tbox_key(&rev.cis, b));
+        assert_ne!(portable_tbox_key(&t.cis, b), portable_tbox_key(&rev.cis[..3], b));
+        assert_ne!(
+            portable_tbox_key(&t.cis, b),
+            portable_tbox_key(&t.cis, Budget::large().cache_key())
+        );
+    }
+
+    #[test]
+    fn export_import_replays_verdicts_without_recomputation() {
+        let t = demo_tbox();
+        let budget = Budget::default();
+        let mut src = RealizeCtx::new(TypeUniverse::new(&t), budget.clone());
+        let a = src.types.close(&set(&[0])).unwrap();
+        let ab = src.types.close(&set(&[0, 1])).unwrap();
+        let s = sym(0);
+        assert!(!src.realizable((ab, s, a)).unwrap());
+        assert!(src.realizable((ab, s, ab)).unwrap());
+        assert!(!src.node_extendable(a, &[]).unwrap());
+
+        let payload = src.export_portable();
+        let mut dst = RealizeCtx::new(TypeUniverse::new(&t), budget.clone());
+        let report = dst.import_portable(&payload).unwrap();
+        assert!(report.verdicts > 0, "verdicts travelled: {report:?}");
+        assert!(report.extendable > 0);
+
+        // The imported context answers from the memo: same verdicts, no
+        // status misses.
+        let a2 = dst.types.close(&set(&[0])).unwrap();
+        let ab2 = dst.types.close(&set(&[0, 1])).unwrap();
+        dst.begin_call(budget.clone());
+        assert!(!dst.realizable((ab2, s, a2)).unwrap());
+        assert!(dst.realizable((ab2, s, ab2)).unwrap());
+        assert!(!dst.node_extendable(a2, &[]).unwrap());
+        assert_eq!(dst.stats().status_misses, 0, "all answers were memo hits");
+    }
+
+    #[test]
+    fn corrupt_payloads_import_nothing() {
+        let t = demo_tbox();
+        let budget = Budget::default();
+        let mut src = RealizeCtx::new(TypeUniverse::new(&t), budget.clone());
+        let a = src.types.close(&set(&[0])).unwrap();
+        let _ = src.node_extendable(a, &[]);
+        let payload = src.export_portable();
+        // Truncations at every prefix must parse-fail (import nothing) or
+        // never panic; the full payload imports.
+        for cut in 1..payload.len() {
+            let mut dst = RealizeCtx::new(TypeUniverse::new(&t), budget.clone());
+            if let Some(r) = dst.import_portable(&payload[..cut]) {
+                // A shorter prefix can only be valid if it decodes
+                // completely — which `done()` rules out here.
+                panic!("truncated payload imported: cut={cut} {r:?}");
+            }
+            assert_eq!(dst.stats().status_hits, 0);
+        }
+        let mut dst = RealizeCtx::new(TypeUniverse::new(&t), budget);
+        assert!(dst.import_portable(&payload).is_some());
+    }
+}

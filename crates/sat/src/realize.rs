@@ -76,13 +76,13 @@ pub struct RealizeCtx {
     budget: Budget,
     /// Candidate verdict and its taint: `true` in the second slot means a
     /// fresh recomputation of this verdict would raise `uncertain`.
-    status: FxHashMap<Cand, (bool, bool)>,
+    pub(crate) status: FxHashMap<Cand, (bool, bool)>,
     /// Option sets with the taint of their enumeration.
     options_memo: FxHashMap<Cand, (Vec<Option_>, bool)>,
     /// Extendability of a type given a fixed core neighborhood (sorted,
     /// so the key is canonical), with taint. Keyed per type first so
     /// probes hash one `TypeId` and scan a short list.
-    extendable_memo: FxHashMap<TypeId, Vec<ExtendableRow>>,
+    pub(crate) extendable_memo: FxHashMap<TypeId, Vec<ExtendableRow>>,
     candidates_seen: usize,
     stats: RealizeStats,
 }

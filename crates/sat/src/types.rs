@@ -374,6 +374,35 @@ impl TypeUniverse {
         }
     }
 
+    /// Every saturation verdict reached so far, as `(type, fixpoint)`
+    /// rows; `None` marks a dead type. Every returned row is a final
+    /// fixpoint (callers only observe the universe between `saturate`
+    /// calls, which drive their whole cohort to convergence).
+    pub(crate) fn sat_rows(&self) -> Vec<(TypeId, Option<TypeId>)> {
+        self.sat
+            .keys()
+            .map(|&t| (t, if self.dead.contains(&t) { None } else { Some(self.sat[&t]) }))
+            .collect()
+    }
+
+    /// Installs an externally computed saturation fixpoint (from a
+    /// portable snapshot over the *same* TBox). First verdict wins:
+    /// locally computed fixpoints are never overridden.
+    pub(crate) fn import_sat_row(&mut self, t: TypeId, sat: Option<TypeId>) {
+        if self.sat.contains_key(&t) {
+            return;
+        }
+        match sat {
+            Some(s) => {
+                self.sat.insert(t, s);
+            }
+            None => {
+                self.sat.insert(t, t);
+                self.dead.insert(t);
+            }
+        }
+    }
+
     /// Number of interned types.
     pub fn len(&self) -> usize {
         self.sets.len()

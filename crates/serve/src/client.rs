@@ -126,6 +126,23 @@ impl Client {
         self.roundtrip(&f)
     }
 
+    /// `cache_export` roundtrip: fetches the named session's cached
+    /// state as a base64 store snapshot (the `store` response field).
+    pub fn cache_export(&mut self, fingerprint: &str) -> Result<Json, ClientError> {
+        let mut f = proto::frame("cache_export");
+        f.set("fingerprint", fingerprint);
+        self.roundtrip(&f)
+    }
+
+    /// `cache_import` roundtrip: ships a base64 store snapshot for the
+    /// server to install into its disk cache and/or hydrate a resident
+    /// session with.
+    pub fn cache_import(&mut self, store_b64: &str) -> Result<Json, ClientError> {
+        let mut f = proto::frame("cache_import");
+        f.set("store", store_b64);
+        self.roundtrip(&f)
+    }
+
     /// `shutdown` roundtrip: asks the server to drain.
     pub fn shutdown(&mut self) -> Result<Json, ClientError> {
         self.roundtrip(&proto::frame("shutdown"))

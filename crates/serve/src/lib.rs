@@ -19,7 +19,8 @@
 //!   acceptor speaking newline-delimited JSON over a versioned protocol
 //!   ([`PROTO_VERSION`]) that wraps [`gts_engine::Request`] /
 //!   [`gts_engine::Verdict`] plus control verbs (`ping`, `stats`,
-//!   `load_schema`, `evict`, `shutdown`), with graceful drain;
+//!   `load_schema`, `evict`, `cache_export`, `cache_import`,
+//!   `shutdown`), with graceful drain;
 //! * [`Client`] — a blocking client for the protocol, used by
 //!   `gts client`, the `loadgen` benchmark, and the loopback test suites.
 //!
@@ -57,7 +58,7 @@ pub use admission::{Admission, AdmissionConfig, AdmissionError, AdmissionStats, 
 pub use client::{Client, ClientError};
 pub use proto::PROTO_VERSION;
 pub use registry::{
-    canonical_key, fingerprint, fingerprint_of, Fingerprint, RegistryConfig, RegistryStats,
-    SessionRegistry,
+    canonical_key, fingerprint, fingerprint_of, Fingerprint, FlushSummary, RegistryConfig,
+    RegistryStats, SessionRegistry,
 };
 pub use server::{Compiled, Frontend, Server, ServerConfig, ServerHandle};

@@ -9,16 +9,20 @@
 //!
 //! ```text
 //! frame      := version-verb fields*
-//! verbs      := ping | stats | load_schema | analyze | evict | shutdown
+//! verbs      := ping | stats | load_schema | analyze | evict
+//!             | cache_export | cache_import | shutdown
 //!
 //! ping       := {"v":1,"op":"ping"}
 //! stats      := {"v":1,"op":"stats"}
 //! load_schema:= {"v":1,"op":"load_schema","gts":TEXT[,"schema":NAME]}
 //! analyze    := {"v":1,"op":"analyze","gts":TEXT[,"source":NAME]
 //!                ,"requests":[SPEC...]
-//!                [,"deadline_ms":N][,"budget":"default"|"large"]
+//!                [,"deadline_ms":N]    # N >= 1; 0 is a bad_request
+//!                [,"budget":"default"|"large"]
 //!                [,"linger_ms":N]}     # test hook, off by default
 //! evict      := {"v":1,"op":"evict"[,"fingerprint":HEX16]}
+//! cache_export := {"v":1,"op":"cache_export","fingerprint":HEX16}
+//! cache_import := {"v":1,"op":"cache_import","store":BASE64}
 //! shutdown   := {"v":1,"op":"shutdown"}
 //!
 //! SPEC       := {"kind":"type_check","transform":T,"target":S[,"label":L]}

@@ -15,7 +15,8 @@
 use gts_core::containment::ContainmentOptions;
 use gts_core::graph::{FxHashMap, Vocab};
 use gts_core::schema::Schema;
-use gts_engine::AnalysisSession;
+use gts_engine::{AnalysisSession, HydrateReport};
+use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
 /// A 64-bit FNV-1a identity of (vocabulary, schema, budgets).
@@ -42,35 +43,14 @@ impl Fingerprint {
 /// share a verdict memo — FNV is not collision-resistant, and the memo
 /// is correctness-critical.
 pub fn canonical_key(schema: &Schema, vocab: &Vocab, opts: &ContainmentOptions) -> String {
-    use std::fmt::Write as _;
-    let mut key = String::new();
-    for l in vocab.node_labels() {
-        key.push_str(vocab.node_name(l));
-        key.push('\x1f');
-    }
-    key.push('\x1e');
-    for l in vocab.edge_labels() {
-        key.push_str(vocab.edge_name(l));
-        key.push('\x1f');
-    }
-    key.push('\x1e');
-    key.push_str(&schema.render(vocab));
-    key.push('\x1e');
-    let _ = write!(
-        key,
-        "{:?}|{}|{}",
-        opts.budget.cache_key(),
-        opts.completion.max_nodes,
-        opts.completion.max_rounds
-    );
-    key
+    gts_engine::identity::canonical_key(schema, vocab, opts)
 }
 
-/// Hashes a canonical key down to its wire-sized fingerprint.
+/// Hashes a canonical key down to its wire-sized fingerprint. Delegates
+/// to [`gts_engine::identity`] so the pool key and the on-disk store
+/// filename are the same 64 bits.
 pub fn fingerprint_of(key: &str) -> Fingerprint {
-    let mut h = Fnv::new();
-    h.write(key.as_bytes());
-    Fingerprint(h.finish())
+    Fingerprint(gts_engine::identity::fingerprint_of(key))
 }
 
 /// Computes the pool key of a session over `schema` under `opts`.
@@ -78,25 +58,8 @@ pub fn fingerprint(schema: &Schema, vocab: &Vocab, opts: &ContainmentOptions) ->
     fingerprint_of(&canonical_key(schema, vocab, opts))
 }
 
-struct Fnv(u64);
-
-impl Fnv {
-    fn new() -> Fnv {
-        Fnv(0xcbf29ce484222325)
-    }
-    fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 ^= b as u64;
-            self.0 = self.0.wrapping_mul(0x100000001b3);
-        }
-    }
-    fn finish(&self) -> u64 {
-        self.0
-    }
-}
-
 /// Pool budgets.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct RegistryConfig {
     /// Maximum resident sessions (≥ 1; the most recently used session is
     /// never evicted by the budget sweep).
@@ -104,11 +67,15 @@ pub struct RegistryConfig {
     /// Approximate byte budget across all resident verdict memos
     /// ([`gts_engine::CacheStats::approx_bytes`]).
     pub max_bytes: usize,
+    /// When set, freshly built sessions hydrate from (and bind to) the
+    /// store file for their fingerprint under this directory, and
+    /// [`SessionRegistry::flush_all`] persists resident memos back.
+    pub cache_dir: Option<PathBuf>,
 }
 
 impl Default for RegistryConfig {
     fn default() -> Self {
-        RegistryConfig { max_sessions: 64, max_bytes: 256 << 20 }
+        RegistryConfig { max_sessions: 64, max_bytes: 256 << 20, cache_dir: None }
     }
 }
 
@@ -127,8 +94,19 @@ pub struct RegistryStats {
     pub collisions: u64,
     /// Resident sessions right now.
     pub sessions: usize,
-    /// Approximate bytes across resident verdict memos right now.
+    /// Approximate bytes across resident verdict memos, from the sizes
+    /// cached at each session's last checkout (memos grow while clones
+    /// are in use; the figure refreshes the next time that session is
+    /// checked out).
     pub approx_bytes: usize,
+    /// Resident sessions whose memo *alone* exceeds `max_bytes`. The
+    /// sweep never evicts the most recently used session, so a single
+    /// oversized memo legitimately outlives the budget — this gauge
+    /// reports it instead of letting it blow the budget silently.
+    pub oversized: usize,
+    /// Records hydrated from on-disk stores when sessions were built
+    /// (0 unless `cache_dir` is configured).
+    pub disk_hydrated: u64,
 }
 
 impl RegistryStats {
@@ -149,16 +127,24 @@ struct Entry {
     key: String,
     session: AnalysisSession,
     last_used: u64,
+    /// Memo size as of this entry's last checkout. Cached so the budget
+    /// sweep works off a running total instead of re-asking every
+    /// session (each `stats()` call takes that session's memo lock) on
+    /// every eviction step — that rescan made `enforce` O(n²).
+    approx_bytes: usize,
 }
 
 #[derive(Default)]
 struct Inner {
     entries: FxHashMap<u64, Entry>,
+    /// Invariant: the sum of `entries[*].approx_bytes`.
+    total_bytes: usize,
     tick: u64,
     hits: u64,
     misses: u64,
     evictions: u64,
     collisions: u64,
+    disk_hydrated: u64,
 }
 
 /// A concurrency-safe LRU pool of [`AnalysisSession`]s keyed by
@@ -177,7 +163,12 @@ impl SessionRegistry {
 
     /// The pool budgets.
     pub fn config(&self) -> RegistryConfig {
-        self.cfg
+        self.cfg.clone()
+    }
+
+    /// The disk-cache directory sessions hydrate from, when configured.
+    pub fn cache_dir(&self) -> Option<&Path> {
+        self.cfg.cache_dir.as_deref()
     }
 
     /// Fetches the session for `fp` (whose canonical preimage is `key`),
@@ -197,34 +188,56 @@ impl SessionRegistry {
         let mut inner = self.inner.lock().unwrap();
         inner.tick += 1;
         let tick = inner.tick;
-        let resident = match inner.entries.get_mut(&fp.0) {
+        // On a hit, refresh the cached size: checkout is the one moment
+        // the pool touches an entry, and memos grow while clones are in
+        // use between checkouts.
+        let mut refreshed: Option<(AnalysisSession, usize, usize)> = None;
+        let mut collided = false;
+        match inner.entries.get_mut(&fp.0) {
             Some(entry) if entry.key == key => {
                 entry.last_used = tick;
-                Some(entry.session.clone())
+                let bytes = entry.session.stats().approx_bytes;
+                let stale = std::mem::replace(&mut entry.approx_bytes, bytes);
+                refreshed = Some((entry.session.clone(), stale, bytes));
             }
-            Some(_) => {
-                inner.collisions += 1;
-                None
-            }
-            None => None,
-        };
-        let (session, hit) = match resident {
-            Some(session) => {
+            Some(_) => collided = true,
+            None => {}
+        }
+        let (session, hit) = match refreshed {
+            Some((session, stale, fresh)) => {
+                inner.total_bytes = inner.total_bytes - stale + fresh;
                 inner.hits += 1;
                 (session, true)
             }
             None => {
+                if collided {
+                    inner.collisions += 1;
+                }
                 // Build OUTSIDE the lock? Building a session is cheap (no
                 // analysis runs), and holding the lock keeps the pool
                 // single-flight per fingerprint — concurrent first
                 // requests for one schema warm a single memo instead of
                 // racing on independent ones.
-                let session = build();
+                let mut session = build();
+                if let Some(dir) = &self.cfg.cache_dir {
+                    let report = session.attach_disk(dir);
+                    inner.disk_hydrated += report.total() as u64;
+                }
                 inner.misses += 1;
-                inner.entries.insert(
+                let bytes = session.stats().approx_bytes;
+                let prev = inner.entries.insert(
                     fp.0,
-                    Entry { key: key.to_owned(), session: session.clone(), last_used: tick },
+                    Entry {
+                        key: key.to_owned(),
+                        session: session.clone(),
+                        last_used: tick,
+                        approx_bytes: bytes,
+                    },
                 );
+                if let Some(prev) = prev {
+                    inner.total_bytes -= prev.approx_bytes;
+                }
+                inner.total_bytes += bytes;
                 (session, false)
             }
         };
@@ -236,11 +249,14 @@ impl SessionRegistry {
     /// Evicts one fingerprint; `true` iff it was resident.
     pub fn evict(&self, fp: Fingerprint) -> bool {
         let mut inner = self.inner.lock().unwrap();
-        let found = inner.entries.remove(&fp.0).is_some();
-        if found {
-            inner.evictions += 1;
+        match inner.entries.remove(&fp.0) {
+            Some(entry) => {
+                inner.total_bytes -= entry.approx_bytes;
+                inner.evictions += 1;
+                true
+            }
+            None => false,
         }
-        found
     }
 
     /// Evicts everything; returns how many sessions were dropped.
@@ -248,21 +264,83 @@ impl SessionRegistry {
         let mut inner = self.inner.lock().unwrap();
         let n = inner.entries.len();
         inner.entries.clear();
+        inner.total_bytes = 0;
         inner.evictions += n as u64;
         n
     }
 
-    /// Counter/occupancy snapshot.
+    /// Counter/occupancy snapshot. Refreshes each entry's cached size
+    /// from its live memo first (stats calls are rare and observability
+    /// wants current numbers); the eviction sweep itself stays on the
+    /// cached values so it never touches memo locks per iteration.
     pub fn stats(&self) -> RegistryStats {
-        let inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.lock().unwrap();
+        let mut total = 0;
+        for entry in inner.entries.values_mut() {
+            entry.approx_bytes = entry.session.stats().approx_bytes;
+            total += entry.approx_bytes;
+        }
+        inner.total_bytes = total;
         RegistryStats {
             hits: inner.hits,
             misses: inner.misses,
             evictions: inner.evictions,
             collisions: inner.collisions,
             sessions: inner.entries.len(),
-            approx_bytes: inner.entries.values().map(|e| e.session.stats().approx_bytes).sum(),
+            approx_bytes: inner.total_bytes,
+            oversized: inner
+                .entries
+                .values()
+                .filter(|e| e.approx_bytes > self.cfg.max_bytes)
+                .count(),
+            disk_hydrated: inner.disk_hydrated,
         }
+    }
+
+    /// Best-effort flush of every resident disk-bound session. Sessions
+    /// are cloned out and flushed outside the pool lock (clones share
+    /// the [`gts_engine::DiskBinding`]), so checkouts are never blocked
+    /// on I/O.
+    pub fn flush_all(&self) -> FlushSummary {
+        let sessions: Vec<AnalysisSession> = {
+            let inner = self.inner.lock().unwrap();
+            inner.entries.values().map(|e| e.session.clone()).collect()
+        };
+        let mut out = FlushSummary::default();
+        for session in sessions {
+            match session.flush_disk() {
+                None => {}
+                Some(Ok(report)) => {
+                    out.sessions += 1;
+                    out.records += report.records;
+                    out.bytes += report.bytes;
+                }
+                Some(Err(_)) => out.errors += 1,
+            }
+        }
+        out
+    }
+
+    /// Exports the resident session for `fp` as store bytes (the same
+    /// format [`gts_store`] persists), or `None` if not resident.
+    pub fn export_resident(&self, fp: Fingerprint) -> Option<Vec<u8>> {
+        let session = {
+            let inner = self.inner.lock().unwrap();
+            inner.entries.get(&fp.0).map(|e| e.session.clone())
+        }?;
+        Some(session.export_store_bytes())
+    }
+
+    /// Hydrates the resident session for `fp` from exported store bytes.
+    /// The clone shares the pooled memo and oracle cache, so imported
+    /// state lands in the pool. `None` when no session is resident or
+    /// the bytes belong to a different identity.
+    pub fn hydrate_resident(&self, fp: Fingerprint, bytes: &[u8]) -> Option<HydrateReport> {
+        let mut session = {
+            let inner = self.inner.lock().unwrap();
+            inner.entries.get(&fp.0).map(|e| e.session.clone())
+        }?;
+        session.hydrate_from_bytes(bytes)
     }
 
     /// Aggregated oracle-cache statistics across the resident sessions.
@@ -276,31 +354,64 @@ impl SessionRegistry {
     }
 
     /// LRU sweep: drop least-recently-used entries while over the entry
-    /// or byte budget, always keeping the most recent one.
+    /// or byte budget, always keeping the most recent one. Works off the
+    /// running byte total and the per-entry cached sizes — each step is
+    /// O(sessions) with no memo locks, so the whole sweep is O(sessions ·
+    /// evictions) instead of the former O(sessions²) rescan.
     fn enforce(cfg: &RegistryConfig, inner: &mut Inner) {
-        loop {
-            if inner.entries.len() <= 1 {
-                return;
-            }
+        while inner.entries.len() > 1 {
             let over_entries = inner.entries.len() > cfg.max_sessions;
-            let over_bytes = {
-                let total: usize =
-                    inner.entries.values().map(|e| e.session.stats().approx_bytes).sum();
-                total > cfg.max_bytes
-            };
+            let over_bytes = inner.total_bytes > cfg.max_bytes;
             if !over_entries && !over_bytes {
                 return;
             }
+            // Ties on `last_used` cannot arise through checkout (ticks
+            // are unique) but can through imported or hand-built state;
+            // break them toward the smaller fingerprint so eviction is
+            // deterministic rather than hash-iteration-order dependent.
             let oldest = inner
                 .entries
                 .iter()
-                .min_by_key(|(_, e)| e.last_used)
+                .min_by_key(|(&k, e)| (e.last_used, k))
                 .map(|(&k, _)| k)
                 .expect("non-empty");
-            inner.entries.remove(&oldest);
+            let entry = inner.entries.remove(&oldest).expect("just found");
+            inner.total_bytes -= entry.approx_bytes;
             inner.evictions += 1;
         }
     }
+
+    /// Test hook: overwrite an entry's `last_used` tick to construct
+    /// LRU ties deterministically.
+    #[cfg(test)]
+    fn set_last_used(&self, fp: Fingerprint, tick: u64) {
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(e) = inner.entries.get_mut(&fp.0) {
+            e.last_used = tick;
+        }
+    }
+
+    /// Test hook: the running byte total and an entry-by-entry recount,
+    /// for asserting the invariant after churn.
+    #[cfg(test)]
+    fn byte_accounting(&self) -> (usize, usize) {
+        let inner = self.inner.lock().unwrap();
+        (inner.total_bytes, inner.entries.values().map(|e| e.approx_bytes).sum())
+    }
+}
+
+/// What [`SessionRegistry::flush_all`] wrote.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FlushSummary {
+    /// Disk-bound sessions flushed without error.
+    pub sessions: usize,
+    /// Records written across them.
+    pub records: usize,
+    /// Bytes written across them.
+    pub bytes: usize,
+    /// Sessions whose flush failed (I/O errors; the store degrades to
+    /// its clean prefix on the next load).
+    pub errors: usize,
 }
 
 #[cfg(test)]
@@ -386,7 +497,11 @@ mod tests {
 
     #[test]
     fn lru_eviction_under_entry_budget() {
-        let reg = SessionRegistry::new(RegistryConfig { max_sessions: 2, max_bytes: usize::MAX });
+        let reg = SessionRegistry::new(RegistryConfig {
+            max_sessions: 2,
+            max_bytes: usize::MAX,
+            ..Default::default()
+        });
         let fixtures: Vec<_> = (1..=3).map(fixture).collect();
         let fps: Vec<_> = fixtures.iter().map(|(v, s, _)| fp_of(v, s)).collect();
         assert_eq!(fps.iter().collect::<std::collections::HashSet<_>>().len(), 3);
@@ -409,7 +524,11 @@ mod tests {
 
     #[test]
     fn byte_budget_evicts_grown_memos_but_keeps_the_newest() {
-        let reg = SessionRegistry::new(RegistryConfig { max_sessions: 16, max_bytes: 1 });
+        let reg = SessionRegistry::new(RegistryConfig {
+            max_sessions: 16,
+            max_bytes: 1,
+            ..Default::default()
+        });
         let (v, s, t) = fixture(1);
         let (mut sess, _) = reg.checkout(fp_of(&v, &s), &key_of(&v, &s), || {
             AnalysisSession::new(s.clone(), v.clone())
@@ -418,6 +537,10 @@ mod tests {
         assert!(sess.stats().approx_bytes > 1);
         // Still resident: the newest session is never evicted.
         assert_eq!(reg.stats().sessions, 1);
+        // Growth is observed at the next checkout (sizes are cached per
+        // entry; the pool doesn't rescan live sessions).
+        reg.checkout(fp_of(&v, &s), &key_of(&v, &s), || unreachable!("resident"));
+        assert!(reg.stats().approx_bytes > 1, "refreshed past the budget");
         // A second schema pushes the grown one out.
         let (v2, s2, _) = fixture(2);
         reg.checkout(fp_of(&v2, &s2), &key_of(&v2, &s2), || {
@@ -518,6 +641,7 @@ mod tests {
         let reg = Arc::new(SessionRegistry::new(RegistryConfig {
             max_sessions: 3,
             max_bytes: usize::MAX,
+            ..Default::default()
         }));
         let fixtures: Arc<Vec<_>> = Arc::new((1..=10).map(fixture).collect());
         let threads: Vec<_> = (0..8)
@@ -544,5 +668,129 @@ mod tests {
         assert!(stats.sessions <= 3, "budget holds under concurrency: {stats:?}");
         assert!(stats.evictions > 0);
         assert_eq!(stats.hits + stats.misses, 8 * 30);
+    }
+
+    #[test]
+    fn single_oversized_session_is_counted_not_silently_tolerated() {
+        let reg = SessionRegistry::new(RegistryConfig {
+            max_sessions: 16,
+            max_bytes: 1,
+            ..Default::default()
+        });
+        let (v, s, t) = fixture(1);
+        let fp = fp_of(&v, &s);
+        let (mut sess, _) =
+            reg.checkout(fp, &key_of(&v, &s), || AnalysisSession::new(s.clone(), v.clone()));
+        sess.type_check(&t, &s).unwrap();
+        // The entry was sized before the analysis grew the shared memo:
+        // a second checkout refreshes the cached size past the budget.
+        reg.checkout(fp, &key_of(&v, &s), || unreachable!("resident"));
+        let stats = reg.stats();
+        assert_eq!(stats.sessions, 1, "the sole (newest) session survives the sweep");
+        assert!(stats.approx_bytes > 1, "its memo exceeds max_bytes: {stats:?}");
+        assert_eq!(stats.oversized, 1, "…and the stats say so: {stats:?}");
+        // A small second schema displaces it; the gauge clears.
+        let (v2, s2, _) = fixture(2);
+        reg.checkout(fp_of(&v2, &s2), &key_of(&v2, &s2), || {
+            AnalysisSession::new(s2.clone(), v2.clone())
+        });
+        let after = reg.stats();
+        assert_eq!((after.sessions, after.oversized), (1, 0), "{after:?}");
+    }
+
+    #[test]
+    fn eviction_ties_on_last_used_break_toward_the_smaller_fingerprint() {
+        let reg = SessionRegistry::new(RegistryConfig {
+            max_sessions: 2,
+            max_bytes: usize::MAX,
+            ..Default::default()
+        });
+        let fixtures: Vec<_> = (1..=2).map(fixture).collect();
+        let mut fps: Vec<_> = fixtures.iter().map(|(v, s, _)| fp_of(v, s)).collect();
+        for (v, s, _) in &fixtures {
+            reg.checkout(fp_of(v, s), &key_of(v, s), || AnalysisSession::new(s.clone(), v.clone()));
+        }
+        // Force a tie strictly older than any later tick, then overflow
+        // the entry budget with a third schema.
+        reg.set_last_used(fps[0], 1);
+        reg.set_last_used(fps[1], 1);
+        let (v3, s3, _) = fixture(3);
+        reg.checkout(fp_of(&v3, &s3), &key_of(&v3, &s3), || {
+            AnalysisSession::new(s3.clone(), v3.clone())
+        });
+        fps.sort();
+        let (iv, is_, _) = fixtures.iter().find(|(v, s, _)| fp_of(v, s) == fps[1]).unwrap();
+        let (_, survived) = reg
+            .checkout(fps[1], &key_of(iv, is_), || AnalysisSession::new(is_.clone(), iv.clone()));
+        assert!(survived, "the larger tied fingerprint stayed resident");
+        let (lv, ls, _) = fixtures.iter().find(|(v, s, _)| fp_of(v, s) == fps[0]).unwrap();
+        let (_, hit) =
+            reg.checkout(fps[0], &key_of(lv, ls), || AnalysisSession::new(ls.clone(), lv.clone()));
+        assert!(!hit, "the smaller tied fingerprint was the victim");
+    }
+
+    #[test]
+    fn byte_accounting_survives_an_eviction_storm() {
+        let reg = SessionRegistry::new(RegistryConfig {
+            max_sessions: 2,
+            max_bytes: usize::MAX,
+            ..Default::default()
+        });
+        let fixtures: Vec<_> = (1..=6).map(fixture).collect();
+        for round in 0..4 {
+            for (i, (v, s, t)) in fixtures.iter().enumerate() {
+                let (mut sess, _) = reg.checkout(fp_of(v, s), &key_of(v, s), || {
+                    AnalysisSession::new(s.clone(), v.clone())
+                });
+                if (round + i) % 2 == 0 {
+                    sess.type_check(t, s).unwrap();
+                }
+                let (total, recount) = reg.byte_accounting();
+                assert_eq!(total, recount, "running total drifted from per-entry sizes");
+            }
+        }
+        let stats = reg.stats();
+        assert_eq!(stats.sessions, 2);
+        // 6 schemas cycled through a 2-slot pool 4 times: every round
+        // after the first evicts all 6 misses' predecessors.
+        assert!(stats.evictions >= 6, "{stats:?}");
+        assert_eq!(stats.hits + stats.misses, 24);
+        let (total, recount) = reg.byte_accounting();
+        assert_eq!(total, recount);
+        assert_eq!(stats.approx_bytes, total);
+    }
+
+    #[test]
+    fn cache_dir_hydrates_new_sessions_from_disk() {
+        let dir = std::env::temp_dir().join(format!("gts-reg-hydrate-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (v, s, t) = fixture(1);
+        let fp = fp_of(&v, &s);
+        let cfg = RegistryConfig { cache_dir: Some(dir.clone()), ..Default::default() };
+        // First life: build cold, analyze, flush to disk.
+        {
+            let reg = SessionRegistry::new(cfg.clone());
+            let (mut sess, _) = reg.checkout(fp, &key_of(&v, &s), || {
+                AnalysisSession::with_options(s.clone(), v.clone(), Default::default())
+            });
+            sess.type_check(&t, &s).unwrap();
+            let flush = reg.flush_all();
+            assert_eq!(flush.errors, 0);
+            assert!(flush.records > 0, "{flush:?}");
+        }
+        // Second life: a fresh registry (fresh process, morally) warms
+        // the session straight from the store file.
+        let reg = SessionRegistry::new(cfg);
+        let (mut sess, hit) = reg.checkout(fp, &key_of(&v, &s), || {
+            AnalysisSession::with_options(s.clone(), v.clone(), Default::default())
+        });
+        assert!(!hit, "new registry, so a build miss");
+        assert!(reg.stats().disk_hydrated > 0, "{:?}", reg.stats());
+        let before = sess.stats();
+        let d = sess.type_check(&t, &s).unwrap();
+        assert!(d.holds && d.certified);
+        let after = sess.stats();
+        assert_eq!(after.misses, before.misses, "the re-analysis replayed disk verdicts");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -79,6 +79,10 @@ pub struct ServerConfig {
     /// while sleeping). A test/benchmark hook for making "slow requests"
     /// deterministic; keep `false` in production setups.
     pub allow_linger: bool,
+    /// Flush resident disk-bound sessions this often (no-op unless
+    /// `registry.cache_dir` is set). `None` = only flush on drain and
+    /// on session eviction/drop.
+    pub flush_interval: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -90,6 +94,7 @@ impl Default for ServerConfig {
             default_deadline_ms: None,
             max_frame_bytes: 16 << 20,
             allow_linger: false,
+            flush_interval: None,
         }
     }
 }
@@ -113,7 +118,9 @@ struct Shared {
     connections_total: AtomicU64,
     frames_total: AtomicU64,
     requests_total: AtomicU64,
+    deadline_skipped: AtomicU64,
     errors_total: AtomicU64,
+    flushes_total: AtomicU64,
 }
 
 impl Shared {
@@ -149,7 +156,7 @@ impl Server {
         let addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
             admission: Admission::new(cfg.admission),
-            registry: SessionRegistry::new(cfg.registry),
+            registry: SessionRegistry::new(cfg.registry.clone()),
             cfg,
             frontend,
             draining: AtomicBool::new(false),
@@ -159,7 +166,9 @@ impl Server {
             connections_total: AtomicU64::new(0),
             frames_total: AtomicU64::new(0),
             requests_total: AtomicU64::new(0),
+            deadline_skipped: AtomicU64::new(0),
             errors_total: AtomicU64::new(0),
+            flushes_total: AtomicU64::new(0),
         });
         let acceptor = {
             let shared = Arc::clone(&shared);
@@ -204,9 +213,17 @@ impl ServerHandle {
 
 fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
     let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    let mut last_flush = Instant::now();
     loop {
         if shared.draining.load(Ordering::SeqCst) {
             break;
+        }
+        if let Some(interval) = shared.cfg.flush_interval {
+            if last_flush.elapsed() >= interval {
+                shared.registry.flush_all();
+                shared.flushes_total.fetch_add(1, Ordering::Relaxed);
+                last_flush = Instant::now();
+            }
         }
         match listener.accept() {
             Ok((stream, _peer)) => {
@@ -232,6 +249,9 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
     // (handlers exited), so this returns immediately; it documents the
     // invariant more than it waits.
     shared.admission.await_idle();
+    // Persist what the pool learned before the process goes away. A
+    // no-op when no session is disk-bound.
+    shared.registry.flush_all();
 }
 
 /// Outcome of reading one frame line off a connection.
@@ -376,6 +396,8 @@ fn dispatch(shared: &Shared, raw: &str) -> (Json, Control) {
         "load_schema" => (load_schema(shared, &frame), Control::Continue),
         "analyze" => (analyze(shared, &frame), Control::Continue),
         "evict" => (evict(shared, &frame), Control::Continue),
+        "cache_export" => (cache_export(shared, &frame), Control::Continue),
+        "cache_import" => (cache_import(shared, &frame), Control::Continue),
         "shutdown" => {
             let mut r = proto::ok_frame("shutdown");
             r.set("draining", true);
@@ -403,8 +425,13 @@ fn stats_frame(shared: &Shared) -> Json {
         .set("evictions", reg.evictions)
         .set("collisions", reg.collisions)
         .set("hit_rate", reg.hit_rate())
+        .set("oversized", reg.oversized)
+        .set("disk_hydrated", reg.disk_hydrated)
         .set("max_sessions", shared.registry.config().max_sessions)
         .set("max_bytes", shared.registry.config().max_bytes);
+    if let Some(dir) = shared.registry.cache_dir() {
+        registry.set("cache_dir", dir.display().to_string());
+    }
     r.set("registry", registry);
     let adm = shared.admission.stats();
     let mut admission = Json::obj();
@@ -427,7 +454,9 @@ fn stats_frame(shared: &Shared) -> Json {
         .set("connections_total", shared.connections_total.load(Ordering::Relaxed))
         .set("frames_total", shared.frames_total.load(Ordering::Relaxed))
         .set("requests_total", shared.requests_total.load(Ordering::Relaxed))
+        .set("deadline_skipped", shared.deadline_skipped.load(Ordering::Relaxed))
         .set("errors_total", shared.errors_total.load(Ordering::Relaxed))
+        .set("flushes_total", shared.flushes_total.load(Ordering::Relaxed))
         .set("draining", shared.draining.load(Ordering::SeqCst));
     r.set("server", server);
     r
@@ -544,7 +573,124 @@ fn evict(shared: &Shared, frame: &Json) -> Json {
     }
 }
 
+/// `cache_export`: serialize the named session's cached state (verdict
+/// memo, completion memo, solver snapshots) as a base64 store snapshot.
+/// Prefers the resident session (freshest state); falls back to the
+/// on-disk store under `cache_dir`, re-encoded to its validated clean
+/// prefix so a torn tail never ships over the wire.
+fn cache_export(shared: &Shared, frame: &Json) -> Json {
+    let fp = match frame.get("fingerprint").and_then(Json::as_str).and_then(Fingerprint::parse) {
+        Some(fp) => fp,
+        None => {
+            return proto::error_frame(
+                Some("cache_export"),
+                proto::BAD_REQUEST,
+                "fingerprint must be a string of 16 hex digits",
+            )
+        }
+    };
+    let bytes = shared.registry.export_resident(fp).or_else(|| {
+        let dir = shared.registry.cache_dir()?;
+        let raw = std::fs::read(gts_store::store_path(dir, fp.0)).ok()?;
+        let (identity, _) = gts_store::decode_identity(&raw)?;
+        let loaded = gts_store::decode_store(&raw, None);
+        Some(gts_store::encode_store(&identity, &loaded.records))
+    });
+    match bytes {
+        Some(bytes) => {
+            let mut r = proto::ok_frame("cache_export");
+            r.set("fingerprint", fp.to_string())
+                .set("bytes", bytes.len() as u64)
+                .set("store", gts_store::base64_encode(&bytes));
+            r
+        }
+        None => proto::error_frame(
+            Some("cache_export"),
+            proto::NOT_FOUND,
+            format!("fingerprint {fp} is neither resident nor in the disk cache"),
+        ),
+    }
+}
+
+/// `cache_import`: accept a base64 store snapshot, install it into the
+/// disk cache (when configured), and hydrate the matching resident
+/// session in place. The snapshot names its own identity; the server
+/// derives the fingerprint from it rather than trusting a client field.
+fn cache_import(shared: &Shared, frame: &Json) -> Json {
+    let op = "cache_import";
+    let Some(b64) = frame.get("store").and_then(Json::as_str) else {
+        return proto::error_frame(Some(op), proto::BAD_REQUEST, "missing `store` (base64 bytes)");
+    };
+    let Some(bytes) = gts_store::base64_decode(b64) else {
+        return proto::error_frame(Some(op), proto::BAD_REQUEST, "store is not valid base64");
+    };
+    let Some((identity, _)) = gts_store::decode_identity(&bytes) else {
+        return proto::error_frame(
+            Some(op),
+            proto::BAD_REQUEST,
+            "store is not a valid snapshot (bad magic, version, or header)",
+        );
+    };
+    let fp = Fingerprint(gts_store::fnv64(identity.as_bytes()));
+    let mut r = proto::ok_frame(op);
+    r.set("fingerprint", fp.to_string());
+    let mut applied = false;
+    if let Some(report) = shared.registry.hydrate_resident(fp, &bytes) {
+        let mut h = Json::obj();
+        h.set("verdicts", report.verdicts as u64)
+            .set("completions", report.completions as u64)
+            .set("solver_snapshots", report.solver_snapshots as u64)
+            .set("degraded", report.degraded);
+        r.set("hydrated", h).set("resident", true);
+        applied = true;
+    }
+    // When a resident session absorbed the snapshot, install its merged
+    // export (local state ∪ snapshot) rather than the raw snapshot —
+    // overwriting the store file with the import alone would drop
+    // locally learned records the snapshot doesn't carry.
+    let install = if applied {
+        shared.registry.export_resident(fp).unwrap_or_else(|| bytes.clone())
+    } else {
+        bytes.clone()
+    };
+    if let Some(dir) = shared.registry.cache_dir() {
+        match gts_store::install_snapshot(&gts_store::store_path(dir, fp.0), &install) {
+            Ok(_) => {
+                r.set("installed", true);
+                applied = true;
+            }
+            Err(e) => {
+                return proto::error_frame(
+                    Some(op),
+                    proto::BAD_REQUEST,
+                    format!("store rejected: {e}"),
+                )
+            }
+        }
+    }
+    if !applied {
+        return proto::error_frame(
+            Some(op),
+            proto::NOT_FOUND,
+            "no resident session matches the snapshot and the server has no cache directory",
+        );
+    }
+    r
+}
+
 fn analyze(shared: &Shared, frame: &Json) -> Json {
+    // Validate the deadline before doing any work: `deadline_ms: 0`
+    // would mint an already-expired deadline, so every request in the
+    // frame would be skipped while the frame itself reported `ok:true` —
+    // a malformed request, not a slow one.
+    let deadline_ms = frame.get("deadline_ms").and_then(Json::as_u64);
+    if deadline_ms == Some(0) {
+        return proto::error_frame(
+            Some("analyze"),
+            proto::BAD_REQUEST,
+            "deadline_ms must be >= 1 (0 expires before any request can run)",
+        );
+    }
     let (compiled, idx, opts, fp, key) = match resolve_source(shared, frame, "analyze") {
         Ok(x) => x,
         Err(e) => return e,
@@ -567,7 +713,6 @@ fn analyze(shared: &Shared, frame: &Json) -> Json {
             }
         }
     }
-    let deadline_ms = frame.get("deadline_ms").and_then(Json::as_u64);
     let deadline = deadline_ms
         .or(shared.cfg.default_deadline_ms)
         .map(|ms| Instant::now() + Duration::from_millis(ms));
@@ -590,13 +735,17 @@ fn analyze(shared: &Shared, frame: &Json) -> Json {
         .checkout(fp, &key, || AnalysisSession::with_options(schema, compiled.vocab.clone(), opts));
     let mut results = Vec::with_capacity(resolved.len());
     for (label, request) in resolved {
+        // Count every request the frame carried — skipped ones included,
+        // or `requests_total` under-reports exactly when the server is
+        // pressed hardest (the moment the counters matter most).
+        shared.requests_total.fetch_add(1, Ordering::Relaxed);
         if deadline.is_some_and(|d| Instant::now() >= d) {
+            shared.deadline_skipped.fetch_add(1, Ordering::Relaxed);
             let mut entry = Json::obj();
             entry.set("label", label).set("error", proto::DEADLINE_EXCEEDED).set("skipped", true);
             results.push(entry);
             continue;
         }
-        shared.requests_total.fetch_add(1, Ordering::Relaxed);
         let start = Instant::now();
         let verdict = request.run(&mut session);
         let micros = start.elapsed().as_micros() as u64;

@@ -1,0 +1,164 @@
+//! Minimal byte codec for record payloads: little-endian fixed-width
+//! integers and length-prefixed byte strings. Decoding is total — every
+//! method returns `Option`, and `None` means the payload is malformed
+//! (treat as corruption: drop the record, stay on the cold path).
+
+/// Payload encoder. A thin veneer over `Vec<u8>` so record payloads are
+/// written the same way everywhere.
+#[derive(Default)]
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    /// Fresh empty encoder.
+    pub fn new() -> Enc {
+        Enc::default()
+    }
+
+    /// Appends a raw byte.
+    pub fn u8(&mut self, v: u8) -> &mut Enc {
+        self.buf.push(v);
+        self
+    }
+
+    /// Appends a `u32`, little-endian.
+    pub fn u32(&mut self, v: u32) -> &mut Enc {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends a `u64`, little-endian.
+    pub fn u64(&mut self, v: u64) -> &mut Enc {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends a `usize` as a `u64` (portable across word sizes).
+    pub fn usize(&mut self, v: usize) -> &mut Enc {
+        self.u64(v as u64)
+    }
+
+    /// Appends a length-prefixed (`u32`) byte string.
+    pub fn bytes(&mut self, v: &[u8]) -> &mut Enc {
+        self.u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+        self
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn str(&mut self, v: &str) -> &mut Enc {
+        self.bytes(v.as_bytes())
+    }
+
+    /// Consumes the encoder, yielding the payload bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// Payload decoder over a borrowed byte slice. Each read advances an
+/// internal cursor; any out-of-bounds read returns `None` permanently.
+pub struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    /// Decoder positioned at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Dec<'a> {
+        Dec { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let out = self.buf.get(self.pos..end)?;
+        self.pos = end;
+        Some(out)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|b| b[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Option<u32> {
+        self.take(4).map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Option<u64> {
+        let b = self.take(8)?;
+        Some(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+
+    /// Reads a `u64` and converts to `usize` (fails if it doesn't fit).
+    pub fn usize(&mut self) -> Option<usize> {
+        usize::try_from(self.u64()?).ok()
+    }
+
+    /// Reads a length-prefixed byte string.
+    pub fn bytes(&mut self) -> Option<&'a [u8]> {
+        let len = self.u32()? as usize;
+        self.take(len)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Option<&'a str> {
+        std::str::from_utf8(self.bytes()?).ok()
+    }
+
+    /// `true` when the cursor has consumed every byte — decoders should
+    /// check this last so trailing garbage is treated as corruption.
+    pub fn done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    /// Bytes left to read.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut e = Enc::new();
+        e.u8(7).u32(0xdead_beef).u64(u64::MAX).usize(42).bytes(b"raw").str("text");
+        let payload = e.finish();
+        let mut d = Dec::new(&payload);
+        assert_eq!(d.u8(), Some(7));
+        assert_eq!(d.u32(), Some(0xdead_beef));
+        assert_eq!(d.u64(), Some(u64::MAX));
+        assert_eq!(d.usize(), Some(42));
+        assert_eq!(d.bytes(), Some(&b"raw"[..]));
+        assert_eq!(d.str(), Some("text"));
+        assert!(d.done());
+    }
+
+    #[test]
+    fn short_reads_fail_closed() {
+        let mut d = Dec::new(&[1, 2, 3]);
+        assert_eq!(d.u32(), None);
+        // A failed read leaves the cursor where it was; nothing panics.
+        assert_eq!(d.u8(), Some(1));
+        let mut d = Dec::new(&[200, 0, 0, 0, 1, 2]); // claims 200 bytes, has 2
+        assert_eq!(d.bytes(), None);
+        let mut d = Dec::new(&[2, 0, 0, 0, 0xff, 0xfe]); // invalid UTF-8
+        assert_eq!(d.str(), None);
+    }
+}

@@ -294,7 +294,7 @@ fn eviction_correctness_evicted_schemas_reanalyze_to_identical_verdicts() {
     // A pool with room for exactly one session: alternating between two
     // schemas evicts on every switch.
     let handle = start(ServerConfig {
-        registry: RegistryConfig { max_sessions: 1, max_bytes: usize::MAX },
+        registry: RegistryConfig { max_sessions: 1, max_bytes: usize::MAX, ..Default::default() },
         ..Default::default()
     });
     let mut client = connect(&handle);
@@ -445,6 +445,119 @@ fn draining_servers_reject_new_analyses() {
     // …while the in-flight one completes.
     assert!(ok(&slow.join().unwrap()));
     handle.join();
+}
+
+#[test]
+fn deadline_ms_zero_is_a_bad_request_not_a_silent_skip() {
+    let handle = start_default();
+    let mut client = connect(&handle);
+    let mut f = proto::analyze_frame(TINY, Some("S"), vec![proto::spec_type_check("T", "S")]);
+    f.set("deadline_ms", 0u64);
+    let resp = client.roundtrip(&f).unwrap();
+    assert!(!ok(&resp), "{}", resp.pretty());
+    assert_eq!(resp.get("error").and_then(Json::as_str), Some(proto::BAD_REQUEST));
+    // Rejected before any work: nothing was admitted, nothing counted.
+    let stats = client.stats().unwrap();
+    let server = stats.get("server").unwrap();
+    assert_eq!(server.get("requests_total").and_then(Json::as_u64), Some(0));
+    assert_eq!(server.get("deadline_skipped").and_then(Json::as_u64), Some(0));
+    // The connection survives and a sane deadline works.
+    let mut sane = proto::analyze_frame(TINY, Some("S"), vec![proto::spec_type_check("T", "S")]);
+    sane.set("deadline_ms", 30_000u64);
+    assert!(ok(&client.roundtrip(&sane).unwrap()));
+    shutdown_and_join(handle);
+}
+
+#[test]
+fn deadline_skipped_requests_are_counted_in_requests_total_and_stats() {
+    let handle = start(ServerConfig { allow_linger: true, ..Default::default() });
+    let mut client = connect(&handle);
+    // The linger burns the whole deadline while holding the admission
+    // permit, so every request in the frame is skipped mid-frame — the
+    // path that used to leave `requests_total` under-reporting.
+    let mut f = proto::analyze_frame(
+        TINY,
+        Some("S"),
+        vec![proto::spec_type_check("T", "S"), proto::spec_elicit("T")],
+    );
+    f.set("linger_ms", 300u64).set("deadline_ms", 50u64);
+    let resp = client.roundtrip(&f).unwrap();
+    assert!(ok(&resp), "skips are per-request, the frame itself is fine: {}", resp.pretty());
+    let entries = results(&resp);
+    assert_eq!(entries.len(), 2);
+    for entry in entries {
+        assert_eq!(entry.get("skipped").and_then(Json::as_bool), Some(true));
+        assert_eq!(entry.get("error").and_then(Json::as_str), Some(proto::DEADLINE_EXCEEDED));
+    }
+    let stats = client.stats().unwrap();
+    let server = stats.get("server").unwrap();
+    assert_eq!(server.get("requests_total").and_then(Json::as_u64), Some(2));
+    assert_eq!(server.get("deadline_skipped").and_then(Json::as_u64), Some(2));
+    shutdown_and_join(handle);
+}
+
+#[test]
+fn cache_export_import_moves_warm_state_between_servers() {
+    let dir = std::env::temp_dir().join(format!("gts-serve-xfer-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Server A works the medical schema cold and exports its session.
+    let a = start_default();
+    let mut ca = connect(&a);
+    let specs = || vec![proto::spec_type_check("T0", "S1"), proto::spec_elicit("T0")];
+    let a_resp = ca.analyze(MEDICAL, Some("S0"), specs()).unwrap();
+    assert!(ok(&a_resp), "{}", a_resp.pretty());
+    let fp = a_resp.get("fingerprint").and_then(Json::as_str).unwrap().to_owned();
+    let exported = ca.cache_export(&fp).unwrap();
+    assert!(ok(&exported), "{}", exported.pretty());
+    assert_eq!(exported.get("fingerprint").and_then(Json::as_str), Some(fp.as_str()));
+    let store_b64 = exported.get("store").and_then(Json::as_str).unwrap().to_owned();
+    shutdown_and_join(a);
+
+    // Server B has a cache dir but has never seen the schema; the import
+    // lands on disk (no resident session yet) and the first analyze
+    // hydrates from it.
+    let b = start(ServerConfig {
+        registry: RegistryConfig { cache_dir: Some(dir.clone()), ..Default::default() },
+        ..Default::default()
+    });
+    let mut cb = connect(&b);
+    let imported = cb.cache_import(&store_b64).unwrap();
+    assert!(ok(&imported), "{}", imported.pretty());
+    assert_eq!(imported.get("fingerprint").and_then(Json::as_str), Some(fp.as_str()));
+    assert_eq!(imported.get("installed").and_then(Json::as_bool), Some(true));
+    let b_resp = cb.analyze(MEDICAL, Some("S0"), specs()).unwrap();
+    assert!(ok(&b_resp), "{}", b_resp.pretty());
+    assert_eq!(b_resp.get("fingerprint").and_then(Json::as_str), Some(fp.as_str()));
+    // Verdict-for-verdict parity with the donor.
+    for (first, second) in results(&a_resp).iter().zip(results(&b_resp)) {
+        assert_eq!(first.get("holds"), second.get("holds"));
+        assert_eq!(first.get("certified"), second.get("certified"));
+        assert_eq!(first.get("schema"), second.get("schema"));
+    }
+    let stats = cb.stats().unwrap();
+    let registry = stats.get("registry").unwrap();
+    assert!(registry.get("disk_hydrated").and_then(Json::as_u64).unwrap() > 0);
+    assert_eq!(registry.get("cache_dir").and_then(Json::as_str), dir.to_str());
+
+    // Re-import against the now-resident session: hydrates in place.
+    let again = cb.cache_import(&store_b64).unwrap();
+    assert!(ok(&again), "{}", again.pretty());
+    assert_eq!(again.get("resident").and_then(Json::as_bool), Some(true));
+    shutdown_and_join(b);
+
+    // A server with neither a resident session nor a cache dir has
+    // nowhere to put an import — and nothing to export.
+    let c = start_default();
+    let mut cc = connect(&c);
+    let resp = cc.cache_import(&store_b64).unwrap();
+    assert_eq!(resp.get("error").and_then(Json::as_str), Some(proto::NOT_FOUND));
+    let resp = cc.cache_export(&fp).unwrap();
+    assert_eq!(resp.get("error").and_then(Json::as_str), Some(proto::NOT_FOUND));
+    let resp = cc.cache_import("!!!not-base64!!!").unwrap();
+    assert_eq!(resp.get("error").and_then(Json::as_str), Some(proto::BAD_REQUEST));
+    shutdown_and_join(c);
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

@@ -1,0 +1,235 @@
+//! Differential suite for the persistent on-disk oracle store: sessions
+//! hydrated from a warm store must agree verdict-for-verdict with fresh
+//! cold-path decides — on randomized schemas and query batteries, and
+//! under store corruption (truncation anywhere, bit flips anywhere),
+//! where the tolerant decoder must degrade to a clean prefix or the cold
+//! path without ever changing an answer.
+
+use gts_bench::medical;
+use gts_core::prelude::*;
+use gts_engine::AnalysisSession;
+use gts_schema::{random_schema, SchemaGenConfig};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use std::path::{Path, PathBuf};
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gts-tests-store-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A deterministic battery of boolean containment questions over a
+/// schema's labels: single-atom 2RPQ pairs, some forced equal so both
+/// holds- and fails-verdicts appear.
+fn query_battery<R: Rng>(schema: &Schema, rng: &mut R, n: usize) -> Vec<(Uc2rpq, Uc2rpq)> {
+    let labels = schema.node_labels().to_vec();
+    let edges = schema.edge_labels().to_vec();
+    let random_regex = |rng: &mut R| -> Regex {
+        let mut re = Regex::Epsilon;
+        for _ in 0..rng.gen_range(1..=2) {
+            let e = edges[rng.gen_range(0..edges.len())];
+            let sym = if rng.gen_bool(0.3) { EdgeSym::bwd(e) } else { EdgeSym::fwd(e) };
+            let step = if rng.gen_bool(0.25) { Regex::sym(sym).star() } else { Regex::sym(sym) };
+            re = re.then(step);
+        }
+        if rng.gen_bool(0.5) {
+            re = Regex::node(labels[rng.gen_range(0..labels.len())]).then(re);
+        }
+        re
+    };
+    let mk = |re: Regex| {
+        Uc2rpq::single(C2rpq::new(
+            2,
+            vec![Var(0), Var(1)],
+            vec![Atom { x: Var(0), y: Var(1), regex: re }],
+        ))
+    };
+    (0..n)
+        .map(|_| {
+            let p = mk(random_regex(rng));
+            let q = if rng.gen_bool(0.3) { p.clone() } else { mk(random_regex(rng)) };
+            (p, q)
+        })
+        .collect()
+}
+
+/// One "life" over a random schema: a session built from `seed`'s schema
+/// (bit-identical vocabulary and thus identity each time), asked `seed`'s
+/// battery. Returns the verdicts. When `dir` is given the session is
+/// disk-bound (hydrating on open, flushing on drop).
+fn run_life(seed: u64, dir: Option<&PathBuf>) -> (Vec<Decision>, usize, bool) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut vocab = Vocab::new();
+    let cfg = SchemaGenConfig {
+        num_node_labels: 3,
+        num_edge_labels: 2,
+        edge_density: 0.5,
+        allow_lower_bounds: true,
+    };
+    let schema = random_schema(&cfg, &mut vocab, &mut rng);
+    let battery = query_battery(&schema, &mut rng, 5);
+    let mut session = AnalysisSession::new(schema, vocab);
+    let (hydrated, degraded) = match dir {
+        Some(dir) => {
+            let report = session.attach_disk(dir);
+            (report.total(), report.degraded)
+        }
+        None => (0, false),
+    };
+    let mut verdicts = Vec::new();
+    for (p, q) in &battery {
+        if let Ok(d) = session.contains(p, q) {
+            verdicts.push(d);
+        }
+    }
+    (verdicts, hydrated, degraded)
+}
+
+#[test]
+fn disk_hydrated_sessions_agree_with_fresh_decide_on_random_schemas() {
+    let dir = tmp_dir("random");
+    let mut hydrated_lives = 0;
+    for seed in 0..12u64 {
+        // Life 1 decides cold and seeds the store; life 2 hydrates from
+        // it; the control never touches a disk. All three must agree on
+        // every verdict.
+        let (cold, h0, _) = run_life(seed, Some(&dir));
+        assert_eq!(h0, 0, "seed {seed}: first life found a store it never wrote");
+        let (warm, h1, degraded) = run_life(seed, Some(&dir));
+        let (control, _, _) = run_life(seed, None);
+        assert!(!degraded, "seed {seed}: clean store reported degraded");
+        if h1 > 0 {
+            hydrated_lives += 1;
+        }
+        assert_eq!(cold, warm, "seed {seed}: hydrated verdicts diverge from the cold run");
+        assert_eq!(cold, control, "seed {seed}: disk-bound verdicts diverge from disk-free");
+        assert!(!cold.is_empty(), "seed {seed}: battery produced no verdicts");
+    }
+    assert!(hydrated_lives >= 10, "only {hydrated_lives}/12 second lives hydrated anything");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Warms a store over the medical fixture and returns the session's
+/// reference verdicts plus the store file's full bytes.
+fn warm_medical_store(dir: &Path) -> (Decision, Decision, Schema, Vec<u8>) {
+    let m = medical();
+    let mut session = AnalysisSession::new(m.s0.clone(), m.vocab);
+    session.attach_disk(dir);
+    let elicited = session.elicit(&m.t0).expect("elicit");
+    let check = session.type_check(&m.t0, &m.s1).expect("type check");
+    let equiv = session.equivalence(&m.t0, &m.t0).expect("equivalence");
+    let path = session.disk_path().expect("disk-bound").to_path_buf();
+    session.flush_disk().expect("disk-bound").expect("flush");
+    drop(session);
+    let bytes = std::fs::read(path).expect("store file");
+    (check, equiv, elicited.schema, bytes)
+}
+
+/// Re-runs the medical suite against whatever store content `bytes`
+/// holds, asserting every verdict matches the reference. Returns the
+/// hydrate report as `(records, degraded)`.
+fn assert_medical_verdicts_survive(
+    dir: &Path,
+    path: &std::path::Path,
+    bytes: &[u8],
+    reference: &(Decision, Decision, Schema),
+) -> (usize, bool) {
+    std::fs::write(path, bytes).expect("write mutated store");
+    let m = medical();
+    let mut session = AnalysisSession::new(m.s0.clone(), m.vocab);
+    let report = session.attach_disk(dir);
+    let elicited = session.elicit(&m.t0).expect("elicit");
+    let check = session.type_check(&m.t0, &m.s1).expect("type check");
+    let equiv = session.equivalence(&m.t0, &m.t0).expect("equivalence");
+    assert_eq!(check, reference.0, "type-check verdict changed under corruption");
+    assert_eq!(equiv, reference.1, "equivalence verdict changed under corruption");
+    assert_eq!(elicited.schema, reference.2, "elicited schema changed under corruption");
+    // The session flushes on drop, repairing the store; rewrite happens
+    // per-case from the saved full bytes, so cases stay independent.
+    (report.total(), report.degraded)
+}
+
+#[test]
+fn truncated_stores_fall_back_to_the_clean_prefix_with_identical_verdicts() {
+    let dir = tmp_dir("truncate");
+    let (check, equiv, schema, bytes) = warm_medical_store(&dir);
+    let reference = (check, equiv, schema);
+    let m = medical();
+    let path = gts_store::store_path(
+        &dir,
+        AnalysisSession::new(m.s0.clone(), m.vocab).store_fingerprint(),
+    );
+    let (full_records, clean_degraded) =
+        assert_medical_verdicts_survive(&dir, &path, &bytes, &reference);
+    assert!(full_records > 0, "warm store hydrated nothing");
+    assert!(!clean_degraded);
+
+    // Cuts everywhere: mid-tail (drops whole records), mid-record, just
+    // past the header, inside the header, empty file.
+    let cuts = [bytes.len() - 3, bytes.len() / 2, bytes.len() / 4, 40, 12, 4, 0];
+    let mut saw_degraded_with_records = false;
+    for cut in cuts {
+        let (records, _degraded) =
+            assert_medical_verdicts_survive(&dir, &path, &bytes[..cut], &reference);
+        assert!(records <= full_records, "cut {cut}: more records than the full store");
+        if _degraded && records > 0 {
+            saw_degraded_with_records = true;
+        }
+    }
+    assert!(
+        saw_degraded_with_records,
+        "no truncation exercised the degraded-but-useful clean-prefix path"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bit_flipped_stores_are_detected_and_verdicts_never_change() {
+    let dir = tmp_dir("bitflip");
+    let (check, equiv, schema, bytes) = warm_medical_store(&dir);
+    let reference = (check, equiv, schema);
+    let m = medical();
+    let path = gts_store::store_path(
+        &dir,
+        AnalysisSession::new(m.s0.clone(), m.vocab).store_fingerprint(),
+    );
+    // Flip one byte at a spread of offsets: magic, version, identity,
+    // early records, the middle, the tail.
+    let offsets = [0, 5, 20, 100, bytes.len() / 2, bytes.len() - 7];
+    for off in offsets {
+        let mut mutated = bytes.clone();
+        mutated[off] ^= 0x40;
+        let (records, _degraded) =
+            assert_medical_verdicts_survive(&dir, &path, &mutated, &reference);
+        // A flip in the CRC-protected record area truncates hydration at
+        // the damaged record; a flip in the header rejects the whole
+        // file. Either way the answers above already proved soundness.
+        let _ = records;
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn wire_snapshots_hydrate_twin_sessions_and_reject_strangers() {
+    // export_store_bytes → hydrate_from_bytes is the cache_export/import
+    // wire path minus TCP; a twin (same identity) must absorb it, a
+    // different schema must refuse it.
+    let m = medical();
+    let mut donor = AnalysisSession::new(m.s0.clone(), m.vocab.clone());
+    let elicited = donor.elicit(&m.t0).expect("elicit");
+    let bytes = donor.export_store_bytes();
+
+    let mut twin = AnalysisSession::new(m.s0.clone(), m.vocab.clone());
+    let report = twin.hydrate_from_bytes(&bytes).expect("twin identity matches");
+    assert!(report.total() > 0, "snapshot carried no records");
+    let twin_elicited = twin.elicit(&m.t0).expect("elicit");
+    assert_eq!(twin_elicited.schema, elicited.schema);
+    assert!(twin.stats().hydrated > 0, "twin answered without touching hydrated state");
+
+    let mut stranger = AnalysisSession::new(m.s1.clone(), m.vocab.clone());
+    assert!(
+        stranger.hydrate_from_bytes(&bytes).is_none(),
+        "a different schema absorbed a foreign snapshot"
+    );
+}
