@@ -10,15 +10,23 @@
 //! indexed `gts-exec` engine across instance sizes, with the parallel
 //! sharding cutoff — and writes `BENCH_exec.json`.
 //!
+//! A **families** section sweeps the scenario corpus (`gts-corpus`):
+//! every family's headline workload — session-cold/warm type check of
+//! the primary transformation, schema elicitation, and indexed
+//! execution of the primary instance — lands as one row per family in
+//! `BENCH_baseline.json`, with `--family NAME` restricting the sweep.
+//!
 //! ```sh
 //! cargo run --release -p gts-bench --bin baseline           # BENCH_baseline.json + BENCH_exec.json
 //! cargo run --release -p gts-bench --bin baseline -- a.json b.json   # custom paths
 //! cargo run --release -p gts-bench --bin baseline -- --quick         # CI smoke mode
+//! cargo run --release -p gts-bench --bin baseline -- --family fhir   # one corpus family
 //! ```
 
 use gts_bench::{fig2, medical, medical_instance};
 use gts_core::containment::OracleCache;
 use gts_core::prelude::*;
+use gts_corpus::{scenario, Family, Params};
 use gts_engine::{AnalysisSession, Json};
 use gts_exec::{execute_with, output_facts, ExecOptions, IndexedGraph};
 use std::sync::Arc;
@@ -283,10 +291,78 @@ fn exec_report(out_path: &str, quick: bool) {
     println!("wrote {out_path}");
 }
 
+/// The per-family corpus sweep: for each scenario family, the headline
+/// workload of its [`gts_corpus::Primary`] — type check measured
+/// session-cold and session-warm, schema elicitation in the same
+/// session, and single-threaded indexed execution of the primary
+/// instance. The `medical` row replays exactly the Figure 1 analyses of
+/// the headline `analyses` section (only the instance scale differs),
+/// so its session numbers must agree with those rows within noise.
+fn family_section(families: &[Family], params: &Params, reps: usize) -> Json {
+    let mut rows = Vec::new();
+    for &family in families {
+        let sc = scenario(family, params);
+        let source = sc.schema(&sc.primary.source).expect("primary source").clone();
+        let target = sc.schema(&sc.primary.target).expect("primary target").clone();
+        let t = sc.transform(&sc.primary.transform).expect("primary transform").clone();
+        let inst = sc.instance(&sc.primary.instance).expect("primary instance");
+
+        let mut session = AnalysisSession::new(source, sc.vocab.clone());
+        let (d, s_cold) = timed(|| session.type_check(&t, &target).expect("type check"));
+        let (_, s_warm) = timed(|| session.type_check(&t, &target).expect("type check"));
+        let (_, elicit) = timed(|| session.elicit(&t).expect("elicit"));
+
+        let inline = ExecOptions { threads: 1, ..Default::default() };
+        let (out, exec) = best_of(reps, || execute_with(&t, &inst.graph, &inline));
+        let conforms = target.conforms(&out).is_ok();
+
+        let mut e = Json::obj();
+        e.set("family", family.name())
+            .set("seed", params.seed)
+            .set("scale", params.scale)
+            .set("transform", sc.primary.transform.as_str())
+            .set("source", sc.primary.source.as_str())
+            .set("target", sc.primary.target.as_str())
+            .set("instance_nodes", inst.graph.num_nodes())
+            .set("instance_edges", inst.graph.num_edges())
+            .set("type_check_session_cold_micros", s_cold)
+            .set("type_check_session_warm_micros", s_warm)
+            .set("type_check_holds", d.holds)
+            .set("type_check_certified", d.certified)
+            .set("elicit_micros", elicit)
+            .set("exec_indexed_micros", exec)
+            .set("output_nodes", out.num_nodes())
+            .set("output_edges", out.num_edges())
+            .set("output_conforms", conforms);
+        println!(
+            "family {:<10} check cold {s_cold:>8}us warm {s_warm:>6}us | elicit {elicit:>8}us | \
+             exec {exec:>6}us ({} -> {} nodes, conforms {conforms})",
+            family.name(),
+            inst.graph.num_nodes(),
+            out.num_nodes()
+        );
+        rows.push(e);
+    }
+    Json::Arr(rows)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let mut paths = args.iter().filter(|a| !a.starts_with("--"));
+    let family_filter = args
+        .iter()
+        .position(|a| a == "--family")
+        .map(|i| args.get(i + 1).expect("--family needs a value").clone());
+    let families: Vec<Family> = match family_filter.as_deref() {
+        None => Family::ALL.to_vec(),
+        Some(name) => vec![Family::from_name(name)
+            .unwrap_or_else(|| panic!("unknown family {name}; try `gts corpus list`"))],
+    };
+    let mut paths = args
+        .iter()
+        .enumerate()
+        .filter(|&(i, a)| !(a.starts_with("--") || i > 0 && args[i - 1] == "--family"))
+        .map(|(_, a)| a);
     let out_path = paths.next().cloned().unwrap_or_else(|| "BENCH_baseline.json".into());
     let exec_path = paths.next().cloned().unwrap_or_else(|| "BENCH_exec.json".into());
     let opts = ContainmentOptions::default();
@@ -357,6 +433,11 @@ fn main() {
     // warm on-disk store (what `--cache-dir` buys a restart). ----
     let disk_cache = disk_cache_section(reps);
 
+    // ---- Per-family corpus sweep: the headline workload of every
+    // scenario family (or the `--family` selection). ----
+    let corpus_params = if quick { Params::quick() } else { Params::default() };
+    let families_json = family_section(&families, &corpus_params, reps);
+
     // ---- Cross-analysis reuse: all three analyses through ONE session;
     // its cache stats quantify how much the analyses share. ----
     let session = {
@@ -415,6 +496,7 @@ fn main() {
     doc.set("analyses", Json::Arr(rows.iter().map(AnalysisRow::json).collect()));
     doc.set("cold_oracle", Json::Arr(vec![elicit_oracle, check_oracle]));
     doc.set("disk_cache", disk_cache);
+    doc.set("families", families_json);
     doc.set("repeated_containment", repeated);
     let mut cache = Json::obj();
     cache

@@ -1,8 +1,10 @@
 //! Load generator for the resident analysis server (`gts-serve`):
 //! replays a mixed typecheck/equivalence/elicit/execute workload over N
 //! concurrent connections and writes `BENCH_server.json` — throughput,
-//! p50/p95/p99 latency, cold-one-shot vs resident speedup, and the
-//! session-pool hit rate.
+//! p50/p95/p99 latency, cold-one-shot vs resident speedup, the
+//! session-pool hit rate, and a per-family corpus sweep (cold pool-miss
+//! vs resident pool-hit latency for every scenario family's headline
+//! workload; `--family NAME` restricts the sweep).
 //!
 //! ```sh
 //! cargo run --release -p gts-bench --bin loadgen                  # in-process server
@@ -20,6 +22,7 @@
 
 use gts_bench::{medical, medical_instance};
 use gts_core::containment::ContainmentOptions;
+use gts_corpus::{scenario, Family, Params};
 use gts_engine::{AnalysisSession, Json, Request};
 use gts_serve::{proto, AdmissionConfig, Client, Server, ServerConfig};
 use std::io::BufRead;
@@ -162,6 +165,68 @@ fn drive(addr: &str, w: &Workload, conns: usize, requests: usize) -> (Vec<Sample
     samples
 }
 
+/// Sweeps the scenario corpus through the resident server over one
+/// connection: per family, the first `analyze` frame (type check of the
+/// primary transformation + checked execution of the primary instance)
+/// builds the family's pooled session — the cold, pool-miss latency —
+/// and an identical second frame measures the resident, pool-hit
+/// latency. One row per family lands in the report's `families` array.
+fn family_section(addr: &str, families: &[Family], quick: bool) -> Json {
+    let params = if quick { Params::quick() } else { Params::default() };
+    let mut client = Client::connect(addr).expect("connect for family sweep");
+    let mut rows = Vec::new();
+    for &family in families {
+        let sc = scenario(family, &params);
+        let gts = gts_cli::render_file(&gts_cli::scenario_file(&sc));
+        let inst = sc.instance(&sc.primary.instance).expect("primary instance");
+        let fixture = gts_cli::raw_instance(&inst.graph, &sc.vocab);
+        let specs = || {
+            vec![
+                proto::spec_type_check(&sc.primary.transform, &sc.primary.target),
+                proto::spec_execute(&sc.primary.transform, &fixture, Some(&sc.primary.target)),
+            ]
+        };
+        let mut frame = || {
+            let start = Instant::now();
+            let resp = client
+                .analyze(&gts, Some(&sc.primary.source), specs())
+                .expect("family analyze roundtrip");
+            let micros = start.elapsed().as_micros() as u64;
+            assert_eq!(
+                resp.get("ok").and_then(Json::as_bool),
+                Some(true),
+                "{}: {}",
+                family.name(),
+                resp.pretty()
+            );
+            let pool = resp.get("pool").and_then(Json::as_str).unwrap_or("?").to_owned();
+            (micros, pool)
+        };
+        let (cold, pool_cold) = frame();
+        let (resident, pool_resident) = frame();
+        let mut e = Json::obj();
+        e.set("family", family.name())
+            .set("seed", params.seed)
+            .set("scale", params.scale)
+            .set("transform", sc.primary.transform.as_str())
+            .set("instance_nodes", inst.graph.num_nodes())
+            .set("instance_edges", inst.graph.num_edges())
+            .set("cold_micros", cold)
+            .set("resident_micros", resident)
+            .set("resident_speedup", cold as f64 / resident.max(1) as f64)
+            .set("pool_cold", pool_cold.as_str())
+            .set("pool_resident", pool_resident.as_str());
+        println!(
+            "family {:<10} cold {cold:>8}us ({pool_cold}) | resident {resident:>6}us \
+             ({pool_resident}, {:.1}x)",
+            family.name(),
+            cold as f64 / resident.max(1) as f64
+        );
+        rows.push(e);
+    }
+    Json::Arr(rows)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -174,6 +239,11 @@ fn main() {
         .map(|s| s.parse().expect("--requests"))
         .unwrap_or(if quick { 6 } else { 32 });
     let cold_reps = if quick { 1 } else { 3 };
+    let families: Vec<Family> = match flag("--family").as_deref() {
+        None => Family::ALL.to_vec(),
+        Some(name) => vec![Family::from_name(name)
+            .unwrap_or_else(|| panic!("unknown family {name}; try `gts corpus list`"))],
+    };
     let w = workload();
 
     // ---- Pick the server: external (--addr), spawned binary (--spawn),
@@ -298,6 +368,9 @@ fn main() {
         per_kind.push(e);
     }
 
+    // ---- Per-family corpus sweep over the same resident server. ----
+    let families_json = family_section(&addr, &families, quick);
+
     // ---- Pool + admission stats over the wire (works in all modes). ----
     let mut stats_client = Client::connect(addr.as_str()).expect("connect for stats");
     let stats = stats_client.stats().expect("stats verb");
@@ -333,7 +406,7 @@ fn main() {
     };
 
     let mut doc = Json::obj();
-    doc.set("schema_version", 1u64)
+    doc.set("schema_version", 2u64)
         .set("generated_by", "gts-bench loadgen")
         .set(
             "workload",
@@ -355,6 +428,7 @@ fn main() {
         .set("resident_speedup_vs_cold", speedup)
         .set("steady_state_speedup_vs_cold", steady_speedup)
         .set("per_kind", Json::Arr(per_kind))
+        .set("families", families_json)
         .set("pool", pool)
         .set("admission", admission)
         .set("drain_clean", drain_clean);

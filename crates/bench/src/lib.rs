@@ -27,25 +27,12 @@ pub struct MedicalFixture {
     pub t0: Transformation,
 }
 
-/// Builds the medical fixture.
+/// Builds the medical fixture. Since the scenario corpus landed this
+/// delegates to [`gts_corpus::medical_fixture`] — the corpus's `medical`
+/// family and this fixture are the same object by construction, which is
+/// what keeps every pre-corpus BENCH number comparable.
 pub fn medical() -> MedicalFixture {
-    let mut vocab = Vocab::new();
-    let t0 = medical_transformation(&mut vocab);
-    let vaccine = vocab.node_label("Vaccine");
-    let antigen = vocab.node_label("Antigen");
-    let pathogen = vocab.node_label("Pathogen");
-    let dt = vocab.edge_label("designTarget");
-    let cr = vocab.edge_label("crossReacting");
-    let ex = vocab.edge_label("exhibits");
-    let targets = vocab.edge_label("targets");
-    let mut s0 = Schema::new();
-    s0.set_edge(vaccine, dt, antigen, Mult::One, Mult::Star);
-    s0.set_edge(antigen, cr, antigen, Mult::Star, Mult::Star);
-    s0.set_edge(pathogen, ex, antigen, Mult::Plus, Mult::Star);
-    let mut s1 = Schema::new();
-    s1.set_edge(vaccine, dt, antigen, Mult::One, Mult::Star);
-    s1.set_edge(vaccine, targets, antigen, Mult::Plus, Mult::Star);
-    s1.set_edge(pathogen, ex, antigen, Mult::Plus, Mult::Star);
+    let (vocab, s0, s1, t0) = gts_corpus::medical_fixture();
     MedicalFixture { vocab, s0, s1, t0 }
 }
 

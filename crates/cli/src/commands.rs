@@ -58,6 +58,10 @@ fn usage() -> String {
      \x20 client    FILE... [--addr A]                     the batch suite over the wire, or a\n\
      \x20           | --verb ping|stats|evict|shutdown     control verb against a running server\n\
      \x20           |        cache-export|cache-import     (see --fingerprint / --store)\n\
+     \x20 corpus    list | emit --family F [--out DIR]     the seeded scenario corpus (gts-corpus):\n\
+     \x20           | check [--family F] [--quick]         list families, render .gts + instance\n\
+     \x20           [--seed N] [--scale N]                 fixtures, or self-check determinism,\n\
+     \x20                                                  conformance, and expected verdicts\n\
      \x20 (batch/client accept `-` as FILE to read the .gts source from stdin)\n\
      \x20 (check/equiv/elicit/contains/safety also take --stats: append oracle statistics)\n\
      \x20 (analysis commands + batch/serve take --cache-dir DIR — or the GTS_CACHE_DIR env var —\n\
@@ -77,6 +81,7 @@ fn parse_flags(args: &[String]) -> Result<(HashMap<String, String>, Vec<String>)
                 || name == "stats"
                 || name == "allow-linger"
                 || name == "no-cache"
+                || name == "quick"
             {
                 flags.insert(name.to_owned(), "true".to_owned());
                 i += 1;
@@ -129,6 +134,7 @@ fn run_inner(
         Some("batch") => return run_batch(&positional[1..], &flags, read),
         Some("serve") => return crate::remote::run_serve(&flags),
         Some("client") => return crate::remote::run_client(&positional[1..], &flags, read),
+        Some("corpus") => return crate::corpus_cmd::run_corpus(&positional[1..], &flags),
         _ => {}
     }
     let (cmd, path) = match positional.as_slice() {

@@ -1,0 +1,298 @@
+//! The `gts corpus` subcommand: list, emit, and check the scenario
+//! corpus of `gts-corpus`.
+//!
+//! ```text
+//! gts corpus list
+//! gts corpus emit  --family F [--seed N] [--scale N] [--out DIR]
+//! gts corpus check [--family F] [--seed N] [--scale N] [--quick]
+//! ```
+//!
+//! `emit` renders a family's scenario to `.gts` (schemas, transforms,
+//! queries) plus one instance fixture file per shipped instance;
+//! without `--out` the `.gts` text goes to stdout. `check` is the
+//! corpus's self-test, run by CI at `--quick` scale: regeneration
+//! determinism (byte-identical renders), transformation validity,
+//! instance conformance, emit→parse→emit fixed point, and every
+//! expected verdict replayed through a cached [`AnalysisSession`].
+
+use crate::commands::Outcome;
+use crate::parse::GtsFile;
+use crate::{print, raw_instance};
+use gts_core::query::NreUc2rpq;
+use gts_corpus::{scenario, Expectation, Family, Params, Scenario};
+use gts_engine::AnalysisSession;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Renders a scenario as an in-memory `.gts` file: schemas and
+/// transformations in corpus order, queries lifted to NRE form.
+/// Instances are *not* inlined — they ship as sidecar fixture files
+/// (see [`instance_fixtures`]) to keep the `.gts` workload lean.
+pub fn scenario_file(sc: &Scenario) -> GtsFile {
+    GtsFile {
+        vocab: sc.vocab.clone(),
+        schemas: sc.schemas.clone(),
+        transforms: sc.transforms.clone(),
+        graphs: Vec::new(),
+        queries: sc.queries.iter().map(|(n, q)| (n.clone(), NreUc2rpq::from_plain(q))).collect(),
+    }
+}
+
+/// The sidecar instance fixtures of a scenario: `(file stem, text)` in
+/// the line-based instance format of [`crate::parse_instance`].
+pub fn instance_fixtures(sc: &Scenario) -> Vec<(String, String)> {
+    sc.instances
+        .iter()
+        .map(|inst| {
+            (format!("{}.{}", sc.family.name(), inst.name), raw_instance(&inst.graph, &sc.vocab))
+        })
+        .collect()
+}
+
+fn params_from(flags: &HashMap<String, String>) -> Result<Params, String> {
+    let mut params = if flags.contains_key("quick") { Params::quick() } else { Params::default() };
+    if let Some(seed) = flags.get("seed") {
+        params.seed = seed.parse().map_err(|_| format!("bad --seed {seed}"))?;
+    }
+    if let Some(scale) = flags.get("scale") {
+        params.scale = scale.parse().map_err(|_| format!("bad --scale {scale}"))?;
+    }
+    Ok(params)
+}
+
+fn families_from(flags: &HashMap<String, String>) -> Result<Vec<Family>, String> {
+    match flags.get("family") {
+        None => Ok(Family::ALL.to_vec()),
+        Some(name) => Family::from_name(name)
+            .map(|f| vec![f])
+            .ok_or_else(|| format!("unknown family {name}; try `gts corpus list`")),
+    }
+}
+
+/// Entry point for `gts corpus <verb>`.
+pub(crate) fn run_corpus(
+    positional: &[String],
+    flags: &HashMap<String, String>,
+) -> Result<Outcome, String> {
+    match positional.first().map(String::as_str) {
+        Some("list") => Ok(list()),
+        Some("emit") => emit(flags),
+        Some("check") => check(flags),
+        other => Err(format!(
+            "corpus verb must be list, emit, or check (got {})",
+            other.unwrap_or("nothing")
+        )),
+    }
+}
+
+fn list() -> Outcome {
+    let mut out = String::new();
+    for f in Family::ALL {
+        let _ = writeln!(out, "{:<10} {}", f.name(), f.description());
+    }
+    Outcome { code: 0, output: out }
+}
+
+fn emit(flags: &HashMap<String, String>) -> Result<Outcome, String> {
+    let family = match flags.get("family") {
+        Some(name) => Family::from_name(name)
+            .ok_or_else(|| format!("unknown family {name}; try `gts corpus list`"))?,
+        None => return Err("emit needs --family".into()),
+    };
+    let params = params_from(flags)?;
+    let sc = scenario(family, &params);
+    let text = print::render_file(&scenario_file(&sc));
+    match flags.get("out") {
+        None => Ok(Outcome { code: 0, output: text }),
+        Some(dir) => {
+            let dir = std::path::Path::new(dir);
+            std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+            let gts_path = dir.join(format!("{}.gts", family.name()));
+            std::fs::write(&gts_path, &text)
+                .map_err(|e| format!("write {}: {e}", gts_path.display()))?;
+            let mut written = vec![gts_path.display().to_string()];
+            for (stem, fixture) in instance_fixtures(&sc) {
+                let path = dir.join(format!("{stem}.graph"));
+                std::fs::write(&path, fixture)
+                    .map_err(|e| format!("write {}: {e}", path.display()))?;
+                written.push(path.display().to_string());
+            }
+            Ok(Outcome { code: 0, output: format!("wrote {}\n", written.join(", ")) })
+        }
+    }
+}
+
+fn check(flags: &HashMap<String, String>) -> Result<Outcome, String> {
+    let params = params_from(flags)?;
+    let mut out = String::new();
+    let mut failures = 0usize;
+    for family in families_from(flags)? {
+        match check_family(family, &params) {
+            Ok(line) => {
+                let _ = writeln!(out, "{:<10} ok  {line}", family.name());
+            }
+            Err(e) => {
+                failures += 1;
+                let _ = writeln!(out, "{:<10} FAIL {e}", family.name());
+            }
+        }
+    }
+    let code = if failures == 0 { 0 } else { 1 };
+    let _ = writeln!(
+        out,
+        "corpus check: {} at seed={} scale={}",
+        if failures == 0 {
+            "all families pass".to_owned()
+        } else {
+            format!("{failures} famil{} FAILED", if failures == 1 { "y" } else { "ies" })
+        },
+        params.seed,
+        params.scale,
+    );
+    Ok(Outcome { code, output: out })
+}
+
+/// One memoized [`AnalysisSession`] per source schema, shared across a
+/// family's expectations.
+fn session_for<'a>(
+    sessions: &'a mut HashMap<String, AnalysisSession>,
+    sc: &Scenario,
+    name: &str,
+) -> Result<&'a mut AnalysisSession, String> {
+    if !sessions.contains_key(name) {
+        let schema =
+            sc.schema(name).ok_or_else(|| format!("unknown source schema {name}"))?.clone();
+        sessions.insert(name.to_owned(), AnalysisSession::new(schema, sc.vocab.clone()));
+    }
+    Ok(sessions.get_mut(name).expect("just inserted"))
+}
+
+/// Compares a live [`Decision`] against a pinned expectation. A
+/// `certified` expectation demands the certified semantic verdict; an
+/// uncertified one pins only the *lack* of certification (the ratchet:
+/// if the oracle learns to certify the verdict, this fails and the
+/// annotation gets upgraded).
+fn verdict(what: &str, d: gts_core::Decision, holds: bool, certified: bool) -> Result<(), String> {
+    if certified {
+        if !d.certified {
+            return Err(format!("{what}: expected a certified verdict, got uncertified"));
+        }
+        if d.holds != holds {
+            return Err(format!("{what}: expected holds={holds}, got {}", d.holds));
+        }
+    } else if d.certified {
+        return Err(format!(
+            "{what}: oracle now certifies holds={} — upgrade the corpus annotation",
+            d.holds
+        ));
+    }
+    Ok(())
+}
+
+/// Full self-check of one family; returns a summary line or the first
+/// failure.
+fn check_family(family: Family, params: &Params) -> Result<String, String> {
+    let sc = scenario(family, params);
+    sc.check_transforms()?;
+    sc.check_conformance()?;
+
+    // Regeneration determinism: same (seed, scale) → byte-identical
+    // renders of the .gts and of every instance fixture.
+    let again = scenario(family, params);
+    let text = print::render_file(&scenario_file(&sc));
+    if text != print::render_file(&scenario_file(&again)) {
+        return Err("non-deterministic .gts render".into());
+    }
+    if instance_fixtures(&sc) != instance_fixtures(&again) {
+        return Err("non-deterministic instance fixtures".into());
+    }
+
+    // Emit → parse → emit is a fixed point.
+    let parsed = GtsFile::parse(&text).map_err(|e| format!("emitted .gts fails to parse: {e}"))?;
+    let reprint = print::render_file(&parsed);
+    if reprint != text {
+        return Err("emit→parse→emit is not a fixed point".into());
+    }
+
+    // Every expected verdict, replayed through a cached session per
+    // source schema.
+    let mut sessions: HashMap<String, AnalysisSession> = HashMap::new();
+    for exp in &sc.expectations {
+        match exp {
+            Expectation::TypeCheck { transform, source, target, holds, certified } => {
+                let t = sc
+                    .transform(transform)
+                    .ok_or_else(|| format!("unknown transform {transform}"))?
+                    .clone();
+                let tgt =
+                    sc.schema(target).ok_or_else(|| format!("unknown target {target}"))?.clone();
+                let d = session_for(&mut sessions, &sc, source)?
+                    .type_check(&t, &tgt)
+                    .map_err(|e| format!("check {transform}: {e:?}"))?;
+                verdict(
+                    &format!("check {transform}: {source} -> {target}"),
+                    d,
+                    *holds,
+                    *certified,
+                )?;
+            }
+            Expectation::Equivalence { left, right, source, holds, certified } => {
+                let t1 =
+                    sc.transform(left).ok_or_else(|| format!("unknown transform {left}"))?.clone();
+                let t2 = sc
+                    .transform(right)
+                    .ok_or_else(|| format!("unknown transform {right}"))?
+                    .clone();
+                let d = session_for(&mut sessions, &sc, source)?
+                    .equivalence(&t1, &t2)
+                    .map_err(|e| format!("equiv {left} ~ {right}: {e:?}"))?;
+                verdict(&format!("equiv {left} ~ {right} mod {source}"), d, *holds, *certified)?;
+            }
+        }
+    }
+    drop(sessions);
+    let nodes: usize = sc.instances.iter().map(|i| i.graph.num_nodes()).sum();
+    Ok(format!(
+        "{} schemas, {} transforms, {} instances ({nodes} nodes), {} verdicts",
+        sc.schemas.len(),
+        sc.transforms.len(),
+        sc.instances.len(),
+        sc.expectations.len()
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::commands::run;
+
+    fn gts(args: &[&str]) -> Outcome {
+        let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        run(&args, &|path| Err(format!("no file {path} in this test")))
+    }
+
+    #[test]
+    fn corpus_list_names_every_family() {
+        let out = gts(&["corpus", "list"]);
+        assert_eq!(out.code, 0, "{}", out.output);
+        for f in Family::ALL {
+            assert!(out.output.contains(f.name()), "missing {}:\n{}", f.name(), out.output);
+        }
+    }
+
+    #[test]
+    fn corpus_emit_renders_a_parseable_scenario() {
+        let out = gts(&["corpus", "emit", "--family", "medical", "--scale", "12"]);
+        assert_eq!(out.code, 0, "{}", out.output);
+        let file = GtsFile::parse(&out.output).expect("emitted .gts parses");
+        assert!(file.schema("S0").is_some() && file.transform("T0").is_some());
+    }
+
+    #[test]
+    fn corpus_rejects_unknown_families_and_verbs() {
+        assert_eq!(gts(&["corpus", "emit", "--family", "nonesuch"]).code, 2);
+        assert_eq!(gts(&["corpus", "emit"]).code, 2);
+        assert_eq!(gts(&["corpus", "frobnicate"]).code, 2);
+        assert_eq!(gts(&["corpus", "check", "--family", "nonesuch"]).code, 2);
+    }
+}

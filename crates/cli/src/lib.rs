@@ -27,6 +27,7 @@
 #![warn(missing_docs)]
 
 mod commands;
+mod corpus_cmd;
 mod instance;
 mod lex;
 mod parse;
@@ -34,6 +35,7 @@ mod print;
 mod remote;
 
 pub use commands::{run, Outcome};
+pub use corpus_cmd::{instance_fixtures, scenario_file};
 pub use instance::{parse_instance, print_instance, raw_instance};
 pub use lex::{lex, ParseError, Tok, Token};
 pub use parse::{GtsFile, NamedGraph};

@@ -1,0 +1,212 @@
+//! The `fhir` family: a FHIR-style clinical-records migration.
+//!
+//! Source schema `Dstu2` links patients to encounters, encounters to
+//! observations, practitioners, and conditions. The `Migrate`
+//! transformation copies everything and derives the patient-level
+//! `observed` shortcut (`hasEncounter · hasObservation`), targeting the
+//! widened `R4` schema. The `Redact` transformation additionally strips
+//! practitioners (a de-identification pass), targeting `R4Redacted`.
+
+use crate::{dsl, Expectation, Family, Instance, Params, Primary, Scenario};
+use gts_core::prelude::*;
+use gts_core::Transformation;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+pub(crate) fn build(params: &Params, rng: &mut StdRng) -> Scenario {
+    let mut vocab = Vocab::new();
+    let patient = vocab.node_label("Patient");
+    let encounter = vocab.node_label("Encounter");
+    let observation = vocab.node_label("Observation");
+    let practitioner = vocab.node_label("Practitioner");
+    let condition = vocab.node_label("Condition");
+    let has_enc = vocab.edge_label("hasEncounter");
+    let has_obs = vocab.edge_label("hasObservation");
+    let performed = vocab.edge_label("performedBy");
+    let diagnosed = vocab.edge_label("diagnosed");
+    let observed = vocab.edge_label("observed");
+
+    // Dstu2: every encounter belongs to exactly one patient and is
+    // performed by exactly one practitioner; observations sit in at most
+    // one encounter; conditions are free-floating diagnoses.
+    let mut dstu2 = Schema::new();
+    dstu2.set_edge(patient, has_enc, encounter, Mult::Star, Mult::One);
+    dstu2.set_edge(encounter, has_obs, observation, Mult::Star, Mult::Opt);
+    dstu2.set_edge(encounter, performed, practitioner, Mult::One, Mult::Star);
+    dstu2.set_edge(encounter, diagnosed, condition, Mult::Star, Mult::Star);
+
+    // R4: Dstu2 plus the derived patient→observation shortcut.
+    let mut r4 = dstu2.clone();
+    r4.set_edge(patient, observed, observation, Mult::Star, Mult::Star);
+
+    // R4Redacted: R4 with practitioners (and their mandatory
+    // performedBy participation) removed entirely.
+    let mut redacted = Schema::new();
+    redacted.set_edge(patient, has_enc, encounter, Mult::Star, Mult::One);
+    redacted.set_edge(encounter, has_obs, observation, Mult::Star, Mult::Opt);
+    redacted.set_edge(encounter, diagnosed, condition, Mult::Star, Mult::Star);
+    redacted.set_edge(patient, observed, observation, Mult::Star, Mult::Star);
+
+    let copy_core = |t: &mut Transformation| {
+        t.add_node_rule(patient, dsl::unary(patient))
+            .add_node_rule(encounter, dsl::unary(encounter))
+            .add_node_rule(observation, dsl::unary(observation))
+            .add_node_rule(condition, dsl::unary(condition))
+            .add_edge_rule(has_enc, (patient, 1), (encounter, 1), dsl::binary(Regex::edge(has_enc)))
+            .add_edge_rule(
+                has_obs,
+                (encounter, 1),
+                (observation, 1),
+                dsl::binary(Regex::edge(has_obs)),
+            )
+            .add_edge_rule(
+                diagnosed,
+                (encounter, 1),
+                (condition, 1),
+                dsl::binary(Regex::edge(diagnosed)),
+            )
+            .add_edge_rule(
+                observed,
+                (patient, 1),
+                (observation, 1),
+                dsl::binary(Regex::edge(has_enc).then(Regex::edge(has_obs))),
+            );
+    };
+
+    let mut migrate = Transformation::new();
+    copy_core(&mut migrate);
+    migrate.add_node_rule(practitioner, dsl::unary(practitioner)).add_edge_rule(
+        performed,
+        (encounter, 1),
+        (practitioner, 1),
+        dsl::binary(Regex::edge(performed)),
+    );
+
+    let mut redact = Transformation::new();
+    copy_core(&mut redact);
+
+    // Primary instance: a ward of patients with encounters, observations,
+    // a shared practitioner pool, and a shared condition pool.
+    let primary = ward(
+        params.scale,
+        &WardLabels {
+            patient,
+            encounter,
+            observation,
+            practitioner,
+            condition,
+            has_enc,
+            has_obs,
+            performed,
+            diagnosed,
+        },
+        rng,
+    );
+    let small = ward(
+        (params.scale / 3).max(6),
+        &WardLabels {
+            patient,
+            encounter,
+            observation,
+            practitioner,
+            condition,
+            has_enc,
+            has_obs,
+            performed,
+            diagnosed,
+        },
+        rng,
+    );
+
+    Scenario {
+        family: Family::Fhir,
+        params: *params,
+        vocab,
+        schemas: vec![("Dstu2".into(), dstu2), ("R4".into(), r4), ("R4Redacted".into(), redacted)],
+        transforms: vec![("Migrate".into(), migrate), ("Redact".into(), redact)],
+        queries: Vec::new(),
+        instances: vec![
+            Instance { name: "ward".into(), schema: "Dstu2".into(), graph: primary },
+            Instance { name: "clinic".into(), schema: "Dstu2".into(), graph: small },
+        ],
+        expectations: vec![
+            Expectation::TypeCheck {
+                transform: "Migrate".into(),
+                source: "Dstu2".into(),
+                target: "R4".into(),
+                holds: true,
+                certified: true,
+            },
+            Expectation::TypeCheck {
+                transform: "Migrate".into(),
+                source: "Dstu2".into(),
+                target: "Dstu2".into(),
+                holds: false,
+                certified: true,
+            },
+            Expectation::TypeCheck {
+                transform: "Redact".into(),
+                source: "Dstu2".into(),
+                target: "R4Redacted".into(),
+                holds: true,
+                certified: true,
+            },
+            Expectation::Equivalence {
+                left: "Migrate".into(),
+                right: "Redact".into(),
+                source: "Dstu2".into(),
+                holds: false,
+                certified: true,
+            },
+        ],
+        primary: Primary {
+            source: "Dstu2".into(),
+            transform: "Migrate".into(),
+            target: "R4".into(),
+            instance: "ward".into(),
+        },
+    }
+}
+
+struct WardLabels {
+    patient: NodeLabel,
+    encounter: NodeLabel,
+    observation: NodeLabel,
+    practitioner: NodeLabel,
+    condition: NodeLabel,
+    has_enc: EdgeLabel,
+    has_obs: EdgeLabel,
+    performed: EdgeLabel,
+    diagnosed: EdgeLabel,
+}
+
+/// Generates a Dstu2-conforming ward of roughly `scale` nodes.
+fn ward(scale: usize, l: &WardLabels, rng: &mut StdRng) -> Graph {
+    let mut g = Graph::new();
+    // Roughly: per patient, ~1.5 encounters, ~2 observations, amortized
+    // shares of the practitioner/condition pools → ~6 nodes per patient.
+    let patients = (scale / 6).max(1);
+    let docs: Vec<_> =
+        (0..(patients / 4).max(1)).map(|_| g.add_labeled_node([l.practitioner])).collect();
+    let conds: Vec<_> =
+        (0..(patients / 3).max(1)).map(|_| g.add_labeled_node([l.condition])).collect();
+    for _ in 0..patients {
+        let p = g.add_labeled_node([l.patient]);
+        for _ in 0..rng.gen_range(1..=2) {
+            let e = g.add_labeled_node([l.encounter]);
+            g.add_edge(p, l.has_enc, e);
+            g.add_edge(e, l.performed, docs[rng.gen_range(0..docs.len())]);
+            for _ in 0..rng.gen_range(1..=3) {
+                let o = g.add_labeled_node([l.observation]);
+                g.add_edge(e, l.has_obs, o);
+            }
+            for _ in 0..rng.gen_range(0..=2) {
+                let c = conds[rng.gen_range(0..conds.len())];
+                if !g.has_edge(e, l.diagnosed, c) {
+                    g.add_edge(e, l.diagnosed, c);
+                }
+            }
+        }
+    }
+    g
+}

@@ -1,0 +1,126 @@
+//! The `hardness` family: schemas straight from the EXPTIME lower bound.
+//!
+//! [`gts_hardness::reduce`] builds the Theorem F.1 schema — `Config`
+//! nodes wired by transition edges, `Pos`/`Symb`/`St` satellites, every
+//! participation `?`/`?` — for a small existential machine. The corpus
+//! wraps it in a generic label-guarded copy suite and ships encoded
+//! accepting runs as instances, so every layer (executor, sessions,
+//! server) gets exercised on the adversarial schema *shape* without
+//! ever running the EXPTIME containment instance itself. The reduction's
+//! positive/negative Boolean 2RPQs ride along as named queries.
+
+use crate::{dsl, Expectation, Family, Instance, Params, Primary, Scenario};
+use gts_core::prelude::*;
+use gts_core::Transformation;
+use gts_hardness::{encode_run, machines, reduce};
+use rand::rngs::StdRng;
+
+/// Space bound handed to the reduction: enough for `first_bit_one` to
+/// accept while keeping the schema at 3 `pos_i` edge labels.
+const SPACE: usize = 3;
+
+pub(crate) fn build(params: &Params, rng: &mut StdRng) -> Scenario {
+    let atm = machines::first_bit_one();
+    let input = [machines::BIT1];
+    let mut vocab = Vocab::new();
+    let red = reduce(&atm, &input, SPACE, &mut vocab);
+    let l = &red.labels;
+
+    // The copy suite: one guarded rule per schema triple. `BreakRun`
+    // drops the four transition edges — it forgets the run tree's
+    // branching structure, so it is typeable but inequivalent.
+    let copy_rules = |t: &mut Transformation, with_trans: bool| {
+        for lbl in [l.config, l.pos, l.symb, l.st] {
+            t.add_node_rule(lbl, dsl::unary(lbl));
+        }
+        if with_trans {
+            for tr in l.trans {
+                t.add_edge_rule(tr, (l.config, 1), (l.config, 1), dsl::binary(Regex::edge(tr)));
+            }
+        }
+        for &p in &l.pos_edges {
+            t.add_edge_rule(p, (l.config, 1), (l.pos, 1), dsl::binary(Regex::edge(p)));
+        }
+        for &s in &l.sym_edges {
+            t.add_edge_rule(s, (l.pos, 1), (l.symb, 1), dsl::binary(Regex::edge(s)));
+        }
+        for &q in &l.state_edges {
+            t.add_edge_rule(q, (l.pos, 1), (l.st, 1), dsl::binary(Regex::edge(q)));
+        }
+    };
+    let mut copy_run = Transformation::new();
+    copy_rules(&mut copy_run, true);
+    let mut break_run = Transformation::new();
+    copy_rules(&mut break_run, false);
+
+    // A forest of encoded accepting runs, replicated to the requested
+    // scale (one run tree is a fixed-size graph).
+    let run = atm.accepting_run(&input, SPACE).expect("first_bit_one accepts its input");
+    let one = encode_run(&atm, &run, l);
+    let copies = (params.scale / one.num_nodes().max(1)).max(1);
+    let mut runs = Graph::new();
+    for _ in 0..copies {
+        union_into(&mut runs, &one);
+    }
+
+    // A generator-sampled instance: all multiplicities are `?`, so the
+    // generic sampler succeeds without retries.
+    let sampled = random_conforming_graph(&red.schema, (params.scale / 10).max(1), 5, rng)
+        .expect("all-optional schema always samples");
+
+    Scenario {
+        family: Family::Hardness,
+        params: *params,
+        vocab,
+        schemas: vec![("Run".into(), red.schema.clone())],
+        transforms: vec![("CopyRun".into(), copy_run), ("BreakRun".into(), break_run)],
+        queries: vec![
+            ("Accepting".into(), Uc2rpq::single(red.positive.clone())),
+            ("Fault".into(), Uc2rpq::single(red.negative.clone())),
+        ],
+        instances: vec![
+            Instance { name: "runs".into(), schema: "Run".into(), graph: runs },
+            Instance { name: "sampled".into(), schema: "Run".into(), graph: sampled },
+        ],
+        expectations: vec![
+            Expectation::TypeCheck {
+                transform: "CopyRun".into(),
+                source: "Run".into(),
+                target: "Run".into(),
+                holds: true,
+                certified: true,
+            },
+            Expectation::TypeCheck {
+                transform: "BreakRun".into(),
+                source: "Run".into(),
+                target: "Run".into(),
+                holds: true,
+                certified: true,
+            },
+            Expectation::Equivalence {
+                left: "CopyRun".into(),
+                right: "BreakRun".into(),
+                source: "Run".into(),
+                holds: false,
+                certified: true,
+            },
+        ],
+        primary: Primary {
+            source: "Run".into(),
+            transform: "CopyRun".into(),
+            target: "Run".into(),
+            instance: "runs".into(),
+        },
+    }
+}
+
+/// Disjoint-union `src` into `dst` (labels and edges preserved).
+fn union_into(dst: &mut Graph, src: &Graph) {
+    let mut map = Vec::with_capacity(src.num_nodes());
+    for n in src.nodes() {
+        map.push(dst.add_labeled_node(src.labels(n).iter().map(NodeLabel)));
+    }
+    for (s, lbl, t) in src.edges() {
+        dst.add_edge(map[s.0 as usize], lbl, map[t.0 as usize]);
+    }
+}

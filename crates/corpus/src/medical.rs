@@ -1,0 +1,164 @@
+//! The `medical` family: Example 4.1 / Figure 1, the paper's running
+//! example and the workspace's historical baseline. The vocabulary
+//! interning order, schemas, and transformation are bit-identical to
+//! what `gts-bench::medical()` has always produced — that crate now
+//! delegates to [`medical_fixture`] so every pre-corpus BENCH number
+//! stays comparable.
+
+use crate::{dsl, Expectation, Instance, Params, Primary, Scenario};
+use gts_core::prelude::*;
+use gts_core::{medical_transformation, Transformation};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// The raw Example 4.1 fixture: vocabulary, source schema `S0`, evolved
+/// target `S1`, and the migration `T0`. Interning order is the contract:
+/// Vaccine, Antigen, Pathogen, designTarget, crossReacting, exhibits,
+/// targets.
+pub fn medical_fixture() -> (Vocab, Schema, Schema, Transformation) {
+    let mut vocab = Vocab::new();
+    let t0 = medical_transformation(&mut vocab);
+    let vaccine = vocab.node_label("Vaccine");
+    let antigen = vocab.node_label("Antigen");
+    let pathogen = vocab.node_label("Pathogen");
+    let dt = vocab.edge_label("designTarget");
+    let cr = vocab.edge_label("crossReacting");
+    let ex = vocab.edge_label("exhibits");
+    let targets = vocab.edge_label("targets");
+    let mut s0 = Schema::new();
+    s0.set_edge(vaccine, dt, antigen, Mult::One, Mult::Star);
+    s0.set_edge(antigen, cr, antigen, Mult::Star, Mult::Star);
+    s0.set_edge(pathogen, ex, antigen, Mult::Plus, Mult::Star);
+    let mut s1 = Schema::new();
+    s1.set_edge(vaccine, dt, antigen, Mult::One, Mult::Star);
+    s1.set_edge(vaccine, targets, antigen, Mult::Plus, Mult::Star);
+    s1.set_edge(pathogen, ex, antigen, Mult::Plus, Mult::Star);
+    (vocab, s0, s1, t0)
+}
+
+pub(crate) fn build(params: &Params, rng: &mut StdRng) -> Scenario {
+    let (vocab, s0, s1, t0) = medical_fixture();
+    let vaccine = vocab.find_node_label("Vaccine").expect("fixture label");
+    let antigen = vocab.find_node_label("Antigen").expect("fixture label");
+    let pathogen = vocab.find_node_label("Pathogen").expect("fixture label");
+    let dt = vocab.find_edge_label("designTarget").expect("fixture label");
+    let cr = vocab.find_edge_label("crossReacting").expect("fixture label");
+    let ex = vocab.find_edge_label("exhibits").expect("fixture label");
+
+    // A redaction that forgets the cross-reactivity closure: `targets`
+    // copies only the design target. Still S1-typeable (one target per
+    // vaccine satisfies the `+` bound) but inequivalent to T0 modulo S0 —
+    // any crossReacting chain of length ≥ 2 distinguishes them.
+    let mut redact = Transformation::new();
+    redact
+        .add_node_rule(vaccine, dsl::unary(vaccine))
+        .add_node_rule(antigen, dsl::unary(antigen))
+        .add_edge_rule(dt, (vaccine, 1), (antigen, 1), dsl::binary(Regex::edge(dt)))
+        .add_edge_rule(
+            vocab.find_edge_label("targets").expect("fixture label"),
+            (vaccine, 1),
+            (antigen, 1),
+            dsl::binary(Regex::edge(dt)),
+        )
+        .add_node_rule(pathogen, dsl::unary(pathogen))
+        .add_edge_rule(ex, (pathogen, 1), (antigen, 1), dsl::binary(Regex::edge(ex)));
+
+    // The primary instance: crossReacting chains, sized by `scale`
+    // (each chain is 1 vaccine + 1 pathogen + `chain_len` antigens).
+    let chain_len = 8usize;
+    let chains = (params.scale / (chain_len + 2)).max(1);
+    let mut chained = Graph::new();
+    for _ in 0..chains {
+        let v = chained.add_labeled_node([vaccine]);
+        let p = chained.add_labeled_node([pathogen]);
+        let mut prev = None;
+        for _ in 0..chain_len {
+            let a = chained.add_labeled_node([antigen]);
+            match prev {
+                None => {
+                    chained.add_edge(v, dt, a);
+                    chained.add_edge(p, ex, a);
+                }
+                Some(prev) => {
+                    chained.add_edge(prev, cr, a);
+                }
+            }
+            prev = Some(a);
+        }
+    }
+
+    // A second, randomized shape: star-shaped cross-reactivity with
+    // shared antigens, to keep the executor honest on non-chain inputs.
+    let mut star = Graph::new();
+    let hubs = (params.scale / 12).max(1);
+    for _ in 0..hubs {
+        let v = star.add_labeled_node([vaccine]);
+        let p = star.add_labeled_node([pathogen]);
+        let hub = star.add_labeled_node([antigen]);
+        star.add_edge(v, dt, hub);
+        star.add_edge(p, ex, hub);
+        for _ in 0..rng.gen_range(1..=4) {
+            let spoke = star.add_labeled_node([antigen]);
+            star.add_edge(hub, cr, spoke);
+            if rng.gen_bool(0.5) {
+                star.add_edge(p, ex, spoke);
+            }
+        }
+    }
+
+    Scenario {
+        family: crate::Family::Medical,
+        params: *params,
+        vocab,
+        schemas: vec![("S0".into(), s0), ("S1".into(), s1)],
+        transforms: vec![("T0".into(), t0), ("Redact".into(), redact)],
+        queries: Vec::new(),
+        instances: vec![
+            Instance { name: "chains".into(), schema: "S0".into(), graph: chained },
+            Instance { name: "stars".into(), schema: "S0".into(), graph: star },
+        ],
+        expectations: vec![
+            Expectation::TypeCheck {
+                transform: "T0".into(),
+                source: "S0".into(),
+                target: "S1".into(),
+                holds: true,
+                certified: true,
+            },
+            Expectation::TypeCheck {
+                transform: "T0".into(),
+                source: "S0".into(),
+                target: "S0".into(),
+                holds: false,
+                certified: true,
+            },
+            Expectation::TypeCheck {
+                transform: "Redact".into(),
+                source: "S0".into(),
+                target: "S1".into(),
+                holds: true,
+                certified: true,
+            },
+            Expectation::Equivalence {
+                left: "T0".into(),
+                right: "T0".into(),
+                source: "S0".into(),
+                holds: true,
+                certified: true,
+            },
+            Expectation::Equivalence {
+                left: "T0".into(),
+                right: "Redact".into(),
+                source: "S0".into(),
+                holds: false,
+                certified: true,
+            },
+        ],
+        primary: Primary {
+            source: "S0".into(),
+            transform: "T0".into(),
+            target: "S1".into(),
+            instance: "chains".into(),
+        },
+    }
+}

@@ -1,0 +1,178 @@
+//! The `retail` family: an orders star schema with mandatory
+//! participations.
+//!
+//! Customers place orders; every order contains at least one line item
+//! (`+`), every line item resolves to exactly one product, and products
+//! sit in at most one category. The `Flatten` transformation derives the
+//! three-hop `bought` shortcut (`placed · contains · ofProduct`) — the
+//! corpus's longest derived composition over `1`/`+` lower bounds.
+//! `Prune` is a redaction that forgets the category dimension.
+
+use crate::{dsl, Expectation, Family, Instance, Params, Primary, Scenario};
+use gts_core::prelude::*;
+use gts_core::Transformation;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+pub(crate) fn build(params: &Params, rng: &mut StdRng) -> Scenario {
+    let mut vocab = Vocab::new();
+    let customer = vocab.node_label("Customer");
+    let order = vocab.node_label("Order");
+    let line_item = vocab.node_label("LineItem");
+    let product = vocab.node_label("Product");
+    let category = vocab.node_label("Category");
+    let placed = vocab.edge_label("placed");
+    let contains = vocab.edge_label("contains");
+    let of_product = vocab.edge_label("ofProduct");
+    let in_category = vocab.edge_label("inCategory");
+    let bought = vocab.edge_label("bought");
+
+    let mut retail = Schema::new();
+    retail.set_edge(customer, placed, order, Mult::Star, Mult::One);
+    retail.set_edge(order, contains, line_item, Mult::Plus, Mult::One);
+    retail.set_edge(line_item, of_product, product, Mult::One, Mult::Star);
+    retail.set_edge(product, in_category, category, Mult::Opt, Mult::Star);
+
+    let mut wide = retail.clone();
+    wide.set_edge(customer, bought, product, Mult::Star, Mult::Star);
+
+    let copy_core = |t: &mut Transformation| {
+        t.add_node_rule(customer, dsl::unary(customer))
+            .add_node_rule(order, dsl::unary(order))
+            .add_node_rule(line_item, dsl::unary(line_item))
+            .add_node_rule(product, dsl::unary(product))
+            .add_edge_rule(placed, (customer, 1), (order, 1), dsl::binary(Regex::edge(placed)))
+            .add_edge_rule(contains, (order, 1), (line_item, 1), dsl::binary(Regex::edge(contains)))
+            .add_edge_rule(
+                of_product,
+                (line_item, 1),
+                (product, 1),
+                dsl::binary(Regex::edge(of_product)),
+            );
+    };
+
+    let mut flatten = Transformation::new();
+    copy_core(&mut flatten);
+    flatten
+        .add_node_rule(category, dsl::unary(category))
+        .add_edge_rule(
+            in_category,
+            (product, 1),
+            (category, 1),
+            dsl::binary(Regex::edge(in_category)),
+        )
+        .add_edge_rule(
+            bought,
+            (customer, 1),
+            (product, 1),
+            dsl::binary(
+                Regex::edge(placed).then(Regex::edge(contains)).then(Regex::edge(of_product)),
+            ),
+        );
+
+    let mut prune = Transformation::new();
+    copy_core(&mut prune);
+
+    let labels = StoreLabels {
+        customer,
+        order,
+        line_item,
+        product,
+        category,
+        placed,
+        contains,
+        of_product,
+        in_category,
+    };
+    let primary = orders(params.scale, &labels, rng);
+    let basket = orders((params.scale / 4).max(6), &labels, rng);
+
+    Scenario {
+        family: Family::Retail,
+        params: *params,
+        vocab,
+        schemas: vec![("Retail".into(), retail), ("RetailWide".into(), wide)],
+        transforms: vec![("Flatten".into(), flatten), ("Prune".into(), prune)],
+        queries: Vec::new(),
+        instances: vec![
+            Instance { name: "orders".into(), schema: "Retail".into(), graph: primary },
+            Instance { name: "basket".into(), schema: "Retail".into(), graph: basket },
+        ],
+        expectations: vec![
+            Expectation::TypeCheck {
+                transform: "Flatten".into(),
+                source: "Retail".into(),
+                target: "RetailWide".into(),
+                holds: true,
+                certified: true,
+            },
+            Expectation::TypeCheck {
+                transform: "Flatten".into(),
+                source: "Retail".into(),
+                target: "Retail".into(),
+                holds: false,
+                certified: true,
+            },
+            Expectation::TypeCheck {
+                transform: "Prune".into(),
+                source: "Retail".into(),
+                target: "Retail".into(),
+                holds: true,
+                certified: true,
+            },
+            Expectation::Equivalence {
+                left: "Flatten".into(),
+                right: "Prune".into(),
+                source: "Retail".into(),
+                holds: false,
+                certified: true,
+            },
+        ],
+        primary: Primary {
+            source: "Retail".into(),
+            transform: "Flatten".into(),
+            target: "RetailWide".into(),
+            instance: "orders".into(),
+        },
+    }
+}
+
+struct StoreLabels {
+    customer: NodeLabel,
+    order: NodeLabel,
+    line_item: NodeLabel,
+    product: NodeLabel,
+    category: NodeLabel,
+    placed: EdgeLabel,
+    contains: EdgeLabel,
+    of_product: EdgeLabel,
+    in_category: EdgeLabel,
+}
+
+/// Generates a Retail-conforming order book of roughly `scale` nodes.
+fn orders(scale: usize, l: &StoreLabels, rng: &mut StdRng) -> Graph {
+    let mut g = Graph::new();
+    let customers = (scale / 7).max(1);
+    let products: Vec<_> =
+        (0..(scale / 8).max(1)).map(|_| g.add_labeled_node([l.product])).collect();
+    let categories: Vec<_> =
+        (0..(scale / 20).max(1)).map(|_| g.add_labeled_node([l.category])).collect();
+    for &p in &products {
+        if rng.gen_bool(0.7) {
+            g.add_edge(p, l.in_category, categories[rng.gen_range(0..categories.len())]);
+        }
+    }
+    for _ in 0..customers {
+        let c = g.add_labeled_node([l.customer]);
+        for _ in 0..rng.gen_range(1..=2) {
+            let o = g.add_labeled_node([l.order]);
+            g.add_edge(c, l.placed, o);
+            for _ in 0..rng.gen_range(1..=3) {
+                let li = g.add_labeled_node([l.line_item]);
+                g.add_edge(o, l.contains, li);
+                g.add_edge(li, l.of_product, products[rng.gen_range(0..products.len())]);
+            }
+        }
+    }
+    g
+}

@@ -1,0 +1,202 @@
+//! The `social` family: an LDBC-like social network.
+//!
+//! Persons know each other and join forums; forums contain posts; posts
+//! and comments have creators; comments reply to posts. The
+//! `Denormalize` transformation derives the person-level `postedIn`
+//! shortcut by walking two *inverse* steps
+//! (`hasCreator⁻ · Post · containerOf⁻`), making this the
+//! inverse-heaviest family in the corpus. `Anonymize` is a redaction
+//! that forgets the `knows` graph.
+
+use crate::{dsl, Expectation, Family, Instance, Params, Primary, Scenario};
+use gts_core::prelude::*;
+use gts_core::Transformation;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+pub(crate) fn build(params: &Params, rng: &mut StdRng) -> Scenario {
+    let mut vocab = Vocab::new();
+    let person = vocab.node_label("Person");
+    let forum = vocab.node_label("Forum");
+    let post = vocab.node_label("Post");
+    let comment = vocab.node_label("Comment");
+    let knows = vocab.edge_label("knows");
+    let member_of = vocab.edge_label("memberOf");
+    let container_of = vocab.edge_label("containerOf");
+    let has_creator = vocab.edge_label("hasCreator");
+    let reply_of = vocab.edge_label("replyOf");
+    let posted_in = vocab.edge_label("postedIn");
+
+    let mut social = Schema::new();
+    social.set_edge(person, knows, person, Mult::Star, Mult::Star);
+    social.set_edge(person, member_of, forum, Mult::Star, Mult::Star);
+    social.set_edge(forum, container_of, post, Mult::Star, Mult::One);
+    social.set_edge(post, has_creator, person, Mult::One, Mult::Star);
+    social.set_edge(comment, has_creator, person, Mult::One, Mult::Star);
+    social.set_edge(comment, reply_of, post, Mult::One, Mult::Star);
+
+    let mut denorm = social.clone();
+    denorm.set_edge(person, posted_in, forum, Mult::Star, Mult::Star);
+
+    let copy_core = |t: &mut Transformation| {
+        t.add_node_rule(person, dsl::unary(person))
+            .add_node_rule(forum, dsl::unary(forum))
+            .add_node_rule(post, dsl::unary(post))
+            .add_node_rule(comment, dsl::unary(comment))
+            .add_edge_rule(member_of, (person, 1), (forum, 1), dsl::binary(Regex::edge(member_of)))
+            .add_edge_rule(
+                container_of,
+                (forum, 1),
+                (post, 1),
+                dsl::binary(Regex::edge(container_of)),
+            )
+            .add_edge_rule(
+                has_creator,
+                (post, 1),
+                (person, 1),
+                dsl::guarded(post, has_creator, person),
+            )
+            .add_edge_rule(
+                has_creator,
+                (comment, 1),
+                (person, 1),
+                dsl::guarded(comment, has_creator, person),
+            )
+            .add_edge_rule(reply_of, (comment, 1), (post, 1), dsl::binary(Regex::edge(reply_of)));
+    };
+
+    let mut copy = Transformation::new();
+    copy_core(&mut copy);
+    copy.add_edge_rule(knows, (person, 1), (person, 1), dsl::binary(Regex::edge(knows)));
+
+    let mut denormalize = Transformation::new();
+    copy_core(&mut denormalize);
+    denormalize
+        .add_edge_rule(knows, (person, 1), (person, 1), dsl::binary(Regex::edge(knows)))
+        .add_edge_rule(
+            posted_in,
+            (person, 1),
+            (forum, 1),
+            // x ←hasCreator– (Post) ←containerOf– y: two inverse steps.
+            dsl::binary(
+                Regex::sym(EdgeSym::bwd(has_creator))
+                    .then(Regex::node(post))
+                    .then(Regex::sym(EdgeSym::bwd(container_of))),
+            ),
+        );
+
+    let mut anonymize = Transformation::new();
+    copy_core(&mut anonymize);
+
+    let labels = NetLabels {
+        person,
+        forum,
+        post,
+        comment,
+        knows,
+        member_of,
+        container_of,
+        has_creator,
+        reply_of,
+    };
+    let primary = network(params.scale, &labels, rng);
+    let sparse = network((params.scale / 4).max(6), &labels, rng);
+
+    Scenario {
+        family: Family::Social,
+        params: *params,
+        vocab,
+        schemas: vec![("Social".into(), social), ("Denorm".into(), denorm)],
+        transforms: vec![
+            ("Copy".into(), copy),
+            ("Denormalize".into(), denormalize),
+            ("Anonymize".into(), anonymize),
+        ],
+        queries: Vec::new(),
+        instances: vec![
+            Instance { name: "network".into(), schema: "Social".into(), graph: primary },
+            Instance { name: "sparse".into(), schema: "Social".into(), graph: sparse },
+        ],
+        expectations: vec![
+            Expectation::TypeCheck {
+                transform: "Denormalize".into(),
+                source: "Social".into(),
+                target: "Denorm".into(),
+                holds: true,
+                certified: true,
+            },
+            Expectation::TypeCheck {
+                transform: "Denormalize".into(),
+                source: "Social".into(),
+                target: "Social".into(),
+                holds: false,
+                certified: true,
+            },
+            Expectation::TypeCheck {
+                transform: "Anonymize".into(),
+                source: "Social".into(),
+                target: "Social".into(),
+                holds: true,
+                certified: true,
+            },
+            Expectation::Equivalence {
+                left: "Copy".into(),
+                right: "Anonymize".into(),
+                source: "Social".into(),
+                holds: false,
+                certified: true,
+            },
+        ],
+        primary: Primary {
+            source: "Social".into(),
+            transform: "Denormalize".into(),
+            target: "Denorm".into(),
+            instance: "network".into(),
+        },
+    }
+}
+
+struct NetLabels {
+    person: NodeLabel,
+    forum: NodeLabel,
+    post: NodeLabel,
+    comment: NodeLabel,
+    knows: EdgeLabel,
+    member_of: EdgeLabel,
+    container_of: EdgeLabel,
+    has_creator: EdgeLabel,
+    reply_of: EdgeLabel,
+}
+
+/// Generates a Social-conforming network of roughly `scale` nodes.
+fn network(scale: usize, l: &NetLabels, rng: &mut StdRng) -> Graph {
+    let mut g = Graph::new();
+    let n_person = (scale * 2 / 5).max(2);
+    let n_forum = (scale / 10).max(1);
+    let n_post = (scale * 3 / 10).max(1);
+    let n_comment = scale.saturating_sub(n_person + n_forum + n_post).max(1);
+    let persons: Vec<_> = (0..n_person).map(|_| g.add_labeled_node([l.person])).collect();
+    let forums: Vec<_> = (0..n_forum).map(|_| g.add_labeled_node([l.forum])).collect();
+    let posts: Vec<_> = (0..n_post)
+        .map(|_| {
+            let p = g.add_labeled_node([l.post]);
+            let f = forums[rng.gen_range(0..forums.len())];
+            g.add_edge(f, l.container_of, p);
+            g.add_edge(p, l.has_creator, persons[rng.gen_range(0..persons.len())]);
+            p
+        })
+        .collect();
+    for _ in 0..n_comment {
+        let c = g.add_labeled_node([l.comment]);
+        g.add_edge(c, l.reply_of, posts[rng.gen_range(0..posts.len())]);
+        g.add_edge(c, l.has_creator, persons[rng.gen_range(0..persons.len())]);
+    }
+    for _ in 0..n_person {
+        let a = persons[rng.gen_range(0..persons.len())];
+        let b = persons[rng.gen_range(0..persons.len())];
+        g.add_edge(a, l.knows, b);
+        let f = forums[rng.gen_range(0..forums.len())];
+        g.add_edge(a, l.member_of, f);
+    }
+    g
+}

@@ -1,0 +1,183 @@
+//! The `stress` family: adversarial RPQ shapes over a tiny relay schema.
+//!
+//! Three labels, four structural edges, everything `*`/`*` — the
+//! hardness here is purely in the rule bodies: deep alternation under
+//! star (`a·(a|b)*·c`), syntactically distinct but equivalent
+//! alternants (`(a|b)*` vs `(b|a)*`, the automata-level equivalence the
+//! NFA cache must see through), and a nested loop test
+//! (`…·[c·c⁻]`) exercising the nest-flattening path. The expected
+//! verdicts pin both a hard *holds* equivalence and a hard *fails* one.
+
+use crate::{dsl, Expectation, Family, Instance, Params, Primary, Scenario};
+use gts_core::prelude::*;
+use gts_core::Transformation;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+pub(crate) fn build(params: &Params, rng: &mut StdRng) -> Scenario {
+    let mut vocab = Vocab::new();
+    let hub = vocab.node_label("Hub");
+    let relay = vocab.node_label("Relay");
+    let sink = vocab.node_label("Sink");
+    let a = vocab.edge_label("a");
+    let b = vocab.edge_label("b");
+    let c = vocab.edge_label("c");
+    let jump = vocab.edge_label("jump");
+    let mark = vocab.edge_label("mark");
+
+    let mut relays = Schema::new();
+    relays.set_edge(hub, a, relay, Mult::Star, Mult::Star);
+    relays.set_edge(relay, a, relay, Mult::Star, Mult::Star);
+    relays.set_edge(relay, b, relay, Mult::Star, Mult::Star);
+    relays.set_edge(relay, c, sink, Mult::Star, Mult::Star);
+
+    let mut marked = relays.clone();
+    marked.set_edge(hub, jump, sink, Mult::Star, Mult::Star);
+    marked.set_edge(hub, mark, relay, Mult::Star, Mult::Star);
+
+    let copy_core = |t: &mut Transformation| {
+        t.add_node_rule(hub, dsl::unary(hub))
+            .add_node_rule(relay, dsl::unary(relay))
+            .add_node_rule(sink, dsl::unary(sink))
+            .add_edge_rule(a, (hub, 1), (relay, 1), dsl::guarded(hub, a, relay))
+            .add_edge_rule(a, (relay, 1), (relay, 1), dsl::guarded(relay, a, relay))
+            .add_edge_rule(b, (relay, 1), (relay, 1), dsl::binary(Regex::edge(b)))
+            .add_edge_rule(c, (relay, 1), (sink, 1), dsl::binary(Regex::edge(c)));
+    };
+
+    // The alternation closure, in two syntactically different spellings.
+    let alt_ab = Regex::edge(a).or(Regex::edge(b)).star();
+    let alt_ba = Regex::edge(b).or(Regex::edge(a)).star();
+
+    let stressor = |closure: Regex| {
+        let mut t = Transformation::new();
+        copy_core(&mut t);
+        t.add_edge_rule(
+            jump,
+            (hub, 1),
+            (sink, 1),
+            dsl::binary(
+                Regex::node(hub).then(Regex::edge(a)).then(closure.clone()).then(Regex::edge(c)),
+            ),
+        )
+        .add_edge_rule(
+            mark,
+            (hub, 1),
+            (relay, 1),
+            // …ends on a relay owning a c-exit: the nested loop [c·c⁻].
+            dsl::binary(Regex::node(hub).then(Regex::edge(a)).then(closure).nest(Regex::edge(c))),
+        );
+        t
+    };
+
+    let stress = stressor(alt_ab.clone());
+    let stress_alt = stressor(alt_ba);
+
+    // The skewed variant drops `b` from the closure: a strictly smaller
+    // jump/mark relation on any graph whose a·(a|b)*·c path needs a b.
+    let stress_skew = stressor(Regex::edge(a).star());
+
+    let labels = RelayLabels { hub, relay, sink, a, b, c };
+    let primary = relay_web(params.scale, &labels, rng);
+    let braid = relay_web((params.scale / 3).max(6), &labels, rng);
+
+    Scenario {
+        family: Family::Stress,
+        params: *params,
+        vocab,
+        schemas: vec![("Relays".into(), relays), ("Marked".into(), marked)],
+        transforms: vec![
+            ("Stress".into(), stress),
+            ("StressAlt".into(), stress_alt),
+            ("StressSkew".into(), stress_skew),
+        ],
+        queries: Vec::new(),
+        instances: vec![
+            Instance { name: "web".into(), schema: "Relays".into(), graph: primary },
+            Instance { name: "braid".into(), schema: "Relays".into(), graph: braid },
+        ],
+        expectations: vec![
+            Expectation::TypeCheck {
+                transform: "Stress".into(),
+                source: "Relays".into(),
+                target: "Marked".into(),
+                holds: true,
+                certified: false,
+            },
+            Expectation::TypeCheck {
+                transform: "Stress".into(),
+                source: "Relays".into(),
+                target: "Relays".into(),
+                holds: false,
+                certified: false,
+            },
+            Expectation::Equivalence {
+                left: "Stress".into(),
+                right: "StressAlt".into(),
+                source: "Relays".into(),
+                holds: true,
+                certified: false,
+            },
+            Expectation::Equivalence {
+                left: "Stress".into(),
+                right: "StressSkew".into(),
+                source: "Relays".into(),
+                holds: false,
+                certified: false,
+            },
+        ],
+        primary: Primary {
+            source: "Relays".into(),
+            transform: "Stress".into(),
+            target: "Marked".into(),
+            instance: "web".into(),
+        },
+    }
+}
+
+struct RelayLabels {
+    hub: NodeLabel,
+    relay: NodeLabel,
+    sink: NodeLabel,
+    a: EdgeLabel,
+    b: EdgeLabel,
+    c: EdgeLabel,
+}
+
+/// Generates a Relays-conforming web of roughly `scale` nodes: hubs
+/// feeding relay chains with random a/b interleavings and cross-links,
+/// draining into a shared sink pool.
+fn relay_web(scale: usize, l: &RelayLabels, rng: &mut StdRng) -> Graph {
+    let mut g = Graph::new();
+    let hubs = (scale / 9).max(1);
+    let sinks: Vec<_> = (0..(scale / 18).max(1)).map(|_| g.add_labeled_node([l.sink])).collect();
+    let mut relays = Vec::new();
+    for _ in 0..hubs {
+        let h = g.add_labeled_node([l.hub]);
+        let mut prev = None;
+        for _ in 0..rng.gen_range(4..=7) {
+            let r = g.add_labeled_node([l.relay]);
+            match prev {
+                None => {
+                    g.add_edge(h, l.a, r);
+                }
+                Some(prev) => {
+                    let lab = if rng.gen_bool(0.5) { l.a } else { l.b };
+                    g.add_edge(prev, lab, r);
+                }
+            }
+            relays.push(r);
+            prev = Some(r);
+        }
+        if let Some(last) = prev {
+            g.add_edge(last, l.c, sinks[rng.gen_range(0..sinks.len())]);
+        }
+    }
+    // Cross-links between chains keep the product automaton honest.
+    for _ in 0..hubs {
+        let x = relays[rng.gen_range(0..relays.len())];
+        let y = relays[rng.gen_range(0..relays.len())];
+        g.add_edge(x, l.b, y);
+    }
+    g
+}

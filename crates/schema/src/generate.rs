@@ -248,6 +248,25 @@ mod tests {
         assert!(ok >= 18, "only {ok}/20 generations succeeded");
     }
 
+    /// Exact node/edge counts at the scales the scenario corpus and the
+    /// differential harness sample at. The generator is deterministic
+    /// given a seed; silent drift here would invisibly re-baseline every
+    /// corpus fixture and BENCH_*.json per-family section downstream.
+    #[test]
+    fn generated_graph_sizes_are_pinned_at_corpus_scales() {
+        let mut v = Vocab::new();
+        let s = medical(&mut v);
+        let mut rng = StdRng::seed_from_u64(2026);
+        for (size, want) in [(10, (30, 25)), (40, (120, 102)), (100, (300, 246))] {
+            let g = random_conforming_graph(&s, size, 5, &mut rng).expect("satisfiable");
+            assert_eq!(
+                (g.num_nodes(), g.num_edges()),
+                want,
+                "size_per_label {size}: generator output drifted"
+            );
+        }
+    }
+
     #[test]
     fn empty_schema_yields_empty_graph() {
         let s = Schema::new();

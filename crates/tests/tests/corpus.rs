@@ -1,0 +1,262 @@
+//! Workspace-level suites for the scenario corpus (`gts-corpus`).
+//!
+//! Three kinds of guarantees are enforced here:
+//!
+//! * **determinism** — the same `(family, seed, scale)` always produces
+//!   byte-identical `.gts` renders and instance fixtures, and the
+//!   emitted text is a parse/print fixed point;
+//! * **conformance** — every shipped instance conforms to its declared
+//!   schema and every transformation validates, at arbitrary seeds and
+//!   scales (property-tested);
+//! * **static ≡ dynamic** — every expected verdict the corpus pins is
+//!   cross-checked against concrete executions on sampled conforming
+//!   instances via `gts-exec`'s differential harness, and (in the full
+//!   sweep) against the real analyses through `gts-engine` sessions.
+
+use gts_cli::{instance_fixtures, render_file, scenario_file, GtsFile};
+use gts_core::Decision;
+use gts_corpus::{scenario, Expectation, Family, Params};
+use gts_engine::AnalysisSession;
+use gts_exec::{differential_equivalence, differential_type_check, HarnessConfig};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+// ───────────────────────── determinism & round-trip ────────────────────
+
+/// Same parameters → byte-identical renders, and the emitted `.gts` is a
+/// parse/print fixed point, for every family at the default scale.
+#[test]
+fn every_family_renders_deterministically_and_round_trips() {
+    let params = Params::default();
+    for family in Family::ALL {
+        let sc = scenario(family, &params);
+        let again = scenario(family, &params);
+        let text = render_file(&scenario_file(&sc));
+        assert_eq!(
+            text,
+            render_file(&scenario_file(&again)),
+            "{}: non-deterministic .gts render",
+            family.name()
+        );
+        assert_eq!(
+            instance_fixtures(&sc),
+            instance_fixtures(&again),
+            "{}: non-deterministic instance fixtures",
+            family.name()
+        );
+        let parsed = GtsFile::parse(&text)
+            .unwrap_or_else(|e| panic!("{}: emitted .gts fails to parse: {e}", family.name()));
+        assert_eq!(
+            render_file(&parsed),
+            text,
+            "{}: emit→parse→emit is not a fixed point",
+            family.name()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Conformance and validity are seed- and scale-independent: every
+    /// family builds a scenario whose transformations validate and whose
+    /// instances conform, whatever the knobs say.
+    #[test]
+    fn corpus_scenarios_conform_at_arbitrary_seeds(
+        seed in any::<u64>(),
+        scale in 8usize..80,
+        fam in 0usize..Family::ALL.len(),
+    ) {
+        let family = Family::ALL[fam];
+        let sc = scenario(family, &Params { seed, scale });
+        prop_assert!(sc.check_transforms().is_ok(), "{}: {:?}", family.name(), sc.check_transforms());
+        prop_assert!(sc.check_conformance().is_ok(), "{}: {:?}", family.name(), sc.check_conformance());
+    }
+
+    /// Seed determinism survives arbitrary knobs: regenerating under the
+    /// same parameters is byte-identical down to the fixture files.
+    #[test]
+    fn corpus_generation_is_seed_deterministic(
+        seed in any::<u64>(),
+        scale in 8usize..60,
+        fam in 0usize..Family::ALL.len(),
+    ) {
+        let family = Family::ALL[fam];
+        let params = Params { seed, scale };
+        let a = scenario(family, &params);
+        let b = scenario(family, &params);
+        prop_assert_eq!(render_file(&scenario_file(&a)), render_file(&scenario_file(&b)));
+        prop_assert_eq!(instance_fixtures(&a), instance_fixtures(&b));
+    }
+}
+
+// ─────────────────── static ≡ dynamic over the corpus ──────────────────
+
+/// Replays every expectation of the given families through the
+/// differential harness, treating the *semantic* `holds` annotation as a
+/// certified claim: any sampled conforming instance contradicting it is
+/// a corpus bug (wrong annotation) or an engine bug. Returns
+/// `(instances checked, failing verdicts concretely witnessed)`.
+fn annotation_differential_sweep(
+    families: &[Family],
+    params: &Params,
+    cfg: &HarnessConfig,
+    rng: &mut StdRng,
+) -> (usize, usize) {
+    let (mut checked, mut witnessed) = (0, 0);
+    for &family in families {
+        let sc = scenario(family, params);
+        for exp in &sc.expectations {
+            let claim = Decision { holds: exp.holds(), certified: true };
+            let report = match exp {
+                Expectation::TypeCheck { transform, source, target, .. } => {
+                    differential_type_check(
+                        sc.transform(transform).unwrap(),
+                        sc.schema(source).unwrap(),
+                        sc.schema(target).unwrap(),
+                        &claim,
+                        cfg,
+                        rng,
+                    )
+                }
+                Expectation::Equivalence { left, right, source, .. } => differential_equivalence(
+                    sc.transform(left).unwrap(),
+                    sc.transform(right).unwrap(),
+                    sc.schema(source).unwrap(),
+                    &claim,
+                    cfg,
+                    rng,
+                ),
+            };
+            assert!(
+                report.ok(),
+                "{}: annotation {exp:?} contradicted dynamically\n{}",
+                family.name(),
+                report.render(&sc.vocab)
+            );
+            checked += report.checked;
+            witnessed += report.witnessed_failure as usize;
+        }
+    }
+    (checked, witnessed)
+}
+
+/// Fast always-on prefix: the paper fixture family plus the adversarial
+/// stress family (whose verdicts the static oracle cannot certify — the
+/// dynamic harness is their only line of defense).
+#[test]
+fn corpus_annotations_agree_with_execution() {
+    let cfg = HarnessConfig { instances: 3, size_per_label: 2, attempts: 5, threads: 1 };
+    let mut rng = StdRng::seed_from_u64(31);
+    let (checked, witnessed) = annotation_differential_sweep(
+        &[Family::Medical, Family::Stress],
+        &Params::quick(),
+        &cfg,
+        &mut rng,
+    );
+    assert!(checked > 0, "no instances sampled");
+    assert!(witnessed >= 1, "no failing verdict was concretely witnessed");
+}
+
+/// Full corpus sweep: every family, and additionally the *real* static
+/// analyses replayed through cached sessions — certified annotations
+/// must match the live verdict exactly, uncertified ones must stay
+/// uncertified (the ratchet), and the live verdict must survive the
+/// differential harness. Run with:
+/// `cargo test -p gts-tests --test corpus -- --ignored`
+#[test]
+#[ignore = "re-runs every analysis per family; the fast prefix is always on"]
+fn corpus_annotations_agree_with_execution_full() {
+    let params = Params::quick();
+    let cfg = HarnessConfig::default();
+    let mut rng = StdRng::seed_from_u64(32);
+    let (checked, witnessed) = annotation_differential_sweep(&Family::ALL, &params, &cfg, &mut rng);
+    assert!(checked > 0 && witnessed >= 1);
+
+    for family in Family::ALL {
+        let sc = scenario(family, &params);
+        for exp in &sc.expectations {
+            let (d, vocab) = match exp {
+                Expectation::TypeCheck { transform, source, target, .. } => {
+                    let mut session =
+                        AnalysisSession::new(sc.schema(source).unwrap().clone(), sc.vocab.clone());
+                    let d = session
+                        .type_check(sc.transform(transform).unwrap(), sc.schema(target).unwrap())
+                        .expect("analysis runs");
+                    (d, sc.vocab.clone())
+                }
+                Expectation::Equivalence { left, right, source, .. } => {
+                    let mut session =
+                        AnalysisSession::new(sc.schema(source).unwrap().clone(), sc.vocab.clone());
+                    let d = session
+                        .equivalence(sc.transform(left).unwrap(), sc.transform(right).unwrap())
+                        .expect("analysis runs");
+                    (d, sc.vocab.clone())
+                }
+            };
+            if exp.certified() {
+                assert!(d.certified, "{}: {exp:?}: expected certified", family.name());
+                assert_eq!(d.holds, exp.holds(), "{}: {exp:?}", family.name());
+            } else {
+                assert!(
+                    !d.certified,
+                    "{}: {exp:?}: oracle now certifies — upgrade the annotation",
+                    family.name()
+                );
+            }
+            // Whatever the oracle answered, the live verdict itself must
+            // be dynamically consistent.
+            let report = match exp {
+                Expectation::TypeCheck { transform, source, target, .. } => {
+                    differential_type_check(
+                        sc.transform(transform).unwrap(),
+                        sc.schema(source).unwrap(),
+                        sc.schema(target).unwrap(),
+                        &d,
+                        &cfg,
+                        &mut rng,
+                    )
+                }
+                Expectation::Equivalence { left, right, source, .. } => differential_equivalence(
+                    sc.transform(left).unwrap(),
+                    sc.transform(right).unwrap(),
+                    sc.schema(source).unwrap(),
+                    &d,
+                    &cfg,
+                    &mut rng,
+                ),
+            };
+            assert!(report.ok(), "{}: {exp:?}\n{}", family.name(), report.render(&vocab));
+        }
+    }
+}
+
+// ─────────────────────────── scale regression ──────────────────────────
+
+/// Pins the primary-instance sizes at the corpus's two canonical scales.
+/// These numbers feed the BENCH_*.json per-family sections: silent drift
+/// in any generator would silently re-baseline the benchmarks.
+#[test]
+fn primary_instance_sizes_are_pinned_at_canonical_scales() {
+    for (family, quick, full) in [
+        (Family::Medical, (20, 18), (60, 54)),
+        (Family::Fhir, (20, 22), (57, 71)),
+        (Family::Social, (24, 41), (60, 107)),
+        (Family::Retail, (19, 21), (49, 55)),
+        (Family::Stress, (17, 18), (43, 46)),
+        (Family::Hardness, (16, 15), (48, 45)),
+    ] {
+        for (params, want) in [(Params::quick(), quick), (Params::default(), full)] {
+            let sc = scenario(family, &params);
+            let g = &sc.instance(&sc.primary.instance).unwrap().graph;
+            assert_eq!(
+                (g.num_nodes(), g.num_edges()),
+                want,
+                "{} at scale {}: primary instance size drifted",
+                family.name(),
+                params.scale
+            );
+        }
+    }
+}

@@ -561,6 +561,71 @@ fn cache_export_import_moves_warm_state_between_servers() {
 }
 
 #[test]
+fn corpus_families_analyze_cleanly_through_one_server() {
+    use gts_corpus::{scenario, Family, Params};
+    // One resident server, every certifying corpus family pushed through
+    // it: the rendered .gts compiles server-side, the primary type check
+    // comes back certified-true, the primary instance executes to a
+    // conforming output, and the second frame per family is a pool hit.
+    // (The `stress` family is excluded: its verdicts are deliberately
+    // uncertified at default budgets, which the differential suites
+    // cover; here we pin the happy resident-server path.)
+    let families =
+        [Family::Medical, Family::Fhir, Family::Social, Family::Retail, Family::Hardness];
+    let handle = start(ServerConfig {
+        registry: RegistryConfig { max_sessions: families.len() + 1, ..Default::default() },
+        ..Default::default()
+    });
+    let mut client = connect(&handle);
+    let mut fingerprints = std::collections::HashSet::new();
+    for family in families {
+        let sc = scenario(family, &Params::quick());
+        let text = gts_cli::render_file(&gts_cli::scenario_file(&sc));
+        let inst = sc.instance(&sc.primary.instance).unwrap();
+        let fixture = gts_cli::raw_instance(&inst.graph, &sc.vocab);
+        let specs = || {
+            vec![
+                proto::spec_type_check(&sc.primary.transform, &sc.primary.target),
+                proto::spec_execute(&sc.primary.transform, &fixture, Some(&sc.primary.target)),
+            ]
+        };
+        let resp = client.analyze(&text, Some(&sc.primary.source), specs()).unwrap();
+        assert!(ok(&resp), "{}: {}", family.name(), resp.pretty());
+        assert_eq!(resp.get("pool").and_then(Json::as_str), Some("miss"), "{}", family.name());
+        let entries = results(&resp);
+        assert_eq!(
+            entries[0].get("holds").and_then(Json::as_bool),
+            Some(true),
+            "{}",
+            family.name()
+        );
+        assert_eq!(
+            entries[0].get("certified").and_then(Json::as_bool),
+            Some(true),
+            "{}",
+            family.name()
+        );
+        assert_eq!(
+            entries[1].get("conforms").and_then(Json::as_bool),
+            Some(true),
+            "{}: primary instance must execute to a conforming output",
+            family.name()
+        );
+        fingerprints.insert(resp.get("fingerprint").and_then(Json::as_str).unwrap().to_owned());
+        let warm = client.analyze(&text, Some(&sc.primary.source), specs()).unwrap();
+        assert!(ok(&warm), "{}: {}", family.name(), warm.pretty());
+        assert_eq!(warm.get("pool").and_then(Json::as_str), Some("hit"), "{}", family.name());
+        assert_eq!(results(&warm)[0].get("holds"), entries[0].get("holds"), "{}", family.name());
+    }
+    assert_eq!(fingerprints.len(), families.len(), "one distinct session per family");
+    let stats = handle.registry().stats();
+    assert_eq!(stats.sessions, families.len(), "{stats:?}");
+    assert_eq!(stats.misses, families.len() as u64, "{stats:?}");
+    assert!(stats.hits >= families.len() as u64, "{stats:?}");
+    shutdown_and_join(handle);
+}
+
+#[test]
 fn concurrent_clients_share_one_resident_session() {
     // Enough queue room for all six clients even on a single-core host
     // (the default bounds scale with the core count).

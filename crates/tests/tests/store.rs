@@ -7,6 +7,7 @@
 
 use gts_bench::medical;
 use gts_core::prelude::*;
+use gts_corpus::{scenario, Family, Params};
 use gts_engine::AnalysisSession;
 use gts_schema::{random_schema, SchemaGenConfig};
 use rand::prelude::*;
@@ -108,6 +109,54 @@ fn disk_hydrated_sessions_agree_with_fresh_decide_on_random_schemas() {
     }
     assert!(hydrated_lives >= 10, "only {hydrated_lives}/12 second lives hydrated anything");
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// One "life" over a corpus family: a session bound to the family's
+/// primary source schema (bit-identical vocabulary each time, hence the
+/// same store identity), asked a deterministic battery over that
+/// schema's labels. Mirrors [`run_life`] with corpus schemas standing in
+/// for the random ones.
+fn run_corpus_life(family: Family, dir: Option<&PathBuf>) -> (Vec<Decision>, usize, bool) {
+    let sc = scenario(family, &Params::quick());
+    let schema = sc.schema(&sc.primary.source).expect("primary source exists").clone();
+    let mut rng = StdRng::seed_from_u64(0x5702E + family as u64);
+    let battery = query_battery(&schema, &mut rng, 3);
+    let mut session = AnalysisSession::new(schema, sc.vocab.clone());
+    let (hydrated, degraded) = match dir {
+        Some(dir) => {
+            let report = session.attach_disk(dir);
+            (report.total(), report.degraded)
+        }
+        None => (0, false),
+    };
+    let mut verdicts = Vec::new();
+    for (p, q) in &battery {
+        if let Ok(d) = session.contains(p, q) {
+            verdicts.push(d);
+        }
+    }
+    (verdicts, hydrated, degraded)
+}
+
+#[test]
+fn disk_hydrated_sessions_agree_with_fresh_decide_on_corpus_families() {
+    // The realistic-schema end of the differential: named corpus
+    // families instead of generator output. Cold life seeds the store,
+    // warm life hydrates, control never touches disk — verdict-for-
+    // verdict agreement across all three.
+    for family in [Family::Fhir, Family::Retail] {
+        let dir = tmp_dir(family.name());
+        let (cold, h0, _) = run_corpus_life(family, Some(&dir));
+        assert_eq!(h0, 0, "{}: first life found a store it never wrote", family.name());
+        let (warm, h1, degraded) = run_corpus_life(family, Some(&dir));
+        let (control, _, _) = run_corpus_life(family, None);
+        assert!(!degraded, "{}: clean store reported degraded", family.name());
+        assert!(h1 > 0, "{}: second life hydrated nothing", family.name());
+        assert_eq!(cold, warm, "{}: hydrated verdicts diverge from cold", family.name());
+        assert_eq!(cold, control, "{}: disk-bound verdicts diverge from disk-free", family.name());
+        assert!(!cold.is_empty(), "{}: battery produced no verdicts", family.name());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 }
 
 /// Warms a store over the medical fixture and returns the session's
