@@ -368,8 +368,104 @@ fn main() {
         per_kind.push(e);
     }
 
+    // ---- Metrics overhead: re-drive the same workload with recording
+    // disabled. Only meaningful against the in-process server (the
+    // enable flag is process-wide, so it reaches the server's
+    // instrumentation sites); the pool is warm for both runs, so the
+    // comparison isolates the record/span cost. ----
+    let mut overhead_on_frames = 0u64;
+    let overhead = if in_process.is_some() {
+        // Both measured states run after the main drive, so the pool and
+        // memos are equally warm, and the rounds interleave on/off so
+        // neither state systematically benefits from running later.
+        let (mut on_wall, mut on_n, mut off_wall, mut off_n) = (0u64, 0u64, 0u64, 0u64);
+        for _ in 0..2 {
+            let (s, wall) = drive(&addr, &w, conns, requests);
+            assert!(s.iter().all(|s| s.ok), "metrics-on overhead round failed");
+            on_wall += wall;
+            on_n += s.len() as u64;
+            gts_obs::set_enabled(false);
+            let (s, wall) = drive(&addr, &w, conns, requests);
+            gts_obs::set_enabled(true);
+            assert!(s.iter().all(|s| s.ok), "metrics-off overhead round failed");
+            off_wall += wall;
+            off_n += s.len() as u64;
+        }
+        overhead_on_frames = on_n;
+        let throughput_on = on_n as f64 / (on_wall as f64 / 1e6);
+        let throughput_off = off_n as f64 / (off_wall as f64 / 1e6);
+        let overhead_percent = (throughput_off - throughput_on) / throughput_off.max(1e-9) * 100.0;
+        println!(
+            "metrics overhead: {throughput_on:.0} req/s on vs {throughput_off:.0} req/s off \
+             ({overhead_percent:+.1}%)"
+        );
+        let mut o = Json::obj();
+        o.set("throughput_on_rps", throughput_on)
+            .set("throughput_off_rps", throughput_off)
+            .set("overhead_percent", overhead_percent);
+        o
+    } else {
+        Json::Null
+    };
+
     // ---- Per-family corpus sweep over the same resident server. ----
     let families_json = family_section(&addr, &families, quick);
+
+    // ---- Server-side observability: scrape the `metrics` verb (JSON
+    // mirror) and fold the per-verb latency histograms into the report.
+    // The client-side analyze count is exact bookkeeping — warmup frames
+    // + the measured run + two frames per family row (the metrics-off
+    // overhead run records nothing by construction) — so the server-side
+    // counter must agree with it on a private server. ----
+    let mut obs_client = Client::connect(addr.as_str()).expect("connect for metrics");
+    let metrics_resp = obs_client.metrics(Some("json")).expect("metrics verb");
+    assert_eq!(
+        metrics_resp.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "{}",
+        metrics_resp.pretty()
+    );
+    let body = metrics_resp.get("body").and_then(Json::as_str).expect("metrics body");
+    let metrics_doc = Json::parse(body).expect("metrics body parses");
+    let mut server_frames = Vec::new();
+    let mut analyze_frames_server = 0u64;
+    for entry in metrics_doc.get("metrics").and_then(Json::as_arr).unwrap_or(&[]) {
+        if entry.get("name").and_then(Json::as_str) != Some("gts_serve_frame_micros") {
+            continue;
+        }
+        let verb =
+            entry.get("labels").and_then(|l| l.get("verb")).and_then(Json::as_str).unwrap_or("?");
+        let count = entry.get("count").and_then(Json::as_u64).unwrap_or(0);
+        if count == 0 {
+            continue;
+        }
+        if verb == "analyze" {
+            analyze_frames_server = count;
+        }
+        let mut e = Json::obj();
+        e.set("verb", verb).set("count", count);
+        for q in ["p50", "p90", "p99", "max"] {
+            e.set(q, entry.get(q).cloned().unwrap_or(Json::Null));
+        }
+        server_frames.push(e);
+    }
+    let analyze_frames_client =
+        KINDS.len() as u64 + total + overhead_on_frames + 2 * families.len() as u64;
+    let requests_match = analyze_frames_server == analyze_frames_client;
+    if mode != "external" {
+        assert!(
+            requests_match,
+            "server-side analyze frame count {analyze_frames_server} does not match the \
+             client-side total {analyze_frames_client}"
+        );
+    }
+    let mut observability = Json::obj();
+    observability
+        .set("server_frames", Json::Arr(server_frames))
+        .set("analyze_frames_client", analyze_frames_client)
+        .set("analyze_frames_server", analyze_frames_server)
+        .set("requests_match", requests_match)
+        .set("overhead", overhead);
 
     // ---- Pool + admission stats over the wire (works in all modes). ----
     let mut stats_client = Client::connect(addr.as_str()).expect("connect for stats");
@@ -431,6 +527,7 @@ fn main() {
         .set("families", families_json)
         .set("pool", pool)
         .set("admission", admission)
+        .set("observability", observability)
         .set("drain_clean", drain_clean);
     std::fs::write(&out_path, doc.pretty())
         .unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));

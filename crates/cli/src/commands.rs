@@ -53,17 +53,20 @@ fn usage() -> String {
      \x20 batch     FILE... [--threads N] [--stats]        run all analyses of each file, emit JSON\n\
      \x20 serve     [--addr A] [--threads N] [--queue N]   resident analysis server (newline-\n\
      \x20           [--max-sessions N] [--max-session-mb N] delimited JSON protocol; shut down\n\
-     \x20           [--deadline-ms N] [--cache-dir DIR]    with `gts client --verb shutdown`)\n\
-     \x20           [--flush-ms N]\n\
-     \x20 client    FILE... [--addr A]                     the batch suite over the wire, or a\n\
-     \x20           | --verb ping|stats|evict|shutdown     control verb against a running server\n\
-     \x20           |        cache-export|cache-import     (see --fingerprint / --store)\n\
+     \x20           [--deadline-ms N] [--cache-dir DIR]    with `gts client --verb shutdown`);\n\
+     \x20           [--flush-ms N] [--slow-ms N]           --slow-ms logs slow frames to stderr,\n\
+     \x20           [--no-metrics]                         --no-metrics disables recording\n\
+     \x20 client    FILE... [--addr A] [--trace]           the batch suite over the wire, or a\n\
+     \x20           | --verb ping|stats|metrics|evict      control verb against a running server\n\
+     \x20           |        shutdown|cache-export|        (see --fingerprint / --store;\n\
+     \x20           |        cache-import                  metrics takes --format json)\n\
      \x20 corpus    list | emit --family F [--out DIR]     the seeded scenario corpus (gts-corpus):\n\
      \x20           | check [--family F] [--quick]         list families, render .gts + instance\n\
      \x20           [--seed N] [--scale N]                 fixtures, or self-check determinism,\n\
      \x20                                                  conformance, and expected verdicts\n\
      \x20 (batch/client accept `-` as FILE to read the .gts source from stdin)\n\
      \x20 (check/equiv/elicit/contains/safety also take --stats: append oracle statistics)\n\
+     \x20 (single-file analysis commands take --trace: append the run's span tree)\n\
      \x20 (analysis commands + batch/serve take --cache-dir DIR — or the GTS_CACHE_DIR env var —\n\
      \x20  to persist oracle state across runs in DIR/*.gtsc; --no-cache forces a stateless run)\n"
         .into()
@@ -82,6 +85,8 @@ fn parse_flags(args: &[String]) -> Result<(HashMap<String, String>, Vec<String>)
                 || name == "allow-linger"
                 || name == "no-cache"
                 || name == "quick"
+                || name == "trace"
+                || name == "no-metrics"
             {
                 flags.insert(name.to_owned(), "true".to_owned());
                 i += 1;
@@ -182,12 +187,12 @@ fn run_inner(
                 .ok_or_else(|| format!("no transform named `{name}` in {path}"))
         };
 
-    let result = match cmd {
-        "show" => Ok(Outcome { code: 0, output: print::render_file(&file) }),
+    let run_cmd = |file: &mut GtsFile| match cmd {
+        "show" => Ok(Outcome { code: 0, output: print::render_file(file) }),
         "check" => {
-            let t = lookup_transform(&file, need(&flags, "transform")?)?;
-            let s = lookup_schema(&file, need(&flags, "source")?)?;
-            let s2 = lookup_schema(&file, need(&flags, "target")?)?;
+            let t = lookup_transform(file, need(&flags, "transform")?)?;
+            let s = lookup_schema(file, need(&flags, "source")?)?;
+            let s2 = lookup_schema(file, need(&flags, "target")?)?;
             let mut session = bind_session(&s, &file.vocab);
             let d =
                 session.type_check(&t, &s2).map_err(|e| format!("type checking failed: {e:?}"))?;
@@ -208,9 +213,9 @@ fn run_inner(
             Ok(o)
         }
         "equiv" => {
-            let t1 = lookup_transform(&file, need(&flags, "t1")?)?;
-            let t2 = lookup_transform(&file, need(&flags, "t2")?)?;
-            let s = lookup_schema(&file, need(&flags, "source")?)?;
+            let t1 = lookup_transform(file, need(&flags, "t1")?)?;
+            let t2 = lookup_transform(file, need(&flags, "t2")?)?;
+            let s = lookup_schema(file, need(&flags, "source")?)?;
             let mut session = bind_session(&s, &file.vocab);
             let d = session
                 .equivalence(&t1, &t2)
@@ -232,8 +237,8 @@ fn run_inner(
             Ok(o)
         }
         "elicit" => {
-            let t = lookup_transform(&file, need(&flags, "transform")?)?;
-            let s = lookup_schema(&file, need(&flags, "source")?)?;
+            let t = lookup_transform(file, need(&flags, "transform")?)?;
+            let s = lookup_schema(file, need(&flags, "source")?)?;
             let mut session = bind_session(&s, &file.vocab);
             let e = session.elicit(&t).map_err(|e| format!("elicitation failed: {e:?}"))?;
             let mut out = print::schema_block("Elicited", &e.schema, session.vocab());
@@ -243,7 +248,7 @@ fn run_inner(
             Ok(Outcome { code: 0, output: out })
         }
         "apply" => {
-            let t = lookup_transform(&file, need(&flags, "transform")?)?;
+            let t = lookup_transform(file, need(&flags, "transform")?)?;
             let g = file
                 .graph(need(&flags, "graph")?)
                 .ok_or_else(|| format!("no graph named `{}` in {path}", flags["graph"]))?;
@@ -256,7 +261,7 @@ fn run_inner(
             Ok(Outcome { code: 0, output: rendered })
         }
         "run" => {
-            let t = lookup_transform(&file, need(&flags, "transform")?)?;
+            let t = lookup_transform(file, need(&flags, "transform")?)?;
             t.validate().map_err(|e| format!("ill-formed transformation: {e:?}"))?;
             let inst_path = need(&flags, "instance")?;
             let inst_src = read(inst_path)?;
@@ -285,7 +290,7 @@ fn run_inner(
                 if !output.ends_with('\n') {
                     output.push('\n'); // to_dot ends at `}`; keep the comment on its own line
                 }
-                let s = lookup_schema(&file, schema_name)?;
+                let s = lookup_schema(file, schema_name)?;
                 match s.conforms(&out_graph) {
                     Ok(()) => output.push_str("# output conforms\n"),
                     Err(v) => {
@@ -297,7 +302,7 @@ fn run_inner(
             Ok(Outcome { code, output })
         }
         "conform" => {
-            let s = lookup_schema(&file, need(&flags, "schema")?)?;
+            let s = lookup_schema(file, need(&flags, "schema")?)?;
             let g = file
                 .graph(need(&flags, "graph")?)
                 .ok_or_else(|| format!("no graph named `{}` in {path}", flags["graph"]))?;
@@ -315,7 +320,7 @@ fn run_inner(
                 .query(need(&flags, "q")?)
                 .cloned()
                 .ok_or_else(|| format!("no query named `{}` in {path}", flags["q"]))?;
-            let s = lookup_schema(&file, need(&flags, "schema")?)?;
+            let s = lookup_schema(file, need(&flags, "schema")?)?;
             // Containment runs through the free function (NRE queries are
             // not session requests), but a disk-bound anchor session over
             // the same schema hydrates the shared oracle cache first and
@@ -364,8 +369,8 @@ fn run_inner(
             Ok(o)
         }
         "safety" => {
-            let t = lookup_transform(&file, need(&flags, "transform")?)?;
-            let s = lookup_schema(&file, need(&flags, "source")?)?;
+            let t = lookup_transform(file, need(&flags, "transform")?)?;
+            let s = lookup_schema(file, need(&flags, "source")?)?;
             let mut literals = gts_core::graph::LabelSet::new();
             for name in need(&flags, "literals")?.split(',') {
                 let l = file
@@ -385,6 +390,24 @@ fn run_inner(
             Ok(o)
         }
         other => Err(format!("unknown command `{other}`")),
+    };
+    // `--trace` runs the command under a span collector and appends the
+    // rendered span tree as comment lines (file parsing happened above,
+    // so the tree covers the analysis itself: oracle decides, saturation,
+    // completion sweeps, executor phases).
+    let result = if flags.contains_key("trace") {
+        let (result, tree) = gts_obs::trace("command", || run_cmd(&mut file));
+        result.map(|mut o| {
+            o.output.push_str("# span tree:\n");
+            for line in tree.render_tree().lines() {
+                o.output.push_str("#   ");
+                o.output.push_str(line);
+                o.output.push('\n');
+            }
+            o
+        })
+    } else {
+        run_cmd(&mut file)
     };
     finish_stats(result)
 }
@@ -499,6 +522,7 @@ fn run_batch(
         let mut misses = 0u64;
         let mut entries = 0usize;
         let mut approx_bytes = 0usize;
+        let mut hydrated = 0u64;
         let mut oracle = OracleCacheStats::default();
         for (source_name, items) in suite(&file) {
             let source = file.schema(&source_name).expect("suite names file schemas").clone();
@@ -529,6 +553,7 @@ fn run_batch(
             misses += stats.misses;
             entries += stats.entries;
             approx_bytes += stats.approx_bytes;
+            hydrated += stats.hydrated;
             oracle.absorb(&session.oracle_stats());
             for r in results {
                 let mut entry = Json::obj();
@@ -565,35 +590,23 @@ fn run_batch(
             .set("hits", hits)
             .set("misses", misses)
             .set("hit_rate", CacheStats { hits, misses, ..Default::default() }.hit_rate());
-        let mut oracle_json = Json::obj();
-        oracle_json
-            .set("decides", oracle.solver.decides)
-            .set("solver_cache_hits", oracle.solver.cache_hits)
-            .set("solver_cache_misses", oracle.solver.cache_misses)
-            .set("solver_entries", oracle.solver.entries as u64)
-            .set("cores_tried", oracle.solver.cores_tried)
-            .set("cores_deduped", oracle.solver.cores_deduped)
-            .set("types_interned", oracle.solver.types_interned as u64)
-            .set("realize_hits", oracle.solver.realize_hits)
-            .set("realize_misses", oracle.solver.realize_misses)
-            .set("completion_hits", oracle.completion_hits)
-            .set("completion_misses", oracle.completion_misses);
         let mut fj = Json::obj();
         fj.set("file", path.as_str())
             .set("results", Json::Arr(results_json))
             .set("containment_cache", cache)
-            .set("oracle", oracle_json);
+            // The canonical oracle shape — identical to the serve `stats`
+            // verb's `oracle` object and the analyze response, by
+            // construction (they all call the same builder).
+            .set("oracle", gts_engine::snapshot_to_json(&gts_engine::oracle_snapshot(&oracle)));
         if flags.contains_key("stats") {
             // The occupancy counters the server's session registry
-            // budgets against, summed over this file's source sessions.
-            let mut session_json = Json::obj();
-            session_json
-                .set("entries", entries)
-                .set("approx_bytes", approx_bytes)
-                .set("hits", hits)
-                .set("misses", misses)
-                .set("hit_rate", CacheStats { hits, misses, ..Default::default() }.hit_rate());
-            fj.set("session", session_json);
+            // budgets against, summed over this file's source sessions —
+            // same shape as the analyze response's `session` object.
+            let summed = CacheStats { hits, misses, entries, approx_bytes, hydrated };
+            fj.set(
+                "session",
+                gts_engine::snapshot_to_json(&gts_engine::session_cache_snapshot(&summed)),
+            );
         }
         files_json.push(fj);
     }

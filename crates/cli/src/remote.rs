@@ -43,7 +43,7 @@ fn parse_num(flags: &HashMap<String, String>, name: &str) -> Result<Option<usize
 
 /// `gts serve [--addr A] [--threads N] [--queue N] [--max-sessions N]
 /// [--max-session-mb N] [--deadline-ms N] [--cache-dir DIR]
-/// [--flush-ms N] [--allow-linger]`.
+/// [--flush-ms N] [--slow-ms N] [--no-metrics] [--allow-linger]`.
 pub fn run_serve(flags: &HashMap<String, String>) -> Result<Outcome, String> {
     let mut cfg = ServerConfig {
         addr: flags.get("addr").cloned().unwrap_or_else(|| "127.0.0.1:4815".into()),
@@ -72,6 +72,16 @@ pub fn run_serve(flags: &HashMap<String, String>) -> Result<Outcome, String> {
     if let Some(n) = parse_num(flags, "flush-ms")? {
         cfg.flush_interval = Some(std::time::Duration::from_millis(n.max(1) as u64));
     }
+    if let Some(n) = parse_num(flags, "slow-ms")? {
+        cfg.slow_ms = Some(n as u64);
+    }
+    // `--no-metrics` turns off metric recording process-wide (spans and
+    // the `metrics`/`stats` verbs keep working; histograms and counters
+    // just stop advancing). The loadgen overhead benchmark uses it to
+    // measure the instrumented-vs-uninstrumented gap.
+    if flags.contains_key("no-metrics") {
+        gts_obs::set_enabled(false);
+    }
     cfg.allow_linger = flags.contains_key("allow-linger");
     let handle = Server::start(cfg, frontend()).map_err(|e| format!("cannot start server: {e}"))?;
     // Printed (and flushed) before blocking so wrappers — CI's loadgen
@@ -82,8 +92,9 @@ pub fn run_serve(flags: &HashMap<String, String>) -> Result<Outcome, String> {
     Ok(Outcome { code: 0, output: "server drained\n".into() })
 }
 
-/// `gts client --addr A FILE...` (the `gts batch` suite over the wire),
-/// or `gts client --addr A --verb ping|stats|evict|shutdown`.
+/// `gts client --addr A FILE... [--trace]` (the `gts batch` suite over
+/// the wire), or `gts client --addr A --verb
+/// ping|stats|metrics|evict|shutdown|cache-export|cache-import`.
 pub fn run_client(
     paths: &[String],
     flags: &HashMap<String, String>,
@@ -96,6 +107,7 @@ pub fn run_client(
         let resp = match verb.as_str() {
             "ping" => client.ping(),
             "stats" => client.stats(),
+            "metrics" => client.metrics(flags.get("format").map(String::as_str)),
             "shutdown" => client.shutdown(),
             "evict" => client.evict(flags.get("fingerprint").map(String::as_str)),
             "cache-export" => {
@@ -123,8 +135,16 @@ pub fn run_client(
             other => return Err(format!("unknown --verb `{other}`")),
         }
         .map_err(|e| format!("{verb} failed: {e}"))?;
-        let code = i32::from(resp.get("ok").and_then(Json::as_bool) != Some(true)) * 2;
-        return Ok(Outcome { code, output: resp.pretty() });
+        let ok = resp.get("ok").and_then(Json::as_bool) == Some(true);
+        let code = i32::from(!ok) * 2;
+        // `metrics` prints the rendered document itself (Prometheus text
+        // or the JSON mirror), not the protocol frame around it — the
+        // output pipes straight into scrape tooling.
+        let output = match resp.get("body").and_then(Json::as_str) {
+            Some(body) if ok && verb == "metrics" => body.to_owned(),
+            _ => resp.pretty(),
+        };
+        return Ok(Outcome { code, output });
     }
     if paths.is_empty() {
         return Err("client needs at least one .gts file (or --verb)".into());
@@ -152,9 +172,12 @@ pub fn run_client(
                     s
                 })
                 .collect();
-            let resp = client
-                .analyze(&src, Some(&source_name), specs)
-                .map_err(|e| format!("{path}: analyze failed: {e}"))?;
+            let mut frame = proto::analyze_frame(&src, Some(&source_name), specs);
+            if flags.contains_key("trace") {
+                frame.set("trace", true);
+            }
+            let resp =
+                client.roundtrip(&frame).map_err(|e| format!("{path}: analyze failed: {e}"))?;
             if resp.get("ok").and_then(Json::as_bool) != Some(true) {
                 any_error = true;
                 results_json.push(resp.clone());
@@ -174,7 +197,7 @@ pub fn run_client(
             }
             let mut source_json = Json::obj();
             source_json.set("source", source_name.as_str());
-            for key in ["fingerprint", "pool", "session", "oracle"] {
+            for key in ["fingerprint", "pool", "session", "oracle", "trace"] {
                 if let Some(v) = resp.get(key) {
                     source_json.set(key, v.clone());
                 }

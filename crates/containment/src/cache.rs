@@ -95,6 +95,33 @@ impl CompletionKey {
     }
 }
 
+/// The global-registry `(hit, miss)` counters for the completion memo.
+fn completion_cache_obs() -> &'static (gts_obs::Counter, gts_obs::Counter) {
+    static CELLS: std::sync::OnceLock<(gts_obs::Counter, gts_obs::Counter)> =
+        std::sync::OnceLock::new();
+    CELLS.get_or_init(|| {
+        let reg = gts_obs::global();
+        let name = "gts_containment_completion_cache_total";
+        let help = "Completion-memo lookups by outcome";
+        (
+            reg.counter(name, help, &[("outcome", "hit")]),
+            reg.counter(name, help, &[("outcome", "miss")]),
+        )
+    })
+}
+
+/// The latency histogram for freshly computed completions (memo misses).
+fn completion_obs_hist() -> &'static gts_obs::Histogram {
+    static CELL: std::sync::OnceLock<gts_obs::Histogram> = std::sync::OnceLock::new();
+    CELL.get_or_init(|| {
+        gts_obs::global().histogram(
+            "gts_containment_completion_micros",
+            "Latency of TBox completion computations (memo misses)",
+            &[],
+        )
+    })
+}
+
 /// Shared, thread-safe cache for the containment pipeline. See the module
 /// docs for what it holds.
 #[derive(Default)]
@@ -153,15 +180,25 @@ impl OracleCache {
             if let Some(bucket) = memo.get(&fp) {
                 if let Some((_, c)) = bucket.iter().find(|(k, _)| *k == key) {
                     self.completion_hits.fetch_add(1, Ordering::Relaxed);
+                    completion_cache_obs().0.inc();
                     return c.clone();
                 }
             }
         }
         self.completion_misses.fetch_add(1, Ordering::Relaxed);
+        completion_cache_obs().1.inc();
         // Not held across `f`: concurrent workers may race on the same
         // key, but `complete` is deterministic, so the duplicate insert is
         // idempotent.
-        let c = f();
+        let c = {
+            let _span = gts_obs::span("completion");
+            let start = gts_obs::enabled().then(std::time::Instant::now);
+            let c = f();
+            if let Some(t0) = start {
+                completion_obs_hist().record(t0.elapsed().as_micros() as u64);
+            }
+            c
+        };
         let mut memo = self.completions.lock().unwrap();
         let bucket = memo.entry(fp).or_default();
         if !bucket.iter().any(|(k, _)| *k == key) {

@@ -178,6 +178,32 @@ pub(crate) fn contains_lowered(
     vocab: &mut Vocab,
     opts: &ContainmentOptions,
 ) -> Result<ContainmentAnswer, ContainmentError> {
+    let _span = gts_obs::span("containment");
+    if !gts_obs::enabled() {
+        return contains_lowered_inner(p, q, extra, s, vocab, opts);
+    }
+    let start = std::time::Instant::now();
+    let out = contains_lowered_inner(p, q, extra, s, vocab, opts);
+    static HIST: std::sync::OnceLock<gts_obs::Histogram> = std::sync::OnceLock::new();
+    HIST.get_or_init(|| {
+        gts_obs::global().histogram(
+            "gts_containment_contains_micros",
+            "Latency of full containment decisions",
+            &[],
+        )
+    })
+    .record(start.elapsed().as_micros() as u64);
+    out
+}
+
+fn contains_lowered_inner(
+    p: &Uc2rpq,
+    q: &Uc2rpq,
+    extra: &HornTbox,
+    s: &Schema,
+    vocab: &mut Vocab,
+    opts: &ContainmentOptions,
+) -> Result<ContainmentAnswer, ContainmentError> {
     if let (Some(ap), Some(aq)) = (p.arity(), q.arity()) {
         if ap != aq {
             return Err(ContainmentError::ArityMismatch);

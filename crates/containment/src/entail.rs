@@ -230,10 +230,23 @@ impl<'t> EntailCtx<'t> {
     }
 
     fn decide(&self, t: &ExtendedTbox, q: &C2rpq) -> Result<bool, UnknownReason> {
+        let _span = gts_obs::span("entailment_probe");
+        let start = gts_obs::enabled().then(std::time::Instant::now);
         let verdict = match (&t.handle, self.cache) {
             (Some(handle), Some(cache)) => decide_on(handle, &t.tbox, q, &self.budget, cache).0,
             _ => decide(&t.tbox, q, &self.budget),
         };
+        if let Some(t0) = start {
+            static HIST: std::sync::OnceLock<gts_obs::Histogram> = std::sync::OnceLock::new();
+            HIST.get_or_init(|| {
+                gts_obs::global().histogram(
+                    "gts_containment_probe_micros",
+                    "Latency of completion entailment probes",
+                    &[],
+                )
+            })
+            .record(t0.elapsed().as_micros() as u64);
+        }
         match verdict {
             Verdict::Unsat => Ok(true),
             Verdict::Sat(_) => Ok(false),

@@ -57,11 +57,36 @@ pub enum Request {
 }
 
 impl Request {
+    /// The request kind as a static label (`type_check`, `equivalence`,
+    /// `elicit`, `execute`) — span names and the `kind` metric label.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Request::TypeCheck { .. } => "type_check",
+            Request::Equivalence { .. } => "equivalence",
+            Request::Elicit { .. } => "elicit",
+            Request::Execute { .. } => "execute",
+        }
+    }
+
     /// Runs this request against `session` (the session's schema is the
     /// source schema). This is the single execution path for requests —
     /// [`Batch`] workers, the `gts batch` subcommand, and the `gts-serve`
-    /// connection handlers all go through it.
+    /// connection handlers all go through it — so the per-kind latency
+    /// series (`gts_engine_request_micros{kind=…}`) and request spans
+    /// cover every caller.
     pub fn run(self, session: &mut AnalysisSession) -> Result<Verdict, AnalysisError> {
+        let kind = self.kind();
+        let _span = gts_obs::span(kind);
+        if !gts_obs::enabled() {
+            return self.run_inner(session);
+        }
+        let start = std::time::Instant::now();
+        let out = self.run_inner(session);
+        request_metrics().for_kind(kind).record(start.elapsed().as_micros() as u64);
+        out
+    }
+
+    fn run_inner(self, session: &mut AnalysisSession) -> Result<Verdict, AnalysisError> {
         match self {
             Request::TypeCheck { transform, target } => {
                 session.type_check(&transform, &target).map(Verdict::Decision)
@@ -88,6 +113,40 @@ impl Request {
             }
         }
     }
+}
+
+/// The per-kind request latency histograms, resolved once.
+struct RequestMetrics {
+    type_check: gts_obs::Histogram,
+    equivalence: gts_obs::Histogram,
+    elicit: gts_obs::Histogram,
+    execute: gts_obs::Histogram,
+}
+
+impl RequestMetrics {
+    fn for_kind(&self, kind: &str) -> &gts_obs::Histogram {
+        match kind {
+            "type_check" => &self.type_check,
+            "equivalence" => &self.equivalence,
+            "elicit" => &self.elicit,
+            _ => &self.execute,
+        }
+    }
+}
+
+fn request_metrics() -> &'static RequestMetrics {
+    static CELLS: std::sync::OnceLock<RequestMetrics> = std::sync::OnceLock::new();
+    CELLS.get_or_init(|| {
+        let reg = gts_obs::global();
+        let name = "gts_engine_request_micros";
+        let help = "Analysis request latency by kind";
+        RequestMetrics {
+            type_check: reg.histogram(name, help, &[("kind", "type_check")]),
+            equivalence: reg.histogram(name, help, &[("kind", "equivalence")]),
+            elicit: reg.histogram(name, help, &[("kind", "elicit")]),
+            execute: reg.histogram(name, help, &[("kind", "execute")]),
+        }
+    })
 }
 
 /// The successful outcome of one request.

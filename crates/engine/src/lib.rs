@@ -71,8 +71,10 @@ pub mod disk;
 pub mod identity;
 mod json;
 mod session;
+pub mod stats;
 
 pub use batch::{Batch, BatchResult, Request, Verdict};
 pub use disk::{DiskBinding, FlushReport, HydrateReport};
 pub use json::{Json, JsonError};
 pub use session::{AnalysisSession, CacheStats};
+pub use stats::{oracle_snapshot, session_cache_snapshot, snapshot_to_json};

@@ -210,6 +210,20 @@ pub fn eval_rule_bodies(
     t: &Transformation,
     opts: &ExecOptions,
 ) -> Vec<Vec<Vec<NodeId>>> {
+    let _span = gts_obs::span("rule_eval");
+    let start = gts_obs::enabled().then(std::time::Instant::now);
+    let out = eval_rule_bodies_inner(idx, t, opts);
+    if let Some(t0) = start {
+        phase_metrics().rule_eval.record(t0.elapsed().as_micros() as u64);
+    }
+    out
+}
+
+fn eval_rule_bodies_inner(
+    idx: &IndexedGraph,
+    t: &Transformation,
+    opts: &ExecOptions,
+) -> Vec<Vec<Vec<NodeId>>> {
     let bodies: Vec<&C2rpq> = t
         .rules
         .iter()
@@ -273,6 +287,38 @@ pub fn execute(t: &Transformation, g: &Graph) -> Graph {
 /// case: copy rules) are interned through a dedicated map with an inline
 /// key, avoiding one heap allocation per constructed-node lookup.
 fn assemble(t: &Transformation, per_rule: &[Vec<Vec<NodeId>>]) -> Graph {
+    let _span = gts_obs::span("assembly");
+    let start = gts_obs::enabled().then(std::time::Instant::now);
+    let out = assemble_inner(t, per_rule);
+    if let Some(t0) = start {
+        phase_metrics().assembly.record(t0.elapsed().as_micros() as u64);
+    }
+    out
+}
+
+/// The per-phase latency histograms of the executor, resolved once
+/// (`gts_exec_phase_micros{phase=…}` in the global registry).
+pub(crate) struct PhaseMetrics {
+    pub(crate) index_build: gts_obs::Histogram,
+    pub(crate) rule_eval: gts_obs::Histogram,
+    pub(crate) assembly: gts_obs::Histogram,
+}
+
+pub(crate) fn phase_metrics() -> &'static PhaseMetrics {
+    static CELLS: std::sync::OnceLock<PhaseMetrics> = std::sync::OnceLock::new();
+    CELLS.get_or_init(|| {
+        let reg = gts_obs::global();
+        let name = "gts_exec_phase_micros";
+        let help = "Executor phase latency (index build, rule evaluation, assembly)";
+        PhaseMetrics {
+            index_build: reg.histogram(name, help, &[("phase", "index_build")]),
+            rule_eval: reg.histogram(name, help, &[("phase", "rule_eval")]),
+            assembly: reg.histogram(name, help, &[("phase", "assembly")]),
+        }
+    })
+}
+
+fn assemble_inner(t: &Transformation, per_rule: &[Vec<Vec<NodeId>>]) -> Graph {
     let mut out = Graph::new();
     let total: usize = per_rule.iter().map(Vec::len).sum();
     let mut ctor1: FxHashMap<(NodeLabel, NodeId), NodeId> = FxHashMap::default();

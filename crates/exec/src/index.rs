@@ -84,6 +84,16 @@ impl IndexedGraph {
     /// Builds the index; `O(|V| + |E| log deg)` time, touching each edge
     /// twice (once per direction).
     pub fn build(g: &Graph) -> IndexedGraph {
+        let _span = gts_obs::span("index_build");
+        let start = gts_obs::enabled().then(std::time::Instant::now);
+        let out = IndexedGraph::build_inner(g);
+        if let Some(t0) = start {
+            crate::exec::phase_metrics().index_build.record(t0.elapsed().as_micros() as u64);
+        }
+        out
+    }
+
+    fn build_inner(g: &Graph) -> IndexedGraph {
         let n = g.num_nodes();
         let max_edge_label = g.edges().map(|(_, l, _)| l.0 as usize + 1).max().unwrap_or(0);
         let mut fwd_edges: Vec<Vec<(u32, u32)>> = vec![Vec::new(); max_edge_label];

@@ -109,6 +109,22 @@ impl OracleStats {
     }
 }
 
+/// The global-registry `(hit, miss)` counters for warm-context reuse,
+/// resolved once (handle resolution is on the per-decide path).
+fn solver_cache_obs() -> &'static (gts_obs::Counter, gts_obs::Counter) {
+    static CELLS: std::sync::OnceLock<(gts_obs::Counter, gts_obs::Counter)> =
+        std::sync::OnceLock::new();
+    CELLS.get_or_init(|| {
+        let reg = gts_obs::global();
+        let name = "gts_sat_solver_cache_total";
+        let help = "Per-TBox solver-context lookups by outcome";
+        (
+            reg.counter(name, help, &[("outcome", "hit")]),
+            reg.counter(name, help, &[("outcome", "miss")]),
+        )
+    })
+}
+
 fn rate(hits: u64, misses: u64) -> f64 {
     let total = hits + misses;
     if total == 0 {
@@ -326,8 +342,10 @@ impl SolverCache {
         );
         if handle.entry.uses.fetch_add(1, Ordering::Relaxed) == 0 {
             self.misses.fetch_add(1, Ordering::Relaxed);
+            solver_cache_obs().1.inc();
         } else {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            solver_cache_obs().0.inc();
         }
         let mut ctx = handle.entry.ctx.lock().unwrap();
         ctx.begin_call(budget.clone());

@@ -80,7 +80,7 @@ pub fn decide_with_stats(
     budget: &Budget,
 ) -> (Verdict, DecideStats) {
     let mut ctx = RealizeCtx::new(TypeUniverse::new(tbox), budget.clone());
-    decide_in(&mut ctx, tbox, query, budget)
+    decide_instrumented(&mut ctx, tbox, query, budget)
 }
 
 /// [`decide`] against a persistent per-TBox context borrowed from `cache`.
@@ -111,9 +111,61 @@ pub fn decide_on(
     cache: &SolverCache,
 ) -> (Verdict, DecideStats) {
     let (verdict, stats) =
-        cache.with_handle(handle, budget, |ctx| decide_in(ctx, tbox, query, budget));
+        cache.with_handle(handle, budget, |ctx| decide_instrumented(ctx, tbox, query, budget));
     cache.record_decide(stats.cores_tried, stats.cores_deduped);
     (verdict, stats)
+}
+
+/// The process-global metric cells of the decide hot path, resolved once.
+struct DecideMetrics {
+    latency: gts_obs::Histogram,
+    sat: gts_obs::Counter,
+    unsat: gts_obs::Counter,
+    unknown: gts_obs::Counter,
+}
+
+fn decide_metrics() -> &'static DecideMetrics {
+    static CELLS: std::sync::OnceLock<DecideMetrics> = std::sync::OnceLock::new();
+    CELLS.get_or_init(|| {
+        let reg = gts_obs::global();
+        let name = "gts_sat_decide_total";
+        let help = "Satisfiability decide calls by verdict";
+        DecideMetrics {
+            latency: reg.histogram(
+                "gts_sat_decide_micros",
+                "Latency of satisfiability decide calls",
+                &[],
+            ),
+            sat: reg.counter(name, help, &[("verdict", "sat")]),
+            unsat: reg.counter(name, help, &[("verdict", "unsat")]),
+            unknown: reg.counter(name, help, &[("verdict", "unknown")]),
+        }
+    })
+}
+
+/// [`decide_in`] wrapped in the observability layer: an `oracle_decide`
+/// span (inert unless the calling thread is tracing) plus a latency
+/// histogram and per-verdict counters in the global registry.
+fn decide_instrumented(
+    ctx: &mut RealizeCtx,
+    tbox: &HornTbox,
+    query: &C2rpq,
+    budget: &Budget,
+) -> (Verdict, DecideStats) {
+    let _span = gts_obs::span("oracle_decide");
+    if !gts_obs::enabled() {
+        return decide_in(ctx, tbox, query, budget);
+    }
+    let start = std::time::Instant::now();
+    let out = decide_in(ctx, tbox, query, budget);
+    let m = decide_metrics();
+    m.latency.record(start.elapsed().as_micros() as u64);
+    match &out.0 {
+        Verdict::Sat(_) => m.sat.inc(),
+        Verdict::Unsat => m.unsat.inc(),
+        Verdict::Unknown(_) => m.unknown.inc(),
+    }
+    out
 }
 
 /// The shared search; `ctx` must already be reset for this call (fresh, or

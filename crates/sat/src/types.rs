@@ -300,6 +300,26 @@ impl TypeUniverse {
         if self.sat.contains_key(&t) {
             return if self.dead.contains(&t) { None } else { Some(self.sat[&t]) };
         }
+        // Memo miss: run (and time) the actual fixpoint computation.
+        let _span = gts_obs::span("saturate");
+        if !gts_obs::enabled() {
+            return self.saturate_fixpoint(t);
+        }
+        let start = std::time::Instant::now();
+        let out = self.saturate_fixpoint(t);
+        static HIST: std::sync::OnceLock<gts_obs::Histogram> = std::sync::OnceLock::new();
+        HIST.get_or_init(|| {
+            gts_obs::global().histogram(
+                "gts_sat_saturate_micros",
+                "Latency of type-saturation fixpoint computations (memo misses)",
+                &[],
+            )
+        })
+        .record(start.elapsed().as_micros() as u64);
+        out
+    }
+
+    fn saturate_fixpoint(&mut self, t: TypeId) -> Option<TypeId> {
         let mut cohort: Vec<TypeId> = vec![t];
         self.sat.insert(t, t);
         loop {

@@ -96,6 +96,18 @@ impl Client {
         self.roundtrip(&proto::frame("stats"))
     }
 
+    /// `metrics` roundtrip: the server's metrics document, rendered into
+    /// the response's `body` string field. `format` is `None` /
+    /// `Some("prometheus")` for text exposition or `Some("json")` for
+    /// the JSON mirror.
+    pub fn metrics(&mut self, format: Option<&str>) -> Result<Json, ClientError> {
+        let mut f = proto::frame("metrics");
+        if let Some(fmt) = format {
+            f.set("format", fmt);
+        }
+        self.roundtrip(&f)
+    }
+
     /// `load_schema` roundtrip: registers/warms the pool entry for the
     /// (optionally named) schema of `gts` and returns its fingerprint.
     pub fn load_schema(&mut self, gts: &str, schema: Option<&str>) -> Result<Json, ClientError> {

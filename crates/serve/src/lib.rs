@@ -19,7 +19,7 @@
 //!   acceptor speaking newline-delimited JSON over a versioned protocol
 //!   ([`PROTO_VERSION`]) that wraps [`gts_engine::Request`] /
 //!   [`gts_engine::Verdict`] plus control verbs (`ping`, `stats`,
-//!   `load_schema`, `evict`, `cache_export`, `cache_import`,
+//!   `metrics`, `load_schema`, `evict`, `cache_export`, `cache_import`,
 //!   `shutdown`), with graceful drain;
 //! * [`Client`] — a blocking client for the protocol, used by
 //!   `gts client`, the `loadgen` benchmark, and the loopback test suites.

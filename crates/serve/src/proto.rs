@@ -7,13 +7,20 @@
 //! plus the echoed `"op"`, and on failure an `"error"` code with a
 //! human-readable `"message"`.
 //!
+//! Two fields are honored on *every* frame: an optional `"id"` (any JSON
+//! value) is echoed verbatim in the response, so clients multiplexing
+//! requests can correlate; an optional `"trace":true` asks the server to
+//! collect the frame's span tree and attach it as the response's
+//! `"trace"` field.
+//!
 //! ```text
-//! frame      := version-verb fields*
-//! verbs      := ping | stats | load_schema | analyze | evict
+//! frame      := version-verb fields*    # plus optional "id", "trace"
+//! verbs      := ping | stats | metrics | load_schema | analyze | evict
 //!             | cache_export | cache_import | shutdown
 //!
 //! ping       := {"v":1,"op":"ping"}
 //! stats      := {"v":1,"op":"stats"}
+//! metrics    := {"v":1,"op":"metrics"[,"format":"prometheus"|"json"]}
 //! load_schema:= {"v":1,"op":"load_schema","gts":TEXT[,"schema":NAME]}
 //! analyze    := {"v":1,"op":"analyze","gts":TEXT[,"source":NAME]
 //!                ,"requests":[SPEC...]

@@ -23,6 +23,7 @@ use gts_core::sat::Budget;
 use gts_core::schema::Schema;
 use gts_core::Transformation;
 use gts_engine::{AnalysisSession, Json, Request, Verdict};
+use gts_obs::{Counter, Gauge, Histogram, MetricsRegistry, SpanNode};
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -83,6 +84,11 @@ pub struct ServerConfig {
     /// `registry.cache_dir` is set). `None` = only flush on drain and
     /// on session eviction/drop.
     pub flush_interval: Option<Duration>,
+    /// Log one structured JSON line to stderr for every frame slower
+    /// than this many milliseconds, including the frame's span
+    /// breakdown. `None` disables the slow log (and its per-frame span
+    /// collection).
+    pub slow_ms: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -95,7 +101,122 @@ impl Default for ServerConfig {
             max_frame_bytes: 16 << 20,
             allow_linger: false,
             flush_interval: None,
+            slow_ms: None,
         }
+    }
+}
+
+/// Every label the per-verb metric families can carry: the protocol
+/// verbs plus two fallbacks — `invalid` for frames that fail to parse
+/// or carry the wrong protocol version, `unknown` for well-formed
+/// frames naming a verb the server does not speak.
+const VERB_LABELS: [&str; 11] = [
+    "ping",
+    "stats",
+    "metrics",
+    "load_schema",
+    "analyze",
+    "evict",
+    "cache_export",
+    "cache_import",
+    "shutdown",
+    "invalid",
+    "unknown",
+];
+
+/// The server's own metrics registry plus pre-resolved handles for every
+/// series dispatch touches. Handle resolution takes the registry lock;
+/// the per-frame hot path must not, so every cell is resolved once at
+/// startup. The registry is per-server (not the process-global one) so
+/// that multiple servers in one process — the loopback test suites run
+/// several — each report exactly their own traffic, and the `metrics`
+/// verb's totals agree with the same server's `stats` verb.
+struct ProtoMetrics {
+    registry: MetricsRegistry,
+    verbs: Vec<(&'static str, Counter, Histogram)>,
+    requests_total: Counter,
+    deadline_skipped: Counter,
+    rejected_overloaded: Counter,
+    rejected_deadline: Counter,
+    rejected_draining: Counter,
+    sessions: Gauge,
+    session_bytes: Gauge,
+    inflight: Gauge,
+    queued: Gauge,
+    connections_open: Gauge,
+}
+
+impl ProtoMetrics {
+    fn new() -> ProtoMetrics {
+        let registry = MetricsRegistry::new();
+        let verbs = VERB_LABELS
+            .iter()
+            .map(|&v| {
+                (
+                    v,
+                    registry.counter(
+                        "gts_serve_frames_total",
+                        "Frames dispatched, by protocol verb",
+                        &[("verb", v)],
+                    ),
+                    registry.histogram(
+                        "gts_serve_frame_micros",
+                        "Frame dispatch latency by protocol verb (microseconds)",
+                        &[("verb", v)],
+                    ),
+                )
+            })
+            .collect();
+        let rejected = |reason| {
+            registry.counter(
+                "gts_serve_rejected_total",
+                "Analyze frames refused by admission control, by reason",
+                &[("reason", reason)],
+            )
+        };
+        let gauge = |name, help| registry.gauge(name, help, &[]);
+        ProtoMetrics {
+            requests_total: registry.counter(
+                "gts_serve_requests_total",
+                "Analysis requests carried by analyze frames (skipped ones included)",
+                &[],
+            ),
+            deadline_skipped: registry.counter(
+                "gts_serve_deadline_skipped_total",
+                "Requests skipped because their frame's deadline had passed",
+                &[],
+            ),
+            rejected_overloaded: rejected("overloaded"),
+            rejected_deadline: rejected("deadline"),
+            rejected_draining: rejected("draining"),
+            sessions: gauge("gts_serve_sessions", "Resident analysis sessions (scrape-time)"),
+            session_bytes: gauge(
+                "gts_serve_session_bytes",
+                "Approximate bytes held by resident sessions (scrape-time)",
+            ),
+            inflight: gauge("gts_serve_inflight", "Analyses holding an admission slot"),
+            queued: gauge("gts_serve_queued", "Analyses waiting for an admission slot"),
+            connections_open: gauge("gts_serve_connections_open", "Open client connections"),
+            registry,
+            verbs,
+        }
+    }
+
+    /// The pre-resolved (counter, histogram) cell for `label`, which must
+    /// be one of [`VERB_LABELS`] (dispatch maps every frame onto one).
+    fn verb(&self, label: &str) -> (&Counter, &Histogram) {
+        let (_, c, h) = self
+            .verbs
+            .iter()
+            .find(|(v, _, _)| *v == label)
+            .unwrap_or_else(|| panic!("unregistered verb label `{label}`"));
+        (c, h)
+    }
+
+    /// Maps a frame's `op` onto its metrics label (`unknown` for verbs
+    /// the server does not speak).
+    fn verb_label(&self, op: &str) -> &'static str {
+        VERB_LABELS[..9].iter().find(|&&v| v == op).copied().unwrap_or("unknown")
     }
 }
 
@@ -121,6 +242,7 @@ struct Shared {
     deadline_skipped: AtomicU64,
     errors_total: AtomicU64,
     flushes_total: AtomicU64,
+    obs: ProtoMetrics,
 }
 
 impl Shared {
@@ -169,6 +291,7 @@ impl Server {
             deadline_skipped: AtomicU64::new(0),
             errors_total: AtomicU64::new(0),
             flushes_total: AtomicU64::new(0),
+            obs: ProtoMetrics::new(),
         });
         let acceptor = {
             let shared = Arc::clone(&shared);
@@ -359,33 +482,60 @@ enum Control {
     Shutdown,
 }
 
+/// Validates a frame's envelope, routes it to its verb handler, and
+/// applies the cross-cutting protocol features: per-verb metrics, `id`
+/// echo, the `trace` span tree, and the slow-request log. Every frame
+/// that [`handle_connection`] counted in `frames_total` goes through
+/// here exactly once, so the per-verb counters tile `frames_total`.
 fn dispatch(shared: &Shared, raw: &str) -> (Json, Control) {
+    let start = Instant::now();
     let frame = match Json::parse(raw) {
-        Ok(f) => f,
+        Ok(f) if f.get("op").is_some() || f.get("v").is_some() => f,
+        Ok(_) => {
+            let r =
+                proto::error_frame(None, proto::BAD_FRAME, "expected an object with `v` and `op`");
+            return finish_frame(shared, "invalid", None, None, start, r, Control::Continue);
+        }
         Err(e) => {
-            return (proto::error_frame(None, proto::BAD_FRAME, e.to_string()), Control::Continue)
+            let r = proto::error_frame(None, proto::BAD_FRAME, e.to_string());
+            return finish_frame(shared, "invalid", None, None, start, r, Control::Continue);
         }
     };
-    if frame.get("op").is_none() && frame.get("v").is_none() {
-        return (
-            proto::error_frame(None, proto::BAD_FRAME, "expected an object with `v` and `op`"),
-            Control::Continue,
-        );
-    }
     let op = frame.get("op").and_then(Json::as_str).unwrap_or_default().to_owned();
+    let id = frame.get("id").cloned();
     match frame.get("v").and_then(Json::as_i64) {
         Some(v) if v == PROTO_VERSION => {}
         other => {
             let msg = format!(
                 "this server speaks protocol version {PROTO_VERSION}, frame carries {other:?}"
             );
-            return (
-                proto::error_frame(Some(&op), proto::UNSUPPORTED_VERSION, msg),
-                Control::Continue,
-            );
+            let r = proto::error_frame(Some(&op), proto::UNSUPPORTED_VERSION, msg);
+            return finish_frame(shared, "invalid", id, None, start, r, Control::Continue);
         }
     }
-    match op.as_str() {
+    let verb = shared.obs.verb_label(&op);
+    // One span collector serves both consumers: the response's `trace`
+    // field (client asked) and the slow log's span breakdown (server
+    // configured). Installing it only on demand keeps untraced frames on
+    // the inert thread-local path.
+    let want_trace = frame.get("trace").and_then(Json::as_bool) == Some(true);
+    let ((mut response, control), tree) = if want_trace || shared.cfg.slow_ms.is_some() {
+        let (out, tree) = gts_obs::trace("frame", || route(shared, &op, &frame));
+        (out, Some(tree))
+    } else {
+        (route(shared, &op, &frame), None)
+    };
+    if want_trace {
+        if let Some(tree) = &tree {
+            response.set("trace", span_tree_json(tree));
+        }
+    }
+    finish_frame(shared, verb, id, tree, start, response, control)
+}
+
+/// Routes one validated frame to its verb handler.
+fn route(shared: &Shared, op: &str, frame: &Json) -> (Json, Control) {
+    match op {
         "ping" => {
             let mut r = proto::ok_frame("ping");
             r.set("proto", PROTO_VERSION)
@@ -393,11 +543,12 @@ fn dispatch(shared: &Shared, raw: &str) -> (Json, Control) {
             (r, Control::Continue)
         }
         "stats" => (stats_frame(shared), Control::Continue),
-        "load_schema" => (load_schema(shared, &frame), Control::Continue),
-        "analyze" => (analyze(shared, &frame), Control::Continue),
-        "evict" => (evict(shared, &frame), Control::Continue),
-        "cache_export" => (cache_export(shared, &frame), Control::Continue),
-        "cache_import" => (cache_import(shared, &frame), Control::Continue),
+        "metrics" => (metrics_frame(shared, frame), Control::Continue),
+        "load_schema" => (load_schema(shared, frame), Control::Continue),
+        "analyze" => (analyze(shared, frame), Control::Continue),
+        "evict" => (evict(shared, frame), Control::Continue),
+        "cache_export" => (cache_export(shared, frame), Control::Continue),
+        "cache_import" => (cache_import(shared, frame), Control::Continue),
         "shutdown" => {
             let mut r = proto::ok_frame("shutdown");
             r.set("draining", true);
@@ -408,6 +559,85 @@ fn dispatch(shared: &Shared, raw: &str) -> (Json, Control) {
             Control::Continue,
         ),
     }
+}
+
+/// The common tail of every dispatch path: echo the request `id`, record
+/// the per-verb counter/histogram cell, and emit the slow-request log
+/// line when the frame crossed the configured threshold.
+fn finish_frame(
+    shared: &Shared,
+    verb: &str,
+    id: Option<Json>,
+    tree: Option<SpanNode>,
+    start: Instant,
+    mut response: Json,
+    control: Control,
+) -> (Json, Control) {
+    let elapsed = start.elapsed();
+    if let Some(ms) = shared.cfg.slow_ms {
+        if elapsed >= Duration::from_millis(ms) {
+            let mut line = Json::obj();
+            line.set("slow_request", true)
+                .set("op", verb)
+                .set("micros", elapsed.as_micros() as u64);
+            if let Some(id) = &id {
+                line.set("id", id.clone());
+            }
+            if let Some(tree) = &tree {
+                line.set("spans", span_tree_json(tree));
+            }
+            eprintln!("{}", line.compact());
+        }
+    }
+    if let Some(id) = id {
+        response.set("id", id);
+    }
+    let (counter, hist) = shared.obs.verb(verb);
+    counter.inc();
+    hist.record(elapsed.as_micros() as u64);
+    (response, control)
+}
+
+/// Renders a span tree as a JSON object (`name`, `micros`, `count`,
+/// recursive `children`).
+fn span_tree_json(node: &SpanNode) -> Json {
+    let mut obj = Json::obj();
+    obj.set("name", node.name.as_str()).set("micros", node.micros).set("count", node.count);
+    if !node.children.is_empty() {
+        obj.set("children", Json::Arr(node.children.iter().map(span_tree_json).collect()));
+    }
+    obj
+}
+
+/// The `metrics` verb: render this server's registry merged with the
+/// process-global one (oracle, executor, and engine series live there)
+/// in Prometheus text exposition (default) or the JSON mirror. Gauges
+/// are synced at scrape time rather than maintained on every
+/// transition.
+fn metrics_frame(shared: &Shared, frame: &Json) -> Json {
+    let reg = shared.registry.stats();
+    shared.obs.sessions.set(reg.sessions as i64);
+    shared.obs.session_bytes.set(reg.approx_bytes as i64);
+    let adm = shared.admission.stats();
+    shared.obs.inflight.set(adm.inflight as i64);
+    shared.obs.queued.set(adm.queued as i64);
+    shared.obs.connections_open.set(shared.connections_open.load(Ordering::SeqCst) as i64);
+    let regs: [&MetricsRegistry; 2] = [&shared.obs.registry, gts_obs::global()];
+    let format = frame.get("format").and_then(Json::as_str).unwrap_or("prometheus");
+    let body = match format {
+        "prometheus" => gts_obs::render_prometheus(&regs),
+        "json" => gts_obs::render_json(&regs),
+        other => {
+            return proto::error_frame(
+                Some("metrics"),
+                proto::BAD_REQUEST,
+                format!("unknown format `{other}` (expected `prometheus` or `json`)"),
+            )
+        }
+    };
+    let mut r = proto::ok_frame("metrics");
+    r.set("format", format).set("body", body);
+    r
 }
 
 /// The uniform statistics document: session registry, admission
@@ -446,7 +676,10 @@ fn stats_frame(shared: &Shared) -> Json {
         .set("max_inflight", shared.admission.config().max_inflight)
         .set("max_queue", shared.admission.config().max_queue);
     r.set("admission", admission);
-    r.set("oracle", oracle_json(&shared.registry.oracle_stats()));
+    r.set(
+        "oracle",
+        gts_engine::snapshot_to_json(&gts_engine::oracle_snapshot(&shared.registry.oracle_stats())),
+    );
     let mut server = Json::obj();
     server
         .set("uptime_micros", shared.started.elapsed().as_micros() as u64)
@@ -462,23 +695,6 @@ fn stats_frame(shared: &Shared) -> Json {
     r
 }
 
-/// Renders oracle-cache statistics (shared shape with `gts batch`).
-pub fn oracle_json(oracle: &gts_core::containment::OracleCacheStats) -> Json {
-    let mut o = Json::obj();
-    o.set("decides", oracle.solver.decides)
-        .set("solver_cache_hits", oracle.solver.cache_hits)
-        .set("solver_cache_misses", oracle.solver.cache_misses)
-        .set("solver_entries", oracle.solver.entries as u64)
-        .set("cores_tried", oracle.solver.cores_tried)
-        .set("cores_deduped", oracle.solver.cores_deduped)
-        .set("types_interned", oracle.solver.types_interned as u64)
-        .set("realize_hits", oracle.solver.realize_hits)
-        .set("realize_misses", oracle.solver.realize_misses)
-        .set("completion_hits", oracle.completion_hits)
-        .set("completion_misses", oracle.completion_misses);
-    o
-}
-
 /// Resolves the frame's `.gts` text, source schema, and engine options;
 /// shared by `load_schema` and `analyze`.
 fn resolve_source(
@@ -490,8 +706,11 @@ fn resolve_source(
         .get("gts")
         .and_then(Json::as_str)
         .ok_or_else(|| proto::error_frame(Some(op), proto::BAD_FRAME, "missing `gts` text"))?;
-    let compiled = (shared.frontend.compile)(gts)
-        .map_err(|e| proto::error_frame(Some(op), proto::COMPILE_ERROR, e))?;
+    let compiled = {
+        let _span = gts_obs::span("parse");
+        (shared.frontend.compile)(gts)
+            .map_err(|e| proto::error_frame(Some(op), proto::COMPILE_ERROR, e))?
+    };
     let source_key = if op == "load_schema" { "schema" } else { "source" };
     let source_idx = match frame.get(source_key).and_then(Json::as_str) {
         Some(name) => compiled.schemas.iter().position(|(n, _)| n == name).ok_or_else(|| {
@@ -533,8 +752,10 @@ fn load_schema(shared: &Shared, frame: &Json) -> Json {
     };
     let schema = compiled.schemas[idx].1.clone();
     let vocab = compiled.vocab;
+    let _span = gts_obs::span("session_checkout");
     let (_, hit) =
         shared.registry.checkout(fp, &key, || AnalysisSession::with_options(schema, vocab, opts));
+    drop(_span);
     let mut r = proto::ok_frame("load_schema");
     r.set("fingerprint", fp.to_string())
         .set("schema", compiled.schemas[idx].0.as_str())
@@ -719,6 +940,11 @@ fn analyze(shared: &Shared, frame: &Json) -> Json {
     let permit = match shared.admission.admit(deadline) {
         Ok(p) => p,
         Err(e) => {
+            match e {
+                crate::AdmissionError::Overloaded => shared.obs.rejected_overloaded.inc(),
+                crate::AdmissionError::DeadlineExceeded => shared.obs.rejected_deadline.inc(),
+                crate::AdmissionError::Draining => shared.obs.rejected_draining.inc(),
+            }
             return proto::error_frame(Some("analyze"), e.code(), admission_message(e));
         }
     };
@@ -730,17 +956,21 @@ fn analyze(shared: &Shared, frame: &Json) -> Json {
         }
     }
     let schema = compiled.schemas[idx].1.clone();
+    let checkout_span = gts_obs::span("session_checkout");
     let (mut session, pool_hit) = shared
         .registry
         .checkout(fp, &key, || AnalysisSession::with_options(schema, compiled.vocab.clone(), opts));
+    drop(checkout_span);
     let mut results = Vec::with_capacity(resolved.len());
     for (label, request) in resolved {
         // Count every request the frame carried — skipped ones included,
         // or `requests_total` under-reports exactly when the server is
         // pressed hardest (the moment the counters matter most).
         shared.requests_total.fetch_add(1, Ordering::Relaxed);
+        shared.obs.requests_total.inc();
         if deadline.is_some_and(|d| Instant::now() >= d) {
             shared.deadline_skipped.fetch_add(1, Ordering::Relaxed);
+            shared.obs.deadline_skipped.inc();
             let mut entry = Json::obj();
             entry.set("label", label).set("error", proto::DEADLINE_EXCEEDED).set("skipped", true);
             results.push(entry);
@@ -753,20 +983,16 @@ fn analyze(shared: &Shared, frame: &Json) -> Json {
     }
     drop(permit);
     let stats = session.stats();
-    let mut session_json = Json::obj();
-    session_json
-        .set("hits", stats.hits)
-        .set("misses", stats.misses)
-        .set("entries", stats.entries)
-        .set("approx_bytes", stats.approx_bytes)
-        .set("hit_rate", stats.hit_rate());
     let mut r = proto::ok_frame("analyze");
     r.set("fingerprint", fp.to_string())
         .set("source", compiled.schemas[idx].0.as_str())
         .set("pool", if pool_hit { "hit" } else { "miss" })
         .set("results", Json::Arr(results))
-        .set("session", session_json)
-        .set("oracle", oracle_json(&session.oracle_stats()));
+        .set("session", gts_engine::snapshot_to_json(&gts_engine::session_cache_snapshot(&stats)))
+        .set(
+            "oracle",
+            gts_engine::snapshot_to_json(&gts_engine::oracle_snapshot(&session.oracle_stats())),
+        );
     r
 }
 

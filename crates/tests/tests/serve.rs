@@ -654,3 +654,195 @@ fn concurrent_clients_share_one_resident_session() {
     assert_eq!(stats.misses, 1, "five clients reused the first client's session");
     shutdown_and_join(handle);
 }
+
+// ───────────────────── observability: metrics verb ─────────────────────
+
+#[test]
+fn metrics_verb_totals_agree_with_stats() {
+    let handle = start_default();
+    let mut client = connect(&handle);
+    for _ in 0..3 {
+        let resp = client.analyze(TINY, Some("S"), vec![proto::spec_type_check("T", "S")]).unwrap();
+        assert!(ok(&resp), "{}", resp.pretty());
+    }
+    assert!(ok(&client.ping().unwrap()));
+
+    // The stats verb counts frames at arrival, so it includes itself:
+    // 3 analyze + 1 ping + this stats frame.
+    let stats = client.stats().unwrap();
+    let server = stats.get("server").unwrap();
+    assert_eq!(server.get("frames_total").and_then(Json::as_u64), Some(5));
+    assert_eq!(server.get("requests_total").and_then(Json::as_u64), Some(3));
+
+    // Prometheus exposition: per-verb counters agree with stats (the
+    // metrics frame itself is counted after it renders, so it does not
+    // appear in its own scrape).
+    let resp = client.metrics(None).unwrap();
+    assert!(ok(&resp), "{}", resp.pretty());
+    assert_eq!(resp.get("format").and_then(Json::as_str), Some("prometheus"));
+    let body = resp.get("body").and_then(Json::as_str).unwrap();
+    assert!(body.contains("# TYPE gts_serve_frames_total counter"), "{body}");
+    assert!(body.contains("# TYPE gts_serve_frame_micros histogram"), "{body}");
+    assert!(body.contains("gts_serve_frames_total{verb=\"analyze\"} 3\n"), "{body}");
+    assert!(body.contains("gts_serve_frames_total{verb=\"ping\"} 1\n"), "{body}");
+    assert!(body.contains("gts_serve_frames_total{verb=\"stats\"} 1\n"), "{body}");
+    assert!(body.contains("gts_serve_requests_total 3\n"), "{body}");
+    assert!(body.contains("gts_serve_frame_micros_count{verb=\"analyze\"} 3\n"), "{body}");
+    assert!(
+        body.contains("gts_serve_frame_micros_bucket{verb=\"analyze\",le=\"+Inf\"} 3\n"),
+        "{body}"
+    );
+    // Scrape-time gauges: one resident session, this one open connection.
+    assert!(body.contains("gts_serve_sessions 1\n"), "{body}");
+    assert!(body.contains("gts_serve_connections_open 1\n"), "{body}");
+    // The process-global (library-layer) registries are merged in. Their
+    // counts are process-wide — tests run in parallel — so only presence
+    // is asserted.
+    assert!(body.contains("# TYPE gts_sat_decide_micros histogram"), "{body}");
+
+    // The JSON mirror carries the same families with extracted quantiles.
+    let resp = client.metrics(Some("json")).unwrap();
+    assert!(ok(&resp), "{}", resp.pretty());
+    let mirror = Json::parse(resp.get("body").and_then(Json::as_str).unwrap()).unwrap();
+    let entries = mirror.get("metrics").and_then(Json::as_arr).unwrap();
+    let analyze = entries
+        .iter()
+        .find(|e| {
+            e.get("name").and_then(Json::as_str) == Some("gts_serve_frame_micros")
+                && e.get("labels").and_then(|l| l.get("verb")).and_then(Json::as_str)
+                    == Some("analyze")
+        })
+        .expect("analyze histogram in JSON mirror");
+    assert_eq!(analyze.get("count").and_then(Json::as_u64), Some(3));
+    assert!(analyze.get("p50").and_then(Json::as_u64).is_some());
+
+    // An unknown format is refused without killing the connection.
+    let resp = client.metrics(Some("xml")).unwrap();
+    assert!(!ok(&resp));
+    assert_eq!(resp.get("error").and_then(Json::as_str), Some(proto::BAD_REQUEST));
+    assert!(ok(&client.ping().unwrap()));
+
+    shutdown_and_join(handle);
+}
+
+// ─────────────────── observability: trace and id echo ──────────────────
+
+#[test]
+fn trace_returns_a_span_tree_and_ids_echo_on_every_path() {
+    let handle = start_default();
+    let mut client = connect(&handle);
+
+    let mut f = proto::analyze_frame(TINY, Some("S"), vec![proto::spec_type_check("T", "S")]);
+    f.set("id", 42u64).set("trace", true);
+    let resp = client.roundtrip(&f).unwrap();
+    assert!(ok(&resp), "{}", resp.pretty());
+    assert_eq!(resp.get("id").and_then(Json::as_u64), Some(42));
+    let tree = resp.get("trace").expect("trace requested");
+    assert_eq!(tree.get("name").and_then(Json::as_str), Some("frame"));
+    let children = tree.get("children").and_then(Json::as_arr).unwrap_or_default();
+    let names: Vec<&str> =
+        children.iter().filter_map(|c| c.get("name").and_then(Json::as_str)).collect();
+    assert!(names.contains(&"parse"), "span tree decomposes the frame: {names:?}");
+    assert!(names.contains(&"session_checkout"), "{names:?}");
+
+    // Without `trace` the response stays lean.
+    let resp = client.analyze(TINY, Some("S"), vec![proto::spec_type_check("T", "S")]).unwrap();
+    assert!(resp.get("trace").is_none());
+
+    // Ids echo on error paths too: unknown verb…
+    let mut bogus = Json::obj();
+    bogus.set("v", 1u64).set("op", "frobnicate").set("id", "req-9");
+    let resp = client.roundtrip(&bogus).unwrap();
+    assert!(!ok(&resp));
+    assert_eq!(resp.get("error").and_then(Json::as_str), Some(proto::UNKNOWN_OP));
+    assert_eq!(resp.get("id").and_then(Json::as_str), Some("req-9"));
+
+    // …and version mismatches (the id is read before the frame is refused).
+    let mut stale = Json::obj();
+    stale.set("v", 99u64).set("op", "ping").set("id", 7u64);
+    let resp = client.roundtrip(&stale).unwrap();
+    assert!(!ok(&resp));
+    assert_eq!(resp.get("error").and_then(Json::as_str), Some(proto::UNSUPPORTED_VERSION));
+    assert_eq!(resp.get("id").and_then(Json::as_u64), Some(7));
+
+    shutdown_and_join(handle);
+}
+
+// ─────────── observability: admission counters in both surfaces ────────
+
+#[test]
+fn deadline_skips_are_visible_in_stats_and_metrics() {
+    let handle = start(ServerConfig { allow_linger: true, ..Default::default() });
+    let mut client = connect(&handle);
+    let mut f = proto::analyze_frame(
+        TINY,
+        Some("S"),
+        vec![proto::spec_type_check("T", "S"), proto::spec_elicit("T")],
+    );
+    f.set("linger_ms", 300u64).set("deadline_ms", 50u64);
+    let resp = client.roundtrip(&f).unwrap();
+    assert!(ok(&resp), "{}", resp.pretty());
+
+    let stats = client.stats().unwrap();
+    let server = stats.get("server").unwrap();
+    assert_eq!(server.get("requests_total").and_then(Json::as_u64), Some(2));
+    assert_eq!(server.get("deadline_skipped").and_then(Json::as_u64), Some(2));
+
+    let resp = client.metrics(None).unwrap();
+    let body = resp.get("body").and_then(Json::as_str).unwrap();
+    assert!(body.contains("gts_serve_requests_total 2\n"), "{body}");
+    assert!(body.contains("gts_serve_deadline_skipped_total 2\n"), "{body}");
+
+    shutdown_and_join(handle);
+}
+
+#[test]
+fn overload_rejections_are_visible_in_stats_and_metrics() {
+    let handle = start(ServerConfig {
+        admission: AdmissionConfig { max_inflight: 1, max_queue: 0 },
+        allow_linger: true,
+        ..Default::default()
+    });
+    let addr = handle.addr();
+    let slow = std::thread::spawn(move || {
+        let mut a = Client::connect(addr).unwrap();
+        a.roundtrip(&lingering_frame(1200)).unwrap()
+    });
+    let mut b = connect(&handle);
+    let t0 = Instant::now();
+    while handle.admission().stats().inflight == 0 {
+        assert!(t0.elapsed() < Duration::from_secs(5), "A never got admitted");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let resp = b.roundtrip(&lingering_frame(0)).unwrap();
+    assert_eq!(resp.get("error").and_then(Json::as_str), Some(proto::OVERLOADED));
+
+    let stats = b.stats().unwrap();
+    let admission = stats.get("admission").unwrap();
+    assert_eq!(admission.get("rejected_overloaded").and_then(Json::as_u64), Some(1));
+    let resp = b.metrics(None).unwrap();
+    let body = resp.get("body").and_then(Json::as_str).unwrap();
+    assert!(body.contains("gts_serve_rejected_total{reason=\"overloaded\"} 1\n"), "{body}");
+
+    assert!(ok(&slow.join().unwrap()));
+    shutdown_and_join(handle);
+}
+
+// ──────────────────── observability: slow-request log ──────────────────
+
+#[test]
+fn slow_ms_zero_flags_every_frame_without_disturbing_responses() {
+    // `slow_ms: 0` logs every frame to stderr (captured by the harness) —
+    // the point here is that the logging path, which installs a trace
+    // collector even when the client asked for none, changes nothing
+    // about the protocol surface.
+    let handle = start(ServerConfig { slow_ms: Some(0), ..Default::default() });
+    let mut client = connect(&handle);
+    let resp = client.analyze(TINY, Some("S"), vec![proto::spec_type_check("T", "S")]).unwrap();
+    assert!(ok(&resp), "{}", resp.pretty());
+    assert!(resp.get("trace").is_none(), "trace only appears when requested");
+    let resp = client.metrics(None).unwrap();
+    let body = resp.get("body").and_then(Json::as_str).unwrap();
+    assert!(body.contains("gts_serve_frames_total{verb=\"analyze\"} 1\n"), "{body}");
+    shutdown_and_join(handle);
+}
