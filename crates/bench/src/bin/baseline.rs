@@ -21,7 +21,13 @@
 //! cargo run --release -p gts-bench --bin baseline -- a.json b.json   # custom paths
 //! cargo run --release -p gts-bench --bin baseline -- --quick         # CI smoke mode
 //! cargo run --release -p gts-bench --bin baseline -- --family fhir   # one corpus family
+//! cargo run --release -p gts-bench --bin baseline -- --scale         # + million-node builds
 //! ```
+//!
+//! `BENCH_exec.json` also carries a **delta** section (incremental
+//! `apply_delta` vs full re-execution, agreement-checked) and — under
+//! `--scale` — a **scale** section (serial vs chunked million-node index
+//! builds with peak RSS and the memory-budget gate).
 
 use gts_bench::{fig2, medical, medical_instance};
 use gts_core::containment::OracleCache;
@@ -193,12 +199,201 @@ fn disk_cache_section(reps: usize) -> Json {
     e
 }
 
+/// Peak resident set size so far (`VmHWM` from `/proc/self/status`), in
+/// bytes; `0` where procfs is unavailable.
+fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else { return 0 };
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .and_then(|v| v.trim().strip_suffix("kB"))
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .map(|kb| kb * 1024)
+        .unwrap_or(0)
+}
+
+/// Million-node index builds: serial vs chunked CSR construction on the
+/// medical chain family at 100k–3M nodes, with the predicted footprint
+/// (`approx_bytes`), the observed peak RSS, a budget-gate check (a
+/// budget of half the prediction must refuse to build), and a sampled
+/// adjacency comparison between the serial- and chunked-built indexes.
+/// Enabled by `--scale` (the graphs alone take hundreds of MB).
+fn scale_section(quick: bool) -> Json {
+    let m = medical();
+    let chain_len = 8;
+    let sizes: &[usize] = if quick { &[10_000] } else { &[100_000, 300_000] };
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut rows = Vec::new();
+    for &chains in sizes {
+        let (g, gen_micros) = timed(|| medical_instance(&m, chains, chain_len));
+        let serial_opts = gts_exec::IndexBuildOptions { threads: 1, ..Default::default() };
+        let (serial_idx, serial_micros) =
+            timed(|| gts_exec::IndexedGraph::try_build_with(&g, &serial_opts).expect("build"));
+        let chunked_opts = gts_exec::IndexBuildOptions::default();
+        let (chunked_idx, chunked_micros) =
+            timed(|| gts_exec::IndexedGraph::try_build_with(&g, &chunked_opts).expect("build"));
+        let approx = serial_idx.approx_bytes();
+        // The budget gate must refuse before allocating: half the real
+        // footprint can never fit.
+        let tight = gts_exec::IndexBuildOptions { budget_bytes: Some(approx / 2), threads: 1 };
+        let budget_enforced = matches!(
+            gts_exec::IndexedGraph::try_build_with(&g, &tight),
+            Err(gts_exec::IndexError::BudgetExceeded { .. })
+        );
+        // Sampled adjacency parity between the two builds: every label,
+        // both directions, every 101st node.
+        let mut agree = serial_idx.num_nodes() == chunked_idx.num_nodes();
+        for label in m.vocab.edge_labels() {
+            for sym in [EdgeSym::fwd(label), EdgeSym::bwd(label)] {
+                for u in (0..g.num_nodes() as u32).step_by(101) {
+                    agree &= serial_idx.successors(u, sym) == chunked_idx.successors(u, sym);
+                }
+            }
+        }
+        let peak_rss = peak_rss_bytes();
+        let mut e = Json::obj();
+        e.set("chains", chains)
+            .set("chain_len", chain_len)
+            .set("nodes", g.num_nodes())
+            .set("edges", g.num_edges())
+            .set("generate_micros", gen_micros)
+            .set("serial_build_micros", serial_micros)
+            .set("chunked_build_micros", chunked_micros)
+            .set("chunked_speedup", ratio(serial_micros, chunked_micros))
+            .set("index_approx_bytes", approx as u64)
+            .set("budget_enforced", budget_enforced)
+            .set("builds_agree", agree)
+            .set("peak_rss_bytes", peak_rss);
+        println!(
+            "scale {:>8} nodes: build serial {serial_micros:>8}us vs chunked {chunked_micros:>8}us \
+             ({:>4.1}x, {cores} cores) | index ~{:.1} MB | peak RSS {:.1} MB | budget gate {} | \
+             agree {agree}",
+            g.num_nodes(),
+            ratio(serial_micros, chunked_micros),
+            approx as f64 / 1e6,
+            peak_rss as f64 / 1e6,
+            budget_enforced,
+        );
+        assert!(agree, "serial and chunked index builds must produce identical adjacency");
+        assert!(budget_enforced, "the memory budget gate must refuse an impossible budget");
+        rows.push(e);
+    }
+    let mut e = Json::obj();
+    e.set("workload", "medical chain instances (scale sweep; indexes built serial vs chunked)")
+        .set("measured_parallelism", cores as u64)
+        .set(
+            "note",
+            "chunked-vs-serial speedup requires >1 core; auto thread resolution stays serial \
+             under 65536 edges and on single-core hosts",
+        )
+        .set("sizes", Json::Arr(rows));
+    e
+}
+
+/// Incremental delta execution vs full re-execution: on a medical chain
+/// instance, rewire k crossReacting edges (k from one edge up to ~1% of
+/// the graph) and compare patching the previous output through
+/// `Incremental::apply_delta` against re-running `execute_with` on the
+/// patched graph. Every row checks the patched output graph is
+/// identical to the full re-execution before timing is trusted.
+fn delta_section(quick: bool, reps: usize) -> Json {
+    use gts_core::graph::GraphDelta;
+    let m = medical();
+    let chain_len = 8;
+    let chains = if quick { 256 } else { 4096 };
+    let g = medical_instance(&m, chains, chain_len);
+    let cr = m.vocab.find_edge_label("crossReacting").expect("fixture label");
+    let per_chain = 2 + chain_len;
+    // Antigen j of chain c (j < chain_len).
+    let antigen = |c: usize, j: usize| NodeId((c * per_chain + 2 + j) as u32);
+    // Rewire chain c: cut a2 -> a3, splice a2 -> a4 (a3 drops out of the
+    // targets relation, a4.. stay reachable).
+    let rewire = |k: usize| {
+        let mut d = GraphDelta::default();
+        for c in 0..k {
+            d.removed_edges.push((antigen(c, 2), cr, antigen(c, 3)));
+            d.added_edges.push((antigen(c, 2), cr, antigen(c, 4)));
+        }
+        d
+    };
+    let unwire = |k: usize| {
+        let mut d = GraphDelta::default();
+        for c in 0..k {
+            d.removed_edges.push((antigen(c, 2), cr, antigen(c, 4)));
+            d.added_edges.push((antigen(c, 2), cr, antigen(c, 3)));
+        }
+        d
+    };
+    // Each rewired chain touches 2 edges; the sweep tops out at 1% of
+    // the graph's edges (the regime the incremental path is for).
+    let edges = g.num_edges();
+    let mut ks = vec![1, (edges / 2000).max(2), (edges / 200).max(3)];
+    ks.dedup();
+    let inline = ExecOptions { threads: 1, ..Default::default() };
+    let mut inc = gts_exec::Incremental::new(&m.t0, &g);
+    let mut rows = Vec::new();
+    for k in ks {
+        let delta = rewire(k);
+        let inverse = unwire(k);
+        // Timed incremental patches; each rep undoes itself so every
+        // rep patches the same base state.
+        let mut incremental_micros = u64::MAX;
+        let mut strategy = gts_exec::DeltaStrategy::Incremental;
+        let mut outcome = gts_exec::DeltaOutcome::default();
+        for _ in 0..reps.max(1) {
+            let (o, us) = timed(|| inc.apply_delta(&delta).expect("delta applies"));
+            if us < incremental_micros {
+                incremental_micros = us;
+                strategy = o.strategy;
+                outcome = o;
+            }
+            inc.apply_delta(&inverse).expect("inverse applies");
+        }
+        // Agreement: leave the delta applied, compare against a full
+        // execution of the patched graph, then restore.
+        let mut patched = g.clone();
+        delta.apply_in_place(&mut patched).expect("delta applies to the graph");
+        inc.apply_delta(&delta).expect("delta applies");
+        let (full_out, full_micros) = best_of(reps, || execute_with(&m.t0, &patched, &inline));
+        let inc_out = inc.output_graph();
+        let agree = inc_out.num_nodes() == full_out.num_nodes()
+            && inc_out.edges().collect::<Vec<_>>() == full_out.edges().collect::<Vec<_>>();
+        inc.apply_delta(&inverse).expect("inverse applies");
+        let mut e = Json::obj();
+        e.set("delta_edges", 2 * k)
+            .set("delta_fraction_of_edges", 2.0 * k as f64 / edges as f64)
+            .set("strategy", format!("{strategy:?}"))
+            .set("affected_sources", outcome.affected_sources as u64)
+            .set("facts_added", outcome.facts_added as u64)
+            .set("facts_removed", outcome.facts_removed as u64)
+            .set("incremental_micros", incremental_micros)
+            .set("full_micros", full_micros)
+            .set("incremental_speedup", ratio(full_micros, incremental_micros))
+            .set("outputs_agree", agree);
+        println!(
+            "delta {:>6} edges ({:>5.2}% of {edges}): incremental {incremental_micros:>8}us vs \
+             full {full_micros:>8}us ({:>5.1}x, {strategy:?}) | agree {agree}",
+            2 * k,
+            200.0 * k as f64 / edges as f64,
+            ratio(full_micros, incremental_micros),
+        );
+        assert!(agree, "incremental and full execution must agree");
+        rows.push(e);
+    }
+    let mut e = Json::obj();
+    e.set("workload", "medical chains: rewire k crossReacting edges, patch vs re-execute")
+        .set("nodes", g.num_nodes())
+        .set("edges", edges)
+        .set("sizes", Json::Arr(rows));
+    e
+}
+
 /// Naive vs indexed execution of `T0` on the RPQ-heavy medical instance
 /// family, across instance sizes. Three comparisons per size: rule-body
 /// evaluation alone, end-to-end single-threaded execution, and the
 /// auto-threaded executor whose work-size cutoff keeps small instances
 /// inline (`auto_sharded` reports whether the cutoff let it shard).
-fn exec_report(out_path: &str, quick: bool) {
+fn exec_report(out_path: &str, quick: bool, scale: bool) {
     let m = medical();
     let chain_len = 8;
     let reps = if quick { 1 } else { 3 };
@@ -267,25 +462,34 @@ fn exec_report(out_path: &str, quick: bool) {
         rows.push(e);
     }
     let parallelism = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let measured = gts_exec::parallel_cutoff();
     let mut cutoff = Json::obj();
     cutoff
-        .set("min_parallel_work", gts_exec::DEFAULT_MIN_PARALLEL_WORK as u64)
+        .set("min_parallel_work", measured.min_parallel_work as u64)
+        .set("default_min_parallel_work", gts_exec::DEFAULT_MIN_PARALLEL_WORK as u64)
+        .set("spawn_overhead_micros", measured.spawn_overhead_micros)
+        .set("eval_nanos_per_element", measured.eval_nanos_per_element)
+        .set("cores", measured.cores as u64)
         .set("work_metric", "rules * (nodes + edges)")
         .set("measured_parallelism", parallelism as u64)
         .set(
             "policy",
-            "execute() shards across threads only when the estimated work clears the cutoff \
-             AND the host has >1 core; the pre-cutoff bench showed the sharded pool slower \
-             than inline at every size on this host (auto_sharded reports what auto mode did \
-             here — single-core hosts never shard)",
+            "execute() shards across threads only when the estimated work clears the measured \
+             cutoff (spawn overhead vs evaluation throughput, probed once per process) AND the \
+             host has >1 core (auto_sharded reports what auto mode did here — single-core hosts \
+             never shard)",
         );
     let mut doc = Json::obj();
-    doc.set("schema_version", 2u64)
+    doc.set("schema_version", 3u64)
         .set("generated_by", "gts-bench baseline (exec comparison)")
         .set("transformation", "medical T0 (Example 4.1)")
         .set("workload", "crossReacting chains; targets = designTarget.crossReacting*")
         .set("parallel_cutoff", cutoff)
         .set("sizes", Json::Arr(rows));
+    doc.set("delta", delta_section(quick, if quick { 1 } else { 3 }));
+    if scale {
+        doc.set("scale", scale_section(quick));
+    }
     std::fs::write(out_path, doc.pretty())
         .unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
     println!("wrote {out_path}");
@@ -349,6 +553,7 @@ fn family_section(families: &[Family], params: &Params, reps: usize) -> Json {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let scale = args.iter().any(|a| a == "--scale");
     let family_filter = args
         .iter()
         .position(|a| a == "--family")
@@ -551,5 +756,5 @@ fn main() {
         .unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
     println!("wrote {out_path}");
 
-    exec_report(&exec_path, quick);
+    exec_report(&exec_path, quick, scale);
 }

@@ -19,7 +19,7 @@
 //! (the round-trip tests below and the CLI suite enforce this).
 
 use crate::parse::NamedGraph;
-use gts_core::graph::{Graph, NodeId, NodeLabel, Vocab};
+use gts_core::graph::{Graph, GraphDelta, LabelSet, NodeId, NodeLabel, Vocab};
 use std::collections::HashMap;
 
 /// Parses the instance format. Node and edge labels are interned into
@@ -79,6 +79,111 @@ pub fn parse_instance(src: &str, vocab: &mut Vocab) -> Result<NamedGraph, String
         }
     }
     Ok(NamedGraph { graph, names })
+}
+
+/// Parses the on-disk graph-delta format (`gts run --delta FILE`, the
+/// `delta` protocol verb) against an already-parsed instance. One
+/// operation per line, names resolved against the instance's node names:
+///
+/// ```text
+/// # Blank lines and `#` comments are ignored.
+/// add node a4 Antigen       # fresh node (the name must be new)
+/// del node a1               # tombstone: labels and incident edges go
+/// add edge a2 crossReacting a4
+/// del edge v1 designTarget a1
+/// add label a2 Covered      # node-label changes
+/// del label a2 Antigen
+/// ```
+///
+/// Fresh nodes are appended to `named.names` (ids continue after the
+/// instance's, matching [`GraphDelta`]'s application order), so later
+/// lines — and the caller's output rendering — can refer to them.
+pub fn parse_delta(
+    src: &str,
+    vocab: &mut Vocab,
+    named: &mut NamedGraph,
+) -> Result<GraphDelta, String> {
+    let mut by_name: HashMap<String, NodeId> =
+        named.names.iter().map(|(n, id)| (n.clone(), *id)).collect();
+    let mut delta = GraphDelta::default();
+    let first_new = named.graph.num_nodes() as u32;
+    for (i, raw_line) in src.lines().enumerate() {
+        let line = raw_line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let lineno = i + 1;
+        let mut words = line.split_whitespace();
+        let op = match (words.next(), words.next()) {
+            (Some(verb @ ("add" | "del")), Some(what)) => (verb, what),
+            _ => return Err(format!("line {lineno}: expected `add|del node|edge|label ...`")),
+        };
+        let mut field = |what: &str| {
+            words
+                .next()
+                .map(str::to_owned)
+                .ok_or_else(|| format!("line {lineno}: `{} {}` needs {what}", op.0, op.1))
+        };
+        match op {
+            ("add", "node") => {
+                let name = field("a name")?;
+                if by_name.contains_key(&name) {
+                    return Err(format!("line {lineno}: node `{name}` already exists"));
+                }
+                let id = NodeId(first_new + delta.added_nodes.len() as u32);
+                let labels = LabelSet::from_iter(words.by_ref().map(|l| vocab.node_label(l).0));
+                delta.added_nodes.push(labels);
+                by_name.insert(name.clone(), id);
+                named.names.push((name, id));
+            }
+            ("add" | "del", "edge") => {
+                let src_name = field("a source node")?;
+                let label = field("an edge label")?;
+                let tgt_name = field("a target node")?;
+                let resolve = |n: &str| {
+                    by_name
+                        .get(n)
+                        .copied()
+                        .ok_or_else(|| format!("line {lineno}: undeclared node `{n}`"))
+                };
+                let e = (resolve(&src_name)?, vocab.edge_label(&label), resolve(&tgt_name)?);
+                if op.0 == "add" {
+                    delta.added_edges.push(e);
+                } else {
+                    delta.removed_edges.push(e);
+                }
+            }
+            ("del", "node") => {
+                let name = field("a name")?;
+                let id = *by_name
+                    .get(&name)
+                    .ok_or_else(|| format!("line {lineno}: undeclared node `{name}`"))?;
+                delta.removed_nodes.push(id);
+            }
+            ("add" | "del", "label") => {
+                let name = field("a node")?;
+                let label = field("a node label")?;
+                let id = *by_name
+                    .get(&name)
+                    .ok_or_else(|| format!("line {lineno}: undeclared node `{name}`"))?;
+                let l = vocab.node_label(&label);
+                if op.0 == "add" {
+                    delta.added_labels.push((id, l));
+                } else {
+                    delta.removed_labels.push((id, l));
+                }
+            }
+            (verb, what) => {
+                return Err(format!(
+                    "line {lineno}: unknown operation `{verb} {what}` (expected node|edge|label)"
+                ))
+            }
+        }
+        if let Some(extra) = words.next() {
+            return Err(format!("line {lineno}: unexpected trailing `{extra}`"));
+        }
+    }
+    Ok(delta)
 }
 
 /// Renders a named graph in the instance format (canonical: nodes in
@@ -219,6 +324,58 @@ edge a1 crossReacting a2
         let r2 = v2.find_edge_label("r").unwrap();
         let (user, fresh) = (re.names[0].1, re.names[1].1);
         assert!(re.graph.has_edge(fresh, r2, user), "{printed}");
+    }
+
+    const SAMPLE_DELTA: &str = "\
+# splice a node in, cut the old chain
+add node a3 Antigen Covered
+add edge a2 crossReacting a3
+del edge a1 crossReacting a2
+del label a2 Covered
+add label a1 Covered
+del node x
+";
+
+    #[test]
+    fn parses_deltas_against_instance_names() {
+        let mut vocab = Vocab::new();
+        let mut g = parse_instance(SAMPLE, &mut vocab).unwrap();
+        let base_nodes = g.graph.num_nodes();
+        let delta = parse_delta(SAMPLE_DELTA, &mut vocab, &mut g).unwrap();
+        assert_eq!(delta.added_nodes.len(), 1);
+        assert_eq!(delta.added_nodes[0].len(), 2);
+        assert_eq!(delta.added_edges.len(), 1);
+        assert_eq!(delta.removed_edges.len(), 1);
+        assert_eq!(delta.added_labels.len(), 1);
+        assert_eq!(delta.removed_labels.len(), 1);
+        assert_eq!(delta.removed_nodes, vec![g.names[3].1]);
+        // The fresh node got the next id and is name-addressable.
+        let (name, id) = g.names.last().unwrap();
+        assert_eq!((name.as_str(), id.0), ("a3", base_nodes as u32));
+        assert_eq!(delta.added_edges[0].2, *id);
+        // The delta applies cleanly to the instance it was parsed against.
+        let mut patched = g.graph.clone();
+        delta.apply_in_place(&mut patched).unwrap();
+        assert_eq!(patched.num_nodes(), base_nodes + 1);
+    }
+
+    #[test]
+    fn delta_errors_carry_line_numbers() {
+        let mut vocab = Vocab::new();
+        for (src, needle) in [
+            ("tweak a", "line 1: expected `add|del"),
+            ("add blob a r b", "unknown operation `add blob`"),
+            ("add node v1", "node `v1` already exists"),
+            ("del node ghost", "undeclared node `ghost`"),
+            ("add edge v1 r ghost", "undeclared node `ghost`"),
+            ("del edge v1 designTarget", "needs a target"),
+            ("add label a1", "needs a node label"),
+            ("del edge v1 designTarget a1 extra", "trailing `extra`"),
+        ] {
+            let mut g = parse_instance(SAMPLE, &mut vocab).unwrap();
+            let err = parse_delta(src, &mut vocab, &mut g).unwrap_err();
+            assert!(err.contains(needle), "source {src:?}: {err}");
+        }
     }
 
     #[test]

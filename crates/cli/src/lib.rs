@@ -36,7 +36,7 @@ mod remote;
 
 pub use commands::{run, Outcome};
 pub use corpus_cmd::{instance_fixtures, scenario_file};
-pub use instance::{parse_instance, print_instance, raw_instance};
+pub use instance::{parse_delta, parse_instance, print_instance, raw_instance};
 pub use lex::{lex, ParseError, Tok, Token};
 pub use parse::{GtsFile, NamedGraph};
 pub use print::{

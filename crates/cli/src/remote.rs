@@ -30,6 +30,13 @@ pub fn frontend() -> Frontend {
         parse_instance: Arc::new(|src, vocab| {
             crate::instance::parse_instance(src, vocab).map(|g| g.graph)
         }),
+        parse_delta: Arc::new(|inst_src, delta_src, vocab| {
+            let mut named = crate::instance::parse_instance(inst_src, vocab)
+                .map_err(|e| format!("instance: {e}"))?;
+            let delta = crate::instance::parse_delta(delta_src, vocab, &mut named)
+                .map_err(|e| format!("delta: {e}"))?;
+            Ok((named.graph, delta))
+        }),
         render_schema: Arc::new(|schema, vocab| print::schema_block("Elicited", schema, vocab)),
     }
 }

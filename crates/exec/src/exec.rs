@@ -11,9 +11,9 @@
 //! result is deterministic regardless of thread count.
 
 use crate::index::IndexedGraph;
-use crate::rpq::Relation;
+use crate::rpq::{NodeCol, Relation};
 use gts_core::{Rule, Transformation};
-use gts_graph::{EdgeLabel, FxHashMap, FxHashSet, Graph, LabelSet, NodeId, NodeLabel};
+use gts_graph::{EdgeLabel, FxHashMap, FxHashSet, Graph, NodeId, NodeLabel};
 use gts_query::{C2rpq, Nfa, Uc2rpq};
 use std::collections::BTreeSet;
 
@@ -30,10 +30,15 @@ pub struct ExecOptions {
     pub threads: usize,
     /// Minimum estimated work (`rules × (nodes + edges)`) before the
     /// *auto* mode (`threads == 0`) shards across threads — below it,
-    /// spawning workers costs more than the evaluation saves (the
-    /// crossover sits around graphs of a few thousand elements; see
+    /// spawning workers costs more than the evaluation saves (see
     /// `BENCH_exec.json::parallel_cutoff`). `0` disables the cutoff; an
-    /// explicit `threads >= 2` always shards as requested.
+    /// explicit `threads >= 2` always shards as requested. The default
+    /// value [`DEFAULT_MIN_PARALLEL_WORK`] is a *placeholder*: auto mode
+    /// replaces it with the process-wide measured cutoff
+    /// ([`parallel_cutoff`]), which derives the crossover from this
+    /// host's spawn overhead and per-element evaluation throughput
+    /// instead of a constant baked in on some other machine. Set any
+    /// other non-zero value to pin an explicit cutoff.
     pub min_parallel_work: usize,
 }
 
@@ -43,9 +48,93 @@ impl Default for ExecOptions {
     }
 }
 
-/// Default sharding threshold of [`ExecOptions::min_parallel_work`]:
+/// Fallback sharding threshold of [`ExecOptions::min_parallel_work`]:
 /// roughly "a multi-rule transformation over a ≥2k-element instance".
+/// Auto mode treats this exact value as "use the measured cutoff"; it is
+/// also the floor of the calibrated range.
 pub const DEFAULT_MIN_PARALLEL_WORK: usize = 8_192;
+
+/// The measured sharding crossover for this host (computed once per
+/// process, a few milliseconds of micro-measurement).
+#[derive(Clone, Debug)]
+pub struct ParallelCutoff {
+    /// Cores the auto mode would use (`available_parallelism`, capped 8).
+    pub cores: usize,
+    /// Measured cost of spawning + joining that many scoped threads, µs.
+    pub spawn_overhead_micros: u64,
+    /// Measured single-threaded evaluation throughput, in nanoseconds per
+    /// instance element (node or edge) on a synthetic chain workload.
+    pub eval_nanos_per_element: f64,
+    /// The derived cutoff: estimated work (`rules × elements`) below
+    /// which sharding cannot recoup its spawn overhead (with a 2× safety
+    /// margin), clamped to `[DEFAULT_MIN_PARALLEL_WORK, 2^22]`.
+    pub min_parallel_work: usize,
+}
+
+/// Measures (once) and returns this host's sharding crossover. On a
+/// single-core host the cutoff is irrelevant — auto mode never shards —
+/// but the throughput numbers are still measured for the bench report.
+pub fn parallel_cutoff() -> &'static ParallelCutoff {
+    static CELL: std::sync::OnceLock<ParallelCutoff> = std::sync::OnceLock::new();
+    CELL.get_or_init(|| {
+        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8);
+        let spawn_overhead_micros = (0..3)
+            .map(|_| {
+                let t0 = std::time::Instant::now();
+                std::thread::scope(|scope| {
+                    for _ in 0..cores {
+                        scope.spawn(|| std::hint::black_box(0u64));
+                    }
+                });
+                t0.elapsed().as_micros() as u64
+            })
+            .min()
+            .unwrap_or(0);
+        // Synthetic chain: `A · r` over a labeled 4k-node chain — a
+        // linear-time single-atom evaluation whose cost per element
+        // approximates the executor's scan-dominated regime.
+        let n: usize = 4_096;
+        let mut vocab = gts_graph::Vocab::new();
+        let a = vocab.node_label("CalibA");
+        let r = vocab.edge_label("calib_r");
+        let mut g = Graph::new();
+        let first = g.add_labeled_node([a]);
+        let mut prev = first;
+        for _ in 1..n {
+            let next = g.add_labeled_node([a]);
+            g.add_edge(prev, r, next);
+            prev = next;
+        }
+        let idx = IndexedGraph::build(&g);
+        let q = C2rpq::new(
+            2,
+            vec![gts_query::Var(0), gts_query::Var(1)],
+            vec![gts_query::Atom {
+                x: gts_query::Var(0),
+                y: gts_query::Var(1),
+                regex: gts_query::Regex::node(a).then(gts_query::Regex::edge(r)),
+            }],
+        );
+        let eval_nanos = (0..3)
+            .map(|_| {
+                let t0 = std::time::Instant::now();
+                std::hint::black_box(eval_c2rpq(&idx, &q));
+                t0.elapsed().as_nanos() as u64
+            })
+            .min()
+            .unwrap_or(0);
+        let elements = (g.num_nodes() + g.num_edges()) as f64;
+        let eval_nanos_per_element = (eval_nanos as f64 / elements).max(0.1);
+        // Sharding across c cores saves ~work·t_elem·(1 − 1/c) and costs
+        // the spawn overhead; cut over at twice the break-even point.
+        let saved_frac = 1.0 - 1.0 / cores.max(2) as f64;
+        let break_even =
+            (spawn_overhead_micros as f64 * 1_000.0) / (eval_nanos_per_element * saved_frac);
+        let min_parallel_work =
+            ((2.0 * break_even) as usize).clamp(DEFAULT_MIN_PARALLEL_WORK, 1 << 22);
+        ParallelCutoff { cores, spawn_overhead_micros, eval_nanos_per_element, min_parallel_work }
+    })
+}
 
 impl ExecOptions {
     /// `true` iff these options would shard rule evaluation across
@@ -64,7 +153,12 @@ impl ExecOptions {
         let t = match self.threads {
             0 => {
                 let estimated_work = work_items.saturating_mul(instance_size.max(1));
-                if self.min_parallel_work > 0 && estimated_work < self.min_parallel_work {
+                let cutoff = if self.min_parallel_work == DEFAULT_MIN_PARALLEL_WORK {
+                    parallel_cutoff().min_parallel_work
+                } else {
+                    self.min_parallel_work
+                };
+                if cutoff > 0 && estimated_work < cutoff {
                     return 1;
                 }
                 std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8)
@@ -81,7 +175,19 @@ impl ExecOptions {
 pub fn eval_c2rpq(idx: &IndexedGraph, q: &C2rpq) -> Vec<Vec<NodeId>> {
     let rels: Vec<Relation> =
         q.atoms.iter().map(|a| Relation::build(idx, &Nfa::compiled(&a.regex))).collect();
-    if rels.iter().any(Relation::is_empty) && !q.atoms.is_empty() {
+    eval_c2rpq_with(idx, q, &rels.iter().collect::<Vec<_>>())
+}
+
+/// [`eval_c2rpq`] over pre-built atom relations (one reference per atom,
+/// so the incremental engine can share one relation between rules) — the
+/// entry point that patches relations in place instead of rebuilding them
+/// per evaluation.
+pub(crate) fn eval_c2rpq_with(
+    idx: &IndexedGraph,
+    q: &C2rpq,
+    rels: &[&Relation],
+) -> Vec<Vec<NodeId>> {
+    if rels.iter().any(|r| r.is_empty()) && !q.atoms.is_empty() {
         return Vec::new();
     }
     // Fast paths for single-atom bodies whose answer tuple is exactly the
@@ -114,7 +220,7 @@ pub fn eval_c2rpq(idx: &IndexedGraph, q: &C2rpq) -> Vec<Vec<NodeId>> {
     }
     let mut answers: FxHashSet<Vec<NodeId>> = FxHashSet::default();
     let mut asg: Vec<Option<u32>> = vec![None; q.num_vars as usize];
-    backtrack(idx, q, &rels, 0, &mut asg, &mut answers);
+    backtrack(idx, q, rels, 0, &mut asg, &mut answers);
     let mut out: Vec<Vec<NodeId>> = answers.into_iter().collect();
     out.sort();
     out
@@ -123,7 +229,7 @@ pub fn eval_c2rpq(idx: &IndexedGraph, q: &C2rpq) -> Vec<Vec<NodeId>> {
 fn backtrack(
     idx: &IndexedGraph,
     q: &C2rpq,
-    rels: &[Relation],
+    rels: &[&Relation],
     var: u32,
     asg: &mut Vec<Option<u32>>,
     answers: &mut FxHashSet<Vec<NodeId>>,
@@ -139,7 +245,7 @@ fn backtrack(
     // with no pair in some touching relation can never extend). The
     // shortest column seeds the domain; the rest filter it.
     let mut columns: Vec<&[u32]> = Vec::new();
-    let mut supports: Vec<&LabelSet> = Vec::new();
+    let mut supports: Vec<&NodeCol> = Vec::new();
     for (i, a) in q.atoms.iter().enumerate() {
         if a.x.0 == var {
             if a.y.0 < var {
@@ -286,7 +392,7 @@ pub fn execute(t: &Transformation, g: &Graph) -> Graph {
 /// sorted tuples — fully deterministic. Unary constructors (the common
 /// case: copy rules) are interned through a dedicated map with an inline
 /// key, avoiding one heap allocation per constructed-node lookup.
-fn assemble(t: &Transformation, per_rule: &[Vec<Vec<NodeId>>]) -> Graph {
+pub(crate) fn assemble(t: &Transformation, per_rule: &[Vec<Vec<NodeId>>]) -> Graph {
     let _span = gts_obs::span("assembly");
     let start = gts_obs::enabled().then(std::time::Instant::now);
     let out = assemble_inner(t, per_rule);
@@ -302,6 +408,8 @@ pub(crate) struct PhaseMetrics {
     pub(crate) index_build: gts_obs::Histogram,
     pub(crate) rule_eval: gts_obs::Histogram,
     pub(crate) assembly: gts_obs::Histogram,
+    pub(crate) index_patch: gts_obs::Histogram,
+    pub(crate) delta_apply: gts_obs::Histogram,
 }
 
 pub(crate) fn phase_metrics() -> &'static PhaseMetrics {
@@ -309,11 +417,13 @@ pub(crate) fn phase_metrics() -> &'static PhaseMetrics {
     CELLS.get_or_init(|| {
         let reg = gts_obs::global();
         let name = "gts_exec_phase_micros";
-        let help = "Executor phase latency (index build, rule evaluation, assembly)";
+        let help = "Executor phase latency (index build/patch, rule evaluation, assembly, delta)";
         PhaseMetrics {
             index_build: reg.histogram(name, help, &[("phase", "index_build")]),
             rule_eval: reg.histogram(name, help, &[("phase", "rule_eval")]),
             assembly: reg.histogram(name, help, &[("phase", "assembly")]),
+            index_patch: reg.histogram(name, help, &[("phase", "index_patch")]),
+            delta_apply: reg.histogram(name, help, &[("phase", "delta_apply")]),
         }
     })
 }

@@ -6,8 +6,97 @@
 //! built once per instance and shared read-only by every rule evaluation —
 //! the product-BFS of [`crate::rpq`] then walks plain integer slices
 //! instead of filtering hash-backed adjacency lists per step.
+//!
+//! Million-node instances get two extra affordances:
+//!
+//! * **chunked parallel construction** ([`IndexBuildOptions::threads`]):
+//!   edges are partitioned per label by scoped workers over contiguous
+//!   node ranges, then the per-(label, direction) counting-sort fills run
+//!   in parallel across the same worker pool — the sharded
+//!   work-dealing pattern `gts-engine` uses for analysis batches;
+//! * **memory-budget accounting** ([`IndexedGraph::approx_bytes`],
+//!   [`IndexBuildOptions::budget_bytes`]): the exact CSR footprint is
+//!   known from the partition counts *before* the big allocations happen,
+//!   so a budgeted build fails with [`IndexError::BudgetExceeded`] instead
+//!   of OOM-ing the process mid-fill.
+//!
+//! Rows are kept sorted by ascending node id: the product-BFS marks every
+//! scanned target in a stamped visited table indexed by node id, so
+//! ascending rows turn that table's accesses into forward sweeps. The
+//! degree array ([`IndexedGraph::degree`]) orders BFS *sources* instead —
+//! hubs first — which is where degree ordering actually pays (longest
+//! per-source searches scheduled before the tail).
 
-use gts_graph::{EdgeSym, Graph, LabelSet, NodeId, NodeLabel};
+use gts_graph::{EdgeLabel, EdgeSym, Graph, LabelSet, NodeId, NodeLabel};
+
+/// A structured index-construction failure. Carried up to the engine and
+/// rendered as a `bad_request`-style wire error by `gts-serve` instead of
+/// silently corrupting adjacency or aborting the process.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum IndexError {
+    /// One CSR would need more than `u32::MAX` target slots; 32-bit
+    /// offsets would silently truncate past this point.
+    TooManyEdges {
+        /// Raw edge-label index of the overflowing CSR.
+        label: u32,
+        /// The target count that no longer fits.
+        targets: usize,
+    },
+    /// A budgeted build ([`IndexBuildOptions::budget_bytes`]) predicted a
+    /// footprint past the budget and refused to allocate.
+    BudgetExceeded {
+        /// Predicted index footprint in bytes.
+        approx_bytes: usize,
+        /// The configured budget in bytes.
+        budget_bytes: usize,
+    },
+}
+
+impl std::fmt::Display for IndexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IndexError::TooManyEdges { label, targets } => write!(
+                f,
+                "graph index overflow: edge label {label} has {targets} targets \
+                 (the CSR limit is {})",
+                u32::MAX
+            ),
+            IndexError::BudgetExceeded { approx_bytes, budget_bytes } => write!(
+                f,
+                "graph index over memory budget: needs ~{approx_bytes} bytes, \
+                 budget is {budget_bytes}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for IndexError {}
+
+/// Options for [`IndexedGraph::try_build_with`].
+#[derive(Clone, Debug, Default)]
+pub struct IndexBuildOptions {
+    /// Worker threads for the chunked partition + fill; `0` (the default)
+    /// picks the available parallelism (capped at 8) once the graph is
+    /// large enough to amortize the spawns, `1` forces the serial path.
+    pub threads: usize,
+    /// Refuse to build when the predicted footprint
+    /// ([`IndexedGraph::approx_bytes`]) exceeds this many bytes.
+    pub budget_bytes: Option<usize>,
+}
+
+/// Below this many edges the chunked build's thread spawns cost more than
+/// the fill saves; auto mode (`threads == 0`) stays serial under it.
+const MIN_CHUNKED_EDGES: usize = 1 << 16;
+
+impl IndexBuildOptions {
+    fn resolve_threads(&self, num_edges: usize) -> usize {
+        match self.threads {
+            0 if num_edges < MIN_CHUNKED_EDGES => 1,
+            0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8),
+            t => t,
+        }
+    }
+}
 
 /// One CSR structure over node-id rows: `targets[offsets[u] ..
 /// offsets[u+1]]` are the neighbors of node `u`. Shared by the adjacency
@@ -19,42 +108,87 @@ pub(crate) struct Csr {
 }
 
 impl Csr {
-    fn fill(num_nodes: usize, edges: &[(u32, u32)]) -> Csr {
+    /// Guards the 32-bit offset representation: past `u32::MAX` targets
+    /// the prefix sums would wrap and silently corrupt adjacency.
+    fn check_len(label: u32, targets: usize) -> Result<(), IndexError> {
+        if targets > u32::MAX as usize {
+            return Err(IndexError::TooManyEdges { label, targets });
+        }
+        Ok(())
+    }
+
+    /// Counting-sort fill over one or more edge-pair chunks (the chunked
+    /// parallel build hands each label its per-worker partitions without
+    /// concatenating them first).
+    fn try_fill_parts(
+        num_nodes: usize,
+        label: u32,
+        parts: &[&[(u32, u32)]],
+    ) -> Result<Csr, IndexError> {
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        Csr::check_len(label, total)?;
         let mut offsets = vec![0u32; num_nodes + 1];
-        for &(src, _) in edges {
-            offsets[src as usize + 1] += 1;
+        for part in parts {
+            for &(src, _) in *part {
+                offsets[src as usize + 1] += 1;
+            }
         }
         for i in 0..num_nodes {
             offsets[i + 1] += offsets[i];
         }
-        let mut targets = vec![0u32; offsets[num_nodes] as usize];
+        let mut targets = vec![0u32; total];
         let mut cursor = offsets.clone();
-        for &(src, tgt) in edges {
-            targets[cursor[src as usize] as usize] = tgt;
-            cursor[src as usize] += 1;
+        for part in parts {
+            for &(src, tgt) in *part {
+                targets[cursor[src as usize] as usize] = tgt;
+                cursor[src as usize] += 1;
+            }
         }
-        Csr { offsets, targets }
+        Ok(Csr { offsets, targets })
     }
 
-    /// Builds from pairs in arbitrary order, sorting each row so neighbor
-    /// slices are deterministic regardless of edge insertion order.
-    pub(crate) fn build(num_nodes: usize, edges: &[(u32, u32)]) -> Csr {
-        let mut csr = Csr::fill(num_nodes, edges);
+    /// Builds from pair chunks in arbitrary order, sorting each row so
+    /// neighbor slices are deterministic regardless of insertion order.
+    pub(crate) fn try_build_parts(
+        num_nodes: usize,
+        label: u32,
+        parts: &[&[(u32, u32)]],
+    ) -> Result<Csr, IndexError> {
+        let mut csr = Csr::try_fill_parts(num_nodes, label, parts)?;
         for u in 0..num_nodes {
             csr.targets[csr.offsets[u] as usize..csr.offsets[u + 1] as usize].sort_unstable();
         }
-        csr
+        Ok(csr)
     }
 
     /// Builds from pairs already sorted lexicographically (rows come out
     /// sorted without the per-row sort).
     pub(crate) fn from_sorted_pairs(num_nodes: usize, pairs: &[(u32, u32)]) -> Csr {
-        Csr::fill(num_nodes, pairs)
+        Csr::check_len(0, pairs.len()).unwrap_or_else(|e| panic!("{e}"));
+        Csr::try_fill_parts(num_nodes, 0, &[pairs]).expect("length checked")
+    }
+
+    /// An empty CSR with `num_nodes` rows.
+    pub(crate) fn empty(num_nodes: usize) -> Csr {
+        Csr { offsets: vec![0; num_nodes + 1], targets: Vec::new() }
+    }
+
+    /// Appends empty rows until there are `num_nodes` rows.
+    pub(crate) fn grow_rows(&mut self, num_nodes: usize) {
+        let last = *self.offsets.last().unwrap_or(&0);
+        while self.offsets.len() < num_nodes + 1 {
+            self.offsets.push(last);
+        }
     }
 
     /// Number of rows.
     pub(crate) fn num_rows(&self) -> usize {
         self.offsets.len().saturating_sub(1)
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub(crate) fn approx_bytes(&self) -> usize {
+        (self.offsets.capacity() + self.targets.capacity()) * std::mem::size_of::<u32>()
     }
 
     #[inline]
@@ -77,33 +211,131 @@ pub struct IndexedGraph {
     by_label: Vec<LabelSet>,
     /// All nodes, as a bitset (the universal frontier).
     all_nodes: LabelSet,
+    /// Total (in + out) degree per node — the scheduling hint behind
+    /// degree-ordered source iteration in [`crate::rpq::Relation::build`].
+    degree: Vec<u32>,
     num_edges: usize,
 }
 
 impl IndexedGraph {
-    /// Builds the index; `O(|V| + |E| log deg)` time, touching each edge
-    /// twice (once per direction).
+    /// Builds the index with default options; `O(|V| + |E| log deg)` time,
+    /// touching each edge twice (once per direction). Panics on
+    /// [`IndexError`] (only reachable past `u32::MAX` targets per label);
+    /// fallible callers use [`IndexedGraph::try_build_with`].
     pub fn build(g: &Graph) -> IndexedGraph {
+        IndexedGraph::try_build_with(g, &IndexBuildOptions::default())
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Builds the index with explicit thread and budget options,
+    /// returning a structured error instead of corrupting adjacency
+    /// (offset overflow) or allocating past the budget.
+    pub fn try_build_with(g: &Graph, opts: &IndexBuildOptions) -> Result<IndexedGraph, IndexError> {
         let _span = gts_obs::span("index_build");
         let start = gts_obs::enabled().then(std::time::Instant::now);
-        let out = IndexedGraph::build_inner(g);
+        let out = IndexedGraph::build_inner(g, opts);
         if let Some(t0) = start {
             crate::exec::phase_metrics().index_build.record(t0.elapsed().as_micros() as u64);
         }
         out
     }
 
-    fn build_inner(g: &Graph) -> IndexedGraph {
+    fn build_inner(g: &Graph, opts: &IndexBuildOptions) -> Result<IndexedGraph, IndexError> {
         let n = g.num_nodes();
-        let max_edge_label = g.edges().map(|(_, l, _)| l.0 as usize + 1).max().unwrap_or(0);
-        let mut fwd_edges: Vec<Vec<(u32, u32)>> = vec![Vec::new(); max_edge_label];
-        let mut rev_edges: Vec<Vec<(u32, u32)>> = vec![Vec::new(); max_edge_label];
-        for (src, label, tgt) in g.edges() {
-            fwd_edges[label.0 as usize].push((src.0, tgt.0));
-            rev_edges[label.0 as usize].push((tgt.0, src.0));
+        let workers = opts.resolve_threads(g.num_edges()).clamp(1, n.max(1));
+        // Partition edges per label, forward and reverse, each worker
+        // scanning a contiguous node range (every edge is seen exactly
+        // once per direction via its endpoints' incident lists).
+        let parts: Vec<EdgeParts> = if workers <= 1 {
+            vec![partition_range(g, 0, n)]
+        } else {
+            let chunk = n.div_ceil(workers);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|w| {
+                        scope.spawn(move || partition_range(g, w * chunk, ((w + 1) * chunk).min(n)))
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("partition worker panicked")).collect()
+            })
+        };
+        let num_labels = parts.iter().map(|p| p.fwd.len()).max().unwrap_or(0);
+
+        // The budget gate: CSR sizes are exact functions of the partition
+        // counts, so the check runs before the big allocations.
+        if let Some(budget) = opts.budget_bytes {
+            let per_label_targets: usize =
+                parts.iter().map(|p| p.fwd.iter().map(Vec::len).sum::<usize>()).sum();
+            let u32s = 2 * num_labels * (n + 1)   // fwd+rev offsets
+                + 2 * per_label_targets           // fwd+rev targets (rev mirrors fwd)
+                + n; // degree array
+            let approx = u32s * std::mem::size_of::<u32>() + n / 8; // + all_nodes bitset
+            if approx > budget {
+                return Err(IndexError::BudgetExceeded {
+                    approx_bytes: approx,
+                    budget_bytes: budget,
+                });
+            }
         }
-        let fwd = fwd_edges.iter().map(|edges| Csr::build(n, edges)).collect();
-        let rev = rev_edges.iter().map(|edges| Csr::build(n, edges)).collect();
+
+        // Parallel counting-sort fill: one work unit per (label,
+        // direction), dealt round-robin across the same worker count.
+        let mut units: Vec<(usize, bool)> = Vec::with_capacity(num_labels * 2);
+        for l in 0..num_labels {
+            units.push((l, false));
+            units.push((l, true));
+        }
+        let fill = |&(l, is_rev): &(usize, bool)| -> Result<(usize, bool, Csr), IndexError> {
+            let chunks: Vec<&[(u32, u32)]> = parts
+                .iter()
+                .filter_map(|p| {
+                    let side = if is_rev { &p.rev } else { &p.fwd };
+                    side.get(l).map(Vec::as_slice)
+                })
+                .collect();
+            Ok((l, is_rev, Csr::try_build_parts(n, l as u32, &chunks)?))
+        };
+        let mut fwd: Vec<Csr> = vec![Csr::default(); num_labels];
+        let mut rev: Vec<Csr> = vec![Csr::default(); num_labels];
+        if workers <= 1 || units.len() <= 1 {
+            for unit in &units {
+                let (l, is_rev, csr) = fill(unit)?;
+                if is_rev {
+                    rev[l] = csr;
+                } else {
+                    fwd[l] = csr;
+                }
+            }
+        } else {
+            let num_shards = workers.min(units.len());
+            let mut shards: Vec<Vec<&(usize, bool)>> = vec![Vec::new(); num_shards];
+            for (i, unit) in units.iter().enumerate() {
+                shards[i % num_shards].push(unit);
+            }
+            let fill = &fill;
+            let built = std::thread::scope(|scope| {
+                let handles: Vec<_> = shards
+                    .into_iter()
+                    .map(|shard| {
+                        scope.spawn(move || {
+                            shard.into_iter().map(fill).collect::<Result<Vec<_>, _>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("fill worker panicked"))
+                    .collect::<Result<Vec<_>, _>>()
+            })?;
+            for (l, is_rev, csr) in built.into_iter().flatten() {
+                if is_rev {
+                    rev[l] = csr;
+                } else {
+                    fwd[l] = csr;
+                }
+            }
+        }
+
         let max_node_label = g
             .nodes()
             .filter_map(|u| g.labels(u).iter().max())
@@ -116,14 +348,27 @@ impl IndexedGraph {
                 by_label[l as usize].insert(u.0);
             }
         }
-        IndexedGraph {
+        let mut idx = IndexedGraph {
             num_nodes: n,
             fwd,
             rev,
             by_label,
             all_nodes: LabelSet::from_iter(0..n as u32),
+            degree: Vec::new(),
             num_edges: g.num_edges(),
+        };
+        idx.recompute_degrees();
+        Ok(idx)
+    }
+
+    fn recompute_degrees(&mut self) {
+        let mut degree = vec![0u32; self.num_nodes];
+        for csr in self.fwd.iter().chain(self.rev.iter()) {
+            for (u, d) in degree.iter_mut().enumerate().take(csr.num_rows()) {
+                *d += csr.row(u as u32).len() as u32;
+            }
         }
+        self.degree = degree;
     }
 
     /// Number of nodes in the indexed graph.
@@ -139,6 +384,22 @@ impl IndexedGraph {
     /// Bitset of every node (shared universal frontier).
     pub fn all_nodes(&self) -> &LabelSet {
         &self.all_nodes
+    }
+
+    /// Approximate heap footprint of the index in bytes — the accounting
+    /// surface behind [`IndexBuildOptions::budget_bytes`] and the
+    /// `scale` benchmark section.
+    pub fn approx_bytes(&self) -> usize {
+        self.fwd.iter().chain(self.rev.iter()).map(Csr::approx_bytes).sum::<usize>()
+            + self.by_label.iter().map(LabelSet::approx_bytes).sum::<usize>()
+            + self.all_nodes.approx_bytes()
+            + self.degree.capacity() * std::mem::size_of::<u32>()
+    }
+
+    /// Total (in + out) degree of `u` across all edge labels.
+    #[inline]
+    pub fn degree(&self, u: u32) -> u32 {
+        self.degree.get(u as usize).copied().unwrap_or(0)
     }
 
     /// Neighbors of `u` along `sym` as a sorted slice (empty for labels
@@ -173,6 +434,89 @@ impl IndexedGraph {
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
         (0..self.num_nodes as u32).map(NodeId)
     }
+
+    // ── in-place patch hooks for the incremental executor ──────────────
+
+    /// Appends empty rows/bits for nodes `num_nodes .. new_num_nodes`.
+    pub(crate) fn grow_nodes(&mut self, new_num_nodes: usize) {
+        for csr in self.fwd.iter_mut().chain(self.rev.iter_mut()) {
+            csr.grow_rows(new_num_nodes);
+        }
+        for u in self.num_nodes..new_num_nodes {
+            self.all_nodes.insert(u as u32);
+            self.degree.push(0);
+        }
+        self.num_nodes = new_num_nodes;
+    }
+
+    /// Rebuilds one edge label's forward and reverse CSRs from its full
+    /// (unsorted) forward pair list; `O(n + m_label)`.
+    pub(crate) fn patch_label(
+        &mut self,
+        label: EdgeLabel,
+        edges: &[(u32, u32)],
+    ) -> Result<(), IndexError> {
+        let l = label.0 as usize;
+        while self.fwd.len() <= l {
+            self.fwd.push(Csr::empty(self.num_nodes));
+            self.rev.push(Csr::empty(self.num_nodes));
+        }
+        for (u, d) in self.degree.iter_mut().enumerate() {
+            *d -= (self.fwd[l].row(u as u32).len() + self.rev[l].row(u as u32).len()) as u32;
+        }
+        self.fwd[l] = Csr::try_build_parts(self.num_nodes, label.0, &[edges])?;
+        let mut rev_edges: Vec<(u32, u32)> = edges.iter().map(|&(s, t)| (t, s)).collect();
+        rev_edges.sort_unstable();
+        self.rev[l] = Csr::from_sorted_pairs(self.num_nodes, &rev_edges);
+        for (u, d) in self.degree.iter_mut().enumerate() {
+            *d += (self.fwd[l].row(u as u32).len() + self.rev[l].row(u as u32).len()) as u32;
+        }
+        Ok(())
+    }
+
+    /// Flips one node's membership in a node-label bitset.
+    pub(crate) fn set_node_label(&mut self, u: u32, label: NodeLabel, present: bool) {
+        let l = label.0 as usize;
+        while self.by_label.len() <= l {
+            self.by_label.push(LabelSet::new());
+        }
+        if present {
+            self.by_label[l].insert(u);
+        } else {
+            self.by_label[l].remove(u);
+        }
+    }
+
+    /// Updates the cached edge count after a patch.
+    pub(crate) fn set_num_edges(&mut self, num_edges: usize) {
+        self.num_edges = num_edges;
+    }
+}
+
+/// Per-worker partition output: per-label forward and reverse edge pairs
+/// for one contiguous node range.
+struct EdgeParts {
+    fwd: Vec<Vec<(u32, u32)>>,
+    rev: Vec<Vec<(u32, u32)>>,
+}
+
+fn partition_range(g: &Graph, lo: usize, hi: usize) -> EdgeParts {
+    let mut parts = EdgeParts { fwd: Vec::new(), rev: Vec::new() };
+    for u in lo..hi {
+        for (sym, v) in g.incident(NodeId(u as u32)) {
+            let l = sym.label.0 as usize;
+            if parts.fwd.len() <= l {
+                parts.fwd.resize_with(l + 1, Vec::new);
+                parts.rev.resize_with(l + 1, Vec::new);
+            }
+            if sym.inverse {
+                parts.rev[l].push((u as u32, v.0));
+            } else {
+                parts.fwd[l].push((u as u32, v.0));
+            }
+        }
+    }
+    parts
 }
 
 #[cfg(test)]
@@ -216,6 +560,116 @@ mod tests {
     }
 
     #[test]
+    fn chunked_build_agrees_with_serial() {
+        let mut v = Vocab::new();
+        let a = v.node_label("A");
+        let r = v.edge_label("r");
+        let s = v.edge_label("s");
+        let mut g = Graph::new();
+        for i in 0..200u32 {
+            let n = g.add_node();
+            if i % 3 == 0 {
+                g.add_label(n, a);
+            }
+        }
+        for i in 0..200u32 {
+            g.add_edge(NodeId(i), r, NodeId((i * 7 + 3) % 200));
+            g.add_edge(NodeId((i * 5) % 200), s, NodeId(i));
+        }
+        let serial =
+            IndexedGraph::try_build_with(&g, &IndexBuildOptions { threads: 1, budget_bytes: None })
+                .unwrap();
+        let chunked =
+            IndexedGraph::try_build_with(&g, &IndexBuildOptions { threads: 4, budget_bytes: None })
+                .unwrap();
+        for u in 0..200u32 {
+            for sym in [EdgeSym::fwd(r), EdgeSym::bwd(r), EdgeSym::fwd(s), EdgeSym::bwd(s)] {
+                assert_eq!(serial.successors(u, sym), chunked.successors(u, sym));
+            }
+            assert_eq!(serial.degree(u), chunked.degree(u));
+        }
+        assert_eq!(serial.num_edges(), chunked.num_edges());
+    }
+
+    #[test]
+    fn budgeted_build_refuses_oversized_graphs() {
+        let (_, g) = fixture();
+        let err = IndexedGraph::try_build_with(
+            &g,
+            &IndexBuildOptions { threads: 1, budget_bytes: Some(8) },
+        )
+        .unwrap_err();
+        match err {
+            IndexError::BudgetExceeded { approx_bytes, budget_bytes } => {
+                assert!(approx_bytes > budget_bytes);
+            }
+            other => panic!("expected BudgetExceeded, got {other:?}"),
+        }
+        // A generous budget builds fine and the estimate is honest.
+        let idx = IndexedGraph::try_build_with(
+            &g,
+            &IndexBuildOptions { threads: 1, budget_bytes: Some(1 << 20) },
+        )
+        .unwrap();
+        assert!(idx.approx_bytes() > 0 && idx.approx_bytes() < 1 << 20);
+    }
+
+    #[test]
+    fn u32_overflow_guard_reports_structured_error() {
+        // The guard fires on the *count*, before any allocation — which is
+        // the only way to exercise a > 4-billion-target failure in a test.
+        assert!(Csr::check_len(3, u32::MAX as usize).is_ok());
+        let err = Csr::check_len(3, u32::MAX as usize + 1).unwrap_err();
+        assert_eq!(err, IndexError::TooManyEdges { label: 3, targets: u32::MAX as usize + 1 });
+        assert!(err.to_string().contains("overflow"));
+    }
+
+    #[test]
+    fn degrees_count_both_directions() {
+        let (_, g) = fixture();
+        let idx = IndexedGraph::build(&g);
+        // n0: out r×2, in s×1 → 3. n1: out r(self), in r×2 (n0→n1, self) → 3.
+        assert_eq!(idx.degree(0), 3);
+        assert_eq!(idx.degree(1), 3);
+        assert_eq!(idx.degree(99), 0);
+    }
+
+    #[test]
+    fn patch_label_matches_full_rebuild() {
+        let (v, mut g) = fixture();
+        let r = v.find_edge_label("r").unwrap();
+        let s = v.find_edge_label("s").unwrap();
+        let mut idx = IndexedGraph::build(&g);
+        // Mutate label r: drop the self loop, add n2 -r-> n0.
+        g.remove_edge(NodeId(1), r, NodeId(1));
+        g.add_edge(NodeId(2), r, NodeId(0));
+        let r_edges: Vec<(u32, u32)> =
+            g.edges().filter(|&(_, l, _)| l == r).map(|(s, _, t)| (s.0, t.0)).collect();
+        idx.patch_label(r, &r_edges).unwrap();
+        idx.set_num_edges(g.num_edges());
+        let fresh = IndexedGraph::build(&g);
+        for u in 0..3u32 {
+            for sym in [EdgeSym::fwd(r), EdgeSym::bwd(r), EdgeSym::fwd(s), EdgeSym::bwd(s)] {
+                assert_eq!(idx.successors(u, sym), fresh.successors(u, sym), "u={u} {sym:?}");
+            }
+            assert_eq!(idx.degree(u), fresh.degree(u), "degree of {u}");
+        }
+        assert_eq!(idx.num_edges(), fresh.num_edges());
+    }
+
+    #[test]
+    fn grow_nodes_extends_every_row_structure() {
+        let (v, g) = fixture();
+        let r = v.find_edge_label("r").unwrap();
+        let mut idx = IndexedGraph::build(&g);
+        idx.grow_nodes(5);
+        assert_eq!(idx.num_nodes(), 5);
+        assert!(idx.successors(4, EdgeSym::fwd(r)).is_empty());
+        assert!(idx.all_nodes().contains(4));
+        assert_eq!(idx.degree(4), 0);
+    }
+
+    #[test]
     fn label_bitsets_match_graph_labels() {
         let (v, g) = fixture();
         let idx = IndexedGraph::build(&g);
@@ -243,5 +697,6 @@ mod tests {
         let idx = IndexedGraph::build(&Graph::new());
         assert_eq!(idx.num_nodes(), 0);
         assert!(idx.all_nodes().is_empty());
+        assert_eq!(idx.approx_bytes(), 0);
     }
 }

@@ -52,17 +52,23 @@
 
 #![warn(missing_docs)]
 
+mod delta;
 mod exec;
 mod harness;
 mod index;
 mod rpq;
 
+pub use delta::{
+    execute_delta, incremental, DeltaOutcome, DeltaStrategy, Incremental,
+    FALLBACK_FRONTIER_DIVISOR, FALLBACK_TOUCH_DIVISOR, MIN_FALLBACK_TOUCHED,
+};
 pub use exec::{
     eval_c2rpq, eval_rule_bodies, eval_uc2rpq, execute, execute_and_facts, execute_indexed,
-    execute_with, output_facts, EdgeFact, ExecOptions, NodeFact, DEFAULT_MIN_PARALLEL_WORK,
+    execute_with, output_facts, parallel_cutoff, EdgeFact, ExecOptions, NodeFact, ParallelCutoff,
+    DEFAULT_MIN_PARALLEL_WORK,
 };
 pub use harness::{
     differential_equivalence, differential_type_check, Disagreement, HarnessConfig, HarnessReport,
 };
-pub use index::IndexedGraph;
-pub use rpq::Relation;
+pub use index::{IndexBuildOptions, IndexError, IndexedGraph};
+pub use rpq::{NodeCol, NodeColIter, Relation};

@@ -8,24 +8,116 @@
 //! * sources are pre-filtered through the index's per-label node bitsets
 //!   ([`gts_graph::LabelSet`]) to nodes that can take some first
 //!   transition, which on anchored expressions
-//!   (e.g. `Vaccine·designTarget·…`) skips almost the whole graph;
+//!   (e.g. `Vaccine·designTarget·…`) skips almost the whole graph, and
+//!   walked in descending-degree order — hub sources run their (longest)
+//!   searches first;
 //! * each surviving source runs a worklist BFS over the product whose
-//!   visited table is a *stamped* array allocated once per relation
-//!   build — per-source cost is proportional to the product states
-//!   actually reached, not to the graph;
+//!   visited table is allocated once per relation build and reset in
+//!   `O(1)` by a generation stamp. The table is *adaptive*
+//!   ([`Visited`]): a dense stamp array while `|V| · |Q|` fits a fixed
+//!   budget, a stamped hash map past it — million-node graphs with large
+//!   automata no longer materialize multi-hundred-MB tables;
 //! * the resulting [`Relation`] stores its pairs as CSR columns in both
-//!   orientations plus bitset column *supports*, so the join in
-//!   [`crate::exec`] narrows candidate frontiers by word-level
-//!   intersection and sorted-row merges.
+//!   orientations plus per-column *supports*, so the join in
+//!   [`crate::exec`] narrows candidate frontiers cheaply. Supports are
+//!   adaptive too ([`NodeCol`]): sparse answer sets on huge graphs keep a
+//!   sorted id vector instead of a bitset sized to the highest node id.
 
 use crate::index::{Csr, IndexedGraph};
-use gts_graph::{LabelSet, NodeId};
+use gts_graph::{FxHashMap, LabelSet, NodeId};
 use gts_query::{AtomSym, Nfa};
+
+/// An adaptive set of node ids — the column-support representation of
+/// [`Relation`]. Dense bitsets are ideal when a column touches a sizable
+/// fraction of the graph, but a bitset is sized to its *highest* set bit:
+/// a 3-pair relation on a million-node graph would still allocate ~125 KB
+/// per column. Sparse columns therefore keep a sorted vector and the
+/// representation flips to a bitset only when it is the smaller encoding
+/// (roughly one bit per 32 ids of span).
+#[derive(Clone, Debug)]
+pub enum NodeCol {
+    /// Sorted, deduplicated node ids.
+    Sparse(Vec<u32>),
+    /// Dense bitset over node ids.
+    Dense(LabelSet),
+}
+
+impl NodeCol {
+    /// Builds from a sorted, deduplicated id vector, choosing the smaller
+    /// representation.
+    pub(crate) fn from_sorted_vec(ids: Vec<u32>) -> NodeCol {
+        match ids.last() {
+            // Dense wins once the 4-bytes-per-id vector outweighs the
+            // max_id/8-byte bitset.
+            Some(&max) if ids.len() as u64 * 32 >= max as u64 => {
+                NodeCol::Dense(LabelSet::from_iter(ids))
+            }
+            _ => NodeCol::Sparse(ids),
+        }
+    }
+
+    /// Membership test: `O(1)` dense, `O(log len)` sparse.
+    #[inline]
+    pub fn contains(&self, u: u32) -> bool {
+        match self {
+            NodeCol::Sparse(ids) => ids.binary_search(&u).is_ok(),
+            NodeCol::Dense(set) => set.contains(u),
+        }
+    }
+
+    /// Number of ids in the column.
+    pub fn len(&self) -> usize {
+        match self {
+            NodeCol::Sparse(ids) => ids.len(),
+            NodeCol::Dense(set) => set.len(),
+        }
+    }
+
+    /// `true` iff the column is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterates the ids in ascending order.
+    pub fn iter(&self) -> NodeColIter<'_> {
+        match self {
+            NodeCol::Sparse(ids) => NodeColIter::Sparse(ids.iter()),
+            NodeCol::Dense(set) => NodeColIter::Dense(Box::new(set.iter())),
+        }
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        match self {
+            NodeCol::Sparse(ids) => ids.capacity() * std::mem::size_of::<u32>(),
+            NodeCol::Dense(set) => set.approx_bytes(),
+        }
+    }
+}
+
+/// Ascending iterator over a [`NodeCol`].
+pub enum NodeColIter<'a> {
+    /// Iterating a sparse column.
+    Sparse(std::slice::Iter<'a, u32>),
+    /// Iterating a dense column.
+    Dense(Box<dyn Iterator<Item = u32> + 'a>),
+}
+
+impl Iterator for NodeColIter<'_> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        match self {
+            NodeColIter::Sparse(it) => it.next().copied(),
+            NodeColIter::Dense(it) => it.next(),
+        }
+    }
+}
 
 /// A binary relation over graph nodes — the answer set of one regular
 /// path expression. Stored as CSR in both orientations (memory linear in
-/// the pair count), with bitset *supports* per column for the join's
-/// candidate-frontier intersections.
+/// the pair count), with adaptive *supports* per column for the join's
+/// candidate-frontier narrowing.
 #[derive(Clone, Debug)]
 pub struct Relation {
     /// Pairs grouped by source: `fwd.row(u)` = sorted targets of `u`.
@@ -33,9 +125,9 @@ pub struct Relation {
     /// Pairs grouped by target: `rev.row(v)` = sorted sources of `v`.
     rev: Csr,
     /// Nodes with at least one outgoing pair (`{u | ∃v. (u,v)}`).
-    src_support: LabelSet,
+    src_support: NodeCol,
     /// Nodes with at least one incoming pair (`{v | ∃u. (u,v)}`).
-    tgt_support: LabelSet,
+    tgt_support: NodeCol,
     len: usize,
 }
 
@@ -55,62 +147,103 @@ impl Relation {
 
         // Source filter: only nodes able to take some useful first
         // transition can reach anything beyond themselves.
-        let mut sources = LabelSet::new();
-        for &(sym, q) in nfa.transitions(nfa.initial()) {
-            if !useful[q] {
-                continue;
-            }
-            match sym {
-                AtomSym::Node(a) => {
-                    if let Some(s) = idx.nodes_with_label(a) {
-                        sources.union_with(s);
-                    }
-                }
-                AtomSym::Edge(r) => {
-                    for u in 0..n as u32 {
-                        if idx.has_successor(u, r) {
-                            sources.insert(u);
-                        }
-                    }
-                }
-            }
-        }
+        let sources = first_transition_sources(idx, nfa, &useful);
+
+        // Degree order: hub sources have the largest product frontiers;
+        // running the long searches first front-loads the heavy rows
+        // (classic longest-task-first scheduling — and the final
+        // sort/dedup makes the answer independent of this order anyway).
+        let mut src_list: Vec<u32> = sources.iter().collect();
+        src_list.sort_by_key(|&u| (std::cmp::Reverse(idx.degree(u)), u));
 
         let mut bfs = ProductBfs::new(n, nfa.num_states());
         let mut row: Vec<u32> = Vec::new();
-        for u in sources.iter() {
+        for u in src_list {
             row.clear();
             bfs.run(idx, nfa, &useful, u, &mut row);
             pairs.extend(row.iter().map(|&v| (u, v)));
         }
         pairs.sort_unstable();
         pairs.dedup();
+        Relation::from_sorted_pairs(n, pairs)
+    }
 
+    /// Builds the CSR columns and supports from sorted, deduplicated
+    /// `(source, target)` pairs. Consumes `pairs` as scratch for the
+    /// reverse orientation.
+    pub(crate) fn from_sorted_pairs(n: usize, mut pairs: Vec<(u32, u32)>) -> Relation {
         let fwd = Csr::from_sorted_pairs(n, &pairs);
-        let mut src_support = LabelSet::new();
-        let mut tgt_support = LabelSet::new();
-        for &(u, v) in &pairs {
-            src_support.insert(u);
-            tgt_support.insert(v);
-        }
+        let mut src_ids: Vec<u32> = pairs.iter().map(|&(u, _)| u).collect();
+        src_ids.dedup();
         let len = pairs.len();
         for p in &mut pairs {
             *p = (p.1, p.0);
         }
         pairs.sort_unstable();
         let rev = Csr::from_sorted_pairs(n, &pairs);
-        Relation { fwd, rev, src_support, tgt_support, len }
+        let mut tgt_ids: Vec<u32> = pairs.iter().map(|&(v, _)| v).collect();
+        tgt_ids.dedup();
+        Relation {
+            fwd,
+            rev,
+            src_support: NodeCol::from_sorted_vec(src_ids),
+            tgt_support: NodeCol::from_sorted_vec(tgt_ids),
+            len,
+        }
+    }
+
+    /// Replaces the rows of the given sources with new (sorted,
+    /// deduplicated) target lists, rebuilding both orientations and the
+    /// supports in `O(n + len)`; `num_nodes` may exceed the old row count
+    /// when the patch accompanies added nodes. Returns the per-source
+    /// row diffs — what the incremental executor patches matches from.
+    pub(crate) fn patch_rows(
+        &mut self,
+        num_nodes: usize,
+        changes: &FxHashMap<u32, Vec<u32>>,
+    ) -> Vec<RowDiff> {
+        let old_rows = self.fwd.num_rows();
+        let mut diffs: Vec<RowDiff> = Vec::with_capacity(changes.len());
+        for (&u, new_row) in changes {
+            let old_row: &[u32] = if (u as usize) < old_rows { self.fwd.row(u) } else { &[] };
+            let (removed, added) = diff_sorted(old_row, new_row);
+            if !removed.is_empty() || !added.is_empty() {
+                diffs.push(RowDiff { source: u, removed, added });
+            }
+        }
+        diffs.sort_by_key(|d| d.source);
+        if diffs.is_empty() {
+            // Nothing changed beyond (possibly) new empty rows.
+            self.fwd.grow_rows(num_nodes);
+            self.rev.grow_rows(num_nodes);
+            return diffs;
+        }
+
+        let row_of = |u: u32| -> &[u32] {
+            match changes.get(&u) {
+                Some(row) => row.as_slice(),
+                None if (u as usize) < old_rows => self.fwd.row(u),
+                None => &[],
+            }
+        };
+        let mut pairs: Vec<(u32, u32)> =
+            Vec::with_capacity((0..num_nodes as u32).map(|u| row_of(u).len()).sum());
+        for u in 0..num_nodes as u32 {
+            pairs.extend(row_of(u).iter().map(|&v| (u, v)));
+        }
+        *self = Relation::from_sorted_pairs(num_nodes, pairs);
+        diffs
     }
 
     /// Nodes with at least one outgoing pair — the candidate frontier for
     /// a join variable in source position.
-    pub fn src_support(&self) -> &LabelSet {
+    pub fn src_support(&self) -> &NodeCol {
         &self.src_support
     }
 
     /// Nodes with at least one incoming pair — the candidate frontier for
     /// a join variable in target position.
-    pub fn tgt_support(&self) -> &LabelSet {
+    pub fn tgt_support(&self) -> &NodeCol {
         &self.tgt_support
     }
 
@@ -124,19 +257,35 @@ impl Relation {
         self.len == 0
     }
 
+    /// Approximate heap footprint in bytes (CSR columns plus supports).
+    pub fn approx_bytes(&self) -> usize {
+        self.fwd.approx_bytes()
+            + self.rev.approx_bytes()
+            + self.src_support.approx_bytes()
+            + self.tgt_support.approx_bytes()
+    }
+
     /// All `v` with `(u, v)` in the relation, sorted.
     pub fn targets_of(&self, u: u32) -> &[u32] {
-        self.fwd.row(u)
+        if (u as usize) < self.fwd.num_rows() {
+            self.fwd.row(u)
+        } else {
+            &[]
+        }
     }
 
     /// All `u` with `(u, v)` in the relation, sorted.
     pub fn sources_of(&self, v: u32) -> &[u32] {
-        self.rev.row(v)
+        if (v as usize) < self.rev.num_rows() {
+            self.rev.row(v)
+        } else {
+            &[]
+        }
     }
 
     /// Membership test (binary search in the source's row).
     pub fn contains(&self, u: u32, v: u32) -> bool {
-        self.fwd.row(u).binary_search(&v).is_ok()
+        self.targets_of(u).binary_search(&v).is_ok()
     }
 
     /// Iterates all pairs in `(u, v)` lexicographic order.
@@ -147,35 +296,162 @@ impl Relation {
     }
 }
 
-/// Reusable single-source product-search state. The visited table covers
-/// `|V| × |Q|` product states but is allocated *once* per relation build
-/// and reset in `O(1)` by bumping a generation stamp, so each source only
-/// pays for the product states it actually reaches.
-struct ProductBfs {
+/// One changed relation row: the targets that disappeared and appeared
+/// for a single source.
+#[derive(Clone, Debug)]
+pub(crate) struct RowDiff {
+    pub(crate) source: u32,
+    pub(crate) removed: Vec<u32>,
+    pub(crate) added: Vec<u32>,
+}
+
+/// Set difference both ways over two sorted slices.
+fn diff_sorted(old: &[u32], new: &[u32]) -> (Vec<u32>, Vec<u32>) {
+    let (mut removed, mut added) = (Vec::new(), Vec::new());
+    let (mut i, mut j) = (0, 0);
+    while i < old.len() || j < new.len() {
+        match (old.get(i), new.get(j)) {
+            (Some(&a), Some(&b)) if a == b => {
+                i += 1;
+                j += 1;
+            }
+            (Some(&a), Some(&b)) if a < b => {
+                removed.push(a);
+                i += 1;
+            }
+            (Some(_), Some(&b)) => {
+                added.push(b);
+                j += 1;
+            }
+            (Some(&a), None) => {
+                removed.push(a);
+                i += 1;
+            }
+            (None, Some(&b)) => {
+                added.push(b);
+                j += 1;
+            }
+            (None, None) => unreachable!(),
+        }
+    }
+    (removed, added)
+}
+
+/// The prefiltered BFS sources of `nfa` over `idx`: nodes able to take
+/// some useful first transition (shared by [`Relation::build`] and the
+/// incremental executor's frontier seeding).
+pub(crate) fn first_transition_sources(idx: &IndexedGraph, nfa: &Nfa, useful: &[bool]) -> LabelSet {
+    let mut sources = LabelSet::new();
+    for &(sym, q) in nfa.transitions(nfa.initial()) {
+        if !useful[q] {
+            continue;
+        }
+        match sym {
+            AtomSym::Node(a) => {
+                if let Some(s) = idx.nodes_with_label(a) {
+                    sources.union_with(s);
+                }
+            }
+            AtomSym::Edge(r) => {
+                for u in 0..idx.num_nodes() as u32 {
+                    if idx.has_successor(u, r) {
+                        sources.insert(u);
+                    }
+                }
+            }
+        }
+    }
+    sources
+}
+
+/// A stamped product-state visited table, adaptive in its backing store:
+/// a dense `|V| · |Q|` array of generation stamps while that fits
+/// [`Visited::DENSE_MAX`] slots (64 MiB of `u32`), a stamped hash map
+/// beyond — the dense table is reset in `O(1)` per source by bumping the
+/// stamp, the sparse one pays a hash per mark but keeps million-node ×
+/// many-state products from allocating gigabytes.
+pub(crate) enum Visited {
+    /// Dense stamp array indexed `node * states + state`.
+    Dense { stamp: u32, slots: Vec<u32> },
+    /// Stamped map keyed `node * states + state`.
+    Sparse { stamp: u32, map: FxHashMap<u64, u32> },
+}
+
+impl Visited {
+    const DENSE_MAX: usize = 1 << 24;
+
+    pub(crate) fn new(num_nodes: usize, states: usize) -> Visited {
+        if num_nodes.saturating_mul(states.max(1)) <= Visited::DENSE_MAX {
+            Visited::Dense { stamp: 0, slots: vec![0; num_nodes * states.max(1)] }
+        } else {
+            Visited::Sparse { stamp: 0, map: FxHashMap::default() }
+        }
+    }
+
+    /// Starts a fresh generation (invalidating all marks in `O(1)` except
+    /// on stamp wraparound).
+    pub(crate) fn next_round(&mut self) {
+        match self {
+            Visited::Dense { stamp, slots } => {
+                *stamp = stamp.wrapping_add(1);
+                if *stamp == 0 {
+                    slots.fill(0);
+                    *stamp = 1;
+                }
+            }
+            Visited::Sparse { stamp, map } => {
+                *stamp = stamp.wrapping_add(1);
+                if *stamp == 0 {
+                    map.clear();
+                    *stamp = 1;
+                }
+            }
+        }
+    }
+
+    /// Marks `(node, state)`; `true` iff it was unmarked this generation.
+    #[inline]
+    pub(crate) fn mark(&mut self, states: usize, node: u32, state: u32) -> bool {
+        match self {
+            Visited::Dense { stamp, slots } => {
+                let slot = &mut slots[node as usize * states + state as usize];
+                let fresh = *slot != *stamp;
+                *slot = *stamp;
+                fresh
+            }
+            Visited::Sparse { stamp, map } => {
+                let key = node as u64 * states as u64 + state as u64;
+                let slot = map.entry(key).or_insert(0);
+                let fresh = *slot != *stamp;
+                *slot = *stamp;
+                fresh
+            }
+        }
+    }
+}
+
+/// Reusable single-source product-search state: one [`Visited`] table
+/// shared across every source of a relation build.
+pub(crate) struct ProductBfs {
     states: usize,
-    stamp: u32,
-    visited: Vec<u32>,
+    visited: Visited,
     worklist: Vec<(u32, u32)>,
 }
 
 impl ProductBfs {
-    fn new(num_nodes: usize, states: usize) -> ProductBfs {
-        ProductBfs { states, stamp: 0, visited: vec![0; num_nodes * states], worklist: Vec::new() }
-    }
-
-    #[inline]
-    fn mark(&mut self, node: u32, state: u32) -> bool {
-        let slot = &mut self.visited[node as usize * self.states + state as usize];
-        let fresh = *slot != self.stamp;
-        *slot = self.stamp;
-        fresh
+    pub(crate) fn new(num_nodes: usize, states: usize) -> ProductBfs {
+        ProductBfs {
+            states: states.max(1),
+            visited: Visited::new(num_nodes, states),
+            worklist: Vec::new(),
+        }
     }
 
     /// Appends to `result` every node reachable from `start` along an
     /// accepted path (including `start` itself when the automaton is
     /// nullable). May append a node more than once — one entry per
     /// accepting product state — so callers deduplicate.
-    fn run(
+    pub(crate) fn run(
         &mut self,
         idx: &IndexedGraph,
         nfa: &Nfa,
@@ -183,14 +459,9 @@ impl ProductBfs {
         start: u32,
         result: &mut Vec<u32>,
     ) {
-        self.stamp = self.stamp.wrapping_add(1);
-        if self.stamp == 0 {
-            // Stamp wrapped: the table may contain stale "visited" marks.
-            self.visited.fill(0);
-            self.stamp = 1;
-        }
+        self.visited.next_round();
         self.worklist.clear();
-        self.mark(start, 0);
+        self.visited.mark(self.states, start, 0);
         self.worklist.push((start, 0));
         if nfa.is_final(0) {
             result.push(start);
@@ -203,7 +474,7 @@ impl ProductBfs {
                 let q = q as u32;
                 match sym {
                     AtomSym::Node(a) => {
-                        if idx.has_label(u, a) && self.mark(u, q) {
+                        if idx.has_label(u, a) && self.visited.mark(self.states, u, q) {
                             if nfa.is_final(q as usize) {
                                 result.push(u);
                             }
@@ -212,7 +483,7 @@ impl ProductBfs {
                     }
                     AtomSym::Edge(r) => {
                         for &v in idx.successors(u, r) {
-                            if self.mark(v, q) {
+                            if self.visited.mark(self.states, v, q) {
                                 if nfa.is_final(q as usize) {
                                     result.push(v);
                                 }
@@ -308,5 +579,63 @@ mod tests {
         g.add_edge(n, r, n);
         assert_agrees(&Regex::edge(r).star(), &g);
         assert_agrees(&Regex::edge(r), &Graph::new());
+    }
+
+    #[test]
+    fn node_col_picks_sparse_for_scattered_ids() {
+        let sparse = NodeCol::from_sorted_vec(vec![3, 1_000_000]);
+        assert!(matches!(sparse, NodeCol::Sparse(_)));
+        assert!(sparse.contains(3) && sparse.contains(1_000_000) && !sparse.contains(4));
+        assert_eq!(sparse.iter().collect::<Vec<_>>(), vec![3, 1_000_000]);
+        let dense = NodeCol::from_sorted_vec((0..128).collect());
+        assert!(matches!(dense, NodeCol::Dense(_)));
+        assert_eq!(dense.len(), 128);
+        assert!(dense.approx_bytes() <= 4 * 128);
+    }
+
+    #[test]
+    fn sparse_visited_table_agrees_with_dense() {
+        let mut dense = Visited::Dense { stamp: 0, slots: vec![0; 4 * 3] };
+        let mut sparse = Visited::Sparse { stamp: 0, map: FxHashMap::default() };
+        for v in [&mut dense, &mut sparse] {
+            v.next_round();
+            assert!(v.mark(3, 2, 1));
+            assert!(!v.mark(3, 2, 1));
+            assert!(v.mark(3, 2, 2));
+            v.next_round();
+            assert!(v.mark(3, 2, 1), "new round invalidates old marks");
+        }
+    }
+
+    #[test]
+    fn patch_rows_matches_fresh_build_and_reports_diffs() {
+        let (v, mut g) = medical();
+        let cr = v.find_edge_label("crossReacting").unwrap();
+        let dt = v.find_edge_label("designTarget").unwrap();
+        let re = Regex::edge(dt).then(Regex::edge(cr).star());
+        let nfa = Nfa::from_regex(&re);
+        let idx = IndexedGraph::build(&g);
+        let mut rel = Relation::build(&idx, &nfa);
+
+        // Cut the chain at a2 -cr-> a3 and recompute the one affected row.
+        g.remove_edge(NodeId(2), cr, NodeId(3));
+        let idx2 = IndexedGraph::build(&g);
+        let fresh = Relation::build(&idx2, &nfa);
+        let mut changes = FxHashMap::default();
+        changes.insert(0u32, fresh.targets_of(0).to_vec());
+        let diffs = rel.patch_rows(g.num_nodes(), &changes);
+        assert_eq!(diffs.len(), 1);
+        assert_eq!(diffs[0].source, 0);
+        assert_eq!(diffs[0].removed, vec![3]);
+        assert!(diffs[0].added.is_empty());
+        let patched: Vec<_> = rel.iter_pairs().collect();
+        let want: Vec<_> = fresh.iter_pairs().collect();
+        assert_eq!(patched, want);
+        assert_eq!(rel.len(), fresh.len());
+        assert_eq!(rel.sources_of(2), fresh.sources_of(2));
+        assert_eq!(
+            rel.src_support().iter().collect::<Vec<_>>(),
+            fresh.src_support().iter().collect::<Vec<_>>()
+        );
     }
 }

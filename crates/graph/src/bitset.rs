@@ -43,6 +43,12 @@ impl LabelSet {
         s
     }
 
+    /// Approximate heap footprint in bytes (the block vector; the set is
+    /// normalized, so this is proportional to the highest set bit).
+    pub fn approx_bytes(&self) -> usize {
+        self.blocks.capacity() * std::mem::size_of::<u64>()
+    }
+
     fn normalize(&mut self) {
         while self.blocks.last() == Some(&0) {
             self.blocks.pop();

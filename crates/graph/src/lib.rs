@@ -26,11 +26,13 @@
 #![warn(missing_docs)]
 
 mod bitset;
+mod delta;
 mod fxhash;
 mod graph;
 mod vocab;
 
 pub use bitset::LabelSet;
+pub use delta::{DeltaEffects, GraphDelta};
 pub use fxhash::{FxHashMap, FxHashSet, FxHasher};
 pub use graph::{Graph, NodeId};
 pub use vocab::{EdgeLabel, EdgeSym, NodeLabel, Vocab};

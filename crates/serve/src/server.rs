@@ -18,7 +18,7 @@ use crate::registry::{
     canonical_key, fingerprint_of, Fingerprint, RegistryConfig, SessionRegistry,
 };
 use gts_core::containment::ContainmentOptions;
-use gts_core::graph::{Graph, Vocab};
+use gts_core::graph::{Graph, GraphDelta, Vocab};
 use gts_core::sat::Budget;
 use gts_core::schema::Schema;
 use gts_core::Transformation;
@@ -45,6 +45,10 @@ pub struct Compiled {
 pub type CompileFn = dyn Fn(&str) -> Result<Compiled, String> + Send + Sync;
 /// Parses the standalone graph-instance format against a vocabulary.
 pub type ParseInstanceFn = dyn Fn(&str, &mut Vocab) -> Result<Graph, String> + Send + Sync;
+/// Parses an instance text plus a delta text (delta node names resolve
+/// against the instance's names) into the base graph and its delta.
+pub type ParseDeltaFn =
+    dyn Fn(&str, &str, &mut Vocab) -> Result<(Graph, GraphDelta), String> + Send + Sync;
 /// Renders a schema for the wire (`elicit` results).
 pub type RenderSchemaFn = dyn Fn(&Schema, &Vocab) -> String + Send + Sync;
 
@@ -56,6 +60,8 @@ pub struct Frontend {
     pub compile: Arc<CompileFn>,
     /// Parses the standalone graph-instance format against a vocabulary.
     pub parse_instance: Arc<ParseInstanceFn>,
+    /// Parses an instance + delta text pair (the `delta` verb).
+    pub parse_delta: Arc<ParseDeltaFn>,
     /// Renders a schema (used for `elicit` results on the wire).
     pub render_schema: Arc<RenderSchemaFn>,
 }
@@ -110,12 +116,13 @@ impl Default for ServerConfig {
 /// verbs plus two fallbacks — `invalid` for frames that fail to parse
 /// or carry the wrong protocol version, `unknown` for well-formed
 /// frames naming a verb the server does not speak.
-const VERB_LABELS: [&str; 11] = [
+const VERB_LABELS: [&str; 12] = [
     "ping",
     "stats",
     "metrics",
     "load_schema",
     "analyze",
+    "delta",
     "evict",
     "cache_export",
     "cache_import",
@@ -216,7 +223,7 @@ impl ProtoMetrics {
     /// Maps a frame's `op` onto its metrics label (`unknown` for verbs
     /// the server does not speak).
     fn verb_label(&self, op: &str) -> &'static str {
-        VERB_LABELS[..9].iter().find(|&&v| v == op).copied().unwrap_or("unknown")
+        VERB_LABELS[..10].iter().find(|&&v| v == op).copied().unwrap_or("unknown")
     }
 }
 
@@ -546,6 +553,7 @@ fn route(shared: &Shared, op: &str, frame: &Json) -> (Json, Control) {
         "metrics" => (metrics_frame(shared, frame), Control::Continue),
         "load_schema" => (load_schema(shared, frame), Control::Continue),
         "analyze" => (analyze(shared, frame), Control::Continue),
+        "delta" => (delta_verb(shared, frame), Control::Continue),
         "evict" => (evict(shared, frame), Control::Continue),
         "cache_export" => (cache_export(shared, frame), Control::Continue),
         "cache_import" => (cache_import(shared, frame), Control::Continue),
@@ -996,6 +1004,99 @@ fn analyze(shared: &Shared, frame: &Json) -> Json {
     r
 }
 
+/// The `delta` verb: one incremental-execution request per frame. The
+/// shipped instance is executed in full once, then each delta patches
+/// the output through the incremental engine; the response reports the
+/// per-delta strategy (incremental vs full-rebuild fallback) alongside
+/// the patched output's size. Deltas that do not apply to the instance
+/// (out-of-range names/ids, index overflow) come back as `bad_request`.
+fn delta_verb(shared: &Shared, frame: &Json) -> Json {
+    let op = "delta";
+    let (compiled, idx, opts, fp, key) = match resolve_source(shared, frame, op) {
+        Ok(x) => x,
+        Err(e) => return e,
+    };
+    let Some(tname) = frame.get("transform").and_then(Json::as_str) else {
+        return proto::error_frame(Some(op), proto::BAD_REQUEST, "missing `transform` name");
+    };
+    let Some((_, transform)) = compiled.transforms.iter().find(|(n, _)| n == tname) else {
+        return proto::error_frame(
+            Some(op),
+            proto::BAD_REQUEST,
+            format!("no transform named `{tname}` in the shipped text"),
+        );
+    };
+    let Some(inst_text) = frame.get("instance").and_then(Json::as_str) else {
+        return proto::error_frame(Some(op), proto::BAD_REQUEST, "missing `instance` text");
+    };
+    let Some(delta_text) = frame.get("delta").and_then(Json::as_str) else {
+        return proto::error_frame(Some(op), proto::BAD_REQUEST, "missing `delta` text");
+    };
+    let mut vocab = compiled.vocab.clone();
+    let (instance, delta) = {
+        let _span = gts_obs::span("parse");
+        match (shared.frontend.parse_delta)(inst_text, delta_text, &mut vocab) {
+            Ok(x) => x,
+            Err(e) => return proto::error_frame(Some(op), proto::BAD_REQUEST, e),
+        }
+    };
+    let check_target = match frame.get("check_target").and_then(Json::as_str) {
+        Some(name) => match compiled.schemas.iter().find(|(n, _)| n == name) {
+            Some((_, s)) => Some(s.clone()),
+            None => {
+                return proto::error_frame(
+                    Some(op),
+                    proto::BAD_REQUEST,
+                    format!("no schema named `{name}` in the shipped text"),
+                )
+            }
+        },
+        None => None,
+    };
+    let deadline = frame
+        .get("deadline_ms")
+        .and_then(Json::as_u64)
+        .or(shared.cfg.default_deadline_ms)
+        .map(|ms| Instant::now() + Duration::from_millis(ms.max(1)));
+    let permit = match shared.admission.admit(deadline) {
+        Ok(p) => p,
+        Err(e) => {
+            match e {
+                crate::AdmissionError::Overloaded => shared.obs.rejected_overloaded.inc(),
+                crate::AdmissionError::DeadlineExceeded => shared.obs.rejected_deadline.inc(),
+                crate::AdmissionError::Draining => shared.obs.rejected_draining.inc(),
+            }
+            return proto::error_frame(Some(op), e.code(), admission_message(e));
+        }
+    };
+    let schema = compiled.schemas[idx].1.clone();
+    let (mut session, pool_hit) = shared
+        .registry
+        .checkout(fp, &key, || AnalysisSession::with_options(schema, compiled.vocab.clone(), opts));
+    shared.requests_total.fetch_add(1, Ordering::Relaxed);
+    shared.obs.requests_total.inc();
+    let request = Request::ExecuteDelta {
+        transform: transform.clone(),
+        instance,
+        deltas: vec![delta],
+        check_target,
+    };
+    let start = Instant::now();
+    let verdict = request.run(&mut session);
+    let micros = start.elapsed().as_micros() as u64;
+    drop(permit);
+    if let Err(gts_core::AnalysisError::Delta(msg)) = &verdict {
+        return proto::error_frame(Some(op), proto::BAD_REQUEST, msg.clone());
+    }
+    let entry = verdict_json(shared, &session, format!("delta {tname}"), verdict, micros);
+    let mut r = proto::ok_frame(op);
+    r.set("fingerprint", fp.to_string())
+        .set("source", compiled.schemas[idx].0.as_str())
+        .set("pool", if pool_hit { "hit" } else { "miss" })
+        .set("result", entry);
+    r
+}
+
 fn admission_message(e: crate::AdmissionError) -> &'static str {
     match e {
         crate::AdmissionError::Overloaded => {
@@ -1113,6 +1214,28 @@ fn verdict_json(
             entry
                 .set("output_nodes", output.num_nodes() as u64)
                 .set("output_edges", output.num_edges() as u64);
+            if let Some(ok) = conforms {
+                entry.set("conforms", ok);
+            }
+        }
+        Ok(Verdict::DeltaExecuted { output, outcomes, conforms }) => {
+            entry
+                .set("output_nodes", output.num_nodes() as u64)
+                .set("output_edges", output.num_edges() as u64);
+            let rendered = outcomes
+                .iter()
+                .map(|o| {
+                    let mut d = Json::obj();
+                    d.set("strategy", format!("{:?}", o.strategy))
+                        .set("touched", o.touched as u64)
+                        .set("affected_sources", o.affected_sources as u64)
+                        .set("rules_reevaluated", o.rules_reevaluated as u64)
+                        .set("facts_added", o.facts_added as u64)
+                        .set("facts_removed", o.facts_removed as u64);
+                    d
+                })
+                .collect();
+            entry.set("deltas", Json::Arr(rendered));
             if let Some(ok) = conforms {
                 entry.set("conforms", ok);
             }

@@ -1,0 +1,236 @@
+//! Differential suite for incremental delta execution (`gts-exec`'s
+//! [`Incremental`]).
+//!
+//! The contract under test: after any chain of [`GraphDelta`]s, the
+//! incrementally maintained output must be *identical* — same output
+//! facts, same assembled output graph — to a from-scratch execution of
+//! the transformation on the patched instance. We drive that contract
+//! with random delta chains over the corpus families' primary workloads
+//! (medical, social, stress), over randomly generated conforming
+//! graphs, and with delete-heavy chains that exercise tombstoning and
+//! the full-rebuild fallback.
+
+use gts_core::Transformation;
+use gts_corpus::{scenario, Family, Params};
+use gts_exec::{execute, output_facts, DeltaStrategy, ExecOptions, Incremental, IndexedGraph};
+use gts_graph::{EdgeLabel, Graph, GraphDelta, LabelSet, NodeId, NodeLabel, Vocab};
+use gts_schema::random_conforming_graph;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The corpus families the suite sweeps (the ones with dense primary
+/// workloads; hardness/fhir/retail are covered by the random-graph
+/// property below through schema-conforming generation).
+const FAMILIES: [Family; 3] = [Family::Medical, Family::Social, Family::Stress];
+
+/// Incremental facts and output graph must equal a from-scratch
+/// execution on the patched instance (the exact idiom the in-crate
+/// `gts-exec` unit tests pin, re-applied here over whole delta chains).
+fn assert_agrees_with_full(inc: &Incremental, t: &Transformation, context: &str) {
+    let idx = IndexedGraph::build(inc.graph());
+    let want = output_facts(&idx, t, &ExecOptions::default());
+    assert_eq!(inc.output_facts(), want, "{context}: facts diverge from full execution");
+    let full = execute(t, inc.graph());
+    let out = inc.output_graph();
+    assert_eq!(out.num_nodes(), full.num_nodes(), "{context}: output node counts diverge");
+    assert_eq!(
+        out.edges().collect::<Vec<_>>(),
+        full.edges().collect::<Vec<_>>(),
+        "{context}: output edges diverge from full execution"
+    );
+}
+
+/// Generates a random valid delta against the current state of `g`.
+///
+/// Everything `apply_in_place` accepts is fair game: fresh nodes, edges
+/// between arbitrary ids (including freshly added and previously
+/// tombstoned ones — re-wiring a tombstone is legal), label flips, edge
+/// removals sampled from the live edge set, and node tombstones.
+/// `delete_heavy` flips the op mix toward removals.
+fn random_delta(g: &Graph, vocab: &Vocab, rng: &mut StdRng, delete_heavy: bool) -> GraphDelta {
+    let n = g.num_nodes() as u32;
+    let num_nl = vocab.num_node_labels() as u32;
+    let num_el = vocab.num_edge_labels() as u32;
+    assert!(n > 0 && num_nl > 0 && num_el > 0, "degenerate instance");
+    let live_edges: Vec<(NodeId, EdgeLabel, NodeId)> = g.edges().collect();
+
+    let mut d = GraphDelta::default();
+    let fresh = if delete_heavy { rng.gen_range(0..2) } else { rng.gen_range(0..3) };
+    for _ in 0..fresh {
+        let k = rng.gen_range(0..=2);
+        d.added_nodes.push(LabelSet::from_iter((0..k).map(|_| rng.gen_range(0..num_nl))));
+    }
+    let total = n + d.added_nodes.len() as u32;
+
+    let removal_pct = if delete_heavy { 70 } else { 35 };
+    for _ in 0..rng.gen_range(1..=8usize) {
+        if rng.gen_range(0..100) < removal_pct {
+            match rng.gen_range(0..4) {
+                0 if !live_edges.is_empty() => {
+                    d.removed_edges.push(live_edges[rng.gen_range(0..live_edges.len())]);
+                }
+                1 => d.removed_nodes.push(NodeId(rng.gen_range(0..n))),
+                _ => d
+                    .removed_labels
+                    .push((NodeId(rng.gen_range(0..n)), NodeLabel(rng.gen_range(0..num_nl)))),
+            }
+        } else if rng.gen_bool(0.6) {
+            d.added_edges.push((
+                NodeId(rng.gen_range(0..total)),
+                EdgeLabel(rng.gen_range(0..num_el)),
+                NodeId(rng.gen_range(0..total)),
+            ));
+        } else {
+            d.added_labels
+                .push((NodeId(rng.gen_range(0..total)), NodeLabel(rng.gen_range(0..num_nl))));
+        }
+    }
+    d
+}
+
+/// Runs a chain of `steps` random deltas over one family's primary
+/// workload, checking full agreement after every step. Returns how many
+/// steps took each strategy.
+fn run_chain(family: Family, seed: u64, steps: usize, delete_heavy: bool) -> (usize, usize) {
+    let sc = scenario(family, &Params { seed, scale: 28 });
+    let t = sc
+        .transform(&sc.primary.transform)
+        .unwrap_or_else(|| panic!("{}: missing primary transform", family.name()));
+    let inst = sc
+        .instance(&sc.primary.instance)
+        .unwrap_or_else(|| panic!("{}: missing primary instance", family.name()));
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED_DE17A);
+    let mut inc = Incremental::new(t, &inst.graph);
+    assert_agrees_with_full(&inc, t, &format!("{} seed {seed} baseline", family.name()));
+
+    let (mut incremental, mut rebuilds) = (0usize, 0usize);
+    for step in 0..steps {
+        let delta = random_delta(inc.graph(), &sc.vocab, &mut rng, delete_heavy);
+        let ctx = format!("{} seed {seed} step {step} ({delta:?})", family.name());
+        let out = inc.apply_delta(&delta).unwrap_or_else(|e| panic!("{ctx}: {e}"));
+        match out.strategy {
+            DeltaStrategy::Incremental => incremental += 1,
+            DeltaStrategy::FullRebuild => rebuilds += 1,
+        }
+        assert_agrees_with_full(&inc, t, &ctx);
+    }
+    (incremental, rebuilds)
+}
+
+// ───────────────────────── corpus-family chains ─────────────────────────
+
+/// Mixed add/remove delta chains over every swept family's primary
+/// workload agree with full re-execution at every step, and the sweep
+/// actually exercises the incremental path (not just fallbacks).
+#[test]
+fn corpus_primary_workloads_agree_under_random_delta_chains() {
+    let mut incremental_total = 0;
+    for family in FAMILIES {
+        for seed in 0..6u64 {
+            let (incremental, _) = run_chain(family, seed, 6, false);
+            incremental_total += incremental;
+        }
+    }
+    assert!(incremental_total > 0, "sweep never took the incremental path");
+}
+
+/// Delete-heavy chains — tombstones, mass label drops, edge removals —
+/// agree with full re-execution at every step.
+#[test]
+fn delete_heavy_delta_chains_agree_with_full_execution() {
+    for family in FAMILIES {
+        for seed in 0..4u64 {
+            run_chain(family, seed, 5, true);
+        }
+    }
+}
+
+/// A delta that tombstones half the instance crosses the touch-ratio
+/// crossover, falls back to a full rebuild, and still agrees.
+#[test]
+fn mass_tombstone_falls_back_to_full_rebuild_and_agrees() {
+    let sc = scenario(Family::Medical, &Params { seed: 7, scale: 40 });
+    let t = sc.transform(&sc.primary.transform).unwrap();
+    let inst = sc.instance(&sc.primary.instance).unwrap();
+    let mut inc = Incremental::new(t, &inst.graph);
+
+    let delta = GraphDelta {
+        removed_nodes: (0..inst.graph.num_nodes() as u32 / 2).map(NodeId).collect(),
+        ..GraphDelta::default()
+    };
+    let out = inc.apply_delta(&delta).unwrap();
+    assert_eq!(out.strategy, DeltaStrategy::FullRebuild, "touched {}", out.touched);
+    assert_agrees_with_full(&inc, t, "mass tombstone");
+
+    // And the engine keeps working incrementally afterwards.
+    let mut rng = StdRng::seed_from_u64(99);
+    for step in 0..4 {
+        let delta = random_delta(inc.graph(), &sc.vocab, &mut rng, false);
+        inc.apply_delta(&delta).unwrap();
+        assert_agrees_with_full(&inc, t, &format!("post-rebuild step {step}"));
+    }
+}
+
+/// An empty delta is a no-op: nothing touched, output unchanged.
+#[test]
+fn empty_delta_is_a_noop() {
+    let sc = scenario(Family::Medical, &Params::quick());
+    let t = sc.transform(&sc.primary.transform).unwrap();
+    let inst = sc.instance(&sc.primary.instance).unwrap();
+    let mut inc = Incremental::new(t, &inst.graph);
+    let before = inc.output_facts();
+    let out = inc.apply_delta(&GraphDelta::default()).unwrap();
+    assert_eq!(out.touched, 0);
+    assert_eq!(inc.output_facts(), before);
+    assert_agrees_with_full(&inc, t, "empty delta");
+}
+
+/// Deltas referencing out-of-range node ids are rejected without
+/// corrupting the maintained state.
+#[test]
+fn invalid_delta_is_rejected_and_state_survives() {
+    let sc = scenario(Family::Medical, &Params::quick());
+    let t = sc.transform(&sc.primary.transform).unwrap();
+    let inst = sc.instance(&sc.primary.instance).unwrap();
+    let mut inc = Incremental::new(t, &inst.graph);
+    let bogus = GraphDelta {
+        removed_nodes: vec![NodeId(inst.graph.num_nodes() as u32 + 17)],
+        ..GraphDelta::default()
+    };
+    assert!(inc.apply_delta(&bogus).is_err());
+    assert_agrees_with_full(&inc, t, "after rejected delta");
+}
+
+// ───────────────────────── random-graph property ────────────────────────
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Arbitrary conforming graphs under arbitrary delta chains: the
+    /// incremental output stays byte-identical to full re-execution,
+    /// whatever the seed, family, instance shape, or op mix.
+    #[test]
+    fn incremental_matches_full_on_random_graphs(
+        seed in any::<u64>(),
+        fam in 0usize..FAMILIES.len(),
+        size in 2usize..6,
+        delete_heavy in any::<bool>(),
+    ) {
+        let family = FAMILIES[fam];
+        let sc = scenario(family, &Params { seed, scale: 20 });
+        let t = sc.transform(&sc.primary.transform).unwrap();
+        let schema = sc.schema(&sc.primary.source).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9));
+        let Some(g) = random_conforming_graph(schema, size, 8, &mut rng) else {
+            return Ok(()); // generator gave up at this seed; nothing to test
+        };
+        let mut inc = Incremental::new(t, &g);
+        for step in 0..3 {
+            let delta = random_delta(inc.graph(), &sc.vocab, &mut rng, delete_heavy);
+            let ctx = format!("{} seed {seed} step {step}", family.name());
+            inc.apply_delta(&delta).unwrap_or_else(|e| panic!("{ctx}: {e}"));
+            assert_agrees_with_full(&inc, t, &ctx);
+        }
+    }
+}

@@ -846,3 +846,73 @@ fn slow_ms_zero_flags_every_frame_without_disturbing_responses() {
     assert!(body.contains("gts_serve_frames_total{verb=\"analyze\"} 1\n"), "{body}");
     shutdown_and_join(handle);
 }
+
+// ──────────────────────── the delta verb ───────────────────────────────
+
+#[test]
+fn delta_verb_patches_execution_output_over_the_wire() {
+    let handle = start_default();
+    let mut client = connect(&handle);
+
+    // Splice a fresh antigen between a1 and a2: the patched output must
+    // match a full execute over the patched instance.
+    let delta = "\
+add node a3 Antigen
+del edge a1 crossReacting a2
+add edge a1 crossReacting a3
+add edge a3 crossReacting a2
+";
+    let resp = client.delta(MEDICAL, "T0", MEDICAL_INSTANCE, delta, Some("S1")).unwrap();
+    assert!(ok(&resp), "{}", resp.pretty());
+    let result = resp.get("result").unwrap();
+    assert_eq!(result.get("conforms").and_then(Json::as_bool), Some(true));
+    let outcomes = result.get("deltas").and_then(Json::as_arr).unwrap();
+    assert_eq!(outcomes.len(), 1);
+    assert!(outcomes[0].get("strategy").and_then(Json::as_str).is_some());
+
+    // Parity: the same patched instance executed in full.
+    let patched_instance = "\
+node v1 Vaccine
+node a1 Antigen
+node a2 Antigen
+node p1 Pathogen
+node a3 Antigen
+edge v1 designTarget a1
+edge p1 exhibits a1
+edge p1 exhibits a2
+edge a1 crossReacting a3
+edge a3 crossReacting a2
+";
+    let full = client
+        .analyze(MEDICAL, Some("S0"), vec![proto::spec_execute("T0", patched_instance, Some("S1"))])
+        .unwrap();
+    assert!(ok(&full), "{}", full.pretty());
+    let full_entry = &results(&full)[0];
+    assert_eq!(
+        result.get("output_nodes").and_then(Json::as_u64),
+        full_entry.get("output_nodes").and_then(Json::as_u64)
+    );
+    assert_eq!(
+        result.get("output_edges").and_then(Json::as_u64),
+        full_entry.get("output_edges").and_then(Json::as_u64)
+    );
+
+    // A delta that does not apply is a bad_request, not a dead server.
+    let resp = client.delta(MEDICAL, "T0", MEDICAL_INSTANCE, "del node ghost", None).unwrap();
+    assert!(!ok(&resp));
+    assert_eq!(resp.get("error").and_then(Json::as_str), Some(proto::BAD_REQUEST));
+
+    // Unknown transform and missing fields are bad requests too.
+    let resp = client.delta(MEDICAL, "NoSuchT", MEDICAL_INSTANCE, "", None).unwrap();
+    assert_eq!(resp.get("error").and_then(Json::as_str), Some(proto::BAD_REQUEST));
+    let mut frame = proto::frame("delta");
+    frame.set("gts", MEDICAL).set("transform", "T0");
+    let resp = client.roundtrip(&frame).unwrap();
+    assert_eq!(resp.get("error").and_then(Json::as_str), Some(proto::BAD_REQUEST));
+
+    // The verb shows up in the per-verb frame metrics.
+    let resp = client.metrics(None).unwrap();
+    let body = resp.get("body").and_then(Json::as_str).unwrap();
+    assert!(body.contains("gts_serve_frames_total{verb=\"delta\"} 4\n"), "{body}");
+    shutdown_and_join(handle);
+}
