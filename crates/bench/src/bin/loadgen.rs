@@ -14,7 +14,18 @@
 //! cargo run --release -p gts-bench --bin loadgen -- --spawn target/release/gts
 //! #   spawns `gts serve` on an ephemeral port, drives it, sends the
 //! #   shutdown verb, and asserts a clean drain (exit 0, "server drained")
+//! cargo run --release -p gts-bench --bin loadgen -- --chaos [--quick]
+//! #   soak mode: seeded hostile traffic (mid-frame disconnects,
+//! #   malformed/oversized frames, pipelined bursts, evict storms,
+//! #   corpus-family analyzes) with invariant checks instead of a report
 //! ```
+//!
+//! Beyond the closed-loop drive, the report carries a `pipelining`
+//! section (protocol-v2 batched submission at `--depth`), an
+//! `open_loop` section (Poisson arrivals at stepped request rates —
+//! latency under load, not latency under lockstep), and a
+//! `connection_sweep` section (`--connections`, default 1000, resident
+//! at once).
 //!
 //! The cold baseline re-parses the `.gts` text and builds a fresh
 //! session (fresh oracle cache) per request — exactly the work a
@@ -261,6 +272,449 @@ fn family_section(addr: &str, families: &[Family], quick: bool) -> Json {
     Json::Arr(rows)
 }
 
+/// The 8-connection closed-loop throughput measured against the
+/// pre-reactor thread-per-connection server (the `BENCH_server.json`
+/// this rewrite replaces). The pipelining section must clear 3x this.
+const BASELINE_CLOSED_LOOP_RPS: f64 = 3486.7;
+
+/// Drives `conns` connections, each submitting `rounds` pipelined
+/// batches built by `build(conn_index)` through [`Client::pipeline`]
+/// (one write, out-of-order completion, responses reassembled by `id`).
+/// Returns per-batch latencies and the wall time across all threads.
+fn pipelined_drive(
+    addr: &str,
+    conns: usize,
+    rounds: usize,
+    build: impl Fn(usize) -> Vec<Json> + Sync,
+) -> (Vec<u64>, u64) {
+    let barrier = std::sync::Arc::new(std::sync::Barrier::new(conns + 1));
+    let build = &build;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..conns)
+            .map(|c| {
+                let barrier = std::sync::Arc::clone(&barrier);
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("pipeline connect");
+                    let frames = build(c);
+                    let mut local = Vec::with_capacity(rounds);
+                    barrier.wait();
+                    for _ in 0..rounds {
+                        let start = Instant::now();
+                        let resps = client.pipeline(&frames).expect("pipelined batch");
+                        local.push(start.elapsed().as_micros() as u64);
+                        for r in &resps {
+                            assert_eq!(
+                                r.get("ok").and_then(Json::as_bool),
+                                Some(true),
+                                "{}",
+                                r.pretty()
+                            );
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+        barrier.wait();
+        let wall = Instant::now();
+        let mut all = Vec::new();
+        for h in handles {
+            all.extend(h.join().expect("pipeline thread"));
+        }
+        (all, wall.elapsed().as_micros() as u64)
+    })
+}
+
+/// Protocol-v2 pipelining: every connection keeps `depth` analyze
+/// frames resident at once instead of one lockstep roundtrip, which is
+/// where an event-driven server actually earns its keep. A second drive
+/// with `ping` frames measures the raw protocol ceiling (the reactor
+/// pays full freight, the engine pays nothing). Returns the report
+/// section, the analyze throughput, and the number of analyze frames
+/// sent (the observability accounting needs it).
+fn pipelined_section(
+    addr: &str,
+    w: &Workload,
+    conns: usize,
+    depth: usize,
+    rounds: usize,
+) -> (Json, f64, u64) {
+    let (mut batches, wall_micros) = pipelined_drive(addr, conns, rounds, |c| {
+        (0..depth)
+            .map(|i| {
+                let kind = KINDS[(c + i) % KINDS.len()];
+                proto::analyze_frame(&w.gts, Some("S0"), vec![spec_for(kind, w)])
+            })
+            .collect()
+    });
+    let analyze_frames = (conns * rounds * depth) as u64;
+    let rps = analyze_frames as f64 / (wall_micros as f64 / 1e6);
+    batches.sort_unstable();
+    let ping_depth = depth.max(64);
+    let ping_rounds = rounds.clamp(2, 8);
+    let (_, ping_wall) = pipelined_drive(addr, conns, ping_rounds, |_| {
+        (0..ping_depth).map(|_| proto::frame("ping")).collect()
+    });
+    let ping_frames = (conns * ping_rounds * ping_depth) as u64;
+    let ping_rps = ping_frames as f64 / (ping_wall as f64 / 1e6);
+    println!(
+        "pipelined depth {depth}: {rps:.0} analyze req/s over {conns} connections \
+         ({:.1}x the {BASELINE_CLOSED_LOOP_RPS:.0} rps closed-loop baseline); \
+         ping ceiling {ping_rps:.0} req/s",
+        rps / BASELINE_CLOSED_LOOP_RPS
+    );
+    let mut j = Json::obj();
+    j.set("depth", depth)
+        .set("connections", conns)
+        .set("rounds", rounds)
+        .set("analyze_frames", analyze_frames)
+        .set("wall_micros", wall_micros)
+        .set("throughput_rps", rps)
+        .set("batch_p50_micros", percentile(&batches, 0.50))
+        .set("batch_p99_micros", percentile(&batches, 0.99))
+        .set("baseline_closed_loop_rps", BASELINE_CLOSED_LOOP_RPS)
+        .set("vs_baseline_closed_loop", rps / BASELINE_CLOSED_LOOP_RPS)
+        .set("ping_frames", ping_frames)
+        .set("ping_throughput_rps", ping_rps);
+    (j, rps, analyze_frames)
+}
+
+/// One open-loop step: Poisson arrivals at `rate` req/s over a single
+/// v2 connection. Arrival times are drawn up front (exponential
+/// inter-arrivals, seeded), a writer thread ships each frame when its
+/// time comes whether or not earlier responses are back, and latency is
+/// measured from the *scheduled* arrival — so a server that falls
+/// behind shows queueing delay instead of quietly slowing the clients,
+/// which is exactly what closed-loop percentiles hide. Returns the
+/// report row and the number of analyze frames sent.
+fn open_loop_step(
+    addr: &str,
+    templates: &[String],
+    rate: f64,
+    duration_s: f64,
+    seed: u64,
+) -> (Json, u64) {
+    use rand::{Rng as _, SeedableRng as _};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let n = ((rate * duration_s).ceil() as usize).clamp(1, 20_000);
+    let mut offsets = Vec::with_capacity(n);
+    let mut t = 0.0f64;
+    for _ in 0..n {
+        let u: f64 = rng.gen::<f64>().max(1e-12);
+        t += -u.ln() / rate;
+        offsets.push((t * 1e6) as u64);
+    }
+    let stream = std::net::TcpStream::connect(addr).expect("open-loop connect");
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(std::time::Duration::from_secs(30))).ok();
+    let mut reader = std::io::BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut writer = std::io::BufWriter::new(stream);
+    let offs = &offsets;
+    let base = Instant::now();
+    let (completed, rejected, mut lat, wall_micros) = std::thread::scope(|scope| {
+        let writer_h = scope.spawn(move || {
+            use std::io::Write as _;
+            let mut chunk = String::new();
+            let mut i = 0usize;
+            while i < n {
+                let now = base.elapsed().as_micros() as u64;
+                if now < offs[i] {
+                    std::thread::sleep(std::time::Duration::from_micros(offs[i] - now));
+                    continue;
+                }
+                // Ship every frame whose arrival time has passed in one
+                // write (micro-batching keeps the writer ahead of the
+                // schedule at high rates).
+                chunk.clear();
+                while i < n && offs[i] <= base.elapsed().as_micros() as u64 {
+                    let tpl = &templates[i % templates.len()];
+                    chunk.push_str("{\"id\":\"o");
+                    chunk.push_str(&i.to_string());
+                    chunk.push_str("\",");
+                    chunk.push_str(&tpl[1..]);
+                    chunk.push('\n');
+                    i += 1;
+                }
+                writer.write_all(chunk.as_bytes()).expect("open-loop write");
+                writer.flush().expect("open-loop flush");
+            }
+        });
+        let mut completed = 0u64;
+        let mut rejected = 0u64;
+        let mut lat = Vec::with_capacity(n);
+        let mut line = String::new();
+        for _ in 0..n {
+            line.clear();
+            let got = reader.read_line(&mut line).expect("open-loop read");
+            assert!(got > 0, "server closed mid open-loop run");
+            let now = base.elapsed().as_micros() as u64;
+            let resp = Json::parse(line.trim()).expect("open-loop response parses");
+            let idx: usize = resp
+                .get("id")
+                .and_then(Json::as_str)
+                .and_then(|s| s.strip_prefix('o'))
+                .and_then(|s| s.parse().ok())
+                .expect("response echoes the frame id");
+            if resp.get("ok").and_then(Json::as_bool) == Some(true) {
+                completed += 1;
+                lat.push(now.saturating_sub(offs[idx]));
+            } else {
+                rejected += 1;
+            }
+        }
+        let wall = base.elapsed().as_micros() as u64;
+        writer_h.join().expect("open-loop writer");
+        (completed, rejected, lat, wall)
+    });
+    lat.sort_unstable();
+    let achieved = n as f64 / (wall_micros as f64 / 1e6);
+    println!(
+        "open-loop target {rate:>7.0} req/s -> achieved {achieved:>7.0}; p50 {}us p99 {}us \
+         ({rejected} rejected)",
+        percentile(&lat, 0.50),
+        percentile(&lat, 0.99)
+    );
+    let mut j = Json::obj();
+    j.set("target_rps", rate)
+        .set("offered", n)
+        .set("completed", completed)
+        .set("rejected", rejected)
+        .set("achieved_rps", achieved)
+        .set("p50_micros", percentile(&lat, 0.50))
+        .set("p90_micros", percentile(&lat, 0.90))
+        .set("p99_micros", percentile(&lat, 0.99))
+        .set("max_micros", lat.last().copied().unwrap_or(0));
+    (j, n as u64)
+}
+
+/// Opens `n` connections and keeps every one resident at once: ping
+/// latency while opening, a second full pass with all `n` held open,
+/// and the server's own `connections_open` gauge as the cross-check
+/// (asserted when the server is private to this run). Pings only — the
+/// analyze accounting stays untouched.
+fn connection_sweep(addr: &str, n: usize, exclusive: bool) -> Json {
+    let open_start = Instant::now();
+    let mut clients = Vec::with_capacity(n);
+    let mut first = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut c = Client::connect(addr).expect("sweep connect");
+        let t = Instant::now();
+        let r = c.ping().expect("sweep ping");
+        first.push(t.elapsed().as_micros() as u64);
+        assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true), "{}", r.pretty());
+        clients.push(c);
+    }
+    let open_wall = open_start.elapsed().as_micros() as u64;
+    let resident_start = Instant::now();
+    let mut resident = Vec::with_capacity(n);
+    for c in &mut clients {
+        let t = Instant::now();
+        c.ping().expect("resident ping");
+        resident.push(t.elapsed().as_micros() as u64);
+    }
+    let resident_wall = resident_start.elapsed().as_micros() as u64;
+    let resident_rps = n as f64 / (resident_wall as f64 / 1e6);
+    let stats = clients[0].stats().expect("sweep stats");
+    let gauge = stats
+        .get("server")
+        .and_then(|s| s.get("connections_open"))
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    if exclusive {
+        assert!(gauge >= n as u64, "server sees {gauge} open connections, expected >= {n}");
+    }
+    first.sort_unstable();
+    resident.sort_unstable();
+    println!(
+        "connection sweep: {n} resident (server gauge {gauge}); ping p50 {}us p99 {}us \
+         with all held open",
+        percentile(&resident, 0.50),
+        percentile(&resident, 0.99)
+    );
+    let mut j = Json::obj();
+    j.set("connections", n)
+        .set("open_wall_micros", open_wall)
+        .set("first_ping_p50_micros", percentile(&first, 0.50))
+        .set("first_ping_p99_micros", percentile(&first, 0.99))
+        .set("resident_ping_p50_micros", percentile(&resident, 0.50))
+        .set("resident_ping_p99_micros", percentile(&resident, 0.99))
+        .set("resident_ping_rps", resident_rps)
+        .set("server_connections_open", gauge);
+    j
+}
+
+/// `--chaos`: a seeded hostile-traffic soak against a private
+/// in-process server with a deliberately small frame bound. No report
+/// file — the output *is* the invariants: the server answers after the
+/// storm, every connection the soak opened is gone (no leaks), and the
+/// per-verb frame counters still tile `frames_total` exactly.
+fn chaos_soak(quick: bool, seed: u64, families: &[Family]) {
+    use rand::seq::SliceRandom as _;
+    use rand::{Rng as _, SeedableRng as _};
+    use std::io::Write as _;
+    const FRAME_BOUND: usize = 256 << 10;
+    let handle = Server::start(
+        ServerConfig {
+            admission: AdmissionConfig { max_inflight: 4, max_queue: 64 },
+            max_frame_bytes: FRAME_BOUND,
+            idle_timeout: Some(std::time::Duration::from_secs(10)),
+            ..Default::default()
+        },
+        gts_cli::frontend(),
+    )
+    .expect("start chaos server");
+    let addr = handle.addr().to_string();
+    // The benign traffic the hostile actions interleave with: the four
+    // medical kinds plus one type-check frame per corpus family.
+    let params = Params::quick();
+    let w = workload();
+    let mut corpus: Vec<Json> = KINDS
+        .iter()
+        .map(|kind| proto::analyze_frame(&w.gts, Some("S0"), vec![spec_for(kind, &w)]))
+        .collect();
+    for &family in families.iter().take(3) {
+        let sc = scenario(family, &params);
+        let gts = gts_cli::render_file(&gts_cli::scenario_file(&sc));
+        corpus.push(proto::analyze_frame(
+            &gts,
+            Some(&sc.primary.source),
+            vec![proto::spec_type_check(&sc.primary.transform, &sc.primary.target)],
+        ));
+    }
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let soak = std::time::Duration::from_secs(if quick { 3 } else { 10 });
+    let start = Instant::now();
+    let (mut bursts, mut cuts, mut malformed, mut fatal, mut evicts, mut mixed) =
+        (0u64, 0u64, 0u64, 0u64, 0u64, 0u64);
+    while start.elapsed() < soak {
+        match rng.gen_range(0u32..100) {
+            // Pipelined corpus burst: 2..=6 frames shipped at once,
+            // answered out of order; every frame must come back.
+            0..=29 => {
+                let mut c = Client::connect(addr.as_str()).expect("chaos connect");
+                let k = rng.gen_range(2usize..=6);
+                let frames: Vec<Json> =
+                    (0..k).map(|_| corpus.choose(&mut rng).expect("corpus").clone()).collect();
+                let resps = c.pipeline(&frames).expect("chaos pipelined burst");
+                assert_eq!(resps.len(), k, "a pipelined frame went unanswered");
+                for r in &resps {
+                    assert!(r.get("op").is_some(), "{}", r.pretty());
+                }
+                bursts += 1;
+            }
+            // Mid-frame disconnect: ship a random prefix, hang up.
+            30..=49 => {
+                let text = corpus.choose(&mut rng).expect("corpus").compact();
+                let cut = rng.gen_range(1..text.len());
+                let mut s = std::net::TcpStream::connect(addr.as_str()).expect("chaos connect");
+                let _ = s.write_all(&text.as_bytes()[..cut]);
+                drop(s);
+                cuts += 1;
+            }
+            // Malformed JSON: an error frame comes back and the
+            // connection survives for a follow-up ping.
+            50..=62 => {
+                let mut c = Client::connect(addr.as_str()).expect("chaos connect");
+                let r = c.roundtrip_raw("{not json").expect("malformed roundtrip");
+                assert_eq!(r.get("ok").and_then(Json::as_bool), Some(false));
+                let pong = c.ping().expect("ping after malformed frame");
+                assert_eq!(pong.get("ok").and_then(Json::as_bool), Some(true));
+                malformed += 1;
+            }
+            // Invalid UTF-8 and oversized frames: an error frame, then
+            // the server hangs up (decode errors are unrecoverable). The
+            // oversized write may die with EPIPE first — also fine.
+            63..=74 => {
+                let mut s = std::net::TcpStream::connect(addr.as_str()).expect("chaos connect");
+                if rng.gen_bool(0.5) {
+                    let _ = s.write_all(b"\"\xff\xfe\"\n");
+                } else {
+                    let _ = s.write_all(&vec![b'a'; FRAME_BOUND + 1024]);
+                }
+                let mut line = String::new();
+                let _ = std::io::BufReader::new(&s).read_line(&mut line);
+                if !line.is_empty() {
+                    assert!(line.contains("\"ok\": false"), "unexpected reply: {line:?}");
+                }
+                fatal += 1;
+            }
+            // Evict storm while analyzes may be in flight elsewhere.
+            75..=84 => {
+                let mut c = Client::connect(addr.as_str()).expect("chaos connect");
+                for _ in 0..3 {
+                    let r = c.evict(None).expect("evict");
+                    assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true));
+                }
+                evicts += 1;
+            }
+            // Blank lines (ignored, uncounted) and v1 frames (strict
+            // ordering, no `id`) interleaved with the v2 traffic.
+            _ => {
+                let mut c = Client::connect(addr.as_str()).expect("chaos connect");
+                let pong = c.roundtrip_raw("\n\n{\"v\":1,\"op\":\"ping\"}").expect("v1 ping");
+                assert_eq!(pong.get("ok").and_then(Json::as_bool), Some(true));
+                let stats = c.stats().expect("stats");
+                assert_eq!(stats.get("ok").and_then(Json::as_bool), Some(true));
+                mixed += 1;
+            }
+        }
+    }
+    // ---- Invariants. ----
+    let mut checker = Client::connect(addr.as_str()).expect("checker connect");
+    let pong = checker.ping().expect("responsive after soak");
+    assert_eq!(pong.get("ok").and_then(Json::as_bool), Some(true));
+    // No leaks: every soak connection is torn down, the gauge settles
+    // to 1 (the checker itself).
+    let settle = Instant::now();
+    loop {
+        let stats = checker.stats().expect("stats");
+        let open = stats
+            .get("server")
+            .and_then(|s| s.get("connections_open"))
+            .and_then(Json::as_u64)
+            .unwrap_or(u64::MAX);
+        if open == 1 {
+            break;
+        }
+        assert!(
+            settle.elapsed() < std::time::Duration::from_secs(5),
+            "connection leak: {open} connections still open after the soak"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    // Frame accounting tiles: on the now-idle server, the per-verb
+    // counters from a metrics scrape plus the metrics and stats frames
+    // themselves (which the scraped body cannot include) must equal
+    // `frames_total` exactly — decode-fatal garbage lands in
+    // `errors_total`, never in the frame counters.
+    let m = checker.metrics(Some("json")).expect("metrics");
+    let body = m.get("body").and_then(Json::as_str).expect("metrics body");
+    let metrics_doc = Json::parse(body).expect("metrics body parses");
+    let mut per_verb_sum = 0u64;
+    for entry in metrics_doc.get("metrics").and_then(Json::as_arr).unwrap_or(&[]) {
+        if entry.get("name").and_then(Json::as_str) == Some("gts_serve_frames_total") {
+            per_verb_sum += entry.get("value").and_then(Json::as_u64).unwrap_or(0);
+        }
+    }
+    let stats = checker.stats().expect("stats");
+    let frames_total =
+        stats.get("server").and_then(|s| s.get("frames_total")).and_then(Json::as_u64).unwrap_or(0);
+    assert_eq!(
+        frames_total,
+        per_verb_sum + 2,
+        "frame accounting does not tile after the soak (per-verb sum {per_verb_sum})"
+    );
+    let r = checker.shutdown().expect("shutdown");
+    assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true));
+    handle.join();
+    println!(
+        "chaos soak passed ({:.1}s, seed {seed}): {bursts} pipelined bursts, {cuts} mid-frame \
+         disconnects, {malformed} malformed frames, {fatal} decode-fatal frames, {evicts} evict \
+         storms, {mixed} v1/blank interleaves; no leaks, frame counters tile",
+        start.elapsed().as_secs_f64()
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -272,6 +726,13 @@ fn main() {
     let requests: usize = flag("--requests")
         .map(|s| s.parse().expect("--requests"))
         .unwrap_or(if quick { 6 } else { 32 });
+    let depth: usize =
+        flag("--depth").map(|s| s.parse().expect("--depth")).unwrap_or(if quick { 4 } else { 16 });
+    let sweep_conns: usize = flag("--connections")
+        .map(|s| s.parse().expect("--connections"))
+        .unwrap_or(if quick { 64 } else { 1000 });
+    let target_rps: Option<f64> = flag("--target-rps").map(|s| s.parse().expect("--target-rps"));
+    let seed: u64 = flag("--seed").map(|s| s.parse().expect("--seed")).unwrap_or(0x0DD_B1A5);
     let cold_reps = if quick { 1 } else { 3 };
     // `--delta-mix` folds the `delta` verb into the round-robin, so the
     // latency percentiles cover incremental execution under mixed load.
@@ -288,7 +749,17 @@ fn main() {
         Some(name) => vec![Family::from_name(name)
             .unwrap_or_else(|| panic!("unknown family {name}; try `gts corpus list`"))],
     };
+    // `--chaos` is a different program: no report, just a seeded storm
+    // and the invariants at the end.
+    if args.iter().any(|a| a == "--chaos") {
+        chaos_soak(quick, seed, &families);
+        return;
+    }
     let w = workload();
+    // The queue must absorb a full pipelined burst (`conns * depth`
+    // frames in flight at once) and a single connection at the
+    // `max_pipeline` cap driving the open-loop step.
+    let queue = (4 * conns).max(conns * depth).max(128);
 
     // ---- Pick the server: external (--addr), spawned binary (--spawn),
     // or in-process. ----
@@ -308,7 +779,7 @@ fn main() {
                 "--threads",
                 &conns.to_string(),
                 "--queue",
-                &(4 * conns).to_string(),
+                &queue.to_string(),
             ])
             .stdout(std::process::Stdio::piped())
             .spawn()
@@ -340,7 +811,7 @@ fn main() {
     } else {
         let handle = Server::start(
             ServerConfig {
-                admission: AdmissionConfig { max_inflight: conns, max_queue: 4 * conns },
+                admission: AdmissionConfig { max_inflight: conns, max_queue: queue },
                 ..Default::default()
             },
             gts_cli::frontend(),
@@ -464,6 +935,59 @@ fn main() {
     // ---- Per-family corpus sweep over the same resident server. ----
     let families_json = family_section(&addr, &families, quick);
 
+    // ---- Protocol-v2 pipelining: `depth` frames resident per
+    // connection, out-of-order completion. ----
+    let (pipelining, pipelined_rps, pipelined_analyze_frames) =
+        pipelined_section(&addr, &w, conns, depth, if quick { 2 } else { 16 });
+    if !quick && mode != "external" {
+        assert!(
+            pipelined_rps >= 3.0 * BASELINE_CLOSED_LOOP_RPS,
+            "acceptance: pipelined throughput {pipelined_rps:.0} rps must be >= 3x the \
+             pre-reactor closed-loop baseline ({BASELINE_CLOSED_LOOP_RPS} rps)"
+        );
+    }
+
+    // ---- Open loop: Poisson arrivals at stepped fractions of the
+    // measured pipelined capacity (or of --target-rps when given). ----
+    let templates: Vec<String> = KINDS
+        .iter()
+        .map(|kind| proto::analyze_frame(&w.gts, Some("S0"), vec![spec_for(kind, &w)]).compact())
+        .collect();
+    let steps: Vec<f64> = match target_rps {
+        Some(r) => vec![0.50 * r, 0.75 * r, r],
+        None => [0.25, 0.50, 0.75].iter().map(|f| f * pipelined_rps).collect(),
+    };
+    let duration_s = if quick { 1.0 } else { 2.5 };
+    let mut open_loop_rows = Vec::new();
+    let mut open_loop_analyze_frames = 0u64;
+    for (si, rate) in steps.iter().enumerate() {
+        let (row, sent) = open_loop_step(
+            &addr,
+            &templates,
+            rate.max(1.0),
+            duration_s,
+            seed.wrapping_add(si as u64),
+        );
+        open_loop_rows.push(row);
+        open_loop_analyze_frames += sent;
+    }
+    let mut open_loop = Json::obj();
+    open_loop
+        .set(
+            "basis",
+            if target_rps.is_some() {
+                "explicit --target-rps"
+            } else {
+                "fractions of the measured pipelined throughput"
+            },
+        )
+        .set("duration_seconds", duration_s)
+        .set("seed", seed)
+        .set("steps", Json::Arr(open_loop_rows));
+
+    // ---- Connection sweep: every connection resident at once. ----
+    let sweep = connection_sweep(&addr, sweep_conns, mode != "external");
+
     // ---- Server-side observability: scrape the `metrics` verb (JSON
     // mirror) and fold the per-verb latency histograms into the report.
     // The client-side analyze count is exact bookkeeping — warmup frames
@@ -503,11 +1027,17 @@ fn main() {
         server_frames.push(e);
     }
     // Only `analyze` frames count here: warmup sends one frame per kind
-    // (minus the delta warmup frame when mixed), and the measured run's
-    // delta-verb samples land on the `delta` histogram instead.
+    // (minus the delta warmup frame when mixed), the measured run's
+    // delta-verb samples land on the `delta` histogram instead, and the
+    // pipelining and open-loop sections add their exact frame counts
+    // (the connection sweep is pings only).
     let analyze_samples = samples.iter().filter(|s| kinds[s.kind] != "delta").count() as u64;
-    let analyze_frames_client =
-        KINDS.len() as u64 + analyze_samples + overhead_on_frames + 2 * families.len() as u64;
+    let analyze_frames_client = KINDS.len() as u64
+        + analyze_samples
+        + overhead_on_frames
+        + 2 * families.len() as u64
+        + pipelined_analyze_frames
+        + open_loop_analyze_frames;
     let requests_match = analyze_frames_server == analyze_frames_client;
     if mode != "external" {
         assert!(
@@ -583,6 +1113,9 @@ fn main() {
         .set("resident_speedup_vs_cold", speedup)
         .set("steady_state_speedup_vs_cold", steady_speedup)
         .set("per_kind", Json::Arr(per_kind))
+        .set("pipelining", pipelining)
+        .set("open_loop", open_loop)
+        .set("connection_sweep", sweep)
         .set("families", families_json)
         .set("pool", pool)
         .set("admission", admission)

@@ -59,11 +59,13 @@ fn usage() -> String {
      \x20           [--max-sessions N] [--max-session-mb N] delimited JSON protocol; shut down\n\
      \x20           [--deadline-ms N] [--cache-dir DIR]    with `gts client --verb shutdown`);\n\
      \x20           [--flush-ms N] [--slow-ms N]           --slow-ms logs slow frames to stderr,\n\
-     \x20           [--no-metrics]                         --no-metrics disables recording\n\
+     \x20           [--no-metrics] [--idle-ms N]           --no-metrics disables recording,\n\
+     \x20           [--max-pipeline N]                     --idle-ms 0 disables idle close\n\
      \x20 client    FILE... [--addr A] [--trace]           the batch suite over the wire, or a\n\
-     \x20           | --verb ping|stats|metrics|evict      control verb against a running server\n\
-     \x20           |        shutdown|cache-export|        (see --fingerprint / --store;\n\
-     \x20           |        cache-import                  metrics takes --format json)\n\
+     \x20           [--pipeline] [--auth TOKEN]            control verb against a running server\n\
+     \x20           | --verb ping|stats|metrics|evict      (see --fingerprint / --store;\n\
+     \x20           |        shutdown|cache-export|        metrics takes --format json;\n\
+     \x20           |        cache-import                  --pipeline batches analyze frames)\n\
      \x20 corpus    list | emit --family F [--out DIR]     the seeded scenario corpus (gts-corpus):\n\
      \x20           | check [--family F] [--quick]         list families, render .gts + instance\n\
      \x20           [--seed N] [--scale N]                 fixtures, or self-check determinism,\n\
@@ -91,6 +93,8 @@ fn parse_flags(args: &[String]) -> Result<(HashMap<String, String>, Vec<String>)
                 || name == "quick"
                 || name == "trace"
                 || name == "no-metrics"
+                || name == "pipeline"
+                || name == "chaos"
             {
                 flags.insert(name.to_owned(), "true".to_owned());
                 i += 1;

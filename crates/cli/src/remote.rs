@@ -50,7 +50,8 @@ fn parse_num(flags: &HashMap<String, String>, name: &str) -> Result<Option<usize
 
 /// `gts serve [--addr A] [--threads N] [--queue N] [--max-sessions N]
 /// [--max-session-mb N] [--deadline-ms N] [--cache-dir DIR]
-/// [--flush-ms N] [--slow-ms N] [--no-metrics] [--allow-linger]`.
+/// [--flush-ms N] [--slow-ms N] [--idle-ms N] [--max-pipeline N]
+/// [--no-metrics] [--allow-linger]`.
 pub fn run_serve(flags: &HashMap<String, String>) -> Result<Outcome, String> {
     let mut cfg = ServerConfig {
         addr: flags.get("addr").cloned().unwrap_or_else(|| "127.0.0.1:4815".into()),
@@ -82,6 +83,14 @@ pub fn run_serve(flags: &HashMap<String, String>) -> Result<Outcome, String> {
     if let Some(n) = parse_num(flags, "slow-ms")? {
         cfg.slow_ms = Some(n as u64);
     }
+    // `--idle-ms 0` disables the idle reaper entirely (the default is
+    // five minutes); anything else is the per-connection idle bound.
+    if let Some(n) = parse_num(flags, "idle-ms")? {
+        cfg.idle_timeout = (n > 0).then(|| std::time::Duration::from_millis(n as u64));
+    }
+    if let Some(n) = parse_num(flags, "max-pipeline")? {
+        cfg.max_pipeline = n.max(1);
+    }
     // `--no-metrics` turns off metric recording process-wide (spans and
     // the `metrics`/`stats` verbs keep working; histograms and counters
     // just stop advancing). The loadgen overhead benchmark uses it to
@@ -99,8 +108,11 @@ pub fn run_serve(flags: &HashMap<String, String>) -> Result<Outcome, String> {
     Ok(Outcome { code: 0, output: "server drained\n".into() })
 }
 
-/// `gts client --addr A FILE... [--trace]` (the `gts batch` suite over
-/// the wire), or `gts client --addr A --verb
+/// `gts client --addr A FILE... [--trace] [--pipeline] [--auth TOKEN]`
+/// (the `gts batch` suite over the wire; `--pipeline` submits every
+/// analyze frame of a file at once and lets the server answer out of
+/// order, `--auth` names the tenant the work is accounted to), or `gts
+/// client --addr A --verb
 /// ping|stats|metrics|evict|shutdown|cache-export|cache-import`.
 pub fn run_client(
     paths: &[String],
@@ -164,6 +176,9 @@ pub fn run_client(
         let file = GtsFile::parse(&src).map_err(|e| format!("{path}:{e}"))?;
         let mut results_json = Vec::new();
         let mut sources_json = Vec::new();
+        // Build every source's analyze frame up front, so `--pipeline`
+        // can ship them all before reading a single response.
+        let mut pending: Vec<(String, Json)> = Vec::new();
         for (source_name, items) in suite(&file) {
             let specs = items
                 .iter()
@@ -183,8 +198,24 @@ pub fn run_client(
             if flags.contains_key("trace") {
                 frame.set("trace", true);
             }
-            let resp =
-                client.roundtrip(&frame).map_err(|e| format!("{path}: analyze failed: {e}"))?;
+            if let Some(token) = flags.get("auth") {
+                frame.set("auth", token.as_str());
+            }
+            pending.push((source_name, frame));
+        }
+        let responses: Vec<Json> = if flags.contains_key("pipeline") {
+            let frames: Vec<Json> = pending.iter().map(|(_, f)| f.clone()).collect();
+            client
+                .pipeline(&frames)
+                .map_err(|e| format!("{path}: pipelined analyze failed: {e}"))?
+        } else {
+            pending
+                .iter()
+                .map(|(_, f)| client.roundtrip(f))
+                .collect::<Result<_, _>>()
+                .map_err(|e| format!("{path}: analyze failed: {e}"))?
+        };
+        for ((source_name, _), resp) in pending.iter().zip(&responses) {
             if resp.get("ok").and_then(Json::as_bool) != Some(true) {
                 any_error = true;
                 results_json.push(resp.clone());

@@ -1,0 +1,366 @@
+//! Sans-I/O frame codecs: byte-level state machines with no sockets.
+//!
+//! The protocol is one JSON object per `\n`-terminated line in each
+//! direction. [`FrameDecoder`] turns an arbitrary sequence of byte
+//! chunks (however the transport split them — mid-frame, mid-UTF-8
+//! character, many frames per chunk) into complete frames, enforcing
+//! the size bound *while* a line grows rather than after it is fully
+//! buffered. [`OutboundQueue`] is the mirror image for writes: a byte
+//! queue with high/low watermarks so the reactor knows when to stop
+//! reading from a connection whose peer is not draining its responses.
+//!
+//! Keeping both machines free of I/O is what makes the frame layer
+//! unit-testable without sockets, and what lets the reactor drive them
+//! from readiness events.
+
+use std::collections::VecDeque;
+use std::io::{self, Write};
+
+/// Why a byte stream stopped being a valid frame sequence. Both cases
+/// are protocol violations (a malformed peer, not a workload): the
+/// connection carrying them should send one error frame and close.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CodecError {
+    /// A line outgrew the frame size bound before its terminator.
+    TooBig {
+        /// The configured bound that was exceeded.
+        limit: usize,
+    },
+    /// A complete line was not valid UTF-8.
+    Utf8,
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::TooBig { limit } => {
+                write!(f, "frame exceeds the {limit}-byte size bound")
+            }
+            CodecError::Utf8 => f.write_str("frame is not valid UTF-8"),
+        }
+    }
+}
+
+/// Incremental `\n`-delimited frame decoder.
+///
+/// Push transport bytes in with [`FrameDecoder::push`], pop complete
+/// frames out with [`FrameDecoder::next_frame`]. Bytes never decode
+/// until a full line is present, so a chunk boundary can never corrupt
+/// a multi-byte UTF-8 character. At end of stream, [`FrameDecoder::
+/// finish`] surfaces an unterminated trailing frame (the protocol
+/// tolerates a missing final newline).
+#[derive(Debug)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf` (compacted opportunistically).
+    start: usize,
+    /// Scan cursor: `buf[start..scan]` is known newline-free.
+    scan: usize,
+    max_frame: usize,
+}
+
+impl FrameDecoder {
+    /// A decoder enforcing `max_frame` bytes per line (terminator
+    /// excluded).
+    pub fn new(max_frame: usize) -> FrameDecoder {
+        FrameDecoder { buf: Vec::new(), start: 0, scan: 0, max_frame }
+    }
+
+    /// Appends transport bytes. Split points are arbitrary.
+    pub fn push(&mut self, bytes: &[u8]) {
+        // Compact before growing: once the consumed prefix dominates,
+        // shift the live tail down so the buffer stays proportional to
+        // the unconsumed data, not to connection lifetime.
+        if self.start > 0 && self.start >= self.buf.len() / 2 {
+            self.buf.drain(..self.start);
+            self.scan -= self.start;
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pops the next complete frame, or `Ok(None)` when more bytes are
+    /// needed. Errors are sticky in practice: the caller is expected to
+    /// stop feeding a stream that produced one.
+    pub fn next_frame(&mut self) -> Result<Option<String>, CodecError> {
+        match self.buf[self.scan..].iter().position(|&b| b == b'\n') {
+            Some(off) => {
+                let end = self.scan + off;
+                let line = &self.buf[self.start..end];
+                if line.len() > self.max_frame {
+                    return Err(CodecError::TooBig { limit: self.max_frame });
+                }
+                let frame = std::str::from_utf8(line).map_err(|_| CodecError::Utf8)?.to_owned();
+                self.start = end + 1;
+                self.scan = self.start;
+                Ok(Some(frame))
+            }
+            None => {
+                self.scan = self.buf.len();
+                if self.buf.len() - self.start > self.max_frame {
+                    return Err(CodecError::TooBig { limit: self.max_frame });
+                }
+                Ok(None)
+            }
+        }
+    }
+
+    /// End of stream: surfaces an unterminated trailing frame, if any.
+    pub fn finish(&mut self) -> Result<Option<String>, CodecError> {
+        if self.start >= self.buf.len() {
+            return Ok(None);
+        }
+        let line = &self.buf[self.start..];
+        if line.len() > self.max_frame {
+            return Err(CodecError::TooBig { limit: self.max_frame });
+        }
+        let frame = std::str::from_utf8(line).map_err(|_| CodecError::Utf8)?.to_owned();
+        self.start = self.buf.len();
+        self.scan = self.start;
+        Ok(Some(frame))
+    }
+
+    /// Unconsumed bytes currently buffered (a partial frame, or
+    /// complete frames not yet popped).
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// `true` while bytes of an incomplete frame sit in the buffer.
+    pub fn is_mid_frame(&self) -> bool {
+        self.buffered() > 0
+    }
+}
+
+/// Per-connection outbound byte queue with backpressure watermarks.
+///
+/// Responses are appended as whole frames; the reactor drains the queue
+/// into the nonblocking socket whenever it reports writable, stopping
+/// cleanly at `WouldBlock`. When the queued byte count crosses the high
+/// watermark the connection should stop *reading* (a peer that
+/// pipelines requests but never reads responses must not buffer the
+/// server into the ground); reading resumes once the queue drains below
+/// the low watermark.
+#[derive(Debug)]
+pub struct OutboundQueue {
+    chunks: VecDeque<Vec<u8>>,
+    /// Write offset into the front chunk.
+    front_pos: usize,
+    len: usize,
+    high: usize,
+    low: usize,
+}
+
+impl OutboundQueue {
+    /// A queue with the given watermarks (`low` is clamped to `high`).
+    pub fn new(high: usize, low: usize) -> OutboundQueue {
+        OutboundQueue { chunks: VecDeque::new(), front_pos: 0, len: 0, high, low: low.min(high) }
+    }
+
+    /// Appends one response's bytes.
+    pub fn push(&mut self, bytes: Vec<u8>) {
+        if bytes.is_empty() {
+            return;
+        }
+        self.len += bytes.len();
+        self.chunks.push_back(bytes);
+    }
+
+    /// Queued bytes not yet written.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// `true` once the queue has crossed the high watermark: stop
+    /// reading from this connection.
+    pub fn over_high(&self) -> bool {
+        self.len >= self.high
+    }
+
+    /// `true` once a previously-over-high queue has drained enough to
+    /// resume reading.
+    pub fn under_low(&self) -> bool {
+        self.len <= self.low
+    }
+
+    /// Drains queued bytes into `w` until the queue empties or the
+    /// write would block; returns the bytes written. `WouldBlock` is a
+    /// clean stop, not an error.
+    pub fn write_to<W: Write>(&mut self, w: &mut W) -> io::Result<usize> {
+        let mut written = 0;
+        while let Some(front) = self.chunks.front() {
+            match w.write(&front[self.front_pos..]) {
+                Ok(0) => {
+                    return Err(io::Error::new(io::ErrorKind::WriteZero, "peer stopped reading"))
+                }
+                Ok(n) => {
+                    written += n;
+                    self.len -= n;
+                    self.front_pos += n;
+                    if self.front_pos == front.len() {
+                        self.chunks.pop_front();
+                        self.front_pos = 0;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(written)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn whole_frames_pop_one_by_one() {
+        let mut d = FrameDecoder::new(1024);
+        d.push(b"{\"a\":1}\n{\"b\":2}\n");
+        assert_eq!(d.next_frame().unwrap().as_deref(), Some("{\"a\":1}"));
+        assert_eq!(d.next_frame().unwrap().as_deref(), Some("{\"b\":2}"));
+        assert_eq!(d.next_frame().unwrap(), None);
+        assert!(!d.is_mid_frame());
+    }
+
+    #[test]
+    fn split_reads_reassemble_across_any_boundary() {
+        let frame = "{\"op\":\"ping\",\"note\":\"héllo wörld\"}\n";
+        let bytes = frame.as_bytes();
+        // Every split point, including ones inside the multi-byte
+        // UTF-8 characters.
+        for cut in 1..bytes.len() {
+            let mut d = FrameDecoder::new(1024);
+            d.push(&bytes[..cut]);
+            // The terminator is the last byte, so no prefix decodes.
+            assert_eq!(d.next_frame().unwrap(), None);
+            d.push(&bytes[cut..]);
+            assert_eq!(d.next_frame().unwrap().as_deref(), Some(frame.trim_end()));
+        }
+    }
+
+    #[test]
+    fn byte_at_a_time_drip_decodes_cleanly() {
+        let mut d = FrameDecoder::new(64);
+        for &b in b"{\"v\":2}\n" {
+            d.push(&[b]);
+        }
+        assert_eq!(d.next_frame().unwrap().as_deref(), Some("{\"v\":2}"));
+    }
+
+    #[test]
+    fn size_bound_trips_while_the_line_grows() {
+        let mut d = FrameDecoder::new(8);
+        d.push(b"0123456");
+        assert_eq!(d.next_frame().unwrap(), None);
+        d.push(b"89abcdef");
+        assert_eq!(d.next_frame().unwrap_err(), CodecError::TooBig { limit: 8 });
+        // A terminated line over the bound trips too.
+        let mut d2 = FrameDecoder::new(4);
+        d2.push(b"abcdefgh\n");
+        assert_eq!(d2.next_frame().unwrap_err(), CodecError::TooBig { limit: 4 });
+    }
+
+    #[test]
+    fn invalid_utf8_is_rejected_only_on_the_complete_line() {
+        let mut d = FrameDecoder::new(64);
+        d.push(&[0xff, 0xfe]);
+        // No terminator yet: undecidable, not an error.
+        assert_eq!(d.next_frame().unwrap(), None);
+        d.push(b"\n");
+        assert_eq!(d.next_frame().unwrap_err(), CodecError::Utf8);
+    }
+
+    #[test]
+    fn finish_surfaces_an_unterminated_trailing_frame() {
+        let mut d = FrameDecoder::new(64);
+        d.push(b"{\"op\":\"ping\"}\n{\"op\":\"stats\"}");
+        assert_eq!(d.next_frame().unwrap().as_deref(), Some("{\"op\":\"ping\"}"));
+        assert_eq!(d.next_frame().unwrap(), None);
+        assert!(d.is_mid_frame());
+        assert_eq!(d.finish().unwrap().as_deref(), Some("{\"op\":\"stats\"}"));
+        assert_eq!(d.finish().unwrap(), None);
+    }
+
+    #[test]
+    fn pipelined_burst_decodes_in_submission_order() {
+        let mut d = FrameDecoder::new(256);
+        let burst: String = (0..50).map(|i| format!("{{\"id\":{i}}}\n")).collect();
+        // Feed the burst in awkward 7-byte chunks.
+        for chunk in burst.as_bytes().chunks(7) {
+            d.push(chunk);
+        }
+        for i in 0..50 {
+            assert_eq!(d.next_frame().unwrap().unwrap(), format!("{{\"id\":{i}}}"));
+        }
+        assert_eq!(d.next_frame().unwrap(), None);
+    }
+
+    #[test]
+    fn decoder_buffer_does_not_grow_with_connection_lifetime() {
+        let mut d = FrameDecoder::new(1024);
+        for _ in 0..10_000 {
+            d.push(b"{\"op\":\"ping\"}\n");
+            assert!(d.next_frame().unwrap().is_some());
+        }
+        assert!(d.buf.capacity() < 64 * 1024, "compaction keeps the buffer bounded");
+    }
+
+    #[test]
+    fn outbound_queue_tracks_watermarks() {
+        let mut q = OutboundQueue::new(10, 4);
+        assert!(q.is_empty() && !q.over_high());
+        q.push(b"abcdef".to_vec());
+        q.push(b"ghijkl".to_vec());
+        assert_eq!(q.len(), 12);
+        assert!(q.over_high());
+        assert!(!q.under_low());
+        let mut out = Vec::new();
+        q.write_to(&mut out).unwrap();
+        assert_eq!(out, b"abcdefghijkl");
+        assert!(q.is_empty() && q.under_low());
+    }
+
+    /// A writer that accepts a fixed number of bytes, then blocks.
+    struct Throttled {
+        accepted: Vec<u8>,
+        budget: usize,
+    }
+
+    impl Write for Throttled {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            if self.budget == 0 {
+                return Err(io::Error::new(io::ErrorKind::WouldBlock, "full"));
+            }
+            let n = buf.len().min(self.budget).min(3); // short writes too
+            self.budget -= n;
+            self.accepted.extend_from_slice(&buf[..n]);
+            Ok(n)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn write_to_stops_cleanly_at_wouldblock_and_resumes() {
+        let mut q = OutboundQueue::new(1 << 20, 1 << 10);
+        q.push(b"hello ".to_vec());
+        q.push(b"world!".to_vec());
+        let mut w = Throttled { accepted: Vec::new(), budget: 7 };
+        let n = q.write_to(&mut w).unwrap();
+        assert_eq!(n, 7);
+        assert_eq!(q.len(), 5);
+        w.budget = 100;
+        q.write_to(&mut w).unwrap();
+        assert_eq!(w.accepted, b"hello world!");
+        assert!(q.is_empty());
+    }
+}

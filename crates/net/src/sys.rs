@@ -1,0 +1,129 @@
+//! The one FFI seam in the workspace: `poll(2)`.
+//!
+//! The reactor needs readiness notification for an arbitrary set of
+//! descriptors; std exposes nonblocking sockets but no multiplexer. We
+//! declare `poll` ourselves rather than pulling in the `libc` crate —
+//! std already links the platform C library, so the symbol is present,
+//! and the vendored-offline build stays dependency-free. `poll` (not
+//! `epoll`) keeps the shim portable across Unixes and is O(n) in the
+//! descriptor count, which is fine at the few-thousand-connection scale
+//! this server targets (the syscall, not the scan, dominates).
+
+use std::io;
+use std::time::Duration;
+
+/// One descriptor's interest/readiness record, layout-compatible with C
+/// `struct pollfd` on every Unix.
+#[repr(C)]
+#[derive(Clone, Copy, Debug)]
+pub struct PollFd {
+    /// The descriptor (negative entries are ignored by the kernel).
+    pub fd: i32,
+    /// Requested events ([`POLLIN`] | [`POLLOUT`]).
+    pub events: i16,
+    /// Kernel-reported events (includes error bits unrequested).
+    pub revents: i16,
+}
+
+/// Data available to read (or a pending accept on a listener).
+pub const POLLIN: i16 = 0x001;
+/// Writing will not block.
+pub const POLLOUT: i16 = 0x004;
+/// Error condition (always reported, never requested).
+pub const POLLERR: i16 = 0x008;
+/// Peer hung up.
+pub const POLLHUP: i16 = 0x010;
+/// The descriptor is not open.
+pub const POLLNVAL: i16 = 0x020;
+
+#[cfg(unix)]
+mod imp {
+    use super::PollFd;
+
+    // `nfds_t` is `unsigned long` on Linux and `unsigned int` on the
+    // BSD-derived platforms; mismatching it would corrupt the argument
+    // registers on LP64.
+    #[cfg(any(target_os = "macos", target_os = "ios", target_os = "freebsd"))]
+    pub type NfdsT = u32;
+    #[cfg(not(any(target_os = "macos", target_os = "ios", target_os = "freebsd")))]
+    pub type NfdsT = u64;
+
+    extern "C" {
+        pub fn poll(fds: *mut PollFd, nfds: NfdsT, timeout: i32) -> i32;
+    }
+}
+
+/// Blocks until at least one descriptor in `fds` is ready, the timeout
+/// elapses (`None` = wait forever), or a signal interrupts — interrupts
+/// are retried internally. Returns the number of ready descriptors
+/// (`0` = timeout); readiness lands in each entry's `revents`.
+#[cfg(unix)]
+pub fn poll(fds: &mut [PollFd], timeout: Option<Duration>) -> io::Result<usize> {
+    // Round the timeout *up* so a sub-millisecond deadline cannot spin
+    // the loop with zero-timeout polls.
+    let ms: i32 = match timeout {
+        None => -1,
+        Some(d) => {
+            let whole = d.as_millis().min(i32::MAX as u128) as i32;
+            if Duration::from_millis(whole as u64) < d && whole < i32::MAX {
+                whole + 1
+            } else {
+                whole
+            }
+        }
+    };
+    loop {
+        let rc = unsafe { imp::poll(fds.as_mut_ptr(), fds.len() as imp::NfdsT, ms) };
+        if rc >= 0 {
+            return Ok(rc as usize);
+        }
+        let err = io::Error::last_os_error();
+        if err.kind() != io::ErrorKind::Interrupted {
+            return Err(err);
+        }
+    }
+}
+
+/// Non-Unix stub: the reactor is Unix-only (it needs `poll(2)` and a
+/// self-pipe); other platforms get a loud runtime error instead of a
+/// silent busy loop.
+#[cfg(not(unix))]
+pub fn poll(_fds: &mut [PollFd], _timeout: Option<Duration>) -> io::Result<usize> {
+    Err(io::Error::new(io::ErrorKind::Unsupported, "gts-net requires poll(2)"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::os::unix::io::AsRawFd;
+
+    #[test]
+    fn poll_times_out_on_a_quiet_descriptor() {
+        let (_a, b) = std::os::unix::net::UnixStream::pair().unwrap();
+        let mut fds = [PollFd { fd: b.as_raw_fd(), events: POLLIN, revents: 0 }];
+        let n = poll(&mut fds, Some(Duration::from_millis(10))).unwrap();
+        assert_eq!(n, 0);
+        assert_eq!(fds[0].revents, 0);
+    }
+
+    #[test]
+    fn poll_reports_readable_after_a_write() {
+        let (mut a, b) = std::os::unix::net::UnixStream::pair().unwrap();
+        a.write_all(b"x").unwrap();
+        let mut fds = [PollFd { fd: b.as_raw_fd(), events: POLLIN, revents: 0 }];
+        let n = poll(&mut fds, Some(Duration::from_millis(100))).unwrap();
+        assert_eq!(n, 1);
+        assert_ne!(fds[0].revents & POLLIN, 0);
+    }
+
+    #[test]
+    fn poll_reports_hangup_when_the_peer_closes() {
+        let (a, b) = std::os::unix::net::UnixStream::pair().unwrap();
+        drop(a);
+        let mut fds = [PollFd { fd: b.as_raw_fd(), events: POLLIN, revents: 0 }];
+        let n = poll(&mut fds, Some(Duration::from_millis(100))).unwrap();
+        assert_eq!(n, 1);
+        assert_ne!(fds[0].revents & (POLLIN | POLLHUP), 0);
+    }
+}

@@ -8,9 +8,31 @@
 //! rejected immediately with a backpressure error — bounded latency for
 //! admitted work beats unbounded buffering for everyone. Waiters with a
 //! deadline give up (and free their queue slot) when it passes.
+//!
+//! ## Tenants
+//!
+//! Work is attributed to a *tenant* (the protocol's `auth` token;
+//! absent means the shared `"default"` tenant). Tenants share the same
+//! global bounds, but each is additionally held to a fair share of the
+//! in-flight slots: `max(1, max_inflight / active_tenants)` (rounded
+//! up), recomputed as tenants come and go. With one tenant the quota
+//! equals `max_inflight`, so single-tenant behavior is exactly the
+//! pre-tenant semantics. A tenant over its share waits in the same
+//! bounded queue; when the queue is full, the rejection says *why* —
+//! [`AdmissionError::Overloaded`] when the server is globally full,
+//! [`AdmissionError::QuotaExceeded`] when slots are free but the tenant
+//! has consumed its share.
 
+use std::collections::HashMap;
 use std::sync::{Condvar, Mutex};
 use std::time::Instant;
+
+/// The tenant used when a frame carries no `auth` token.
+pub const DEFAULT_TENANT: &str = "default";
+
+/// Idle tenant entries beyond this count are dropped (their cumulative
+/// counters with them) to bound memory against churning auth tokens.
+const TENANT_TABLE_CAP: usize = 256;
 
 /// Admission bounds.
 #[derive(Clone, Copy, Debug)]
@@ -38,6 +60,9 @@ pub enum AdmissionError {
     DeadlineExceeded,
     /// The server is draining and accepts no new work.
     Draining,
+    /// Slots are free, but this tenant is over its fair share and the
+    /// wait queue is full.
+    QuotaExceeded,
 }
 
 impl AdmissionError {
@@ -47,6 +72,7 @@ impl AdmissionError {
             AdmissionError::Overloaded => "overloaded",
             AdmissionError::DeadlineExceeded => "deadline_exceeded",
             AdmissionError::Draining => "shutting_down",
+            AdmissionError::QuotaExceeded => "quota_exceeded",
         }
     }
 }
@@ -62,6 +88,8 @@ pub struct AdmissionStats {
     pub rejected_deadline: u64,
     /// Frames rejected during drain.
     pub rejected_draining: u64,
+    /// Frames rejected because their tenant was over its fair share.
+    pub rejected_quota: u64,
     /// Highest concurrent in-flight count observed.
     pub peak_inflight: usize,
     /// Analyses running right now.
@@ -70,17 +98,82 @@ pub struct AdmissionStats {
     pub queued: usize,
 }
 
+/// One tenant's view of the admission counters.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TenantStats {
+    /// The tenant's `auth` token (or [`DEFAULT_TENANT`]).
+    pub tenant: String,
+    /// This tenant's analyses running right now.
+    pub inflight: usize,
+    /// This tenant's frames waiting for a slot right now.
+    pub queued: usize,
+    /// Analyses admitted for this tenant.
+    pub admitted: u64,
+    /// Frames rejected because this tenant was over its fair share.
+    pub rejected_quota: u64,
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct TenantEntry {
+    inflight: usize,
+    queued: usize,
+    admitted: u64,
+    rejected_quota: u64,
+}
+
+impl TenantEntry {
+    fn active(&self) -> bool {
+        self.inflight + self.queued > 0
+    }
+}
+
 #[derive(Default)]
 struct State {
     inflight: usize,
     queued: usize,
     draining: bool,
     stats: AdmissionStats,
+    tenants: HashMap<String, TenantEntry>,
+}
+
+impl State {
+    /// This tenant's current in-flight quota: its fair share of the
+    /// global slots among tenants with work in the system (itself
+    /// included), never below one.
+    fn quota(&self, cfg: &AdmissionConfig, tenant: &str) -> usize {
+        let mut active = self.tenants.values().filter(|t| t.active()).count();
+        if !self.tenants.get(tenant).is_some_and(TenantEntry::active) {
+            active += 1; // the asker counts even before it enqueues
+        }
+        (cfg.max_inflight.div_ceil(active)).max(1)
+    }
+
+    /// `true` when `tenant` cannot be admitted right now.
+    fn blocked(&self, cfg: &AdmissionConfig, tenant: &str) -> bool {
+        let mine = self.tenants.get(tenant).map_or(0, |t| t.inflight);
+        self.inflight >= cfg.max_inflight || mine >= self.quota(cfg, tenant)
+    }
+
+    fn entry(&mut self, tenant: &str) -> &mut TenantEntry {
+        if !self.tenants.contains_key(tenant) {
+            // Bound the table: recycle an idle entry's slot rather than
+            // growing without limit under churning auth tokens.
+            if self.tenants.len() >= TENANT_TABLE_CAP {
+                if let Some(idle) =
+                    self.tenants.iter().find(|(_, t)| !t.active()).map(|(k, _)| k.clone())
+                {
+                    self.tenants.remove(&idle);
+                }
+            }
+            self.tenants.insert(tenant.to_owned(), TenantEntry::default());
+        }
+        self.tenants.get_mut(tenant).unwrap()
+    }
 }
 
 /// The admission controller: a counting semaphore with a bounded wait
-/// queue, deadlines, and drain support, built on `Mutex` + `Condvar`
-/// (std-only, like the rest of the server).
+/// queue, per-tenant fair-share quotas, deadlines, and drain support,
+/// built on `Mutex` + `Condvar` (std-only, like the rest of the server).
 pub struct Admission {
     cfg: AdmissionConfig,
     state: Mutex<State>,
@@ -90,11 +183,12 @@ pub struct Admission {
 /// An admitted analysis slot; releasing is dropping.
 pub struct Permit<'a> {
     adm: &'a Admission,
+    tenant: String,
 }
 
 impl std::fmt::Debug for Permit<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str("Permit")
+        write!(f, "Permit({})", self.tenant)
     }
 }
 
@@ -102,6 +196,9 @@ impl Drop for Permit<'_> {
     fn drop(&mut self) {
         let mut s = self.adm.state.lock().unwrap();
         s.inflight -= 1;
+        if let Some(t) = s.tenants.get_mut(&self.tenant) {
+            t.inflight -= 1;
+        }
         drop(s);
         // notify_all, not notify_one: the condvar is shared by queued
         // `admit` waiters AND `await_idle` blockers — a single wakeup
@@ -124,29 +221,50 @@ impl Admission {
         self.cfg
     }
 
-    /// Requests a slot, waiting (up to `deadline`, if any) in the bounded
-    /// queue when all slots are busy.
+    /// Requests a slot for the [`DEFAULT_TENANT`], waiting (up to
+    /// `deadline`, if any) in the bounded queue when all slots are busy.
     pub fn admit(&self, deadline: Option<Instant>) -> Result<Permit<'_>, AdmissionError> {
+        self.admit_for(DEFAULT_TENANT, deadline)
+    }
+
+    /// Requests a slot for `tenant`, waiting (up to `deadline`, if any)
+    /// in the bounded queue when the server is full or the tenant has
+    /// consumed its fair share.
+    pub fn admit_for(
+        &self,
+        tenant: &str,
+        deadline: Option<Instant>,
+    ) -> Result<Permit<'_>, AdmissionError> {
         let mut s = self.state.lock().unwrap();
         if s.draining {
             s.stats.rejected_draining += 1;
             return Err(AdmissionError::Draining);
         }
-        if s.inflight >= self.cfg.max_inflight {
-            // Full: take a queue slot or bounce.
+        if s.blocked(&self.cfg, tenant) {
+            // Blocked: take a queue slot or bounce, naming the cause —
+            // a full server is `overloaded`, free slots behind a tenant
+            // quota are `quota_exceeded`.
             if s.queued >= self.cfg.max_queue {
-                s.stats.rejected_overloaded += 1;
-                return Err(AdmissionError::Overloaded);
+                if s.inflight >= self.cfg.max_inflight {
+                    s.stats.rejected_overloaded += 1;
+                    return Err(AdmissionError::Overloaded);
+                }
+                s.stats.rejected_quota += 1;
+                s.entry(tenant).rejected_quota += 1;
+                return Err(AdmissionError::QuotaExceeded);
             }
             s.queued += 1;
+            s.entry(tenant).queued += 1;
             loop {
                 if s.draining {
                     s.queued -= 1;
+                    s.entry(tenant).queued -= 1;
                     s.stats.rejected_draining += 1;
                     return Err(AdmissionError::Draining);
                 }
-                if s.inflight < self.cfg.max_inflight {
+                if !s.blocked(&self.cfg, tenant) {
                     s.queued -= 1;
+                    s.entry(tenant).queued -= 1;
                     break;
                 }
                 match deadline {
@@ -155,6 +273,7 @@ impl Admission {
                         let now = Instant::now();
                         if now >= d {
                             s.queued -= 1;
+                            s.entry(tenant).queued -= 1;
                             s.stats.rejected_deadline += 1;
                             return Err(AdmissionError::DeadlineExceeded);
                         }
@@ -167,7 +286,10 @@ impl Admission {
         s.inflight += 1;
         s.stats.admitted += 1;
         s.stats.peak_inflight = s.stats.peak_inflight.max(s.inflight);
-        Ok(Permit { adm: self })
+        let e = s.entry(tenant);
+        e.inflight += 1;
+        e.admitted += 1;
+        Ok(Permit { adm: self, tenant: tenant.to_owned() })
     }
 
     /// Starts draining: queued waiters are woken and rejected, later
@@ -197,6 +319,25 @@ impl Admission {
     pub fn stats(&self) -> AdmissionStats {
         let s = self.state.lock().unwrap();
         AdmissionStats { inflight: s.inflight, queued: s.queued, ..s.stats }
+    }
+
+    /// Per-tenant counters, sorted by tenant name. Tenants that never
+    /// submitted work do not appear.
+    pub fn tenant_stats(&self) -> Vec<TenantStats> {
+        let s = self.state.lock().unwrap();
+        let mut out: Vec<TenantStats> = s
+            .tenants
+            .iter()
+            .map(|(name, t)| TenantStats {
+                tenant: name.clone(),
+                inflight: t.inflight,
+                queued: t.queued,
+                admitted: t.admitted,
+                rejected_quota: t.rejected_quota,
+            })
+            .collect();
+        out.sort_by(|a, b| a.tenant.cmp(&b.tenant));
+        out
     }
 }
 
@@ -312,5 +453,56 @@ mod tests {
         assert!(stats.peak_inflight <= 3);
         assert_eq!(stats.inflight, 0);
         assert_eq!(stats.queued, 0);
+    }
+
+    #[test]
+    fn a_single_tenant_gets_the_whole_server() {
+        // The fair-share quota must degenerate to plain admission when
+        // only one tenant exists: full capacity, no quota rejections.
+        let adm = Admission::new(AdmissionConfig { max_inflight: 3, max_queue: 0 });
+        let p1 = adm.admit_for("alice", None).unwrap();
+        let p2 = adm.admit_for("alice", None).unwrap();
+        let p3 = adm.admit_for("alice", None).unwrap();
+        assert_eq!(adm.admit_for("alice", None).unwrap_err(), AdmissionError::Overloaded);
+        assert_eq!(adm.stats().rejected_quota, 0);
+        drop((p1, p2, p3));
+    }
+
+    #[test]
+    fn a_greedy_tenant_cannot_starve_a_newcomer() {
+        let adm = Arc::new(Admission::new(AdmissionConfig { max_inflight: 2, max_queue: 4 }));
+        // Greedy takes both slots while alone (quota = 2/1 = 2).
+        let g1 = adm.admit_for("greedy", None).unwrap();
+        let g2 = adm.admit_for("greedy", None).unwrap();
+        // A newcomer queues (two active tenants → quota 1 each), and a
+        // third greedy request queues behind its own exhausted share.
+        let newcomer = {
+            let adm = Arc::clone(&adm);
+            std::thread::spawn(move || adm.admit_for("patient", None).map(drop))
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(adm.stats().queued, 1);
+        // One greedy permit releases: the freed slot must go to the
+        // newcomer (greedy is over its fair share of 1).
+        drop(g1);
+        newcomer.join().unwrap().unwrap();
+        let tenants = adm.tenant_stats();
+        let patient = tenants.iter().find(|t| t.tenant == "patient").unwrap();
+        assert_eq!(patient.admitted, 1);
+        // With the other slot still held by greedy, a queue-full quota
+        // overflow for greedy names the quota, not overload.
+        let adm_small = Admission::new(AdmissionConfig { max_inflight: 4, max_queue: 0 });
+        let _a = adm_small.admit_for("a", None).unwrap();
+        let _b = adm_small.admit_for("b", None).unwrap();
+        // Two active tenants → quota 2 each; `a` may take one more…
+        let _a2 = adm_small.admit_for("a", None).unwrap();
+        // …but not a third, and the error says quota (slots remain free).
+        assert_eq!(
+            adm_small.admit_for("a", None).unwrap_err(),
+            AdmissionError::QuotaExceeded,
+            "free global slot + exhausted share must name the quota"
+        );
+        assert_eq!(adm_small.stats().rejected_quota, 1);
+        drop(g2);
     }
 }

@@ -76,6 +76,44 @@ impl Client {
         Ok(())
     }
 
+    /// Sends every frame before reading any response (protocol-v2
+    /// pipelining), then collects one response per frame and returns
+    /// them **in submission order** regardless of completion order.
+    ///
+    /// Each frame is stamped with a request `id` (`"p0"`, `"p1"`, …)
+    /// unless it already carries one, which is what lets the server
+    /// answer out of order and this method reassemble. Frames the
+    /// caller pre-stamped must use distinct ids.
+    pub fn pipeline(&mut self, frames: &[Json]) -> Result<Vec<Json>, ClientError> {
+        let mut batch = String::new();
+        let mut ids = Vec::with_capacity(frames.len());
+        for (i, frame) in frames.iter().enumerate() {
+            let mut f = frame.clone();
+            if f.get("id").is_none() {
+                f.set("id", format!("p{i}"));
+            }
+            ids.push(f.get("id").expect("id just set").compact());
+            batch.push_str(&f.compact());
+            batch.push('\n');
+        }
+        self.writer.write_all(batch.as_bytes())?;
+        self.writer.flush()?;
+        let mut out: Vec<Option<Json>> = (0..frames.len()).map(|_| None).collect();
+        for _ in 0..frames.len() {
+            let response = self.read_response()?;
+            let id = response.get("id").map(Json::compact).unwrap_or_default();
+            match ids.iter().position(|want| *want == id) {
+                Some(slot) if out[slot].is_none() => out[slot] = Some(response),
+                _ => {
+                    return Err(ClientError::Protocol(format!(
+                        "pipelined response carries unexpected id {id}"
+                    )))
+                }
+            }
+        }
+        Ok(out.into_iter().map(|r| r.expect("every slot filled")).collect())
+    }
+
     fn read_response(&mut self) -> Result<Json, ClientError> {
         let mut line = String::new();
         let n = self.reader.read_line(&mut line)?;

@@ -15,14 +15,18 @@
 //! * [`Admission`] — a semaphore-style admission controller bounding
 //!   in-flight analyses and queue depth, returning backpressure errors
 //!   instead of buffering without bound, with per-request deadlines;
-//! * [`Server`] — a std-only (`std::net`) thread-per-connection TCP
-//!   acceptor speaking newline-delimited JSON over a versioned protocol
-//!   ([`PROTO_VERSION`]) that wraps [`gts_engine::Request`] /
-//!   [`gts_engine::Verdict`] plus control verbs (`ping`, `stats`,
-//!   `metrics`, `load_schema`, `evict`, `cache_export`, `cache_import`,
-//!   `shutdown`), with graceful drain;
+//! * [`Server`] — a readiness-driven TCP server built on the `gts-net`
+//!   reactor (one event-loop thread, nonblocking sockets, a worker pool
+//!   for oracle work) speaking newline-delimited JSON over a versioned
+//!   protocol ([`PROTO_VERSION`], [`MIN_PROTO_VERSION`]) that wraps
+//!   [`gts_engine::Request`] / [`gts_engine::Verdict`] plus control
+//!   verbs (`ping`, `stats`, `metrics`, `load_schema`, `evict`,
+//!   `cache_export`, `cache_import`, `shutdown`), with pipelined
+//!   out-of-order version-2 responses, per-tenant fair-share admission,
+//!   idle timeouts, and graceful drain;
 //! * [`Client`] — a blocking client for the protocol, used by
-//!   `gts client`, the `loadgen` benchmark, and the loopback test suites.
+//!   `gts client`, the `loadgen` benchmark, and the loopback test
+//!   suites, including pipelined batch submission.
 //!
 //! The crate deliberately does not depend on the `.gts` parser (that
 //! lives in `gts-cli`, which itself depends on this crate for the `gts
@@ -37,14 +41,18 @@
 //! description.
 //!
 //! ```text
-//! → {"v":1,"op":"ping"}
-//! ← {"ok":true,"op":"ping","proto":1}
-//! → {"v":1,"op":"analyze","gts":"schema S {...} ...","source":"S",
+//! → {"v":2,"op":"ping"}
+//! ← {"ok":true,"op":"ping","proto":2}
+//! → {"v":2,"op":"analyze","id":"a1","gts":"schema S {...} ...","source":"S",
 //!    "requests":[{"kind":"elicit","transform":"T"}]}
 //! ← {"ok":true,"op":"analyze","fingerprint":"…","pool":"miss",
 //!    "results":[{"label":"elicit T","micros":…,"schema":"…","certified":true}],
-//!    "session":{…},"oracle":{…}}
+//!    "session":{…},"oracle":{…},"id":"a1"}
 //! ```
+//!
+//! Version-1 frames remain accepted and are answered strictly in
+//! arrival order; version-2 frames carrying an `id` may be pipelined
+//! and complete out of order (see [`proto`]).
 
 #![warn(missing_docs)]
 
@@ -54,9 +62,11 @@ pub mod proto;
 mod registry;
 mod server;
 
-pub use admission::{Admission, AdmissionConfig, AdmissionError, AdmissionStats, Permit};
+pub use admission::{
+    Admission, AdmissionConfig, AdmissionError, AdmissionStats, Permit, TenantStats, DEFAULT_TENANT,
+};
 pub use client::{Client, ClientError};
-pub use proto::PROTO_VERSION;
+pub use proto::{MIN_PROTO_VERSION, PROTO_VERSION};
 pub use registry::{
     canonical_key, fingerprint, fingerprint_of, Fingerprint, FlushSummary, RegistryConfig,
     RegistryStats, SessionRegistry,

@@ -7,34 +7,47 @@
 //! plus the echoed `"op"`, and on failure an `"error"` code with a
 //! human-readable `"message"`.
 //!
-//! Two fields are honored on *every* frame: an optional `"id"` (any JSON
-//! value) is echoed verbatim in the response, so clients multiplexing
-//! requests can correlate; an optional `"trace":true` asks the server to
-//! collect the frame's span tree and attach it as the response's
-//! `"trace"` field.
+//! Three fields are honored on *every* frame: an optional `"id"` (any
+//! JSON value) is echoed verbatim in the response, so clients
+//! multiplexing requests can correlate; an optional `"trace":true` asks
+//! the server to collect the frame's span tree and attach it as the
+//! response's `"trace"` field; an optional `"auth"` token names the
+//! tenant the frame's work is accounted to (absent means the shared
+//! `default` tenant).
+//!
+//! ## Versions 1 and 2
+//!
+//! The server speaks both protocol versions. They share the grammar
+//! below; the difference is *response ordering*. A version-1 frame (and
+//! a version-2 frame without an `"id"`) is answered strictly in arrival
+//! order on its connection. A version-2 frame carrying an `"id"` may be
+//! answered **out of order**: clients may pipeline many such frames
+//! without waiting, and each response arrives as soon as its work
+//! completes, correlated by the echoed `"id"`. Blocking one-at-a-time
+//! clients work identically under both versions.
 //!
 //! ```text
-//! frame      := version-verb fields*    # plus optional "id", "trace"
+//! frame      := version-verb fields*    # plus optional "id", "trace", "auth"
 //! verbs      := ping | stats | metrics | load_schema | analyze | delta
 //!             | evict | cache_export | cache_import | shutdown
 //!
-//! ping       := {"v":1,"op":"ping"}
-//! stats      := {"v":1,"op":"stats"}
-//! metrics    := {"v":1,"op":"metrics"[,"format":"prometheus"|"json"]}
-//! load_schema:= {"v":1,"op":"load_schema","gts":TEXT[,"schema":NAME]}
-//! analyze    := {"v":1,"op":"analyze","gts":TEXT[,"source":NAME]
+//! ping       := {"v":V,"op":"ping"}                       # V ∈ {1, 2}
+//! stats      := {"v":V,"op":"stats"}
+//! metrics    := {"v":V,"op":"metrics"[,"format":"prometheus"|"json"]}
+//! load_schema:= {"v":V,"op":"load_schema","gts":TEXT[,"schema":NAME]}
+//! analyze    := {"v":V,"op":"analyze","gts":TEXT[,"source":NAME]
 //!                ,"requests":[SPEC...]
 //!                [,"deadline_ms":N]    # N >= 1; 0 is a bad_request
 //!                [,"budget":"default"|"large"]
 //!                [,"linger_ms":N]}     # test hook, off by default
-//! delta      := {"v":1,"op":"delta","gts":TEXT[,"source":NAME]
+//! delta      := {"v":V,"op":"delta","gts":TEXT[,"source":NAME]
 //!                ,"transform":T,"instance":TEXT,"delta":TEXT
 //!                [,"check_target":S][,"deadline_ms":N]
 //!                [,"budget":"default"|"large"]}
-//! evict      := {"v":1,"op":"evict"[,"fingerprint":HEX16]}
-//! cache_export := {"v":1,"op":"cache_export","fingerprint":HEX16}
-//! cache_import := {"v":1,"op":"cache_import","store":BASE64}
-//! shutdown   := {"v":1,"op":"shutdown"}
+//! evict      := {"v":V,"op":"evict"[,"fingerprint":HEX16]}
+//! cache_export := {"v":V,"op":"cache_export","fingerprint":HEX16}
+//! cache_import := {"v":V,"op":"cache_import","store":BASE64}
+//! shutdown   := {"v":V,"op":"shutdown"}
 //!
 //! SPEC       := {"kind":"type_check","transform":T,"target":S[,"label":L]}
 //!             | {"kind":"equivalence","left":T1,"right":T2[,"label":L]}
@@ -46,14 +59,21 @@
 //! Error codes (the `"error"` field of `{"ok":false}` frames):
 //! [`BAD_FRAME`], [`UNSUPPORTED_VERSION`], [`UNKNOWN_OP`],
 //! [`BAD_REQUEST`], [`COMPILE_ERROR`], [`OVERLOADED`],
-//! [`DEADLINE_EXCEEDED`], [`SHUTTING_DOWN`], [`NOT_FOUND`].
+//! [`DEADLINE_EXCEEDED`], [`SHUTTING_DOWN`], [`NOT_FOUND`],
+//! [`QUOTA_EXCEEDED`].
 
 use gts_engine::Json;
 
-/// The protocol version this build speaks. Frames with a different `"v"`
-/// are rejected with [`UNSUPPORTED_VERSION`] so that incompatible peers
-/// fail loudly instead of mis-parsing each other.
-pub const PROTO_VERSION: i64 = 1;
+/// The newest protocol version this build speaks (and the one
+/// [`frame`] emits). The server also accepts [`MIN_PROTO_VERSION`];
+/// frames outside the range are rejected with [`UNSUPPORTED_VERSION`]
+/// so that incompatible peers fail loudly instead of mis-parsing each
+/// other.
+pub const PROTO_VERSION: i64 = 2;
+
+/// The oldest protocol version the server still accepts. Version-1
+/// frames are answered strictly in order, as they always were.
+pub const MIN_PROTO_VERSION: i64 = 1;
 
 /// The frame was not a JSON object, exceeded the size bound, or lacked
 /// required fields.
@@ -74,6 +94,9 @@ pub const DEADLINE_EXCEEDED: &str = "deadline_exceeded";
 pub const SHUTTING_DOWN: &str = "shutting_down";
 /// `evict` named a fingerprint that is not resident.
 pub const NOT_FOUND: &str = "not_found";
+/// Admission refused: global slots remain, but the frame's tenant is
+/// over its fair share and the wait queue is full.
+pub const QUOTA_EXCEEDED: &str = "quota_exceeded";
 
 /// A client frame skeleton for `op` (version field included).
 pub fn frame(op: &str) -> Json {

@@ -246,6 +246,28 @@ impl SessionRegistry {
         (session, hit)
     }
 
+    /// The eviction counter alone, without refreshing entry sizes — the
+    /// server's response memo checks this on every lookup, so it must
+    /// stay O(1) (a full [`SessionRegistry::stats`] walks every memo).
+    pub fn evictions(&self) -> u64 {
+        self.inner.lock().unwrap().evictions
+    }
+
+    /// Notes a frame answered from resident state without a session
+    /// checkout (the server's rendered-response memo): bumps the hit
+    /// counter and the entry's LRU recency, so memo-served traffic
+    /// participates in the same hit/miss accounting and pool aging as
+    /// checked-out traffic.
+    pub fn note_resident_hit(&self, fp: Fingerprint) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(entry) = inner.entries.get_mut(&fp.0) {
+            entry.last_used = tick;
+        }
+        inner.hits += 1;
+    }
+
     /// Evicts one fingerprint; `true` iff it was resident.
     pub fn evict(&self, fp: Fingerprint) -> bool {
         let mut inner = self.inner.lock().unwrap();

@@ -1,0 +1,392 @@
+//! Loopback battery for the gts-net reactor: framing over real sockets,
+//! ordered vs pipelined response sequencing, decode-error close paths,
+//! idle timeouts, and drain semantics — all against a tiny echo-style
+//! [`Service`] so the networking layer is exercised without the protocol
+//! stack on top. The sans-I/O pieces (codec, timer wheel, worker pool)
+//! carry their own unit tests inside `gts-net`; this file is the
+//! with-sockets half.
+
+use gts_net::{
+    CodecError, ConnId, FrameDecoder, FrameOutput, OutboundQueue, ReactorConfig, ReactorControl,
+    Service,
+};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Echoes every frame back prefixed with `ok:`. Frames shaped
+/// `sleep:<ms>:<tag>` sleep on the worker first (concurrency probes);
+/// frames carrying a `!` are answered out of order (the unordered
+/// class); the frame `quit` asks for drain.
+struct Echo {
+    decode_errors: AtomicU64,
+    idle_closes: AtomicU64,
+    disconnects: AtomicU64,
+    connects: AtomicU64,
+}
+
+impl Echo {
+    fn new() -> Arc<Echo> {
+        Arc::new(Echo {
+            decode_errors: AtomicU64::new(0),
+            idle_closes: AtomicU64::new(0),
+            disconnects: AtomicU64::new(0),
+            connects: AtomicU64::new(0),
+        })
+    }
+}
+
+impl Service for Echo {
+    fn handle(&self, _conn: ConnId, frame: String) -> FrameOutput {
+        let body = frame.trim();
+        if body.is_empty() {
+            return FrameOutput::none();
+        }
+        if body == "quit" {
+            return FrameOutput { bytes: b"bye".to_vec(), ordered: true, shutdown: true };
+        }
+        let rest = body.strip_prefix("sleep:");
+        if let Some((ms, tag)) = rest.and_then(|r| r.split_once(':')) {
+            std::thread::sleep(Duration::from_millis(ms.parse().unwrap_or(0)));
+            let unordered = tag.contains('!');
+            let bytes = format!("ok:{tag}").into_bytes();
+            return FrameOutput { bytes, ordered: !unordered, shutdown: false };
+        }
+        FrameOutput::ordered(format!("ok:{body}").into_bytes())
+    }
+
+    fn decode_error(&self, _conn: ConnId, err: &CodecError) -> Vec<u8> {
+        self.decode_errors.fetch_add(1, Ordering::SeqCst);
+        format!("err:{err}").into_bytes()
+    }
+
+    fn on_connect(&self, _conn: ConnId) {
+        self.connects.fetch_add(1, Ordering::SeqCst);
+    }
+
+    fn on_disconnect(&self, _conn: ConnId) {
+        self.disconnects.fetch_add(1, Ordering::SeqCst);
+    }
+
+    fn on_idle_close(&self, _conn: ConnId) {
+        self.idle_closes.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+struct Harness {
+    addr: std::net::SocketAddr,
+    control: Arc<ReactorControl>,
+    service: Arc<Echo>,
+    reactor: std::thread::JoinHandle<()>,
+}
+
+impl Harness {
+    fn start(cfg: ReactorConfig) -> Harness {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+        listener.set_nonblocking(true).expect("nonblocking listener");
+        let addr = listener.local_addr().unwrap();
+        let control = Arc::new(ReactorControl::new());
+        let service = Echo::new();
+        let reactor = {
+            let control = Arc::clone(&control);
+            let service: Arc<dyn Service> = Arc::clone(&service) as Arc<dyn Service>;
+            std::thread::spawn(move || {
+                gts_net::run(listener, service, cfg, control).expect("reactor runs");
+            })
+        };
+        Harness { addr, control, service, reactor }
+    }
+
+    fn connect(&self) -> (BufReader<TcpStream>, TcpStream) {
+        let stream = TcpStream::connect(self.addr).expect("connect loopback");
+        stream.set_nodelay(true).unwrap();
+        (BufReader::new(stream.try_clone().unwrap()), stream)
+    }
+
+    fn stop(self) {
+        self.control.begin_drain();
+        self.reactor.join().expect("reactor exits cleanly");
+    }
+}
+
+fn read_line(reader: &mut BufReader<TcpStream>) -> String {
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read response");
+    line.trim_end().to_owned()
+}
+
+#[test]
+fn frames_echo_across_a_real_socket() {
+    let h = Harness::start(ReactorConfig::default());
+    let (mut reader, mut writer) = h.connect();
+    writeln!(writer, "hello").unwrap();
+    assert_eq!(read_line(&mut reader), "ok:hello");
+    // Blank keep-alive lines get no response and break nothing.
+    writeln!(writer, "\n\n").unwrap();
+    writeln!(writer, "still-there").unwrap();
+    assert_eq!(read_line(&mut reader), "ok:still-there");
+    h.stop();
+}
+
+#[test]
+fn a_pipelined_burst_answers_every_frame() {
+    let h = Harness::start(ReactorConfig::default());
+    let (mut reader, mut writer) = h.connect();
+    let mut batch = String::new();
+    for i in 0..200 {
+        batch.push_str(&format!("frame-{i}\n"));
+    }
+    writer.write_all(batch.as_bytes()).unwrap();
+    for i in 0..200 {
+        assert_eq!(read_line(&mut reader), format!("ok:frame-{i}"));
+    }
+    h.stop();
+}
+
+#[test]
+fn ordered_responses_hold_their_arrival_order() {
+    // The first frame sleeps; both are ordered, so the fast second
+    // frame's response must wait behind the slow one.
+    let h = Harness::start(ReactorConfig::default());
+    let (mut reader, mut writer) = h.connect();
+    writer.write_all(b"sleep:150:slow\nsleep:0:fast\n").unwrap();
+    assert_eq!(read_line(&mut reader), "ok:slow");
+    assert_eq!(read_line(&mut reader), "ok:fast");
+    h.stop();
+}
+
+#[test]
+fn unordered_responses_jump_the_queue() {
+    // Same shape, but the responses are unordered (`!` tags): the fast
+    // frame overtakes the sleeping one — the point of pipelining.
+    let h = Harness::start(ReactorConfig::default());
+    let (mut reader, mut writer) = h.connect();
+    writer.write_all(b"sleep:200:slow!\nsleep:0:fast!\n").unwrap();
+    assert_eq!(read_line(&mut reader), "ok:fast!");
+    assert_eq!(read_line(&mut reader), "ok:slow!");
+    h.stop();
+}
+
+#[test]
+fn a_frame_split_mid_utf8_reassembles() {
+    let h = Harness::start(ReactorConfig::default());
+    let (mut reader, mut writer) = h.connect();
+    // "héllo" with the two-byte é split across writes (and a pause so
+    // the reactor really sees two reads).
+    let bytes = "héllo\n".as_bytes();
+    writer.write_all(&bytes[..2]).unwrap();
+    writer.flush().unwrap();
+    std::thread::sleep(Duration::from_millis(30));
+    writer.write_all(&bytes[2..]).unwrap();
+    assert_eq!(read_line(&mut reader), "ok:héllo");
+    h.stop();
+}
+
+#[test]
+fn oversized_frames_get_an_error_and_a_close() {
+    let cfg = ReactorConfig { max_frame_bytes: 64, ..ReactorConfig::default() };
+    let h = Harness::start(cfg);
+    let (mut reader, mut writer) = h.connect();
+    writer.write_all(vec![b'x'; 500].as_slice()).unwrap();
+    writer.write_all(b"\n").unwrap();
+    let line = read_line(&mut reader);
+    assert!(line.starts_with("err:"), "got {line}");
+    // The connection closes after the error flushes.
+    let mut rest = String::new();
+    assert_eq!(reader.read_to_string(&mut rest).unwrap(), 0);
+    assert_eq!(h.service.decode_errors.load(Ordering::SeqCst), 1);
+    h.stop();
+}
+
+#[test]
+fn invalid_utf8_gets_an_error_and_a_close() {
+    let h = Harness::start(ReactorConfig::default());
+    let (mut reader, mut writer) = h.connect();
+    writer.write_all(&[0xff, 0xfe, b'\n']).unwrap();
+    let line = read_line(&mut reader);
+    assert!(line.starts_with("err:"), "got {line}");
+    let mut rest = String::new();
+    assert_eq!(reader.read_to_string(&mut rest).unwrap(), 0);
+    h.stop();
+}
+
+#[test]
+fn a_trailing_unterminated_frame_is_served_at_eof() {
+    let h = Harness::start(ReactorConfig::default());
+    let (mut reader, mut writer) = h.connect();
+    writer.write_all(b"first\nlast-no-newline").unwrap();
+    writer.shutdown(std::net::Shutdown::Write).unwrap();
+    assert_eq!(read_line(&mut reader), "ok:first");
+    assert_eq!(read_line(&mut reader), "ok:last-no-newline");
+    let mut rest = String::new();
+    assert_eq!(reader.read_to_string(&mut rest).unwrap(), 0, "server closes after EOF");
+    h.stop();
+}
+
+#[test]
+fn idle_connections_are_timed_out_but_active_ones_survive() {
+    let cfg = ReactorConfig {
+        idle_timeout: Some(Duration::from_millis(150)),
+        ..ReactorConfig::default()
+    };
+    let h = Harness::start(cfg);
+    // The active connection completes a frame between timer fires and
+    // must survive well past the idle bound.
+    let (mut active_r, mut active_w) = h.connect();
+    let (mut idle_r, _idle_w) = h.connect();
+    let start = Instant::now();
+    while start.elapsed() < Duration::from_millis(450) {
+        writeln!(active_w, "beat").unwrap();
+        assert_eq!(read_line(&mut active_r), "ok:beat");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    // The silent connection idled out along the way.
+    let mut rest = String::new();
+    assert_eq!(idle_r.read_to_string(&mut rest).unwrap(), 0, "idle connection closed");
+    assert_eq!(h.service.idle_closes.load(Ordering::SeqCst), 1);
+    writeln!(active_w, "final").unwrap();
+    assert_eq!(read_line(&mut active_r), "ok:final");
+    h.stop();
+}
+
+#[test]
+fn a_slowloris_drip_does_not_count_as_activity() {
+    let cfg = ReactorConfig {
+        idle_timeout: Some(Duration::from_millis(200)),
+        ..ReactorConfig::default()
+    };
+    let h = Harness::start(cfg);
+    let (mut reader, mut writer) = h.connect();
+    // Drip one byte at a time, never completing a frame. The idle clock
+    // only resets on complete frames, so the connection must die at the
+    // timeout even though bytes keep arriving.
+    let start = Instant::now();
+    let mut closed = false;
+    while start.elapsed() < Duration::from_secs(2) {
+        if writer.write_all(b"x").and_then(|()| writer.flush()).is_err() {
+            closed = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(40));
+    }
+    if !closed {
+        let mut rest = String::new();
+        closed = reader.read_to_string(&mut rest).map(|n| n == 0).unwrap_or(true);
+    }
+    assert!(closed, "the drip connection must be cut by the idle timeout");
+    assert_eq!(h.service.idle_closes.load(Ordering::SeqCst), 1);
+    h.stop();
+}
+
+#[test]
+fn drain_finishes_inflight_work_before_closing() {
+    let h = Harness::start(ReactorConfig::default());
+    let (mut reader, mut writer) = h.connect();
+    // A slow frame goes in-flight, then drain begins. The response must
+    // still arrive: drain never swallows admitted work.
+    writeln!(writer, "sleep:300:inflight").unwrap();
+    std::thread::sleep(Duration::from_millis(50));
+    h.control.begin_drain();
+    assert_eq!(read_line(&mut reader), "ok:inflight");
+    let mut rest = String::new();
+    assert_eq!(reader.read_to_string(&mut rest).unwrap(), 0);
+    h.reactor.join().expect("reactor exits after drain");
+    // Post-drain connects are refused (the listener is gone).
+    assert!(TcpStream::connect(h.addr).is_err(), "listener must be closed once drain begins");
+}
+
+#[test]
+fn a_shutdown_frame_drains_the_reactor() {
+    let h = Harness::start(ReactorConfig::default());
+    let (mut reader, mut writer) = h.connect();
+    writeln!(writer, "quit").unwrap();
+    assert_eq!(read_line(&mut reader), "bye");
+    let mut rest = String::new();
+    assert_eq!(reader.read_to_string(&mut rest).unwrap(), 0);
+    h.reactor.join().expect("reactor exits");
+    assert_eq!(h.service.connects.load(Ordering::SeqCst), 1);
+    assert_eq!(h.service.disconnects.load(Ordering::SeqCst), 1);
+}
+
+#[test]
+fn abrupt_mid_frame_disconnects_leak_nothing() {
+    let h = Harness::start(ReactorConfig::default());
+    for _ in 0..20 {
+        let (_r, mut w) = h.connect();
+        w.write_all(b"half-a-frame-with-no-termin").unwrap();
+        drop(w); // RST or FIN mid-frame
+    }
+    // A live connection still works afterwards.
+    let (mut reader, mut writer) = h.connect();
+    writeln!(writer, "alive").unwrap();
+    assert_eq!(read_line(&mut reader), "ok:alive");
+    drop((reader, writer));
+    let deadline = Instant::now() + Duration::from_secs(2);
+    while h.service.disconnects.load(Ordering::SeqCst) < 21 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(
+        h.service.disconnects.load(Ordering::SeqCst),
+        21,
+        "every accepted connection gets exactly one disconnect"
+    );
+    h.stop();
+}
+
+// ---------------------------------------------------------------------
+// Sans-I/O codec scenarios the unit tests inside gts-net don't cover:
+// driving the decoder with pathological read splits and the outbound
+// queue against a non-draining writer.
+
+#[test]
+fn decoder_survives_byte_at_a_time_pipelined_input() {
+    let mut dec = FrameDecoder::new(1 << 20);
+    let input = "first\nsecond\nthird\n";
+    let mut frames = Vec::new();
+    for b in input.as_bytes() {
+        dec.push(std::slice::from_ref(b));
+        while let Ok(Some(f)) = dec.next_frame() {
+            frames.push(f);
+        }
+    }
+    assert_eq!(frames, ["first", "second", "third"]);
+    assert_eq!(dec.buffered(), 0);
+}
+
+#[test]
+fn decoder_splits_mid_utf8_never_misvalidate() {
+    let mut dec = FrameDecoder::new(1 << 20);
+    let text = "αβγ δεζ\n";
+    let bytes = text.as_bytes();
+    // Feed in every possible split position; each must yield exactly the
+    // one frame with intact UTF-8.
+    for split in 1..bytes.len() {
+        dec.push(&bytes[..split]);
+        // A partial line is never surfaced (and never errors).
+        if split < bytes.len() {
+            match dec.next_frame() {
+                Ok(None) => {}
+                other => panic!("split {split}: unexpected {other:?}"),
+            }
+        }
+        dec.push(&bytes[split..]);
+        assert_eq!(dec.next_frame().unwrap().as_deref(), Some("αβγ δεζ"), "split {split}");
+    }
+}
+
+#[test]
+fn outbound_queue_reports_watermarks_against_a_stuck_writer() {
+    let mut q = OutboundQueue::new(64, 16);
+    assert!(!q.over_high());
+    q.push(vec![b'a'; 80]);
+    assert!(q.over_high(), "above the high watermark: reads should pause");
+    assert!(!q.under_low());
+    // A writer that accepts everything drains it back below low.
+    let mut sink = Vec::new();
+    q.write_to(&mut sink).unwrap();
+    assert!(q.is_empty());
+    assert!(q.under_low());
+    assert_eq!(sink.len(), 80);
+}

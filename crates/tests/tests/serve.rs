@@ -916,3 +916,258 @@ edge a3 crossReacting a2
     assert!(body.contains("gts_serve_frames_total{verb=\"delta\"} 4\n"), "{body}");
     shutdown_and_join(handle);
 }
+
+#[test]
+fn repeated_identical_frames_are_served_from_the_response_memo() {
+    let handle = start_default();
+    let mut client = connect(&handle);
+
+    let specs = || vec![proto::spec_type_check("T0", "S1"), proto::spec_elicit("T0")];
+    let first = client.analyze(MEDICAL, Some("S0"), specs()).unwrap();
+    assert!(ok(&first), "{}", first.pretty());
+    // The second identical frame is answered from the rendered-response
+    // memo: byte-identical verdicts, `pool: hit`, and the memo counter
+    // advances while request accounting still counts every spec.
+    let second = client.analyze(MEDICAL, Some("S0"), specs()).unwrap();
+    assert!(ok(&second), "{}", second.pretty());
+    assert_eq!(second.get("pool").and_then(Json::as_str), Some("hit"));
+    assert_eq!(second.get("fingerprint"), first.get("fingerprint"));
+    for (a, b) in results(&first).iter().zip(results(&second)) {
+        assert_eq!(a.get("holds"), b.get("holds"));
+        assert_eq!(a.get("schema"), b.get("schema"));
+    }
+    let stats = client.stats().unwrap();
+    let server = stats.get("server").unwrap();
+    assert_eq!(server.get("memo_served").and_then(Json::as_u64), Some(1));
+    assert_eq!(server.get("requests_total").and_then(Json::as_u64), Some(4));
+
+    // Traced frames bypass the memo (their value is the fresh timings).
+    let mut traced = proto::analyze_frame(MEDICAL, Some("S0"), specs());
+    traced.set("trace", true);
+    let resp = client.roundtrip(&traced).unwrap();
+    assert!(ok(&resp));
+    assert!(resp.get("trace").is_some(), "traced frames must re-run the pipeline");
+
+    // Eviction invalidates the memo: the next identical frame rebuilds
+    // from scratch (`pool: miss`) rather than replaying a stale epoch.
+    assert!(ok(&client.evict(None).unwrap()));
+    let third = client.analyze(MEDICAL, Some("S0"), specs()).unwrap();
+    assert!(ok(&third), "{}", third.pretty());
+    assert_eq!(third.get("pool").and_then(Json::as_str), Some("miss"));
+    for (a, b) in results(&first).iter().zip(results(&third)) {
+        assert_eq!(a.get("holds"), b.get("holds"), "verdict changed across eviction");
+    }
+
+    shutdown_and_join(handle);
+}
+
+// ---------------------------------------------------------------------
+// Protocol v2: pipelining, version negotiation, tenants, idle timeouts.
+
+#[test]
+fn v2_frames_with_ids_complete_out_of_order() {
+    let cfg = ServerConfig { allow_linger: true, ..ServerConfig::default() };
+    let handle = start(cfg);
+    let mut client = connect(&handle);
+
+    // A slow analyze (lingering on its permit) followed by a fast ping,
+    // both v2 with ids: the ping's response must overtake the analyze.
+    let mut slow = proto::analyze_frame(TINY, Some("S"), vec![proto::spec_elicit("T")]);
+    slow.set("id", "slow").set("linger_ms", 400u64);
+    let mut fast = proto::frame("ping");
+    fast.set("id", "fast");
+    let line = format!("{}\n{}\n", slow.compact(), fast.compact());
+    let first = client.roundtrip_raw(line.trim_end()).unwrap();
+    assert_eq!(first.get("id").and_then(Json::as_str), Some("fast"), "{}", first.pretty());
+    assert_eq!(first.get("op").and_then(Json::as_str), Some("ping"));
+    let second = client.roundtrip_raw("").unwrap_or_else(|_| panic!("second response missing"));
+    assert_eq!(second.get("id").and_then(Json::as_str), Some("slow"), "{}", second.pretty());
+    assert!(ok(&second));
+    shutdown_and_join(handle);
+}
+
+#[test]
+fn v1_frames_keep_strict_arrival_order_even_with_ids() {
+    let cfg = ServerConfig { allow_linger: true, ..ServerConfig::default() };
+    let handle = start(cfg);
+    let mut client = connect(&handle);
+
+    // Same shape as the v2 test, but v:1 — the fast ping must wait
+    // behind the lingering analyze (pre-pipelining semantics). The
+    // frames are built from scratch: `Json::set` appends, so overriding
+    // the builders' `v:2` would leave the old value in front.
+    let mut slow = Json::obj();
+    slow.set("v", 1i64)
+        .set("op", "analyze")
+        .set("id", "slow")
+        .set("linger_ms", 300u64)
+        .set("gts", TINY)
+        .set("source", "S")
+        .set("requests", Json::Arr(vec![proto::spec_elicit("T")]));
+    let mut fast = Json::obj();
+    fast.set("v", 1i64).set("op", "ping").set("id", "fast");
+    let line = format!("{}\n{}\n", slow.compact(), fast.compact());
+    let first = client.roundtrip_raw(line.trim_end()).unwrap();
+    assert_eq!(first.get("id").and_then(Json::as_str), Some("slow"), "{}", first.pretty());
+    let second = client.roundtrip_raw("").unwrap();
+    assert_eq!(second.get("id").and_then(Json::as_str), Some("fast"));
+    shutdown_and_join(handle);
+}
+
+#[test]
+fn version_negotiation_spans_v1_through_v2() {
+    let handle = start_default();
+    let mut client = connect(&handle);
+    // A v1 client is still first-class; the response advertises the
+    // newest version the server speaks.
+    let resp = client.roundtrip_raw(r#"{"v":1,"op":"ping"}"#).unwrap();
+    assert!(ok(&resp));
+    assert_eq!(resp.get("proto").and_then(Json::as_i64), Some(gts_serve::PROTO_VERSION));
+    // v2 likewise.
+    let resp = client.roundtrip_raw(r#"{"v":2,"op":"ping"}"#).unwrap();
+    assert!(ok(&resp));
+    // The future stays rejected.
+    let resp = client.roundtrip_raw(r#"{"v":3,"op":"ping"}"#).unwrap();
+    assert_eq!(resp.get("error").and_then(Json::as_str), Some(proto::UNSUPPORTED_VERSION));
+    shutdown_and_join(handle);
+}
+
+#[test]
+fn client_pipeline_reassembles_submission_order() {
+    let handle = start_default();
+    let mut client = connect(&handle);
+    let frames = vec![
+        proto::frame("ping"),
+        proto::analyze_frame(TINY, Some("S"), vec![proto::spec_elicit("T")]),
+        proto::frame("stats"),
+        proto::analyze_frame(TINY, Some("S"), vec![proto::spec_type_check("T", "S")]),
+    ];
+    let responses = client.pipeline(&frames).unwrap();
+    assert_eq!(responses.len(), 4);
+    let ops: Vec<_> =
+        responses.iter().map(|r| r.get("op").and_then(Json::as_str).unwrap()).collect();
+    assert_eq!(ops, ["ping", "analyze", "stats", "analyze"]);
+    assert!(responses.iter().all(ok));
+    // Pipelined analyzes run concurrently, so pool hit/miss is racy —
+    // but both name the same fingerprint (one resident schema).
+    assert_eq!(
+        responses[1].get("fingerprint").and_then(Json::as_str),
+        responses[3].get("fingerprint").and_then(Json::as_str)
+    );
+    shutdown_and_join(handle);
+}
+
+#[test]
+fn tenant_quotas_stop_a_greedy_tenant_from_starving_others() {
+    let cfg = ServerConfig {
+        admission: AdmissionConfig { max_inflight: 4, max_queue: 0 },
+        allow_linger: true,
+        ..ServerConfig::default()
+    };
+    let handle = start(cfg);
+
+    // Greedy pipelines two lingering analyzes (fine while alone: quota
+    // is the whole server) without waiting for the responses.
+    use std::io::Write;
+    let mut greedy = std::net::TcpStream::connect(handle.addr()).unwrap();
+    let mut batch = String::new();
+    for i in 0..2 {
+        let mut f = proto::analyze_frame(TINY, Some("S"), vec![proto::spec_elicit("T")]);
+        f.set("id", format!("g{i}")).set("auth", "greedy").set("linger_ms", 700u64);
+        batch.push_str(&f.compact());
+        batch.push('\n');
+    }
+    greedy.write_all(batch.as_bytes()).unwrap();
+    std::thread::sleep(Duration::from_millis(150));
+
+    // A patient tenant shows up: two active tenants → quota 2 each.
+    let patient = std::thread::spawn({
+        let addr = handle.addr();
+        move || {
+            let mut c = Client::connect(addr).unwrap();
+            let mut f = proto::analyze_frame(TINY, Some("S"), vec![proto::spec_elicit("T")]);
+            f.set("auth", "patient").set("linger_ms", 300u64);
+            c.roundtrip(&f).unwrap()
+        }
+    });
+    std::thread::sleep(Duration::from_millis(150));
+
+    // Greedy's third concurrent analyze busts its fair share while a
+    // global slot is still free: the rejection names the quota.
+    let mut third = connect(&handle);
+    let mut f = proto::analyze_frame(TINY, Some("S"), vec![proto::spec_elicit("T")]);
+    f.set("auth", "greedy");
+    let resp = third.roundtrip(&f).unwrap();
+    assert_eq!(
+        resp.get("error").and_then(Json::as_str),
+        Some(proto::QUOTA_EXCEEDED),
+        "{}",
+        resp.pretty()
+    );
+
+    // The patient tenant's work went through.
+    assert!(ok(&patient.join().unwrap()));
+
+    // Per-tenant accounting is visible in stats.
+    let stats = third.stats().unwrap();
+    let tenants = stats.get("admission").and_then(|a| a.get("tenants")).unwrap();
+    let greedy_stats = tenants.get("greedy").unwrap();
+    assert_eq!(greedy_stats.get("rejected_quota").and_then(Json::as_u64), Some(1));
+    assert_eq!(tenants.get("patient").unwrap().get("admitted").and_then(Json::as_u64), Some(1));
+    assert_eq!(
+        stats.get("admission").and_then(|a| a.get("rejected_quota")).and_then(Json::as_u64),
+        Some(1)
+    );
+    drop(greedy);
+    shutdown_and_join(handle);
+}
+
+#[test]
+fn idle_connections_are_closed_and_a_slowloris_drip_counts_as_idle() {
+    use std::io::{Read, Write};
+    let cfg =
+        ServerConfig { idle_timeout: Some(Duration::from_millis(200)), ..ServerConfig::default() };
+    let handle = start(cfg);
+
+    // A byte-at-a-time drip never completes a frame; the idle clock
+    // ignores it and the server cuts the connection at the timeout.
+    let mut drip = std::net::TcpStream::connect(handle.addr()).unwrap();
+    let start_t = Instant::now();
+    let mut closed = false;
+    while start_t.elapsed() < Duration::from_secs(3) {
+        if drip.write_all(b"{").and_then(|()| drip.flush()).is_err() {
+            closed = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(40));
+    }
+    if !closed {
+        drip.shutdown(std::net::Shutdown::Write).ok();
+        let mut buf = Vec::new();
+        let _ = drip.read_to_end(&mut buf); // whatever remains, the peer is done
+        closed = true;
+    }
+    assert!(closed);
+    let deadline = Instant::now() + Duration::from_secs(2);
+    while handle.idle_closed() < 1 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert_eq!(handle.idle_closed(), 1, "the drip must be closed *as idle*");
+
+    // An active client survives (completing frames resets the clock),
+    // and the counter shows up in stats and metrics.
+    let mut client = connect(&handle);
+    for _ in 0..8 {
+        assert!(ok(&client.ping().unwrap()));
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let stats = client.stats().unwrap();
+    assert_eq!(
+        stats.get("server").and_then(|s| s.get("idle_closed")).and_then(Json::as_u64),
+        Some(1)
+    );
+    let metrics = client.metrics(None).unwrap();
+    let body = metrics.get("body").and_then(Json::as_str).unwrap();
+    assert!(body.contains("gts_serve_idle_closed_total 1\n"), "{body}");
+    shutdown_and_join(handle);
+}
